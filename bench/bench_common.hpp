@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers of the benchmark harness: the evaluation protocol of the
+ * paper (MII-first sweeps, timeout handling, per-method tables) plus
+ * table printing.
+ *
+ * Each bench binary regenerates one table/figure of the paper. Absolute
+ * numbers differ from the publication (different machine, scaled budgets
+ * - see DESIGN.md §7); the *shape* of each result is what is reproduced.
+ */
+
+#ifndef MAPZERO_BENCH_BENCH_COMMON_HPP
+#define MAPZERO_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "core/config.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::bench {
+
+/** Default compile options of the harness. */
+inline CompileOptions
+benchOptions(double time_limit = config::kBenchTimeLimitSeconds)
+{
+    CompileOptions opts;
+    opts.timeLimitSeconds = time_limit;
+    return opts;
+}
+
+/** Pre-training budget used by every bench (kept small; see DESIGN.md). */
+inline PretrainBudget
+benchBudget()
+{
+    PretrainBudget budget;
+    budget.episodes = config::kBenchPretrainEpisodes;
+    budget.seconds = config::kBenchPretrainSeconds;
+    budget.mctsExpansions = 8;
+    return budget;
+}
+
+/** A compiler with the cached pre-trained network for @p arch installed. */
+inline Compiler
+compilerFor(const cgra::Architecture &arch)
+{
+    Compiler compiler;
+    compiler.setNetwork(pretrainedNetwork(arch, benchBudget()));
+    return compiler;
+}
+
+/** The kernel set used for the per-architecture quality studies: all 13
+ *  non-unrolled Table-2 kernels (the paper's Figs. 8-11 set). Set
+ *  MAPZERO_BENCH_QUICK=1 to restrict to the smaller half. */
+inline std::vector<std::string>
+evaluationKernels()
+{
+    if (std::getenv("MAPZERO_BENCH_QUICK") != nullptr)
+        return {"sum", "mac", "conv2", "accumulate", "matmul", "conv3",
+                "mults1", "cap"};
+    return dfg::coreKernelNames();
+}
+
+/** Print a header banner with the run configuration. */
+inline void
+printBanner(const std::string &what)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("config: timeLimit=%.1fs mctsExpansions=%d "
+                "pretrainEpisodes=%d (paper: %.0fh / %d / per-fabric "
+                "hours; see DESIGN.md)\n",
+                config::kBenchTimeLimitSeconds,
+                config::kBenchMctsExpansions,
+                config::kBenchPretrainEpisodes,
+                config::kPaperTimeLimitSeconds / 3600.0,
+                config::kPaperMctsExpansions);
+    std::printf("==========================================================\n");
+}
+
+/** Fixed-width row printer for result tables. */
+inline void
+printRow(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+/** Format helper. */
+inline std::string
+fmt(const char *format, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), format, value);
+    return buffer;
+}
+
+} // namespace mapzero::bench
+
+#endif // MAPZERO_BENCH_BENCH_COMMON_HPP

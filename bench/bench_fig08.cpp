@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 8 reproduction: mapping quality as the II ratio relative to MII
+ * for CGRA-ME(ILP), CGRA-ME(SA), LISA, and MapZero on (a) HReA,
+ * (b) MorphoSys, (c) ADRES, and (d) HyCube.
+ *
+ * The paper's headline shape: MapZero always reaches the MII (ratio 1.0)
+ * while SA/LISA time out or miss on the tighter fabrics, and LISA is
+ * only competitive on the crossbar-based HyCube. A failed mapping is
+ * reported as ratio 0 (the paper's convention).
+ */
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+void
+runArch(const cgra::Architecture &arch,
+        const std::vector<Method> &methods)
+{
+    std::printf("\n--- %s ---\n", arch.name().c_str());
+    std::vector<std::string> header{"kernel", "MII"};
+    for (Method m : methods)
+        header.push_back(methodName(m));
+    bench::printRow(header, 13);
+
+    std::map<std::string, std::vector<double>> ratios;
+    Compiler compiler = bench::compilerFor(arch);
+    for (const auto &kernel : bench::evaluationKernels()) {
+        const dfg::Dfg d = dfg::buildKernel(kernel);
+        std::vector<std::string> row{
+            kernel, std::to_string(Compiler::minimumIi(d, arch))};
+        for (Method m : methods) {
+            const CompileResult r =
+                compiler.compile(d, arch, m, bench::benchOptions());
+            ratios[methodName(m)].push_back(r.iiRatio());
+            row.push_back(bench::fmt("%.2f", r.iiRatio()));
+        }
+        bench::printRow(row, 13);
+    }
+
+    std::vector<std::string> summary{"success", ""};
+    for (Method m : methods) {
+        const auto &v = ratios[methodName(m)];
+        const auto ok = std::count_if(v.begin(), v.end(),
+                                      [](double x) { return x > 0.0; });
+        summary.push_back(std::to_string(ok) + "/" +
+                          std::to_string(v.size()));
+    }
+    bench::printRow(summary, 13);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Fig. 8: II ratio relative to MII (0 = mapping failed)");
+
+    const std::vector<Method> all{Method::Ilp, Method::Sa, Method::Lisa,
+                                  Method::MapZero};
+    runArch(cgra::Architecture::hrea(), all);       // Fig. 8(a)
+    runArch(cgra::Architecture::morphosys(), all);  // Fig. 8(b)
+    runArch(cgra::Architecture::adres(), all);      // Fig. 8(c)
+    // Fig. 8(d): LISA vs MapZero on HyCube (its home turf).
+    runArch(cgra::Architecture::hycube(),
+            {Method::Lisa, Method::MapZero});
+    return 0;
+}

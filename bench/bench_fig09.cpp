@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 9 reproduction: the number of backtracking operations MapZero
+ * needs while mapping each benchmark on each target CGRA.
+ *
+ * Paper shape: "the number of backtracking operations required in most
+ * situations is very small" - the agent's placements are mostly right
+ * the first time, and backtracking merely patches occasional mistakes.
+ */
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Fig. 9: MapZero backtracking operations per mapping");
+
+    std::vector<cgra::Architecture> archs{
+        cgra::Architecture::hrea(), cgra::Architecture::morphosys(),
+        cgra::Architecture::adres(), cgra::Architecture::hycube()};
+
+    std::vector<std::string> header{"kernel"};
+    for (const auto &a : archs)
+        header.push_back(a.name());
+    bench::printRow(header, 13);
+
+    for (const auto &kernel : bench::evaluationKernels()) {
+        const dfg::Dfg d = dfg::buildKernel(kernel);
+        std::vector<std::string> row{kernel};
+        for (const auto &arch : archs) {
+            Compiler compiler = bench::compilerFor(arch);
+            const CompileResult r = compiler.compile(
+                d, arch, Method::MapZero, bench::benchOptions());
+            row.push_back(r.success ? std::to_string(r.searchOps)
+                                    : "fail");
+        }
+        bench::printRow(row, 13);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 10 reproduction: search effort on HyCube - backtracking
+ * operations for MapZero versus annealing steps for CGRA-ME(SA) and
+ * LISA (the paper counts annealings for the SA-family mappers; each
+ * annealing step performs 100 random perturbations).
+ *
+ * Paper shape: MapZero needs orders of magnitude fewer search operations
+ * than the annealing-based baselines.
+ */
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Fig. 10: backtracks (MapZero) vs annealings (SA/LISA), HyCube");
+
+    cgra::Architecture arch = cgra::Architecture::hycube();
+    Compiler compiler = bench::compilerFor(arch);
+
+    bench::printRow({"kernel", "MapZero", "SA", "LISA"}, 13);
+    for (const auto &kernel : bench::evaluationKernels()) {
+        const dfg::Dfg d = dfg::buildKernel(kernel);
+        std::vector<std::string> row{kernel};
+        for (Method m : {Method::MapZero, Method::Sa, Method::Lisa}) {
+            const CompileResult r =
+                compiler.compile(d, arch, m, bench::benchOptions());
+            row.push_back(std::to_string(r.searchOps) +
+                          (r.success ? "" : "(f)"));
+        }
+        bench::printRow(row, 13);
+    }
+    std::printf("(f) = failed within the time limit; annealing steps "
+                "each cover 100 perturbations\n");
+    return 0;
+}

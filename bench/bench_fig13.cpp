@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 13 reproduction: scalability - compilation time for unrolled
+ * kernels on the 8x8 and 16x16 baseline CGRAs.
+ *
+ * Paper shape: MapZero finds MII mappings on both fabrics while ILP and
+ * the SA-family baselines fail or time out as the search space explodes
+ * (a 16x16 fabric and a multi-hundred-node DFG).
+ *
+ * Scaled default: the two smaller unrolled kernels per fabric within the
+ * bench time budget; set MAPZERO_BENCH_FULL=1 for all five.
+ */
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+std::vector<std::string>
+scalabilityKernels()
+{
+    if (std::getenv("MAPZERO_BENCH_FULL") != nullptr)
+        return dfg::unrolledKernelNames();
+    return {"filter_u", "stencil_u"};
+}
+
+void
+runArch(const cgra::Architecture &arch)
+{
+    std::printf("\n--- %s ---\n", arch.name().c_str());
+    Compiler compiler = bench::compilerFor(arch);
+    bench::printRow({"kernel", "V", "MII", "method", "II", "seconds",
+                     "status"},
+                    11);
+    for (const auto &kernel : scalabilityKernels()) {
+        const dfg::Dfg d = dfg::buildKernel(kernel);
+        const std::int32_t mii = Compiler::minimumIi(d, arch);
+        for (Method m : {Method::Ilp, Method::Sa, Method::Lisa,
+                         Method::MapZero}) {
+            const CompileResult r = compiler.compile(
+                d, arch, m, bench::benchOptions());
+            bench::printRow(
+                {kernel, std::to_string(d.nodeCount()),
+                 std::to_string(mii), methodName(m),
+                 r.success ? std::to_string(r.ii) : "-",
+                 bench::fmt("%.3f", r.seconds),
+                 r.success ? "ok" : (r.timedOut ? "timeout" : "fail")},
+                11);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Fig. 13: scalability to 8x8 and 16x16 baseline CGRAs");
+    runArch(cgra::Architecture::baseline8());
+    runArch(cgra::Architecture::baseline16());
+    return 0;
+}

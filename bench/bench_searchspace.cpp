@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §2.5.1 reproduction: the size of the CGRA mapping search space.
+ *
+ * The paper quotes 16!/2! ~ 1e13 placements for a 14-node DFG on a 4x4
+ * CGRA at II=1 and 64!/4! ~ 1e87 for a 60-node DFG on an 8x8 CGRA, and
+ * this harness recomputes those permutation counts (in log10) alongside
+ * measured legal-action branching factors of the real environment.
+ */
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mapper/environment.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/** log10 of P(pe_count, nodes) = pe! / (pe - nodes)! */
+double
+log10Placements(std::int32_t pes, std::int32_t nodes)
+{
+    double acc = 0.0;
+    for (std::int32_t k = 0; k < nodes; ++k)
+        acc += std::log10(static_cast<double>(pes - k));
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner("§2.5.1: search-space size");
+
+    // Paper's two flagship numbers.
+    std::printf("14-node DFG on 4x4 (II=1): 10^%.1f placements "
+                "(paper: ~1e13)\n",
+                log10Placements(16, 14));
+    std::printf("60-node DFG on 8x8 (II=1): 10^%.1f placements "
+                "(paper: ~1e87)\n",
+                log10Placements(64, 60));
+
+    // Search-space growth per kernel at its MII on HReA.
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    bench::printRow({"kernel", "V", "MII", "slots", "log10(space)"},
+                    13);
+    for (const auto &kernel : bench::evaluationKernels()) {
+        const dfg::Dfg d = dfg::buildKernel(kernel);
+        const std::int32_t mii = Compiler::minimumIi(d, arch);
+        // At II>1 the action space per node is (PEs free in its slot);
+        // an upper bound on the space is prod over nodes of PE count.
+        const double log_space =
+            static_cast<double>(d.nodeCount()) *
+            std::log10(static_cast<double>(arch.peCount()));
+        bench::printRow({kernel, std::to_string(d.nodeCount()),
+                         std::to_string(mii),
+                         std::to_string(mii * arch.peCount()),
+                         bench::fmt("%.1f", log_space)},
+                        13);
+    }
+
+    // Measured branching factor of the real environment on one episode.
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    const std::int32_t mii = Compiler::minimumIi(d, arch);
+    mapper::MapEnv env(d, arch, mii);
+    double branching_sum = 0.0;
+    std::int32_t steps = 0;
+    while (!env.done() && env.legalActionCount() > 0) {
+        branching_sum += env.legalActionCount();
+        ++steps;
+        // Always take the first legal action (just measuring widths).
+        const auto mask = env.actionMask();
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(mask.size()); ++pe) {
+            if (mask[static_cast<std::size_t>(pe)]) {
+                env.step(pe);
+                break;
+            }
+        }
+    }
+    if (steps > 0)
+        std::printf("\nmeasured mean branching factor (mac on HReA, "
+                    "II=%d): %.1f legal PEs per decision\n",
+                    mii, branching_sum / steps);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulator throughput benchmarks (infrastructure tracking, not a paper
+ * figure): cycles/second of the reference interpreter, the route-level
+ * fabric simulator, and the bitstream-level hardware simulator, plus the
+ * cost of one golden-model comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/exact_mapper.hpp"
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "core/bitstream.hpp"
+#include "mapper/router.hpp"
+#include "sim/fabric_sim.hpp"
+#include "sim/hw_sim.hpp"
+#include "sim/interpreter.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/** Shared compiled mapping (built once). */
+struct SimFixture {
+    dfg::Dfg dfg = dfg::buildKernel("conv2");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    std::unique_ptr<cgra::Mrrg> mrrg;
+    std::unique_ptr<mapper::MappingState> state;
+    Bitstream bitstream;
+    sim::ActivationSchedule activation;
+
+    SimFixture()
+    {
+        const std::int32_t mii = dfg::minimumIi(
+            dfg, arch.peCount(), arch.memoryIssueCapacity());
+        baselines::ExactMapper exact;
+        const auto r = exact.map(dfg, arch, mii, Deadline(60.0));
+        auto schedule = dfg::moduloSchedule(dfg, mii,
+                                            arch.memoryIssueCapacity());
+        mrrg = std::make_unique<cgra::Mrrg>(arch, mii);
+        state = std::make_unique<mapper::MappingState>(dfg, *mrrg,
+                                                       *schedule);
+        if (!mapper::Router::replayMapping(*state, r.placements))
+            fatal("bench_sim: mapping replay failed");
+        bitstream = generateBitstream(*state);
+        activation.startTime = schedule->time;
+        activation.ii = mii;
+        activation.length = schedule->length();
+    }
+};
+
+SimFixture &
+fixture()
+{
+    static SimFixture instance;
+    return instance;
+}
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    const auto provider = sim::defaultProvider();
+    const auto iterations = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::interpret(fixture().dfg, iterations, provider));
+    }
+    state.SetItemsProcessed(state.iterations() * iterations);
+}
+BENCHMARK(BM_Interpreter)->Arg(16)->Arg(256);
+
+void
+BM_FabricSim(benchmark::State &state)
+{
+    const auto provider = sim::defaultProvider();
+    const auto iterations = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::simulateFabric(*fixture().state, iterations,
+                                provider));
+    }
+    state.SetItemsProcessed(state.iterations() * iterations);
+}
+BENCHMARK(BM_FabricSim)->Arg(16)->Arg(256);
+
+void
+BM_HardwareSim(benchmark::State &state)
+{
+    const auto provider = sim::defaultProvider();
+    const auto iterations = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::runHardware(
+            fixture().bitstream, fixture().arch, fixture().activation,
+            iterations, provider));
+    }
+    state.SetItemsProcessed(state.iterations() * iterations);
+}
+BENCHMARK(BM_HardwareSim)->Arg(16)->Arg(256);
+
+void
+BM_GoldenModelCheck(benchmark::State &state)
+{
+    const auto provider = sim::defaultProvider();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::compareWithReference(*fixture().state, 8, provider));
+    }
+}
+BENCHMARK(BM_GoldenModelCheck);
+
+void
+BM_BitstreamGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generateBitstream(*fixture().state));
+    }
+}
+BENCHMARK(BM_BitstreamGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1 reproduction: the target CGRA x interconnect matrix.
+ *
+ * Prints each preset fabric with its active interconnect styles, size,
+ * and derived properties (link count, memory-issue capacity, symmetry
+ * group size used for data augmentation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "cgra/symmetry.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+std::string
+yesNo(bool b)
+{
+    return b ? "yes" : "-";
+}
+
+void
+printTable1()
+{
+    bench::printBanner("Table 1: target CGRAs used in the evaluation");
+    bench::printRow({"fabric", "size", "mesh", "1hop", "diag", "torus",
+                     "xbar", "links", "memCap", "syms"},
+                    9);
+    for (const auto &arch : cgra::Architecture::table1Presets()) {
+        bench::printRow(
+            {arch.name(),
+             std::to_string(arch.rows()) + "x" +
+                 std::to_string(arch.cols()),
+             yesNo(arch.hasLink(cgra::Interconnect::Mesh)),
+             yesNo(arch.hasLink(cgra::Interconnect::OneHop)),
+             yesNo(arch.hasLink(cgra::Interconnect::Diagonal)),
+             yesNo(arch.hasLink(cgra::Interconnect::Toroidal)),
+             yesNo(arch.hasLink(cgra::Interconnect::Crossbar)),
+             std::to_string(arch.linkList().size()),
+             std::to_string(arch.memoryIssueCapacity()),
+             std::to_string(cgra::gridSymmetries(arch).size())},
+            9);
+    }
+}
+
+void
+BM_BuildArchitecture(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cgra::Architecture::baseline16());
+    }
+}
+BENCHMARK(BM_BuildArchitecture);
+
+void
+BM_SymmetryAnalysis(benchmark::State &state)
+{
+    const auto arch = cgra::Architecture::hrea();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cgra::gridSymmetries(arch));
+    }
+}
+BENCHMARK(BM_SymmetryAnalysis);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 2 reproduction: statistics of the benchmark DFGs.
+ *
+ * Prints the vertex/edge counts of every generated kernel next to the
+ * numbers the paper reports, plus derived statistics (memory ops,
+ * RecMII) the mappers rely on. Also runs a google-benchmark timing of
+ * kernel construction so regeneration cost is tracked.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+void
+printTable2()
+{
+    bench::printBanner("Table 2: statistics of the benchmark DFGs");
+    bench::printRow({"kernel", "V(paper)", "V(ours)", "E(paper)",
+                     "E(ours)", "memOps", "RecMII"},
+                    11);
+    for (const auto &info : dfg::kernelTable()) {
+        const dfg::Dfg d = dfg::buildKernel(info.name);
+        bench::printRow({info.name, std::to_string(info.vertices),
+                         std::to_string(d.nodeCount()),
+                         std::to_string(info.edges),
+                         std::to_string(d.edgeCount()),
+                         std::to_string(d.memoryOpCount()),
+                         std::to_string(dfg::recMii(d))},
+                        11);
+    }
+}
+
+void
+BM_BuildKernel(benchmark::State &state, const std::string &name)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dfg::buildKernel(name));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    for (const auto &info : mapzero::dfg::kernelTable()) {
+        benchmark::RegisterBenchmark(
+            ("BM_BuildKernel/" + info.name).c_str(),
+            [name = info.name](benchmark::State &state) {
+                BM_BuildKernel(state, name);
+            });
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Compare all four compilation engines on one kernel/fabric pair - the
+ * scenario of the paper's evaluation in miniature. Prints II, time,
+ * and search effort for MapZero, the exact (ILP stand-in) mapper, SA,
+ * and LISA.
+ *
+ * Usage: compare_compilers [kernel] [fabric]
+ *   kernel: any Table-2 name (default "conv2")
+ *   fabric: hrea | morphosys | adres | hycube | hetero (default hrea)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+
+namespace {
+
+mapzero::cgra::Architecture
+fabricByName(const std::string &name)
+{
+    using mapzero::cgra::Architecture;
+    if (name == "morphosys")
+        return Architecture::morphosys();
+    if (name == "adres")
+        return Architecture::adres();
+    if (name == "hycube")
+        return Architecture::hycube();
+    if (name == "hetero")
+        return Architecture::heterogeneous();
+    return Architecture::hrea();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mapzero;
+
+    const std::string kernel_name = argc > 1 ? argv[1] : "conv2";
+    const std::string fabric_name = argc > 2 ? argv[2] : "hrea";
+
+    const dfg::Dfg kernel = dfg::buildKernel(kernel_name);
+    const cgra::Architecture arch = fabricByName(fabric_name);
+
+    std::printf("%s (%d ops) on %s; MII=%d\n", kernel.name().c_str(),
+                kernel.nodeCount(), arch.name().c_str(),
+                Compiler::minimumIi(kernel, arch));
+
+    Compiler compiler;
+    PretrainBudget budget;
+    budget.episodes = 10;
+    budget.seconds = 10.0;
+    compiler.setNetwork(pretrainedNetwork(arch, budget));
+
+    CompileOptions options;
+    options.timeLimitSeconds = 15.0;
+
+    std::printf("%-16s %-6s %-10s %-12s %s\n", "method", "II",
+                "seconds", "searchOps", "status");
+    for (Method m : {Method::MapZero, Method::Ilp, Method::Sa,
+                     Method::Lisa}) {
+        const CompileResult r =
+            compiler.compile(kernel, arch, m, options);
+        std::printf("%-16s %-6s %-10.3f %-12lld %s\n", methodName(m),
+                    r.success ? std::to_string(r.ii).c_str() : "-",
+                    r.seconds, static_cast<long long>(r.searchOps),
+                    r.success ? "ok"
+                              : (r.timedOut ? "timeout" : "failed"));
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Design-space exploration (paper §4.8): specialize a fabric for a
+ * kernel set by adding/removing PEs, interconnect styles, and memory
+ * ports, trading achieved II against area and wiring.
+ *
+ * Usage: design_explorer [kernel ...]   (default: sum mac conv2)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dfg/kernels.hpp"
+#include "dse/explorer.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mapzero;
+
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = {"sum", "mac", "conv2"};
+
+    std::vector<dfg::Dfg> kernels;
+    std::printf("kernel set:");
+    for (const auto &name : names) {
+        kernels.push_back(dfg::buildKernel(name));
+        std::printf(" %s(%d ops)", name.c_str(),
+                    kernels.back().nodeCount());
+    }
+    std::printf("\n\n");
+
+    dse::DseConfig config;
+    config.steps = 10;
+    config.restarts = 1;
+    config.compileTimeLimit = 1.5;
+    dse::DseExplorer explorer(kernels, config);
+
+    dse::DesignPoint start;
+    start.rows = 6;
+    start.cols = 6;
+    start.memColumns = 6;
+    std::printf("start:   %-28s cost %.2f\n",
+                start.describe().c_str(),
+                explorer.evaluate(start).cost);
+
+    const dse::DseResult result = explorer.explore(start);
+    std::printf("\nvisited %zu design points:\n", result.trace.size());
+    for (const auto &eval : result.trace) {
+        std::printf("  %-28s cost %.2f  II:",
+                    eval.point.describe().c_str(), eval.cost);
+        for (std::int32_t ii : eval.achievedIi)
+            std::printf(" %d", ii);
+        std::printf("\n");
+    }
+    std::printf("\nbest:    %-28s cost %.2f\n",
+                result.best.point.describe().c_str(), result.best.cost);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Kernel explorer: inspect any Table-2 benchmark DFG - schedule, MII
+ * across fabrics, DOT export - the front half of the compilation flow.
+ *
+ * Usage: kernel_explorer [kernel] [--dot]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/compiler.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mapzero;
+
+    const std::string name = argc > 1 ? argv[1] : "arf";
+    const bool emit_dot =
+        argc > 2 && std::strcmp(argv[2], "--dot") == 0;
+
+    const dfg::Dfg kernel = dfg::buildKernel(name);
+    std::printf("kernel '%s': %d ops, %d deps, %d memory ops, "
+                "RecMII=%d\n",
+                kernel.name().c_str(), kernel.nodeCount(),
+                kernel.edgeCount(), kernel.memoryOpCount(),
+                dfg::recMii(kernel));
+
+    // MII across the Table-1 fabrics.
+    std::printf("\n%-16s %-8s %-8s\n", "fabric", "ResMII", "MII");
+    for (const auto &arch : cgra::Architecture::table1Presets()) {
+        std::printf("%-16s %-8d %-8d\n", arch.name().c_str(),
+                    dfg::resMii(kernel, arch.peCount(),
+                                arch.memoryIssueCapacity()),
+                    Compiler::minimumIi(kernel, arch));
+    }
+
+    // Modulo schedule at the HReA MII.
+    const cgra::Architecture hrea = cgra::Architecture::hrea();
+    const std::int32_t mii = Compiler::minimumIi(kernel, hrea);
+    const auto schedule = dfg::moduloSchedule(kernel, mii);
+    if (schedule) {
+        std::printf("\nschedule at II=%d: length %d cycles\n", mii,
+                    schedule->length());
+        std::printf("ops per modulo slot:");
+        for (std::int32_t s = 0; s < mii; ++s)
+            std::printf(" %d", schedule->nodesInModuloSlot(s));
+        std::printf(" (PE budget per slot: %d)\n", hrea.peCount());
+    }
+
+    if (emit_dot)
+        std::printf("\n%s", toDot(kernel).c_str());
+    return 0;
+}

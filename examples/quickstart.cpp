@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: map one loop kernel onto a CGRA with MapZero.
+ *
+ *   1. build (or load) a DFG,
+ *   2. pick a target fabric,
+ *   3. pre-train (or reuse) an agent for that fabric,
+ *   4. compile and inspect the mapping.
+ */
+
+#include <cstdio>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+
+int
+main()
+{
+    using namespace mapzero;
+
+    // 1. A DFG: here the "mac" benchmark kernel; you can also parse a
+    //    DOT file with dfg::fromDot() or assemble one with Dfg::addNode.
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    std::printf("kernel '%s': %d ops, %d dependencies\n",
+                kernel.name().c_str(), kernel.nodeCount(),
+                kernel.edgeCount());
+
+    // 2. A target fabric: the HReA preset (4x4, richly connected).
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    std::printf("fabric '%s': %dx%d, %zu links\n", arch.name().c_str(),
+                arch.rows(), arch.cols(), arch.linkList().size());
+
+    // 3. An agent. pretrainedNetwork() trains a small curriculum on
+    //    first use and caches the result for the process lifetime.
+    Compiler compiler;
+    PretrainBudget budget;
+    budget.episodes = 8;
+    budget.seconds = 10.0;
+    compiler.setNetwork(pretrainedNetwork(arch, budget));
+
+    // 4. Compile: the MII sweep starts at max(ResMII, RecMII).
+    CompileOptions options;
+    options.timeLimitSeconds = 20.0;
+    const CompileResult result =
+        compiler.compile(kernel, arch, Method::MapZero, options);
+
+    if (!result.success) {
+        std::printf("mapping failed within %.1fs\n",
+                    options.timeLimitSeconds);
+        return 1;
+    }
+
+    std::printf("mapped at II=%d (MII=%d) in %.3fs with %lld "
+                "backtracks\n",
+                result.ii, result.mii, result.seconds,
+                static_cast<long long>(result.searchOps));
+    std::printf("\n op -> (PE, time):\n");
+    for (dfg::NodeId v = 0; v < kernel.nodeCount(); ++v) {
+        const auto &p = result.placements[static_cast<std::size_t>(v)];
+        std::printf("  %-3d %-6s -> (PE%-2d r%d c%d, t=%d)\n", v,
+                    dfg::opcodeName(kernel.node(v).opcode), p.pe,
+                    arch.rowOf(p.pe), arch.colOf(p.pe), p.time);
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "baselines/exact_mapper.hpp"
+
+#include "common/log.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+
+namespace mapzero::baselines {
+
+ExactMapper::ExactMapper(ExactMapperConfig config)
+    : config_(config)
+{}
+
+AttemptResult
+ExactMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                 std::int32_t ii, const Deadline &deadline)
+{
+    AttemptResult result;
+    result.ii = ii;
+    Timer timer;
+
+    if (!mapper::MapEnv::feasible(dfg, ii)) {
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+    mapper::MapEnv env(dfg, arch, ii);
+    if (!env.structurallyPlaceable()) {
+        // Not enough function slots / memory-issue capacity somewhere:
+        // no placement exists regardless of search effort.
+        result.seconds = timer.seconds();
+        return result;
+    }
+    const std::int32_t n = dfg.nodeCount();
+    const std::int32_t pe_count = arch.peCount();
+
+    // Iterative DFS: nextAction[d] is the next PE to try at depth d.
+    std::vector<cgra::PeId> next_action(static_cast<std::size_t>(n), 0);
+    std::int32_t depth = 0;
+    bool aborted = false;
+
+    while (depth < n) {
+        if (deadline.expired() ||
+            (config_.maxBacktracks > 0 &&
+             result.searchOps >= config_.maxBacktracks)) {
+            aborted = true;
+            break;
+        }
+
+        bool advanced = false;
+        auto &cursor = next_action[static_cast<std::size_t>(depth)];
+        while (cursor < pe_count) {
+            if (config_.maxBacktracks > 0 &&
+                result.searchOps >= config_.maxBacktracks) {
+                break;
+            }
+            const cgra::PeId pe = cursor++;
+            const dfg::NodeId node = env.currentNode();
+            if (!env.state().placementLegal(node, pe))
+                continue;
+            const mapper::StepOutcome out = env.step(pe);
+            if (out.routedOk) {
+                advanced = true;
+                break;
+            }
+            // Routing failed: revert and try the next PE.
+            env.undo();
+            ++result.searchOps;
+        }
+
+        if (advanced) {
+            ++depth;
+            continue;
+        }
+
+        // Exhausted every PE at this depth: backtrack.
+        next_action[static_cast<std::size_t>(depth)] = 0;
+        if (depth == 0)
+            break; // search space exhausted, II infeasible
+        env.undo();
+        ++result.searchOps;
+        --depth;
+    }
+
+    result.timedOut = aborted;
+    result.success = !aborted && depth == n && env.success();
+    if (result.success) {
+        result.placements = collectPlacements(env.state());
+        for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei)
+            result.totalHops += env.state().edgeRoute(ei).hops;
+    }
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mapzero::baselines

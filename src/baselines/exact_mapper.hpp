@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exact branch-and-bound mapper - the stand-in for CGRA-ME's
+ * Gurobi-backed ILP formulation (see DESIGN.md substitution table).
+ *
+ * Like the ILP, it is a complete systematic search at a fixed II: it
+ * enumerates PE assignments for nodes in scheduled order with chronological
+ * backtracking, pruning any branch whose incident edges cannot be routed.
+ * It therefore shares the ILP's two observable behaviours the paper's
+ * comparison relies on: it finds an MII mapping whenever one exists
+ * (within its placement-order completeness) and its runtime explodes
+ * combinatorially on large DFGs / tight fabrics.
+ */
+
+#ifndef MAPZERO_BASELINES_EXACT_MAPPER_HPP
+#define MAPZERO_BASELINES_EXACT_MAPPER_HPP
+
+#include "baselines/mapper_base.hpp"
+
+namespace mapzero::baselines {
+
+/** Configuration of the exact search. */
+struct ExactMapperConfig {
+    /**
+     * Cap on backtrack operations (<= 0 means unlimited); the deadline
+     * usually fires first, this is a belt-and-braces bound for tests.
+     */
+    std::int64_t maxBacktracks = 0;
+};
+
+/** Complete backtracking search over placements. */
+class ExactMapper : public MapperBase
+{
+  public:
+    explicit ExactMapper(ExactMapperConfig config = {});
+
+    std::string name() const override { return "ILP(B&B)"; }
+
+    AttemptResult map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                      std::int32_t ii,
+                      const Deadline &deadline) override;
+
+  private:
+    ExactMapperConfig config_;
+};
+
+} // namespace mapzero::baselines
+
+#endif // MAPZERO_BASELINES_EXACT_MAPPER_HPP

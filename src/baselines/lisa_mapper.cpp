@@ -1,0 +1,108 @@
+#include "baselines/lisa_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+
+namespace mapzero::baselines {
+
+LisaLabels
+computeLisaLabels(const dfg::Dfg &dfg, const dfg::Schedule &schedule)
+{
+    LisaLabels labels;
+    labels.order.assign(static_cast<std::size_t>(dfg.nodeCount()), 0);
+    for (std::size_t i = 0; i < schedule.order.size(); ++i)
+        labels.order[static_cast<std::size_t>(schedule.order[i])] =
+            static_cast<std::int32_t>(i);
+
+    labels.slack.reserve(static_cast<std::size_t>(dfg.edgeCount()));
+    for (const auto &e : dfg.edges()) {
+        const std::int32_t t_src =
+            schedule.time[static_cast<std::size_t>(e.src)];
+        const std::int32_t t_dst =
+            schedule.time[static_cast<std::size_t>(e.dst)] +
+            schedule.ii * e.distance;
+        labels.slack.push_back(t_dst - t_src);
+    }
+    return labels;
+}
+
+LisaMapper::LisaMapper(SaConfig config)
+    : SaMapper(config)
+{}
+
+double
+LisaMapper::evaluate(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                     const cgra::Mrrg &mrrg,
+                     const dfg::Schedule &schedule,
+                     const std::vector<cgra::PeId> &placement,
+                     bool &all_routed, std::int32_t &hops)
+{
+    all_routed = false;
+    hops = 0;
+
+    // Label cost: Manhattan proximity of communicating nodes, with a
+    // reachability term that assumes crossbar-style single-cycle
+    // multi-hop (reach per cycle = chip span). This is the calibration
+    // LISA's labels carry from its training fabrics.
+    const std::int32_t span = std::max(arch.rows(), arch.cols());
+    double label_cost = 0.0;
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        const dfg::DfgEdge &e =
+            dfg.edges()[static_cast<std::size_t>(ei)];
+        const cgra::PeId a = placement[static_cast<std::size_t>(e.src)];
+        const cgra::PeId b = placement[static_cast<std::size_t>(e.dst)];
+        const std::int32_t d =
+            std::abs(arch.rowOf(a) - arch.rowOf(b)) +
+            std::abs(arch.colOf(a) - arch.colOf(b));
+        label_cost += static_cast<double>(d);
+        const std::int32_t reach =
+            labels_.slack[static_cast<std::size_t>(ei)] * span;
+        if (d > reach)
+            label_cost += 10.0 * static_cast<double>(d - reach);
+    }
+
+    // Only candidates the labels consider near-optimal are worth a real
+    // routability check (LISA's speed advantage over plain SA).
+    if (label_cost <= verifyThreshold_) {
+        mapper::MappingState state(dfg, mrrg, schedule);
+        for (dfg::NodeId v : schedule.order)
+            state.commitPlacement(
+                v, placement[static_cast<std::size_t>(v)]);
+        mapper::Router router(state);
+        std::int32_t failed = 0;
+        for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+            if (router.routeEdge(ei))
+                hops += state.edgeRoute(ei).hops;
+            else
+                ++failed;
+        }
+        all_routed = failed == 0;
+    }
+    return label_cost;
+}
+
+AttemptResult
+LisaMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                std::int32_t ii, const Deadline &deadline)
+{
+    auto schedule_opt =
+        dfg::moduloSchedule(dfg, ii, arch.memoryIssueCapacity());
+    if (!schedule_opt) {
+        AttemptResult result;
+        result.ii = ii;
+        return result;
+    }
+    labels_ = computeLisaLabels(dfg, *schedule_opt);
+
+    // Candidates within ~1.5 average hops per edge of the proximity
+    // optimum trigger a routability check.
+    verifyThreshold_ = 1.5 * static_cast<double>(dfg.edgeCount());
+
+    return SaMapper::map(dfg, arch, ii, deadline);
+}
+
+} // namespace mapzero::baselines

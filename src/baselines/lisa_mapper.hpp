@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LISA-style label-guided simulated annealing (Li et al., HPCA 2022).
+ *
+ * LISA trains a GNN (offline, on crossbar fabrics) to emit per-node labels
+ * that steer SA without evaluating routability on every perturbation. We
+ * substitute the trained GNN with deterministic graph analysis producing
+ * labels with the same information content (schedule depth, slack per
+ * dependency, communication affinity) - see DESIGN.md.
+ *
+ * Crucially, the label model bakes in single-cycle multi-hop reachability:
+ * it scores a candidate by Manhattan proximity, assuming any PE at
+ * Manhattan distance <= slack x (chip span) is reachable, which is true on
+ * HyCube's crossbar but wildly optimistic on plain mesh/1-hop fabrics.
+ * That reproduces the paper's observation that "LISA is only applicable
+ * to single-cycle multi-hop interconnect architectures ... and fails on
+ * other topologies" (§4.2).
+ */
+
+#ifndef MAPZERO_BASELINES_LISA_MAPPER_HPP
+#define MAPZERO_BASELINES_LISA_MAPPER_HPP
+
+#include "baselines/sa_mapper.hpp"
+
+namespace mapzero::baselines {
+
+/** Per-DFG labels the (simulated) GNN produces. */
+struct LisaLabels {
+    /** Scheduling-order label per node (topological index). */
+    std::vector<std::int32_t> order;
+    /** Per-edge slack: cycles available between producer and consumer. */
+    std::vector<std::int32_t> slack;
+};
+
+/** Derive labels from graph analysis. */
+LisaLabels computeLisaLabels(const dfg::Dfg &dfg,
+                             const dfg::Schedule &schedule);
+
+/** Label-guided SA. */
+class LisaMapper : public SaMapper
+{
+  public:
+    explicit LisaMapper(SaConfig config = {});
+
+    std::string name() const override { return "LISA"; }
+
+    AttemptResult map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                      std::int32_t ii,
+                      const Deadline &deadline) override;
+
+  protected:
+    double evaluate(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                    const cgra::Mrrg &mrrg,
+                    const dfg::Schedule &schedule,
+                    const std::vector<cgra::PeId> &placement,
+                    bool &all_routed, std::int32_t &hops) override;
+
+  private:
+    /** Labels of the DFG currently being mapped. */
+    LisaLabels labels_;
+    /** Label cost below which a full routing check is worth running. */
+    double verifyThreshold_ = 0.0;
+};
+
+} // namespace mapzero::baselines
+
+#endif // MAPZERO_BASELINES_LISA_MAPPER_HPP

@@ -1,0 +1,15 @@
+#include "baselines/mapper_base.hpp"
+
+namespace mapzero::baselines {
+
+std::vector<mapper::Placement>
+collectPlacements(const mapper::MappingState &state)
+{
+    std::vector<mapper::Placement> out;
+    out.reserve(static_cast<std::size_t>(state.dfg().nodeCount()));
+    for (dfg::NodeId v = 0; v < state.dfg().nodeCount(); ++v)
+        out.push_back(state.placement(v));
+    return out;
+}
+
+} // namespace mapzero::baselines

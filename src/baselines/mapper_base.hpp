@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Common interface of every compiler in the evaluation: given a DFG, an
+ * architecture, and a target II, attempt a complete placement + routing
+ * within a deadline. The MII sweep (start at MII, increment on failure)
+ * is driven by mapzero::Compiler on top of this interface.
+ */
+
+#ifndef MAPZERO_BASELINES_MAPPER_BASE_HPP
+#define MAPZERO_BASELINES_MAPPER_BASE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "cgra/architecture.hpp"
+#include "dfg/dfg.hpp"
+#include "mapper/mapping.hpp"
+
+namespace mapzero::baselines {
+
+/** Outcome of one fixed-II mapping attempt. */
+struct AttemptResult {
+    bool success = false;
+    /** II this attempt targeted. */
+    std::int32_t ii = 0;
+    /** Wall-clock seconds consumed. */
+    double seconds = 0.0;
+    /**
+     * Search effort: backtracks for tree searches, annealing steps for
+     * SA-family mappers (paper Figs. 9/10 compare these).
+     */
+    std::int64_t searchOps = 0;
+    /** True when the deadline expired before the search concluded. */
+    bool timedOut = false;
+    /** Final placements (meaningful when success). */
+    std::vector<mapper::Placement> placements;
+    /** Total committed route hops (mapping-quality detail). */
+    std::int32_t totalHops = 0;
+};
+
+/** A compiler that attempts a mapping at a fixed II. */
+class MapperBase
+{
+  public:
+    virtual ~MapperBase() = default;
+
+    /** Human-readable name used in benchmark tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attempt to map @p dfg onto @p arch at initiation interval @p ii.
+     * Implementations must poll @p deadline and give up when expired.
+     */
+    virtual AttemptResult map(const dfg::Dfg &dfg,
+                              const cgra::Architecture &arch,
+                              std::int32_t ii,
+                              const Deadline &deadline) = 0;
+};
+
+/** Extract per-node placements out of a MappingState. */
+std::vector<mapper::Placement> collectPlacements(
+    const mapper::MappingState &state);
+
+} // namespace mapzero::baselines
+
+#endif // MAPZERO_BASELINES_MAPPER_BASE_HPP

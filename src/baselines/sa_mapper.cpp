@@ -1,0 +1,230 @@
+#include "baselines/sa_mapper.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+
+namespace mapzero::baselines {
+
+namespace {
+
+/**
+ * Structural placement legality against an explicit assignment array
+ * (capability, function-slot exclusivity, ADRES row bus), with node
+ * @p ignore treated as unplaced (for move/swap proposals).
+ */
+bool
+legalFor(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+         const dfg::Schedule &schedule,
+         const std::vector<cgra::PeId> &placement, dfg::NodeId node,
+         cgra::PeId pe, dfg::NodeId ignore)
+{
+    const auto op = dfg.node(node).opcode;
+    if (!arch.pe(pe).supports(op))
+        return false;
+    const std::int32_t slot =
+        schedule.moduloTime[static_cast<std::size_t>(node)];
+    const bool node_is_mem =
+        dfg::opClass(op) == dfg::OpClass::Memory;
+    for (dfg::NodeId w = 0; w < dfg.nodeCount(); ++w) {
+        if (w == node || w == ignore)
+            continue;
+        const cgra::PeId wpe = placement[static_cast<std::size_t>(w)];
+        if (wpe < 0)
+            continue;
+        const std::int32_t wslot =
+            schedule.moduloTime[static_cast<std::size_t>(w)];
+        if (wslot != slot)
+            continue;
+        if (wpe == pe)
+            return false;
+        if (arch.rowSharedMemoryBus() && node_is_mem &&
+            dfg::opClass(dfg.node(w).opcode) == dfg::OpClass::Memory &&
+            arch.rowOf(wpe) == arch.rowOf(pe)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+SaMapper::SaMapper(SaConfig config)
+    : config_(config)
+{}
+
+double
+SaMapper::evaluate(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                   const cgra::Mrrg &mrrg, const dfg::Schedule &schedule,
+                   const std::vector<cgra::PeId> &placement,
+                   bool &all_routed, std::int32_t &hops)
+{
+    (void)arch;
+    mapper::MappingState state(dfg, mrrg, schedule);
+    for (dfg::NodeId v : schedule.order)
+        state.commitPlacement(v, placement[static_cast<std::size_t>(v)]);
+
+    mapper::Router router(state);
+    std::int32_t failed = 0;
+    hops = 0;
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        if (router.routeEdge(ei))
+            hops += state.edgeRoute(ei).hops;
+        else
+            ++failed;
+    }
+    all_routed = failed == 0;
+    return config_.failureCost * static_cast<double>(failed) +
+           config_.hopCost * static_cast<double>(hops);
+}
+
+AttemptResult
+SaMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+              std::int32_t ii, const Deadline &deadline)
+{
+    AttemptResult result;
+    result.ii = ii;
+    Timer timer;
+
+    auto schedule_opt =
+        dfg::moduloSchedule(dfg, ii, arch.memoryIssueCapacity());
+    if (!schedule_opt) {
+        result.seconds = timer.seconds();
+        return result;
+    }
+    const dfg::Schedule schedule = std::move(*schedule_opt);
+    const cgra::Mrrg mrrg(arch, ii);
+    Rng rng(config_.seed);
+
+    const std::int32_t n = dfg.nodeCount();
+    const std::int32_t pe_count = arch.peCount();
+
+    auto random_initial =
+        [&](std::vector<cgra::PeId> &placement) -> bool {
+        placement.assign(static_cast<std::size_t>(n), -1);
+        for (dfg::NodeId v : schedule.order) {
+            std::vector<cgra::PeId> options;
+            for (cgra::PeId pe = 0; pe < pe_count; ++pe)
+                if (legalFor(dfg, arch, schedule, placement, v, pe, -1))
+                    options.push_back(pe);
+            if (options.empty())
+                return false;
+            placement[static_cast<std::size_t>(v)] =
+                options[rng.uniformInt(options.size())];
+        }
+        return true;
+    };
+
+    for (std::int32_t restart = 0;
+         restart <= config_.maxRestarts && !deadline.expired();
+         ++restart) {
+        std::vector<cgra::PeId> placement;
+        if (!random_initial(placement)) {
+            // Not even a structurally legal assignment exists (e.g. more
+            // ops in one modulo slot than PEs); higher II is required.
+            result.seconds = timer.seconds();
+            return result;
+        }
+
+        bool routed = false;
+        std::int32_t hops = 0;
+        double cost = evaluate(dfg, arch, mrrg, schedule, placement,
+                               routed, hops);
+        if (routed) {
+            result.success = true;
+            result.totalHops = hops;
+            result.placements.reserve(static_cast<std::size_t>(n));
+            for (dfg::NodeId v = 0; v < n; ++v)
+                result.placements.push_back(mapper::Placement{
+                    placement[static_cast<std::size_t>(v)],
+                    schedule.time[static_cast<std::size_t>(v)]});
+            result.seconds = timer.seconds();
+            return result;
+        }
+
+        double temperature = config_.initialTemperature;
+        while (temperature > config_.minTemperature) {
+            if (deadline.expired()) {
+                result.timedOut = true;
+                result.seconds = timer.seconds();
+                return result;
+            }
+            ++result.searchOps; // one annealing step
+            for (std::int32_t k = 0; k < config_.perturbationsPerStep;
+                 ++k) {
+                // Propose a move (or a swap when the target is busy).
+                const auto v = static_cast<dfg::NodeId>(
+                    rng.uniformInt(static_cast<std::uint64_t>(n)));
+                const auto pe = static_cast<cgra::PeId>(rng.uniformInt(
+                    static_cast<std::uint64_t>(pe_count)));
+                std::vector<cgra::PeId> candidate = placement;
+
+                const std::int32_t vslot = schedule.moduloTime[
+                    static_cast<std::size_t>(v)];
+                dfg::NodeId occupant = -1;
+                for (dfg::NodeId w = 0; w < n; ++w) {
+                    if (w != v &&
+                        placement[static_cast<std::size_t>(w)] == pe &&
+                        schedule.moduloTime[
+                            static_cast<std::size_t>(w)] == vslot) {
+                        occupant = w;
+                        break;
+                    }
+                }
+                if (occupant < 0) {
+                    if (!legalFor(dfg, arch, schedule, placement, v, pe,
+                                  -1))
+                        continue;
+                    candidate[static_cast<std::size_t>(v)] = pe;
+                } else {
+                    const cgra::PeId vpe =
+                        placement[static_cast<std::size_t>(v)];
+                    if (!legalFor(dfg, arch, schedule, placement, v, pe,
+                                  occupant) ||
+                        !legalFor(dfg, arch, schedule, placement,
+                                  occupant, vpe, v)) {
+                        continue;
+                    }
+                    candidate[static_cast<std::size_t>(v)] = pe;
+                    candidate[static_cast<std::size_t>(occupant)] = vpe;
+                }
+
+                bool cand_routed = false;
+                std::int32_t cand_hops = 0;
+                const double cand_cost =
+                    evaluate(dfg, arch, mrrg, schedule, candidate,
+                             cand_routed, cand_hops);
+                const double delta = cand_cost - cost;
+                if (delta < 0.0 ||
+                    rng.uniformReal() < std::exp(-delta / temperature)) {
+                    placement = std::move(candidate);
+                    cost = cand_cost;
+                    if (cand_routed) {
+                        result.success = true;
+                        result.totalHops = cand_hops;
+                        result.placements.reserve(
+                            static_cast<std::size_t>(n));
+                        for (dfg::NodeId node = 0; node < n; ++node)
+                            result.placements.push_back(
+                                mapper::Placement{
+                                    placement[static_cast<std::size_t>(
+                                        node)],
+                                    schedule.time[
+                                        static_cast<std::size_t>(node)]});
+                        result.seconds = timer.seconds();
+                        return result;
+                    }
+                }
+            }
+            temperature *= config_.cooling;
+        }
+    }
+
+    result.timedOut = deadline.expired();
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mapzero::baselines

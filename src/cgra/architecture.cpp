@@ -1,0 +1,270 @@
+#include "cgra/architecture.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mapzero::cgra {
+
+bool
+PeConfig::supports(dfg::Opcode op) const
+{
+    switch (dfg::opClass(op)) {
+      case dfg::OpClass::Arithmetic: return arithmetic;
+      case dfg::OpClass::Logic:      return logic;
+      case dfg::OpClass::Memory:     return memory;
+    }
+    panic("unknown op class");
+}
+
+Architecture::Architecture(std::string name, std::int32_t rows,
+                           std::int32_t cols, std::uint8_t links)
+    : name_(std::move(name)), rows_(rows), cols_(cols), links_(links)
+{
+    if (rows < 1 || cols < 1)
+        fatal("architecture grid must be at least 1x1");
+    pes_.resize(static_cast<std::size_t>(peCount()));
+    buildNeighbors();
+}
+
+bool
+Architecture::hasLink(Interconnect style) const
+{
+    return (links_ & static_cast<std::uint8_t>(style)) != 0;
+}
+
+const PeConfig &
+Architecture::pe(PeId id) const
+{
+    return pes_[static_cast<std::size_t>(id)];
+}
+
+PeConfig &
+Architecture::pe(PeId id)
+{
+    return pes_[static_cast<std::size_t>(id)];
+}
+
+void
+Architecture::setRowSharedMemoryBus(bool shared)
+{
+    rowSharedMemoryBus_ = shared;
+}
+
+std::int32_t
+Architecture::memoryPeCount() const
+{
+    return static_cast<std::int32_t>(
+        std::count_if(pes_.begin(), pes_.end(),
+                      [](const PeConfig &p) { return p.memory; }));
+}
+
+std::int32_t
+Architecture::memoryIssueCapacity() const
+{
+    if (!rowSharedMemoryBus_)
+        return memoryPeCount();
+    // One memory issue per row per cycle on a shared bus.
+    std::int32_t rows_with_mem = 0;
+    for (std::int32_t r = 0; r < rows_; ++r) {
+        for (std::int32_t c = 0; c < cols_; ++c) {
+            if (pe(peAt(r, c)).memory) {
+                ++rows_with_mem;
+                break;
+            }
+        }
+    }
+    return rows_with_mem;
+}
+
+const std::vector<PeId> &
+Architecture::neighborsOut(PeId pe) const
+{
+    return neighborsOut_[static_cast<std::size_t>(pe)];
+}
+
+const std::vector<PeId> &
+Architecture::neighborsIn(PeId pe) const
+{
+    return neighborsIn_[static_cast<std::size_t>(pe)];
+}
+
+std::vector<std::pair<PeId, PeId>>
+Architecture::linkList() const
+{
+    std::vector<std::pair<PeId, PeId>> out;
+    for (PeId p = 0; p < peCount(); ++p)
+        for (PeId q : neighborsOut(p))
+            out.emplace_back(p, q);
+    return out;
+}
+
+bool
+Architecture::connected(PeId src, PeId dst) const
+{
+    const auto &nbrs = neighborsOut(src);
+    return std::find(nbrs.begin(), nbrs.end(), dst) != nbrs.end();
+}
+
+void
+Architecture::addLink(PeId src, PeId dst)
+{
+    auto &out = neighborsOut_[static_cast<std::size_t>(src)];
+    if (std::find(out.begin(), out.end(), dst) != out.end())
+        return;
+    out.push_back(dst);
+    neighborsIn_[static_cast<std::size_t>(dst)].push_back(src);
+}
+
+void
+Architecture::buildNeighbors()
+{
+    neighborsOut_.assign(static_cast<std::size_t>(peCount()), {});
+    neighborsIn_.assign(static_cast<std::size_t>(peCount()), {});
+
+    const bool torus = hasLink(Interconnect::Toroidal);
+    auto wrap = [](std::int32_t v, std::int32_t m) {
+        return ((v % m) + m) % m;
+    };
+
+    // The crossbar fabric is physically a mesh of crossbar switches; its
+    // single-cycle multi-hop behaviour is a property of routing, so its
+    // one-hop adjacency is the mesh adjacency.
+    const bool mesh = hasLink(Interconnect::Mesh) ||
+                      hasLink(Interconnect::Crossbar);
+
+    for (std::int32_t r = 0; r < rows_; ++r) {
+        for (std::int32_t c = 0; c < cols_; ++c) {
+            const PeId p = peAt(r, c);
+            auto try_add = [&](std::int32_t nr, std::int32_t nc) {
+                if (torus) {
+                    nr = wrap(nr, rows_);
+                    nc = wrap(nc, cols_);
+                } else if (nr < 0 || nr >= rows_ || nc < 0 ||
+                           nc >= cols_) {
+                    return;
+                }
+                const PeId q = peAt(nr, nc);
+                if (q != p)
+                    addLink(p, q);
+            };
+
+            if (mesh) {
+                try_add(r - 1, c);
+                try_add(r + 1, c);
+                try_add(r, c - 1);
+                try_add(r, c + 1);
+            }
+            if (hasLink(Interconnect::OneHop)) {
+                try_add(r - 2, c);
+                try_add(r + 2, c);
+                try_add(r, c - 2);
+                try_add(r, c + 2);
+            }
+            if (hasLink(Interconnect::Diagonal)) {
+                try_add(r - 1, c - 1);
+                try_add(r - 1, c + 1);
+                try_add(r + 1, c - 1);
+                try_add(r + 1, c + 1);
+            }
+        }
+    }
+}
+
+Architecture
+Architecture::hrea()
+{
+    return Architecture(
+        "HReA", 4, 4,
+        linkMask({Interconnect::Mesh, Interconnect::OneHop,
+                  Interconnect::Diagonal, Interconnect::Toroidal}));
+}
+
+Architecture
+Architecture::morphosys()
+{
+    return Architecture(
+        "MorphoSys", 8, 8,
+        linkMask({Interconnect::Mesh, Interconnect::OneHop,
+                  Interconnect::Toroidal}));
+}
+
+Architecture
+Architecture::adres()
+{
+    Architecture a(
+        "ADRES", 4, 4,
+        linkMask({Interconnect::Mesh, Interconnect::OneHop,
+                  Interconnect::Toroidal}));
+    a.setRowSharedMemoryBus(true);
+    return a;
+}
+
+Architecture
+Architecture::hycube()
+{
+    return Architecture("HyCube", 4, 4,
+                        linkMask({Interconnect::Crossbar}));
+}
+
+Architecture
+Architecture::baseline8()
+{
+    return Architecture(
+        "8x8 baseline", 8, 8,
+        linkMask({Interconnect::Mesh, Interconnect::OneHop,
+                  Interconnect::Diagonal}));
+}
+
+Architecture
+Architecture::baseline16()
+{
+    return Architecture(
+        "16x16 baseline", 16, 16,
+        linkMask({Interconnect::Mesh, Interconnect::OneHop,
+                  Interconnect::Diagonal, Interconnect::Toroidal}));
+}
+
+Architecture
+Architecture::heterogeneous()
+{
+    // Fig. 14: a 4x4 mesh fabric where PEs support different operation
+    // subsets. The published figure labels per-PE op sets; this preset
+    // reproduces its character: one column of memory-capable PEs, a
+    // checkerboard of arithmetic-only and logic-only PEs, and two
+    // fully-general corners.
+    Architecture a("heterogeneous", 4, 4,
+                   linkMask({Interconnect::Mesh, Interconnect::OneHop}));
+    for (std::int32_t r = 0; r < 4; ++r) {
+        for (std::int32_t c = 0; c < 4; ++c) {
+            PeConfig &p = a.pe(a.peAt(r, c));
+            if (c == 0) {
+                // Memory column: loads/stores plus arithmetic.
+                p.arithmetic = true;
+                p.logic = false;
+                p.memory = true;
+            } else if ((r + c) % 2 == 0) {
+                p.arithmetic = true;
+                p.logic = false;
+                p.memory = false;
+            } else {
+                p.arithmetic = true;
+                p.logic = true;
+                p.memory = false;
+            }
+        }
+    }
+    // Fully-general corners on the memory-free side.
+    a.pe(a.peAt(0, 3)) = PeConfig{};
+    a.pe(a.peAt(3, 3)) = PeConfig{};
+    return a;
+}
+
+std::vector<Architecture>
+Architecture::table1Presets()
+{
+    return {hrea(), morphosys(), adres(), baseline8(), baseline16(),
+            hycube()};
+}
+
+} // namespace mapzero::cgra

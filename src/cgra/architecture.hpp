@@ -1,0 +1,152 @@
+/**
+ * @file
+ * CGRA architecture model: PE capabilities, interconnect topologies, and
+ * the preset fabrics of the paper's evaluation (Table 1 / Fig. 7 / Fig. 14).
+ *
+ * A PE executes at most one operation per cycle and owns one output
+ * register. Capabilities follow the paper's hardware feature vector:
+ * booleans for logical / arithmetic / memory-access support (§3.2.2), plus
+ * the per-PE unit inventory of §4.1.1 (five constant units, two load
+ * units, one ALU, one store unit, one output register).
+ *
+ * Interconnect styles (Fig. 7): mesh, 1-hop (skip-one), diagonal,
+ * toroidal wrap, and the HyCube-style circuit-switched crossbar where a
+ * value may traverse several crossbar hops within a single cycle.
+ */
+
+#ifndef MAPZERO_CGRA_ARCHITECTURE_HPP
+#define MAPZERO_CGRA_ARCHITECTURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/opcode.hpp"
+
+namespace mapzero::cgra {
+
+/** PE index within an Architecture (row-major). */
+using PeId = std::int32_t;
+
+/** Interconnect style bit flags (an architecture combines several). */
+enum class Interconnect : std::uint8_t {
+    Mesh     = 1 << 0, ///< 4-neighbor N/E/S/W
+    OneHop   = 1 << 1, ///< skip-one links in the four cardinal directions
+    Diagonal = 1 << 2, ///< 4 diagonal neighbors
+    Toroidal = 1 << 3, ///< wrap-around for the cardinal links
+    Crossbar = 1 << 4, ///< circuit-switched single-cycle multi-hop (HyCube)
+};
+
+/** Per-PE static configuration. */
+struct PeConfig {
+    bool arithmetic = true;
+    bool logic = true;
+    bool memory = true;
+    /** Unit inventory (paper §4.1.1). */
+    std::int32_t constUnits = 5;
+    std::int32_t loadUnits = 2;
+    std::int32_t aluUnits = 1;
+    std::int32_t storeUnits = 1;
+    std::int32_t outputRegs = 1;
+
+    /** Whether this PE can execute @p op. */
+    bool supports(dfg::Opcode op) const;
+};
+
+/** A rectangular CGRA fabric. */
+class Architecture
+{
+  public:
+    /**
+     * @param name preset / fabric name used in reports
+     * @param rows grid height
+     * @param cols grid width
+     * @param links OR-combination of Interconnect flags
+     */
+    Architecture(std::string name, std::int32_t rows, std::int32_t cols,
+                 std::uint8_t links);
+
+    const std::string &name() const { return name_; }
+    std::int32_t rows() const { return rows_; }
+    std::int32_t cols() const { return cols_; }
+    std::int32_t peCount() const { return rows_ * cols_; }
+
+    PeId peAt(std::int32_t r, std::int32_t c) const { return r * cols_ + c; }
+    std::int32_t rowOf(PeId pe) const { return pe / cols_; }
+    std::int32_t colOf(PeId pe) const { return pe % cols_; }
+
+    bool hasLink(Interconnect style) const;
+    /** True for HyCube-style fabrics (decoupled placement & routing). */
+    bool isMultiHop() const { return hasLink(Interconnect::Crossbar); }
+
+    const PeConfig &pe(PeId id) const;
+    PeConfig &pe(PeId id);
+
+    /**
+     * ADRES-style shared memory bus: when set, all PEs of a row share one
+     * memory port, so at most one load/store may issue per row per cycle.
+     */
+    bool rowSharedMemoryBus() const { return rowSharedMemoryBus_; }
+    void setRowSharedMemoryBus(bool shared);
+
+    /** PEs able to execute memory operations (for ResMII). */
+    std::int32_t memoryPeCount() const;
+
+    /**
+     * Effective per-cycle memory-issue capacity (rows when the bus is
+     * shared, memory-capable PEs otherwise); used by ResMII.
+     */
+    std::int32_t memoryIssueCapacity() const;
+
+    /** Directed neighbor PEs reachable in one hop (single-cycle links). */
+    const std::vector<PeId> &neighborsOut(PeId pe) const;
+    /** Directed PEs that can reach @p pe in one hop. */
+    const std::vector<PeId> &neighborsIn(PeId pe) const;
+
+    /** All directed single-hop links as (src, dst) pairs. */
+    std::vector<std::pair<PeId, PeId>> linkList() const;
+
+    /** Whether a directed link src -> dst exists. */
+    bool connected(PeId src, PeId dst) const;
+
+    /// @name Paper presets (Table 1, Fig. 14)
+    /// @{
+    static Architecture hrea();        ///< 4x4, mesh+1hop+diag+toroidal
+    static Architecture morphosys();   ///< 8x8, mesh+1hop+toroidal
+    static Architecture adres();       ///< 4x4, mesh+1hop+toroidal, row bus
+    static Architecture hycube();      ///< 4x4, crossbar
+    static Architecture baseline8();   ///< 8x8, mesh+1hop+diag
+    static Architecture baseline16();  ///< 16x16, mesh+1hop+diag+toroidal
+    static Architecture heterogeneous(); ///< Fig. 14 4x4 mixed-function
+    /// @}
+
+    /** All Table-1 presets (excludes heterogeneous). */
+    static std::vector<Architecture> table1Presets();
+
+  private:
+    void buildNeighbors();
+    void addLink(PeId src, PeId dst);
+
+    std::string name_;
+    std::int32_t rows_;
+    std::int32_t cols_;
+    std::uint8_t links_;
+    bool rowSharedMemoryBus_ = false;
+    std::vector<PeConfig> pes_;
+    std::vector<std::vector<PeId>> neighborsOut_;
+    std::vector<std::vector<PeId>> neighborsIn_;
+};
+
+/** Combine interconnect flags. */
+constexpr std::uint8_t
+linkMask(std::initializer_list<Interconnect> styles)
+{
+    std::uint8_t m = 0;
+    for (Interconnect s : styles)
+        m |= static_cast<std::uint8_t>(s);
+    return m;
+}
+
+} // namespace mapzero::cgra
+
+#endif // MAPZERO_CGRA_ARCHITECTURE_HPP

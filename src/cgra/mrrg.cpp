@@ -1,0 +1,41 @@
+#include "cgra/mrrg.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::cgra {
+
+namespace {
+
+std::int64_t
+pairKey(PeId src, PeId dst)
+{
+    return (static_cast<std::int64_t>(src) << 32) |
+           static_cast<std::uint32_t>(dst);
+}
+
+} // namespace
+
+Mrrg::Mrrg(const Architecture &arch, std::int32_t ii)
+    : arch_(&arch), ii_(ii)
+{
+    if (ii < 1)
+        fatal("Mrrg: II must be >= 1");
+    links_ = arch.linkList();
+    linksOut_.assign(static_cast<std::size_t>(arch.peCount()), {});
+    linksIn_.assign(static_cast<std::size_t>(arch.peCount()), {});
+    for (LinkId l = 0; l < linkCount(); ++l) {
+        const auto &[src, dst] = links_[static_cast<std::size_t>(l)];
+        linksOut_[static_cast<std::size_t>(src)].push_back(l);
+        linksIn_[static_cast<std::size_t>(dst)].push_back(l);
+        linkLookup_.emplace(pairKey(src, dst), l);
+    }
+}
+
+LinkId
+Mrrg::linkBetween(PeId src, PeId dst) const
+{
+    const auto it = linkLookup_.find(pairKey(src, dst));
+    return it == linkLookup_.end() ? -1 : it->second;
+}
+
+} // namespace mapzero::cgra

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Modulo routing resource graph (MRRG) indexing.
+ *
+ * For temporal mapping with initiation interval II, every physical
+ * resource is replicated per modulo time slice (Mei et al., DRESC). The
+ * resources we model per (PE, slot):
+ *
+ *  - one *function* slot: the operation issued on the PE's ALU,
+ *  - one *register* slot: the value held in the PE's output register
+ *    (used both by the PE's own result and by values routed through),
+ *
+ * and per (directed link, slot) one *wire* slot, which is what the
+ * HyCube-style crossbar router allocates for same-cycle multi-hop paths.
+ *
+ * The Mrrg itself is immutable indexing; occupancy lives in the mapper's
+ * RoutingState so search algorithms can snapshot/rollback cheaply.
+ */
+
+#ifndef MAPZERO_CGRA_MRRG_HPP
+#define MAPZERO_CGRA_MRRG_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cgra/architecture.hpp"
+
+namespace mapzero::cgra {
+
+/** Index of a directed link in an Architecture's linkList(). */
+using LinkId = std::int32_t;
+
+/** Immutable modulo-resource indexing for (architecture, II). */
+class Mrrg
+{
+  public:
+    Mrrg(const Architecture &arch, std::int32_t ii);
+
+    const Architecture &arch() const { return *arch_; }
+    std::int32_t ii() const { return ii_; }
+    std::int32_t peCount() const { return arch_->peCount(); }
+    std::int32_t linkCount() const
+    {
+        return static_cast<std::int32_t>(links_.size());
+    }
+
+    /** Modulo slot of an absolute time. */
+    std::int32_t slotOf(std::int32_t time) const
+    {
+        return ((time % ii_) + ii_) % ii_;
+    }
+
+    /** Flat index of the function resource (pe, slot). */
+    std::int32_t funcIndex(PeId pe, std::int32_t slot) const
+    {
+        return pe * ii_ + slot;
+    }
+
+    /** Flat index of the register resource (pe, slot). */
+    std::int32_t regIndex(PeId pe, std::int32_t slot) const
+    {
+        return pe * ii_ + slot;
+    }
+
+    /** Flat index of the wire resource (link, slot). */
+    std::int32_t wireIndex(LinkId link, std::int32_t slot) const
+    {
+        return link * ii_ + slot;
+    }
+
+    std::int32_t funcResourceCount() const { return peCount() * ii_; }
+    std::int32_t regResourceCount() const { return peCount() * ii_; }
+    std::int32_t wireResourceCount() const { return linkCount() * ii_; }
+
+    /** The (src, dst) endpoints of @p link. */
+    const std::pair<PeId, PeId> &link(LinkId id) const
+    {
+        return links_[static_cast<std::size_t>(id)];
+    }
+
+    /** Directed link id src -> dst, or -1 when absent. */
+    LinkId linkBetween(PeId src, PeId dst) const;
+
+    /** Link ids leaving @p pe. */
+    const std::vector<LinkId> &linksOut(PeId pe) const
+    {
+        return linksOut_[static_cast<std::size_t>(pe)];
+    }
+
+    /** Link ids entering @p pe. */
+    const std::vector<LinkId> &linksIn(PeId pe) const
+    {
+        return linksIn_[static_cast<std::size_t>(pe)];
+    }
+
+  private:
+    const Architecture *arch_;
+    std::int32_t ii_;
+    std::vector<std::pair<PeId, PeId>> links_;
+    std::vector<std::vector<LinkId>> linksOut_;
+    std::vector<std::vector<LinkId>> linksIn_;
+    std::unordered_map<std::int64_t, LinkId> linkLookup_;
+};
+
+} // namespace mapzero::cgra
+
+#endif // MAPZERO_CGRA_MRRG_HPP

@@ -1,0 +1,195 @@
+#include "cgra/symmetry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace mapzero::cgra {
+
+namespace {
+
+bool
+sameConfig(const PeConfig &a, const PeConfig &b)
+{
+    return a.arithmetic == b.arithmetic && a.logic == b.logic &&
+           a.memory == b.memory && a.constUnits == b.constUnits &&
+           a.loadUnits == b.loadUnits && a.aluUnits == b.aluUnits &&
+           a.storeUnits == b.storeUnits && a.outputRegs == b.outputRegs;
+}
+
+/** Build a permutation from a coordinate map; empty when out of shape. */
+PePermutation
+fromCoordMap(const Architecture &arch,
+             std::int32_t (*row_fn)(std::int32_t, std::int32_t,
+                                    std::int32_t, std::int32_t),
+             std::int32_t (*col_fn)(std::int32_t, std::int32_t,
+                                    std::int32_t, std::int32_t))
+{
+    const std::int32_t rows = arch.rows(), cols = arch.cols();
+    PePermutation perm(static_cast<std::size_t>(arch.peCount()));
+    for (std::int32_t r = 0; r < rows; ++r) {
+        for (std::int32_t c = 0; c < cols; ++c) {
+            const std::int32_t nr = row_fn(r, c, rows, cols);
+            const std::int32_t nc = col_fn(r, c, rows, cols);
+            if (nr < 0 || nr >= rows || nc < 0 || nc >= cols)
+                return {};
+            perm[static_cast<std::size_t>(arch.peAt(r, c))] =
+                arch.peAt(nr, nc);
+        }
+    }
+    return perm;
+}
+
+} // namespace
+
+bool
+isAutomorphism(const Architecture &arch, const PePermutation &perm)
+{
+    const auto n = static_cast<std::size_t>(arch.peCount());
+    if (perm.size() != n)
+        return false;
+
+    // Must be a bijection.
+    std::vector<bool> hit(n, false);
+    for (PeId img : perm) {
+        if (img < 0 || img >= arch.peCount() ||
+            hit[static_cast<std::size_t>(img)])
+            return false;
+        hit[static_cast<std::size_t>(img)] = true;
+    }
+
+    // Capabilities preserved.
+    for (PeId p = 0; p < arch.peCount(); ++p)
+        if (!sameConfig(arch.pe(p),
+                        arch.pe(perm[static_cast<std::size_t>(p)])))
+            return false;
+
+    // Link structure preserved in both directions (same link count and
+    // bijection implies preservation is equivalence).
+    for (PeId p = 0; p < arch.peCount(); ++p) {
+        for (PeId q : arch.neighborsOut(p)) {
+            if (!arch.connected(perm[static_cast<std::size_t>(p)],
+                                perm[static_cast<std::size_t>(q)]))
+                return false;
+        }
+    }
+
+    // Row-bus grouping preserved: PEs of one row must land in one row.
+    if (arch.rowSharedMemoryBus()) {
+        for (std::int32_t r = 0; r < arch.rows(); ++r) {
+            const std::int32_t target_row = arch.rowOf(
+                perm[static_cast<std::size_t>(arch.peAt(r, 0))]);
+            for (std::int32_t c = 1; c < arch.cols(); ++c) {
+                if (arch.rowOf(perm[static_cast<std::size_t>(
+                        arch.peAt(r, c))]) != target_row)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<PePermutation>
+gridSymmetries(const Architecture &arch)
+{
+    std::vector<PePermutation> candidates;
+
+    // Identity.
+    PePermutation identity(static_cast<std::size_t>(arch.peCount()));
+    for (PeId p = 0; p < arch.peCount(); ++p)
+        identity[static_cast<std::size_t>(p)] = p;
+    candidates.push_back(identity);
+
+    // Dihedral candidates.
+    using Fn = std::int32_t (*)(std::int32_t, std::int32_t, std::int32_t,
+                                std::int32_t);
+    struct Dihedral { Fn row; Fn col; };
+    const Dihedral dihedrals[] = {
+        // horizontal flip (mirror columns)
+        {[](std::int32_t r, std::int32_t, std::int32_t,
+            std::int32_t) { return r; },
+         [](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t cols) { return cols - 1 - c; }},
+        // vertical flip (mirror rows)
+        {[](std::int32_t r, std::int32_t, std::int32_t rows,
+            std::int32_t) { return rows - 1 - r; },
+         [](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t) { return c; }},
+        // 180-degree rotation
+        {[](std::int32_t r, std::int32_t, std::int32_t rows,
+            std::int32_t) { return rows - 1 - r; },
+         [](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t cols) { return cols - 1 - c; }},
+        // transpose (requires square)
+        {[](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t) { return c; },
+         [](std::int32_t r, std::int32_t, std::int32_t,
+            std::int32_t) { return r; }},
+        // 90-degree rotation (requires square)
+        {[](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t) { return c; },
+         [](std::int32_t r, std::int32_t, std::int32_t rows,
+            std::int32_t) { return rows - 1 - r; }},
+        // 270-degree rotation (requires square)
+        {[](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t cols) { return cols - 1 - c; },
+         [](std::int32_t r, std::int32_t, std::int32_t,
+            std::int32_t) { return r; }},
+        // anti-transpose (requires square)
+        {[](std::int32_t, std::int32_t c, std::int32_t,
+            std::int32_t cols) { return cols - 1 - c; },
+         [](std::int32_t r, std::int32_t, std::int32_t rows,
+            std::int32_t) { return rows - 1 - r; }},
+    };
+    for (const auto &d : dihedrals) {
+        // fromCoordMap rejects shape-invalid transforms (e.g. transpose
+        // of a non-square grid) by returning an empty permutation.
+        PePermutation p = fromCoordMap(arch, d.row, d.col);
+        if (!p.empty())
+            candidates.push_back(std::move(p));
+    }
+
+    // Toroidal translations.
+    if (arch.hasLink(Interconnect::Toroidal)) {
+        for (std::int32_t dr = 0; dr < arch.rows(); ++dr) {
+            for (std::int32_t dc = 0; dc < arch.cols(); ++dc) {
+                if (dr == 0 && dc == 0)
+                    continue;
+                PePermutation p(
+                    static_cast<std::size_t>(arch.peCount()));
+                for (std::int32_t r = 0; r < arch.rows(); ++r)
+                    for (std::int32_t c = 0; c < arch.cols(); ++c)
+                        p[static_cast<std::size_t>(arch.peAt(r, c))] =
+                            arch.peAt((r + dr) % arch.rows(),
+                                      (c + dc) % arch.cols());
+                candidates.push_back(std::move(p));
+            }
+        }
+    }
+
+    std::vector<PePermutation> valid;
+    std::set<PePermutation> seen;
+    for (auto &p : candidates) {
+        if (seen.count(p))
+            continue;
+        if (isAutomorphism(arch, p)) {
+            seen.insert(p);
+            valid.push_back(std::move(p));
+        }
+    }
+    return valid;
+}
+
+PePermutation
+compose(const PePermutation &outer, const PePermutation &inner)
+{
+    if (outer.size() != inner.size())
+        panic("compose: permutation size mismatch");
+    PePermutation out(inner.size());
+    for (std::size_t i = 0; i < inner.size(); ++i)
+        out[i] = outer[static_cast<std::size_t>(inner[i])];
+    return out;
+}
+
+} // namespace mapzero::cgra

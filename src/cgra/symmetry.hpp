@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CGRA symmetry analysis for training-data augmentation.
+ *
+ * The paper augments self-play data "by analyzing the symmetry of the
+ * target CGRA [and applying] flip, shift, and rotate" to searched mappings
+ * (§3.6.1). A symmetry here is a PE permutation that is an automorphism of
+ * the fabric: it preserves the link structure, per-PE capabilities, and
+ * (for ADRES) the row-bus grouping. Applying such a permutation to a valid
+ * mapping yields another valid mapping, so each one multiplies the
+ * training set.
+ */
+
+#ifndef MAPZERO_CGRA_SYMMETRY_HPP
+#define MAPZERO_CGRA_SYMMETRY_HPP
+
+#include <vector>
+
+#include "cgra/architecture.hpp"
+
+namespace mapzero::cgra {
+
+/** PE permutation: image[pe] is where pe maps to. */
+using PePermutation = std::vector<PeId>;
+
+/** Whether @p perm is an automorphism of @p arch. */
+bool isAutomorphism(const Architecture &arch, const PePermutation &perm);
+
+/**
+ * All valid symmetries among the dihedral transforms of the grid
+ * (rotations by 90/180/270 where the grid is square, horizontal and
+ * vertical flips, transposes) plus toroidal translations when every
+ * cardinal link wraps. The identity is always first.
+ */
+std::vector<PePermutation> gridSymmetries(const Architecture &arch);
+
+/** Compose two permutations: result[p] = outer[inner[p]]. */
+PePermutation compose(const PePermutation &outer,
+                      const PePermutation &inner);
+
+} // namespace mapzero::cgra
+
+#endif // MAPZERO_CGRA_SYMMETRY_HPP

@@ -1,0 +1,76 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <stdexcept>
+
+namespace mapzero {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off:   return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load();
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(globalLevel.load()))
+        return;
+    std::ostream &os =
+        level >= LogLevel::Warn ? std::cerr : std::cout;
+    os << "[mapzero:" << levelName(level) << "] " << message << "\n";
+}
+
+void
+inform(const std::string &message)
+{
+    logMessage(LogLevel::Info, message);
+}
+
+void
+warn(const std::string &message)
+{
+    logMessage(LogLevel::Warn, message);
+}
+
+void
+fatal(const std::string &message)
+{
+    logMessage(LogLevel::Error, message);
+    throw std::runtime_error("mapzero fatal: " + message);
+}
+
+void
+panic(const std::string &message)
+{
+    logMessage(LogLevel::Error, "PANIC: " + message);
+    throw std::logic_error("mapzero panic: " + message);
+}
+
+} // namespace mapzero

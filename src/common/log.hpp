@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal leveled logging for the MapZero library.
+ *
+ * Follows the gem5 split between user-facing diagnostics (inform/warn/fatal)
+ * and internal invariant violations (panic). Logging is stateless apart from
+ * a global threshold so library code can emit progress without binding to a
+ * particular front end.
+ */
+
+#ifndef MAPZERO_COMMON_LOG_HPP
+#define MAPZERO_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace mapzero {
+
+/** Severity of a log record, ordered from chattiest to most severe. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global threshold; records below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global threshold. */
+LogLevel logLevel();
+
+/** Emit a record at @p level (no-op when below threshold). */
+void logMessage(LogLevel level, const std::string &message);
+
+/** Informative progress message for the user. */
+void inform(const std::string &message);
+
+/** Something is off but the run can continue. */
+void warn(const std::string &message);
+
+/**
+ * Unrecoverable user-level error (bad configuration, impossible request).
+ * Throws std::runtime_error so callers/tests can observe it.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Internal invariant violation - a bug in this library.
+ * Throws std::logic_error.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** printf-free formatting helper: cat("x=", 3, " y=", 4.5). */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    ((void)(os << ... << args));
+    return os.str();
+}
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_LOG_HPP

@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mapzero {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire-style rejection-free-enough bounded draw: for our experiment
+    // sizes the modulo bias of a 64-bit draw is negligible, but we still use
+    // multiply-shift which is unbiased for bounds far below 2^64.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+        uniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+double
+Rng::normal()
+{
+    if (hasSpareNormal_) {
+        hasSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniformReal();
+    } while (u1 <= 1e-300);
+    const double u2 = uniformReal();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = r * std::sin(theta);
+    hasSpareNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformReal() < p;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    assert(total > 0.0);
+    double r = uniformReal() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xD1B54A32D192ED03ULL);
+}
+
+} // namespace mapzero

@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mapzero {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0 && "geoMean requires strictly positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    assert(!values.empty());
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    assert(!values.empty());
+    return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<double>
+emaSmooth(const std::vector<double> &values, double alpha)
+{
+    assert(alpha > 0.0 && alpha <= 1.0);
+    std::vector<double> out;
+    out.reserve(values.size());
+    double ema = 0.0;
+    bool first = true;
+    for (double v : values) {
+        ema = first ? v : alpha * v + (1.0 - alpha) * ema;
+        first = false;
+        out.push_back(ema);
+    }
+    return out;
+}
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+}
+
+} // namespace mapzero

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small statistics helpers used by the training loop and the benchmark
+ * harness: running means, geometric means (the paper reports geo-mean
+ * speedups), and exponential smoothing for learning curves.
+ */
+
+#ifndef MAPZERO_COMMON_STATS_HPP
+#define MAPZERO_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace mapzero {
+
+/** Arithmetic mean; 0 for an empty range. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation; 0 when fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Geometric mean of strictly positive values; 0 for an empty range.
+ * Used for the paper's "geo-mean compilation time reduction" numbers.
+ */
+double geoMean(const std::vector<double> &values);
+
+/** Minimum / maximum; callers must pass a non-empty range. */
+double minOf(const std::vector<double> &values);
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Exponential moving average smoothing, as used to draw the darker
+ * learning-curve lines in the paper's Fig. 12.
+ *
+ * @param values raw series
+ * @param alpha smoothing weight of the new sample in (0, 1]
+ */
+std::vector<double> emaSmooth(const std::vector<double> &values,
+                              double alpha);
+
+/** Incremental mean/min/max accumulator. */
+class RunningStat
+{
+  public:
+    /** Fold one observation in. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_STATS_HPP

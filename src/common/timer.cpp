@@ -1,0 +1,16 @@
+#include "common/timer.hpp"
+
+#include <limits>
+
+namespace mapzero {
+
+double
+Deadline::remaining() const
+{
+    if (budgetSeconds_ <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double left = budgetSeconds_ - timer_.seconds();
+    return left > 0.0 ? left : 0.0;
+}
+
+} // namespace mapzero

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wall-clock timing and per-run time budgets.
+ *
+ * Every compiler in the evaluation obeys a time limit (the paper caps runs
+ * at 8 hours); Deadline gives the mappers a uniform way to poll the budget.
+ */
+
+#ifndef MAPZERO_COMMON_TIMER_HPP
+#define MAPZERO_COMMON_TIMER_HPP
+
+#include <chrono>
+
+namespace mapzero {
+
+/** Monotonic stopwatch, started at construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction/reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed since construction/reset. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * A time budget mappers can poll cheaply.
+ *
+ * A non-positive budget means "unlimited".
+ */
+class Deadline
+{
+  public:
+    /** Budget of @p seconds from now; <= 0 disables the deadline. */
+    explicit Deadline(double seconds = 0.0)
+        : budgetSeconds_(seconds)
+    {}
+
+    /** True when a finite budget is configured and exhausted. */
+    bool
+    expired() const
+    {
+        return budgetSeconds_ > 0.0 && timer_.seconds() >= budgetSeconds_;
+    }
+
+    /** Seconds remaining (infinity when unlimited). */
+    double remaining() const;
+
+    /** Seconds consumed so far. */
+    double elapsed() const { return timer_.seconds(); }
+
+    /** Configured budget (<= 0 means unlimited). */
+    double budget() const { return budgetSeconds_; }
+
+  private:
+    Timer timer_;
+    double budgetSeconds_;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_TIMER_HPP

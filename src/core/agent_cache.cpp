@@ -1,0 +1,114 @@
+#include "core/agent_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "common/log.hpp"
+#include "nn/serialize.hpp"
+
+namespace mapzero {
+
+namespace {
+
+std::map<std::string, std::shared_ptr<const rl::MapZeroNet>> &
+cache()
+{
+    static std::map<std::string, std::shared_ptr<const rl::MapZeroNet>>
+        instance;
+    return instance;
+}
+
+std::string
+cacheKey(const cgra::Architecture &arch)
+{
+    return cat(arch.name(), ":", arch.rows(), "x", arch.cols());
+}
+
+} // namespace
+
+std::unique_ptr<rl::Trainer>
+trainAgent(const cgra::Architecture &arch, const PretrainBudget &budget)
+{
+    rl::TrainerConfig config;
+    config.mcts.expansionsPerMove = budget.mctsExpansions;
+    auto trainer =
+        std::make_unique<rl::Trainer>(arch, config, budget.seed);
+    const Deadline deadline(budget.seconds);
+    trainer->pretrain(budget.episodes, budget.minNodes, budget.maxNodes,
+                      deadline);
+    return trainer;
+}
+
+namespace {
+
+/** Filesystem checkpoint path for @p key, or "" when caching is off. */
+std::string
+diskCachePath(const std::string &key)
+{
+    const char *dir = std::getenv("MAPZERO_AGENT_CACHE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return "";
+    std::string file = key;
+    for (char &c : file) {
+        if (c == ':' || c == ' ' || c == '/')
+            c = '_';
+    }
+    return std::string(dir) + "/" + file + ".ckpt";
+}
+
+} // namespace
+
+std::shared_ptr<const rl::MapZeroNet>
+pretrainedNetwork(const cgra::Architecture &arch,
+                  const PretrainBudget &budget)
+{
+    const std::string key = cacheKey(arch);
+    if (const auto it = cache().find(key); it != cache().end())
+        return it->second;
+
+    // Disk cache (opt-in via MAPZERO_AGENT_CACHE_DIR): reruns of the
+    // benchmark harness skip pre-training entirely.
+    const std::string path = diskCachePath(key);
+    if (!path.empty() && std::filesystem::exists(path)) {
+        try {
+            Rng rng(budget.seed);
+            auto net = std::make_shared<rl::MapZeroNet>(
+                arch.peCount(), rl::NetworkConfig{}, rng);
+            nn::loadModule(*net, path);
+            inform(cat("loaded cached MapZero agent for ", key,
+                       " from ", path));
+            cache().emplace(key, net);
+            return net;
+        } catch (const std::exception &error) {
+            warn(cat("ignoring stale agent checkpoint ", path, ": ",
+                     error.what()));
+        }
+    }
+
+    inform(cat("pre-training MapZero agent for ", key, " (",
+               budget.episodes, " episodes, <= ", budget.seconds, "s)"));
+    auto trainer = trainAgent(arch, budget);
+    std::shared_ptr<const rl::MapZeroNet> net = trainer->networkPtr();
+    if (!path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
+        try {
+            nn::saveModule(trainer->network(), path);
+        } catch (const std::exception &error) {
+            warn(cat("could not write agent checkpoint ", path, ": ",
+                     error.what()));
+        }
+    }
+    cache().emplace(key, net);
+    return net;
+}
+
+void
+clearAgentCache()
+{
+    cache().clear();
+}
+
+} // namespace mapzero

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide cache of pre-trained MapZero networks.
+ *
+ * The paper pre-trains one agent per fabric for hours; the benches and
+ * examples instead pre-train briefly (curriculum of small random DFGs)
+ * and cache the result per architecture so the dozens of compilations in
+ * one harness run share a single training pass. Checkpoints can also be
+ * saved/loaded so a long offline training run can feed later sessions.
+ */
+
+#ifndef MAPZERO_CORE_AGENT_CACHE_HPP
+#define MAPZERO_CORE_AGENT_CACHE_HPP
+
+#include <memory>
+#include <string>
+
+#include "rl/trainer.hpp"
+
+namespace mapzero {
+
+/** Pre-training budget knobs. */
+struct PretrainBudget {
+    /** Curriculum episodes. */
+    std::int32_t episodes = 24;
+    /** Wall-clock cap (seconds). */
+    double seconds = 30.0;
+    /** Random-DFG node range (paper: 3 to 30). */
+    std::int32_t minNodes = 3;
+    std::int32_t maxNodes = 14;
+    /** MCTS expansions during self-play. */
+    std::int32_t mctsExpansions = 16;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Pre-trained network for @p arch, trained on first use and memoized by
+ * architecture name for the rest of the process. Thread-compatible (not
+ * thread-safe; the harness is single-threaded).
+ */
+std::shared_ptr<const rl::MapZeroNet> pretrainedNetwork(
+    const cgra::Architecture &arch, const PretrainBudget &budget = {});
+
+/** Drop every cached network (tests). */
+void clearAgentCache();
+
+/** Train (uncached) and return the full trainer, for learning-curve
+ *  experiments that need the episode history. */
+std::unique_ptr<rl::Trainer> trainAgent(const cgra::Architecture &arch,
+                                        const PretrainBudget &budget);
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_AGENT_CACHE_HPP

@@ -1,0 +1,415 @@
+#include "core/bitstream.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <istream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace mapzero {
+
+bool
+SourceSelect::operator==(const SourceSelect &other) const
+{
+    return kind == other.kind && link == other.link &&
+           immediate == other.immediate;
+}
+
+bool
+LinkDrive::operator==(const LinkDrive &other) const
+{
+    return link == other.link && source == other.source;
+}
+
+bool
+PeConfigWord::operator==(const PeConfigWord &other) const
+{
+    return node == other.node && opcode == other.opcode &&
+           operands == other.operands && routeReg == other.routeReg &&
+           passThrough == other.passThrough && drives == other.drives;
+}
+
+bool
+Bitstream::operator==(const Bitstream &other) const
+{
+    return peCount == other.peCount && ii == other.ii &&
+           words == other.words;
+}
+
+namespace {
+
+/** The full hold chain of a route: producer result reg + routing regs. */
+std::vector<mapper::RegHold>
+fullChain(const mapper::MappingState &state, std::int32_t edge_index)
+{
+    const dfg::DfgEdge &edge =
+        state.dfg().edges()[static_cast<std::size_t>(edge_index)];
+    const mapper::Placement &src_p = state.placement(edge.src);
+    std::vector<mapper::RegHold> chain;
+    chain.push_back(mapper::RegHold{src_p.pe, src_p.time});
+    const mapper::Route &route = state.edgeRoute(edge_index);
+    chain.insert(chain.end(), route.regHolds.begin(),
+                 route.regHolds.end());
+    return chain;
+}
+
+/** The wire entering @p pe at absolute @p time on this route, or -1. */
+cgra::LinkId
+incomingWire(const cgra::Mrrg &mrrg, const mapper::Route &route,
+             cgra::PeId pe, std::int64_t time)
+{
+    for (const mapper::WireUse &w : route.wires) {
+        if (w.time == time && mrrg.link(w.link).second == pe)
+            return w.link;
+    }
+    return -1;
+}
+
+/** Merge a routing-register source, checking for contradictions. */
+void
+mergeRouteRegSource(PeConfigWord &word, const SourceSelect &source)
+{
+    if (word.routeReg.kind == SourceKind::None) {
+        word.routeReg = source;
+        return;
+    }
+    if (!(word.routeReg == source))
+        panic("conflicting routing-register configuration "
+              "(resource sharing bug)");
+}
+
+/** Merge a link-driver select, checking for contradictions. */
+void
+mergeDrive(PeConfigWord &word, const LinkDrive &drive)
+{
+    for (const LinkDrive &existing : word.drives) {
+        if (existing.link == drive.link) {
+            if (!(existing == drive))
+                panic("conflicting link-driver configuration "
+                      "(wire sharing bug)");
+            return;
+        }
+    }
+    word.drives.push_back(drive);
+}
+
+} // namespace
+
+Bitstream
+generateBitstream(const mapper::MappingState &state)
+{
+    if (!state.complete())
+        fatal("generateBitstream: mapping is incomplete");
+
+    const dfg::Dfg &dfg = state.dfg();
+    const cgra::Mrrg &mrrg = state.mrrg();
+    const std::int32_t ii = mrrg.ii();
+
+    Bitstream bs;
+    bs.peCount = mrrg.peCount();
+    bs.ii = ii;
+    bs.words.assign(static_cast<std::size_t>(bs.peCount),
+                    std::vector<PeConfigWord>(
+                        static_cast<std::size_t>(ii)));
+
+    // --- Function-unit issue + operand selects -------------------------
+    for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        const mapper::Placement &p = state.placement(v);
+        PeConfigWord &word =
+            bs.words[static_cast<std::size_t>(p.pe)][
+                static_cast<std::size_t>(mrrg.slotOf(p.time))];
+        word.node = v;
+        word.opcode = dfg.node(v).opcode;
+
+        for (std::int32_t ei : dfg.inEdges(v)) {
+            const dfg::DfgEdge &e =
+                dfg.edges()[static_cast<std::size_t>(ei)];
+            SourceSelect select;
+            if (dfg.node(e.src).opcode == dfg::Opcode::Const) {
+                select.kind = SourceKind::Constant;
+                select.immediate = sim::constValue(e.src);
+                word.operands.push_back(select);
+                continue;
+            }
+            const auto chain = fullChain(state, ei);
+            const mapper::RegHold &last = chain.back();
+            const std::int64_t t_consume =
+                static_cast<std::int64_t>(p.time) +
+                static_cast<std::int64_t>(ii) * e.distance;
+            if (last.pe == p.pe) {
+                // Value sits in this PE: routing register, or the FU
+                // result register for a direct self recurrence.
+                select.kind = chain.size() == 1 ? SourceKind::OwnResult
+                                                : SourceKind::RouteReg;
+            } else {
+                const cgra::LinkId link = incomingWire(
+                    mrrg, state.edgeRoute(ei), p.pe, t_consume);
+                if (link < 0)
+                    panic(cat("edge ", ei,
+                              ": no delivery wire into consumer"));
+                select.kind = SourceKind::Link;
+                select.link = link;
+            }
+            word.operands.push_back(select);
+        }
+    }
+
+    // --- Routing-register loads + crossbar pass-throughs ---------------
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        const dfg::DfgEdge &e =
+            dfg.edges()[static_cast<std::size_t>(ei)];
+        if (dfg.node(e.src).opcode == dfg::Opcode::Const)
+            continue;
+        const mapper::Route &route = state.edgeRoute(ei);
+        const auto chain = fullChain(state, ei);
+
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+            const mapper::RegHold &hold = chain[i];
+            const mapper::RegHold &prev = chain[i - 1];
+            PeConfigWord &word =
+                bs.words[static_cast<std::size_t>(hold.pe)][
+                    static_cast<std::size_t>(mrrg.slotOf(hold.time))];
+            SourceSelect source;
+            if (prev.pe == hold.pe) {
+                source.kind = i == 1 ? SourceKind::OwnResult
+                                     : SourceKind::RouteReg;
+            } else {
+                const cgra::LinkId link =
+                    incomingWire(mrrg, route, hold.pe, hold.time);
+                if (link < 0)
+                    panic(cat("edge ", ei, ": hold at PE", hold.pe,
+                              " t=", hold.time, " has no feeding wire"));
+                source.kind = SourceKind::Link;
+                source.link = link;
+            }
+            mergeRouteRegSource(word, source);
+        }
+
+        // Every wire is driven from its source PE's switch this slot;
+        // record what feeds it (a same-cycle incoming wire for crossbar
+        // pass-throughs, the producer's FU result for the first hop, a
+        // routing register otherwise) so the hardware-level simulator
+        // can execute from configuration alone.
+        for (const mapper::WireUse &w : route.wires) {
+            const cgra::PeId drive_pe = mrrg.link(w.link).first;
+            PeConfigWord &word =
+                bs.words[static_cast<std::size_t>(drive_pe)][
+                    static_cast<std::size_t>(mrrg.slotOf(w.time))];
+            auto &pass = word.passThrough;
+            if (std::find(pass.begin(), pass.end(), w.link) ==
+                pass.end()) {
+                pass.push_back(w.link);
+            }
+
+            LinkDrive drive;
+            drive.link = w.link;
+            const cgra::LinkId in =
+                incomingWire(mrrg, route, drive_pe, w.time);
+            if (in >= 0) {
+                drive.source.kind = SourceKind::Link;
+                drive.source.link = in;
+            } else {
+                bool from_result = false;
+                bool found = false;
+                for (std::size_t i = 0; i < chain.size(); ++i) {
+                    if (chain[i].pe == drive_pe &&
+                        chain[i].time == w.time - 1) {
+                        from_result = i == 0;
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    panic(cat("edge ", ei, ": wire at t=", w.time,
+                              " has no feeding register"));
+                drive.source.kind = from_result ? SourceKind::OwnResult
+                                                : SourceKind::RouteReg;
+            }
+            mergeDrive(word, drive);
+        }
+    }
+    for (auto &per_pe : bs.words) {
+        for (auto &word : per_pe) {
+            std::sort(word.passThrough.begin(), word.passThrough.end());
+            std::sort(word.drives.begin(), word.drives.end(),
+                      [](const LinkDrive &a, const LinkDrive &b) {
+                return a.link < b.link;
+            });
+        }
+    }
+    return bs;
+}
+
+namespace {
+
+std::string
+sourceToString(const SourceSelect &s)
+{
+    switch (s.kind) {
+      case SourceKind::None:      return "-";
+      case SourceKind::Link:      return cat("link", s.link);
+      case SourceKind::RouteReg:  return "rreg";
+      case SourceKind::OwnResult: return "own";
+      case SourceKind::Constant:  return cat("imm(", s.immediate, ")");
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+bitstreamToText(const Bitstream &bitstream)
+{
+    std::ostringstream os;
+    os << "; MapZero configuration: " << bitstream.peCount << " PEs, II="
+       << bitstream.ii << "\n";
+    for (cgra::PeId pe = 0; pe < bitstream.peCount; ++pe) {
+        for (std::int32_t slot = 0; slot < bitstream.ii; ++slot) {
+            const PeConfigWord &w = bitstream.word(pe, slot);
+            const bool active = w.node >= 0 ||
+                                w.routeReg.kind != SourceKind::None ||
+                                !w.passThrough.empty();
+            if (!active)
+                continue;
+            os << "PE" << pe << "." << slot << ": ";
+            if (w.node >= 0) {
+                os << dfg::opcodeName(w.opcode) << " n" << w.node
+                   << " ops=[";
+                for (std::size_t i = 0; i < w.operands.size(); ++i)
+                    os << (i ? ", " : "")
+                       << sourceToString(w.operands[i]);
+                os << "]";
+            } else {
+                os << "nop";
+            }
+            if (w.routeReg.kind != SourceKind::None)
+                os << " rreg<=" << sourceToString(w.routeReg);
+            if (!w.drives.empty()) {
+                os << " drv=[";
+                for (std::size_t i = 0; i < w.drives.size(); ++i)
+                    os << (i ? ", " : "") << "l" << w.drives[i].link
+                       << "<=" << sourceToString(w.drives[i].source);
+                os << "]";
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D5A4246; // "MZBF"
+
+void
+writeI64(std::ostream &os, std::int64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::int64_t
+readI64(std::istream &is)
+{
+    std::int64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+void
+writeSource(std::ostream &os, const SourceSelect &s)
+{
+    writeI64(os, static_cast<std::int64_t>(s.kind));
+    writeI64(os, s.link);
+    writeI64(os, s.immediate);
+}
+
+SourceSelect
+readSource(std::istream &is)
+{
+    SourceSelect s;
+    s.kind = static_cast<SourceKind>(readI64(is));
+    s.link = static_cast<std::int32_t>(readI64(is));
+    s.immediate = readI64(is);
+    return s;
+}
+
+} // namespace
+
+void
+writeBitstream(const Bitstream &bitstream, std::ostream &os)
+{
+    writeI64(os, kMagic);
+    writeI64(os, bitstream.peCount);
+    writeI64(os, bitstream.ii);
+    for (const auto &per_pe : bitstream.words) {
+        for (const auto &w : per_pe) {
+            writeI64(os, w.node);
+            writeI64(os, static_cast<std::int64_t>(w.opcode));
+            writeI64(os, static_cast<std::int64_t>(w.operands.size()));
+            for (const auto &s : w.operands)
+                writeSource(os, s);
+            writeSource(os, w.routeReg);
+            writeI64(os,
+                     static_cast<std::int64_t>(w.passThrough.size()));
+            for (std::int32_t l : w.passThrough)
+                writeI64(os, l);
+            writeI64(os, static_cast<std::int64_t>(w.drives.size()));
+            for (const LinkDrive &d : w.drives) {
+                writeI64(os, d.link);
+                writeSource(os, d.source);
+            }
+        }
+    }
+    if (!os)
+        fatal("failed writing bitstream");
+}
+
+Bitstream
+readBitstream(std::istream &is)
+{
+    if (readI64(is) != kMagic)
+        fatal("not a MapZero bitstream (bad magic)");
+    Bitstream bs;
+    bs.peCount = static_cast<std::int32_t>(readI64(is));
+    bs.ii = static_cast<std::int32_t>(readI64(is));
+    if (bs.peCount <= 0 || bs.ii <= 0 || bs.peCount > 1 << 20 ||
+        bs.ii > 1 << 16) {
+        fatal("bitstream header out of range");
+    }
+    bs.words.assign(static_cast<std::size_t>(bs.peCount),
+                    std::vector<PeConfigWord>(
+                        static_cast<std::size_t>(bs.ii)));
+    for (auto &per_pe : bs.words) {
+        for (auto &w : per_pe) {
+            w.node = static_cast<dfg::NodeId>(readI64(is));
+            w.opcode = static_cast<dfg::Opcode>(readI64(is));
+            const std::int64_t n_ops = readI64(is);
+            if (n_ops < 0 || n_ops > 1 << 16)
+                fatal("bitstream operand count out of range");
+            for (std::int64_t i = 0; i < n_ops; ++i)
+                w.operands.push_back(readSource(is));
+            w.routeReg = readSource(is);
+            const std::int64_t n_pass = readI64(is);
+            if (n_pass < 0 || n_pass > 1 << 20)
+                fatal("bitstream pass-through count out of range");
+            for (std::int64_t i = 0; i < n_pass; ++i)
+                w.passThrough.push_back(
+                    static_cast<std::int32_t>(readI64(is)));
+            const std::int64_t n_drives = readI64(is);
+            if (n_drives < 0 || n_drives > 1 << 20)
+                fatal("bitstream drive count out of range");
+            for (std::int64_t i = 0; i < n_drives; ++i) {
+                LinkDrive d;
+                d.link = static_cast<std::int32_t>(readI64(is));
+                d.source = readSource(is);
+                w.drives.push_back(d);
+            }
+            if (!is)
+                fatal("truncated bitstream");
+        }
+    }
+    return bs;
+}
+
+} // namespace mapzero

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Configuration ("bitstream") generation: the compiler backend that
+ * turns a complete mapping into the per-PE, per-modulo-slot
+ * configuration words the fabric's context memory would hold.
+ *
+ * Per (PE, slot) the word encodes:
+ *  - the opcode issued on the functional unit (or a NOP),
+ *  - one operand-source select per input operand: a fabric link, the
+ *    PE's own routing register, its own FU result (self recurrences), or
+ *    a constant-unit immediate,
+ *  - the routing-register source select: hold, a link, the local FU
+ *    result, or idle,
+ *  - for crossbar fabrics, the set of pass-through link connections
+ *    active in the slot.
+ *
+ * A textual "configuration assembly" emitter and a packed binary format
+ * with a round-trip parser are provided.
+ */
+
+#ifndef MAPZERO_CORE_BITSTREAM_HPP
+#define MAPZERO_CORE_BITSTREAM_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+#include "sim/semantics.hpp"
+
+namespace mapzero {
+
+/** Where an operand or the routing register takes its value from. */
+enum class SourceKind : std::uint8_t {
+    None,       ///< unused port
+    Link,       ///< incoming fabric link (payload = LinkId)
+    RouteReg,   ///< the PE's own routing register
+    OwnResult,  ///< the PE's own FU output register (self recurrence)
+    Constant,   ///< constant-unit immediate (payload in `immediate`)
+};
+
+/** One operand/routing source select. */
+struct SourceSelect {
+    SourceKind kind = SourceKind::None;
+    /** LinkId for Link sources, otherwise -1. */
+    std::int32_t link = -1;
+    /** Immediate value for Constant sources. */
+    sim::Word immediate = 0;
+
+    bool operator==(const SourceSelect &other) const;
+};
+
+/** What drives one outgoing link during a slot. */
+struct LinkDrive {
+    /** The driven link (its src PE owns this drive). */
+    std::int32_t link = -1;
+    /**
+     * Value source: OwnResult / RouteReg of the driving PE, or Link for
+     * a combinational crossbar pass-through from an incoming link.
+     */
+    SourceSelect source;
+
+    bool operator==(const LinkDrive &other) const;
+};
+
+/** Configuration of one PE in one modulo slot. */
+struct PeConfigWord {
+    /** Node executing here, or -1 for a NOP slot. */
+    dfg::NodeId node = -1;
+    /** Opcode (valid when node >= 0). */
+    dfg::Opcode opcode = dfg::Opcode::Route;
+    /** Operand sources in in-edge order. */
+    std::vector<SourceSelect> operands;
+    /** Routing-register load source (None = register idle this slot). */
+    SourceSelect routeReg;
+    /** Crossbar pass-through connections active this slot (LinkIds). */
+    std::vector<std::int32_t> passThrough;
+    /** Output drivers: which register/in-link feeds each driven link. */
+    std::vector<LinkDrive> drives;
+
+    bool operator==(const PeConfigWord &other) const;
+};
+
+/** Whole-fabric configuration: words[pe][slot]. */
+struct Bitstream {
+    std::int32_t peCount = 0;
+    std::int32_t ii = 0;
+    std::vector<std::vector<PeConfigWord>> words;
+
+    const PeConfigWord &
+    word(cgra::PeId pe, std::int32_t slot) const
+    {
+        return words[static_cast<std::size_t>(pe)]
+                    [static_cast<std::size_t>(slot)];
+    }
+
+    bool operator==(const Bitstream &other) const;
+};
+
+/**
+ * Generate the configuration for a complete mapping. fatal() when the
+ * mapping is incomplete (nothing meaningful to configure).
+ */
+Bitstream generateBitstream(const mapper::MappingState &state);
+
+/** Textual configuration assembly (one line per active resource). */
+std::string bitstreamToText(const Bitstream &bitstream);
+
+/** Pack into the binary container. */
+void writeBitstream(const Bitstream &bitstream, std::ostream &os);
+
+/** Parse the binary container; fatal() on malformed input. */
+Bitstream readBitstream(std::istream &is);
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_BITSTREAM_HPP

@@ -1,0 +1,129 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+
+#include "baselines/exact_mapper.hpp"
+#include "baselines/lisa_mapper.hpp"
+#include "baselines/sa_mapper.hpp"
+#include "common/log.hpp"
+#include "core/config.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero {
+
+const char *
+methodName(Method method)
+{
+    switch (method) {
+      case Method::MapZero:       return "MapZero";
+      case Method::MapZeroNoMcts: return "MapZero(noMCTS)";
+      case Method::Ilp:           return "ILP(B&B)";
+      case Method::Sa:            return "SA";
+      case Method::Lisa:          return "LISA";
+    }
+    panic("unknown method");
+}
+
+Compiler::Compiler() = default;
+
+void
+Compiler::setNetwork(std::shared_ptr<const rl::MapZeroNet> net)
+{
+    net_ = std::move(net);
+}
+
+std::int32_t
+Compiler::minimumIi(const dfg::Dfg &dfg, const cgra::Architecture &arch)
+{
+    return dfg::minimumIi(dfg, arch.peCount(),
+                          arch.memoryIssueCapacity());
+}
+
+std::unique_ptr<baselines::MapperBase>
+Compiler::makeEngine(Method method, const CompileOptions &options) const
+{
+    switch (method) {
+      case Method::MapZero:
+      case Method::MapZeroNoMcts: {
+        if (!net_)
+            fatal("MapZero methods need setNetwork() with a pre-trained "
+                  "network (see core/agent_cache.hpp)");
+        rl::AgentConfig cfg;
+        cfg.useMcts = method == Method::MapZero;
+        cfg.mcts.expansionsPerMove = config::kBenchMctsExpansions;
+        cfg.seed = options.seed;
+        return std::make_unique<rl::MapZeroAgent>(net_, cfg);
+      }
+      case Method::Ilp:
+        return std::make_unique<baselines::ExactMapper>();
+      case Method::Sa: {
+        baselines::SaConfig cfg;
+        cfg.seed = options.seed;
+        return std::make_unique<baselines::SaMapper>(cfg);
+      }
+      case Method::Lisa: {
+        baselines::SaConfig cfg;
+        cfg.seed = options.seed;
+        return std::make_unique<baselines::LisaMapper>(cfg);
+      }
+    }
+    panic("unknown method");
+}
+
+CompileResult
+Compiler::compile(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                  Method method, const CompileOptions &options)
+{
+    auto engine = makeEngine(method, options);
+    return compileWith(*engine, dfg, arch, options);
+}
+
+CompileResult
+Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
+                      const cgra::Architecture &arch,
+                      const CompileOptions &options)
+{
+    CompileResult result;
+    result.method = engine.name();
+    result.mii = minimumIi(dfg, arch);
+
+    const Deadline deadline(options.timeLimitSeconds);
+    Timer timer;
+
+    for (std::int32_t ii = result.mii;
+         ii <= result.mii + options.maxIiIncrease; ++ii) {
+        if (deadline.expired()) {
+            result.timedOut = true;
+            break;
+        }
+        // Budget slicing: a complete search can burn the whole limit
+        // proving one II infeasible, so each attempt gets half of the
+        // remaining budget (later IIs are easier, earlier IIs are more
+        // valuable - geometric split serves both).
+        const double slice = options.timeLimitSeconds > 0.0
+            ? std::max(deadline.remaining() * 0.5, 0.05)
+            : 0.0;
+        const Deadline attempt_deadline(
+            std::min(slice, deadline.remaining()));
+        baselines::AttemptResult attempt =
+            engine.map(dfg, arch, ii, attempt_deadline);
+        result.searchOps += attempt.searchOps;
+        if (attempt.success) {
+            result.success = true;
+            result.ii = ii;
+            result.placements = std::move(attempt.placements);
+            result.totalHops = attempt.totalHops;
+            break;
+        }
+        // A sliced timeout only ends the sweep when the overall budget
+        // is gone; otherwise move on to the next II.
+        result.timedOut = attempt.timedOut && deadline.expired();
+        if (result.timedOut)
+            break;
+    }
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mapzero

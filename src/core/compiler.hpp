@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Public compiler facade: the one entry point downstream users need.
+ *
+ * A Compiler drives the MII sweep of the paper's evaluation protocol
+ * (§4.2): compute MII = max(ResMII, RecMII), attempt the mapping at MII,
+ * and increase the target II on failure until success or the time limit.
+ * The actual fixed-II search is delegated to a MapperBase - MapZero's RL
+ * agent or any of the baseline compilers.
+ */
+
+#ifndef MAPZERO_CORE_COMPILER_HPP
+#define MAPZERO_CORE_COMPILER_HPP
+
+#include <memory>
+#include <string>
+
+#include "baselines/mapper_base.hpp"
+#include "rl/agent.hpp"
+
+namespace mapzero {
+
+/** Which compilation engine to use. */
+enum class Method {
+    MapZero,       ///< pre-trained RL agent + MCTS escalation
+    MapZeroNoMcts, ///< §4.7 ablation: guided search only
+    Ilp,           ///< exact branch-and-bound (CGRA-ME ILP stand-in)
+    Sa,            ///< CGRA-ME-style simulated annealing
+    Lisa,          ///< label-guided SA
+};
+
+/** Human-readable method name. */
+const char *methodName(Method method);
+
+/** Options of one compile() call. */
+struct CompileOptions {
+    /** Wall-clock limit for the whole MII sweep (seconds). */
+    double timeLimitSeconds = 10.0;
+    /** How far above MII the sweep may go. */
+    std::int32_t maxIiIncrease = 6;
+    /** Seed for the stochastic engines. */
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of a compilation. */
+struct CompileResult {
+    bool success = false;
+    /** Achieved initiation interval (0 on failure, as in Fig. 8). */
+    std::int32_t ii = 0;
+    /** Minimum II bound of this (DFG, architecture) pair. */
+    std::int32_t mii = 0;
+    double seconds = 0.0;
+    /** Backtracks / annealing steps over all attempted IIs. */
+    std::int64_t searchOps = 0;
+    bool timedOut = false;
+    std::vector<mapper::Placement> placements;
+    std::int32_t totalHops = 0;
+    std::string method;
+
+    /** II / MII; 0 when the mapping failed (paper Fig. 8 convention). */
+    double
+    iiRatio() const
+    {
+        return success && mii > 0
+            ? static_cast<double>(ii) / static_cast<double>(mii)
+            : 0.0;
+    }
+};
+
+/**
+ * The MapZero compiler facade.
+ *
+ * Baseline methods work out of the box. The MapZero methods need a
+ * pre-trained network for the target fabric's PE count - obtain one from
+ * AgentCache (core/agent_cache.hpp) or a Trainer you ran yourself, and
+ * install it with setNetwork().
+ */
+class Compiler
+{
+  public:
+    Compiler();
+
+    /** Install the pre-trained network used by the MapZero methods. */
+    void setNetwork(std::shared_ptr<const rl::MapZeroNet> net);
+
+    /** Minimum II of @p dfg on @p arch (max of ResMII and RecMII). */
+    static std::int32_t minimumIi(const dfg::Dfg &dfg,
+                                  const cgra::Architecture &arch);
+
+    /**
+     * Compile @p dfg for @p arch with @p method: sweep II from MII
+     * upward until a mapping is found or the time limit expires.
+     */
+    CompileResult compile(const dfg::Dfg &dfg,
+                          const cgra::Architecture &arch, Method method,
+                          const CompileOptions &options = {});
+
+    /**
+     * Same sweep with an externally-constructed engine (custom configs,
+     * tests, ablations).
+     */
+    CompileResult compileWith(baselines::MapperBase &engine,
+                              const dfg::Dfg &dfg,
+                              const cgra::Architecture &arch,
+                              const CompileOptions &options = {});
+
+  private:
+    std::unique_ptr<baselines::MapperBase> makeEngine(
+        Method method, const CompileOptions &options) const;
+
+    std::shared_ptr<const rl::MapZeroNet> net_;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_COMPILER_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Paper-scale constants (kept verbatim from the publication) and the
+ * scaled-down defaults the benchmark harness uses so the full suite runs
+ * on a laptop. Every bench prints which configuration it ran with.
+ */
+
+#ifndef MAPZERO_CORE_CONFIG_HPP
+#define MAPZERO_CORE_CONFIG_HPP
+
+#include <cstdint>
+
+namespace mapzero::config {
+
+/// @name Values stated in the paper
+/// @{
+
+/** Replay buffer size (§4.4). */
+constexpr std::size_t kPaperReplayCapacity = 10000;
+/** Training batch size (§4.4). */
+constexpr std::size_t kPaperBatchSize = 32;
+/** MCTS expansions per stage (§4.2). */
+constexpr std::int32_t kPaperMctsExpansions = 100;
+/** MCTS expansions per stage on 16x16 fabrics (§4.5). */
+constexpr std::int32_t kPaperMctsExpansions16 = 200;
+/** Routing-conflict penalty per placement (§4.4). */
+constexpr double kPaperRoutingFailurePenalty = 100.0;
+/** Evaluation time limit (§4.2: 8 hours). */
+constexpr double kPaperTimeLimitSeconds = 8.0 * 3600.0;
+/** Pre-training DFG node range (§4.2: 3 to 30). */
+constexpr std::int32_t kPaperPretrainMinNodes = 3;
+constexpr std::int32_t kPaperPretrainMaxNodes = 30;
+
+/// @}
+/// @name Scaled defaults for the shipped harness
+/// @{
+
+/** Per-compilation time limit used by the benches. */
+constexpr double kBenchTimeLimitSeconds = 4.0;
+/** MCTS expansions used by the benches. */
+constexpr std::int32_t kBenchMctsExpansions = 24;
+/** Pre-training episodes per architecture in the benches. */
+constexpr std::int32_t kBenchPretrainEpisodes = 16;
+/** Pre-training wall-clock cap per architecture. */
+constexpr double kBenchPretrainSeconds = 12.0;
+
+/// @}
+
+} // namespace mapzero::config
+
+#endif // MAPZERO_CORE_CONFIG_HPP

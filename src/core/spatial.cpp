@@ -1,0 +1,86 @@
+#include "core/spatial.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero {
+
+dfg::Dfg
+stripLoopCarried(const dfg::Dfg &dfg)
+{
+    dfg::Dfg out;
+    out.setName(dfg.name() + "_spatial");
+    for (const auto &node : dfg.nodes())
+        out.addNode(node.opcode, node.name);
+    for (const auto &e : dfg.edges())
+        if (e.distance == 0)
+            out.addEdge(e.src, e.dst, 0);
+    return out;
+}
+
+std::int32_t
+criticalPathLength(const dfg::Dfg &dfg)
+{
+    const auto order = dfg::topologicalOrder(dfg);
+    std::vector<std::int32_t> depth(
+        static_cast<std::size_t>(dfg.nodeCount()), 0);
+    std::int32_t longest = 1;
+    for (dfg::NodeId v : order) {
+        for (std::int32_t ei : dfg.outEdges(v)) {
+            const dfg::DfgEdge &e =
+                dfg.edges()[static_cast<std::size_t>(ei)];
+            if (e.distance != 0)
+                continue;
+            auto &d = depth[static_cast<std::size_t>(e.dst)];
+            d = std::max(d, depth[static_cast<std::size_t>(v)] + 1);
+            longest = std::max(longest, d + 1);
+        }
+    }
+    return longest;
+}
+
+SpatialResult
+spatialMap(baselines::MapperBase &engine, const dfg::Dfg &dfg,
+           const cgra::Architecture &arch, const SpatialOptions &options)
+{
+    SpatialResult result;
+    Timer timer;
+    const Deadline deadline(options.timeLimitSeconds);
+
+    const dfg::Dfg one_shot = stripLoopCarried(dfg);
+    result.criticalPath = criticalPathLength(one_shot);
+
+    // The horizon must also give every node a slot: at least
+    // ceil(nodes / PEs) cycles even if the graph were flat.
+    const std::int32_t min_horizon = std::max(
+        result.criticalPath,
+        (one_shot.nodeCount() + arch.peCount() - 1) / arch.peCount());
+
+    for (std::int32_t horizon = min_horizon;
+         horizon <= min_horizon + options.maxExtraCycles; ++horizon) {
+        if (deadline.expired())
+            break;
+        // II == horizon makes each time step its own resource slice,
+        // so nothing wraps: a one-shot time-extended fabric.
+        const Deadline slice(
+            std::min(deadline.remaining(),
+                     std::max(deadline.remaining() * 0.5, 0.05)));
+        const auto attempt = engine.map(one_shot, arch, horizon, slice);
+        result.searchOps += attempt.searchOps;
+        if (attempt.success) {
+            result.success = true;
+            result.placements = attempt.placements;
+            std::int32_t last = 0;
+            for (const auto &p : attempt.placements)
+                last = std::max(last, p.time);
+            result.makespan = last + 1;
+            break;
+        }
+    }
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mapzero

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Spatial (single-shot) mapping - the paper's second §4.8 extension:
+ * "this framework can also be used for dynamic scheduling of CGRA,
+ * where the agent maps DFG nodes onto PEs of different time domain
+ * extensions to obtain the minimum makespan."
+ *
+ * Unlike modulo mapping, the kernel executes once, so loop-carried
+ * dependencies are ignored and the objective is the makespan (cycles
+ * from first issue to last) instead of the initiation interval. The
+ * implementation reuses the whole mapping stack by targeting a
+ * time-extended fabric: an II equal to the schedule horizon makes every
+ * time step its own resource slice, and the sweep searches for the
+ * smallest horizon that still places and routes.
+ */
+
+#ifndef MAPZERO_CORE_SPATIAL_HPP
+#define MAPZERO_CORE_SPATIAL_HPP
+
+#include "baselines/mapper_base.hpp"
+
+namespace mapzero {
+
+/** Result of a spatial mapping. */
+struct SpatialResult {
+    bool success = false;
+    /** Cycles from the first issue to after the last (the makespan). */
+    std::int32_t makespan = 0;
+    /** Lower bound: the DFG's critical-path length. */
+    std::int32_t criticalPath = 0;
+    double seconds = 0.0;
+    std::int64_t searchOps = 0;
+    std::vector<mapper::Placement> placements;
+};
+
+/** Knobs of the makespan sweep. */
+struct SpatialOptions {
+    /** How far above the critical path the horizon sweep may go. */
+    std::int32_t maxExtraCycles = 8;
+    double timeLimitSeconds = 10.0;
+};
+
+/**
+ * Single-iteration DFG copy: loop-carried edges dropped (a one-shot
+ * execution has no previous iteration to receive from).
+ */
+dfg::Dfg stripLoopCarried(const dfg::Dfg &dfg);
+
+/** Critical-path length (cycles) of the distance-0 subgraph. */
+std::int32_t criticalPathLength(const dfg::Dfg &dfg);
+
+/**
+ * Map @p dfg onto @p arch for one-shot execution, minimizing makespan:
+ * sweep the time horizon upward from the critical path until
+ * @p engine finds a complete mapping.
+ */
+SpatialResult spatialMap(baselines::MapperBase &engine,
+                         const dfg::Dfg &dfg,
+                         const cgra::Architecture &arch,
+                         const SpatialOptions &options = {});
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_SPATIAL_HPP

@@ -1,0 +1,173 @@
+#include "dfg/dfg.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+NodeId
+Dfg::addNode(Opcode opcode, std::string name)
+{
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(DfgNode{opcode, std::move(name)});
+    inEdges_.emplace_back();
+    outEdges_.emplace_back();
+    return id;
+}
+
+void
+Dfg::addEdge(NodeId src, NodeId dst, std::int32_t distance)
+{
+    if (src < 0 || src >= nodeCount() || dst < 0 || dst >= nodeCount())
+        panic(cat("edge (", src, " -> ", dst, ") out of range"));
+    if (distance < 0)
+        panic("edge distance must be non-negative");
+    if (src == dst && distance == 0)
+        panic(cat("distance-0 self edge on node ", src));
+    const auto idx = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back(DfgEdge{src, dst, distance});
+    outEdges_[static_cast<std::size_t>(src)].push_back(idx);
+    inEdges_[static_cast<std::size_t>(dst)].push_back(idx);
+}
+
+std::int32_t
+Dfg::nodeCount() const
+{
+    return static_cast<std::int32_t>(nodes_.size());
+}
+
+std::int32_t
+Dfg::edgeCount() const
+{
+    return static_cast<std::int32_t>(edges_.size());
+}
+
+const DfgNode &
+Dfg::node(NodeId id) const
+{
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<std::int32_t> &
+Dfg::inEdges(NodeId id) const
+{
+    return inEdges_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<std::int32_t> &
+Dfg::outEdges(NodeId id) const
+{
+    return outEdges_[static_cast<std::size_t>(id)];
+}
+
+std::int32_t
+Dfg::inDegree(NodeId id) const
+{
+    return static_cast<std::int32_t>(inEdges(id).size());
+}
+
+std::int32_t
+Dfg::outDegree(NodeId id) const
+{
+    return static_cast<std::int32_t>(outEdges(id).size());
+}
+
+std::vector<NodeId>
+Dfg::predecessors(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (std::int32_t e : inEdges(id)) {
+        const DfgEdge &edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.distance == 0 &&
+            std::find(out.begin(), out.end(), edge.src) == out.end()) {
+            out.push_back(edge.src);
+        }
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Dfg::successors(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (std::int32_t e : outEdges(id)) {
+        const DfgEdge &edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.distance == 0 &&
+            std::find(out.begin(), out.end(), edge.dst) == out.end()) {
+            out.push_back(edge.dst);
+        }
+    }
+    return out;
+}
+
+bool
+Dfg::hasSelfCycle(NodeId id) const
+{
+    for (std::int32_t e : outEdges(id))
+        if (edges_[static_cast<std::size_t>(e)].dst == id)
+            return true;
+    return false;
+}
+
+std::int32_t
+Dfg::memoryOpCount() const
+{
+    std::int32_t n = 0;
+    for (const auto &node : nodes_)
+        if (opClass(node.opcode) == OpClass::Memory)
+            ++n;
+    return n;
+}
+
+bool
+Dfg::isDistanceZeroAcyclic() const
+{
+    // Kahn's algorithm over distance-0 edges.
+    std::vector<std::int32_t> indeg(nodes_.size(), 0);
+    for (const auto &e : edges_)
+        if (e.distance == 0)
+            ++indeg[static_cast<std::size_t>(e.dst)];
+
+    std::vector<NodeId> queue;
+    for (NodeId v = 0; v < nodeCount(); ++v)
+        if (indeg[static_cast<std::size_t>(v)] == 0)
+            queue.push_back(v);
+
+    std::int32_t seen = 0;
+    while (!queue.empty()) {
+        const NodeId v = queue.back();
+        queue.pop_back();
+        ++seen;
+        for (std::int32_t ei : outEdges(v)) {
+            const DfgEdge &e = edges_[static_cast<std::size_t>(ei)];
+            if (e.distance != 0)
+                continue;
+            if (--indeg[static_cast<std::size_t>(e.dst)] == 0)
+                queue.push_back(e.dst);
+        }
+    }
+    return seen == nodeCount();
+}
+
+void
+Dfg::validate() const
+{
+    for (const auto &e : edges_) {
+        if (e.src < 0 || e.src >= nodeCount() || e.dst < 0 ||
+            e.dst >= nodeCount()) {
+            fatal(cat("dfg '", name_, "': edge endpoint out of range"));
+        }
+        if (e.distance < 0)
+            fatal(cat("dfg '", name_, "': negative edge distance"));
+        if (e.src == e.dst && e.distance == 0)
+            fatal(cat("dfg '", name_, "': distance-0 self edge on node ",
+                      e.src));
+    }
+    if (!isDistanceZeroAcyclic())
+        fatal(cat("dfg '", name_,
+                  "': distance-0 dependency cycle (unschedulable)"));
+}
+
+} // namespace mapzero::dfg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Data flow graph intermediate representation.
+ *
+ * A Dfg is a directed multigraph of operations. Edges carry an iteration
+ * *distance*: 0 for ordinary intra-iteration dependencies, >= 1 for
+ * loop-carried dependencies (an accumulator has a distance-1 self edge).
+ * The distance-0 subgraph must be acyclic; cycles through positive-distance
+ * edges are what bound the recurrence-constrained minimum II.
+ */
+
+#ifndef MAPZERO_DFG_DFG_HPP
+#define MAPZERO_DFG_DFG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/opcode.hpp"
+
+namespace mapzero::dfg {
+
+/** Node id within one Dfg. */
+using NodeId = std::int32_t;
+
+/** One operation. */
+struct DfgNode {
+    Opcode opcode = Opcode::Add;
+    /** Optional human-readable label (DOT export, debugging). */
+    std::string name;
+};
+
+/** One dependency. */
+struct DfgEdge {
+    NodeId src = -1;
+    NodeId dst = -1;
+    /** Loop-carried iteration distance; 0 = same iteration. */
+    std::int32_t distance = 0;
+};
+
+/** Directed multigraph of operations. */
+class Dfg
+{
+  public:
+    Dfg() = default;
+
+    /** Optional kernel name (reported by benches). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append a node; returns its id. */
+    NodeId addNode(Opcode opcode, std::string name = "");
+
+    /**
+     * Append an edge.
+     * @param distance loop-carried iteration distance (>= 0)
+     */
+    void addEdge(NodeId src, NodeId dst, std::int32_t distance = 0);
+
+    std::int32_t nodeCount() const;
+    std::int32_t edgeCount() const;
+
+    const DfgNode &node(NodeId id) const;
+    const std::vector<DfgNode> &nodes() const { return nodes_; }
+    const std::vector<DfgEdge> &edges() const { return edges_; }
+
+    /** Edge indices entering @p id. */
+    const std::vector<std::int32_t> &inEdges(NodeId id) const;
+    /** Edge indices leaving @p id. */
+    const std::vector<std::int32_t> &outEdges(NodeId id) const;
+
+    /** In-degree counting every edge (including loop-carried). */
+    std::int32_t inDegree(NodeId id) const;
+    std::int32_t outDegree(NodeId id) const;
+
+    /** Distinct predecessor node ids over distance-0 edges. */
+    std::vector<NodeId> predecessors(NodeId id) const;
+    /** Distinct successor node ids over distance-0 edges. */
+    std::vector<NodeId> successors(NodeId id) const;
+
+    /** Whether @p id has a self edge (necessarily loop-carried). */
+    bool hasSelfCycle(NodeId id) const;
+
+    /** Count of nodes whose opcode is in the Memory class. */
+    std::int32_t memoryOpCount() const;
+
+    /**
+     * Structural validation: edge endpoints in range, distances >= 0,
+     * self edges have distance >= 1, distance-0 subgraph is acyclic.
+     * fatal() describing the first violation.
+     */
+    void validate() const;
+
+    /** True when the distance-0 subgraph is acyclic. */
+    bool isDistanceZeroAcyclic() const;
+
+  private:
+    std::string name_;
+    std::vector<DfgNode> nodes_;
+    std::vector<DfgEdge> edges_;
+    std::vector<std::vector<std::int32_t>> inEdges_;
+    std::vector<std::vector<std::int32_t>> outEdges_;
+};
+
+} // namespace mapzero::dfg
+
+#endif // MAPZERO_DFG_DFG_HPP

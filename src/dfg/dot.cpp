@@ -1,0 +1,180 @@
+#include "dfg/dot.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+std::string
+toDot(const Dfg &dfg)
+{
+    std::ostringstream os;
+    writeDot(dfg, os);
+    return os.str();
+}
+
+void
+writeDot(const Dfg &dfg, std::ostream &os)
+{
+    os << "digraph \"" << dfg.name() << "\" {\n";
+    for (NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        const DfgNode &node = dfg.node(v);
+        os << "  n" << v << " [opcode=" << opcodeName(node.opcode);
+        if (!node.name.empty())
+            os << " label=\"" << node.name << "\"";
+        os << "];\n";
+    }
+    for (const auto &e : dfg.edges()) {
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (e.distance != 0)
+            os << " [distance=" << e.distance << "]";
+        os << ";\n";
+    }
+    os << "}\n";
+}
+
+namespace {
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse `key=value` pairs inside `[...]` (values may be quoted). */
+std::map<std::string, std::string>
+parseAttrs(const std::string &text)
+{
+    std::map<std::string, std::string> attrs;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() &&
+               (std::isspace(static_cast<unsigned char>(text[i])) ||
+                text[i] == ','))
+            ++i;
+        std::size_t eq = text.find('=', i);
+        if (eq == std::string::npos)
+            break;
+        const std::string key = trim(text.substr(i, eq - i));
+        std::size_t j = eq + 1;
+        std::string value;
+        if (j < text.size() && text[j] == '"') {
+            std::size_t close = text.find('"', j + 1);
+            if (close == std::string::npos)
+                fatal("DOT parse: unterminated quoted attribute");
+            value = text.substr(j + 1, close - j - 1);
+            i = close + 1;
+        } else {
+            std::size_t end = j;
+            while (end < text.size() && text[end] != ',' &&
+                   !std::isspace(static_cast<unsigned char>(text[end])))
+                ++end;
+            value = text.substr(j, end - j);
+            i = end;
+        }
+        attrs[key] = value;
+    }
+    return attrs;
+}
+
+/** Parse a `nK` identifier to K. */
+NodeId
+parseNodeId(const std::string &token)
+{
+    if (token.size() < 2 || token[0] != 'n')
+        fatal("DOT parse: expected node id like n3, got '" + token + "'");
+    return static_cast<NodeId>(std::stoi(token.substr(1)));
+}
+
+} // namespace
+
+Dfg
+fromDot(const std::string &text)
+{
+    std::istringstream is(text);
+    return readDot(is);
+}
+
+Dfg
+readDot(std::istream &is)
+{
+    Dfg dfg;
+    std::string line;
+    bool seen_header = false;
+    struct PendingEdge { NodeId src, dst; std::int32_t distance; };
+    std::vector<PendingEdge> pending;
+    std::map<NodeId, std::pair<Opcode, std::string>> node_decls;
+
+    while (std::getline(is, line)) {
+        line = trim(line);
+        if (line.empty() || line == "}")
+            continue;
+        if (line.rfind("digraph", 0) == 0) {
+            seen_header = true;
+            const std::size_t q1 = line.find('"');
+            const std::size_t q2 =
+                q1 == std::string::npos ? q1 : line.find('"', q1 + 1);
+            if (q1 != std::string::npos && q2 != std::string::npos)
+                dfg.setName(line.substr(q1 + 1, q2 - q1 - 1));
+            continue;
+        }
+
+        // Chop trailing ';'.
+        if (!line.empty() && line.back() == ';')
+            line.pop_back();
+
+        std::map<std::string, std::string> attrs;
+        const std::size_t lb = line.find('[');
+        if (lb != std::string::npos) {
+            const std::size_t rb = line.rfind(']');
+            if (rb == std::string::npos || rb < lb)
+                fatal("DOT parse: unbalanced attribute brackets");
+            attrs = parseAttrs(line.substr(lb + 1, rb - lb - 1));
+            line = trim(line.substr(0, lb));
+        }
+
+        const std::size_t arrow = line.find("->");
+        if (arrow != std::string::npos) {
+            const NodeId src = parseNodeId(trim(line.substr(0, arrow)));
+            const NodeId dst = parseNodeId(trim(line.substr(arrow + 2)));
+            std::int32_t distance = 0;
+            if (const auto it = attrs.find("distance"); it != attrs.end())
+                distance = std::stoi(it->second);
+            pending.push_back(PendingEdge{src, dst, distance});
+        } else if (!line.empty()) {
+            const NodeId id = parseNodeId(line);
+            Opcode op = Opcode::Add;
+            if (const auto it = attrs.find("opcode"); it != attrs.end())
+                op = parseOpcode(it->second);
+            std::string label;
+            if (const auto it = attrs.find("label"); it != attrs.end())
+                label = it->second;
+            node_decls[id] = {op, label};
+        }
+    }
+    if (!seen_header)
+        fatal("DOT parse: missing 'digraph' header");
+
+    // Node ids must be dense 0..n-1 in this dialect.
+    for (const auto &[id, decl] : node_decls) {
+        if (id != dfg.nodeCount())
+            fatal(cat("DOT parse: non-contiguous node id n", id));
+        dfg.addNode(decl.first, decl.second);
+    }
+    for (const auto &e : pending)
+        dfg.addEdge(e.src, e.dst, e.distance);
+
+    dfg.validate();
+    return dfg;
+}
+
+} // namespace mapzero::dfg

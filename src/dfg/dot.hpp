@@ -1,0 +1,35 @@
+/**
+ * @file
+ * GraphViz DOT import/export for DFGs, the interchange format CGRA
+ * mapping tools conventionally use for extracted kernels.
+ */
+
+#ifndef MAPZERO_DFG_DOT_HPP
+#define MAPZERO_DFG_DOT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace mapzero::dfg {
+
+/** Serialize @p dfg as a DOT digraph (opcode labels, distance attrs). */
+std::string toDot(const Dfg &dfg);
+
+/** Write toDot() to a stream. */
+void writeDot(const Dfg &dfg, std::ostream &os);
+
+/**
+ * Parse a DOT digraph produced by toDot() (or hand-written in the same
+ * dialect): node lines `n3 [opcode=mul];`, edge lines
+ * `n0 -> n3 [distance=1];`. fatal() on malformed input.
+ */
+Dfg fromDot(const std::string &text);
+
+/** Read fromDot() from a stream. */
+Dfg readDot(std::istream &is);
+
+} // namespace mapzero::dfg
+
+#endif // MAPZERO_DFG_DOT_HPP

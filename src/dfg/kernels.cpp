@@ -1,0 +1,543 @@
+#include "dfg/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+namespace {
+
+/**
+ * Incremental DFG construction with the motifs the kernels share, plus a
+ * finalization step that adds the address-arithmetic chains of unrolled /
+ * strength-reduced loop control so the totals match Table 2 exactly.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(const std::string &name) { dfg_.setName(name); }
+
+    NodeId
+    node(Opcode op, const std::string &label = "")
+    {
+        return dfg_.addNode(op, label);
+    }
+
+    void
+    edge(NodeId src, NodeId dst, std::int32_t distance = 0)
+    {
+        dfg_.addEdge(src, dst, distance);
+    }
+
+    /** @p k load nodes (addresses wired later by finalize feeds). */
+    std::vector<NodeId>
+    loads(std::int32_t k)
+    {
+        std::vector<NodeId> ids;
+        for (std::int32_t i = 0; i < k; ++i) {
+            const NodeId v = node(Opcode::Load, cat("ld", i));
+            ids.push_back(v);
+            loads_.push_back(v);
+        }
+        return ids;
+    }
+
+    /** @p k shared immediate/coefficient nodes. */
+    std::vector<NodeId>
+    consts(std::int32_t k)
+    {
+        std::vector<NodeId> ids;
+        for (std::int32_t i = 0; i < k; ++i)
+            ids.push_back(node(Opcode::Const, cat("c", i)));
+        return ids;
+    }
+
+    /** One mul per element of @p a, coefficient from @p cs round-robin. */
+    std::vector<NodeId>
+    mulsWithCoeffs(const std::vector<NodeId> &a,
+                   const std::vector<NodeId> &cs)
+    {
+        std::vector<NodeId> ids;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const NodeId m = node(Opcode::Mul);
+            edge(a[i], m);
+            edge(cs[i % cs.size()], m);
+            ids.push_back(m);
+        }
+        return ids;
+    }
+
+    /** Balanced binary reduction; returns the root. k-1 nodes. */
+    NodeId
+    reduceTree(std::vector<NodeId> vals, Opcode op = Opcode::Add)
+    {
+        if (vals.empty())
+            panic("reduceTree over empty set");
+        while (vals.size() > 1) {
+            std::vector<NodeId> next;
+            for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+                const NodeId r = node(op);
+                edge(vals[i], r);
+                edge(vals[i + 1], r);
+                next.push_back(r);
+            }
+            if (vals.size() % 2 == 1)
+                next.push_back(vals.back());
+            vals = std::move(next);
+        }
+        return vals[0];
+    }
+
+    /** Loop-carried accumulator: add with a distance-1 self edge. */
+    NodeId
+    accumulator(NodeId input)
+    {
+        const NodeId acc = node(Opcode::Add, "acc");
+        edge(input, acc);
+        edge(acc, acc, 1);
+        return acc;
+    }
+
+    /** Store of @p value. */
+    NodeId
+    store(NodeId value)
+    {
+        const NodeId st = node(Opcode::Store);
+        edge(value, st);
+        return st;
+    }
+
+    /**
+     * Dot-product/MAC loop body: taps loads x shared coefficients into a
+     * reduction tree, accumulated across iterations and stored.
+     * Nodes: 3*taps + n_coeffs + 1.  Edges: 4*taps + 1.
+     */
+    void
+    dotProductCore(std::int32_t taps, std::int32_t n_coeffs)
+    {
+        const auto xs = loads(taps);
+        const auto cs = consts(n_coeffs);
+        const auto ms = mulsWithCoeffs(xs, cs);
+        const NodeId sum = reduceTree(ms);
+        store(accumulator(sum));
+    }
+
+    /**
+     * Finalize: append @p num_chains address chains totalling
+     * @p pad_nodes nodes (head Const, body Add), wire @p feed_edges
+     * address edges from chain nodes to loads/stores round-robin, then
+     * check the totals against Table 2.
+     */
+    Dfg
+    finalize(std::int32_t target_v, std::int32_t target_e)
+    {
+        const std::int32_t pad_v = target_v - dfg_.nodeCount();
+        const std::int32_t pad_e = target_e - dfg_.edgeCount();
+        if (pad_v < 0 || pad_e < 0)
+            panic(cat("kernel '", dfg_.name(), "' core too large: ",
+                      dfg_.nodeCount(), "/", dfg_.edgeCount()));
+
+        // Choose a chain count: at least enough that chain edges
+        // (pad_v - chains) do not exceed pad_e, and keep chains short.
+        std::int32_t chains = 0;
+        if (pad_v > 0) {
+            chains = std::max<std::int32_t>(1, pad_v - pad_e);
+            while (pad_v / chains > 16)
+                ++chains;
+        }
+        const std::int32_t feed_edges =
+            pad_e - (pad_v > 0 ? pad_v - chains : 0);
+        if (feed_edges < 0)
+            panic(cat("kernel '", dfg_.name(),
+                      "' padding infeasible: pad_v=", pad_v,
+                      " pad_e=", pad_e));
+
+        // Address chains: i, i+1, i+2, ... per unrolled lane.
+        std::vector<NodeId> chain_nodes;
+        for (std::int32_t c = 0; c < chains; ++c) {
+            const std::int32_t len =
+                pad_v / chains + (c < pad_v % chains ? 1 : 0);
+            NodeId prev = -1;
+            for (std::int32_t i = 0; i < len; ++i) {
+                const NodeId v =
+                    node(i == 0 ? Opcode::Const : Opcode::Add,
+                         cat("idx", c, "_", i));
+                if (prev >= 0)
+                    edge(prev, v);
+                chain_nodes.push_back(v);
+                prev = v;
+            }
+        }
+
+        // Address feeds into loads (what the chains compute). Stores
+        // are deliberately not fed: they are scheduled late, and wiring
+        // an early address node to a late consumer would manufacture
+        // slack no real unrolled loop has.
+        if (feed_edges > 0 && (chain_nodes.empty() || loads_.empty()))
+            panic(cat("kernel '", dfg_.name(),
+                      "' has no sources/targets for address feeds"));
+        std::int32_t added = 0;
+        for (std::int32_t round = 0; added < feed_edges; ++round) {
+            for (std::size_t t = 0;
+                 t < loads_.size() && added < feed_edges; ++t) {
+                const std::size_t s =
+                    (t + static_cast<std::size_t>(round)) %
+                    chain_nodes.size();
+                edge(chain_nodes[s], loads_[t]);
+                ++added;
+            }
+        }
+
+        if (dfg_.nodeCount() != target_v || dfg_.edgeCount() != target_e)
+            panic(cat("kernel '", dfg_.name(), "' count mismatch: got ",
+                      dfg_.nodeCount(), "/", dfg_.edgeCount(),
+                      ", want ", target_v, "/", target_e));
+        dfg_.validate();
+        return std::move(dfg_);
+    }
+
+    const std::vector<NodeId> &loads() const { return loads_; }
+
+  private:
+    Dfg dfg_;
+    std::vector<NodeId> loads_;
+};
+
+Dfg
+buildSum()
+{
+    // Reduction of two streams into a loop-carried accumulator.
+    KernelBuilder b("sum");
+    const auto xs = b.loads(2);
+    b.store(b.accumulator(b.reduceTree(xs)));
+    return b.finalize(8, 9);
+}
+
+Dfg
+buildAccumulate()
+{
+    KernelBuilder b("accumulate");
+    b.dotProductCore(4, 1);
+    return b.finalize(21, 25);
+}
+
+Dfg
+buildMac()
+{
+    KernelBuilder b("mac");
+    b.dotProductCore(2, 2);
+    return b.finalize(12, 14);
+}
+
+Dfg
+buildMac2()
+{
+    KernelBuilder b("mac2");
+    b.dotProductCore(8, 2);
+    return b.finalize(40, 46);
+}
+
+Dfg
+buildMatmul()
+{
+    // Inner-product loop of a blocked matrix multiply.
+    KernelBuilder b("matmul");
+    b.dotProductCore(5, 2);
+    return b.finalize(26, 28);
+}
+
+Dfg
+buildConv2()
+{
+    // 2x2 window convolution, one coefficient per tap.
+    KernelBuilder b("conv2");
+    b.dotProductCore(4, 4);
+    return b.finalize(18, 20);
+}
+
+Dfg
+buildConv3()
+{
+    // Separable 3-wide convolution after LLVM node balancing.
+    KernelBuilder b("conv3");
+    b.dotProductCore(7, 4);
+    return b.finalize(28, 31);
+}
+
+Dfg
+buildMults1()
+{
+    KernelBuilder b("mults1");
+    b.dotProductCore(7, 2);
+    return b.finalize(34, 38);
+}
+
+Dfg
+buildMults2()
+{
+    KernelBuilder b("mults2");
+    b.dotProductCore(9, 3);
+    return b.finalize(42, 48);
+}
+
+Dfg
+buildCap()
+{
+    KernelBuilder b("cap");
+    b.dotProductCore(8, 4);
+    return b.finalize(42, 47);
+}
+
+Dfg
+buildMulul()
+{
+    // Wide unsigned multiply decomposed into partial products.
+    KernelBuilder b("mulul");
+    b.dotProductCore(20, 8);
+    return b.finalize(97, 108);
+}
+
+Dfg
+buildArf()
+{
+    // Auto-regressive filter: 8 state loads each fanning out to two
+    // multipliers, 4 shared coefficient banks, one reduction lattice.
+    KernelBuilder b("arf");
+    const auto xs = b.loads(8);
+    const auto cs = b.consts(4);
+    std::vector<NodeId> ms;
+    for (std::int32_t i = 0; i < 16; ++i) {
+        const NodeId m = b.node(Opcode::Mul);
+        b.edge(xs[static_cast<std::size_t>(i / 2)], m);
+        b.edge(cs[static_cast<std::size_t>(i % 4)], m);
+        ms.push_back(m);
+    }
+    b.store(b.accumulator(b.reduceTree(ms)));
+    return b.finalize(54, 86);
+}
+
+Dfg
+buildH2v2()
+{
+    // JPEG h2v2 downsample: per block, average four pixels and store.
+    KernelBuilder b("h2v2");
+    for (std::int32_t blk = 0; blk < 7; ++blk) {
+        const auto px = b.loads(4);
+        const NodeId sum = b.reduceTree(px);
+        const NodeId shr = b.node(Opcode::Shr, cat("avg", blk));
+        b.edge(sum, shr);
+        b.store(shr);
+    }
+    return b.finalize(68, 71);
+}
+
+Dfg
+buildFilterU()
+{
+    // Unrolled 2-tap FIR, 25 lanes sharing 3 coefficients.
+    KernelBuilder b("filter_u");
+    const auto cs = b.consts(3);
+    for (std::int32_t lane = 0; lane < 25; ++lane) {
+        const auto xs = b.loads(2);
+        std::vector<NodeId> ms;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const NodeId m = b.node(Opcode::Mul);
+            b.edge(xs[i], m);
+            b.edge(cs[(static_cast<std::size_t>(lane) + i) % cs.size()],
+                   m);
+            ms.push_back(m);
+        }
+        b.store(b.reduceTree(ms));
+    }
+    return b.finalize(180, 201);
+}
+
+Dfg
+buildStencilU()
+{
+    // Unrolled 3-point stencil, 12 lanes sharing 5 coefficients.
+    KernelBuilder b("stencil_u");
+    const auto cs = b.consts(5);
+    for (std::int32_t lane = 0; lane < 12; ++lane) {
+        const auto xs = b.loads(3);
+        std::vector<NodeId> ms;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const NodeId m = b.node(Opcode::Mul);
+            b.edge(xs[i], m);
+            b.edge(cs[(static_cast<std::size_t>(lane) + i) % cs.size()],
+                   m);
+            ms.push_back(m);
+        }
+        b.store(b.reduceTree(ms));
+    }
+    return b.finalize(141, 159);
+}
+
+Dfg
+buildJpegdctU()
+{
+    // Unrolled 2-stage DCT butterfly network with coefficient multiplies.
+    KernelBuilder b("jpegdct_u");
+    const auto xs = b.loads(32);
+    auto butterfly_stage = [&b](const std::vector<NodeId> &in) {
+        std::vector<NodeId> out;
+        for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+            const NodeId s = b.node(Opcode::Add);
+            const NodeId d = b.node(Opcode::Sub);
+            b.edge(in[i], s);
+            b.edge(in[i + 1], s);
+            b.edge(in[i], d);
+            b.edge(in[i + 1], d);
+            out.push_back(s);
+            out.push_back(d);
+        }
+        return out;
+    };
+    const auto s1 = butterfly_stage(xs);
+    const auto s2 = butterfly_stage(s1);
+    const auto cs = b.consts(8);
+    for (std::size_t i = 0; i < 16; ++i) {
+        const NodeId m = b.node(Opcode::Mul);
+        b.edge(s2[i * 2], m);
+        b.edge(cs[i % cs.size()], m);
+        b.store(m);
+    }
+    return b.finalize(255, 295);
+}
+
+Dfg
+buildSortU()
+{
+    // Unrolled compare-exchange network over 64 elements.
+    KernelBuilder b("sort_u");
+    const auto xs = b.loads(64);
+    std::vector<NodeId> current = xs;
+    std::vector<NodeId> results;
+    for (std::int32_t ce = 0; ce < 60; ++ce) {
+        const std::size_t i = static_cast<std::size_t>(ce) %
+                              (current.size() - 1);
+        const NodeId cmp = b.node(Opcode::Cmp);
+        b.edge(current[i], cmp);
+        b.edge(current[i + 1], cmp);
+        const NodeId sel = b.node(Opcode::Select);
+        b.edge(current[i], sel);
+        b.edge(current[i + 1], sel);
+        b.edge(cmp, sel);
+        current[i] = sel;
+        results.push_back(sel);
+    }
+    for (std::size_t i = 0; i < 60; ++i)
+        b.store(results[i]);
+    for (std::size_t i = 0; i < 4; ++i)
+        b.store(xs[xs.size() - 1 - i]);
+    return b.finalize(328, 400);
+}
+
+Dfg
+buildHufU()
+{
+    // Unrolled Huffman encode step: branchy select/shift/or blocks.
+    KernelBuilder b("huf_u");
+    const auto cs = b.consts(8);
+    for (std::int32_t blk = 0; blk < 64; ++blk) {
+        const auto in = b.loads(2);
+        const NodeId cmp = b.node(Opcode::Cmp);
+        b.edge(in[0], cmp);
+        b.edge(in[1], cmp);
+        const NodeId sel = b.node(Opcode::Select);
+        b.edge(in[0], sel);
+        b.edge(in[1], sel);
+        b.edge(cmp, sel);
+        const NodeId shl = b.node(Opcode::Shl);
+        b.edge(sel, shl);
+        const NodeId orr = b.node(Opcode::Or);
+        b.edge(shl, orr);
+        b.edge(cs[static_cast<std::size_t>(blk) % cs.size()], orr);
+        b.store(orr);
+    }
+    return b.finalize(592, 720);
+}
+
+} // namespace
+
+const std::vector<KernelInfo> &
+kernelTable()
+{
+    static const std::vector<KernelInfo> table = {
+        {"accumulate", 21, 25, false},
+        {"arf", 54, 86, false},
+        {"cap", 42, 47, false},
+        {"conv2", 18, 20, false},
+        {"conv3", 28, 31, false},
+        {"filter_u", 180, 201, true},
+        {"huf_u", 592, 720, true},
+        {"h2v2", 68, 71, false},
+        {"jpegdct_u", 255, 295, true},
+        {"mac", 12, 14, false},
+        {"mac2", 40, 46, false},
+        {"matmul", 26, 28, false},
+        {"mults1", 34, 38, false},
+        {"mults2", 42, 48, false},
+        {"mulul", 97, 108, false},
+        {"sort_u", 328, 400, true},
+        {"stencil_u", 141, 159, true},
+        {"sum", 8, 9, false},
+    };
+    return table;
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &k : kernelTable())
+        names.push_back(k.name);
+    return names;
+}
+
+std::vector<std::string>
+coreKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &k : kernelTable())
+        if (!k.unrolled)
+            names.push_back(k.name);
+    return names;
+}
+
+std::vector<std::string>
+unrolledKernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &k : kernelTable())
+        if (k.unrolled)
+            names.push_back(k.name);
+    return names;
+}
+
+Dfg
+buildKernel(const std::string &name)
+{
+    if (name == "sum")        return buildSum();
+    if (name == "accumulate") return buildAccumulate();
+    if (name == "mac")        return buildMac();
+    if (name == "mac2")       return buildMac2();
+    if (name == "matmul")     return buildMatmul();
+    if (name == "conv2")      return buildConv2();
+    if (name == "conv3")      return buildConv3();
+    if (name == "mults1")     return buildMults1();
+    if (name == "mults2")     return buildMults2();
+    if (name == "cap")        return buildCap();
+    if (name == "mulul")      return buildMulul();
+    if (name == "arf")        return buildArf();
+    if (name == "h2v2")       return buildH2v2();
+    if (name == "filter_u")   return buildFilterU();
+    if (name == "stencil_u")  return buildStencilU();
+    if (name == "jpegdct_u")  return buildJpegdctU();
+    if (name == "sort_u")     return buildSortU();
+    if (name == "huf_u")      return buildHufU();
+    fatal("unknown benchmark kernel: " + name);
+}
+
+} // namespace mapzero::dfg

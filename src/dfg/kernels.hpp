@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic benchmark-kernel DFG generators.
+ *
+ * The paper evaluates on loop kernels extracted by LLVM from Microbench,
+ * ExPRESS, and Embench-IoT (Table 2). The extracted DFGs are not published,
+ * so each generator here builds a DFG with the *exact* vertex and edge
+ * counts of Table 2 and a structure faithful to the kernel's computation:
+ * dot-product/MAC cores for the filter kernels, butterfly stages for the
+ * DCT, compare-exchange networks for sort, branchy select chains for
+ * Huffman, plus the unrolled-loop address-arithmetic chains LLVM emits.
+ * Mapping difficulty depends only on graph structure and opcodes, which
+ * this preserves (see DESIGN.md, substitution table).
+ */
+
+#ifndef MAPZERO_DFG_KERNELS_HPP
+#define MAPZERO_DFG_KERNELS_HPP
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace mapzero::dfg {
+
+/** Static description of one benchmark kernel. */
+struct KernelInfo {
+    std::string name;
+    std::int32_t vertices;
+    std::int32_t edges;
+    /** True for the *_u kernels used in the scalability study (Fig. 13). */
+    bool unrolled;
+};
+
+/** Table 2, in alphabetical order. */
+const std::vector<KernelInfo> &kernelTable();
+
+/** Names of every kernel in kernelTable(). */
+std::vector<std::string> kernelNames();
+
+/**
+ * Build the named kernel's DFG. The result is validated and guaranteed to
+ * match the vertex/edge counts of kernelTable(). fatal() on unknown names.
+ */
+Dfg buildKernel(const std::string &name);
+
+/** Convenience: the non-unrolled kernels (the paper's Fig. 8-11 set). */
+std::vector<std::string> coreKernelNames();
+
+/** Convenience: the unrolled kernels (Fig. 13 scalability set). */
+std::vector<std::string> unrolledKernelNames();
+
+} // namespace mapzero::dfg
+
+#endif // MAPZERO_DFG_KERNELS_HPP

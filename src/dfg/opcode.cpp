@@ -1,0 +1,81 @@
+#include "dfg/opcode.hpp"
+
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return OpClass::Memory;
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+      case Opcode::Cmp:
+      case Opcode::Select:
+        return OpClass::Logic;
+      case Opcode::Const:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Mac:
+      case Opcode::Phi:
+      case Opcode::Route:
+        return OpClass::Arithmetic;
+    }
+    panic("unknown opcode");
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const:  return "const";
+      case Opcode::Add:    return "add";
+      case Opcode::Sub:    return "sub";
+      case Opcode::Mul:    return "mul";
+      case Opcode::Div:    return "div";
+      case Opcode::Mac:    return "mac";
+      case Opcode::Shl:    return "shl";
+      case Opcode::Shr:    return "shr";
+      case Opcode::And:    return "and";
+      case Opcode::Or:     return "or";
+      case Opcode::Xor:    return "xor";
+      case Opcode::Not:    return "not";
+      case Opcode::Cmp:    return "cmp";
+      case Opcode::Select: return "select";
+      case Opcode::Load:   return "load";
+      case Opcode::Store:  return "store";
+      case Opcode::Phi:    return "phi";
+      case Opcode::Route:  return "route";
+    }
+    panic("unknown opcode");
+}
+
+Opcode
+parseOpcode(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (std::int32_t i = 0; i < kOpcodeCount; ++i) {
+            const auto op = static_cast<Opcode>(i);
+            t.emplace(opcodeName(op), op);
+        }
+        return t;
+    }();
+    const auto it = table.find(name);
+    if (it == table.end())
+        fatal("unknown opcode mnemonic: " + name);
+    return it->second;
+}
+
+} // namespace mapzero::dfg

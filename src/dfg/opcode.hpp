@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DFG operation codes and their functional classification.
+ *
+ * The classification (arithmetic / logical / memory) is what the CGRA PE
+ * capability model keys on: the paper encodes "whether this PE can perform
+ * logical, arithmetic, and memory access operations" as three booleans of
+ * the hardware feature vector (§3.2.2).
+ */
+
+#ifndef MAPZERO_DFG_OPCODE_HPP
+#define MAPZERO_DFG_OPCODE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace mapzero::dfg {
+
+/** Operation performed by a DFG node. */
+enum class Opcode : std::uint8_t {
+    Const,   ///< materialize an immediate
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mac,     ///< fused multiply-accumulate
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    Not,
+    Cmp,     ///< comparison producing a predicate
+    Select,  ///< predicated select (cmov)
+    Load,
+    Store,
+    Phi,     ///< loop-header merge
+    Route,   ///< pure data movement (inserted by node balancing)
+};
+
+/** Functional class a PE must support to execute an opcode. */
+enum class OpClass : std::uint8_t { Arithmetic, Logic, Memory };
+
+/** Functional class of @p op. */
+OpClass opClass(Opcode op);
+
+/** Lower-case mnemonic, e.g. "add". */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; fatal() on unknown names. */
+Opcode parseOpcode(const std::string &name);
+
+/** Small integer code used in feature vectors. */
+inline std::int32_t
+opcodeIndex(Opcode op)
+{
+    return static_cast<std::int32_t>(op);
+}
+
+/** Number of distinct opcodes. */
+constexpr std::int32_t kOpcodeCount =
+    static_cast<std::int32_t>(Opcode::Route) + 1;
+
+} // namespace mapzero::dfg
+
+#endif // MAPZERO_DFG_OPCODE_HPP

@@ -1,0 +1,114 @@
+#include "dfg/random_gen.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+Dfg
+randomDfg(const RandomDfgParams &params, Rng &rng)
+{
+    if (params.nodes < 2)
+        fatal("randomDfg requires at least 2 nodes");
+
+    Dfg dfg;
+    dfg.setName("random");
+
+    // Arithmetic/logic opcode palette for interior nodes.
+    static const Opcode palette[] = {
+        Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And,
+        Opcode::Or,  Opcode::Xor, Opcode::Shl, Opcode::Cmp,
+    };
+
+    const std::int32_t n = params.nodes;
+    for (std::int32_t i = 0; i < n; ++i) {
+        Opcode op;
+        if (rng.bernoulli(params.memFraction)) {
+            // Loads early in the graph, stores late.
+            op = i < n / 2 ? Opcode::Load : Opcode::Store;
+        } else {
+            op = palette[rng.uniformInt(std::size(palette))];
+        }
+        dfg.addNode(op);
+    }
+
+    // Edges only go forward (node ids double as a topological order), so
+    // the distance-0 subgraph is acyclic by construction.
+    std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+    const auto want_edges = static_cast<std::int32_t>(
+        params.fanout * static_cast<double>(n - 1));
+    std::int32_t added = 0;
+    // Backbone: every node except the first gets one predecessor so the
+    // graph is connected.
+    for (std::int32_t v = 1; v < n; ++v) {
+        const auto u =
+            static_cast<NodeId>(rng.uniformInt(0, v - 1));
+        dfg.addEdge(u, v);
+        ++indeg[static_cast<std::size_t>(v)];
+        ++added;
+    }
+    std::int32_t attempts = 0;
+    while (added < want_edges && attempts < 20 * want_edges) {
+        ++attempts;
+        const auto u = static_cast<NodeId>(rng.uniformInt(0, n - 2));
+        const auto v = static_cast<NodeId>(rng.uniformInt(u + 1, n - 1));
+        if (indeg[static_cast<std::size_t>(v)] >= params.maxInDegree)
+            continue;
+        dfg.addEdge(u, v);
+        ++indeg[static_cast<std::size_t>(v)];
+        ++added;
+    }
+
+    // Loop-carried accumulators.
+    for (NodeId v = 0; v < n; ++v) {
+        if (opClass(dfg.node(v).opcode) != OpClass::Memory &&
+            rng.bernoulli(params.selfCycleProb)) {
+            dfg.addEdge(v, v, 1);
+        }
+    }
+
+    dfg.validate();
+    return dfg;
+}
+
+double
+dfgDifficulty(const Dfg &dfg)
+{
+    const auto n = static_cast<double>(dfg.nodeCount());
+    const auto e = static_cast<double>(dfg.edgeCount());
+    const auto mem = static_cast<double>(dfg.memoryOpCount());
+    double max_fanout = 0.0;
+    for (NodeId v = 0; v < dfg.nodeCount(); ++v)
+        max_fanout =
+            std::max(max_fanout, static_cast<double>(dfg.outDegree(v)));
+    return n + 2.0 * (e / std::max(n, 1.0)) + mem + 0.5 * max_fanout;
+}
+
+std::vector<Dfg>
+curriculum(std::int32_t count, std::int32_t min_nodes,
+           std::int32_t max_nodes, Rng &rng)
+{
+    if (min_nodes < 2 || max_nodes < min_nodes)
+        fatal("curriculum: invalid node-count range");
+    std::vector<Dfg> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::int32_t i = 0; i < count; ++i) {
+        RandomDfgParams p;
+        p.nodes =
+            static_cast<std::int32_t>(rng.uniformInt(min_nodes, max_nodes));
+        p.fanout = rng.uniformReal(1.1, 1.8);
+        p.memFraction = rng.uniformReal(0.1, 0.3);
+        p.selfCycleProb = rng.uniformReal(0.0, 0.2);
+        Dfg d = randomDfg(p, rng);
+        d.setName(cat("random", i, "_n", p.nodes));
+        out.push_back(std::move(d));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Dfg &a, const Dfg &b) {
+        return dfgDifficulty(a) < dfgDifficulty(b);
+    });
+    return out;
+}
+
+} // namespace mapzero::dfg

@@ -1,0 +1,430 @@
+#include "dfg/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace mapzero::dfg {
+
+std::int32_t
+Schedule::nodesInModuloSlot(std::int32_t slot) const
+{
+    return static_cast<std::int32_t>(
+        std::count(moduloTime.begin(), moduloTime.end(), slot));
+}
+
+std::int32_t
+Schedule::length() const
+{
+    if (time.empty())
+        return 0;
+    return *std::max_element(time.begin(), time.end()) + 1;
+}
+
+std::vector<NodeId>
+topologicalOrder(const Dfg &dfg)
+{
+    const std::int32_t n = dfg.nodeCount();
+    std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+    for (const auto &e : dfg.edges())
+        if (e.distance == 0)
+            ++indeg[static_cast<std::size_t>(e.dst)];
+
+    // Min-id-first frontier keeps the order deterministic.
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v)
+        if (indeg[static_cast<std::size_t>(v)] == 0)
+            frontier.push_back(v);
+
+    std::vector<NodeId> order;
+    order.reserve(static_cast<std::size_t>(n));
+    while (!frontier.empty()) {
+        const auto it = std::min_element(frontier.begin(), frontier.end());
+        const NodeId v = *it;
+        frontier.erase(it);
+        order.push_back(v);
+        for (std::int32_t ei : dfg.outEdges(v)) {
+            const DfgEdge &e = dfg.edges()[static_cast<std::size_t>(ei)];
+            if (e.distance != 0)
+                continue;
+            if (--indeg[static_cast<std::size_t>(e.dst)] == 0)
+                frontier.push_back(e.dst);
+        }
+    }
+    if (static_cast<std::int32_t>(order.size()) != n)
+        fatal(cat("dfg '", dfg.name(),
+                  "': cycle in distance-0 subgraph, no topological order"));
+    return order;
+}
+
+std::int32_t
+resMii(const Dfg &dfg, std::int32_t num_pes, std::int32_t num_mem_pes)
+{
+    if (num_pes <= 0)
+        fatal("resMii: architecture has no PEs");
+    const std::int32_t n = dfg.nodeCount();
+    const std::int32_t mem = dfg.memoryOpCount();
+    std::int32_t ii = (n + num_pes - 1) / num_pes;
+    if (mem > 0) {
+        if (num_mem_pes <= 0)
+            fatal(cat("dfg '", dfg.name(), "' needs memory ops but the "
+                      "architecture has no memory-capable PEs"));
+        ii = std::max(ii, (mem + num_mem_pes - 1) / num_mem_pes);
+    }
+    return std::max(ii, 1);
+}
+
+namespace {
+
+/**
+ * Longest-path fixpoint for constraint graph with weights
+ * (1 - ii * distance). Returns times, or nullopt on a positive cycle.
+ */
+std::optional<std::vector<std::int32_t>>
+longestPathTimes(const Dfg &dfg, std::int32_t ii)
+{
+    const auto n = static_cast<std::size_t>(dfg.nodeCount());
+    std::vector<std::int32_t> time(n, 0);
+    // Bellman-Ford style relaxation; at most n rounds, else positive cycle.
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool changed = false;
+        for (const auto &e : dfg.edges()) {
+            const std::int32_t w = 1 - ii * e.distance;
+            const std::int32_t cand =
+                time[static_cast<std::size_t>(e.src)] + w;
+            auto &t = time[static_cast<std::size_t>(e.dst)];
+            if (cand > t) {
+                t = cand;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            // Normalize so the earliest node starts at slice 0.
+            const std::int32_t lo =
+                *std::min_element(time.begin(), time.end());
+            for (auto &t : time)
+                t -= lo;
+            return time;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::int32_t
+recMii(const Dfg &dfg)
+{
+    // Smallest ii admitting a consistent schedule. II can never exceed
+    // the total latency of the longest simple cycle <= node count + 1.
+    const std::int32_t hi = dfg.nodeCount() + 1;
+    for (std::int32_t ii = 1; ii <= hi; ++ii)
+        if (longestPathTimes(dfg, ii).has_value())
+            return ii;
+    fatal(cat("dfg '", dfg.name(), "': no feasible II up to ", hi,
+              " (malformed recurrence)"));
+}
+
+std::int32_t
+minimumIi(const Dfg &dfg, std::int32_t num_pes, std::int32_t num_mem_pes)
+{
+    return std::max(resMii(dfg, num_pes, num_mem_pes), recMii(dfg));
+}
+
+namespace {
+
+/**
+ * Latest feasible times: backward min-relaxation with sinks pinned to
+ * their ASAP times. Guaranteed >= ASAP elementwise (see the argument in
+ * the unit tests); falls back to ASAP if relaxation fails to converge.
+ */
+std::vector<std::int32_t>
+latestTimes(const Dfg &dfg, std::int32_t ii,
+            const std::vector<std::int32_t> &asap)
+{
+    constexpr std::int32_t inf = std::numeric_limits<std::int32_t>::max();
+    const auto n = static_cast<std::size_t>(dfg.nodeCount());
+    std::vector<std::int32_t> alap(n, inf);
+    // Sinks have no consumers, so they may slide a full modulo period
+    // later; this lets the slot balancer move stores out of crowded
+    // slices (critical under the ADRES row-bus capacity).
+    for (NodeId v = 0; v < dfg.nodeCount(); ++v)
+        if (dfg.outEdges(v).empty())
+            alap[static_cast<std::size_t>(v)] =
+                asap[static_cast<std::size_t>(v)] + ii - 1;
+
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool changed = false;
+        for (const auto &e : dfg.edges()) {
+            if (e.src == e.dst)
+                continue; // self recurrences never bound lateness
+            const auto d = alap[static_cast<std::size_t>(e.dst)];
+            if (d == inf)
+                continue;
+            const std::int32_t bound = d - 1 + ii * e.distance;
+            auto &t = alap[static_cast<std::size_t>(e.src)];
+            if (bound < t) {
+                t = bound;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        if (round == n)
+            return asap; // no fixpoint; be conservative
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        if (alap[v] == inf || alap[v] < asap[v])
+            alap[v] = asap[v];
+    }
+    return alap;
+}
+
+} // namespace
+
+std::optional<Schedule>
+moduloSchedule(const Dfg &dfg, std::int32_t ii,
+               std::int32_t mem_capacity_per_slot)
+{
+    if (ii < 1)
+        fatal("moduloSchedule: ii must be >= 1");
+    auto asap_opt = longestPathTimes(dfg, ii);
+    if (!asap_opt)
+        return std::nullopt;
+    const std::vector<std::int32_t> asap = std::move(*asap_opt);
+    const std::vector<std::int32_t> alap = latestTimes(dfg, ii, asap);
+
+    // Greedy slot-balanced assignment in topological order: each node
+    // picks a time in its feasible window [lo, hi] whose modulo slot is
+    // least loaded, preferring late times (slack hugs the consumer, so
+    // fewer routing holds are needed - single-output-register fabrics
+    // cannot stall values for long).
+    const auto order = topologicalOrder(dfg);
+    std::vector<std::int32_t> time(asap.size(), -1);
+    std::vector<std::int32_t> population(static_cast<std::size_t>(ii), 0);
+    std::vector<std::int32_t> mem_population(
+        static_cast<std::size_t>(ii), 0);
+    for (NodeId v : order) {
+        const auto vi = static_cast<std::size_t>(v);
+        std::int32_t lo = asap[vi];
+        std::int32_t hi = alap[vi];
+        for (std::int32_t ei : dfg.inEdges(v)) {
+            const DfgEdge &e = dfg.edges()[static_cast<std::size_t>(ei)];
+            if (e.src == e.dst)
+                continue;
+            const std::int32_t src_time =
+                time[static_cast<std::size_t>(e.src)];
+            if (src_time >= 0)
+                lo = std::max(lo, src_time + 1 - ii * e.distance);
+        }
+        for (std::int32_t ei : dfg.outEdges(v)) {
+            const DfgEdge &e = dfg.edges()[static_cast<std::size_t>(ei)];
+            if (e.src == e.dst || e.distance == 0)
+                continue;
+            // Back edge to an already-placed earlier node bounds v.
+            const std::int32_t dst_time =
+                time[static_cast<std::size_t>(e.dst)];
+            if (dst_time >= 0)
+                hi = std::min(hi, dst_time - 1 + ii * e.distance);
+        }
+        if (hi < lo)
+            hi = lo; // windows are conservative; lo always feasible
+
+        const bool is_mem =
+            opClass(dfg.node(v).opcode) == OpClass::Memory;
+        std::int32_t best_t = hi;
+        // Rank candidates: (memory-capacity violation, population),
+        // scanning at most one modulo period, latest first.
+        auto rank = [&](std::int32_t t) {
+            const auto slot =
+                static_cast<std::size_t>(((t % ii) + ii) % ii);
+            const std::int64_t violation =
+                is_mem && mem_population[slot] >= mem_capacity_per_slot
+                    ? 1
+                    : 0;
+            return violation * 1000000 +
+                   static_cast<std::int64_t>(population[slot]);
+        };
+        std::int64_t best_rank = std::numeric_limits<std::int64_t>::max();
+        for (std::int32_t t = hi;
+             t >= lo && t > hi - ii; --t) {
+            const std::int64_t r = rank(t);
+            if (r < best_rank) {
+                best_rank = r;
+                best_t = t;
+            }
+        }
+        const auto best_slot =
+            static_cast<std::size_t>(((best_t % ii) + ii) % ii);
+        time[vi] = best_t;
+        ++population[best_slot];
+        if (is_mem)
+            ++mem_population[best_slot];
+    }
+
+    // Repair pass: the greedy assignment can strand late-pinned nodes
+    // in slots that exceed the memory-issue capacity (and occasionally
+    // overload a slot's total population). Migrate movable nodes out of
+    // overloaded slots; each move respects every incident edge against
+    // the *current* times, so consistency is preserved.
+    if (ii > 1) {
+        auto slot_of = [ii](std::int32_t t) {
+            return static_cast<std::size_t>(((t % ii) + ii) % ii);
+        };
+        for (std::int32_t pass = 0; pass < 4; ++pass) {
+            bool moved = false;
+            for (NodeId v = 0; v < dfg.nodeCount(); ++v) {
+                const auto vi2 = static_cast<std::size_t>(v);
+                const bool is_mem =
+                    opClass(dfg.node(v).opcode) == OpClass::Memory;
+                const auto cur_slot = slot_of(time[vi2]);
+                const bool mem_over = is_mem &&
+                    mem_population[cur_slot] > mem_capacity_per_slot;
+                if (!mem_over)
+                    continue;
+
+                // Tight window against current neighbor times.
+                std::int32_t lo =
+                    std::numeric_limits<std::int32_t>::min();
+                std::int32_t hi =
+                    std::numeric_limits<std::int32_t>::max();
+                for (std::int32_t ei : dfg.inEdges(v)) {
+                    const DfgEdge &e =
+                        dfg.edges()[static_cast<std::size_t>(ei)];
+                    if (e.src == e.dst)
+                        continue;
+                    lo = std::max(lo,
+                                  time[static_cast<std::size_t>(e.src)] +
+                                      1 - ii * e.distance);
+                }
+                for (std::int32_t ei : dfg.outEdges(v)) {
+                    const DfgEdge &e =
+                        dfg.edges()[static_cast<std::size_t>(ei)];
+                    if (e.src == e.dst)
+                        continue;
+                    hi = std::min(hi,
+                                  time[static_cast<std::size_t>(e.dst)] -
+                                      1 + ii * e.distance);
+                }
+                if (lo == std::numeric_limits<std::int32_t>::min())
+                    lo = std::max(0, time[vi2] - ii + 1);
+                if (hi == std::numeric_limits<std::int32_t>::max())
+                    hi = time[vi2] + ii - 1;
+                if (hi < lo)
+                    continue;
+
+                for (std::int32_t t = hi; t >= lo && t > hi - ii; --t) {
+                    const auto s = slot_of(t);
+                    if (s == cur_slot)
+                        continue;
+                    if (mem_population[s] >= mem_capacity_per_slot)
+                        continue;
+                    --population[cur_slot];
+                    --mem_population[cur_slot];
+                    time[vi2] = t;
+                    ++population[s];
+                    ++mem_population[s];
+                    moved = true;
+                    break;
+                }
+            }
+            if (!moved)
+                break;
+        }
+    }
+
+    // The greedy pass uses conservative windows; verify every edge
+    // constraint and fall back to the always-consistent ASAP schedule
+    // when the balanced assignment pinched a recurrence.
+    bool consistent = true;
+    for (const auto &e : dfg.edges()) {
+        if (time[static_cast<std::size_t>(e.dst)] <
+            time[static_cast<std::size_t>(e.src)] + 1 -
+                ii * e.distance) {
+            consistent = false;
+            break;
+        }
+    }
+    if (!consistent)
+        time = asap;
+
+    // Normalize so the earliest node starts at slice 0.
+    const std::int32_t min_t =
+        *std::min_element(time.begin(), time.end());
+    for (auto &t : time)
+        t -= min_t;
+
+    Schedule s;
+    s.ii = ii;
+    s.time = std::move(time);
+    s.moduloTime.reserve(s.time.size());
+    for (std::int32_t t : s.time)
+        s.moduloTime.push_back(t % ii);
+
+    // Placement order: affinity-driven topological order. Among ready
+    // nodes (all distance-0 predecessors ordered), prefer the one most
+    // connected to what is already ordered, then the earliest-scheduled.
+    // For DFGs made of many independent lanes (the unrolled kernels)
+    // this emits one lane at a time, so a placer laying nodes down in
+    // this order keeps producers and consumers adjacent - time-sorted
+    // order would interleave all lanes and scatter them.
+    {
+        const std::int32_t n = dfg.nodeCount();
+        std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+        for (const auto &e : dfg.edges())
+            if (e.distance == 0)
+                ++indeg[static_cast<std::size_t>(e.dst)];
+        std::vector<bool> ordered(static_cast<std::size_t>(n), false);
+        std::vector<std::int32_t> affinity(static_cast<std::size_t>(n),
+                                           0);
+        std::vector<NodeId> ready;
+        for (NodeId v = 0; v < n; ++v)
+            if (indeg[static_cast<std::size_t>(v)] == 0)
+                ready.push_back(v);
+
+        s.order.reserve(static_cast<std::size_t>(n));
+        while (!ready.empty()) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < ready.size(); ++i) {
+                const auto a = static_cast<std::size_t>(ready[i]);
+                const auto b = static_cast<std::size_t>(ready[best]);
+                if (affinity[a] != affinity[b]) {
+                    if (affinity[a] > affinity[b])
+                        best = i;
+                } else if (s.time[a] != s.time[b]) {
+                    if (s.time[a] < s.time[b])
+                        best = i;
+                } else if (ready[i] < ready[best]) {
+                    best = i;
+                }
+            }
+            const NodeId v = ready[best];
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+            ordered[static_cast<std::size_t>(v)] = true;
+            s.order.push_back(v);
+            for (std::int32_t ei : dfg.outEdges(v)) {
+                const DfgEdge &e =
+                    dfg.edges()[static_cast<std::size_t>(ei)];
+                ++affinity[static_cast<std::size_t>(e.dst)];
+                if (e.distance == 0 &&
+                    --indeg[static_cast<std::size_t>(e.dst)] == 0) {
+                    ready.push_back(e.dst);
+                }
+            }
+            for (std::int32_t ei : dfg.inEdges(v)) {
+                const DfgEdge &e =
+                    dfg.edges()[static_cast<std::size_t>(ei)];
+                if (!ordered[static_cast<std::size_t>(e.src)])
+                    ++affinity[static_cast<std::size_t>(e.src)];
+            }
+        }
+        if (static_cast<std::int32_t>(s.order.size()) != n)
+            fatal(cat("dfg '", dfg.name(),
+                      "': affinity order failed (cycle?)"));
+    }
+    return s;
+}
+
+} // namespace mapzero::dfg

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scheduling analyses over a Dfg: topological order, minimum initiation
+ * interval (ResMII / RecMII), and modulo scheduling of node time slices.
+ *
+ * The paper folds scheduling into placement ("in this paper, scheduling is
+ * contained in placement"): every mapper first computes a modulo schedule
+ * for the target II, then the mapping environment assigns nodes to PEs in
+ * scheduled order. Time slices also feed the DFG feature vector
+ * ((3) scheduled time slice, (4) scheduled modulo time slice).
+ */
+
+#ifndef MAPZERO_DFG_SCHEDULE_HPP
+#define MAPZERO_DFG_SCHEDULE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace mapzero::dfg {
+
+/** Per-node schedule produced by moduloSchedule(). */
+struct Schedule {
+    /** Target initiation interval the schedule obeys. */
+    std::int32_t ii = 1;
+    /** Absolute time slice of each node (unit latency per op). */
+    std::vector<std::int32_t> time;
+    /** time[v] % ii, cached. */
+    std::vector<std::int32_t> moduloTime;
+    /** Topological placement order (ancestors first). */
+    std::vector<NodeId> order;
+
+    /** Count of nodes sharing modulo slice @p slot. */
+    std::int32_t nodesInModuloSlot(std::int32_t slot) const;
+    /** Total schedule length in cycles (max time + 1). */
+    std::int32_t length() const;
+};
+
+/**
+ * Topological order of the distance-0 subgraph, ties broken by node id.
+ * fatal() when the subgraph has a cycle.
+ */
+std::vector<NodeId> topologicalOrder(const Dfg &dfg);
+
+/**
+ * Resource-constrained minimum II: enough PE slots for every op and
+ * enough memory-capable slots for every load/store.
+ *
+ * @param num_pes total PEs per time slice
+ * @param num_mem_pes PEs able to issue memory operations
+ */
+std::int32_t resMii(const Dfg &dfg, std::int32_t num_pes,
+                    std::int32_t num_mem_pes);
+
+/**
+ * Recurrence-constrained minimum II: the smallest II such that no
+ * dependency cycle requires more latency than II times its total
+ * iteration distance. 1 when the graph has no loop-carried cycles.
+ */
+std::int32_t recMii(const Dfg &dfg);
+
+/** max(resMii, recMii). */
+std::int32_t minimumIi(const Dfg &dfg, std::int32_t num_pes,
+                       std::int32_t num_mem_pes);
+
+/**
+ * Modulo schedule for a target @p ii.
+ *
+ * Times satisfy time[dst] >= time[src] + 1 - ii * distance for every
+ * edge. Within each node's feasible [ASAP, ALAP] window the scheduler
+ * balances modulo-slot populations (preferring late times so slack hugs
+ * the consumer), and keeps the number of memory operations per modulo
+ * slot under @p mem_capacity_per_slot when possible (the ADRES row bus
+ * makes this a hard placement constraint; INT32_MAX disables it).
+ * Returns nullopt when ii < RecMII (a positive cycle exists).
+ */
+std::optional<Schedule> moduloSchedule(
+    const Dfg &dfg, std::int32_t ii,
+    std::int32_t mem_capacity_per_slot =
+        std::numeric_limits<std::int32_t>::max());
+
+} // namespace mapzero::dfg
+
+#endif // MAPZERO_DFG_SCHEDULE_HPP

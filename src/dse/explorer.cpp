@@ -1,0 +1,174 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero::dse {
+
+bool
+DesignPoint::operator==(const DesignPoint &other) const
+{
+    return rows == other.rows && cols == other.cols &&
+           oneHop == other.oneHop && diagonal == other.diagonal &&
+           toroidal == other.toroidal && memColumns == other.memColumns;
+}
+
+cgra::Architecture
+DesignPoint::build() const
+{
+    std::uint8_t links =
+        static_cast<std::uint8_t>(cgra::Interconnect::Mesh);
+    if (oneHop)
+        links |= static_cast<std::uint8_t>(cgra::Interconnect::OneHop);
+    if (diagonal)
+        links |= static_cast<std::uint8_t>(cgra::Interconnect::Diagonal);
+    if (toroidal)
+        links |= static_cast<std::uint8_t>(cgra::Interconnect::Toroidal);
+
+    cgra::Architecture arch(describe(), rows, cols, links);
+    for (std::int32_t r = 0; r < rows; ++r)
+        for (std::int32_t c = 0; c < cols; ++c)
+            arch.pe(arch.peAt(r, c)).memory = c < memColumns;
+    return arch;
+}
+
+std::string
+DesignPoint::describe() const
+{
+    std::string links = "mesh";
+    if (oneHop)
+        links += "+1hop";
+    if (diagonal)
+        links += "+diag";
+    if (toroidal)
+        links += "+torus";
+    return cat(rows, "x", cols, " ", links, " mem=", memColumns, "col");
+}
+
+DseExplorer::DseExplorer(const std::vector<dfg::Dfg> &kernels,
+                         DseConfig config)
+    : kernels_(&kernels), config_(config)
+{
+    if (kernels.empty())
+        fatal("DseExplorer needs at least one kernel");
+}
+
+DseEvaluation
+DseExplorer::evaluate(const DesignPoint &point)
+{
+    DseEvaluation eval;
+    eval.point = point;
+    const cgra::Architecture arch = point.build();
+
+    // A fabric with no memory access cannot run loop kernels at all.
+    if (arch.memoryPeCount() == 0) {
+        eval.cost = 1e9;
+        return eval;
+    }
+
+    Compiler compiler;
+    CompileOptions options;
+    options.timeLimitSeconds = config_.compileTimeLimit;
+
+    double performance = 0.0;
+    for (const auto &kernel : *kernels_) {
+        const CompileResult r =
+            compiler.compile(kernel, arch, config_.method, options);
+        eval.achievedIi.push_back(r.success ? r.ii : 0);
+        performance += r.success
+            ? config_.objective.iiWeight * static_cast<double>(r.ii)
+            : config_.objective.failurePenalty;
+    }
+
+    const double area =
+        config_.objective.peWeight * static_cast<double>(arch.peCount());
+    const double wiring = config_.objective.linkWeight *
+                          static_cast<double>(arch.linkList().size());
+    const double mem_ports =
+        config_.objective.memWeight *
+        static_cast<double>(arch.memoryPeCount());
+    eval.cost = performance + area + wiring + mem_ports;
+    return eval;
+}
+
+std::vector<DesignPoint>
+DseExplorer::neighbors(const DesignPoint &point) const
+{
+    std::vector<DesignPoint> out;
+    auto push = [&](DesignPoint p) {
+        p.rows = std::clamp(p.rows, config_.minDim, config_.maxDim);
+        p.cols = std::clamp(p.cols, config_.minDim, config_.maxDim);
+        p.memColumns = std::clamp(p.memColumns, 1, p.cols);
+        if (!(p == point) &&
+            std::find(out.begin(), out.end(), p) == out.end()) {
+            out.push_back(p);
+        }
+    };
+
+    DesignPoint p = point;
+    // Add/remove PEs (a row or a column at a time).
+    p = point; ++p.rows; push(p);
+    p = point; --p.rows; push(p);
+    p = point; ++p.cols; push(p);
+    p = point; --p.cols; push(p);
+    // Add/remove interconnect styles.
+    p = point; p.oneHop = !p.oneHop; push(p);
+    p = point; p.diagonal = !p.diagonal; push(p);
+    p = point; p.toroidal = !p.toroidal; push(p);
+    // Add/remove memory ports.
+    p = point; ++p.memColumns; push(p);
+    p = point; --p.memColumns; push(p);
+    return out;
+}
+
+DseResult
+DseExplorer::explore(const DesignPoint &start)
+{
+    Rng rng(config_.seed);
+    DseResult result;
+    result.best = evaluate(start);
+    result.trace.push_back(result.best);
+
+    DesignPoint current_point = start;
+    double current_cost = result.best.cost;
+
+    for (std::int32_t restart = 0; restart <= config_.restarts;
+         ++restart) {
+        for (std::int32_t step = 0; step < config_.steps; ++step) {
+            auto candidates = neighbors(current_point);
+            if (candidates.empty())
+                break;
+            // Evaluate a random subset each step (cheap hill climbing
+            // with sideways moves allowed).
+            rng.shuffle(candidates);
+            const std::size_t probe =
+                std::min<std::size_t>(3, candidates.size());
+            bool moved = false;
+            for (std::size_t i = 0; i < probe; ++i) {
+                DseEvaluation eval = evaluate(candidates[i]);
+                result.trace.push_back(eval);
+                if (eval.cost < result.best.cost)
+                    result.best = eval;
+                if (eval.cost <= current_cost) {
+                    current_point = candidates[i];
+                    current_cost = eval.cost;
+                    moved = true;
+                    break;
+                }
+            }
+            if (!moved)
+                break; // local optimum for this restart
+        }
+        // Restart from a random perturbation of the best point.
+        current_point = result.best.point;
+        const auto jumps = neighbors(current_point);
+        if (!jumps.empty())
+            current_point = jumps[rng.uniformInt(jumps.size())];
+        current_cost = evaluate(current_point).cost;
+    }
+    return result;
+}
+
+} // namespace mapzero::dse

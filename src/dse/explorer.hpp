@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Design space exploration (DSE) - the paper's §4.8 extension: "by
+ * analyzing a set of DFGs, the agent can take actions to add or remove
+ * PEs, interconnects, or memory ports in order to get the best
+ * domain-specific accelerator design under certain metrics".
+ *
+ * A design point is a parameterized fabric (grid size, interconnect
+ * styles, memory-port placement). The explorer evaluates a point by
+ * compiling every kernel of the target set onto it (achieved II = the
+ * performance term) and charges an area/wiring cost, then hill-climbs
+ * over fabric mutations with restarts.
+ */
+
+#ifndef MAPZERO_DSE_EXPLORER_HPP
+#define MAPZERO_DSE_EXPLORER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace mapzero::dse {
+
+/** Parameterized fabric: the DSE action space. */
+struct DesignPoint {
+    std::int32_t rows = 4;
+    std::int32_t cols = 4;
+    bool oneHop = false;
+    bool diagonal = false;
+    bool toroidal = false;
+    /** Columns (from the left) whose PEs may access memory. */
+    std::int32_t memColumns = 4;
+
+    bool operator==(const DesignPoint &other) const;
+
+    /** Materialize the fabric this point describes. */
+    cgra::Architecture build() const;
+
+    /** Short description, e.g. "4x4 mesh+1hop mem=2col". */
+    std::string describe() const;
+};
+
+/** Cost weights. */
+struct DseObjective {
+    /** Weight of the achieved-II sum (performance). */
+    double iiWeight = 1.0;
+    /** Penalty per kernel that fails to map at all. */
+    double failurePenalty = 50.0;
+    /** Cost per PE (area). */
+    double peWeight = 0.15;
+    /** Cost per directed link (wiring). */
+    double linkWeight = 0.01;
+    /** Cost per memory-capable PE (port hardware). */
+    double memWeight = 0.10;
+};
+
+/** Evaluation of one design point. */
+struct DseEvaluation {
+    DesignPoint point;
+    double cost = 0.0;
+    /** Achieved II per kernel (0 = failed). */
+    std::vector<std::int32_t> achievedIi;
+};
+
+/** Explorer configuration. */
+struct DseConfig {
+    DseObjective objective;
+    /** Compile engine used for evaluation (Ilp = exact, default). */
+    Method method = Method::Ilp;
+    /** Per-compilation time budget during evaluation. */
+    double compileTimeLimit = 2.0;
+    /** Hill-climbing steps. */
+    std::int32_t steps = 24;
+    /** Random restarts. */
+    std::int32_t restarts = 2;
+    /** Grid-size bounds of the search. */
+    std::int32_t minDim = 2;
+    std::int32_t maxDim = 8;
+    std::uint64_t seed = 1;
+};
+
+/** Result: best point plus the visited trace. */
+struct DseResult {
+    DseEvaluation best;
+    std::vector<DseEvaluation> trace;
+};
+
+/** Hill-climbing explorer over fabric mutations. */
+class DseExplorer
+{
+  public:
+    /**
+     * @param kernels the DFG set the fabric is specialized for (must
+     *        outlive the explorer)
+     * @param config search knobs
+     */
+    DseExplorer(const std::vector<dfg::Dfg> &kernels, DseConfig config);
+
+    /** Evaluate a single design point. */
+    DseEvaluation evaluate(const DesignPoint &point);
+
+    /** Run the search from @p start. */
+    DseResult explore(const DesignPoint &start);
+
+    /** All single-step mutations of @p point within bounds. */
+    std::vector<DesignPoint> neighbors(const DesignPoint &point) const;
+
+  private:
+    const std::vector<dfg::Dfg> *kernels_;
+    DseConfig config_;
+};
+
+} // namespace mapzero::dse
+
+#endif // MAPZERO_DSE_EXPLORER_HPP

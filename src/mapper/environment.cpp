@@ -1,0 +1,188 @@
+#include "mapper/environment.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::mapper {
+
+MapEnv::MapEnv(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+               std::int32_t ii, EnvConfig config)
+    : dfg_(&dfg), arch_(&arch), mrrg_(arch, ii), config_(config)
+{
+    auto schedule = dfg::moduloSchedule(dfg, ii,
+                                        arch.memoryIssueCapacity());
+    if (!schedule)
+        fatal(cat("MapEnv: no modulo schedule for '", dfg.name(),
+                  "' at II=", ii, " (II below RecMII)"));
+    state_ = std::make_unique<MappingState>(dfg, mrrg_,
+                                            std::move(*schedule));
+    router_ = std::make_unique<Router>(*state_);
+}
+
+bool
+MapEnv::feasible(const dfg::Dfg &dfg, std::int32_t ii)
+{
+    return dfg::moduloSchedule(dfg, ii).has_value();
+}
+
+bool
+MapEnv::structurallyPlaceable() const
+{
+    const dfg::Schedule &s = state_->schedule();
+    const std::int32_t ii_count = mrrg_.ii();
+
+    // Per-slot demand by op class.
+    std::vector<std::int32_t> total(static_cast<std::size_t>(ii_count),
+                                    0);
+    std::vector<std::int32_t> mem(static_cast<std::size_t>(ii_count), 0);
+    std::vector<std::int32_t> logic(static_cast<std::size_t>(ii_count),
+                                    0);
+    for (dfg::NodeId v = 0; v < dfg_->nodeCount(); ++v) {
+        const auto slot =
+            static_cast<std::size_t>(s.moduloTime[
+                static_cast<std::size_t>(v)]);
+        ++total[slot];
+        const auto cls = dfg::opClass(dfg_->node(v).opcode);
+        if (cls == dfg::OpClass::Memory)
+            ++mem[slot];
+        else if (cls == dfg::OpClass::Logic)
+            ++logic[slot];
+    }
+
+    std::int32_t logic_pes = 0;
+    for (cgra::PeId p = 0; p < arch_->peCount(); ++p)
+        logic_pes += arch_->pe(p).logic ? 1 : 0;
+    const std::int32_t mem_cap = arch_->memoryIssueCapacity();
+    const std::int32_t mem_pes = arch_->memoryPeCount();
+
+    for (std::int32_t slot = 0; slot < ii_count; ++slot) {
+        const auto sl = static_cast<std::size_t>(slot);
+        if (total[sl] > arch_->peCount())
+            return false;
+        if (mem[sl] > std::min(mem_cap, mem_pes))
+            return false;
+        if (logic[sl] > logic_pes)
+            return false;
+    }
+    return true;
+}
+
+void
+MapEnv::reset()
+{
+    state_ = std::make_unique<MappingState>(*dfg_, mrrg_,
+                                            state_->schedule());
+    router_ = std::make_unique<Router>(*state_);
+    stepIndex_ = 0;
+    totalReward_ = 0.0;
+    failed_ = false;
+    history_.clear();
+    rewardHistory_.clear();
+    failHistory_.clear();
+}
+
+dfg::NodeId
+MapEnv::currentNode() const
+{
+    if (done())
+        panic("currentNode() on a finished episode");
+    return schedule().order[static_cast<std::size_t>(stepIndex_)];
+}
+
+bool
+MapEnv::done() const
+{
+    if (stepIndex_ >= dfg_->nodeCount())
+        return true;
+    if (failed_ && config_.stopOnRoutingFailure)
+        return true;
+    return false;
+}
+
+bool
+MapEnv::success() const
+{
+    return state_->complete();
+}
+
+std::vector<bool>
+MapEnv::actionMask() const
+{
+    std::vector<bool> mask(static_cast<std::size_t>(arch_->peCount()),
+                           false);
+    if (done())
+        return mask;
+    const dfg::NodeId node = currentNode();
+    for (cgra::PeId pe = 0; pe < arch_->peCount(); ++pe)
+        mask[static_cast<std::size_t>(pe)] =
+            state_->placementLegal(node, pe);
+    return mask;
+}
+
+std::int32_t
+MapEnv::legalActionCount() const
+{
+    std::int32_t n = 0;
+    for (bool legal : actionMask())
+        n += legal ? 1 : 0;
+    return n;
+}
+
+StepOutcome
+MapEnv::step(cgra::PeId pe)
+{
+    if (done())
+        panic("step() on a finished episode");
+    const dfg::NodeId node = currentNode();
+    if (!state_->placementLegal(node, pe))
+        panic(cat("step(): illegal action PE ", pe, " for node ", node));
+
+    state_->commitPlacement(node, pe);
+    const RouteResult routes = router_->routeIncidentEdges(node);
+
+    StepOutcome out;
+    out.hops = routes.totalHops;
+    out.routedOk = routes.allRouted();
+    out.reward = -config_.hopCost * static_cast<double>(routes.totalHops);
+    if (!routes.allRouted())
+        out.reward -= config_.failurePenalty *
+                      static_cast<double>(routes.failed);
+
+    history_.push_back(node);
+    rewardHistory_.push_back(out.reward);
+    failHistory_.push_back(!routes.allRouted());
+    totalReward_ += out.reward;
+    ++stepIndex_;
+    if (!routes.allRouted())
+        failed_ = true;
+    // Dead end: some future node may already have no legal PE; that is
+    // discovered when its turn comes (legalActionCount() == 0), matching
+    // the paper's termination condition "no available PE exists".
+    out.done = done();
+    return out;
+}
+
+dfg::NodeId
+MapEnv::undo()
+{
+    if (history_.empty())
+        panic("undo() with no placements");
+    const dfg::NodeId node = history_.back();
+    history_.pop_back();
+    router_->unrouteIncidentEdges(node);
+    state_->uncommitPlacement(node);
+    rewardHistory_.pop_back();
+    // Recompute instead of subtracting so repeated undo/redo cycles
+    // cannot accumulate floating-point drift.
+    totalReward_ = 0.0;
+    for (const double r : rewardHistory_)
+        totalReward_ += r;
+    failHistory_.pop_back();
+    --stepIndex_;
+    // Recompute the failure latch from the remaining history.
+    failed_ = false;
+    for (const bool f : failHistory_)
+        failed_ = failed_ || f;
+    return node;
+}
+
+} // namespace mapzero::mapper

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The CGRA mapping environment the RL agent (and the baseline mappers)
+ * interact with.
+ *
+ * MDP definition (paper §3.3):
+ *  - state: mapping under construction (DFG + CGRA occupancy + current
+ *    node metadata), exposed through accessors the feature extractor uses;
+ *  - action: choice of PE for the current node (invalid actions masked);
+ *  - reward: negative routing penalty of the action - a small shaped cost
+ *    proportional to route hops on success, kFailurePenalty (-100) per
+ *    placement whose operands cannot be routed.
+ *
+ * Nodes are placed in scheduled order. undo() reverts the most recent
+ * placement (and its routes), which is what backtracking (§3.6.2) and
+ * MCTS tree traversal build on.
+ */
+
+#ifndef MAPZERO_MAPPER_ENVIRONMENT_HPP
+#define MAPZERO_MAPPER_ENVIRONMENT_HPP
+
+#include <memory>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+#include "mapper/router.hpp"
+
+namespace mapzero::mapper {
+
+/** Result of one environment step. */
+struct StepOutcome {
+    /** Reward (negative routing penalty) for this action. */
+    double reward = 0.0;
+    /** Whether every incident edge routed successfully. */
+    bool routedOk = true;
+    /** Whether the episode ended (success or dead end). */
+    bool done = false;
+    /** Hops committed by this action's routes. */
+    std::int32_t hops = 0;
+};
+
+/** Environment configuration. */
+struct EnvConfig {
+    /** Reward per committed route hop (negated). */
+    double hopCost = 0.02;
+    /** Penalty for a placement with unroutable operands (paper: -100). */
+    double failurePenalty = 100.0;
+    /**
+     * When true, a routing failure ends the episode immediately; when
+     * false the failed placement stays (penalized) and mapping continues,
+     * which matches the paper's "agent gets a final return based on
+     * whether the mapping was successful".
+     */
+    bool stopOnRoutingFailure = true;
+};
+
+/**
+ * Sequential placement environment over one (DFG, architecture, II)
+ * triple.
+ */
+class MapEnv
+{
+  public:
+    /**
+     * @param dfg target DFG (must outlive the environment)
+     * @param arch target fabric (must outlive the environment)
+     * @param ii initiation interval; moduloSchedule(dfg, ii) must exist
+     * @param config reward shaping knobs
+     */
+    MapEnv(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+           std::int32_t ii, EnvConfig config = {});
+
+    /** Whether a modulo schedule exists for the given II. */
+    static bool feasible(const dfg::Dfg &dfg, std::int32_t ii);
+
+    /**
+     * Whether the schedule can be placed at all: every modulo slot must
+     * have enough function slots for its nodes, enough capability-
+     * matching PEs per op class, and enough memory-issue capacity.
+     * Mappers use this to reject an II instantly instead of exhausting
+     * the placement search.
+     */
+    bool structurallyPlaceable() const;
+
+    /** Restart the episode (empty mapping). */
+    void reset();
+
+    const dfg::Dfg &dfg() const { return *dfg_; }
+    const cgra::Architecture &arch() const { return *arch_; }
+    const cgra::Mrrg &mrrg() const { return mrrg_; }
+    std::int32_t ii() const { return mrrg_.ii(); }
+    const dfg::Schedule &schedule() const { return state_->schedule(); }
+    const MappingState &state() const { return *state_; }
+
+    /** Index into the schedule order of the node being placed. */
+    std::int32_t stepIndex() const { return stepIndex_; }
+    std::int32_t totalSteps() const
+    {
+        return dfg_->nodeCount();
+    }
+
+    /** Node to place now (valid while !done()). */
+    dfg::NodeId currentNode() const;
+
+    bool done() const;
+    /** All nodes placed and all edges routed. */
+    bool success() const;
+    /** Sum of rewards so far (the paper's routing-penalty total). */
+    double totalReward() const { return totalReward_; }
+
+    /** Legality mask over PEs for the current node. */
+    std::vector<bool> actionMask() const;
+    /** Count of legal actions. */
+    std::int32_t legalActionCount() const;
+
+    /** Place the current node on @p pe; routes incident edges. */
+    StepOutcome step(cgra::PeId pe);
+
+    /** Revert the latest placement; returns the node that was undone. */
+    dfg::NodeId undo();
+
+    /** Number of placements currently committed. */
+    std::int32_t placedCount() const { return state_->placedCount(); }
+
+  private:
+    const dfg::Dfg *dfg_;
+    const cgra::Architecture *arch_;
+    cgra::Mrrg mrrg_;
+    EnvConfig config_;
+    std::unique_ptr<MappingState> state_;
+    std::unique_ptr<Router> router_;
+    std::int32_t stepIndex_ = 0;
+    double totalReward_ = 0.0;
+    bool failed_ = false;
+    /** Placement history for undo; parallel reward history. */
+    std::vector<dfg::NodeId> history_;
+    std::vector<double> rewardHistory_;
+    std::vector<bool> failHistory_;
+};
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_ENVIRONMENT_HPP

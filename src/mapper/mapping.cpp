@@ -1,0 +1,317 @@
+#include "mapper/mapping.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::mapper {
+
+RoutingState::RoutingState(const cgra::Mrrg &mrrg)
+    : mrrg_(&mrrg),
+      func_(static_cast<std::size_t>(mrrg.funcResourceCount()), -1),
+      reg_(static_cast<std::size_t>(mrrg.regResourceCount()), -1),
+      regTime_(static_cast<std::size_t>(mrrg.regResourceCount()), -1),
+      wire_(static_cast<std::size_t>(mrrg.wireResourceCount()), -1),
+      wireTime_(static_cast<std::size_t>(mrrg.wireResourceCount()), -1),
+      bus_(static_cast<std::size_t>(mrrg.arch().rows() * mrrg.ii()), -1)
+{}
+
+dfg::NodeId
+RoutingState::funcOwner(cgra::PeId pe, std::int32_t slot) const
+{
+    return func_[static_cast<std::size_t>(mrrg_->funcIndex(pe, slot))];
+}
+
+void
+RoutingState::setFuncOwner(cgra::PeId pe, std::int32_t slot,
+                           dfg::NodeId owner)
+{
+    func_[static_cast<std::size_t>(mrrg_->funcIndex(pe, slot))] = owner;
+}
+
+dfg::NodeId
+RoutingState::regOwner(cgra::PeId pe, std::int32_t slot) const
+{
+    return reg_[static_cast<std::size_t>(mrrg_->regIndex(pe, slot))];
+}
+
+std::int32_t
+RoutingState::regOwnerTime(cgra::PeId pe, std::int32_t slot) const
+{
+    return regTime_[static_cast<std::size_t>(mrrg_->regIndex(pe, slot))];
+}
+
+void
+RoutingState::setRegOwner(cgra::PeId pe, std::int32_t slot,
+                          dfg::NodeId owner, std::int32_t time)
+{
+    const auto i = static_cast<std::size_t>(mrrg_->regIndex(pe, slot));
+    reg_[i] = owner;
+    regTime_[i] = time;
+}
+
+void
+RoutingState::clearRegOwner(cgra::PeId pe, std::int32_t slot)
+{
+    const auto i = static_cast<std::size_t>(mrrg_->regIndex(pe, slot));
+    reg_[i] = -1;
+    regTime_[i] = -1;
+}
+
+bool
+RoutingState::regAvailable(cgra::PeId pe, std::int32_t slot,
+                           dfg::NodeId owner, std::int32_t time) const
+{
+    const auto i = static_cast<std::size_t>(mrrg_->regIndex(pe, slot));
+    return reg_[i] == -1 || (reg_[i] == owner && regTime_[i] == time);
+}
+
+dfg::NodeId
+RoutingState::wireOwner(cgra::LinkId link, std::int32_t slot) const
+{
+    return wire_[static_cast<std::size_t>(mrrg_->wireIndex(link, slot))];
+}
+
+std::int32_t
+RoutingState::wireOwnerTime(cgra::LinkId link, std::int32_t slot) const
+{
+    return wireTime_[
+        static_cast<std::size_t>(mrrg_->wireIndex(link, slot))];
+}
+
+void
+RoutingState::setWireOwner(cgra::LinkId link, std::int32_t slot,
+                           dfg::NodeId owner, std::int32_t time)
+{
+    const auto i = static_cast<std::size_t>(mrrg_->wireIndex(link, slot));
+    wire_[i] = owner;
+    wireTime_[i] = time;
+}
+
+void
+RoutingState::clearWireOwner(cgra::LinkId link, std::int32_t slot)
+{
+    const auto i = static_cast<std::size_t>(mrrg_->wireIndex(link, slot));
+    wire_[i] = -1;
+    wireTime_[i] = -1;
+}
+
+bool
+RoutingState::wireAvailable(cgra::LinkId link, std::int32_t slot,
+                            dfg::NodeId owner, std::int32_t time) const
+{
+    const auto i = static_cast<std::size_t>(mrrg_->wireIndex(link, slot));
+    return wire_[i] == -1 || (wire_[i] == owner && wireTime_[i] == time);
+}
+
+dfg::NodeId
+RoutingState::busOwner(std::int32_t row, std::int32_t slot) const
+{
+    return bus_[static_cast<std::size_t>(row * mrrg_->ii() + slot)];
+}
+
+void
+RoutingState::setBusOwner(std::int32_t row, std::int32_t slot,
+                          dfg::NodeId owner)
+{
+    bus_[static_cast<std::size_t>(row * mrrg_->ii() + slot)] = owner;
+}
+
+MappingState::MappingState(const dfg::Dfg &dfg, const cgra::Mrrg &mrrg,
+                           dfg::Schedule schedule)
+    : dfg_(&dfg), mrrg_(&mrrg), schedule_(std::move(schedule)),
+      routing_(mrrg),
+      placements_(static_cast<std::size_t>(dfg.nodeCount())),
+      routes_(static_cast<std::size_t>(dfg.edgeCount()))
+{
+    if (schedule_.ii != mrrg.ii())
+        panic("MappingState: schedule II differs from MRRG II");
+    if (static_cast<std::int32_t>(schedule_.time.size()) !=
+        dfg.nodeCount())
+        panic("MappingState: schedule does not cover the DFG");
+}
+
+const Placement &
+MappingState::placement(dfg::NodeId node) const
+{
+    return placements_[static_cast<std::size_t>(node)];
+}
+
+bool
+MappingState::placed(dfg::NodeId node) const
+{
+    return placement(node).valid();
+}
+
+dfg::NodeId
+MappingState::nodeAt(cgra::PeId pe, std::int32_t slot) const
+{
+    return routing_.funcOwner(pe, slot);
+}
+
+bool
+MappingState::placementLegal(dfg::NodeId node, cgra::PeId pe) const
+{
+    if (placed(node))
+        return false;
+    const auto op = dfg_->node(node).opcode;
+    const auto &arch = mrrg_->arch();
+    if (!arch.pe(pe).supports(op))
+        return false;
+    const std::int32_t time =
+        schedule_.time[static_cast<std::size_t>(node)];
+    const std::int32_t slot = mrrg_->slotOf(time);
+    (void)time;
+    if (routing_.funcOwner(pe, slot) != -1)
+        return false;
+    if (arch.rowSharedMemoryBus() &&
+        dfg::opClass(op) == dfg::OpClass::Memory &&
+        routing_.busOwner(arch.rowOf(pe), slot) != -1) {
+        return false;
+    }
+    return true;
+}
+
+void
+MappingState::commitPlacement(dfg::NodeId node, cgra::PeId pe)
+{
+    if (!placementLegal(node, pe))
+        panic(cat("illegal placement of node ", node, " on PE ", pe));
+    const std::int32_t time =
+        schedule_.time[static_cast<std::size_t>(node)];
+    const std::int32_t slot = mrrg_->slotOf(time);
+    placements_[static_cast<std::size_t>(node)] = Placement{pe, time};
+    routing_.setFuncOwner(pe, slot, node);
+    const auto &arch = mrrg_->arch();
+    if (arch.rowSharedMemoryBus() &&
+        dfg::opClass(dfg_->node(node).opcode) == dfg::OpClass::Memory) {
+        routing_.setBusOwner(arch.rowOf(pe), slot, node);
+    }
+    ++placedCount_;
+}
+
+void
+MappingState::uncommitPlacement(dfg::NodeId node)
+{
+    const Placement &p = placement(node);
+    if (!p.valid())
+        panic(cat("uncommitPlacement of unplaced node ", node));
+    const std::int32_t slot = mrrg_->slotOf(p.time);
+    routing_.setFuncOwner(p.pe, slot, -1);
+    const auto &arch = mrrg_->arch();
+    if (arch.rowSharedMemoryBus() &&
+        dfg::opClass(dfg_->node(node).opcode) == dfg::OpClass::Memory) {
+        routing_.setBusOwner(arch.rowOf(p.pe), slot, -1);
+    }
+    placements_[static_cast<std::size_t>(node)] = Placement{};
+    --placedCount_;
+}
+
+void
+MappingState::commitRoute(std::int32_t edge_index, Route route)
+{
+    auto &slot = routes_[static_cast<std::size_t>(edge_index)];
+    if (slot.has_value())
+        panic(cat("edge ", edge_index, " routed twice"));
+    const dfg::DfgEdge &edge =
+        dfg_->edges()[static_cast<std::size_t>(edge_index)];
+    for (const RegHold &h : route.regHolds)
+        routing_.setRegOwner(h.pe, mrrg_->slotOf(h.time), edge.src,
+                             h.time);
+    for (const WireUse &w : route.wires)
+        routing_.setWireOwner(w.link, mrrg_->slotOf(w.time), edge.src,
+                              w.time);
+    slot = std::move(route);
+    ++routedCount_;
+}
+
+void
+MappingState::uncommitRoute(std::int32_t edge_index)
+{
+    auto &slot = routes_[static_cast<std::size_t>(edge_index)];
+    if (!slot.has_value())
+        panic(cat("uncommitRoute of unrouted edge ", edge_index));
+    const dfg::DfgEdge &edge =
+        dfg_->edges()[static_cast<std::size_t>(edge_index)];
+
+    // A register/wire slot may be shared by several routes of the same
+    // producer; only free it when no *other* remaining route of that
+    // producer still uses it.
+    auto still_used_reg = [&](const RegHold &h) {
+        for (std::int32_t ei : dfg_->outEdges(edge.src)) {
+            if (ei == edge_index)
+                continue;
+            const auto &other = routes_[static_cast<std::size_t>(ei)];
+            if (!other)
+                continue;
+            for (const RegHold &oh : other->regHolds)
+                if (oh.pe == h.pe && oh.time == h.time)
+                    return true;
+        }
+        return false;
+    };
+    auto still_used_wire = [&](const WireUse &w) {
+        for (std::int32_t ei : dfg_->outEdges(edge.src)) {
+            if (ei == edge_index)
+                continue;
+            const auto &other = routes_[static_cast<std::size_t>(ei)];
+            if (!other)
+                continue;
+            for (const WireUse &ow : other->wires)
+                if (ow.link == w.link && ow.time == w.time)
+                    return true;
+        }
+        return false;
+    };
+
+    for (const RegHold &h : slot->regHolds) {
+        if (!still_used_reg(h))
+            routing_.clearRegOwner(h.pe, mrrg_->slotOf(h.time));
+    }
+    for (const WireUse &w : slot->wires) {
+        if (!still_used_wire(w))
+            routing_.clearWireOwner(w.link, mrrg_->slotOf(w.time));
+    }
+    slot.reset();
+    --routedCount_;
+}
+
+bool
+MappingState::edgeRouted(std::int32_t edge_index) const
+{
+    return routes_[static_cast<std::size_t>(edge_index)].has_value();
+}
+
+const Route &
+MappingState::edgeRoute(std::int32_t edge_index) const
+{
+    const auto &slot = routes_[static_cast<std::size_t>(edge_index)];
+    if (!slot)
+        panic(cat("edgeRoute of unrouted edge ", edge_index));
+    return *slot;
+}
+
+std::vector<std::int32_t>
+MappingState::routedEdgesOf(dfg::NodeId node) const
+{
+    std::vector<std::int32_t> out;
+    for (std::int32_t ei : dfg_->inEdges(node))
+        if (edgeRouted(ei))
+            out.push_back(ei);
+    for (std::int32_t ei : dfg_->outEdges(node)) {
+        const dfg::DfgEdge &e =
+            dfg_->edges()[static_cast<std::size_t>(ei)];
+        if (e.src == e.dst)
+            continue; // already collected via inEdges
+        if (edgeRouted(ei))
+            out.push_back(ei);
+    }
+    return out;
+}
+
+bool
+MappingState::complete() const
+{
+    return placedCount_ == dfg_->nodeCount() &&
+           routedCount_ == dfg_->edgeCount();
+}
+
+} // namespace mapzero::mapper

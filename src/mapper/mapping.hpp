@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Mapping state: placements of DFG nodes onto (PE, time) coordinates and
+ * the modulo resource occupancy (function, register, wire, memory bus)
+ * shared by every mapper in the repository.
+ *
+ * Ownership model: each occupied resource records the DFG node whose value
+ * (or operation) occupies it. Routing the fan-out of one producer may
+ * re-use resources it already owns (multicast through shared registers and
+ * crossbar wires), which is how real CGRA route sharing behaves.
+ */
+
+#ifndef MAPZERO_MAPPER_MAPPING_HPP
+#define MAPZERO_MAPPER_MAPPING_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cgra/mrrg.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::mapper {
+
+/** Spatio-temporal coordinate of one DFG node. */
+struct Placement {
+    cgra::PeId pe = -1;
+    std::int32_t time = -1;
+
+    bool valid() const { return pe >= 0 && time >= 0; }
+};
+
+/** One register hold of a routed value. */
+struct RegHold {
+    cgra::PeId pe = -1;
+    std::int32_t time = -1;
+};
+
+/** One crossbar wire traversal of a routed value. */
+struct WireUse {
+    cgra::LinkId link = -1;
+    std::int32_t time = -1;
+};
+
+/** Committed route of one DFG edge. */
+struct Route {
+    /** Register holds committed by this route (producer's own slot at
+     *  production time belongs to the placement, not the route). */
+    std::vector<RegHold> regHolds;
+    /** Crossbar wires committed by this route. */
+    std::vector<WireUse> wires;
+    /** Total hop cost (for reward shaping and reports). */
+    std::int32_t hops = 0;
+};
+
+/**
+ * Modulo resource occupancy. Values of -1 mean free; otherwise the id of
+ * the owning DFG node.
+ */
+class RoutingState
+{
+  public:
+    explicit RoutingState(const cgra::Mrrg &mrrg);
+
+    const cgra::Mrrg &mrrg() const { return *mrrg_; }
+
+    /// @name Function slots (one op per PE per modulo slice)
+    /// @{
+    dfg::NodeId funcOwner(cgra::PeId pe, std::int32_t slot) const;
+    void setFuncOwner(cgra::PeId pe, std::int32_t slot, dfg::NodeId owner);
+    /// @}
+
+    /// @name Output-register slots
+    ///
+    /// A register/wire slot occupied by a routed value records both the
+    /// producing node and the *absolute time* the value crosses it.
+    /// Multicast sharing is only physically consistent when both match:
+    /// the same slot at a different absolute time would have to hold a
+    /// different iteration's value.
+    /// @{
+    dfg::NodeId regOwner(cgra::PeId pe, std::int32_t slot) const;
+    std::int32_t regOwnerTime(cgra::PeId pe, std::int32_t slot) const;
+    void setRegOwner(cgra::PeId pe, std::int32_t slot, dfg::NodeId owner,
+                     std::int32_t time);
+    void clearRegOwner(cgra::PeId pe, std::int32_t slot);
+    /** Free, or already carrying exactly this (owner, time) value. */
+    bool regAvailable(cgra::PeId pe, std::int32_t slot, dfg::NodeId owner,
+                      std::int32_t time) const;
+    /// @}
+
+    /// @name Crossbar wire slots
+    /// @{
+    dfg::NodeId wireOwner(cgra::LinkId link, std::int32_t slot) const;
+    std::int32_t wireOwnerTime(cgra::LinkId link, std::int32_t slot) const;
+    void setWireOwner(cgra::LinkId link, std::int32_t slot,
+                      dfg::NodeId owner, std::int32_t time);
+    void clearWireOwner(cgra::LinkId link, std::int32_t slot);
+    bool wireAvailable(cgra::LinkId link, std::int32_t slot,
+                       dfg::NodeId owner, std::int32_t time) const;
+    /// @}
+
+    /// @name ADRES row-shared memory bus
+    /// @{
+    dfg::NodeId busOwner(std::int32_t row, std::int32_t slot) const;
+    void setBusOwner(std::int32_t row, std::int32_t slot,
+                     dfg::NodeId owner);
+    /// @}
+
+  private:
+    const cgra::Mrrg *mrrg_;
+    std::vector<dfg::NodeId> func_;
+    std::vector<dfg::NodeId> reg_;
+    std::vector<std::int32_t> regTime_;
+    std::vector<dfg::NodeId> wire_;
+    std::vector<std::int32_t> wireTime_;
+    std::vector<dfg::NodeId> bus_;
+};
+
+/**
+ * Full mapping under construction: placements, per-edge routes, and the
+ * resource state, with exact undo for backtracking search.
+ */
+class MappingState
+{
+  public:
+    /**
+     * @param dfg target data flow graph (must outlive this)
+     * @param mrrg modulo resource indexing (must outlive this)
+     * @param schedule modulo schedule for mrrg.ii()
+     */
+    MappingState(const dfg::Dfg &dfg, const cgra::Mrrg &mrrg,
+                 dfg::Schedule schedule);
+
+    const dfg::Dfg &dfg() const { return *dfg_; }
+    const cgra::Mrrg &mrrg() const { return *mrrg_; }
+    const dfg::Schedule &schedule() const { return schedule_; }
+    const RoutingState &routing() const { return routing_; }
+    RoutingState &routing() { return routing_; }
+
+    const Placement &placement(dfg::NodeId node) const;
+    bool placed(dfg::NodeId node) const;
+    std::int32_t placedCount() const { return placedCount_; }
+
+    /** DFG node executing on (pe, slot), or -1. */
+    dfg::NodeId nodeAt(cgra::PeId pe, std::int32_t slot) const;
+
+    /**
+     * Whether @p node may be *placed* on @p pe (function slot free, PE
+     * capability, memory-bus capacity). Routability is checked separately
+     * by the router.
+     */
+    bool placementLegal(dfg::NodeId node, cgra::PeId pe) const;
+
+    /**
+     * Commit a placement (no routing). Occupies the function slot, the
+     * producer's own register slot at its production time, and the memory
+     * bus when applicable. Placement must be legal.
+     */
+    void commitPlacement(dfg::NodeId node, cgra::PeId pe);
+
+    /** Undo commitPlacement (the node's edge routes must be gone). */
+    void uncommitPlacement(dfg::NodeId node);
+
+    /** Record the committed route of DFG edge @p edge_index. */
+    void commitRoute(std::int32_t edge_index, Route route);
+
+    /** Remove the route of @p edge_index, freeing its resources. */
+    void uncommitRoute(std::int32_t edge_index);
+
+    bool edgeRouted(std::int32_t edge_index) const;
+    const Route &edgeRoute(std::int32_t edge_index) const;
+
+    /** Indices of routed edges incident to @p node. */
+    std::vector<std::int32_t> routedEdgesOf(dfg::NodeId node) const;
+
+    /** True when every node is placed and every edge routed. */
+    bool complete() const;
+
+  private:
+    const dfg::Dfg *dfg_;
+    const cgra::Mrrg *mrrg_;
+    dfg::Schedule schedule_;
+    RoutingState routing_;
+    std::vector<Placement> placements_;
+    std::vector<std::optional<Route>> routes_;
+    std::int32_t placedCount_ = 0;
+    std::int32_t routedCount_ = 0;
+};
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_MAPPING_HPP

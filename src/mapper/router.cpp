@@ -1,0 +1,493 @@
+#include "mapper/router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace mapzero::mapper {
+
+namespace {
+
+/** Dijkstra node for the register-state search. */
+struct QEntry {
+    std::int32_t cost;
+    std::int32_t state;
+
+    bool operator>(const QEntry &other) const
+    {
+        return cost > other.cost;
+    }
+};
+
+constexpr std::int32_t kUnvisited = -1;
+
+} // namespace
+
+Router::Router(MappingState &state)
+    : state_(&state)
+{}
+
+namespace {
+
+/**
+ * A route is committable only if it never needs one modulo resource at
+ * two different absolute times (that would require the physical slot to
+ * hold two iterations' values) and every resource is free or already
+ * carries exactly this (owner, time) value.
+ */
+bool
+routeSelfConsistent(const cgra::Mrrg &mrrg, const RoutingState &rs,
+                    const Route &route, dfg::NodeId owner)
+{
+    std::unordered_map<std::int64_t, std::int32_t> reg_times;
+    for (const RegHold &h : route.regHolds) {
+        if (!rs.regAvailable(h.pe, mrrg.slotOf(h.time), owner, h.time))
+            return false;
+        const std::int64_t key = mrrg.regIndex(h.pe, mrrg.slotOf(h.time));
+        const auto [it, inserted] = reg_times.emplace(key, h.time);
+        if (!inserted && it->second != h.time)
+            return false;
+    }
+    std::unordered_map<std::int64_t, std::int32_t> wire_times;
+    for (const WireUse &w : route.wires) {
+        if (!rs.wireAvailable(w.link, mrrg.slotOf(w.time), owner, w.time))
+            return false;
+        const std::int64_t key =
+            mrrg.wireIndex(w.link, mrrg.slotOf(w.time));
+        const auto [it, inserted] = wire_times.emplace(key, w.time);
+        if (!inserted && it->second != w.time)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<Route>
+Router::findRoute(std::int32_t edge_index) const
+{
+    const dfg::DfgEdge &edge =
+        state_->dfg().edges()[static_cast<std::size_t>(edge_index)];
+    const Placement &src_p = state_->placement(edge.src);
+    const Placement &dst_p = state_->placement(edge.dst);
+    if (!src_p.valid() || !dst_p.valid())
+        panic(cat("routing edge ", edge_index,
+                  " with unplaced endpoint"));
+
+    // Constant operands travel through configuration, not the network
+    // (consumer PEs have five constant units each, §4.1.1): trivially
+    // routed with no resources.
+    if (state_->dfg().node(edge.src).opcode == dfg::Opcode::Const)
+        return Route{};
+
+    const std::int32_t ii = state_->mrrg().ii();
+    const std::int32_t t_produce = src_p.time;
+    const std::int32_t t_consume = dst_p.time + ii * edge.distance;
+    if (t_consume <= t_produce)
+        return std::nullopt; // schedule violated; cannot route backward
+
+    // A value held longer than every modulo register slot could ever
+    // allow is infeasible regardless of path.
+    if (t_consume - t_produce >
+        ii * (state_->mrrg().peCount() + 2)) {
+        return std::nullopt;
+    }
+
+    auto route = state_->mrrg().arch().isMultiHop()
+        ? searchMultiHop(edge, t_produce, t_consume)
+        : searchSingleHop(edge, t_produce, t_consume);
+    if (route && !routeSelfConsistent(state_->mrrg(), state_->routing(),
+                                      *route, edge.src)) {
+        return std::nullopt;
+    }
+    return route;
+}
+
+std::optional<Route>
+Router::searchSingleHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
+                        std::int32_t t_consume) const
+{
+    const cgra::Mrrg &mrrg = state_->mrrg();
+    const RoutingState &rs = state_->routing();
+    const std::int32_t pe_count = mrrg.peCount();
+    const cgra::PeId src_pe = state_->placement(edge.src).pe;
+    const cgra::PeId dst_pe = state_->placement(edge.dst).pe;
+
+    // States: (pe, t) for t in [t_produce, t_consume - 1].
+    const std::int32_t window = t_consume - t_produce;
+    const std::int32_t n_states = window * pe_count;
+    auto state_id = [&](cgra::PeId pe, std::int32_t t) {
+        return (t - t_produce) * pe_count + pe;
+    };
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(n_states),
+                                   kUnvisited);
+    std::vector<std::int32_t> prev(static_cast<std::size_t>(n_states),
+                                   kUnvisited);
+
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    const std::int32_t start = state_id(src_pe, t_produce);
+    dist[static_cast<std::size_t>(start)] = 0;
+    pq.push(QEntry{0, start});
+
+    std::int32_t goal_state = kUnvisited;
+    cgra::LinkId goal_link = -1;
+
+    auto check_goal = [&](cgra::PeId pe, std::int32_t t) -> bool {
+        if (t != t_consume - 1)
+            return false;
+        if (pe == dst_pe) {
+            goal_link = -1;
+            return true;
+        }
+        const cgra::LinkId link = mrrg.linkBetween(pe, dst_pe);
+        if (link >= 0 &&
+            rs.wireAvailable(link, mrrg.slotOf(t_consume), edge.src,
+                             t_consume)) {
+            goal_link = link;
+            return true;
+        }
+        return false;
+    };
+
+    while (!pq.empty()) {
+        const QEntry top = pq.top();
+        pq.pop();
+        const std::int32_t s = top.state;
+        if (top.cost != dist[static_cast<std::size_t>(s)])
+            continue;
+        const cgra::PeId pe = s % pe_count;
+        const std::int32_t t = t_produce + s / pe_count;
+
+        if (check_goal(pe, t)) {
+            goal_state = s;
+            break;
+        }
+        if (t + 1 >= t_consume)
+            continue;
+
+        const std::int32_t nt = t + 1;
+        const std::int32_t nslot = mrrg.slotOf(nt);
+        auto relax = [&](cgra::PeId npe, std::int32_t cost) {
+            const std::int32_t ns = state_id(npe, nt);
+            const std::int32_t nd = top.cost + cost;
+            auto &d = dist[static_cast<std::size_t>(ns)];
+            if (d == kUnvisited || nd < d) {
+                d = nd;
+                prev[static_cast<std::size_t>(ns)] = s;
+                pq.push(QEntry{nd, ns});
+            }
+        };
+
+        // Hold in place.
+        if (rs.regAvailable(pe, nslot, edge.src, nt))
+            relax(pe, 1);
+        // Move to a neighbor over one link.
+        for (cgra::LinkId l : mrrg.linksOut(pe)) {
+            const cgra::PeId npe = mrrg.link(l).second;
+            if (rs.wireAvailable(l, nslot, edge.src, nt) &&
+                rs.regAvailable(npe, nslot, edge.src, nt)) {
+                relax(npe, 2);
+            }
+        }
+    }
+
+    if (goal_state == kUnvisited)
+        return std::nullopt;
+
+    Route route;
+    // Reconstruct routing-register holds. The start state is the
+    // producer's dedicated FU output register (implied by placement),
+    // so it is not recorded as a routing-register hold.
+    std::int32_t s = goal_state;
+    while (s != kUnvisited) {
+        const cgra::PeId pe = s % pe_count;
+        const std::int32_t t = t_produce + s / pe_count;
+        const std::int32_t p = prev[static_cast<std::size_t>(s)];
+        if (s != start)
+            route.regHolds.push_back(RegHold{pe, t});
+        if (p != kUnvisited) {
+            const cgra::PeId ppe = p % pe_count;
+            if (ppe != pe) {
+                const cgra::LinkId link = mrrg.linkBetween(ppe, pe);
+                route.wires.push_back(WireUse{link, t});
+                ++route.hops;
+            }
+        }
+        s = p;
+    }
+    std::reverse(route.regHolds.begin(), route.regHolds.end());
+    std::reverse(route.wires.begin(), route.wires.end());
+    if (goal_link >= 0) {
+        route.wires.push_back(WireUse{goal_link, t_consume});
+        ++route.hops;
+    }
+    return route;
+}
+
+std::optional<Route>
+Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
+                       std::int32_t t_consume) const
+{
+    const cgra::Mrrg &mrrg = state_->mrrg();
+    const RoutingState &rs = state_->routing();
+    const std::int32_t pe_count = mrrg.peCount();
+    const cgra::PeId src_pe = state_->placement(edge.src).pe;
+    const cgra::PeId dst_pe = state_->placement(edge.dst).pe;
+
+    /**
+     * One-cycle crossbar reachability: BFS from @p from over links whose
+     * wire slot at cycle @p cycle is available; fills hop counts and BFS
+     * parents for path reconstruction. A value leaving a register can
+     * traverse any number of free crossbar links within the cycle.
+     */
+    struct WireBfs {
+        std::vector<std::int32_t> hops;
+        std::vector<cgra::LinkId> via;
+    };
+    auto wire_bfs = [&](cgra::PeId from, std::int32_t cycle) {
+        WireBfs bfs;
+        bfs.hops.assign(static_cast<std::size_t>(pe_count), kUnvisited);
+        bfs.via.assign(static_cast<std::size_t>(pe_count), -1);
+        const std::int32_t slot = mrrg.slotOf(cycle);
+        std::queue<cgra::PeId> q;
+        bfs.hops[static_cast<std::size_t>(from)] = 0;
+        q.push(from);
+        while (!q.empty()) {
+            const cgra::PeId u = q.front();
+            q.pop();
+            for (cgra::LinkId l : mrrg.linksOut(u)) {
+                const cgra::PeId v = mrrg.link(l).second;
+                if (bfs.hops[static_cast<std::size_t>(v)] != kUnvisited)
+                    continue;
+                if (!rs.wireAvailable(l, slot, edge.src, cycle))
+                    continue;
+                bfs.hops[static_cast<std::size_t>(v)] =
+                    bfs.hops[static_cast<std::size_t>(u)] + 1;
+                bfs.via[static_cast<std::size_t>(v)] = l;
+                q.push(v);
+            }
+        }
+        return bfs;
+    };
+
+    /** Collect the link sequence from @p from to @p to out of a BFS. */
+    auto wire_path = [&](const WireBfs &bfs, cgra::PeId from,
+                         cgra::PeId to, std::int32_t cycle,
+                         std::vector<WireUse> &out) {
+        cgra::PeId cur = to;
+        std::vector<WireUse> rev;
+        while (cur != from) {
+            const cgra::LinkId l = bfs.via[static_cast<std::size_t>(cur)];
+            rev.push_back(WireUse{l, cycle});
+            cur = mrrg.link(l).first;
+        }
+        out.insert(out.end(), rev.rbegin(), rev.rend());
+    };
+
+    const std::int32_t window = t_consume - t_produce;
+    const std::int32_t n_states = window * pe_count;
+    auto state_id = [&](cgra::PeId pe, std::int32_t t) {
+        return (t - t_produce) * pe_count + pe;
+    };
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(n_states),
+                                   kUnvisited);
+    std::vector<std::int32_t> prev(static_cast<std::size_t>(n_states),
+                                   kUnvisited);
+
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    const std::int32_t start = state_id(src_pe, t_produce);
+    dist[static_cast<std::size_t>(start)] = 0;
+    pq.push(QEntry{0, start});
+
+    std::int32_t goal_state = kUnvisited;
+
+    while (!pq.empty()) {
+        const QEntry top = pq.top();
+        pq.pop();
+        const std::int32_t s = top.state;
+        if (top.cost != dist[static_cast<std::size_t>(s)])
+            continue;
+        const cgra::PeId pe = s % pe_count;
+        const std::int32_t t = t_produce + s / pe_count;
+
+        if (t == t_consume - 1) {
+            // Delivery cycle: either local register read or a crossbar
+            // path during cycle t_consume.
+            if (pe == dst_pe) {
+                goal_state = s;
+                break;
+            }
+            const WireBfs bfs = wire_bfs(pe, t_consume);
+            if (bfs.hops[static_cast<std::size_t>(dst_pe)] != kUnvisited) {
+                goal_state = s;
+                break;
+            }
+            continue;
+        }
+
+        const std::int32_t nt = t + 1;
+        const std::int32_t nslot = mrrg.slotOf(nt);
+        // Crossbar reach during cycle nt, then latch at (r, nt).
+        const WireBfs bfs = wire_bfs(pe, nt);
+        for (cgra::PeId r = 0; r < pe_count; ++r) {
+            const std::int32_t h = bfs.hops[static_cast<std::size_t>(r)];
+            if (h == kUnvisited)
+                continue;
+            if (!rs.regAvailable(r, nslot, edge.src, nt))
+                continue;
+            const std::int32_t ns = state_id(r, nt);
+            const std::int32_t nd = top.cost + 1 + h;
+            auto &d = dist[static_cast<std::size_t>(ns)];
+            if (d == kUnvisited || nd < d) {
+                d = nd;
+                prev[static_cast<std::size_t>(ns)] = s;
+                pq.push(QEntry{nd, ns});
+            }
+        }
+    }
+
+    if (goal_state == kUnvisited)
+        return std::nullopt;
+
+    // Reconstruct: register holds plus the per-cycle wire paths. The BFS
+    // is deterministic, so re-running it during reconstruction retraces
+    // exactly the paths the search proved available.
+    std::vector<std::int32_t> chain;
+    for (std::int32_t s = goal_state; s != kUnvisited;
+         s = prev[static_cast<std::size_t>(s)])
+        chain.push_back(s);
+    std::reverse(chain.begin(), chain.end());
+
+    Route route;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        const cgra::PeId pe = chain[i] % pe_count;
+        const std::int32_t t = t_produce + chain[i] / pe_count;
+        if (i > 0) // chain[0] is the producer's FU output register
+            route.regHolds.push_back(RegHold{pe, t});
+        if (i + 1 < chain.size()) {
+            const cgra::PeId npe = chain[i + 1] % pe_count;
+            const std::int32_t nt = t + 1;
+            if (npe != pe) {
+                const WireBfs bfs = wire_bfs(pe, nt);
+                wire_path(bfs, pe, npe, nt, route.wires);
+                route.hops += bfs.hops[static_cast<std::size_t>(npe)];
+            }
+        }
+    }
+    const cgra::PeId last_pe = chain.back() % pe_count;
+    if (last_pe != dst_pe) {
+        const WireBfs bfs = wire_bfs(last_pe, t_consume);
+        wire_path(bfs, last_pe, dst_pe, t_consume, route.wires);
+        route.hops += bfs.hops[static_cast<std::size_t>(dst_pe)];
+    }
+    return route;
+}
+
+bool
+Router::routeEdge(std::int32_t edge_index)
+{
+    auto route = findRoute(edge_index);
+    if (!route)
+        return false;
+    state_->commitRoute(edge_index, std::move(*route));
+    return true;
+}
+
+RouteResult
+Router::routeIncidentEdges(dfg::NodeId node)
+{
+    RouteResult result;
+    const dfg::Dfg &dfg = state_->dfg();
+
+    auto try_route = [&](std::int32_t ei) {
+        if (state_->edgeRouted(ei))
+            return;
+        const dfg::DfgEdge &e =
+            dfg.edges()[static_cast<std::size_t>(ei)];
+        if (!state_->placed(e.src) || !state_->placed(e.dst))
+            return;
+        auto route = findRoute(ei);
+        if (route) {
+            result.totalHops += route->hops;
+            state_->commitRoute(ei, std::move(*route));
+            ++result.routed;
+        } else {
+            ++result.failed;
+        }
+    };
+
+    for (std::int32_t ei : dfg.inEdges(node))
+        try_route(ei);
+    for (std::int32_t ei : dfg.outEdges(node)) {
+        const dfg::DfgEdge &e = dfg.edges()[static_cast<std::size_t>(ei)];
+        if (e.src == e.dst)
+            continue; // self edge handled via inEdges
+        try_route(ei);
+    }
+    return result;
+}
+
+void
+Router::unrouteIncidentEdges(dfg::NodeId node)
+{
+    for (std::int32_t ei : state_->routedEdgesOf(node))
+        state_->uncommitRoute(ei);
+}
+
+bool
+Router::replayMapping(MappingState &state,
+                      const std::vector<Placement> &placements)
+{
+    const dfg::Dfg &dfg = state.dfg();
+    if (placements.size() != static_cast<std::size_t>(dfg.nodeCount()))
+        return false;
+    Router router(state);
+
+    auto clear_all = [&]() {
+        for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+            if (state.placed(v)) {
+                router.unrouteIncidentEdges(v);
+            }
+        }
+        for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+            if (state.placed(v))
+                state.uncommitPlacement(v);
+        }
+    };
+
+    // Pass 1: incremental order (how the tree-search engines route).
+    bool ok = true;
+    for (dfg::NodeId v : state.schedule().order) {
+        const Placement &p = placements[static_cast<std::size_t>(v)];
+        if (!p.valid() || !state.placementLegal(v, p.pe)) {
+            ok = false;
+            break;
+        }
+        state.commitPlacement(v, p.pe);
+        if (!router.routeIncidentEdges(v).allRouted()) {
+            ok = false;
+            break;
+        }
+    }
+    if (ok && state.complete())
+        return true;
+
+    // Pass 2: place everything, then route by edge index (how the
+    // SA-family engines evaluate candidates).
+    clear_all();
+    for (dfg::NodeId v : state.schedule().order) {
+        const Placement &p = placements[static_cast<std::size_t>(v)];
+        if (!p.valid() || !state.placementLegal(v, p.pe))
+            return false;
+        state.commitPlacement(v, p.pe);
+    }
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        if (!router.routeEdge(ei))
+            return false;
+    }
+    return state.complete();
+}
+
+} // namespace mapzero::mapper

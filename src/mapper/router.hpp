@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Edge routing over the modulo resource graph.
+ *
+ * Two interconnect families (paper §3.3):
+ *
+ *  - *Single-hop* fabrics (mesh / 1-hop / diagonal / toroidal): a value
+ *    advances at most one link per cycle, latching into the receiving
+ *    PE's output register. Placement and routing are coupled - a badly
+ *    placed node may simply have no feasible route in the scheduled time.
+ *
+ *  - *Multi-hop* crossbar fabrics (HyCube): clockless repeaters let a
+ *    value traverse several crossbar links within one cycle, so routing
+ *    reduces to shortest-path search (the paper uses Dijkstra) through
+ *    per-cycle wire resources with register latching at cycle boundaries.
+ *
+ * The router searches states (pe, t) = "value latched in pe's output
+ * register at end of cycle t", with Dijkstra over hold/move transitions,
+ * honoring the (owner, time) sharing rule of RoutingState so one
+ * producer's fan-out can multicast through shared resources.
+ */
+
+#ifndef MAPZERO_MAPPER_ROUTER_HPP
+#define MAPZERO_MAPPER_ROUTER_HPP
+
+#include <optional>
+
+#include "mapper/mapping.hpp"
+
+namespace mapzero::mapper {
+
+/** Outcome of routing all pending edges of a placement. */
+struct RouteResult {
+    /** Edges successfully routed (and committed). */
+    std::int32_t routed = 0;
+    /** Edges that failed (nothing committed for them). */
+    std::int32_t failed = 0;
+    /** Total hop cost of the committed routes. */
+    std::int32_t totalHops = 0;
+
+    bool allRouted() const { return failed == 0; }
+};
+
+/** Routes DFG edges over a MappingState. */
+class Router
+{
+  public:
+    explicit Router(MappingState &state);
+
+    /**
+     * Search a route for DFG edge @p edge_index (both endpoints must be
+     * placed). Does not commit. Returns nullopt when no route exists.
+     */
+    std::optional<Route> findRoute(std::int32_t edge_index) const;
+
+    /** findRoute + commit. False when no route exists. */
+    bool routeEdge(std::int32_t edge_index);
+
+    /**
+     * Route every unrouted edge of @p node whose other endpoint is
+     * already placed. Commits the successes; failures are reported in
+     * the result (callers decide whether to backtrack).
+     */
+    RouteResult routeIncidentEdges(dfg::NodeId node);
+
+    /** Remove every committed route incident to @p node. */
+    void unrouteIncidentEdges(dfg::NodeId node);
+
+    /**
+     * Recreate a complete mapping from bare per-node placements by
+     * replaying the construction order: commit placements in schedule
+     * order and route each node's incident edges immediately - exactly
+     * how the search engines built the mapping, so their deterministic
+     * routes are reproduced. Routing in a different order (e.g. by edge
+     * index) can fail on tight fabrics because greedy routes steal
+     * resources later edges needed.
+     *
+     * @param state a fresh MappingState for the same (DFG, MRRG)
+     * @param placements per-node placements from an AttemptResult
+     * @return true when every placement and route committed
+     */
+    static bool replayMapping(MappingState &state,
+                              const std::vector<Placement> &placements);
+
+  private:
+    std::optional<Route> searchSingleHop(const dfg::DfgEdge &edge,
+                                         std::int32_t t_produce,
+                                         std::int32_t t_consume) const;
+    std::optional<Route> searchMultiHop(const dfg::DfgEdge &edge,
+                                        std::int32_t t_produce,
+                                        std::int32_t t_consume) const;
+
+    MappingState *state_;
+};
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_ROUTER_HPP

@@ -1,0 +1,220 @@
+#include "mapper/validator.hpp"
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace mapzero::mapper {
+
+namespace {
+
+/** Check the cycle-accurate continuity of one route. */
+void
+validateRoute(const MappingState &state, std::int32_t edge_index,
+              ValidationResult &result)
+{
+    const dfg::Dfg &dfg = state.dfg();
+    const cgra::Mrrg &mrrg = state.mrrg();
+    const dfg::DfgEdge &edge =
+        dfg.edges()[static_cast<std::size_t>(edge_index)];
+    const Route &route = state.edgeRoute(edge_index);
+    const Placement &src_p = state.placement(edge.src);
+    const Placement &dst_p = state.placement(edge.dst);
+
+    // Constant operands are configuration-supplied (consumer-side
+    // constant units): the route must be empty and claims nothing.
+    if (dfg.node(edge.src).opcode == dfg::Opcode::Const) {
+        if (!route.regHolds.empty() || !route.wires.empty())
+            result.fail(cat("edge ", edge_index,
+                            ": constant edge claims resources"));
+        return;
+    }
+
+    const std::int32_t t_produce = src_p.time;
+    const std::int32_t t_consume = dst_p.time + mrrg.ii() * edge.distance;
+
+    // The implied head of every route is the producer's FU output
+    // register at production time; recorded holds are routing registers.
+    std::vector<RegHold> chain;
+    chain.push_back(RegHold{src_p.pe, t_produce});
+    chain.insert(chain.end(), route.regHolds.begin(),
+                 route.regHolds.end());
+    if (chain.back().time != t_consume - 1) {
+        result.fail(cat("edge ", edge_index,
+                        ": route ends at t=", chain.back().time,
+                        ", consumer reads at t=", t_consume));
+    }
+
+    // Wire uses grouped by cycle for path checks.
+    std::multimap<std::int32_t, cgra::LinkId> wires_by_time;
+    for (const WireUse &w : route.wires)
+        wires_by_time.emplace(w.time, w.link);
+
+    /** Whether the route's wires at @p cycle include a path from->to. */
+    auto wire_path_exists = [&](cgra::PeId from, cgra::PeId to,
+                                std::int32_t cycle) {
+        if (from == to)
+            return true;
+        std::queue<cgra::PeId> q;
+        std::set<cgra::PeId> seen{from};
+        q.push(from);
+        while (!q.empty()) {
+            const cgra::PeId u = q.front();
+            q.pop();
+            if (u == to)
+                return true;
+            auto [lo, hi] = wires_by_time.equal_range(cycle);
+            for (auto it = lo; it != hi; ++it) {
+                const auto &[s, d] = mrrg.link(it->second);
+                if (s == u && !seen.count(d)) {
+                    seen.insert(d);
+                    q.push(d);
+                }
+            }
+        }
+        return false;
+    };
+
+    const bool multi_hop = mrrg.arch().isMultiHop();
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        const RegHold &a = chain[i];
+        const RegHold &b = chain[i + 1];
+        if (b.time != a.time + 1) {
+            result.fail(cat("edge ", edge_index,
+                            ": non-consecutive hold times ", a.time,
+                            " -> ", b.time));
+            continue;
+        }
+        if (a.pe == b.pe)
+            continue;
+        if (multi_hop) {
+            if (!wire_path_exists(a.pe, b.pe, b.time))
+                result.fail(cat("edge ", edge_index,
+                                ": no wire path PE", a.pe, " -> PE", b.pe,
+                                " in cycle ", b.time));
+        } else {
+            if (mrrg.linkBetween(a.pe, b.pe) < 0)
+                result.fail(cat("edge ", edge_index, ": PEs ", a.pe,
+                                " and ", b.pe, " not linked"));
+        }
+    }
+
+    const cgra::PeId last_pe = chain.back().pe;
+    if (last_pe != dst_p.pe) {
+        if (multi_hop) {
+            if (!wire_path_exists(last_pe, dst_p.pe, t_consume))
+                result.fail(cat("edge ", edge_index,
+                                ": no delivery path to consumer"));
+        } else {
+            if (mrrg.linkBetween(last_pe, dst_p.pe) < 0)
+                result.fail(cat("edge ", edge_index,
+                                ": last hold PE", last_pe,
+                                " not linked to consumer PE", dst_p.pe));
+        }
+    }
+}
+
+} // namespace
+
+ValidationResult
+validateMapping(const MappingState &state)
+{
+    ValidationResult result;
+    const dfg::Dfg &dfg = state.dfg();
+    const cgra::Mrrg &mrrg = state.mrrg();
+    const cgra::Architecture &arch = mrrg.arch();
+    const dfg::Schedule &schedule = state.schedule();
+
+    // --- Placements ---------------------------------------------------
+    std::map<std::pair<cgra::PeId, std::int32_t>, dfg::NodeId> func_use;
+    std::map<std::pair<std::int32_t, std::int32_t>, dfg::NodeId> bus_use;
+    for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        if (!state.placed(v))
+            continue;
+        const Placement &p = state.placement(v);
+        if (p.pe < 0 || p.pe >= arch.peCount()) {
+            result.fail(cat("node ", v, ": PE out of range"));
+            continue;
+        }
+        if (p.time != schedule.time[static_cast<std::size_t>(v)])
+            result.fail(cat("node ", v,
+                            ": placement time disagrees with schedule"));
+        const auto op = dfg.node(v).opcode;
+        if (!arch.pe(p.pe).supports(op))
+            result.fail(cat("node ", v, " (", dfg::opcodeName(op),
+                            "): PE", p.pe, " lacks the capability"));
+
+        const std::int32_t slot = mrrg.slotOf(p.time);
+        const auto key = std::make_pair(p.pe, slot);
+        if (const auto it = func_use.find(key); it != func_use.end())
+            result.fail(cat("nodes ", it->second, " and ", v,
+                            " share PE", p.pe, " slot ", slot));
+        else
+            func_use.emplace(key, v);
+
+        if (arch.rowSharedMemoryBus() &&
+            dfg::opClass(op) == dfg::OpClass::Memory) {
+            const auto bus_key =
+                std::make_pair(arch.rowOf(p.pe), slot);
+            if (const auto it = bus_use.find(bus_key);
+                it != bus_use.end()) {
+                result.fail(cat("memory ops ", it->second, " and ", v,
+                                " share the row-", bus_key.first,
+                                " bus at slot ", slot));
+            } else {
+                bus_use.emplace(bus_key, v);
+            }
+        }
+    }
+
+    // --- Routes -------------------------------------------------------
+    // Resource exclusiveness across everything committed: a register or
+    // wire modulo slot may carry exactly one (producer, absolute-time)
+    // value.
+    std::map<std::int32_t, std::pair<dfg::NodeId, std::int32_t>> reg_use;
+    std::map<std::int32_t, std::pair<dfg::NodeId, std::int32_t>> wire_use;
+    // Producers' results live in their PE's dedicated FU output
+    // register (implied by function-slot exclusivity), so only routing
+    // registers are accounted here.
+
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        if (!state.edgeRouted(ei))
+            continue;
+        const dfg::DfgEdge &edge =
+            dfg.edges()[static_cast<std::size_t>(ei)];
+        if (!state.placed(edge.src) || !state.placed(edge.dst)) {
+            result.fail(cat("edge ", ei,
+                            " routed with unplaced endpoint"));
+            continue;
+        }
+        validateRoute(state, ei, result);
+
+        const Route &route = state.edgeRoute(ei);
+        for (const RegHold &h : route.regHolds) {
+            const std::int32_t idx =
+                mrrg.regIndex(h.pe, mrrg.slotOf(h.time));
+            const auto want = std::make_pair(edge.src, h.time);
+            const auto [it, inserted] = reg_use.emplace(idx, want);
+            if (!inserted && it->second != want)
+                result.fail(cat("edge ", ei, ": register PE", h.pe,
+                                " slot ", mrrg.slotOf(h.time),
+                                " carries conflicting values"));
+        }
+        for (const WireUse &w : route.wires) {
+            const std::int32_t idx =
+                mrrg.wireIndex(w.link, mrrg.slotOf(w.time));
+            const auto want = std::make_pair(edge.src, w.time);
+            const auto [it, inserted] = wire_use.emplace(idx, want);
+            if (!inserted && it->second != want)
+                result.fail(cat("edge ", ei, ": wire ", w.link,
+                                " slot ", mrrg.slotOf(w.time),
+                                " carries conflicting values"));
+        }
+    }
+
+    return result;
+}
+
+} // namespace mapzero::mapper

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Independent validation of a completed mapping.
+ *
+ * The validator re-derives every constraint from scratch (it shares no
+ * bookkeeping with the router), so tests can use it as ground truth that
+ * the search stack produced a physically realizable configuration:
+ * placement exclusivity, PE capabilities, memory-bus capacity, schedule
+ * consistency, and cycle-accurate route continuity with resource
+ * exclusiveness.
+ */
+
+#ifndef MAPZERO_MAPPER_VALIDATOR_HPP
+#define MAPZERO_MAPPER_VALIDATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "mapper/mapping.hpp"
+
+namespace mapzero::mapper {
+
+/** Validation report. */
+struct ValidationResult {
+    bool valid = true;
+    std::vector<std::string> errors;
+
+    void
+    fail(std::string message)
+    {
+        valid = false;
+        errors.push_back(std::move(message));
+    }
+};
+
+/** Validate a (complete or partial) mapping; see file comment. */
+ValidationResult validateMapping(const MappingState &state);
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_VALIDATOR_HPP

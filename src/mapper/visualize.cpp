@@ -1,0 +1,110 @@
+#include "mapper/visualize.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace mapzero::mapper {
+
+std::string
+renderMappingGrid(const MappingState &state)
+{
+    const cgra::Architecture &arch = state.mrrg().arch();
+    const dfg::Dfg &dfg = state.dfg();
+    const std::int32_t ii = state.mrrg().ii();
+
+    std::ostringstream os;
+    for (std::int32_t slot = 0; slot < ii; ++slot) {
+        os << "slot " << slot << "/" << ii << ":\n";
+        for (std::int32_t r = 0; r < arch.rows(); ++r) {
+            os << "  ";
+            for (std::int32_t c = 0; c < arch.cols(); ++c) {
+                const dfg::NodeId v =
+                    state.nodeAt(arch.peAt(r, c), slot);
+                std::ostringstream cell;
+                if (v >= 0) {
+                    cell << v << ":" << dfg::opcodeName(
+                        dfg.node(v).opcode);
+                } else {
+                    cell << ".";
+                }
+                std::string text = cell.str();
+                if (text.size() > 10)
+                    text = text.substr(0, 10);
+                os << text;
+                for (std::size_t pad = text.size(); pad < 11; ++pad)
+                    os << ' ';
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+mappingToDot(const MappingState &state)
+{
+    const dfg::Dfg &dfg = state.dfg();
+    const cgra::Architecture &arch = state.mrrg().arch();
+
+    std::ostringstream os;
+    os << "digraph \"mapping_" << dfg.name() << "\" {\n";
+    os << "  node [shape=box];\n";
+    for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        os << "  n" << v << " [label=\"" << v << ":"
+           << dfg::opcodeName(dfg.node(v).opcode);
+        if (state.placed(v)) {
+            const Placement &p = state.placement(v);
+            os << "\\nPE" << p.pe << " (r" << arch.rowOf(p.pe) << ",c"
+               << arch.colOf(p.pe) << ") t=" << p.time;
+        } else {
+            os << "\\nunplaced";
+        }
+        os << "\"];\n";
+    }
+    for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei) {
+        const dfg::DfgEdge &e =
+            dfg.edges()[static_cast<std::size_t>(ei)];
+        os << "  n" << e.src << " -> n" << e.dst;
+        std::vector<std::string> attrs;
+        if (e.distance != 0)
+            attrs.push_back(cat("style=dashed label=\"d=", e.distance,
+                                "\""));
+        else if (state.edgeRouted(ei))
+            attrs.push_back(cat("label=\"", state.edgeRoute(ei).hops,
+                                " hop(s)\""));
+        if (!attrs.empty()) {
+            os << " [";
+            for (const auto &a : attrs)
+                os << a;
+            os << "]";
+        }
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+renderPlacementTable(const MappingState &state)
+{
+    const dfg::Dfg &dfg = state.dfg();
+    const cgra::Architecture &arch = state.mrrg().arch();
+
+    std::ostringstream os;
+    for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v) {
+        os << "  " << v << "\t"
+           << dfg::opcodeName(dfg.node(v).opcode) << "\t";
+        if (state.placed(v)) {
+            const Placement &p = state.placement(v);
+            os << "PE" << p.pe << " (r" << arch.rowOf(p.pe) << ",c"
+               << arch.colOf(p.pe) << ")\tt=" << p.time;
+        } else {
+            os << "unplaced";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mapzero::mapper

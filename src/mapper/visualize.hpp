@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Human-readable rendering of mappings: an ASCII PE-grid per modulo
+ * time slice, and a GraphViz overlay showing which PE hosts which DFG
+ * node. Both are pure functions of a MappingState, used by the CLI and
+ * the examples to make results inspectable.
+ */
+
+#ifndef MAPZERO_MAPPER_VISUALIZE_HPP
+#define MAPZERO_MAPPER_VISUALIZE_HPP
+
+#include <string>
+
+#include "mapper/mapping.hpp"
+
+namespace mapzero::mapper {
+
+/**
+ * ASCII art: one PE grid per modulo slice. Occupied cells show the
+ * hosted node as "<id>:<opcode>", free cells show dots.
+ */
+std::string renderMappingGrid(const MappingState &state);
+
+/**
+ * GraphViz digraph of the mapped DFG: node labels carry the (PE, time)
+ * coordinates, edge labels the route hop counts.
+ */
+std::string mappingToDot(const MappingState &state);
+
+/**
+ * Per-node placement table: "node opcode -> PE(row,col) @t route-hops".
+ */
+std::string renderPlacementTable(const MappingState &state);
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_VISUALIZE_HPP

@@ -1,0 +1,620 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace mapzero::nn {
+
+void
+Node::ensureGrad()
+{
+    if (!gradReady) {
+        grad = Tensor::zerosLike(value);
+        gradReady = true;
+    }
+}
+
+void
+Node::accumulateGrad(const Tensor &g)
+{
+    ensureGrad();
+    grad.addInPlace(g);
+}
+
+Value
+Value::constant(Tensor t)
+{
+    return Value(std::make_shared<Node>(std::move(t), false));
+}
+
+Value
+Value::parameter(Tensor t)
+{
+    return Value(std::make_shared<Node>(std::move(t), true));
+}
+
+void
+Value::backward() const
+{
+    if (!node_)
+        panic("backward() on undefined Value");
+    if (node_->value.size() != 1)
+        panic("backward() requires a scalar loss");
+
+    // Topological order via iterative post-order DFS.
+    std::vector<Node *> order;
+    std::unordered_set<Node *> visited;
+    std::vector<std::pair<Node *, std::size_t>> stack;
+    stack.emplace_back(node_.get(), 0);
+    visited.insert(node_.get());
+    while (!stack.empty()) {
+        auto &[node, next_child] = stack.back();
+        if (next_child < node->parents.size()) {
+            Node *parent = node->parents[next_child++].get();
+            if (parent->requiresGrad && !visited.count(parent)) {
+                visited.insert(parent);
+                stack.emplace_back(parent, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    node_->ensureGrad();
+    node_->grad.fill(1.0f);
+
+    // Reverse topological order: children before parents.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = *it;
+        if (node->backwardFn && node->gradReady)
+            node->backwardFn(*node);
+    }
+}
+
+namespace {
+
+/** Whether any parent wants gradients (controls closure creation). */
+bool
+anyRequiresGrad(const std::vector<Value> &inputs)
+{
+    return std::any_of(inputs.begin(), inputs.end(), [](const Value &v) {
+        return v.requiresGrad();
+    });
+}
+
+Value
+makeOp(Tensor result, std::vector<Value> inputs,
+       std::function<void(Node &)> backward_fn)
+{
+    const bool needs_grad = anyRequiresGrad(inputs);
+    auto node = std::make_shared<Node>(std::move(result), needs_grad);
+    if (needs_grad) {
+        node->parents.reserve(inputs.size());
+        for (const auto &in : inputs)
+            node->parents.push_back(in.node());
+        node->backwardFn = std::move(backward_fn);
+    }
+    return Value(std::move(node));
+}
+
+} // namespace
+
+Value
+matmul(const Value &a, const Value &b)
+{
+    const Tensor &ta = a.tensor();
+    const Tensor &tb = b.tensor();
+    const std::size_t m = ta.rows(), k = ta.cols(), n = tb.cols();
+    if (tb.rows() != k)
+        panic(cat("matmul shape mismatch: ", ta.shapeString(), " * ",
+                  tb.shapeString()));
+
+    Tensor out(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float aip = ta.at(i, p);
+            if (aip == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < n; ++j)
+                out.at(i, j) += aip * tb.at(p, j);
+        }
+    }
+
+    return makeOp(std::move(out), {a, b}, [m, k, n](Node &node) {
+        const Tensor &g = node.grad;
+        NodePtr pa = node.parents[0], pb = node.parents[1];
+        if (pa->requiresGrad) {
+            // dA = G * B^T
+            Tensor da(m, k);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t j = 0; j < n; ++j) {
+                    const float gij = g.at(i, j);
+                    if (gij == 0.0f)
+                        continue;
+                    for (std::size_t p = 0; p < k; ++p)
+                        da.at(i, p) += gij * pb->value.at(p, j);
+                }
+            pa->accumulateGrad(da);
+        }
+        if (pb->requiresGrad) {
+            // dB = A^T * G
+            Tensor db(k, n);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t p = 0; p < k; ++p) {
+                    const float aip = pa->value.at(i, p);
+                    if (aip == 0.0f)
+                        continue;
+                    for (std::size_t j = 0; j < n; ++j)
+                        db.at(p, j) += aip * g.at(i, j);
+                }
+            pb->accumulateGrad(db);
+        }
+    });
+}
+
+Value
+add(const Value &a, const Value &b)
+{
+    const Tensor &ta = a.tensor();
+    const Tensor &tb = b.tensor();
+    const bool broadcast =
+        !ta.sameShape(tb) && tb.rows() == 1 && tb.cols() == ta.cols();
+    if (!ta.sameShape(tb) && !broadcast)
+        panic(cat("add shape mismatch: ", ta.shapeString(), " + ",
+                  tb.shapeString()));
+
+    Tensor out = ta;
+    if (broadcast) {
+        for (std::size_t r = 0; r < ta.rows(); ++r)
+            for (std::size_t c = 0; c < ta.cols(); ++c)
+                out.at(r, c) += tb[c];
+    } else {
+        out.addInPlace(tb);
+    }
+
+    return makeOp(std::move(out), {a, b}, [broadcast](Node &node) {
+        NodePtr pa = node.parents[0], pb = node.parents[1];
+        if (pa->requiresGrad)
+            pa->accumulateGrad(node.grad);
+        if (pb->requiresGrad) {
+            if (broadcast) {
+                Tensor gb = Tensor::zerosLike(pb->value);
+                const Tensor &g = node.grad;
+                for (std::size_t r = 0; r < g.rows(); ++r)
+                    for (std::size_t c = 0; c < g.cols(); ++c)
+                        gb[c] += g.at(r, c);
+                pb->accumulateGrad(gb);
+            } else {
+                pb->accumulateGrad(node.grad);
+            }
+        }
+    });
+}
+
+Value
+sub(const Value &a, const Value &b)
+{
+    const Tensor &ta = a.tensor();
+    const Tensor &tb = b.tensor();
+    if (!ta.sameShape(tb))
+        panic(cat("sub shape mismatch: ", ta.shapeString(), " - ",
+                  tb.shapeString()));
+    Tensor out = ta;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] -= tb[i];
+
+    return makeOp(std::move(out), {a, b}, [](Node &node) {
+        NodePtr pa = node.parents[0], pb = node.parents[1];
+        if (pa->requiresGrad)
+            pa->accumulateGrad(node.grad);
+        if (pb->requiresGrad) {
+            Tensor gb = node.grad;
+            gb.scaleInPlace(-1.0f);
+            pb->accumulateGrad(gb);
+        }
+    });
+}
+
+Value
+mulElem(const Value &a, const Value &b)
+{
+    const Tensor &ta = a.tensor();
+    const Tensor &tb = b.tensor();
+    if (!ta.sameShape(tb))
+        panic(cat("mulElem shape mismatch: ", ta.shapeString(), " * ",
+                  tb.shapeString()));
+    Tensor out = ta;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] *= tb[i];
+
+    return makeOp(std::move(out), {a, b}, [](Node &node) {
+        NodePtr pa = node.parents[0], pb = node.parents[1];
+        if (pa->requiresGrad) {
+            Tensor ga = node.grad;
+            for (std::size_t i = 0; i < ga.size(); ++i)
+                ga[i] *= pb->value[i];
+            pa->accumulateGrad(ga);
+        }
+        if (pb->requiresGrad) {
+            Tensor gb = node.grad;
+            for (std::size_t i = 0; i < gb.size(); ++i)
+                gb[i] *= pa->value[i];
+            pb->accumulateGrad(gb);
+        }
+    });
+}
+
+Value
+scale(const Value &a, float factor)
+{
+    Tensor out = a.tensor();
+    out.scaleInPlace(factor);
+    return makeOp(std::move(out), {a}, [factor](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (pa->requiresGrad) {
+            Tensor ga = node.grad;
+            ga.scaleInPlace(factor);
+            pa->accumulateGrad(ga);
+        }
+    });
+}
+
+Value
+relu(const Value &a)
+{
+    return leakyRelu(a, 0.0f);
+}
+
+Value
+leakyRelu(const Value &a, float slope)
+{
+    Tensor out = a.tensor();
+    for (auto &x : out.data())
+        if (x < 0.0f)
+            x *= slope;
+
+    return makeOp(std::move(out), {a}, [slope](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga = node.grad;
+        for (std::size_t i = 0; i < ga.size(); ++i)
+            if (pa->value[i] < 0.0f)
+                ga[i] *= slope;
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+tanhOp(const Value &a)
+{
+    Tensor out = a.tensor();
+    for (auto &x : out.data())
+        x = std::tanh(x);
+
+    return makeOp(std::move(out), {a}, [](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga = node.grad;
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+            const float y = node.value[i];
+            ga[i] *= 1.0f - y * y;
+        }
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+square(const Value &a)
+{
+    Tensor out = a.tensor();
+    for (auto &x : out.data())
+        x *= x;
+
+    return makeOp(std::move(out), {a}, [](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga = node.grad;
+        for (std::size_t i = 0; i < ga.size(); ++i)
+            ga[i] *= 2.0f * pa->value[i];
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+concatCols(const std::vector<Value> &parts)
+{
+    if (parts.empty())
+        panic("concatCols on empty list");
+    const std::size_t rows = parts.front().tensor().rows();
+    std::size_t total_cols = 0;
+    for (const auto &p : parts) {
+        if (p.tensor().rows() != rows)
+            panic("concatCols row-count mismatch");
+        total_cols += p.tensor().cols();
+    }
+
+    Tensor out(rows, total_cols);
+    std::size_t col_off = 0;
+    for (const auto &p : parts) {
+        const Tensor &t = p.tensor();
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < t.cols(); ++c)
+                out.at(r, col_off + c) = t.at(r, c);
+        col_off += t.cols();
+    }
+
+    return makeOp(std::move(out), parts, [rows](Node &node) {
+        std::size_t col_off = 0;
+        for (auto &parent : node.parents) {
+            const std::size_t cols = parent->value.cols();
+            if (parent->requiresGrad) {
+                Tensor gp = Tensor::zerosLike(parent->value);
+                for (std::size_t r = 0; r < rows; ++r)
+                    for (std::size_t c = 0; c < cols; ++c)
+                        gp.at(r, c) = node.grad.at(r, col_off + c);
+                parent->accumulateGrad(gp);
+            }
+            col_off += cols;
+        }
+    });
+}
+
+Value
+gatherRows(const Value &a, const std::vector<std::int32_t> &rows)
+{
+    const Tensor &ta = a.tensor();
+    Tensor out(rows.size(), ta.cols());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto src = static_cast<std::size_t>(rows[i]);
+        if (src >= ta.rows())
+            panic(cat("gatherRows index ", src, " out of ", ta.rows()));
+        for (std::size_t c = 0; c < ta.cols(); ++c)
+            out.at(i, c) = ta.at(src, c);
+    }
+
+    return makeOp(std::move(out), {a}, [rows](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga = Tensor::zerosLike(pa->value);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto dst = static_cast<std::size_t>(rows[i]);
+            for (std::size_t c = 0; c < ga.cols(); ++c)
+                ga.at(dst, c) += node.grad.at(i, c);
+        }
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+meanRows(const Value &a)
+{
+    const Tensor &ta = a.tensor();
+    const std::size_t m = ta.rows(), n = ta.cols();
+    if (m == 0)
+        panic("meanRows on empty matrix");
+    Tensor out(1, n);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out.at(0, c) += ta.at(r, c);
+    out.scaleInPlace(1.0f / static_cast<float>(m));
+
+    return makeOp(std::move(out), {a}, [m, n](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga(m, n);
+        const float inv = 1.0f / static_cast<float>(m);
+        for (std::size_t r = 0; r < m; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                ga.at(r, c) = node.grad.at(0, c) * inv;
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+sumAll(const Value &a)
+{
+    Tensor out(a.tensor().sum());
+    return makeOp(std::move(out), {a}, [](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        Tensor ga = Tensor::zerosLike(pa->value);
+        const float g = node.grad.item();
+        ga.fill(g);
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+meanAll(const Value &a)
+{
+    const auto n = static_cast<float>(a.tensor().size());
+    return scale(sumAll(a), 1.0f / n);
+}
+
+Value
+logSoftmaxMasked(const Value &logits, const std::vector<bool> &mask)
+{
+    const Tensor &t = logits.tensor();
+    if (t.rows() != 1 || t.cols() != mask.size())
+        panic(cat("logSoftmaxMasked shape mismatch: ", t.shapeString(),
+                  " with mask of ", mask.size()));
+
+    constexpr float masked_logp = -1e9f;
+    float max_logit = -std::numeric_limits<float>::infinity();
+    bool any_legal = false;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i]) {
+            any_legal = true;
+            max_logit = std::max(max_logit, t[i]);
+        }
+    }
+    if (!any_legal)
+        panic("logSoftmaxMasked: no legal action in mask");
+
+    double denom = 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i])
+            denom += std::exp(static_cast<double>(t[i] - max_logit));
+    const float log_denom =
+        max_logit + static_cast<float>(std::log(denom));
+
+    Tensor out = t;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        out[i] = mask[i] ? t[i] - log_denom : masked_logp;
+
+    return makeOp(std::move(out), {logits}, [mask](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        // d logp_i / d logit_j = delta_ij - p_j  (over legal entries)
+        Tensor ga = Tensor::zerosLike(pa->value);
+        float gsum = 0.0f;
+        for (std::size_t i = 0; i < mask.size(); ++i)
+            if (mask[i])
+                gsum += node.grad[i];
+        for (std::size_t j = 0; j < mask.size(); ++j) {
+            if (!mask[j])
+                continue;
+            const float pj = std::exp(node.value[j]);
+            ga[j] = node.grad[j] - pj * gsum;
+        }
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+segmentSoftmax(const Value &scores, const std::vector<std::int32_t> &segments,
+               std::int32_t num_segments)
+{
+    const Tensor &t = scores.tensor();
+    const std::size_t e_count = t.rows(), heads = t.cols();
+    if (segments.size() != e_count)
+        panic("segmentSoftmax: segment count != edge count");
+
+    Tensor out(e_count, heads);
+    const auto seg_n = static_cast<std::size_t>(num_segments);
+    // Numerically stable per-(segment, head) softmax.
+    std::vector<float> seg_max(seg_n * heads,
+                               -std::numeric_limits<float>::infinity());
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto s = static_cast<std::size_t>(segments[e]);
+        for (std::size_t h = 0; h < heads; ++h)
+            seg_max[s * heads + h] =
+                std::max(seg_max[s * heads + h], t.at(e, h));
+    }
+    std::vector<double> seg_sum(seg_n * heads, 0.0);
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto s = static_cast<std::size_t>(segments[e]);
+        for (std::size_t h = 0; h < heads; ++h) {
+            const float v =
+                std::exp(t.at(e, h) - seg_max[s * heads + h]);
+            out.at(e, h) = v;
+            seg_sum[s * heads + h] += v;
+        }
+    }
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto s = static_cast<std::size_t>(segments[e]);
+        for (std::size_t h = 0; h < heads; ++h)
+            out.at(e, h) /= static_cast<float>(seg_sum[s * heads + h]);
+    }
+
+    return makeOp(std::move(out), {scores},
+                  [segments, num_segments](Node &node) {
+        NodePtr pa = node.parents[0];
+        if (!pa->requiresGrad)
+            return;
+        const Tensor &alpha = node.value;
+        const Tensor &g = node.grad;
+        const std::size_t e_count = alpha.rows(), heads = alpha.cols();
+        const auto seg_n = static_cast<std::size_t>(num_segments);
+        // inner[s, h] = sum over segment s of alpha * g
+        std::vector<double> inner(seg_n * heads, 0.0);
+        for (std::size_t e = 0; e < e_count; ++e) {
+            const auto s = static_cast<std::size_t>(segments[e]);
+            for (std::size_t h = 0; h < heads; ++h)
+                inner[s * heads + h] +=
+                    static_cast<double>(alpha.at(e, h)) * g.at(e, h);
+        }
+        Tensor ga(e_count, heads);
+        for (std::size_t e = 0; e < e_count; ++e) {
+            const auto s = static_cast<std::size_t>(segments[e]);
+            for (std::size_t h = 0; h < heads; ++h)
+                ga.at(e, h) = alpha.at(e, h) *
+                    (g.at(e, h) -
+                     static_cast<float>(inner[s * heads + h]));
+        }
+        pa->accumulateGrad(ga);
+    });
+}
+
+Value
+attentionAggregate(const Value &values, const Value &alpha,
+                   const std::vector<std::int32_t> &dst,
+                   std::int32_t num_nodes)
+{
+    const Tensor &tv = values.tensor();
+    const Tensor &ta = alpha.tensor();
+    const std::size_t e_count = tv.rows();
+    const std::size_t heads = ta.cols();
+    if (ta.rows() != e_count || dst.size() != e_count)
+        panic("attentionAggregate: edge-count mismatch");
+    if (heads == 0 || tv.cols() % heads != 0)
+        panic("attentionAggregate: values width not divisible by heads");
+    const std::size_t feat = tv.cols() / heads;
+
+    Tensor out(static_cast<std::size_t>(num_nodes), tv.cols());
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto u = static_cast<std::size_t>(dst[e]);
+        for (std::size_t h = 0; h < heads; ++h) {
+            const float a = ta.at(e, h);
+            for (std::size_t f = 0; f < feat; ++f)
+                out.at(u, h * feat + f) += a * tv.at(e, h * feat + f);
+        }
+    }
+
+    return makeOp(std::move(out), {values, alpha},
+                  [dst, heads, feat](Node &node) {
+        NodePtr pv = node.parents[0], p_alpha = node.parents[1];
+        const Tensor &g = node.grad;
+        const std::size_t e_count = pv->value.rows();
+        if (pv->requiresGrad) {
+            Tensor gv = Tensor::zerosLike(pv->value);
+            for (std::size_t e = 0; e < e_count; ++e) {
+                const auto u = static_cast<std::size_t>(dst[e]);
+                for (std::size_t h = 0; h < heads; ++h) {
+                    const float a = p_alpha->value.at(e, h);
+                    for (std::size_t f = 0; f < feat; ++f)
+                        gv.at(e, h * feat + f) =
+                            a * g.at(u, h * feat + f);
+                }
+            }
+            pv->accumulateGrad(gv);
+        }
+        if (p_alpha->requiresGrad) {
+            Tensor g_alpha = Tensor::zerosLike(p_alpha->value);
+            for (std::size_t e = 0; e < e_count; ++e) {
+                const auto u = static_cast<std::size_t>(dst[e]);
+                for (std::size_t h = 0; h < heads; ++h) {
+                    float acc = 0.0f;
+                    for (std::size_t f = 0; f < feat; ++f)
+                        acc += g.at(u, h * feat + f) *
+                               pv->value.at(e, h * feat + f);
+                    g_alpha.at(e, h) = acc;
+                }
+            }
+            p_alpha->accumulateGrad(g_alpha);
+        }
+    });
+}
+
+} // namespace mapzero::nn

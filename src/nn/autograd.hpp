@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation over Tensor.
+ *
+ * The graph is dynamic (define-by-run): every operation allocates a Node
+ * holding the result, the parent handles, and a closure that scatters the
+ * output gradient back to the parents. Calling backward() on a scalar loss
+ * topologically sorts the reachable graph and runs the closures once each.
+ *
+ * The op set is exactly what the MapZero network requires: dense linear
+ * algebra, pointwise nonlinearities, row gather/mean for graph pooling, a
+ * masked log-softmax for the policy head, and two fused graph-attention
+ * primitives (segmentSoftmax / attentionAggregate) with analytic gradients.
+ */
+
+#ifndef MAPZERO_NN_AUTOGRAD_HPP
+#define MAPZERO_NN_AUTOGRAD_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mapzero::nn {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/** One vertex of the dynamic autograd graph. */
+class Node
+{
+  public:
+    Node(Tensor value, bool requires_grad)
+        : value(std::move(value)), requiresGrad(requires_grad)
+    {}
+
+    /** Forward result. */
+    Tensor value;
+    /** Accumulated dLoss/dValue; shape matches value once touched. */
+    Tensor grad;
+    /** True once grad holds a valid accumulation buffer. */
+    bool gradReady = false;
+    /** Whether gradients should flow into/through this node. */
+    bool requiresGrad;
+    /** Parents in the forward graph. */
+    std::vector<NodePtr> parents;
+    /** Scatters this->grad into the parents' grads. */
+    std::function<void(Node &)> backwardFn;
+
+    /** Lazily allocate + zero the grad buffer. */
+    void ensureGrad();
+
+    /** Accumulate @p g into grad. */
+    void accumulateGrad(const Tensor &g);
+};
+
+/**
+ * Value handle used by model code. Copying shares the underlying node.
+ */
+class Value
+{
+  public:
+    Value() = default;
+    explicit Value(NodePtr node) : node_(std::move(node)) {}
+
+    /** Leaf that does not require grad. */
+    static Value constant(Tensor t);
+    /** Leaf that accumulates gradient (model parameter). */
+    static Value parameter(Tensor t);
+
+    bool defined() const { return node_ != nullptr; }
+    const Tensor &tensor() const { return node_->value; }
+    Tensor &tensor() { return node_->value; }
+    const Tensor &grad() const { return node_->grad; }
+    bool requiresGrad() const { return node_->requiresGrad; }
+    NodePtr node() const { return node_; }
+
+    /** Scalar convenience read. */
+    float item() const { return node_->value.item(); }
+
+    /**
+     * Run reverse-mode AD from this (scalar) value.
+     * Gradients accumulate into every reachable node with requiresGrad.
+     */
+    void backward() const;
+
+  private:
+    NodePtr node_;
+};
+
+/// @name Dense ops
+/// @{
+
+/** Matrix product (m x k) * (k x n). */
+Value matmul(const Value &a, const Value &b);
+
+/** Elementwise add; also broadcasts b as a row vector (1 x n) over a. */
+Value add(const Value &a, const Value &b);
+
+/** Elementwise subtract (same shapes). */
+Value sub(const Value &a, const Value &b);
+
+/** Elementwise (Hadamard) product (same shapes). */
+Value mulElem(const Value &a, const Value &b);
+
+/** Multiply all elements by a constant. */
+Value scale(const Value &a, float factor);
+
+/// @}
+/// @name Nonlinearities
+/// @{
+
+Value relu(const Value &a);
+Value leakyRelu(const Value &a, float slope);
+Value tanhOp(const Value &a);
+Value square(const Value &a);
+
+/// @}
+/// @name Shape / reduction ops
+/// @{
+
+/** Horizontal concatenation of matrices with equal row counts. */
+Value concatCols(const std::vector<Value> &parts);
+
+/** Select rows by index (with repetition allowed); grad scatter-adds. */
+Value gatherRows(const Value &a, const std::vector<std::int32_t> &rows);
+
+/** Column-wise mean over rows: (m x n) -> (1 x n). */
+Value meanRows(const Value &a);
+
+/** Sum of all elements -> scalar. */
+Value sumAll(const Value &a);
+
+/** Mean of all elements -> scalar. */
+Value meanAll(const Value &a);
+
+/// @}
+/// @name Policy-head ops
+/// @{
+
+/**
+ * Log-softmax over a single row with a legality mask.
+ *
+ * Masked-out entries get log-probability of a large negative constant and
+ * receive no gradient, matching invalid-action masking in the paper (§3.3).
+ *
+ * @param logits (1 x n) or vector
+ * @param mask per-entry legality, size n; at least one entry must be true
+ */
+Value logSoftmaxMasked(const Value &logits, const std::vector<bool> &mask);
+
+/// @}
+/// @name Fused graph-attention primitives
+/// @{
+
+/**
+ * Per-segment softmax with multiple heads.
+ *
+ * Row e of @p scores holds H attention logits for edge e; @p segments maps
+ * each edge to its destination vertex. The softmax normalizes over all edges
+ * sharing a segment, independently per head — Eq. (6) of the paper.
+ *
+ * @param scores (E x H) edge logits
+ * @param segments size-E segment id per edge, values in [0, numSegments)
+ * @param num_segments total segment count (vertices)
+ */
+Value segmentSoftmax(const Value &scores,
+                     const std::vector<std::int32_t> &segments,
+                     std::int32_t num_segments);
+
+/**
+ * Attention-weighted neighborhood aggregation — Eq. (8) of the paper.
+ *
+ * out[u, h*F+f] = sum over edges e with dst(e)==u of
+ *                 alpha[e, h] * values[e, h*F+f].
+ *
+ * @param values (E x H*F) per-edge transformed source features, head-major
+ * @param alpha (E x H) normalized attention coefficients
+ * @param dst size-E destination vertex per edge
+ * @param num_nodes output row count
+ */
+Value attentionAggregate(const Value &values, const Value &alpha,
+                         const std::vector<std::int32_t> &dst,
+                         std::int32_t num_nodes);
+
+/// @}
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_AUTOGRAD_HPP

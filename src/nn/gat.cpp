@@ -1,0 +1,109 @@
+#include "nn/gat.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero::nn {
+
+GatLayer::GatLayer(std::size_t in, std::size_t out_per_head,
+                   std::size_t heads, float leaky_slope, Rng &rng)
+    : in_(in), outPerHead_(out_per_head), heads_(heads),
+      leakySlope_(leaky_slope)
+{
+    if (heads == 0 || out_per_head == 0)
+        panic("GatLayer requires at least one head and one feature");
+    const float w_bound = std::sqrt(6.0f / static_cast<float>(in));
+    const float a_bound =
+        std::sqrt(6.0f / static_cast<float>(out_per_head));
+    for (std::size_t k = 0; k < heads; ++k) {
+        weights_.push_back(registerParameter(
+            cat("w", k),
+            Tensor::uniform(in, out_per_head, -w_bound, w_bound, rng)));
+        attnSrc_.push_back(registerParameter(
+            cat("a_src", k),
+            Tensor::uniform(out_per_head, 1, -a_bound, a_bound, rng)));
+        attnDst_.push_back(registerParameter(
+            cat("a_dst", k),
+            Tensor::uniform(out_per_head, 1, -a_bound, a_bound, rng)));
+    }
+}
+
+Value
+GatLayer::forward(const Value &feats, const EdgeList &edges,
+                  Activation activation) const
+{
+    const auto n_nodes =
+        static_cast<std::int32_t>(feats.tensor().rows());
+    if (feats.tensor().cols() != in_)
+        panic(cat("GatLayer fed ", feats.tensor().cols(),
+                  " features, expected ", in_));
+
+    // Self-loops guarantee a non-empty in-neighborhood for every vertex.
+    std::vector<std::int32_t> src, dst;
+    src.reserve(edges.size() + n_nodes);
+    dst.reserve(edges.size() + n_nodes);
+    for (const auto &[s, d] : edges) {
+        if (s < 0 || s >= n_nodes || d < 0 || d >= n_nodes)
+            panic(cat("GatLayer edge (", s, ",", d, ") out of range ",
+                      n_nodes));
+        src.push_back(s);
+        dst.push_back(d);
+    }
+    for (std::int32_t v = 0; v < n_nodes; ++v) {
+        src.push_back(v);
+        dst.push_back(v);
+    }
+
+    std::vector<Value> head_scores;
+    std::vector<Value> head_values;
+    head_scores.reserve(heads_);
+    head_values.reserve(heads_);
+    for (std::size_t k = 0; k < heads_; ++k) {
+        Value wh = matmul(feats, weights_[k]);           // (N x F)
+        Value s_src = matmul(wh, attnSrc_[k]);           // (N x 1)
+        Value s_dst = matmul(wh, attnDst_[k]);           // (N x 1)
+        Value e = add(gatherRows(s_dst, dst),
+                      gatherRows(s_src, src));           // (E x 1)
+        head_scores.push_back(e);
+        head_values.push_back(gatherRows(wh, src));      // (E x F)
+    }
+
+    Value scores = leakyRelu(concatCols(head_scores), leakySlope_);
+    Value alpha = segmentSoftmax(scores, dst, n_nodes);  // (E x K)
+    Value values = concatCols(head_values);              // (E x K*F)
+    Value aggregated = attentionAggregate(values, alpha, dst, n_nodes);
+    return activate(aggregated, activation);
+}
+
+GatEncoder::GatEncoder(std::size_t in, std::size_t hidden_per_head,
+                       std::size_t heads, std::size_t layers, Rng &rng)
+{
+    if (layers == 0)
+        panic("GatEncoder requires at least one layer");
+    std::size_t width = in;
+    for (std::size_t l = 0; l < layers; ++l) {
+        layers_.push_back(std::make_unique<GatLayer>(
+            width, hidden_per_head, heads, 0.2f, rng));
+        registerChild(cat("gat", l), layers_.back().get());
+        width = layers_.back()->outWidth();
+    }
+}
+
+Value
+GatEncoder::encodeNodes(const Value &feats, const EdgeList &edges) const
+{
+    Value h = feats;
+    for (const auto &layer : layers_)
+        h = layer->forward(h, edges);
+    return h;
+}
+
+Value
+GatEncoder::encodeGraph(const Value &feats, const EdgeList &edges) const
+{
+    return meanRows(encodeNodes(feats, edges));
+}
+
+} // namespace mapzero::nn

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Graph Attention Network layer and encoder (Velickovic et al. 2017),
+ * as used by MapZero to embed both the DFG and the CGRA hardware graph
+ * (paper §3.2.3, Eq. 5-8).
+ */
+
+#ifndef MAPZERO_NN_GAT_HPP
+#define MAPZERO_NN_GAT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace mapzero::nn {
+
+/** Directed edge list; pair is (src, dst). */
+using EdgeList = std::vector<std::pair<std::int32_t, std::int32_t>>;
+
+/**
+ * One multi-head graph-attention layer.
+ *
+ * Per head k: scores e_uv = LeakyReLU(a_k . [W_k h_u || W_k h_v]) are
+ * normalized over the in-neighborhood of each vertex (Eq. 6) and used to
+ * aggregate transformed neighbor features (Eq. 8). Head outputs are
+ * concatenated, so the layer output width is heads * outPerHead.
+ *
+ * Self-loops are added internally so every vertex attends at least to
+ * itself (isolated DFG nodes and unconnected PEs still get an embedding).
+ */
+class GatLayer : public Module
+{
+  public:
+    /**
+     * @param in input feature width
+     * @param out_per_head per-head output width
+     * @param heads number of independent attention heads (K in Eq. 8)
+     * @param leaky_slope LeakyReLU slope c of Eq. 7
+     * @param rng weight-init randomness
+     */
+    GatLayer(std::size_t in, std::size_t out_per_head, std::size_t heads,
+             float leaky_slope, Rng &rng);
+
+    /**
+     * Forward over a graph.
+     *
+     * @param feats (N x in) node features
+     * @param edges directed (src, dst) pairs; dst aggregates from src
+     * @param activation output nonlinearity (sigma of Eq. 8)
+     * @return (N x heads*outPerHead) node embeddings
+     */
+    Value forward(const Value &feats, const EdgeList &edges,
+                  Activation activation = Activation::ReLU) const;
+
+    std::size_t outWidth() const { return heads_ * outPerHead_; }
+
+  private:
+    std::size_t in_;
+    std::size_t outPerHead_;
+    std::size_t heads_;
+    float leakySlope_;
+    std::vector<Value> weights_;  // per head: (in x outPerHead)
+    std::vector<Value> attnSrc_;  // per head: (outPerHead x 1)
+    std::vector<Value> attnDst_;  // per head: (outPerHead x 1)
+};
+
+/**
+ * Stacked GAT encoder with mean pooling (paper: "after multiple layers,
+ * the learned node embeddings are summarized by mean pooling").
+ */
+class GatEncoder : public Module
+{
+  public:
+    /**
+     * @param in input feature width
+     * @param hidden_per_head per-head width of every layer
+     * @param heads attention heads per layer
+     * @param layers layer count (>= 1)
+     */
+    GatEncoder(std::size_t in, std::size_t hidden_per_head,
+               std::size_t heads, std::size_t layers, Rng &rng);
+
+    /** Per-node embeddings, (N x heads*hiddenPerHead). */
+    Value encodeNodes(const Value &feats, const EdgeList &edges) const;
+
+    /** Mean-pooled graph embedding, (1 x heads*hiddenPerHead). */
+    Value encodeGraph(const Value &feats, const EdgeList &edges) const;
+
+    std::size_t outWidth() const { return layers_.back()->outWidth(); }
+
+  private:
+    std::vector<std::unique_ptr<GatLayer>> layers_;
+};
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_GAT_HPP

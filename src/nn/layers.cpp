@@ -1,0 +1,62 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero::nn {
+
+Value
+activate(const Value &x, Activation activation)
+{
+    switch (activation) {
+      case Activation::None:      return x;
+      case Activation::ReLU:      return relu(x);
+      case Activation::LeakyReLU: return leakyRelu(x, 0.2f);
+      case Activation::Tanh:      return tanhOp(x);
+    }
+    panic("unknown activation");
+}
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
+    : in_(in), out_(out)
+{
+    const float bound = std::sqrt(6.0f / static_cast<float>(in));
+    weight_ = registerParameter(
+        "weight", Tensor::uniform(in, out, -bound, bound, rng));
+    bias_ = registerParameter("bias", Tensor(1, out));
+}
+
+Value
+Linear::forward(const Value &x) const
+{
+    return add(matmul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<std::size_t> &dims, Activation hidden,
+         Activation final, Rng &rng)
+    : dims_(dims), hidden_(hidden), final_(final)
+{
+    if (dims.size() < 2)
+        panic("Mlp requires at least an input and an output width");
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+        layers_.push_back(
+            std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+        registerChild(cat("fc", i), layers_.back().get());
+    }
+}
+
+Value
+Mlp::forward(const Value &x) const
+{
+    Value h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i]->forward(h);
+        const bool last = i + 1 == layers_.size();
+        h = activate(h, last ? final_ : hidden_);
+    }
+    return h;
+}
+
+} // namespace mapzero::nn

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dense layers: Linear, and the MLP stacks used in MapZero's prediction
+ * network (Fig. 5 of the paper labels the FC/MLP output dimensions).
+ */
+
+#ifndef MAPZERO_NN_LAYERS_HPP
+#define MAPZERO_NN_LAYERS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mapzero { class Rng; }
+
+namespace mapzero::nn {
+
+/** Pointwise activation selector for MLP hidden layers. */
+enum class Activation { None, ReLU, LeakyReLU, Tanh };
+
+/** Apply an activation to a value. */
+Value activate(const Value &x, Activation activation);
+
+/** Fully connected layer y = x W + b with Kaiming-uniform init. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in input feature width
+     * @param out output feature width
+     * @param rng weight-init randomness
+     */
+    Linear(std::size_t in, std::size_t out, Rng &rng);
+
+    /** Forward over a (batch x in) matrix. */
+    Value forward(const Value &x) const;
+
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const { return out_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Value weight_; // (in x out)
+    Value bias_;   // (1 x out)
+};
+
+/**
+ * Multilayer perceptron: Linear layers with an activation between them
+ * (and optionally after the last layer).
+ */
+class Mlp : public Module
+{
+  public:
+    /**
+     * @param dims layer widths, e.g. {128, 64, 16}: two Linear layers
+     * @param hidden activation between layers
+     * @param final activation after the last layer (None for heads)
+     */
+    Mlp(const std::vector<std::size_t> &dims, Activation hidden,
+        Activation final, Rng &rng);
+
+    Value forward(const Value &x) const;
+
+    const std::vector<std::size_t> &dims() const { return dims_; }
+
+  private:
+    std::vector<std::size_t> dims_;
+    Activation hidden_;
+    Activation final_;
+    std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_LAYERS_HPP

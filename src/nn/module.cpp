@@ -1,0 +1,60 @@
+#include "nn/module.hpp"
+
+namespace mapzero::nn {
+
+std::vector<Value>
+Module::parameters() const
+{
+    std::vector<Value> out;
+    for (const auto &[name, p] : namedParameters())
+        out.push_back(p);
+    return out;
+}
+
+std::vector<std::pair<std::string, Value>>
+Module::namedParameters() const
+{
+    std::vector<std::pair<std::string, Value>> out;
+    for (const auto &[name, p] : params_)
+        out.emplace_back(name, p);
+    for (const auto &[prefix, child] : children_) {
+        for (const auto &[name, p] : child->namedParameters())
+            out.emplace_back(prefix + "." + name, p);
+    }
+    return out;
+}
+
+void
+Module::zeroGrad()
+{
+    for (auto &p : parameters()) {
+        auto node = p.node();
+        node->grad = Tensor::zerosLike(node->value);
+        node->gradReady = true;
+    }
+}
+
+std::size_t
+Module::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const auto &p : parameters())
+        n += p.tensor().size();
+    return n;
+}
+
+Value
+Module::registerParameter(const std::string &name, Tensor init)
+{
+    Value v = Value::parameter(std::move(init));
+    params_.emplace_back(name, v);
+    return v;
+}
+
+void
+Module::registerChild(const std::string &name, Module *child)
+{
+    children_.emplace_back(name, child);
+}
+
+} // namespace mapzero::nn

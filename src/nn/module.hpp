@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Parameter-owning module base class (the torch.nn.Module analog).
+ */
+
+#ifndef MAPZERO_NN_MODULE_HPP
+#define MAPZERO_NN_MODULE_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace mapzero::nn {
+
+/**
+ * Base class for anything that owns trainable parameters.
+ *
+ * Parameters register themselves under a local name; child modules register
+ * under a prefix. parameters() / namedParameters() walk the tree, which is
+ * what the optimizers and the serializer consume.
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** All trainable parameters, depth-first. */
+    std::vector<Value> parameters() const;
+
+    /** (hierarchical name, parameter) pairs, depth-first. */
+    std::vector<std::pair<std::string, Value>> namedParameters() const;
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** Total scalar parameter count. */
+    std::size_t parameterCount() const;
+
+  protected:
+    /** Register a trainable tensor under @p name; returns its handle. */
+    Value registerParameter(const std::string &name, Tensor init);
+
+    /** Register a child module under @p name (non-owning). */
+    void registerChild(const std::string &name, Module *child);
+
+  private:
+    std::vector<std::pair<std::string, Value>> params_;
+    std::vector<std::pair<std::string, Module *>> children_;
+};
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_MODULE_HPP

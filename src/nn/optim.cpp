@@ -1,0 +1,143 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace mapzero::nn {
+
+float
+clipGradNorm(const std::vector<Value> &params, float max_norm)
+{
+    double total = 0.0;
+    for (const auto &p : params) {
+        const auto node = p.node();
+        if (!node->gradReady)
+            continue;
+        const float n = node->grad.norm();
+        total += static_cast<double>(n) * n;
+    }
+    const float norm = static_cast<float>(std::sqrt(total));
+    if (norm > max_norm && norm > 0.0f) {
+        const float factor = max_norm / norm;
+        for (const auto &p : params) {
+            const auto node = p.node();
+            if (node->gradReady)
+                node->grad.scaleInPlace(factor);
+        }
+    }
+    return norm;
+}
+
+Optimizer::Optimizer(std::vector<Value> params, float lr)
+    : params_(std::move(params)), lr_(lr)
+{
+    if (params_.empty())
+        panic("optimizer constructed with no parameters");
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto &p : params_) {
+        auto node = p.node();
+        node->grad = Tensor::zerosLike(node->value);
+        node->gradReady = true;
+    }
+}
+
+Sgd::Sgd(std::vector<Value> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum)
+{
+    velocity_.reserve(params_.size());
+    for (const auto &p : params_)
+        velocity_.push_back(Tensor::zerosLike(p.tensor()));
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto node = params_[i].node();
+        if (!node->gradReady)
+            continue;
+        Tensor &v = velocity_[i];
+        Tensor &w = node->value;
+        const Tensor &g = node->grad;
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            v[j] = momentum_ * v[j] + g[j];
+            w[j] -= lr_ * v[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Value> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto &p : params_) {
+        m_.push_back(Tensor::zerosLike(p.tensor()));
+        v_.push_back(Tensor::zerosLike(p.tensor()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bc1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto node = params_[i].node();
+        if (!node->gradReady)
+            continue;
+        Tensor &m = m_[i];
+        Tensor &v = v_[i];
+        Tensor &w = node->value;
+        const Tensor &g = node->grad;
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const float m_hat = m[j] / bc1;
+            const float v_hat = v[j] / bc2;
+            w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+        }
+    }
+}
+
+WarmupDecaySchedule::WarmupDecaySchedule(float peak_lr,
+                                         std::size_t warmup_steps,
+                                         float decay, float floor_lr)
+    : peakLr_(peak_lr), warmupSteps_(warmup_steps), decay_(decay),
+      floorLr_(floor_lr)
+{
+    if (decay <= 0.0f || decay > 1.0f)
+        panic("WarmupDecaySchedule decay must be in (0, 1]");
+}
+
+float
+WarmupDecaySchedule::at(std::size_t step) const
+{
+    if (warmupSteps_ > 0 && step < warmupSteps_) {
+        const float frac = static_cast<float>(step + 1) /
+                           static_cast<float>(warmupSteps_);
+        return peakLr_ * frac;
+    }
+    const auto after = static_cast<float>(step - warmupSteps_);
+    const float lr = peakLr_ * std::pow(decay_, after);
+    return lr > floorLr_ ? lr : floorLr_;
+}
+
+void
+WarmupDecaySchedule::apply(Optimizer &opt)
+{
+    opt.setLearningRate(at(step_));
+    ++step_;
+}
+
+} // namespace mapzero::nn

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Optimizers (SGD with momentum, Adam), global-norm gradient clipping
+ * (Algorithm 1 of the paper clips gradients "to avoid gradient explosion"),
+ * and learning-rate schedules (the paper's Fig. 12(f) shows a warmup +
+ * decay schedule).
+ */
+
+#ifndef MAPZERO_NN_OPTIM_HPP
+#define MAPZERO_NN_OPTIM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace mapzero::nn {
+
+/** Scale all gradients so their global L2 norm is at most max_norm. */
+float clipGradNorm(const std::vector<Value> &params, float max_norm);
+
+/** Optimizer interface over a fixed parameter set. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Value> params, float lr);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Reset all parameter gradients to zero. */
+    void zeroGrad();
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+  protected:
+    std::vector<Value> params_;
+    float lr_;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Value> params, float lr, float momentum = 0.0f);
+
+    void step() override;
+
+  private:
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba 2015) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Value> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float beta1_;
+    float beta2_;
+    float eps_;
+    std::size_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+/**
+ * Learning-rate schedule: linear warmup to a peak followed by exponential
+ * decay toward a floor, reproducing the shape of the paper's Fig. 12(f).
+ */
+class WarmupDecaySchedule
+{
+  public:
+    /**
+     * @param peak_lr learning rate at the end of warmup
+     * @param warmup_steps steps of linear ramp from ~0 to peak
+     * @param decay multiplicative decay per step after warmup (< 1)
+     * @param floor_lr lower bound after decay
+     */
+    WarmupDecaySchedule(float peak_lr, std::size_t warmup_steps,
+                        float decay, float floor_lr);
+
+    /** Learning rate for 0-based step @p step. */
+    float at(std::size_t step) const;
+
+    /** Advance the internal step counter and update @p opt. */
+    void apply(Optimizer &opt);
+
+    std::size_t step() const { return step_; }
+
+  private:
+    float peakLr_;
+    std::size_t warmupSteps_;
+    float decay_;
+    float floorLr_;
+    std::size_t step_ = 0;
+};
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_OPTIM_HPP

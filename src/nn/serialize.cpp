@@ -1,0 +1,116 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace mapzero::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D5A4E4E; // "MZNN"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU32(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const std::uint32_t n = readU32(is);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    return s;
+}
+
+} // namespace
+
+void
+saveModule(const Module &module, std::ostream &os)
+{
+    const auto named = module.namedParameters();
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<std::uint32_t>(named.size()));
+    for (const auto &[name, p] : named) {
+        const Tensor &t = p.tensor();
+        writeString(os, name);
+        writeU32(os, static_cast<std::uint32_t>(t.rank()));
+        writeU32(os, static_cast<std::uint32_t>(t.rows()));
+        writeU32(os, static_cast<std::uint32_t>(t.cols()));
+        os.write(reinterpret_cast<const char *>(t.data().data()),
+                 static_cast<std::streamsize>(t.size() * sizeof(float)));
+    }
+    if (!os)
+        fatal("failed writing module checkpoint stream");
+}
+
+void
+saveModule(const Module &module, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open checkpoint for writing: " + path);
+    saveModule(module, os);
+}
+
+void
+loadModule(Module &module, std::istream &is)
+{
+    if (readU32(is) != kMagic)
+        fatal("not a MapZero checkpoint (bad magic)");
+    if (readU32(is) != kVersion)
+        fatal("unsupported checkpoint version");
+    const std::uint32_t count = readU32(is);
+    const auto named = module.namedParameters();
+    if (count != named.size())
+        fatal(cat("checkpoint has ", count, " tensors, module expects ",
+                  named.size()));
+    for (const auto &[name, p] : named) {
+        const std::string stored = readString(is);
+        if (stored != name)
+            fatal(cat("checkpoint tensor '", stored,
+                      "' does not match parameter '", name, "'"));
+        const std::uint32_t rank = readU32(is);
+        const std::uint32_t rows = readU32(is);
+        const std::uint32_t cols = readU32(is);
+        Tensor &t = p.node()->value;
+        if (rank != t.rank() || rows != t.rows() || cols != t.cols())
+            fatal(cat("checkpoint shape mismatch for '", name, "'"));
+        is.read(reinterpret_cast<char *>(t.data().data()),
+                static_cast<std::streamsize>(t.size() * sizeof(float)));
+    }
+    if (!is)
+        fatal("failed reading module checkpoint stream");
+}
+
+void
+loadModule(Module &module, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open checkpoint for reading: " + path);
+    loadModule(module, is);
+}
+
+} // namespace mapzero::nn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Checkpointing: write/read every named parameter of a Module to a simple
+ * binary container so a pre-trained agent can be reused at inference time
+ * (paper §3.6.2 relies on a pre-trained network for fast online mapping).
+ */
+
+#ifndef MAPZERO_NN_SERIALIZE_HPP
+#define MAPZERO_NN_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace mapzero::nn {
+
+/** Write all named parameters of @p module to @p os. */
+void saveModule(const Module &module, std::ostream &os);
+
+/** Write all named parameters of @p module to @p path (throws on I/O error). */
+void saveModule(const Module &module, const std::string &path);
+
+/**
+ * Load parameters into @p module.
+ *
+ * The stream must contain exactly the module's parameter names and shapes;
+ * mismatches raise fatal() since a checkpoint for a different architecture
+ * is a user configuration error.
+ */
+void loadModule(Module &module, std::istream &is);
+
+/** Load parameters from @p path. */
+void loadModule(Module &module, const std::string &path);
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_SERIALIZE_HPP

@@ -1,0 +1,148 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero::nn {
+
+Tensor::Tensor()
+    : rank_(0), rows_(1), cols_(1), data_(1, 0.0f)
+{}
+
+Tensor::Tensor(float scalar)
+    : rank_(0), rows_(1), cols_(1), data_(1, scalar)
+{}
+
+Tensor::Tensor(std::vector<float> values)
+    : rank_(1), rows_(1), cols_(values.size()), data_(std::move(values))
+{}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rank_(2), rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> values)
+    : rank_(2), rows_(rows), cols_(cols), data_(std::move(values))
+{
+    if (data_.size() != rows * cols)
+        panic(cat("Tensor init size mismatch: ", data_.size(), " vs ",
+                  rows, "x", cols));
+}
+
+Tensor
+Tensor::zerosLike(const Tensor &like)
+{
+    Tensor t = like;
+    t.fill(0.0f);
+    return t;
+}
+
+Tensor
+Tensor::full(std::size_t rows, std::size_t cols, float value)
+{
+    Tensor t(rows, cols);
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::size_t rows, std::size_t cols, float lo, float hi,
+                Rng &rng)
+{
+    Tensor t(rows, cols);
+    for (auto &x : t.data_)
+        x = static_cast<float>(rng.uniformReal(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::normal(std::size_t rows, std::size_t cols, float stddev, Rng &rng)
+{
+    Tensor t(rows, cols);
+    for (auto &x : t.data_)
+        x = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+bool
+Tensor::sameShape(const Tensor &other) const
+{
+    return rank_ == other.rank_ && rows_ == other.rows_ &&
+           cols_ == other.cols_;
+}
+
+float
+Tensor::at(std::size_t r, std::size_t c) const
+{
+    return data_[r * cols_ + c];
+}
+
+float &
+Tensor::at(std::size_t r, std::size_t c)
+{
+    return data_[r * cols_ + c];
+}
+
+float
+Tensor::item() const
+{
+    if (data_.size() != 1)
+        panic(cat("item() on tensor of size ", data_.size()));
+    return data_[0];
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &x : data_)
+        x = value;
+}
+
+void
+Tensor::addInPlace(const Tensor &other)
+{
+    if (!sameShape(other))
+        panic(cat("addInPlace shape mismatch: ", shapeString(), " vs ",
+                  other.shapeString()));
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scaleInPlace(float factor)
+{
+    for (auto &x : data_)
+        x *= factor;
+}
+
+float
+Tensor::sum() const
+{
+    float acc = 0.0f;
+    for (float x : data_)
+        acc += x;
+    return acc;
+}
+
+float
+Tensor::norm() const
+{
+    double acc = 0.0;
+    for (float x : data_)
+        acc += static_cast<double>(x) * x;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+std::string
+Tensor::shapeString() const
+{
+    switch (rank_) {
+      case 0: return "[scalar]";
+      case 1: return cat("[", cols_, "]");
+      default: return cat("[", rows_, "x", cols_, "]");
+    }
+}
+
+} // namespace mapzero::nn

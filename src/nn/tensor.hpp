@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dense float tensor used by the neural-network substrate.
+ *
+ * MapZero's networks are small (two GAT layers plus MLP heads), so the
+ * tensor type optimizes for clarity: row-major contiguous storage, ranks 0-2
+ * (scalars, vectors, matrices) cover every operation the model needs.
+ */
+
+#ifndef MAPZERO_NN_TENSOR_HPP
+#define MAPZERO_NN_TENSOR_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mapzero { class Rng; }
+
+namespace mapzero::nn {
+
+/** Row-major dense float tensor of rank 0, 1, or 2. */
+class Tensor
+{
+  public:
+    /** Empty scalar zero. */
+    Tensor();
+
+    /** Rank-0 scalar. */
+    explicit Tensor(float scalar);
+
+    /** Rank-1 vector copied from @p values. */
+    explicit Tensor(std::vector<float> values);
+
+    /** Rank-2 matrix (rows x cols), zero-filled. */
+    Tensor(std::size_t rows, std::size_t cols);
+
+    /** Rank-2 matrix initialized from row-major @p values. */
+    Tensor(std::size_t rows, std::size_t cols, std::vector<float> values);
+
+    /** Zero tensor with the same shape as @p like. */
+    static Tensor zerosLike(const Tensor &like);
+
+    /** rows x cols of a constant. */
+    static Tensor full(std::size_t rows, std::size_t cols, float value);
+
+    /** rows x cols with U(lo, hi) entries. */
+    static Tensor uniform(std::size_t rows, std::size_t cols,
+                          float lo, float hi, Rng &rng);
+
+    /** rows x cols with N(0, stddev^2) entries. */
+    static Tensor normal(std::size_t rows, std::size_t cols,
+                         float stddev, Rng &rng);
+
+    std::size_t rank() const { return rank_; }
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    bool sameShape(const Tensor &other) const;
+
+    /** Flat element access. */
+    float operator[](std::size_t i) const { return data_[i]; }
+    float &operator[](std::size_t i) { return data_[i]; }
+
+    /** 2-D element access (valid for rank 2; rank 1 behaves as 1 x n). */
+    float at(std::size_t r, std::size_t c) const;
+    float &at(std::size_t r, std::size_t c);
+
+    /** Rank-0/single-element read. */
+    float item() const;
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Set all elements to @p value. */
+    void fill(float value);
+
+    /** Accumulate other into this (same shape). */
+    void addInPlace(const Tensor &other);
+
+    /** Scale all elements. */
+    void scaleInPlace(float factor);
+
+    /** Sum of all elements. */
+    float sum() const;
+
+    /** L2 norm of all elements. */
+    float norm() const;
+
+    /** Human-readable shape, e.g. "[3x4]". */
+    std::string shapeString() const;
+
+  private:
+    std::size_t rank_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<float> data_;
+};
+
+} // namespace mapzero::nn
+
+#endif // MAPZERO_NN_TENSOR_HPP

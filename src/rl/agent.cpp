@@ -1,0 +1,342 @@
+#include "rl/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/log.hpp"
+
+namespace mapzero::rl {
+
+namespace {
+
+/** All-pairs single-hop link distance (BFS per PE). */
+std::vector<std::vector<std::int32_t>>
+hopDistances(const cgra::Architecture &arch)
+{
+    const auto n = static_cast<std::size_t>(arch.peCount());
+    std::vector<std::vector<std::int32_t>> dist(
+        n, std::vector<std::int32_t>(n, -1));
+    for (cgra::PeId s = 0; s < arch.peCount(); ++s) {
+        auto &row = dist[static_cast<std::size_t>(s)];
+        row[static_cast<std::size_t>(s)] = 0;
+        std::queue<cgra::PeId> q;
+        q.push(s);
+        while (!q.empty()) {
+            const cgra::PeId u = q.front();
+            q.pop();
+            for (cgra::PeId v : arch.neighborsOut(u)) {
+                if (row[static_cast<std::size_t>(v)] < 0) {
+                    row[static_cast<std::size_t>(v)] =
+                        row[static_cast<std::size_t>(u)] + 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * Routability lower bound for placing @p node on @p pe: on single-hop
+ * fabrics a value advances at most one link per cycle, so an incident
+ * edge whose placed endpoint sits farther (in link hops) than the
+ * schedule slack can never be routed. The paper's agent learns this
+ * reachability relation from the GAT embeddings (§2.5.2); the explicit
+ * bound lets a lightly-trained agent prune the same dead branches.
+ * Also returns the mean distance to placed producers for the locality
+ * bias.
+ */
+bool
+placementRoutable(const mapper::MapEnv &env,
+                  const std::vector<std::vector<std::int32_t>> &dist,
+                  dfg::NodeId node, cgra::PeId pe, double &mean_dist)
+{
+    const dfg::Dfg &dfg = env.dfg();
+    const mapper::MappingState &state = env.state();
+    const std::int32_t ii = env.ii();
+    const bool multi_hop = env.arch().isMultiHop();
+    const std::int32_t node_time =
+        env.schedule().time[static_cast<std::size_t>(node)];
+
+    double dist_sum = 0.0;
+    std::int32_t dist_count = 0;
+
+    auto check = [&](const dfg::DfgEdge &e, bool node_is_dst) {
+        const dfg::NodeId other = node_is_dst ? e.src : e.dst;
+        if (other == node || !state.placed(other))
+            return true;
+        if (dfg.node(e.src).opcode == dfg::Opcode::Const)
+            return true; // configuration-supplied, always routable
+        const cgra::PeId other_pe = state.placement(other).pe;
+        const std::int32_t d =
+            dist[static_cast<std::size_t>(
+                node_is_dst ? other_pe : pe)][static_cast<std::size_t>(
+                node_is_dst ? pe : other_pe)];
+        const std::int32_t t_src = node_is_dst
+            ? state.placement(other).time
+            : node_time;
+        const std::int32_t t_dst = node_is_dst
+            ? node_time
+            : state.placement(other).time;
+        const std::int32_t budget = t_dst + ii * e.distance - t_src;
+        dist_sum += d < 0 ? 1e3 : static_cast<double>(d);
+        ++dist_count;
+        if (multi_hop)
+            return d >= 0; // any connected pair is one-cycle reachable
+        return d >= 0 && d <= budget;
+    };
+
+    for (std::int32_t ei : dfg.inEdges(node)) {
+        if (!check(dfg.edges()[static_cast<std::size_t>(ei)], true))
+            return false;
+    }
+    for (std::int32_t ei : dfg.outEdges(node)) {
+        const dfg::DfgEdge &e = dfg.edges()[static_cast<std::size_t>(ei)];
+        if (e.src == e.dst)
+            continue;
+        if (!check(e, false))
+            return false;
+    }
+    // -1 signals "unconstrained" so the caller can apply its own
+    // spatial-continuity anchor.
+    mean_dist = dist_count > 0 ? dist_sum / dist_count : -1.0;
+    return true;
+}
+
+} // namespace
+
+MapZeroAgent::MapZeroAgent(std::shared_ptr<const MapZeroNet> net,
+                           AgentConfig config)
+    : net_(std::move(net)), config_(config)
+{
+    if (!net_)
+        fatal("MapZeroAgent requires a network");
+}
+
+void
+MapZeroAgent::harvest(const mapper::MapEnv &env,
+                      baselines::AttemptResult &result) const
+{
+    result.success = true;
+    result.placements = baselines::collectPlacements(env.state());
+    result.totalHops = 0;
+    for (std::int32_t ei = 0; ei < env.dfg().edgeCount(); ++ei)
+        result.totalHops += env.state().edgeRoute(ei).hops;
+}
+
+bool
+MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
+                           baselines::AttemptResult &result, Rng &rng)
+{
+    const std::int32_t n = env.dfg().nodeCount();
+    const auto dist = hopDistances(env.arch());
+    double noise = 0.0;
+
+    // Per-depth candidate lists: routability-pruned, ordered by policy
+    // probability plus a locality bias toward placed producers. The
+    // network is consulted once per depth (first visit); re-visits after
+    // backtracking re-filter legality/routability cheaply and reuse the
+    // cached policy, so deep search costs no extra inference.
+    std::vector<std::vector<cgra::PeId>> candidates(
+        static_cast<std::size_t>(n));
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<double>> policy_cache(
+        static_cast<std::size_t>(n));
+    std::int32_t depth = 0;
+    std::int64_t backtracks = 0;
+
+    auto fill_candidates = [&](std::int32_t d) {
+        auto &list = candidates[static_cast<std::size_t>(d)];
+        list.clear();
+        cursor[static_cast<std::size_t>(d)] = 0;
+        if (env.legalActionCount() == 0)
+            return; // dead end: caller backtracks
+        const dfg::NodeId node = env.currentNode();
+        auto &probs = policy_cache[static_cast<std::size_t>(d)];
+        if (probs.empty())
+            probs = net_->policyProbabilities(observe(env));
+        const mapper::MappingState &state = env.state();
+        // Spatial continuity anchor for nodes with no placed neighbors
+        // (sources): prefer staying near the previous placement so the
+        // mapping grows compactly instead of scattering.
+        cgra::PeId anchor = -1;
+        if (d > 0) {
+            const dfg::NodeId prev = env.schedule().order[
+                static_cast<std::size_t>(d - 1)];
+            if (state.placed(prev))
+                anchor = state.placement(prev).pe;
+        }
+        std::vector<std::pair<double, cgra::PeId>> scored;
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(probs.size()); ++pe) {
+            if (!state.placementLegal(node, pe))
+                continue;
+            double mean_dist = 0.0;
+            if (!placementRoutable(env, dist, node, pe, mean_dist))
+                continue;
+            if (mean_dist < 0.0) {
+                if (anchor >= 0) {
+                    const std::int32_t da =
+                        dist[static_cast<std::size_t>(anchor)][
+                            static_cast<std::size_t>(pe)];
+                    mean_dist = da < 0 ? 8.0 : static_cast<double>(da);
+                } else {
+                    mean_dist = 0.0;
+                }
+            }
+            const double score =
+                probs[static_cast<std::size_t>(pe)] +
+                0.25 * std::exp(-0.5 * mean_dist) +
+                noise * rng.uniformReal();
+            scored.emplace_back(-score, pe);
+        }
+        std::stable_sort(scored.begin(), scored.end());
+        for (const auto &[neg_score, pe] : scored)
+            list.push_back(pe);
+    };
+
+    // Bounded DFS with randomized restarts: a small per-restart budget
+    // limits thrash in subtrees poisoned by a bad early placement; on
+    // restart, score noise diversifies the exploration (the "minor
+    // errors, timely remediated" behaviour of §3.6.2 at scale).
+    std::int64_t per_restart_cap =
+        std::max<std::int64_t>(256, 16LL * n);
+    bool root_exhausted = false;
+    while (!deadline.expired() &&
+           backtracks <= config_.guidedBacktrackBudget &&
+           !root_exhausted) {
+        while (env.placedCount() > 0)
+            env.undo();
+        depth = 0;
+        std::int64_t restart_backtracks = 0;
+        fill_candidates(0);
+
+        while (depth < n) {
+            if (deadline.expired() ||
+                backtracks > config_.guidedBacktrackBudget ||
+                restart_backtracks > per_restart_cap) {
+                break;
+            }
+
+            auto &list = candidates[static_cast<std::size_t>(depth)];
+            auto &cur = cursor[static_cast<std::size_t>(depth)];
+            bool advanced = false;
+            while (cur < list.size()) {
+                const cgra::PeId pe = list[cur++];
+                const dfg::NodeId node = env.currentNode();
+                if (!env.state().placementLegal(node, pe))
+                    continue;
+                const mapper::StepOutcome out = env.step(pe);
+                if (out.routedOk) {
+                    advanced = true;
+                    break;
+                }
+                env.undo();
+                ++backtracks;
+                ++restart_backtracks;
+            }
+
+            if (advanced) {
+                ++depth;
+                if (depth < n)
+                    fill_candidates(depth);
+                continue;
+            }
+
+            if (depth == 0) {
+                // Exhausted at the root under the current ordering.
+                root_exhausted = noise == 0.0;
+                break;
+            }
+            env.undo();
+            ++backtracks;
+            ++restart_backtracks;
+            --depth;
+        }
+
+        if (depth == n && env.success()) {
+            result.searchOps += backtracks;
+            harvest(env, result);
+            return true;
+        }
+        // Diversify the next restart and let it search deeper.
+        noise = std::min(0.30, noise + 0.06);
+        per_restart_cap *= 2;
+        for (auto &cached : policy_cache)
+            cached.clear();
+    }
+    result.searchOps += backtracks;
+    return false;
+}
+
+bool
+MapZeroAgent::mctsSearch(mapper::MapEnv &env, const Deadline &deadline,
+                         baselines::AttemptResult &result, Rng &rng)
+{
+    Mcts mcts(*net_, config_.mcts);
+    for (std::int32_t restart = 0; restart < config_.mctsRestarts;
+         ++restart) {
+        env.reset();
+        while (!env.done()) {
+            if (deadline.expired())
+                return false;
+            if (env.legalActionCount() == 0)
+                break;
+            MctsMoveResult move = mcts.runFromCurrent(env, rng);
+            if (move.solvedSuffix) {
+                for (std::int32_t a : *move.solvedSuffix)
+                    env.step(a);
+                break;
+            }
+            if (move.bestAction < 0)
+                break;
+            env.step(move.bestAction);
+        }
+        if (env.success()) {
+            harvest(env, result);
+            return true;
+        }
+        ++result.searchOps; // failed episode counts as one backtrack op
+    }
+    return false;
+}
+
+baselines::AttemptResult
+MapZeroAgent::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                  std::int32_t ii, const Deadline &deadline)
+{
+    baselines::AttemptResult result;
+    result.ii = ii;
+    Timer timer;
+
+    if (arch.peCount() != net_->peCount())
+        fatal(cat("network policy head covers ", net_->peCount(),
+                  " PEs but the architecture has ", arch.peCount()));
+
+    if (!mapper::MapEnv::feasible(dfg, ii)) {
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+    Rng rng(config_.seed);
+    mapper::MapEnv env(dfg, arch, ii);
+    if (!env.structurallyPlaceable()) {
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+    bool ok = config_.useGuided &&
+              guidedSearch(env, deadline, result, rng);
+    if (!ok && config_.useMcts && !deadline.expired()) {
+        ok = mctsSearch(env, deadline, result, rng);
+    }
+
+    result.timedOut = !ok && deadline.expired();
+    result.seconds = timer.seconds();
+    lastBacktracks_ = result.searchOps;
+    return result;
+}
+
+} // namespace mapzero::rl

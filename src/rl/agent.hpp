@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The MapZero inference agent (paper §3.6.2).
+ *
+ * A pre-trained network maps new DFGs online. Placement proceeds as a
+ * policy-guided depth-first search with backtracking: at every step the
+ * agent tries PEs in descending policy probability; when a placement's
+ * operands cannot be routed it is unmapped and the next candidate is
+ * tried ("once the PE assignment for a node is found to yield an
+ * undesirable reward, we unmap it and allow the agent to perform a
+ * different action"). When the quick guided search exhausts its backtrack
+ * budget, the agent escalates to full MCTS (§3.5), whose simulations can
+ * solve the mapping outright - the §4.7 ablation disables exactly this
+ * escalation.
+ */
+
+#ifndef MAPZERO_RL_AGENT_HPP
+#define MAPZERO_RL_AGENT_HPP
+
+#include <memory>
+
+#include "baselines/mapper_base.hpp"
+#include "rl/mcts.hpp"
+
+namespace mapzero::rl {
+
+/** Inference knobs. */
+struct AgentConfig {
+    /** Run the policy-guided DFS phase at all. */
+    bool useGuided = true;
+    /** Backtrack budget of the guided DFS phase. */
+    std::int64_t guidedBacktrackBudget = 2000000;
+    /** Escalate to MCTS when the guided phase fails (§4.7 ablation). */
+    bool useMcts = true;
+    /** MCTS parameters for the escalation phase. */
+    MctsConfig mcts;
+    /** Episode restarts allowed in the MCTS phase. */
+    std::int32_t mctsRestarts = 8;
+    std::uint64_t seed = 7;
+};
+
+/** Pre-trained MapZero compiler front end. */
+class MapZeroAgent : public baselines::MapperBase
+{
+  public:
+    /**
+     * @param net pre-trained network whose policy head matches the
+     *        architectures this agent will map (peCount equal)
+     * @param config inference knobs
+     */
+    MapZeroAgent(std::shared_ptr<const MapZeroNet> net,
+                 AgentConfig config = {});
+
+    std::string name() const override { return "MapZero"; }
+
+    baselines::AttemptResult map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                      std::int32_t ii,
+                      const Deadline &deadline) override;
+
+    /** Backtracks performed by the most recent map() call (Fig. 9). */
+    std::int64_t lastBacktracks() const { return lastBacktracks_; }
+
+  private:
+    /** Policy-guided DFS with backtracking; fills @p result on success. */
+    bool guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
+                      baselines::AttemptResult &result, Rng &rng);
+
+    /** MCTS-driven mapping with restarts. */
+    bool mctsSearch(mapper::MapEnv &env, const Deadline &deadline,
+                    baselines::AttemptResult &result, Rng &rng);
+
+    void harvest(const mapper::MapEnv &env,
+                 baselines::AttemptResult &result) const;
+
+    std::shared_ptr<const MapZeroNet> net_;
+    AgentConfig config_;
+    std::int64_t lastBacktracks_ = 0;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_AGENT_HPP

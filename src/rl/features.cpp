@@ -1,0 +1,158 @@
+#include "rl/features.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::rl {
+
+namespace {
+
+/** (x + 1) / (max + 1): maps -1 (none) to 0 and keeps ids in (0, 1]. */
+float
+idNorm(std::int32_t x, std::int32_t max_value)
+{
+    return static_cast<float>(x + 1) / static_cast<float>(max_value + 1);
+}
+
+} // namespace
+
+Observation
+observe(const mapper::MapEnv &env)
+{
+    const dfg::Dfg &dfg = env.dfg();
+    const cgra::Architecture &arch = env.arch();
+    const dfg::Schedule &schedule = env.schedule();
+    const mapper::MappingState &state = env.state();
+
+    const std::int32_t n = dfg.nodeCount();
+    const std::int32_t p = arch.peCount();
+    const std::int32_t sched_len = std::max(schedule.length(), 1);
+
+    Observation obs;
+
+    // Scheduling-order index per node.
+    std::vector<std::int32_t> order_of(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < schedule.order.size(); ++i)
+        order_of[static_cast<std::size_t>(schedule.order[i])] =
+            static_cast<std::int32_t>(i);
+
+    // Nodes per modulo slot (feature 9).
+    std::vector<std::int32_t> slot_population(
+        static_cast<std::size_t>(env.ii()), 0);
+    for (std::int32_t t : schedule.moduloTime)
+        ++slot_population[static_cast<std::size_t>(t)];
+
+    obs.dfgFeatures = nn::Tensor(static_cast<std::size_t>(n),
+                                 kDfgFeatureDim);
+    for (dfg::NodeId v = 0; v < n; ++v) {
+        const auto r = static_cast<std::size_t>(v);
+        const std::int32_t slot =
+            schedule.moduloTime[static_cast<std::size_t>(v)];
+        obs.dfgFeatures.at(r, 0) = idNorm(v, n);
+        obs.dfgFeatures.at(r, 1) =
+            static_cast<float>(order_of[r]) / static_cast<float>(n);
+        obs.dfgFeatures.at(r, 2) =
+            static_cast<float>(schedule.time[r]) /
+            static_cast<float>(sched_len);
+        obs.dfgFeatures.at(r, 3) =
+            static_cast<float>(slot) / static_cast<float>(env.ii());
+        obs.dfgFeatures.at(r, 4) =
+            static_cast<float>(dfg.inDegree(v)) / 8.0f;
+        obs.dfgFeatures.at(r, 5) =
+            static_cast<float>(dfg.outDegree(v)) / 8.0f;
+        obs.dfgFeatures.at(r, 6) =
+            static_cast<float>(dfg::opcodeIndex(dfg.node(v).opcode)) /
+            static_cast<float>(dfg::kOpcodeCount);
+        obs.dfgFeatures.at(r, 7) = dfg.hasSelfCycle(v) ? 1.0f : 0.0f;
+        obs.dfgFeatures.at(r, 8) =
+            static_cast<float>(
+                slot_population[static_cast<std::size_t>(slot)]) /
+            static_cast<float>(n);
+        obs.dfgFeatures.at(r, 9) =
+            idNorm(state.placed(v) ? state.placement(v).pe : -1, p);
+    }
+
+    obs.dfgEdges.reserve(dfg.edges().size());
+    for (const auto &e : dfg.edges())
+        obs.dfgEdges.emplace_back(e.src, e.dst);
+
+    // Hardware graph of the current node's modulo slice.
+    const dfg::NodeId current = env.currentNode();
+    const std::int32_t slot =
+        schedule.moduloTime[static_cast<std::size_t>(current)];
+    obs.cgraFeatures = nn::Tensor(static_cast<std::size_t>(p),
+                                  kCgraFeatureDim);
+    for (cgra::PeId pe = 0; pe < p; ++pe) {
+        const auto r = static_cast<std::size_t>(pe);
+        const cgra::PeConfig &cfg = arch.pe(pe);
+        obs.cgraFeatures.at(r, 0) = idNorm(pe, p);
+        obs.cgraFeatures.at(r, 1) =
+            static_cast<float>(arch.neighborsIn(pe).size()) / 16.0f;
+        obs.cgraFeatures.at(r, 2) =
+            static_cast<float>(arch.neighborsOut(pe).size()) / 16.0f;
+        obs.cgraFeatures.at(r, 3) = cfg.logic ? 1.0f : 0.0f;
+        obs.cgraFeatures.at(r, 4) = cfg.arithmetic ? 1.0f : 0.0f;
+        obs.cgraFeatures.at(r, 5) = cfg.memory ? 1.0f : 0.0f;
+        obs.cgraFeatures.at(r, 6) = idNorm(state.nodeAt(pe, slot), n);
+    }
+
+    obs.cgraEdges.reserve(
+        static_cast<std::size_t>(env.mrrg().linkCount()));
+    for (const auto &[src, dst] : arch.linkList())
+        obs.cgraEdges.emplace_back(src, dst);
+
+    // Metadata: the node's id and relevant features (§3.2.4) plus
+    // mapping progress and action availability.
+    obs.metadata = nn::Tensor(1, kMetadataDim);
+    for (std::size_t c = 0; c < kDfgFeatureDim; ++c)
+        obs.metadata.at(0, c) =
+            obs.dfgFeatures.at(static_cast<std::size_t>(current), c);
+    obs.metadata.at(0, kDfgFeatureDim) =
+        static_cast<float>(env.stepIndex()) /
+        static_cast<float>(std::max(env.totalSteps(), 1));
+    const std::int32_t legal = env.legalActionCount();
+    obs.metadata.at(0, kDfgFeatureDim + 1) =
+        static_cast<float>(legal) / static_cast<float>(p);
+
+    obs.actionMask = env.actionMask();
+    return obs;
+}
+
+Observation
+permuteObservation(const Observation &obs,
+                   const std::vector<cgra::PeId> &perm)
+{
+    const std::size_t p = perm.size();
+    if (obs.cgraFeatures.rows() != p)
+        panic("permuteObservation: permutation size mismatch");
+
+    Observation out = obs;
+    const std::int32_t p_count = static_cast<std::int32_t>(p);
+
+    // CGRA rows: row perm[pe] of the new observation describes what row
+    // pe described, with the id feature rewritten.
+    for (std::size_t pe = 0; pe < p; ++pe) {
+        const auto target = static_cast<std::size_t>(perm[pe]);
+        for (std::size_t c = 0; c < kCgraFeatureDim; ++c)
+            out.cgraFeatures.at(target, c) = obs.cgraFeatures.at(pe, c);
+        out.cgraFeatures.at(target, 0) =
+            static_cast<float>(perm[pe] + 1) /
+            static_cast<float>(p_count + 1);
+        out.actionMask[target] = obs.actionMask[pe];
+    }
+
+    // DFG feature 10 (assigned PE id) remapped.
+    for (std::size_t v = 0; v < obs.dfgFeatures.rows(); ++v) {
+        const float old_norm = obs.dfgFeatures.at(v, 9);
+        const auto old_pe = static_cast<std::int32_t>(
+            old_norm * static_cast<float>(p_count + 1) + 0.5f) - 1;
+        if (old_pe >= 0 && old_pe < p_count) {
+            out.dfgFeatures.at(v, 9) =
+                static_cast<float>(
+                    perm[static_cast<std::size_t>(old_pe)] + 1) /
+                static_cast<float>(p_count + 1);
+        }
+    }
+    return out;
+}
+
+} // namespace mapzero::rl

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Feature extraction: the observation the network consumes.
+ *
+ * Exactly the paper's encoding (§3.2.1-3.2.2):
+ *
+ *  DFG node, 10 dims: (1) id, (2) scheduling order, (3) scheduled time
+ *  slice, (4) scheduled modulo time slice, (5) in-degree, (6) out-degree,
+ *  (7) opcode, (8) has self-cycle, (9) number of DFG nodes in the same
+ *  modulo slice, (10) id of the assigned PE.
+ *
+ *  CGRA PE, 7 dims: (1) id, (2) in-degree, (3) out-degree, (4-6) booleans
+ *  for logical / arithmetic / memory capability, (7) id of the mapped DFG
+ *  node - taken from the modulo time slice of the node being placed
+ *  ("the CGRA hardware of each modulo time slice has a separate graph
+ *  representation").
+ *
+ * All quantities are normalized to [0, 1]-ish ranges for stable training;
+ * "unassigned" ids map to 0 via the (x+1)/(max+1) convention.
+ */
+
+#ifndef MAPZERO_RL_FEATURES_HPP
+#define MAPZERO_RL_FEATURES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/environment.hpp"
+#include "nn/gat.hpp"
+#include "nn/tensor.hpp"
+
+namespace mapzero::rl {
+
+/** Width of a DFG node feature vector (§3.2.1). */
+constexpr std::size_t kDfgFeatureDim = 10;
+/** Width of a CGRA PE feature vector (§3.2.2). */
+constexpr std::size_t kCgraFeatureDim = 7;
+/** Metadata: the current node's id + its feature row + progress. */
+constexpr std::size_t kMetadataDim = kDfgFeatureDim + 2;
+
+/** Everything the network sees at one decision point. */
+struct Observation {
+    nn::Tensor dfgFeatures;   ///< N x kDfgFeatureDim
+    nn::EdgeList dfgEdges;    ///< DFG dependencies (src, dst)
+    nn::Tensor cgraFeatures;  ///< P x kCgraFeatureDim
+    nn::EdgeList cgraEdges;   ///< fabric links (src, dst)
+    nn::Tensor metadata;      ///< 1 x kMetadataDim
+    std::vector<bool> actionMask; ///< legality per PE
+};
+
+/** Build the observation for the environment's current decision. */
+Observation observe(const mapper::MapEnv &env);
+
+/**
+ * Symmetry augmentation (§3.6.1): remap every PE reference in
+ * @p obs (CGRA rows, assigned-PE features, action mask) through the fabric
+ * automorphism @p perm. The link set is invariant by definition of an
+ * automorphism, so the edges stay as they are.
+ */
+Observation permuteObservation(const Observation &obs,
+                               const std::vector<cgra::PeId> &perm);
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_FEATURES_HPP

@@ -1,0 +1,227 @@
+#include "rl/mcts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace mapzero::rl {
+
+/** One state in the search tree. */
+struct Mcts::TreeNode {
+    struct Edge {
+        std::int32_t action = -1;
+        double prior = 0.0;
+        std::int32_t visits = 0;
+        double totalValue = 0.0;
+        std::unique_ptr<TreeNode> child;
+
+        double
+        meanValue() const
+        {
+            return visits > 0 ? totalValue / visits : 0.0;
+        }
+    };
+
+    bool expanded = false;
+    bool terminal = false;
+    double terminalValue = 0.0;
+    std::int32_t totalVisits = 0;
+    std::vector<Edge> edges;
+};
+
+Mcts::Mcts(const MapZeroNet &net, MctsConfig config)
+    : net_(&net), config_(config)
+{}
+
+namespace {
+
+/** Sample a Dirichlet(alpha) vector via gamma draws. */
+std::vector<double>
+dirichlet(std::size_t k, double alpha, Rng &rng)
+{
+    // Gamma(alpha < 1) via Ahrens-Dieter; adequate for noise purposes.
+    std::vector<double> draws(k, 0.0);
+    double sum = 0.0;
+    for (auto &d : draws) {
+        // Use the sum of -alpha*log(u) approximation for small alpha:
+        // a single Exp draw raised appropriately keeps the spirit of the
+        // noise without a full gamma sampler.
+        const double u = std::max(rng.uniformReal(), 1e-12);
+        d = std::pow(u, 1.0 / alpha);
+        sum += d;
+    }
+    if (sum <= 0.0)
+        return std::vector<double>(k, 1.0 / static_cast<double>(k));
+    for (auto &d : draws)
+        d /= sum;
+    return draws;
+}
+
+} // namespace
+
+bool
+Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
+               std::vector<std::int32_t> &solved_path)
+{
+    struct PathEntry {
+        TreeNode::Edge *edge;
+        double reward;
+    };
+    std::vector<PathEntry> path;
+    std::vector<std::int32_t> actions;
+    TreeNode *node = &root;
+    double leaf_value = 0.0;
+    bool solved = false;
+
+    // --- Selection + expansion ----------------------------------------
+    while (true) {
+        if (env.done()) {
+            node->terminal = true;
+            node->terminalValue = env.success()
+                ? config_.successBonus
+                : 0.0; // routing failures already charged per step
+            leaf_value = node->terminalValue;
+            if (env.success()) {
+                solved = true;
+                solved_path = actions;
+            }
+            break;
+        }
+        if (!env.done() && env.legalActionCount() == 0) {
+            node->terminal = true;
+            node->terminalValue = -config_.deadEndPenalty;
+            leaf_value = node->terminalValue;
+            break;
+        }
+
+        if (!node->expanded) {
+            // Evaluate + expand the leaf with network priors.
+            const Observation obs = observe(env);
+            const MapZeroNet::Output out = net_->forward(obs);
+            leaf_value = static_cast<double>(out.value.item()) /
+                         config_.valueScale;
+            for (std::int32_t a = 0;
+                 a < static_cast<std::int32_t>(obs.actionMask.size());
+                 ++a) {
+                if (!obs.actionMask[static_cast<std::size_t>(a)])
+                    continue;
+                TreeNode::Edge edge;
+                edge.action = a;
+                edge.prior = std::exp(static_cast<double>(
+                    out.logPolicy.tensor()[static_cast<std::size_t>(a)]));
+                node->edges.push_back(std::move(edge));
+            }
+            node->expanded = true;
+            break;
+        }
+
+        // UCT selection over stored priors/values (Algorithm 1 line 11).
+        TreeNode::Edge *best = nullptr;
+        double best_score = -std::numeric_limits<double>::infinity();
+        const double sqrt_total = std::sqrt(
+            static_cast<double>(node->totalVisits + 1));
+        for (auto &edge : node->edges) {
+            const double q = edge.meanValue() * config_.valueScale;
+            const double u = config_.cExplore * edge.prior * sqrt_total /
+                             (1.0 + static_cast<double>(edge.visits));
+            const double score = q + u;
+            if (score > best_score) {
+                best_score = score;
+                best = &edge;
+            }
+        }
+        if (best == nullptr)
+            panic("MCTS: expanded node with no edges");
+
+        const mapper::StepOutcome out = env.step(best->action);
+        actions.push_back(best->action);
+        path.push_back(PathEntry{best, out.reward});
+        if (!best->child)
+            best->child = std::make_unique<TreeNode>();
+        node = best->child.get();
+    }
+
+    // --- Backpropagation ----------------------------------------------
+    // Return seen from each traversed edge: rewards after it + leaf value.
+    double suffix = leaf_value;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        suffix += it->reward;
+        it->edge->visits += 1;
+        it->edge->totalValue += suffix;
+    }
+    root.totalVisits += 1;
+
+    // Restore the environment.
+    for (std::size_t i = 0; i < actions.size(); ++i)
+        env.undo();
+
+    return solved;
+}
+
+MctsMoveResult
+Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
+{
+    if (env.done())
+        panic("MCTS from a finished episode");
+
+    TreeNode root;
+    MctsMoveResult result;
+    result.pi.assign(static_cast<std::size_t>(net_->peCount()), 0.0);
+
+    std::vector<std::int32_t> solved_path;
+    for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {
+        if (simulate(root, env, rng, solved_path)) {
+            result.solvedSuffix = solved_path;
+            break;
+        }
+        // Root noise once the root has been expanded (self-play only).
+        if (sim == 0 && config_.noiseFraction > 0.0 &&
+            !root.edges.empty()) {
+            const auto noise = dirichlet(root.edges.size(),
+                                         config_.dirichletAlpha, rng);
+            for (std::size_t i = 0; i < root.edges.size(); ++i) {
+                root.edges[i].prior =
+                    (1.0 - config_.noiseFraction) * root.edges[i].prior +
+                    config_.noiseFraction * noise[i];
+            }
+        }
+    }
+
+    std::int32_t total_visits = 0;
+    for (const auto &edge : root.edges)
+        total_visits += edge.visits;
+
+    if (total_visits == 0) {
+        // No simulation got past the root (all immediate terminals);
+        // fall back to priors.
+        double best_prior = -1.0;
+        for (const auto &edge : root.edges) {
+            result.pi[static_cast<std::size_t>(edge.action)] = edge.prior;
+            if (edge.prior > best_prior) {
+                best_prior = edge.prior;
+                result.bestAction = edge.action;
+            }
+        }
+        return result;
+    }
+
+    std::int32_t best_visits = -1;
+    double weighted_value = 0.0;
+    for (const auto &edge : root.edges) {
+        result.pi[static_cast<std::size_t>(edge.action)] =
+            static_cast<double>(edge.visits) /
+            static_cast<double>(total_visits);
+        weighted_value += edge.meanValue() *
+                          static_cast<double>(edge.visits) /
+                          static_cast<double>(total_visits);
+        if (edge.visits > best_visits) {
+            best_visits = edge.visits;
+            result.bestAction = edge.action;
+        }
+    }
+    result.rootValue = weighted_value * config_.valueScale;
+    return result;
+}
+
+} // namespace mapzero::rl

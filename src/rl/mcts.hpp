@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Monte-Carlo tree search over mapping states (paper §3.5, Algorithm 1).
+ *
+ * AlphaZero-style search: edges store a prior P(s,a) from the network's
+ * policy, a visit count N(s,a), and a mean action value Q(s,a); selection
+ * maximizes the UCT score, leaves are evaluated by the network, and values
+ * (step rewards accumulated along the trajectory plus the leaf estimate)
+ * are backed up through the traversed edges.
+ *
+ * Following §3.5, "once a valid solution is found in the simulation phase
+ * under the MII constraint, the whole mapping procedure ends": a
+ * simulation that reaches a complete successful mapping short-circuits the
+ * search and hands the caller the full action suffix.
+ */
+
+#ifndef MAPZERO_RL_MCTS_HPP
+#define MAPZERO_RL_MCTS_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/network.hpp"
+
+namespace mapzero::rl {
+
+/** Search hyper-parameters. */
+struct MctsConfig {
+    /** Tree expansions per move (paper: 100; 200 for 16x16 fabrics). */
+    std::int32_t expansionsPerMove = 100;
+    /** Exploration constant of the UCT rule. */
+    double cExplore = 1.5;
+    /** Dirichlet noise on root priors during self-play. */
+    double dirichletAlpha = 0.3;
+    /** Root prior noise fraction (0 disables - inference mode). */
+    double noiseFraction = 0.0;
+    /** Terminal bonus for a complete successful mapping. */
+    double successBonus = 10.0;
+    /** Terminal penalty for a dead end (no available PE, §3.1). */
+    double deadEndPenalty = 100.0;
+    /** Scale applied to returns before they feed Q and the value loss. */
+    double valueScale = 0.01;
+};
+
+/** Result of running the search for one move. */
+struct MctsMoveResult {
+    /** Visit-count distribution over actions (the policy target). */
+    std::vector<double> pi;
+    /** Most-visited action. */
+    std::int32_t bestAction = -1;
+    /** Root value estimate (scaled return). */
+    double rootValue = 0.0;
+    /**
+     * When a simulation completed the whole mapping successfully: the
+     * action suffix (from the current state) that realizes it.
+     */
+    std::optional<std::vector<std::int32_t>> solvedSuffix;
+};
+
+/** MCTS driver bound to a network. */
+class Mcts
+{
+  public:
+    Mcts(const MapZeroNet &net, MctsConfig config);
+
+    /**
+     * Run expansionsPerMove simulations from the environment's current
+     * state. The environment is stepped and undone internally and is
+     * returned in its original state.
+     */
+    MctsMoveResult runFromCurrent(mapper::MapEnv &env, Rng &rng);
+
+    const MctsConfig &config() const { return config_; }
+
+  private:
+    struct TreeNode;
+
+    /** One simulation; returns true when it solved the whole mapping. */
+    bool simulate(TreeNode &root, mapper::MapEnv &env, Rng &rng,
+                  std::vector<std::int32_t> &solved_path);
+
+    const MapZeroNet *net_;
+    MctsConfig config_;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_MCTS_HPP

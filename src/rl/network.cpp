@@ -1,0 +1,83 @@
+#include "rl/network.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero::rl {
+
+MapZeroNet::MapZeroNet(std::int32_t pe_count, NetworkConfig config,
+                       Rng &rng)
+    : peCount_(pe_count), config_(config)
+{
+    dfgEncoder_ = std::make_unique<nn::GatEncoder>(
+        kDfgFeatureDim, config.gatHiddenPerHead, config.gatHeads,
+        config.gatLayers, rng);
+    cgraEncoder_ = std::make_unique<nn::GatEncoder>(
+        kCgraFeatureDim, config.gatHiddenPerHead, config.gatHeads,
+        config.gatLayers, rng);
+    metaFc_ = std::make_unique<nn::Linear>(kMetadataDim,
+                                           config.metaEmbed, rng);
+    const std::size_t joint = dfgEncoder_->outWidth() +
+                              cgraEncoder_->outWidth() +
+                              config.metaEmbed;
+    trunk_ = std::make_unique<nn::Mlp>(
+        std::vector<std::size_t>{joint, config.stateDim},
+        nn::Activation::ReLU, nn::Activation::ReLU, rng);
+    policyHead_ = std::make_unique<nn::Mlp>(
+        std::vector<std::size_t>{config.stateDim, config.policyHidden,
+                                 static_cast<std::size_t>(pe_count)},
+        nn::Activation::ReLU, nn::Activation::None, rng);
+    valueHead_ = std::make_unique<nn::Mlp>(
+        std::vector<std::size_t>{config.stateDim, config.valueHidden, 1},
+        nn::Activation::ReLU, nn::Activation::None, rng);
+
+    registerChild("dfg_encoder", dfgEncoder_.get());
+    registerChild("cgra_encoder", cgraEncoder_.get());
+    registerChild("meta_fc", metaFc_.get());
+    registerChild("trunk", trunk_.get());
+    registerChild("policy_head", policyHead_.get());
+    registerChild("value_head", valueHead_.get());
+}
+
+MapZeroNet::Output
+MapZeroNet::forward(const Observation &obs) const
+{
+    if (static_cast<std::int32_t>(obs.actionMask.size()) != peCount_)
+        panic(cat("observation has ", obs.actionMask.size(),
+                  " actions, network expects ", peCount_));
+
+    const nn::Value dfg_embed = dfgEncoder_->encodeGraph(
+        nn::Value::constant(obs.dfgFeatures), obs.dfgEdges);
+    const nn::Value cgra_embed = cgraEncoder_->encodeGraph(
+        nn::Value::constant(obs.cgraFeatures), obs.cgraEdges);
+    const nn::Value meta_embed = nn::relu(
+        metaFc_->forward(nn::Value::constant(obs.metadata)));
+
+    const nn::Value joint =
+        nn::concatCols({dfg_embed, cgra_embed, meta_embed});
+    const nn::Value state = trunk_->forward(joint);
+
+    Output out;
+    out.logPolicy = nn::logSoftmaxMasked(policyHead_->forward(state),
+                                         obs.actionMask);
+    out.value = valueHead_->forward(state);
+    return out;
+}
+
+std::vector<double>
+MapZeroNet::policyProbabilities(const Observation &obs) const
+{
+    const Output out = forward(obs);
+    std::vector<double> probs(static_cast<std::size_t>(peCount_), 0.0);
+    for (std::int32_t a = 0; a < peCount_; ++a) {
+        if (obs.actionMask[static_cast<std::size_t>(a)])
+            probs[static_cast<std::size_t>(a)] = std::exp(
+                static_cast<double>(out.logPolicy.tensor()[
+                    static_cast<std::size_t>(a)]));
+    }
+    return probs;
+}
+
+} // namespace mapzero::rl

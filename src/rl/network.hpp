@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The MapZero policy/value network (paper Fig. 5).
+ *
+ * Representation: two GAT encoders (one over the DFG, one over the CGRA
+ * hardware graph of the current modulo slice) mean-pooled to graph
+ * embeddings, an FC embedding of the current node's metadata, all
+ * concatenated and fused by an MLP into the intermediate state vector.
+ *
+ * Prediction: a policy head emitting one logit per PE (invalid actions
+ * masked in log-softmax) and a value head estimating the expected return
+ * of the current state.
+ */
+
+#ifndef MAPZERO_RL_NETWORK_HPP
+#define MAPZERO_RL_NETWORK_HPP
+
+#include <memory>
+
+#include "nn/gat.hpp"
+#include "nn/layers.hpp"
+#include "rl/features.hpp"
+
+namespace mapzero::rl {
+
+/** Network width configuration. */
+struct NetworkConfig {
+    std::size_t gatHiddenPerHead = 8;
+    std::size_t gatHeads = 4;
+    std::size_t gatLayers = 2;
+    std::size_t metaEmbed = 16;
+    std::size_t stateDim = 64;
+    std::size_t policyHidden = 64;
+    std::size_t valueHidden = 32;
+};
+
+/** Policy/value network over Observations. */
+class MapZeroNet : public nn::Module
+{
+  public:
+    /**
+     * @param pe_count action-space size (the policy head's output width
+     *        is determined by the PEA size, §4.5)
+     * @param config layer widths
+     * @param rng weight init
+     */
+    MapZeroNet(std::int32_t pe_count, NetworkConfig config, Rng &rng);
+
+    /** Forward outputs. */
+    struct Output {
+        /** Masked log-probabilities over PEs, (1 x peCount). */
+        nn::Value logPolicy;
+        /** Scalar state-value estimate. */
+        nn::Value value;
+    };
+
+    /** Run the network on one observation. */
+    Output forward(const Observation &obs) const;
+
+    /** Policy probabilities as plain doubles (inference convenience). */
+    std::vector<double> policyProbabilities(const Observation &obs) const;
+
+    std::int32_t peCount() const { return peCount_; }
+    const NetworkConfig &config() const { return config_; }
+
+  private:
+    std::int32_t peCount_;
+    NetworkConfig config_;
+    std::unique_ptr<nn::GatEncoder> dfgEncoder_;
+    std::unique_ptr<nn::GatEncoder> cgraEncoder_;
+    std::unique_ptr<nn::Linear> metaFc_;
+    std::unique_ptr<nn::Mlp> trunk_;
+    std::unique_ptr<nn::Mlp> policyHead_;
+    std::unique_ptr<nn::Mlp> valueHead_;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_NETWORK_HPP

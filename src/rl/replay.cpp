@@ -1,0 +1,43 @@
+#include "rl/replay.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("replay buffer capacity must be positive");
+}
+
+void
+ReplayBuffer::push(TrainingSample sample)
+{
+    constexpr double fresh_priority = 1.0;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(std::move(sample));
+        priorities_.push_back(fresh_priority);
+    } else {
+        samples_[next_] = std::move(sample);
+        priorities_[next_] = fresh_priority;
+        next_ = (next_ + 1) % capacity_;
+    }
+}
+
+std::vector<const TrainingSample *>
+ReplayBuffer::sampleBatch(std::size_t batch_size, Rng &rng)
+{
+    if (samples_.empty())
+        panic("sampling from an empty replay buffer");
+    std::vector<const TrainingSample *> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        const std::size_t idx = rng.weightedIndex(priorities_);
+        batch.push_back(&samples_[idx]);
+        priorities_[idx] *= 0.5;
+    }
+    return batch;
+}
+
+} // namespace mapzero::rl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prioritized self-play replay buffer (paper §4.4): capacity 10,000,
+ * batches of 32, and "already sampled trajectories will be given a lower
+ * priority in the next round of sampling".
+ */
+
+#ifndef MAPZERO_RL_REPLAY_HPP
+#define MAPZERO_RL_REPLAY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/features.hpp"
+
+namespace mapzero::rl {
+
+/** One (s, pi, r) training group (Algorithm 1 line 14). */
+struct TrainingSample {
+    Observation observation;
+    /** Visit-count policy target over actions. */
+    std::vector<double> pi;
+    /** Scaled return target for the value head. */
+    double value = 0.0;
+};
+
+/** Ring buffer with sampling priorities. */
+class ReplayBuffer
+{
+  public:
+    /** @param capacity maximum retained samples (paper: 10,000). */
+    explicit ReplayBuffer(std::size_t capacity = 10000);
+
+    /** Append a sample (evicts the oldest when full). */
+    void push(TrainingSample sample);
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Draw @p batch_size samples by priority (with replacement when the
+     * buffer is smaller than the batch). Sampled entries get their
+     * priority halved.
+     */
+    std::vector<const TrainingSample *> sampleBatch(std::size_t batch_size,
+                                                    Rng &rng);
+
+  private:
+    std::size_t capacity_;
+    std::size_t next_ = 0;
+    std::vector<TrainingSample> samples_;
+    std::vector<double> priorities_;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_REPLAY_HPP

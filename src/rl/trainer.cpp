@@ -1,0 +1,257 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "dfg/random_gen.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::rl {
+
+Trainer::Trainer(const cgra::Architecture &arch, TrainerConfig config,
+                 std::uint64_t seed)
+    : arch_(&arch), config_(config), rng_(seed),
+      lrSchedule_(config.peakLr, config.warmupSteps, config.lrDecay,
+                  config.floorLr),
+      replay_(config.replayCapacity)
+{
+    net_ = std::make_shared<MapZeroNet>(arch.peCount(), NetworkConfig{},
+                                        rng_);
+    optimizer_ = std::make_unique<nn::Adam>(net_->parameters(),
+                                            config.peakLr);
+    symmetries_ = cgra::gridSymmetries(arch);
+}
+
+EpisodeStats
+Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
+{
+    EpisodeStats stats;
+    stats.episode = episodeCounter_++;
+
+    // Training episodes keep going after a routing conflict (the paper
+    // charges -100 and continues; the final return encodes success), so
+    // every episode yields a full trajectory of learning signal.
+    mapper::EnvConfig env_config;
+    env_config.stopOnRoutingFailure = false;
+    env_config.hopCost = config_.envHopCost;
+    mapper::MapEnv env(dfg, *arch_, ii, env_config);
+
+    // --- Self-play ------------------------------------------------------
+    // Per-move records; the return target is filled in once the episode
+    // outcome is known.
+    struct MoveRecord {
+        Observation obs;
+        std::vector<double> pi;
+        double reward = 0.0;
+    };
+    std::vector<MoveRecord> moves;
+
+    MctsConfig mcts_config = config_.mcts;
+    mcts_config.noiseFraction =
+        config_.useMcts ? 0.25 : mcts_config.noiseFraction;
+    Mcts mcts(*net_, mcts_config);
+
+    while (!env.done()) {
+        if (env.legalActionCount() == 0)
+            break; // dead end: "no available PE exists"
+
+        MoveRecord record;
+        record.obs = observe(env);
+
+        std::int32_t action = -1;
+        std::optional<std::vector<std::int32_t>> solved;
+        if (config_.useMcts) {
+            MctsMoveResult move = mcts.runFromCurrent(env, rng_);
+            record.pi = move.pi;
+            action = move.bestAction;
+            solved = std::move(move.solvedSuffix);
+        } else {
+            // Ablation arm (§4.7): sample directly from the policy.
+            const auto probs = net_->policyProbabilities(record.obs);
+            record.pi = probs;
+            action = static_cast<std::int32_t>(
+                rng_.weightedIndex(probs));
+        }
+
+        if (solved && !solved->empty()) {
+            // A simulation completed the mapping: replay its actions.
+            for (std::size_t i = 0; i < solved->size(); ++i) {
+                const std::int32_t a = (*solved)[i];
+                if (i > 0) {
+                    MoveRecord extra;
+                    extra.obs = observe(env);
+                    extra.pi.assign(
+                        static_cast<std::size_t>(arch_->peCount()), 0.0);
+                    extra.pi[static_cast<std::size_t>(a)] = 1.0;
+                    const auto out = env.step(a);
+                    extra.reward = out.reward;
+                    moves.push_back(std::move(extra));
+                } else {
+                    const auto out = env.step(a);
+                    record.reward = out.reward;
+                    moves.push_back(std::move(record));
+                }
+            }
+            break;
+        }
+
+        if (action < 0)
+            break;
+        const mapper::StepOutcome out = env.step(action);
+        record.reward = out.reward;
+        moves.push_back(std::move(record));
+    }
+
+    stats.success = env.success();
+    stats.reward = env.totalReward() +
+                   (stats.success ? config_.mcts.successBonus
+                                  : -config_.mcts.deadEndPenalty);
+    stats.routingPenalty = env.totalReward();
+
+    // --- Store (s, pi, r) groups ----------------------------------------
+    const double final_bonus = stats.success
+        ? config_.mcts.successBonus
+        : -config_.mcts.deadEndPenalty;
+    double suffix = final_bonus;
+    for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+        suffix += it->reward;
+        TrainingSample sample;
+        sample.observation = std::move(it->obs);
+        sample.pi = std::move(it->pi);
+        sample.value = suffix * config_.mcts.valueScale;
+        if (config_.augment && symmetries_.size() > 1) {
+            // Identity is symmetries_[0]; add up to maxAugmentations
+            // non-trivial orbit copies.
+            const std::size_t extra = std::min(
+                config_.maxAugmentations, symmetries_.size() - 1);
+            for (std::size_t k = 1; k <= extra; ++k) {
+                const auto &perm = symmetries_[
+                    1 + rng_.uniformInt(symmetries_.size() - 1)];
+                TrainingSample aug;
+                aug.observation =
+                    permuteObservation(sample.observation, perm);
+                aug.pi.assign(sample.pi.size(), 0.0);
+                for (std::size_t a = 0; a < sample.pi.size(); ++a)
+                    aug.pi[static_cast<std::size_t>(
+                        perm[a])] = sample.pi[a];
+                aug.value = sample.value;
+                replay_.push(std::move(aug));
+            }
+        }
+        replay_.push(std::move(sample));
+    }
+
+    // --- Gradient updates ------------------------------------------------
+    if (replay_.size() >= config_.minBufferForTraining) {
+        for (std::int32_t u = 0; u < config_.updatesPerEpisode; ++u)
+            trainStep(stats);
+        if (config_.updatesPerEpisode > 0) {
+            const auto d = static_cast<double>(config_.updatesPerEpisode);
+            stats.totalLoss /= d;
+            stats.valueLoss /= d;
+            stats.policyLoss /= d;
+        }
+    }
+    stats.learningRate = optimizer_->learningRate();
+    history_.push_back(stats);
+    return stats;
+}
+
+void
+Trainer::trainStep(EpisodeStats &stats)
+{
+    const auto batch = replay_.sampleBatch(config_.batchSize, rng_);
+    lrSchedule_.apply(*optimizer_);
+    optimizer_->zeroGrad();
+
+    double value_loss_acc = 0.0;
+    double policy_loss_acc = 0.0;
+
+    // Accumulate gradients sample by sample (batch = gradient average).
+    const float inv_batch = 1.0f / static_cast<float>(batch.size());
+    std::vector<nn::Value> losses;
+    losses.reserve(batch.size());
+    for (const TrainingSample *sample : batch) {
+        const MapZeroNet::Output out = net_->forward(sample->observation);
+        // (r - v)^2
+        nn::Value target = nn::Value::constant(nn::Tensor(
+            1, 1, {static_cast<float>(sample->value)}));
+        nn::Value v_loss = nn::square(nn::sub(out.value, target));
+        // -pi . log p  (only legal entries carry probability mass)
+        nn::Value pi = nn::Value::constant(nn::Tensor(
+            1, sample->pi.size(),
+            std::vector<float>(sample->pi.begin(), sample->pi.end())));
+        nn::Value p_loss =
+            nn::scale(nn::sumAll(nn::mulElem(pi, out.logPolicy)), -1.0f);
+
+        value_loss_acc += static_cast<double>(v_loss.item());
+        policy_loss_acc += static_cast<double>(p_loss.item());
+
+        nn::Value loss =
+            nn::scale(nn::add(v_loss, p_loss), inv_batch);
+        losses.push_back(loss);
+    }
+    // Sum into a single scalar loss and backprop once.
+    nn::Value loss_sum = losses.front();
+    for (std::size_t i = 1; i < losses.size(); ++i)
+        loss_sum = nn::add(loss_sum, losses[i]);
+    loss_sum.backward();
+    nn::clipGradNorm(net_->parameters(), config_.gradClip);
+    optimizer_->step();
+
+    const auto n = static_cast<double>(batch.size());
+    stats.valueLoss += value_loss_acc / n;
+    stats.policyLoss += policy_loss_acc / n;
+    stats.totalLoss += (value_loss_acc + policy_loss_acc) / n;
+}
+
+Trainer::EvalResult
+Trainer::evaluateGreedy(const dfg::Dfg &dfg, std::int32_t ii) const
+{
+    EvalResult result;
+    mapper::MapEnv env(dfg, *arch_, ii);
+    while (!env.done()) {
+        if (env.legalActionCount() == 0)
+            break;
+        const Observation obs = observe(env);
+        const auto probs = net_->policyProbabilities(obs);
+        std::int32_t best = -1;
+        double best_p = -1.0;
+        for (std::size_t a = 0; a < probs.size(); ++a) {
+            if (obs.actionMask[a] && probs[a] > best_p) {
+                best_p = probs[a];
+                best = static_cast<std::int32_t>(a);
+            }
+        }
+        if (best < 0)
+            break;
+        env.step(best);
+    }
+    result.success = env.success();
+    result.routingPenalty = env.totalReward();
+    return result;
+}
+
+std::vector<EpisodeStats>
+Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
+                  std::int32_t max_nodes, const Deadline &deadline)
+{
+    // Curriculum: random DFGs sorted easy to hard (§3.6.2); the
+    // ablation arm shuffles the same task set instead.
+    auto tasks = dfg::curriculum(episodes, min_nodes, max_nodes, rng_);
+    if (!config_.curriculum)
+        rng_.shuffle(tasks);
+    std::vector<EpisodeStats> out;
+    for (const auto &task : tasks) {
+        if (deadline.expired())
+            break;
+        const std::int32_t mii = std::max(
+            dfg::minimumIi(task, arch_->peCount(),
+                           arch_->memoryIssueCapacity()),
+            1);
+        out.push_back(runEpisode(task, mii));
+    }
+    return out;
+}
+
+} // namespace mapzero::rl

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Self-play training loop (paper §3.6, §4.4, Algorithm 1).
+ *
+ * Each episode maps one DFG with MCTS-assisted self-play, stores the
+ * (s, pi, r) groups (optionally symmetry-augmented, §3.6.1) in the
+ * prioritized replay buffer, and updates the network by minimizing
+ * (r - v)^2 - pi . log p with gradient clipping. Curriculum pre-training
+ * (§3.6.2) feeds random DFGs ordered easy to hard.
+ */
+
+#ifndef MAPZERO_RL_TRAINER_HPP
+#define MAPZERO_RL_TRAINER_HPP
+
+#include <memory>
+
+#include "cgra/symmetry.hpp"
+#include "common/timer.hpp"
+#include "nn/optim.hpp"
+#include "rl/mcts.hpp"
+#include "rl/replay.hpp"
+
+namespace mapzero::rl {
+
+/** Training hyper-parameters. */
+struct TrainerConfig {
+    MctsConfig mcts;
+    /** Replay capacity (paper: 10,000). */
+    std::size_t replayCapacity = 10000;
+    /** SGD batch size (paper: 32). */
+    std::size_t batchSize = 32;
+    /** Gradient updates run after each self-play episode. */
+    std::int32_t updatesPerEpisode = 4;
+    /** Global-norm gradient clip (Algorithm 1 line 21). */
+    float gradClip = 5.0f;
+    /** Learning-rate schedule (Fig. 12f): warmup then decay. */
+    float peakLr = 3e-3f;
+    std::size_t warmupSteps = 20;
+    float lrDecay = 0.999f;
+    float floorLr = 1e-4f;
+    /** Symmetry data augmentation (§3.6.1). */
+    bool augment = true;
+    /** Curriculum ordering in pretrain() (easy to hard, §3.6.2);
+     *  false = random task order (the curriculum ablation arm). */
+    bool curriculum = true;
+    /** Per-step shaped routing cost (hop penalty); 0 disables the
+     *  shaping and leaves only conflict/terminal signals (the
+     *  reward-shaping ablation arm). */
+    double envHopCost = 0.02;
+    /** Cap on augmented copies per sample (fabric orbit can be large). */
+    std::size_t maxAugmentations = 3;
+    /** MCTS self-play (the §4.7 ablation turns this off). */
+    bool useMcts = true;
+    /** Start training once the buffer holds this many samples. */
+    std::size_t minBufferForTraining = 64;
+};
+
+/** Per-episode learning-curve record (drives Fig. 12). */
+struct EpisodeStats {
+    std::int32_t episode = 0;
+    double totalLoss = 0.0;
+    double valueLoss = 0.0;
+    double policyLoss = 0.0;
+    /** Undiscounted episode reward (Fig. 12d). */
+    double reward = 0.0;
+    /** Routing penalty of the episode (Fig. 12e). */
+    double routingPenalty = 0.0;
+    double learningRate = 0.0;
+    bool success = false;
+};
+
+/** Self-play trainer bound to one architecture. */
+class Trainer
+{
+  public:
+    /**
+     * @param arch target fabric (must outlive the trainer)
+     * @param config hyper-parameters
+     * @param seed deterministic training stream
+     */
+    Trainer(const cgra::Architecture &arch, TrainerConfig config,
+            std::uint64_t seed);
+
+    MapZeroNet &network() { return *net_; }
+    const MapZeroNet &network() const { return *net_; }
+    std::shared_ptr<MapZeroNet> networkPtr() { return net_; }
+
+    /**
+     * One self-play episode on @p dfg at initiation interval @p ii,
+     * followed by gradient updates. Returns the learning-curve record.
+     */
+    EpisodeStats runEpisode(const dfg::Dfg &dfg, std::int32_t ii);
+
+    /**
+     * Curriculum pre-training (§3.6.2): @p episodes random DFGs with
+     * [min_nodes, max_nodes] nodes (paper: 3 to 30), ordered easy to
+     * hard; stops early at the deadline.
+     */
+    std::vector<EpisodeStats> pretrain(std::int32_t episodes,
+                                       std::int32_t min_nodes,
+                                       std::int32_t max_nodes,
+                                       const Deadline &deadline);
+
+    /** Outcome of a greedy evaluation rollout (Fig. 12e). */
+    struct EvalResult {
+        bool success = false;
+        /** Accumulated routing penalty of the rollout. */
+        double routingPenalty = 0.0;
+    };
+
+    /**
+     * Deterministic greedy-policy rollout on a held-out task (no MCTS,
+     * no exploration noise, no backtracking): the paper's per-epoch
+     * "routing penalty (in evaluation)" probe.
+     */
+    EvalResult evaluateGreedy(const dfg::Dfg &dfg, std::int32_t ii) const;
+
+    const std::vector<EpisodeStats> &history() const { return history_; }
+
+  private:
+    /** One gradient step over a replay batch; accumulates into stats. */
+    void trainStep(EpisodeStats &stats);
+
+    const cgra::Architecture *arch_;
+    TrainerConfig config_;
+    Rng rng_;
+    std::shared_ptr<MapZeroNet> net_;
+    std::unique_ptr<nn::Adam> optimizer_;
+    nn::WarmupDecaySchedule lrSchedule_;
+    ReplayBuffer replay_;
+    std::vector<cgra::PePermutation> symmetries_;
+    std::vector<EpisodeStats> history_;
+    std::int32_t episodeCounter_ = 0;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_TRAINER_HPP

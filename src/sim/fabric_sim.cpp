@@ -1,0 +1,173 @@
+#include "sim/fabric_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hpp"
+#include "sim/interpreter.hpp"
+
+namespace mapzero::sim {
+
+namespace {
+
+/** A value in flight on one edge's route. */
+struct Token {
+    Word value = 0;
+    /** Absolute cycle the consumer's FU reads it. */
+    std::int64_t arrival = 0;
+};
+
+} // namespace
+
+FabricSimResult
+simulateFabric(const mapper::MappingState &state, std::int64_t iterations,
+               const InputProvider &provider)
+{
+    FabricSimResult result;
+    const dfg::Dfg &dfg = state.dfg();
+    const dfg::Schedule &schedule = state.schedule();
+    const std::int32_t ii = schedule.ii;
+
+    if (!state.complete()) {
+        result.ok = false;
+        result.errors.push_back("mapping is not complete");
+        return result;
+    }
+
+    // Per-edge delivery pipelines. The pipeline latency is the committed
+    // route's span; validateMapping() proves it equals the physical
+    // register/wire chain, so arrival bookkeeping is cycle-faithful.
+    std::vector<std::deque<Token>> pipelines(
+        static_cast<std::size_t>(dfg.edgeCount()));
+
+    // Nodes grouped by modulo slot for the per-cycle fire loop.
+    std::vector<std::vector<dfg::NodeId>> by_slot(
+        static_cast<std::size_t>(ii));
+    for (dfg::NodeId v = 0; v < dfg.nodeCount(); ++v)
+        by_slot[static_cast<std::size_t>(
+                    schedule.moduloTime[static_cast<std::size_t>(v)])]
+            .push_back(v);
+
+    // The last firing is the latest-scheduled node of the final
+    // iteration: (length - 1) + (iterations - 1) * II.
+    const std::int64_t last_cycle =
+        static_cast<std::int64_t>(schedule.length()) - 1 +
+        (iterations - 1) * ii;
+
+    for (std::int64_t cycle = 0; cycle <= last_cycle; ++cycle) {
+        const auto slot = static_cast<std::size_t>(cycle % ii);
+        for (dfg::NodeId v : by_slot[slot]) {
+            const std::int64_t t_v =
+                schedule.time[static_cast<std::size_t>(v)];
+            if (cycle < t_v || (cycle - t_v) % ii != 0)
+                continue;
+            const std::int64_t iter = (cycle - t_v) / ii;
+            if (iter >= iterations)
+                continue;
+
+            // Gather operands in in-edge order.
+            std::vector<Word> operands;
+            operands.reserve(dfg.inEdges(v).size());
+            bool operand_error = false;
+            for (std::int32_t ei : dfg.inEdges(v)) {
+                const dfg::DfgEdge &e =
+                    dfg.edges()[static_cast<std::size_t>(ei)];
+                if (dfg.node(e.src).opcode == dfg::Opcode::Const) {
+                    // Configuration-supplied immediate.
+                    operands.push_back(constValue(e.src));
+                    continue;
+                }
+                if (iter - e.distance < 0) {
+                    operands.push_back(0); // pipeline prologue
+                    continue;
+                }
+                auto &pipe = pipelines[static_cast<std::size_t>(ei)];
+                if (pipe.empty()) {
+                    result.ok = false;
+                    result.errors.push_back(
+                        cat("edge ", ei, ": no token at cycle ", cycle,
+                            " for node ", v, " iter ", iter));
+                    operands.push_back(0);
+                    operand_error = true;
+                    continue;
+                }
+                const Token token = pipe.front();
+                pipe.pop_front();
+                if (token.arrival != cycle) {
+                    result.ok = false;
+                    result.errors.push_back(
+                        cat("edge ", ei, ": token timed for cycle ",
+                            token.arrival, " consumed at ", cycle));
+                    operand_error = true;
+                }
+                operands.push_back(token.value);
+            }
+            (void)operand_error;
+
+            const auto op = dfg.node(v).opcode;
+            const Word load_value =
+                op == dfg::Opcode::Load ? provider(v, iter) : 0;
+            const Word value = evaluateOp(op, operands, load_value, v);
+            if (op == dfg::Opcode::Store)
+                result.stores.push_back(StoreRecord{v, iter, value});
+
+            // Inject the result into every outgoing route. Constant
+            // edges carry configuration, not tokens.
+            if (op != dfg::Opcode::Const) {
+                for (std::int32_t ei : dfg.outEdges(v)) {
+                    const dfg::DfgEdge &e =
+                        dfg.edges()[static_cast<std::size_t>(ei)];
+                    const std::int64_t t_dst =
+                        schedule.time[static_cast<std::size_t>(e.dst)];
+                    const std::int64_t arrival =
+                        t_dst + (iter + e.distance) * ii;
+                    pipelines[static_cast<std::size_t>(ei)].push_back(
+                        Token{value, arrival});
+                }
+            }
+        }
+    }
+    result.cycles = last_cycle + 1;
+    return result;
+}
+
+std::string
+compareWithReference(const mapper::MappingState &state,
+                     std::int64_t iterations,
+                     const InputProvider &provider)
+{
+    FabricSimResult fabric = simulateFabric(state, iterations, provider);
+    if (!fabric.ok)
+        return fabric.errors.empty() ? "fabric simulation failed"
+                                     : fabric.errors.front();
+
+    const InterpResult reference =
+        interpret(state.dfg(), iterations, provider);
+
+    // Stores compare as (node, iteration)-keyed multisets; the fabric
+    // emits them in cycle order, the interpreter in iteration order.
+    auto key = [](const StoreRecord &r) {
+        return std::make_pair(r.node, r.iteration);
+    };
+    auto sorted = [&key](std::vector<StoreRecord> v) {
+        std::sort(v.begin(), v.end(),
+                  [&key](const StoreRecord &a, const StoreRecord &b) {
+            return key(a) < key(b);
+        });
+        return v;
+    };
+    const auto fab = sorted(fabric.stores);
+    const auto ref = sorted(reference.stores);
+    if (fab.size() != ref.size())
+        return cat("store count differs: fabric ", fab.size(),
+                   " vs reference ", ref.size());
+    for (std::size_t i = 0; i < fab.size(); ++i) {
+        if (!(fab[i] == ref[i]))
+            return cat("store mismatch at node ", ref[i].node, " iter ",
+                       ref[i].iteration, ": fabric ", fab[i].value,
+                       " vs reference ", ref[i].value);
+    }
+    return "";
+}
+
+} // namespace mapzero::sim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle-accurate execution of a compiled mapping on the CGRA fabric.
+ *
+ * The simulator advances cycle by cycle. Each cycle, every PE whose
+ * function slot is occupied in the current modulo slice fires: it pops
+ * its operand tokens from the per-edge delivery pipelines (whose lengths
+ * equal the committed route latencies), evaluates the operation, and
+ * injects the result into the pipelines of its outgoing edges. Constant
+ * operands come from configuration, matching the mapper's model.
+ *
+ * Together with the reference interpreter (sim/interpreter.hpp) this
+ * gives a golden-model check for the whole compiler: a mapping is only
+ * truly correct if the fabric computes the same store stream as the DFG.
+ */
+
+#ifndef MAPZERO_SIM_FABRIC_SIM_HPP
+#define MAPZERO_SIM_FABRIC_SIM_HPP
+
+#include <string>
+
+#include "mapper/mapping.hpp"
+#include "sim/semantics.hpp"
+
+namespace mapzero::sim {
+
+/** Result of a fabric simulation. */
+struct FabricSimResult {
+    /** False when a token arrived at the wrong cycle or was missing. */
+    bool ok = true;
+    std::vector<std::string> errors;
+    /** Every store the fabric performed, in (cycle, node) order. */
+    std::vector<StoreRecord> stores;
+    /** Total simulated cycles. */
+    std::int64_t cycles = 0;
+};
+
+/**
+ * Execute a complete mapping for @p iterations loop iterations.
+ * The mapping must be complete (every node placed, every edge routed).
+ */
+FabricSimResult simulateFabric(const mapper::MappingState &state,
+                               std::int64_t iterations,
+                               const InputProvider &provider);
+
+/**
+ * Convenience golden-model check: simulate the fabric and compare its
+ * store stream against the reference interpreter. Returns an empty
+ * string on success, otherwise a description of the first divergence.
+ */
+std::string compareWithReference(const mapper::MappingState &state,
+                                 std::int64_t iterations,
+                                 const InputProvider &provider);
+
+} // namespace mapzero::sim
+
+#endif // MAPZERO_SIM_FABRIC_SIM_HPP

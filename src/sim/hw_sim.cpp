@@ -1,0 +1,180 @@
+#include "sim/hw_sim.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mapzero::sim {
+
+HwSimResult
+runHardware(const Bitstream &bitstream, const cgra::Architecture &arch,
+            const ActivationSchedule &activation,
+            std::int64_t iterations, const InputProvider &provider)
+{
+    HwSimResult result;
+    if (bitstream.peCount != arch.peCount()) {
+        result.ok = false;
+        result.errors.push_back("bitstream/fabric PE count mismatch");
+        return result;
+    }
+    const std::int32_t ii = bitstream.ii;
+    const auto links = arch.linkList();
+    const auto n_links = static_cast<std::int32_t>(links.size());
+
+    // Register files, zero-initialized like hardware out of reset.
+    std::vector<Word> own_result(
+        static_cast<std::size_t>(arch.peCount()), 0);
+    std::vector<Word> route_reg(
+        static_cast<std::size_t>(arch.peCount()), 0);
+
+    const std::int64_t last_cycle =
+        static_cast<std::int64_t>(activation.length) - 1 +
+        (iterations - 1) * ii;
+
+    std::vector<Word> link_value(static_cast<std::size_t>(n_links), 0);
+    std::vector<bool> link_set(static_cast<std::size_t>(n_links), false);
+
+    for (std::int64_t cycle = 0; cycle <= last_cycle; ++cycle) {
+        const auto slot = static_cast<std::int32_t>(cycle % ii);
+
+        // --- 1. Resolve link values (combinational network) -----------
+        std::fill(link_set.begin(), link_set.end(), false);
+        bool progress = true;
+        std::int32_t unresolved = 0;
+        while (progress) {
+            progress = false;
+            unresolved = 0;
+            for (cgra::PeId pe = 0; pe < arch.peCount(); ++pe) {
+                for (const LinkDrive &d :
+                     bitstream.word(pe, slot).drives) {
+                    const auto li = static_cast<std::size_t>(d.link);
+                    if (link_set[li])
+                        continue;
+                    switch (d.source.kind) {
+                      case SourceKind::OwnResult:
+                        link_value[li] =
+                            own_result[static_cast<std::size_t>(pe)];
+                        link_set[li] = true;
+                        progress = true;
+                        break;
+                      case SourceKind::RouteReg:
+                        link_value[li] =
+                            route_reg[static_cast<std::size_t>(pe)];
+                        link_set[li] = true;
+                        progress = true;
+                        break;
+                      case SourceKind::Link: {
+                        const auto in =
+                            static_cast<std::size_t>(d.source.link);
+                        if (link_set[in]) {
+                            link_value[li] = link_value[in];
+                            link_set[li] = true;
+                            progress = true;
+                        } else {
+                            ++unresolved;
+                        }
+                        break;
+                      }
+                      default:
+                        ++unresolved;
+                        break;
+                    }
+                }
+            }
+        }
+        if (unresolved > 0) {
+            result.ok = false;
+            result.errors.push_back(
+                cat("cycle ", cycle, ": ", unresolved,
+                    " link drive(s) form a combinational loop"));
+        }
+
+        auto read_source = [&](cgra::PeId pe, const SourceSelect &s,
+                               bool &error) -> Word {
+            switch (s.kind) {
+              case SourceKind::Constant:
+                return s.immediate;
+              case SourceKind::OwnResult:
+                return own_result[static_cast<std::size_t>(pe)];
+              case SourceKind::RouteReg:
+                return route_reg[static_cast<std::size_t>(pe)];
+              case SourceKind::Link: {
+                const auto li = static_cast<std::size_t>(s.link);
+                if (!link_set[li]) {
+                    error = true;
+                    return 0;
+                }
+                return link_value[li];
+              }
+              case SourceKind::None:
+                return 0;
+            }
+            return 0;
+        };
+
+        // --- 2. Functional units fire ----------------------------------
+        std::vector<std::pair<cgra::PeId, Word>> fu_writes;
+        for (cgra::PeId pe = 0; pe < arch.peCount(); ++pe) {
+            const PeConfigWord &word = bitstream.word(pe, slot);
+            if (word.node < 0)
+                continue;
+            const std::int64_t start =
+                activation.startTime[static_cast<std::size_t>(
+                    word.node)];
+            if (cycle < start || (cycle - start) % ii != 0)
+                continue;
+            const std::int64_t iter = (cycle - start) / ii;
+            if (iter >= iterations)
+                continue;
+
+            std::vector<Word> operands;
+            operands.reserve(word.operands.size());
+            bool error = false;
+            for (const SourceSelect &s : word.operands)
+                operands.push_back(read_source(pe, s, error));
+            if (error) {
+                result.ok = false;
+                result.errors.push_back(
+                    cat("cycle ", cycle, ": PE", pe,
+                        " reads an undriven link"));
+            }
+            const Word load_value = word.opcode == dfg::Opcode::Load
+                ? provider(word.node, iter)
+                : 0;
+            const Word value =
+                evaluateOp(word.opcode, operands, load_value, word.node);
+            if (word.opcode == dfg::Opcode::Store)
+                result.stores.push_back(
+                    StoreRecord{word.node, iter, value});
+            fu_writes.emplace_back(pe, value);
+        }
+
+        // --- 3. Routing registers load ----------------------------------
+        std::vector<std::pair<cgra::PeId, Word>> reg_writes;
+        for (cgra::PeId pe = 0; pe < arch.peCount(); ++pe) {
+            const PeConfigWord &word = bitstream.word(pe, slot);
+            if (word.routeReg.kind == SourceKind::None)
+                continue;
+            bool error = false;
+            const Word value = read_source(pe, word.routeReg, error);
+            if (error) {
+                result.ok = false;
+                result.errors.push_back(
+                    cat("cycle ", cycle, ": PE", pe,
+                        " routing register reads an undriven link"));
+            }
+            reg_writes.emplace_back(pe, value);
+        }
+
+        // --- 4. Commit (registers update at the clock edge) -------------
+        for (const auto &[pe, value] : fu_writes)
+            own_result[static_cast<std::size_t>(pe)] = value;
+        for (const auto &[pe, value] : reg_writes)
+            route_reg[static_cast<std::size_t>(pe)] = value;
+    }
+
+    result.cycles = last_cycle + 1;
+    return result;
+}
+
+} // namespace mapzero::sim

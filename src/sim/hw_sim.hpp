@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware-level simulator: executes a CGRA *configuration bitstream*
+ * directly - per-PE FU result registers, routing registers, and link
+ * values resolved per cycle from the drive selects - with no access to
+ * the mapper's bookkeeping (routes, placements).
+ *
+ * This is the strongest end-to-end check in the repository: if the
+ * compiler, the bitstream generator, and the fabric model are all
+ * consistent, then running the raw configuration must reproduce the DFG
+ * semantics. The only metadata beyond the bitstream is the per-node
+ * activation schedule (start time and II), which real CGRAs hold in
+ * their context/epoch counters.
+ */
+
+#ifndef MAPZERO_SIM_HW_SIM_HPP
+#define MAPZERO_SIM_HW_SIM_HPP
+
+#include <string>
+
+#include "cgra/architecture.hpp"
+#include "core/bitstream.hpp"
+#include "sim/semantics.hpp"
+
+namespace mapzero::sim {
+
+/** Activation metadata: when each node fires its first iteration. */
+struct ActivationSchedule {
+    /** startTime[node] = absolute cycle of iteration 0. */
+    std::vector<std::int32_t> startTime;
+    /** Initiation interval. */
+    std::int32_t ii = 1;
+    /** Total schedule length (last start + 1). */
+    std::int32_t length = 0;
+};
+
+/** Result of a hardware run. */
+struct HwSimResult {
+    bool ok = true;
+    std::vector<std::string> errors;
+    std::vector<StoreRecord> stores;
+    std::int64_t cycles = 0;
+};
+
+/**
+ * Execute @p bitstream on @p arch for @p iterations loop iterations.
+ *
+ * @param bitstream configuration (from generateBitstream or a file)
+ * @param arch the fabric the configuration targets
+ * @param activation per-node start times + II
+ * @param iterations loop iterations to run
+ * @param provider load input streams
+ */
+HwSimResult runHardware(const Bitstream &bitstream,
+                        const cgra::Architecture &arch,
+                        const ActivationSchedule &activation,
+                        std::int64_t iterations,
+                        const InputProvider &provider);
+
+} // namespace mapzero::sim
+
+#endif // MAPZERO_SIM_HW_SIM_HPP

@@ -1,0 +1,47 @@
+#include "sim/interpreter.hpp"
+
+#include "common/log.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::sim {
+
+InterpResult
+interpret(const dfg::Dfg &dfg, std::int64_t iterations,
+          const InputProvider &provider)
+{
+    const auto order = dfg::topologicalOrder(dfg);
+    InterpResult result;
+    result.values.assign(
+        static_cast<std::size_t>(iterations),
+        std::vector<Word>(static_cast<std::size_t>(dfg.nodeCount()), 0));
+
+    for (std::int64_t i = 0; i < iterations; ++i) {
+        auto &now = result.values[static_cast<std::size_t>(i)];
+        for (dfg::NodeId v : order) {
+            // Operands in in-edge order.
+            std::vector<Word> operands;
+            operands.reserve(dfg.inEdges(v).size());
+            for (std::int32_t ei : dfg.inEdges(v)) {
+                const dfg::DfgEdge &e =
+                    dfg.edges()[static_cast<std::size_t>(ei)];
+                const std::int64_t src_iter = i - e.distance;
+                operands.push_back(
+                    src_iter >= 0
+                        ? result.values[static_cast<std::size_t>(
+                              src_iter)][static_cast<std::size_t>(e.src)]
+                        : 0);
+            }
+            const auto op = dfg.node(v).opcode;
+            const Word load_value =
+                op == dfg::Opcode::Load ? provider(v, i) : 0;
+            now[static_cast<std::size_t>(v)] =
+                evaluateOp(op, operands, load_value, v);
+            if (op == dfg::Opcode::Store)
+                result.stores.push_back(
+                    StoreRecord{v, i, now[static_cast<std::size_t>(v)]});
+        }
+    }
+    return result;
+}
+
+} // namespace mapzero::sim

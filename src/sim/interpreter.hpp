@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reference DFG interpreter: the golden model the fabric simulator is
+ * checked against. Executes the DFG directly (no hardware model) for a
+ * number of loop iterations, honoring loop-carried dependencies.
+ */
+
+#ifndef MAPZERO_SIM_INTERPRETER_HPP
+#define MAPZERO_SIM_INTERPRETER_HPP
+
+#include "sim/semantics.hpp"
+
+namespace mapzero::sim {
+
+/** Result of interpreting a DFG. */
+struct InterpResult {
+    /** Every store, in (iteration, node) order. */
+    std::vector<StoreRecord> stores;
+    /** values[i][v] = value node v produced at iteration i. */
+    std::vector<std::vector<Word>> values;
+};
+
+/**
+ * Execute @p dfg for @p iterations loop iterations.
+ *
+ * Nodes evaluate in topological order within an iteration; an edge with
+ * distance d delivers the producer's value from iteration i - d, and
+ * iterations i < d read the initial value 0.
+ */
+InterpResult interpret(const dfg::Dfg &dfg, std::int64_t iterations,
+                       const InputProvider &provider);
+
+} // namespace mapzero::sim
+
+#endif // MAPZERO_SIM_INTERPRETER_HPP

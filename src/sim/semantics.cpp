@@ -1,0 +1,93 @@
+#include "sim/semantics.hpp"
+
+#include "common/log.hpp"
+
+namespace mapzero::sim {
+
+InputProvider
+defaultProvider()
+{
+    return [](dfg::NodeId node, std::int64_t iteration) -> Word {
+        // Deterministic, iteration-varying, distinct per stream.
+        return static_cast<Word>(node) * 131 + iteration * 7 + 3;
+    };
+}
+
+Word
+constValue(dfg::NodeId node)
+{
+    return static_cast<Word>(node) * 17 + 5;
+}
+
+namespace {
+
+Word
+operand(const std::vector<Word> &operands, std::size_t index)
+{
+    return index < operands.size() ? operands[index] : 0;
+}
+
+} // namespace
+
+Word
+evaluateOp(dfg::Opcode op, const std::vector<Word> &operands,
+           Word load_value, dfg::NodeId node)
+{
+    const Word a = operand(operands, 0);
+    const Word b = operand(operands, 1);
+    switch (op) {
+      case dfg::Opcode::Const:
+        return constValue(node);
+      case dfg::Opcode::Add:
+        // Accumulators have a loop-carried operand; summing all inputs
+        // covers both plain adds and phi-style accumulation.
+        {
+            Word acc = 0;
+            for (Word v : operands)
+                acc += v;
+            return acc;
+        }
+      case dfg::Opcode::Sub:
+        return a - b;
+      case dfg::Opcode::Mul:
+        return a * b;
+      case dfg::Opcode::Div:
+        return b != 0 ? a / b : 0;
+      case dfg::Opcode::Mac:
+        return a * b + operand(operands, 2);
+      case dfg::Opcode::Shl:
+        return a << (static_cast<std::uint64_t>(b) & 63u);
+      case dfg::Opcode::Shr:
+        return static_cast<Word>(static_cast<std::uint64_t>(a) >>
+                                 (static_cast<std::uint64_t>(b) & 63u));
+      case dfg::Opcode::And:
+        return a & b;
+      case dfg::Opcode::Or:
+        return a | b;
+      case dfg::Opcode::Xor:
+        return a ^ b;
+      case dfg::Opcode::Not:
+        return ~a;
+      case dfg::Opcode::Cmp:
+        return a < b ? 1 : 0;
+      case dfg::Opcode::Select:
+        return operand(operands, 2) != 0 ? a : b;
+      case dfg::Opcode::Load:
+        // Address operands model address arithmetic; the loaded value
+        // comes from the input stream (mixed so a wrong address chain
+        // still perturbs the result and is caught by the comparison).
+        {
+            Word mix = 0;
+            for (Word v : operands)
+                mix ^= v;
+            return load_value + (mix & 0xF);
+        }
+      case dfg::Opcode::Store:
+      case dfg::Opcode::Phi:
+      case dfg::Opcode::Route:
+        return a;
+    }
+    panic("evaluateOp: unknown opcode");
+}
+
+} // namespace mapzero::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Operational semantics shared by the reference DFG interpreter and the
+ * cycle-accurate fabric simulator.
+ *
+ * Both executors evaluate the same 64-bit integer semantics, so a
+ * compiled mapping can be validated end-to-end: run the kernel on the
+ * fabric, run the DFG directly, and compare every stored value.
+ */
+
+#ifndef MAPZERO_SIM_SEMANTICS_HPP
+#define MAPZERO_SIM_SEMANTICS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace mapzero::sim {
+
+/** Machine word of the simulated fabric. */
+using Word = std::int64_t;
+
+/**
+ * Externally supplied input stream: the value a Load node produces at
+ * loop iteration @p iteration. (The address operands a load may consume
+ * model address arithmetic; the provider keys on the logical stream.)
+ */
+using InputProvider =
+    std::function<Word(dfg::NodeId load_node, std::int64_t iteration)>;
+
+/** Deterministic default provider: mixes node id and iteration. */
+InputProvider defaultProvider();
+
+/** Immediate value a Const node materializes (derived from its id). */
+Word constValue(dfg::NodeId node);
+
+/**
+ * Evaluate one operation.
+ *
+ * @param op opcode to execute
+ * @param operands operand values in in-edge order (Select reads
+ *        (a, b, predicate); Store and Route forward operand 0)
+ * @param load_value the input-stream value when op is Load
+ * @param node node id (Const immediates derive from it)
+ * @return the produced value (Stores return the stored value)
+ */
+Word evaluateOp(dfg::Opcode op, const std::vector<Word> &operands,
+                Word load_value, dfg::NodeId node);
+
+/** One recorded store. */
+struct StoreRecord {
+    dfg::NodeId node = -1;
+    std::int64_t iteration = 0;
+    Word value = 0;
+
+    bool
+    operator==(const StoreRecord &other) const
+    {
+        return node == other.node && iteration == other.iteration &&
+               value == other.value;
+    }
+};
+
+} // namespace mapzero::sim
+
+#endif // MAPZERO_SIM_SEMANTICS_HPP

@@ -1,0 +1,120 @@
+/** @file Unit tests for the exact branch-and-bound mapper. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_mapper.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::baselines {
+namespace {
+
+TEST(ExactMapper, MapsTinyChainAtMii)
+{
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Store);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+
+    ExactMapper mapper;
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const AttemptResult r = mapper.map(d, arch, 1, Deadline(10.0));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.ii, 1);
+    ASSERT_EQ(r.placements.size(), 3u);
+    for (const auto &p : r.placements)
+        EXPECT_TRUE(p.valid());
+}
+
+TEST(ExactMapper, MapsSumKernelOnHrea)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    ExactMapper mapper;
+    const AttemptResult r = mapper.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success) << "searchOps=" << r.searchOps;
+}
+
+TEST(ExactMapper, FailsWhenIiBelowRecMii)
+{
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Add);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, a, 1); // RecMII 3
+    ExactMapper mapper;
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const AttemptResult r = mapper.map(d, arch, 2, Deadline(5.0));
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.timedOut);
+}
+
+TEST(ExactMapper, ExhaustsSearchSpaceOnImpossibleCase)
+{
+    // 3 loads in one modulo slot on a fabric with 2 PEs: II=1 cannot
+    // hold 3 simultaneous ops.
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Add);
+    cgra::Architecture arch("tiny", 1, 2,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    ExactMapper mapper;
+    const AttemptResult r = mapper.map(d, arch, 1, Deadline(5.0));
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.timedOut);
+}
+
+TEST(ExactMapper, RespectsDeadline)
+{
+    // A large kernel with an immediate deadline must abort quickly.
+    const dfg::Dfg d = dfg::buildKernel("arf");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    ExactMapper mapper;
+    Timer t;
+    const AttemptResult r = mapper.map(d, arch, 4, Deadline(0.05));
+    EXPECT_LT(t.seconds(), 2.0);
+    if (!r.success) {
+        EXPECT_TRUE(r.timedOut);
+    }
+}
+
+TEST(ExactMapper, RespectsBacktrackCap)
+{
+    ExactMapperConfig cfg;
+    cfg.maxBacktracks = 3;
+    ExactMapper mapper(cfg);
+    const dfg::Dfg d = dfg::buildKernel("conv2");
+    cgra::Architecture arch("mesh4", 4, 4,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    const AttemptResult r = mapper.map(d, arch, 2, Deadline(5.0));
+    if (!r.success) {
+        EXPECT_LE(r.searchOps, 4);
+    }
+}
+
+TEST(ExactMapper, CountsBacktracks)
+{
+    // Sparse mesh forces at least some failed placements on conv2.
+    const dfg::Dfg d = dfg::buildKernel("conv2");
+    cgra::Architecture arch("mesh4", 4, 4,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    ExactMapper mapper;
+    const AttemptResult r = mapper.map(d, arch, mii + 1, Deadline(20.0));
+    EXPECT_GE(r.searchOps, 0);
+    if (r.success) {
+        EXPECT_EQ(r.placements.size(),
+                  static_cast<std::size_t>(d.nodeCount()));
+    }
+}
+
+} // namespace
+} // namespace mapzero::baselines

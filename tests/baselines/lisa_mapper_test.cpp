@@ -1,0 +1,96 @@
+/** @file Unit tests for the LISA-style label-guided mapper. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/lisa_mapper.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::baselines {
+namespace {
+
+TEST(LisaLabels, SlackMatchesSchedule)
+{
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(a, c);
+    d.addEdge(b, c);
+    const auto schedule = *dfg::moduloSchedule(d, 2);
+    const LisaLabels labels = computeLisaLabels(d, schedule);
+    ASSERT_EQ(labels.slack.size(), 3u);
+    // a->b: 1 cycle; a->c: 2 cycles (c after b); b->c: 1 cycle.
+    EXPECT_EQ(labels.slack[0], 1);
+    EXPECT_EQ(labels.slack[1], 2);
+    EXPECT_EQ(labels.slack[2], 1);
+}
+
+TEST(LisaLabels, OrderIsPermutation)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    const auto schedule = *dfg::moduloSchedule(d, 1);
+    const LisaLabels labels = computeLisaLabels(d, schedule);
+    std::vector<bool> seen(static_cast<std::size_t>(d.nodeCount()),
+                           false);
+    for (std::int32_t o : labels.order) {
+        ASSERT_GE(o, 0);
+        ASSERT_LT(o, d.nodeCount());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(o)]);
+        seen[static_cast<std::size_t>(o)] = true;
+    }
+}
+
+TEST(LisaMapper, MapsTinyKernelOnHycube)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hycube();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    SaConfig cfg;
+    cfg.seed = 2;
+    LisaMapper mapper(cfg);
+    const AttemptResult r = mapper.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success) << "annealings=" << r.searchOps;
+}
+
+TEST(LisaMapper, StrugglesOnPlainMeshWhereSaSucceeds)
+{
+    // The paper reports LISA "is only applicable to single-cycle
+    // multi-hop interconnect architectures ... and fails on other
+    // topologies" (§4.2). mac2 at its MII on a plain 4x4 mesh is such a
+    // differential case: plain SA (full routability evaluation) finds a
+    // mapping while the label-guided search, whose labels assume
+    // crossbar reachability, does not.
+    const dfg::Dfg d = dfg::buildKernel("mac2");
+    cgra::Architecture arch("mesh4", 4, 4,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    LisaMapper lisa;
+    EXPECT_FALSE(lisa.map(d, arch, mii, Deadline(3.0)).success);
+    SaMapper sa;
+    EXPECT_TRUE(sa.map(d, arch, mii, Deadline(10.0)).success);
+}
+
+TEST(LisaMapper, RespectsDeadline)
+{
+    const dfg::Dfg d = dfg::buildKernel("cap");
+    cgra::Architecture arch = cgra::Architecture::hycube();
+    LisaMapper mapper;
+    Timer t;
+    mapper.map(d, arch, 3, Deadline(0.2));
+    EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(LisaMapper, NameDiffersFromSa)
+{
+    LisaMapper lisa;
+    SaMapper sa;
+    EXPECT_EQ(lisa.name(), "LISA");
+    EXPECT_EQ(sa.name(), "SA");
+}
+
+} // namespace
+} // namespace mapzero::baselines

@@ -1,0 +1,101 @@
+/** @file Unit tests for the simulated-annealing mapper. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/sa_mapper.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "dfg/random_gen.hpp"
+
+namespace mapzero::baselines {
+namespace {
+
+TEST(SaMapper, MapsTinyChain)
+{
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    SaMapper mapper;
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const AttemptResult r = mapper.map(d, arch, 1, Deadline(10.0));
+    EXPECT_TRUE(r.success);
+}
+
+TEST(SaMapper, MapsMacKernelEventually)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    SaConfig cfg;
+    cfg.seed = 3;
+    SaMapper mapper(cfg);
+    const AttemptResult r = mapper.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success) << "annealings=" << r.searchOps;
+}
+
+TEST(SaMapper, ReturnsStructurallyInfeasibleFast)
+{
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Add);
+    cgra::Architecture arch("tiny", 1, 2,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    SaMapper mapper;
+    Timer t;
+    const AttemptResult r = mapper.map(d, arch, 1, Deadline(10.0));
+    EXPECT_FALSE(r.success);
+    EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(SaMapper, RespectsDeadline)
+{
+    const dfg::Dfg d = dfg::buildKernel("cap");
+    cgra::Architecture arch("mesh4", 4, 4,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    SaMapper mapper;
+    Timer t;
+    mapper.map(d, arch, 3, Deadline(0.2));
+    EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(SaMapper, DeterministicForSeed)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    SaConfig cfg;
+    cfg.seed = 5;
+    SaMapper m1(cfg), m2(cfg);
+    const AttemptResult r1 = m1.map(d, arch, 1, Deadline(20.0));
+    const AttemptResult r2 = m2.map(d, arch, 1, Deadline(20.0));
+    EXPECT_EQ(r1.success, r2.success);
+    if (r1.success && r2.success) {
+        ASSERT_EQ(r1.placements.size(), r2.placements.size());
+        for (std::size_t i = 0; i < r1.placements.size(); ++i)
+            EXPECT_EQ(r1.placements[i].pe, r2.placements[i].pe);
+    }
+}
+
+TEST(SaMapper, PlacementsRespectCapabilities)
+{
+    Rng rng(9);
+    dfg::RandomDfgParams params;
+    params.nodes = 8;
+    const dfg::Dfg d = dfg::randomDfg(params, rng);
+    cgra::Architecture arch = cgra::Architecture::heterogeneous();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    SaMapper mapper;
+    const AttemptResult r = mapper.map(d, arch, mii + 1, Deadline(10.0));
+    if (r.success) {
+        for (dfg::NodeId v = 0; v < d.nodeCount(); ++v)
+            EXPECT_TRUE(arch.pe(r.placements[
+                static_cast<std::size_t>(v)].pe)
+                            .supports(d.node(v).opcode));
+    }
+}
+
+} // namespace
+} // namespace mapzero::baselines

@@ -1,0 +1,158 @@
+/** @file Unit tests for the CGRA architecture model (Table 1 presets). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cgra/architecture.hpp"
+
+namespace mapzero::cgra {
+namespace {
+
+TEST(Architecture, GridIndexing)
+{
+    Architecture a("t", 3, 4, linkMask({Interconnect::Mesh}));
+    EXPECT_EQ(a.peCount(), 12);
+    EXPECT_EQ(a.peAt(1, 2), 6);
+    EXPECT_EQ(a.rowOf(6), 1);
+    EXPECT_EQ(a.colOf(6), 2);
+}
+
+TEST(Architecture, MeshNeighbors)
+{
+    Architecture a("t", 3, 3, linkMask({Interconnect::Mesh}));
+    // Center PE has 4 neighbors; corner has 2.
+    EXPECT_EQ(a.neighborsOut(a.peAt(1, 1)).size(), 4u);
+    EXPECT_EQ(a.neighborsOut(a.peAt(0, 0)).size(), 2u);
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(0, 1)));
+    EXPECT_FALSE(a.connected(a.peAt(0, 0), a.peAt(1, 1)));
+}
+
+TEST(Architecture, OneHopAddsSkipLinks)
+{
+    Architecture a("t", 4, 4,
+                   linkMask({Interconnect::Mesh, Interconnect::OneHop}));
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(0, 2)));
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(2, 0)));
+    EXPECT_FALSE(a.connected(a.peAt(0, 0), a.peAt(0, 3)));
+}
+
+TEST(Architecture, DiagonalLinks)
+{
+    Architecture a("t", 3, 3,
+                   linkMask({Interconnect::Mesh,
+                             Interconnect::Diagonal}));
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(1, 1)));
+    EXPECT_TRUE(a.connected(a.peAt(1, 1), a.peAt(0, 2)));
+}
+
+TEST(Architecture, ToroidalWrap)
+{
+    Architecture a("t", 4, 4,
+                   linkMask({Interconnect::Mesh,
+                             Interconnect::Toroidal}));
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(0, 3)));
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(3, 0)));
+    // Every PE of a torus has the same degree.
+    const std::size_t deg = a.neighborsOut(0).size();
+    for (PeId p = 0; p < a.peCount(); ++p)
+        EXPECT_EQ(a.neighborsOut(p).size(), deg);
+}
+
+TEST(Architecture, CrossbarUsesMeshAdjacency)
+{
+    Architecture a = Architecture::hycube();
+    EXPECT_TRUE(a.isMultiHop());
+    EXPECT_TRUE(a.connected(a.peAt(0, 0), a.peAt(0, 1)));
+    EXPECT_FALSE(a.connected(a.peAt(0, 0), a.peAt(2, 2)));
+}
+
+TEST(Architecture, LinksAreBidirectionalPairs)
+{
+    for (const Architecture &a : Architecture::table1Presets()) {
+        for (const auto &[src, dst] : a.linkList())
+            EXPECT_TRUE(a.connected(dst, src))
+                << a.name() << ": link " << src << "->" << dst
+                << " has no reverse";
+    }
+}
+
+TEST(Architecture, Table1PresetShapes)
+{
+    const Architecture hrea = Architecture::hrea();
+    EXPECT_EQ(hrea.rows(), 4);
+    EXPECT_TRUE(hrea.hasLink(Interconnect::Diagonal));
+    EXPECT_TRUE(hrea.hasLink(Interconnect::Toroidal));
+
+    const Architecture morphosys = Architecture::morphosys();
+    EXPECT_EQ(morphosys.rows(), 8);
+    EXPECT_FALSE(morphosys.hasLink(Interconnect::Diagonal));
+
+    const Architecture adres = Architecture::adres();
+    EXPECT_TRUE(adres.rowSharedMemoryBus());
+
+    const Architecture b8 = Architecture::baseline8();
+    EXPECT_EQ(b8.peCount(), 64);
+    EXPECT_FALSE(b8.hasLink(Interconnect::Toroidal));
+
+    const Architecture b16 = Architecture::baseline16();
+    EXPECT_EQ(b16.peCount(), 256);
+
+    const Architecture hycube = Architecture::hycube();
+    EXPECT_TRUE(hycube.hasLink(Interconnect::Crossbar));
+}
+
+TEST(Architecture, DefaultPeHasPaperUnitInventory)
+{
+    const Architecture a = Architecture::hrea();
+    const PeConfig &pe = a.pe(0);
+    EXPECT_EQ(pe.constUnits, 5);
+    EXPECT_EQ(pe.loadUnits, 2);
+    EXPECT_EQ(pe.aluUnits, 1);
+    EXPECT_EQ(pe.storeUnits, 1);
+    EXPECT_EQ(pe.outputRegs, 1);
+    EXPECT_TRUE(pe.memory);
+}
+
+TEST(Architecture, PeCapabilityGating)
+{
+    PeConfig pe;
+    pe.logic = false;
+    EXPECT_TRUE(pe.supports(dfg::Opcode::Add));
+    EXPECT_FALSE(pe.supports(dfg::Opcode::And));
+    pe.memory = false;
+    EXPECT_FALSE(pe.supports(dfg::Opcode::Load));
+}
+
+TEST(Architecture, MemoryIssueCapacityWithRowBus)
+{
+    Architecture adres = Architecture::adres();
+    // 4 rows, all memory-capable: bus capacity is one per row.
+    EXPECT_EQ(adres.memoryIssueCapacity(), 4);
+    Architecture hrea = Architecture::hrea();
+    EXPECT_EQ(hrea.memoryIssueCapacity(), 16);
+}
+
+TEST(Architecture, HeterogeneousCapabilityMix)
+{
+    const Architecture h = Architecture::heterogeneous();
+    EXPECT_EQ(h.peCount(), 16);
+    EXPECT_GT(h.memoryPeCount(), 0);
+    EXPECT_LT(h.memoryPeCount(), 16);
+    // Column 0 is the memory column.
+    for (std::int32_t r = 0; r < 4; ++r)
+        EXPECT_TRUE(h.pe(h.peAt(r, 0)).memory);
+    // Some PE must lack logic support (that is the point of Fig. 14).
+    bool some_without_logic = false;
+    for (PeId p = 0; p < h.peCount(); ++p)
+        some_without_logic = some_without_logic || !h.pe(p).logic;
+    EXPECT_TRUE(some_without_logic);
+}
+
+TEST(Architecture, InvalidGridIsFatal)
+{
+    EXPECT_THROW(Architecture("bad", 0, 4, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::cgra

@@ -1,0 +1,71 @@
+/** @file Unit tests for MRRG resource indexing. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cgra/mrrg.hpp"
+
+namespace mapzero::cgra {
+namespace {
+
+TEST(Mrrg, ResourceCounts)
+{
+    const Architecture a = Architecture::hrea();
+    const Mrrg mrrg(a, 3);
+    EXPECT_EQ(mrrg.ii(), 3);
+    EXPECT_EQ(mrrg.funcResourceCount(), 16 * 3);
+    EXPECT_EQ(mrrg.regResourceCount(), 16 * 3);
+    EXPECT_EQ(mrrg.wireResourceCount(), mrrg.linkCount() * 3);
+}
+
+TEST(Mrrg, SlotOfWrapsNegativeAndPositive)
+{
+    const Architecture a = Architecture::hrea();
+    const Mrrg mrrg(a, 4);
+    EXPECT_EQ(mrrg.slotOf(0), 0);
+    EXPECT_EQ(mrrg.slotOf(5), 1);
+    EXPECT_EQ(mrrg.slotOf(-1), 3);
+}
+
+TEST(Mrrg, IndicesAreUniquePerResource)
+{
+    const Architecture a = Architecture::hrea();
+    const Mrrg mrrg(a, 2);
+    std::set<std::int32_t> seen;
+    for (PeId pe = 0; pe < a.peCount(); ++pe)
+        for (std::int32_t s = 0; s < 2; ++s)
+            EXPECT_TRUE(seen.insert(mrrg.funcIndex(pe, s)).second);
+    EXPECT_EQ(static_cast<std::int32_t>(seen.size()),
+              mrrg.funcResourceCount());
+}
+
+TEST(Mrrg, LinkLookupConsistent)
+{
+    const Architecture a = Architecture::hrea();
+    const Mrrg mrrg(a, 1);
+    for (LinkId l = 0; l < mrrg.linkCount(); ++l) {
+        const auto &[src, dst] = mrrg.link(l);
+        EXPECT_EQ(mrrg.linkBetween(src, dst), l);
+    }
+    // Unconnected pair returns -1 (non-adjacent on HReA: use same PE).
+    EXPECT_EQ(mrrg.linkBetween(0, 0), -1);
+}
+
+TEST(Mrrg, LinksOutMatchesArchitecture)
+{
+    const Architecture a = Architecture::morphosys();
+    const Mrrg mrrg(a, 1);
+    for (PeId pe = 0; pe < a.peCount(); ++pe)
+        EXPECT_EQ(mrrg.linksOut(pe).size(),
+                  a.neighborsOut(pe).size());
+}
+
+TEST(Mrrg, InvalidIiIsFatal)
+{
+    const Architecture a = Architecture::hrea();
+    EXPECT_THROW(Mrrg(a, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::cgra

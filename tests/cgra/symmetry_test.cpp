@@ -1,0 +1,108 @@
+/** @file Unit tests for fabric symmetry analysis (data augmentation). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cgra/symmetry.hpp"
+
+namespace mapzero::cgra {
+namespace {
+
+TEST(Symmetry, IdentityIsAlwaysValidAndFirst)
+{
+    for (const Architecture &a : Architecture::table1Presets()) {
+        const auto syms = gridSymmetries(a);
+        ASSERT_FALSE(syms.empty()) << a.name();
+        for (PeId p = 0; p < a.peCount(); ++p)
+            EXPECT_EQ(syms.front()[static_cast<std::size_t>(p)], p);
+    }
+}
+
+TEST(Symmetry, AllReturnedAreAutomorphisms)
+{
+    for (const Architecture &a : Architecture::table1Presets()) {
+        for (const auto &perm : gridSymmetries(a))
+            EXPECT_TRUE(isAutomorphism(a, perm)) << a.name();
+    }
+}
+
+TEST(Symmetry, SquareHomogeneousFabricHasDihedralGroup)
+{
+    // 8x8 baseline (mesh+1hop+diag, no torus): full dihedral-4 group.
+    const auto syms = gridSymmetries(Architecture::baseline8());
+    EXPECT_GE(syms.size(), 8u);
+}
+
+TEST(Symmetry, ToroidalFabricHasTranslations)
+{
+    // HReA is 4x4 toroidal: translations add up to 16 shifts.
+    const auto syms = gridSymmetries(Architecture::hrea());
+    EXPECT_GT(syms.size(), 16u);
+}
+
+TEST(Symmetry, RowBusRestrictsGroup)
+{
+    // ADRES: row-shared bus; transforms mixing rows within a column
+    // orientation change (e.g. transpose) must be rejected.
+    const Architecture adres = Architecture::adres();
+    const auto syms = gridSymmetries(adres);
+    for (const auto &perm : syms) {
+        for (std::int32_t r = 0; r < adres.rows(); ++r) {
+            const std::int32_t target = adres.rowOf(
+                perm[static_cast<std::size_t>(adres.peAt(r, 0))]);
+            for (std::int32_t c = 1; c < adres.cols(); ++c)
+                EXPECT_EQ(adres.rowOf(perm[static_cast<std::size_t>(
+                              adres.peAt(r, c))]),
+                          target);
+        }
+    }
+}
+
+TEST(Symmetry, HeterogeneousFabricHasSmallGroup)
+{
+    // Capability differences kill most transforms.
+    const Architecture h = Architecture::heterogeneous();
+    const auto syms = gridSymmetries(h);
+    EXPECT_GE(syms.size(), 1u);
+    EXPECT_LE(syms.size(), 4u);
+    for (const auto &perm : syms)
+        EXPECT_TRUE(isAutomorphism(h, perm));
+}
+
+TEST(Symmetry, NonAutomorphismRejected)
+{
+    const Architecture a = Architecture::baseline8();
+    // Swapping two arbitrary PEs is not an automorphism of a mesh.
+    PePermutation perm(static_cast<std::size_t>(a.peCount()));
+    for (PeId p = 0; p < a.peCount(); ++p)
+        perm[static_cast<std::size_t>(p)] = p;
+    std::swap(perm[0], perm[27]);
+    EXPECT_FALSE(isAutomorphism(a, perm));
+}
+
+TEST(Symmetry, NonBijectionRejected)
+{
+    const Architecture a = Architecture::hrea();
+    PePermutation perm(static_cast<std::size_t>(a.peCount()), 0);
+    EXPECT_FALSE(isAutomorphism(a, perm));
+}
+
+TEST(Symmetry, ComposeWorks)
+{
+    const Architecture a = Architecture::baseline8();
+    const auto syms = gridSymmetries(a);
+    ASSERT_GE(syms.size(), 2u);
+    const auto composed = compose(syms[1], syms[1]);
+    EXPECT_TRUE(isAutomorphism(a, composed));
+}
+
+TEST(Symmetry, NoDuplicatesReturned)
+{
+    const auto syms = gridSymmetries(Architecture::hrea());
+    std::set<PePermutation> unique(syms.begin(), syms.end());
+    EXPECT_EQ(unique.size(), syms.size());
+}
+
+} // namespace
+} // namespace mapzero::cgra

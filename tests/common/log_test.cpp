@@ -1,0 +1,47 @@
+/** @file Unit tests for logging helpers. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(Log, CatFormatsMixedTypes)
+{
+    EXPECT_EQ(cat("x=", 3, " y=", 4.5), "x=3 y=4.5");
+    EXPECT_EQ(cat(), "");
+}
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+TEST(Log, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Log, MessagesBelowThresholdAreDropped)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Off);
+    // Must not crash or emit; nothing observable to assert beyond no-throw.
+    EXPECT_NO_THROW(inform("hidden"));
+    EXPECT_NO_THROW(warn("hidden"));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace mapzero

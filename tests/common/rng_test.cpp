@@ -1,0 +1,130 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(10u), 10u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(8u));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniformReal();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NormalHasApproximateMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(19);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, WeightedIndexFavorsHeavyWeights)
+{
+    Rng rng(23);
+    const std::vector<double> w{0.1, 0.1, 9.8};
+    int third = 0;
+    for (int i = 0; i < 2000; ++i)
+        third += rng.weightedIndex(w) == 2 ? 1 : 0;
+    EXPECT_GT(third, 1800);
+}
+
+TEST(Rng, WeightedIndexNeverPicksZeroWeight)
+{
+    Rng rng(29);
+    const std::vector<double> w{0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.weightedIndex(w), 1u);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,85 @@
+/** @file Unit tests for statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({4.0, 4.0, 4.0}), 0.0);
+}
+
+TEST(Stats, StddevSample)
+{
+    // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.01);
+}
+
+TEST(Stats, GeoMeanBasic)
+{
+    EXPECT_NEAR(geoMean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-9);
+}
+
+TEST(Stats, GeoMeanSingleValue)
+{
+    EXPECT_NEAR(geoMean({42.0}), 42.0, 1e-9);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> v{3.0, -1.0, 7.5};
+    EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 7.5);
+}
+
+TEST(Stats, EmaSmoothAlphaOneIsIdentity)
+{
+    const std::vector<double> v{1.0, 5.0, 2.0};
+    EXPECT_EQ(emaSmooth(v, 1.0), v);
+}
+
+TEST(Stats, EmaSmoothDampens)
+{
+    const auto out = emaSmooth({0.0, 10.0}, 0.5);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(Stats, RunningStatAccumulates)
+{
+    RunningStat rs;
+    rs.add(1.0);
+    rs.add(3.0);
+    rs.add(2.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 6.0);
+}
+
+TEST(Stats, RunningStatEmpty)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+} // namespace
+} // namespace mapzero

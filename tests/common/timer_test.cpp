@@ -1,0 +1,57 @@
+/** @file Unit tests for Timer and Deadline. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(Timer, MonotonicallyIncreases)
+{
+    Timer t;
+    const double a = t.seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double b = t.seconds();
+    EXPECT_GE(b, a);
+    EXPECT_GT(b, 0.0);
+}
+
+TEST(Timer, ResetRestarts)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    t.reset();
+    EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(Deadline, UnlimitedNeverExpires)
+{
+    Deadline d(0.0);
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, ExpiresAfterBudget)
+{
+    Deadline d(0.005);
+    EXPECT_FALSE(d.expired());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(d.expired());
+    EXPECT_DOUBLE_EQ(d.remaining(), 0.0);
+}
+
+TEST(Deadline, RemainingDecreases)
+{
+    Deadline d(10.0);
+    const double r1 = d.remaining();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_LT(d.remaining(), r1);
+    EXPECT_DOUBLE_EQ(d.budget(), 10.0);
+}
+
+} // namespace
+} // namespace mapzero

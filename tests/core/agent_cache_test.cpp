@@ -1,0 +1,102 @@
+/** @file Unit tests for the pretrained-agent caches. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/agent_cache.hpp"
+
+namespace mapzero {
+namespace {
+
+PretrainBudget
+tinyBudget()
+{
+    PretrainBudget b;
+    b.episodes = 1;
+    b.seconds = 3.0;
+    b.maxNodes = 5;
+    b.mctsExpansions = 2;
+    return b;
+}
+
+struct EnvGuard {
+    ~EnvGuard()
+    {
+        unsetenv("MAPZERO_AGENT_CACHE_DIR");
+        clearAgentCache();
+    }
+};
+
+TEST(AgentDiskCache, WritesAndReloadsCheckpoint)
+{
+    EnvGuard guard;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "mapzero_agent_cache_test";
+    std::filesystem::remove_all(dir);
+    setenv("MAPZERO_AGENT_CACHE_DIR", dir.c_str(), 1);
+
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const auto first = pretrainedNetwork(arch, tinyBudget());
+    ASSERT_NE(first, nullptr);
+
+    // A checkpoint must exist on disk now.
+    bool found = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        found = found ||
+                entry.path().extension() == ".ckpt";
+    }
+    EXPECT_TRUE(found);
+
+    // New process simulated by clearing the in-memory cache: the net
+    // must come back from disk with identical weights.
+    clearAgentCache();
+    const auto second = pretrainedNetwork(arch, tinyBudget());
+    ASSERT_NE(second, nullptr);
+    EXPECT_NE(first.get(), second.get());
+    const auto a = first->namedParameters();
+    const auto b = second->namedParameters();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < a[i].second.tensor().size(); ++j)
+            ASSERT_FLOAT_EQ(a[i].second.tensor()[j],
+                            b[i].second.tensor()[j]);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AgentDiskCache, CorruptCheckpointFallsBackToTraining)
+{
+    EnvGuard guard;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "mapzero_agent_cache_corrupt";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    setenv("MAPZERO_AGENT_CACHE_DIR", dir.c_str(), 1);
+
+    // Plant garbage where the checkpoint would live.
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    {
+        std::ofstream os(dir / "HReA_4x4.ckpt", std::ios::binary);
+        os << "garbage";
+    }
+    clearAgentCache();
+    EXPECT_NO_THROW(pretrainedNetwork(arch, tinyBudget()));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AgentDiskCache, DisabledByDefault)
+{
+    EnvGuard guard;
+    unsetenv("MAPZERO_AGENT_CACHE_DIR");
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    EXPECT_NO_THROW(pretrainedNetwork(arch, tinyBudget()));
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,184 @@
+/** @file Unit tests for configuration-bitstream generation. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/exact_mapper.hpp"
+#include "core/bitstream.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "mapper/router.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Compile a kernel with the exact mapper into a MappingState. */
+struct Compiled {
+    dfg::Dfg dfg;
+    cgra::Architecture arch;
+    std::unique_ptr<cgra::Mrrg> mrrg;
+    std::unique_ptr<mapper::MappingState> state;
+
+    Compiled(const std::string &kernel, cgra::Architecture a)
+        : dfg(dfg::buildKernel(kernel)), arch(std::move(a))
+    {
+        const std::int32_t mii = dfg::minimumIi(
+            dfg, arch.peCount(), arch.memoryIssueCapacity());
+        baselines::ExactMapper exact;
+        const auto r = exact.map(dfg, arch, mii, Deadline(60.0));
+        EXPECT_TRUE(r.success) << kernel;
+        auto schedule = dfg::moduloSchedule(dfg, mii,
+                                            arch.memoryIssueCapacity());
+        mrrg = std::make_unique<cgra::Mrrg>(arch, mii);
+        state = std::make_unique<mapper::MappingState>(dfg, *mrrg,
+                                                       *schedule);
+        EXPECT_TRUE(mapper::Router::replayMapping(*state,
+                                                  r.placements));
+    }
+};
+
+TEST(Bitstream, EveryNodeHasAWord)
+{
+    Compiled c("mac", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    EXPECT_EQ(bs.peCount, 16);
+    std::int32_t issued = 0;
+    for (cgra::PeId pe = 0; pe < bs.peCount; ++pe)
+        for (std::int32_t s = 0; s < bs.ii; ++s)
+            issued += bs.word(pe, s).node >= 0 ? 1 : 0;
+    EXPECT_EQ(issued, c.dfg.nodeCount());
+}
+
+TEST(Bitstream, OperandCountsMatchInEdges)
+{
+    Compiled c("sum", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    for (cgra::PeId pe = 0; pe < bs.peCount; ++pe) {
+        for (std::int32_t s = 0; s < bs.ii; ++s) {
+            const PeConfigWord &w = bs.word(pe, s);
+            if (w.node < 0)
+                continue;
+            EXPECT_EQ(static_cast<std::int32_t>(w.operands.size()),
+                      c.dfg.inDegree(w.node));
+        }
+    }
+}
+
+TEST(Bitstream, ConstOperandsAreImmediates)
+{
+    Compiled c("mac", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    // Every mul in mac consumes one const coefficient.
+    bool saw_immediate = false;
+    for (cgra::PeId pe = 0; pe < bs.peCount; ++pe) {
+        for (std::int32_t s = 0; s < bs.ii; ++s) {
+            const PeConfigWord &w = bs.word(pe, s);
+            if (w.node < 0 || w.opcode != dfg::Opcode::Mul)
+                continue;
+            for (const auto &op : w.operands) {
+                if (op.kind == SourceKind::Constant) {
+                    saw_immediate = true;
+                    EXPECT_NE(op.immediate, 0);
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(saw_immediate);
+}
+
+TEST(Bitstream, LinkSourcesReferenceRealLinks)
+{
+    Compiled c("conv2", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    const auto n_links =
+        static_cast<std::int32_t>(c.arch.linkList().size());
+    for (cgra::PeId pe = 0; pe < bs.peCount; ++pe) {
+        for (std::int32_t s = 0; s < bs.ii; ++s) {
+            const PeConfigWord &w = bs.word(pe, s);
+            for (const auto &op : w.operands) {
+                if (op.kind == SourceKind::Link) {
+                    ASSERT_GE(op.link, 0);
+                    ASSERT_LT(op.link, n_links);
+                    // The link must end at this PE.
+                    EXPECT_EQ(c.mrrg->link(op.link).second, pe);
+                }
+            }
+        }
+    }
+}
+
+TEST(Bitstream, SelfRecurrenceUsesOwnOrRouteReg)
+{
+    // The accumulator node reads its previous value from its own PE.
+    Compiled c("sum", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    dfg::NodeId acc = -1;
+    for (dfg::NodeId v = 0; v < c.dfg.nodeCount(); ++v)
+        if (c.dfg.hasSelfCycle(v))
+            acc = v;
+    ASSERT_GE(acc, 0);
+    const auto &p = c.state->placement(acc);
+    const PeConfigWord &w =
+        bs.word(p.pe, c.mrrg->slotOf(p.time));
+    bool has_local_source = false;
+    for (const auto &op : w.operands)
+        has_local_source = has_local_source ||
+                           op.kind == SourceKind::OwnResult ||
+                           op.kind == SourceKind::RouteReg;
+    EXPECT_TRUE(has_local_source);
+}
+
+TEST(Bitstream, TextListsActiveSlots)
+{
+    Compiled c("mac", cgra::Architecture::hrea());
+    const Bitstream bs = generateBitstream(*c.state);
+    const std::string text = bitstreamToText(bs);
+    EXPECT_NE(text.find("II="), std::string::npos);
+    EXPECT_NE(text.find("mul"), std::string::npos);
+    EXPECT_NE(text.find("store"), std::string::npos);
+    EXPECT_NE(text.find("imm("), std::string::npos);
+}
+
+TEST(Bitstream, BinaryRoundTrip)
+{
+    Compiled c("conv2", cgra::Architecture::hycube());
+    const Bitstream bs = generateBitstream(*c.state);
+    std::stringstream buffer;
+    writeBitstream(bs, buffer);
+    const Bitstream back = readBitstream(buffer);
+    EXPECT_TRUE(bs == back);
+}
+
+TEST(Bitstream, GarbageBinaryIsFatal)
+{
+    std::stringstream buffer("not a bitstream at all, sorry");
+    EXPECT_THROW(readBitstream(buffer), std::runtime_error);
+}
+
+TEST(Bitstream, IncompleteMappingIsFatal)
+{
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Load);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg(arch, 1);
+    mapper::MappingState state(d, mrrg, *dfg::moduloSchedule(d, 1));
+    EXPECT_THROW(generateBitstream(state), std::runtime_error);
+}
+
+TEST(Bitstream, HycubePassThroughsPresent)
+{
+    // A HyCube mapping with multi-hop routes must configure crossbar
+    // pass-throughs somewhere.
+    Compiled c("matmul", cgra::Architecture::hycube());
+    const Bitstream bs = generateBitstream(*c.state);
+    std::size_t pass = 0;
+    for (cgra::PeId pe = 0; pe < bs.peCount; ++pe)
+        for (std::int32_t s = 0; s < bs.ii; ++s)
+            pass += bs.word(pe, s).passThrough.size();
+    EXPECT_GT(pass, 0u);
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,114 @@
+/** @file Unit tests for the Compiler facade. */
+
+#include <gtest/gtest.h>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero {
+namespace {
+
+PretrainBudget
+tinyBudget()
+{
+    PretrainBudget b;
+    b.episodes = 2;
+    b.seconds = 5.0;
+    b.maxNodes = 6;
+    b.mctsExpansions = 4;
+    return b;
+}
+
+TEST(Compiler, MiiMatchesScheduleAnalysis)
+{
+    const dfg::Dfg d = dfg::buildKernel("arf");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    // arf has 54 nodes on 16 PEs: ResMII = ceil(54/16) = 4.
+    EXPECT_EQ(Compiler::minimumIi(d, arch), 4);
+}
+
+TEST(Compiler, IlpCompilesSumAtMii)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 30.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Ilp, opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.ii, r.mii);
+    EXPECT_DOUBLE_EQ(r.iiRatio(), 1.0);
+}
+
+TEST(Compiler, FailureHasZeroIiRatio)
+{
+    // Paper Fig. 8 convention: II of failed mapping is 0.
+    CompileResult r;
+    r.mii = 3;
+    r.success = false;
+    EXPECT_DOUBLE_EQ(r.iiRatio(), 0.0);
+}
+
+TEST(Compiler, IiSweepIncreasesOnFailure)
+{
+    // A recurrence-limited DFG where MII from resources is lower than
+    // what the coupled routing permits: sweep must still terminate.
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch("mesh4", 4, 4,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 30.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Ilp, opts);
+    if (r.success) {
+        EXPECT_GE(r.ii, r.mii);
+    }
+}
+
+TEST(Compiler, MapZeroWithoutNetworkIsFatal)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    EXPECT_THROW(compiler.compile(d, arch, Method::MapZero),
+                 std::runtime_error);
+}
+
+TEST(Compiler, MapZeroCompilesWithCachedAgent)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    compiler.setNetwork(pretrainedNetwork(arch, tinyBudget()));
+    CompileOptions opts;
+    opts.timeLimitSeconds = 30.0;
+    const CompileResult r =
+        compiler.compile(d, arch, Method::MapZero, opts);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.method, "MapZero");
+}
+
+TEST(Compiler, AllMethodsHaveNames)
+{
+    EXPECT_STREQ(methodName(Method::MapZero), "MapZero");
+    EXPECT_STREQ(methodName(Method::MapZeroNoMcts), "MapZero(noMCTS)");
+    EXPECT_STREQ(methodName(Method::Ilp), "ILP(B&B)");
+    EXPECT_STREQ(methodName(Method::Sa), "SA");
+    EXPECT_STREQ(methodName(Method::Lisa), "LISA");
+}
+
+TEST(AgentCache, MemoizesPerArchitecture)
+{
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const auto a = pretrainedNetwork(arch, tinyBudget());
+    const auto b = pretrainedNetwork(arch, tinyBudget());
+    EXPECT_EQ(a.get(), b.get());
+    clearAgentCache();
+    const auto c = pretrainedNetwork(arch, tinyBudget());
+    EXPECT_NE(a.get(), c.get());
+}
+
+} // namespace
+} // namespace mapzero

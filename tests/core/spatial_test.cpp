@@ -1,0 +1,97 @@
+/** @file Unit tests for spatial (one-shot, makespan) mapping (§4.8). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_mapper.hpp"
+#include "core/spatial.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(Spatial, StripLoopCarriedDropsBackEdges)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    const dfg::Dfg stripped = stripLoopCarried(d);
+    EXPECT_EQ(stripped.nodeCount(), d.nodeCount());
+    EXPECT_LT(stripped.edgeCount(), d.edgeCount());
+    for (const auto &e : stripped.edges())
+        EXPECT_EQ(e.distance, 0);
+}
+
+TEST(Spatial, CriticalPathOfChain)
+{
+    dfg::Dfg d;
+    for (int i = 0; i < 5; ++i)
+        d.addNode(dfg::Opcode::Add);
+    for (int i = 0; i + 1 < 5; ++i)
+        d.addEdge(i, i + 1);
+    EXPECT_EQ(criticalPathLength(d), 5);
+}
+
+TEST(Spatial, CriticalPathOfParallelNodes)
+{
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Add);
+    EXPECT_EQ(criticalPathLength(d), 1);
+}
+
+TEST(Spatial, MapsTinyKernelAtCriticalPath)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    baselines::ExactMapper engine;
+    const SpatialResult r = spatialMap(engine, d, arch);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(r.makespan, r.criticalPath);
+    EXPECT_LE(r.makespan,
+              r.criticalPath + 9); // horizon slide + sweep slack
+    EXPECT_EQ(r.placements.size(),
+              static_cast<std::size_t>(d.nodeCount()));
+}
+
+TEST(Spatial, MakespanNeverBelowNodePressureBound)
+{
+    // 20 nodes on a 2x2 fabric need at least ceil(20/4) = 5 cycles.
+    dfg::Dfg d;
+    for (int i = 0; i < 20; ++i)
+        d.addNode(dfg::Opcode::Add);
+    for (int i = 0; i < 19; ++i)
+        d.addEdge(i / 2, i + 1);
+    cgra::Architecture arch("tiny", 2, 2,
+                            cgra::linkMask({cgra::Interconnect::Mesh,
+                                            cgra::Interconnect::Toroidal}));
+    baselines::ExactMapper engine;
+    const SpatialResult r = spatialMap(engine, d, arch);
+    if (r.success) {
+        EXPECT_GE(r.makespan, 5);
+    }
+}
+
+TEST(Spatial, AccumulatorKernelMapsOneShot)
+{
+    // mac has a loop-carried self edge; one-shot mapping must ignore it
+    // and still succeed.
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    baselines::ExactMapper engine;
+    const SpatialResult r = spatialMap(engine, d, arch);
+    EXPECT_TRUE(r.success);
+}
+
+TEST(Spatial, RespectsTimeLimit)
+{
+    const dfg::Dfg d = dfg::buildKernel("arf");
+    cgra::Architecture arch("mesh3", 3, 3,
+                            cgra::linkMask({cgra::Interconnect::Mesh}));
+    baselines::ExactMapper engine;
+    SpatialOptions options;
+    options.timeLimitSeconds = 0.3;
+    Timer t;
+    spatialMap(engine, d, arch, options);
+    EXPECT_LT(t.seconds(), 3.0);
+}
+
+} // namespace
+} // namespace mapzero

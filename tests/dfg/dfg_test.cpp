@@ -1,0 +1,156 @@
+/** @file Unit tests for the DFG IR. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/dfg.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+Dfg
+diamond()
+{
+    // a -> b, a -> c, b -> d, c -> d
+    Dfg d;
+    d.setName("diamond");
+    const NodeId a = d.addNode(Opcode::Load, "a");
+    const NodeId b = d.addNode(Opcode::Add, "b");
+    const NodeId c = d.addNode(Opcode::Mul, "c");
+    const NodeId e = d.addNode(Opcode::Store, "d");
+    d.addEdge(a, b);
+    d.addEdge(a, c);
+    d.addEdge(b, e);
+    d.addEdge(c, e);
+    return d;
+}
+
+TEST(Dfg, CountsAndAccess)
+{
+    const Dfg d = diamond();
+    EXPECT_EQ(d.nodeCount(), 4);
+    EXPECT_EQ(d.edgeCount(), 4);
+    EXPECT_EQ(d.node(0).opcode, Opcode::Load);
+    EXPECT_EQ(d.node(0).name, "a");
+}
+
+TEST(Dfg, Degrees)
+{
+    const Dfg d = diamond();
+    EXPECT_EQ(d.outDegree(0), 2);
+    EXPECT_EQ(d.inDegree(0), 0);
+    EXPECT_EQ(d.inDegree(3), 2);
+}
+
+TEST(Dfg, PredecessorsAndSuccessors)
+{
+    const Dfg d = diamond();
+    const auto preds = d.predecessors(3);
+    EXPECT_EQ(preds.size(), 2u);
+    const auto succs = d.successors(0);
+    EXPECT_EQ(succs.size(), 2u);
+}
+
+TEST(Dfg, SelfCycleDetection)
+{
+    Dfg d;
+    const NodeId acc = d.addNode(Opcode::Add);
+    d.addNode(Opcode::Store);
+    d.addEdge(acc, acc, 1);
+    EXPECT_TRUE(d.hasSelfCycle(0));
+    EXPECT_FALSE(d.hasSelfCycle(1));
+}
+
+TEST(Dfg, DistanceZeroSelfEdgePanics)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    EXPECT_THROW(d.addEdge(a, a, 0), std::logic_error);
+}
+
+TEST(Dfg, OutOfRangeEdgePanics)
+{
+    Dfg d;
+    d.addNode(Opcode::Add);
+    EXPECT_THROW(d.addEdge(0, 5), std::logic_error);
+}
+
+TEST(Dfg, NegativeDistancePanics)
+{
+    Dfg d;
+    d.addNode(Opcode::Add);
+    d.addNode(Opcode::Add);
+    EXPECT_THROW(d.addEdge(0, 1, -1), std::logic_error);
+}
+
+TEST(Dfg, MemoryOpCount)
+{
+    const Dfg d = diamond();
+    EXPECT_EQ(d.memoryOpCount(), 2); // one load + one store
+}
+
+TEST(Dfg, AcyclicCheckAcceptsDag)
+{
+    EXPECT_TRUE(diamond().isDistanceZeroAcyclic());
+}
+
+TEST(Dfg, AcyclicCheckIgnoresLoopCarriedEdges)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    const NodeId b = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, a, 1); // back edge with distance, fine
+    EXPECT_TRUE(d.isDistanceZeroAcyclic());
+    EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dfg, AcyclicCheckRejectsCombinationalCycle)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    const NodeId b = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, a); // distance-0 cycle
+    EXPECT_FALSE(d.isDistanceZeroAcyclic());
+    EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dfg, MultigraphEdgesAllowed)
+{
+    // Two operands from the same producer (e.g. x * x).
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Load);
+    const NodeId b = d.addNode(Opcode::Mul);
+    d.addEdge(a, b);
+    d.addEdge(a, b);
+    EXPECT_EQ(d.edgeCount(), 2);
+    EXPECT_EQ(d.inDegree(b), 2);
+    // Distinct predecessors deduplicates.
+    EXPECT_EQ(d.predecessors(b).size(), 1u);
+}
+
+TEST(Opcode, ClassificationCoversAll)
+{
+    EXPECT_EQ(opClass(Opcode::Load), OpClass::Memory);
+    EXPECT_EQ(opClass(Opcode::Store), OpClass::Memory);
+    EXPECT_EQ(opClass(Opcode::And), OpClass::Logic);
+    EXPECT_EQ(opClass(Opcode::Cmp), OpClass::Logic);
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::Arithmetic);
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::Arithmetic);
+}
+
+TEST(Opcode, NameRoundTrip)
+{
+    for (std::int32_t i = 0; i < kOpcodeCount; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(parseOpcode(opcodeName(op)), op);
+    }
+}
+
+TEST(Opcode, UnknownNameIsFatal)
+{
+    EXPECT_THROW(parseOpcode("frobnicate"), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::dfg

@@ -1,0 +1,101 @@
+/** @file Unit tests for DOT import/export. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+TEST(Dot, ExportContainsNodesAndEdges)
+{
+    Dfg d;
+    d.setName("tiny");
+    const NodeId a = d.addNode(Opcode::Load, "in");
+    const NodeId b = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    const std::string text = toDot(d);
+    EXPECT_NE(text.find("digraph \"tiny\""), std::string::npos);
+    EXPECT_NE(text.find("n0 [opcode=load label=\"in\"]"),
+              std::string::npos);
+    EXPECT_NE(text.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, RoundTripPreservesStructure)
+{
+    Dfg d;
+    d.setName("rt");
+    const NodeId a = d.addNode(Opcode::Load, "x");
+    const NodeId b = d.addNode(Opcode::Mul);
+    const NodeId c = d.addNode(Opcode::Add, "acc");
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, c, 1);
+
+    const Dfg back = fromDot(toDot(d));
+    EXPECT_EQ(back.name(), "rt");
+    ASSERT_EQ(back.nodeCount(), d.nodeCount());
+    ASSERT_EQ(back.edgeCount(), d.edgeCount());
+    for (std::int32_t i = 0; i < d.nodeCount(); ++i) {
+        EXPECT_EQ(back.node(i).opcode, d.node(i).opcode);
+        EXPECT_EQ(back.node(i).name, d.node(i).name);
+    }
+    for (std::int32_t i = 0; i < d.edgeCount(); ++i) {
+        EXPECT_EQ(back.edges()[static_cast<std::size_t>(i)].src,
+                  d.edges()[static_cast<std::size_t>(i)].src);
+        EXPECT_EQ(back.edges()[static_cast<std::size_t>(i)].dst,
+                  d.edges()[static_cast<std::size_t>(i)].dst);
+        EXPECT_EQ(back.edges()[static_cast<std::size_t>(i)].distance,
+                  d.edges()[static_cast<std::size_t>(i)].distance);
+    }
+}
+
+TEST(Dot, RoundTripEveryBenchmarkKernel)
+{
+    for (const auto &info : kernelTable()) {
+        const Dfg d = buildKernel(info.name);
+        const Dfg back = fromDot(toDot(d));
+        ASSERT_EQ(back.nodeCount(), d.nodeCount()) << info.name;
+        ASSERT_EQ(back.edgeCount(), d.edgeCount()) << info.name;
+        for (std::int32_t v = 0; v < d.nodeCount(); ++v)
+            ASSERT_EQ(back.node(v).opcode, d.node(v).opcode)
+                << info.name << " node " << v;
+        for (std::int32_t ei = 0; ei < d.edgeCount(); ++ei) {
+            const auto &a = d.edges()[static_cast<std::size_t>(ei)];
+            const auto &b = back.edges()[static_cast<std::size_t>(ei)];
+            ASSERT_EQ(a.src, b.src) << info.name;
+            ASSERT_EQ(a.dst, b.dst) << info.name;
+            ASSERT_EQ(a.distance, b.distance) << info.name;
+        }
+    }
+}
+
+TEST(Dot, MissingHeaderIsFatal)
+{
+    EXPECT_THROW(fromDot("n0 [opcode=add];"), std::runtime_error);
+}
+
+TEST(Dot, NonContiguousIdsAreFatal)
+{
+    const std::string text = "digraph \"x\" {\n  n0 [opcode=add];\n"
+                             "  n5 [opcode=add];\n}\n";
+    EXPECT_THROW(fromDot(text), std::runtime_error);
+}
+
+TEST(Dot, HandWrittenDialect)
+{
+    const std::string text =
+        "digraph \"hand\" {\n"
+        "  n0 [opcode=load];\n"
+        "  n1 [opcode=store];\n"
+        "  n0 -> n1;\n"
+        "}\n";
+    const Dfg d = fromDot(text);
+    EXPECT_EQ(d.nodeCount(), 2);
+    EXPECT_EQ(d.edgeCount(), 1);
+    EXPECT_EQ(d.node(1).opcode, Opcode::Store);
+}
+
+} // namespace
+} // namespace mapzero::dfg

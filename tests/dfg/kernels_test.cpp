@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests that the benchmark-kernel generators reproduce Table 2 exactly
+ * and emit structurally sound DFGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+class KernelTableTest : public ::testing::TestWithParam<KernelInfo> {};
+
+TEST_P(KernelTableTest, ExactVertexAndEdgeCounts)
+{
+    const KernelInfo &info = GetParam();
+    const Dfg d = buildKernel(info.name);
+    EXPECT_EQ(d.nodeCount(), info.vertices)
+        << info.name << " vertex count differs from Table 2";
+    EXPECT_EQ(d.edgeCount(), info.edges)
+        << info.name << " edge count differs from Table 2";
+}
+
+TEST_P(KernelTableTest, Validates)
+{
+    const Dfg d = buildKernel(GetParam().name);
+    EXPECT_NO_THROW(d.validate());
+}
+
+TEST_P(KernelTableTest, Schedulable)
+{
+    const Dfg d = buildKernel(GetParam().name);
+    // Every kernel must admit a modulo schedule at its RecMII.
+    const std::int32_t rec = recMii(d);
+    EXPECT_TRUE(moduloSchedule(d, rec).has_value());
+}
+
+TEST_P(KernelTableTest, NameMatches)
+{
+    EXPECT_EQ(buildKernel(GetParam().name).name(), GetParam().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, KernelTableTest, ::testing::ValuesIn(kernelTable()),
+    [](const ::testing::TestParamInfo<KernelInfo> &info) {
+        return info.param.name;
+    });
+
+TEST(Kernels, TableHas18Entries)
+{
+    EXPECT_EQ(kernelTable().size(), 18u);
+}
+
+TEST(Kernels, CoreAndUnrolledPartition)
+{
+    const auto core = coreKernelNames();
+    const auto unrolled = unrolledKernelNames();
+    EXPECT_EQ(core.size() + unrolled.size(), kernelTable().size());
+    EXPECT_EQ(unrolled.size(), 5u); // filter_u huf_u jpegdct_u sort_u stencil_u
+    std::set<std::string> all(core.begin(), core.end());
+    all.insert(unrolled.begin(), unrolled.end());
+    EXPECT_EQ(all.size(), kernelTable().size());
+}
+
+TEST(Kernels, UnknownNameIsFatal)
+{
+    EXPECT_THROW(buildKernel("bogus"), std::runtime_error);
+}
+
+TEST(Kernels, AccumulatorsCarryLoopDependency)
+{
+    // The MAC-family kernels accumulate across iterations, which must
+    // appear as a distance-1 self edge.
+    for (const char *name : {"mac", "sum", "accumulate", "matmul"}) {
+        const Dfg d = buildKernel(name);
+        bool has_self = false;
+        for (NodeId v = 0; v < d.nodeCount(); ++v)
+            has_self = has_self || d.hasSelfCycle(v);
+        EXPECT_TRUE(has_self) << name;
+    }
+}
+
+TEST(Kernels, UnrolledKernelsHaveNoAccumulator)
+{
+    for (const auto &name : unrolledKernelNames()) {
+        const Dfg d = buildKernel(name);
+        for (NodeId v = 0; v < d.nodeCount(); ++v)
+            EXPECT_FALSE(d.hasSelfCycle(v)) << name << " node " << v;
+    }
+}
+
+TEST(Kernels, MemoryOpsPresentInEveryKernel)
+{
+    for (const auto &info : kernelTable())
+        EXPECT_GT(buildKernel(info.name).memoryOpCount(), 0)
+            << info.name;
+}
+
+TEST(Kernels, DeterministicConstruction)
+{
+    const Dfg a = buildKernel("arf");
+    const Dfg b = buildKernel("arf");
+    ASSERT_EQ(a.nodeCount(), b.nodeCount());
+    ASSERT_EQ(a.edgeCount(), b.edgeCount());
+    for (std::int32_t i = 0; i < a.edgeCount(); ++i) {
+        EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].src,
+                  b.edges()[static_cast<std::size_t>(i)].src);
+        EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].dst,
+                  b.edges()[static_cast<std::size_t>(i)].dst);
+    }
+}
+
+} // namespace
+} // namespace mapzero::dfg

@@ -1,0 +1,127 @@
+/** @file Unit tests for the random-DFG curriculum generator. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/random_gen.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+TEST(RandomDfg, NodeCountMatchesParams)
+{
+    Rng rng(1);
+    RandomDfgParams p;
+    p.nodes = 12;
+    const Dfg d = randomDfg(p, rng);
+    EXPECT_EQ(d.nodeCount(), 12);
+}
+
+TEST(RandomDfg, AlwaysValid)
+{
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        RandomDfgParams p;
+        p.nodes = 3 + static_cast<std::int32_t>(rng.uniformInt(28u));
+        EXPECT_NO_THROW(randomDfg(p, rng).validate());
+    }
+}
+
+TEST(RandomDfg, ConnectedBackbone)
+{
+    Rng rng(3);
+    RandomDfgParams p;
+    p.nodes = 20;
+    const Dfg d = randomDfg(p, rng);
+    // Every node except node 0 has at least one in-edge.
+    for (NodeId v = 1; v < d.nodeCount(); ++v)
+        EXPECT_GE(d.inDegree(v), 1) << "node " << v;
+}
+
+TEST(RandomDfg, RespectsMaxInDegree)
+{
+    Rng rng(4);
+    RandomDfgParams p;
+    p.nodes = 30;
+    p.fanout = 3.0;
+    p.maxInDegree = 2;
+    const Dfg d = randomDfg(p, rng);
+    for (NodeId v = 0; v < d.nodeCount(); ++v) {
+        std::int32_t dist0_in = 0;
+        for (std::int32_t ei : d.inEdges(v))
+            if (d.edges()[static_cast<std::size_t>(ei)].distance == 0)
+                ++dist0_in;
+        EXPECT_LE(dist0_in, 2);
+    }
+}
+
+TEST(RandomDfg, SchedulableAtSmallIi)
+{
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        RandomDfgParams p;
+        p.nodes = 10;
+        const Dfg d = randomDfg(p, rng);
+        EXPECT_TRUE(moduloSchedule(d, recMii(d)).has_value());
+    }
+}
+
+TEST(RandomDfg, TooFewNodesIsFatal)
+{
+    Rng rng(6);
+    RandomDfgParams p;
+    p.nodes = 1;
+    EXPECT_THROW(randomDfg(p, rng), std::runtime_error);
+}
+
+TEST(Difficulty, GrowsWithSize)
+{
+    Rng rng(7);
+    RandomDfgParams small;
+    small.nodes = 4;
+    RandomDfgParams large;
+    large.nodes = 28;
+    const double ds = dfgDifficulty(randomDfg(small, rng));
+    const double dl = dfgDifficulty(randomDfg(large, rng));
+    EXPECT_LT(ds, dl);
+}
+
+TEST(Curriculum, SortedEasyToHard)
+{
+    Rng rng(8);
+    const auto tasks = curriculum(20, 3, 30, rng);
+    ASSERT_EQ(tasks.size(), 20u);
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i)
+        EXPECT_LE(dfgDifficulty(tasks[i]), dfgDifficulty(tasks[i + 1]));
+}
+
+TEST(Curriculum, NodeCountsWithinRange)
+{
+    Rng rng(9);
+    const auto tasks = curriculum(30, 3, 30, rng);
+    for (const auto &t : tasks) {
+        EXPECT_GE(t.nodeCount(), 3);
+        EXPECT_LE(t.nodeCount(), 30);
+    }
+}
+
+TEST(Curriculum, InvalidRangeIsFatal)
+{
+    Rng rng(10);
+    EXPECT_THROW(curriculum(5, 10, 3, rng), std::runtime_error);
+}
+
+TEST(Curriculum, DeterministicForSeed)
+{
+    Rng a(11), b(11);
+    const auto ta = curriculum(5, 3, 10, a);
+    const auto tb = curriculum(5, 3, 10, b);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].nodeCount(), tb[i].nodeCount());
+        EXPECT_EQ(ta[i].edgeCount(), tb[i].edgeCount());
+    }
+}
+
+} // namespace
+} // namespace mapzero::dfg

@@ -1,0 +1,192 @@
+/** @file Unit tests for scheduling analyses (topo order, MII, modulo). */
+
+#include <gtest/gtest.h>
+
+#include "dfg/schedule.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+Dfg
+chain(std::int32_t n)
+{
+    Dfg d;
+    for (std::int32_t i = 0; i < n; ++i)
+        d.addNode(Opcode::Add);
+    for (std::int32_t i = 0; i + 1 < n; ++i)
+        d.addEdge(i, i + 1);
+    return d;
+}
+
+TEST(Schedule, TopologicalOrderRespectsEdges)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Load);
+    const NodeId b = d.addNode(Opcode::Add);
+    const NodeId c = d.addNode(Opcode::Store);
+    d.addEdge(b, c);
+    d.addEdge(a, b);
+    const auto order = topologicalOrder(d);
+    std::vector<std::int32_t> pos(3);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[static_cast<std::size_t>(order[i])] =
+            static_cast<std::int32_t>(i);
+    EXPECT_LT(pos[static_cast<std::size_t>(a)],
+              pos[static_cast<std::size_t>(b)]);
+    EXPECT_LT(pos[static_cast<std::size_t>(b)],
+              pos[static_cast<std::size_t>(c)]);
+}
+
+TEST(Schedule, TopologicalOrderDeterministic)
+{
+    const Dfg d = chain(6);
+    EXPECT_EQ(topologicalOrder(d), topologicalOrder(d));
+}
+
+TEST(Schedule, ResMiiByPeCount)
+{
+    const Dfg d = chain(10);
+    EXPECT_EQ(resMii(d, 16, 16), 1);
+    EXPECT_EQ(resMii(d, 4, 4), 3);  // ceil(10/4)
+    EXPECT_EQ(resMii(d, 10, 10), 1);
+}
+
+TEST(Schedule, ResMiiByMemoryCapacity)
+{
+    Dfg d;
+    for (int i = 0; i < 4; ++i)
+        d.addNode(Opcode::Load);
+    // 4 memory ops, 16 PEs, but only 2 memory-capable.
+    EXPECT_EQ(resMii(d, 16, 2), 2);
+}
+
+TEST(Schedule, ResMiiNoMemPesForMemOpIsFatal)
+{
+    Dfg d;
+    d.addNode(Opcode::Load);
+    EXPECT_THROW(resMii(d, 16, 0), std::runtime_error);
+}
+
+TEST(Schedule, RecMiiOfDagIsOne)
+{
+    EXPECT_EQ(recMii(chain(5)), 1);
+}
+
+TEST(Schedule, RecMiiOfAccumulatorIsOne)
+{
+    Dfg d;
+    const NodeId acc = d.addNode(Opcode::Add);
+    d.addEdge(acc, acc, 1); // 1 cycle latency / distance 1
+    EXPECT_EQ(recMii(d), 1);
+}
+
+TEST(Schedule, RecMiiOfLongRecurrence)
+{
+    // Cycle of 3 ops with total distance 1: RecMII = 3.
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    const NodeId b = d.addNode(Opcode::Add);
+    const NodeId c = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, a, 1);
+    EXPECT_EQ(recMii(d), 3);
+}
+
+TEST(Schedule, RecMiiWithLargerDistance)
+{
+    // Cycle of 4 ops with distance 2: RecMII = ceil(4/2) = 2.
+    Dfg d;
+    for (int i = 0; i < 4; ++i)
+        d.addNode(Opcode::Add);
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    d.addEdge(2, 3);
+    d.addEdge(3, 0, 2);
+    EXPECT_EQ(recMii(d), 2);
+}
+
+TEST(Schedule, MinimumIiIsMaxOfBoth)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    const NodeId b = d.addNode(Opcode::Add);
+    const NodeId c = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, a, 1); // RecMII = 3
+    EXPECT_EQ(minimumIi(d, 16, 16), 3);
+    EXPECT_EQ(minimumIi(d, 1, 1), 3);  // ResMII = 3 too
+}
+
+TEST(Schedule, ModuloScheduleRespectsDependencies)
+{
+    const Dfg d = chain(5);
+    const auto s = moduloSchedule(d, 2);
+    ASSERT_TRUE(s.has_value());
+    for (const auto &e : d.edges())
+        EXPECT_GE(s->time[static_cast<std::size_t>(e.dst)],
+                  s->time[static_cast<std::size_t>(e.src)] + 1);
+}
+
+TEST(Schedule, ModuloScheduleBelowRecMiiFails)
+{
+    Dfg d;
+    const NodeId a = d.addNode(Opcode::Add);
+    const NodeId b = d.addNode(Opcode::Add);
+    const NodeId c = d.addNode(Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, a, 1); // RecMII = 3
+    EXPECT_FALSE(moduloSchedule(d, 2).has_value());
+    EXPECT_TRUE(moduloSchedule(d, 3).has_value());
+}
+
+TEST(Schedule, ModuloTimesAreConsistent)
+{
+    const Dfg d = chain(7);
+    const auto s = moduloSchedule(d, 3);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->ii, 3);
+    for (std::size_t v = 0; v < s->time.size(); ++v)
+        EXPECT_EQ(s->moduloTime[v], s->time[v] % 3);
+}
+
+TEST(Schedule, OrderIsSortedByTime)
+{
+    const Dfg d = chain(5);
+    const auto s = moduloSchedule(d, 1);
+    ASSERT_TRUE(s.has_value());
+    for (std::size_t i = 0; i + 1 < s->order.size(); ++i)
+        EXPECT_LE(s->time[static_cast<std::size_t>(s->order[i])],
+                  s->time[static_cast<std::size_t>(s->order[i + 1])]);
+}
+
+TEST(Schedule, LengthAndSlotPopulation)
+{
+    const Dfg d = chain(4);
+    const auto s = moduloSchedule(d, 2);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->length(), 4);
+    EXPECT_EQ(s->nodesInModuloSlot(0) + s->nodesInModuloSlot(1), 4);
+}
+
+TEST(Schedule, EarliestNodeStartsAtZero)
+{
+    const Dfg d = chain(4);
+    const auto s = moduloSchedule(d, 1);
+    ASSERT_TRUE(s.has_value());
+    std::int32_t min_t = s->time[0];
+    for (std::int32_t t : s->time)
+        min_t = std::min(min_t, t);
+    EXPECT_EQ(min_t, 0);
+}
+
+TEST(Schedule, InvalidIiIsFatal)
+{
+    const Dfg d = chain(3);
+    EXPECT_THROW(moduloSchedule(d, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::dfg

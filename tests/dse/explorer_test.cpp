@@ -1,0 +1,159 @@
+/** @file Unit tests for the design-space explorer (§4.8). */
+
+#include <gtest/gtest.h>
+
+#include "dfg/kernels.hpp"
+#include "dse/explorer.hpp"
+
+namespace mapzero::dse {
+namespace {
+
+std::vector<dfg::Dfg>
+tinySet()
+{
+    std::vector<dfg::Dfg> kernels;
+    kernels.push_back(dfg::buildKernel("sum"));
+    kernels.push_back(dfg::buildKernel("mac"));
+    return kernels;
+}
+
+DseConfig
+fastConfig()
+{
+    DseConfig cfg;
+    cfg.compileTimeLimit = 1.0;
+    cfg.steps = 4;
+    cfg.restarts = 0;
+    return cfg;
+}
+
+TEST(DesignPoint, BuildMaterializesKnobs)
+{
+    DesignPoint p;
+    p.rows = 3;
+    p.cols = 5;
+    p.oneHop = true;
+    p.memColumns = 2;
+    const cgra::Architecture arch = p.build();
+    EXPECT_EQ(arch.peCount(), 15);
+    EXPECT_TRUE(arch.hasLink(cgra::Interconnect::OneHop));
+    EXPECT_FALSE(arch.hasLink(cgra::Interconnect::Diagonal));
+    EXPECT_EQ(arch.memoryPeCount(), 6); // 2 columns x 3 rows
+    EXPECT_NE(p.describe().find("3x5"), std::string::npos);
+}
+
+TEST(DseExplorer, EvaluateChargesAreaAndPerformance)
+{
+    const auto kernels = tinySet();
+    DseExplorer explorer(kernels, fastConfig());
+
+    DesignPoint small;
+    small.rows = 4;
+    small.cols = 4;
+    small.memColumns = 4;
+    DesignPoint large = small;
+    large.rows = 8;
+    large.cols = 8;
+    large.memColumns = 8;
+
+    const auto eval_small = explorer.evaluate(small);
+    const auto eval_large = explorer.evaluate(large);
+    ASSERT_EQ(eval_small.achievedIi.size(), kernels.size());
+    // Both fabrics map the tiny kernels at the same II, so the bigger
+    // fabric must lose on area.
+    EXPECT_LT(eval_small.cost, eval_large.cost);
+}
+
+TEST(DseExplorer, MemorylessFabricIsPenalized)
+{
+    const auto kernels = tinySet();
+    DseExplorer explorer(kernels, fastConfig());
+    DesignPoint p;
+    p.memColumns = 0; // would violate the clamp in neighbors(), but
+                      // evaluate() must still survive a direct call
+    const auto eval = explorer.evaluate(p);
+    EXPECT_GE(eval.cost, 1e9);
+}
+
+TEST(DseExplorer, NeighborsCoverAllMutationKinds)
+{
+    DseExplorer explorer(tinySet(), fastConfig());
+    DesignPoint p;
+    p.rows = 4;
+    p.cols = 4;
+    p.memColumns = 2;
+    const auto nbrs = explorer.neighbors(p);
+    bool grew = false, shrank = false, link_toggle = false,
+         mem_change = false;
+    for (const auto &n : nbrs) {
+        grew = grew || n.rows > p.rows || n.cols > p.cols;
+        shrank = shrank || n.rows < p.rows || n.cols < p.cols;
+        link_toggle = link_toggle || n.oneHop != p.oneHop ||
+                      n.diagonal != p.diagonal ||
+                      n.toroidal != p.toroidal;
+        mem_change = mem_change || n.memColumns != p.memColumns;
+    }
+    EXPECT_TRUE(grew);
+    EXPECT_TRUE(shrank);
+    EXPECT_TRUE(link_toggle);
+    EXPECT_TRUE(mem_change);
+}
+
+TEST(DseExplorer, NeighborsRespectBounds)
+{
+    DseConfig cfg = fastConfig();
+    cfg.minDim = 2;
+    cfg.maxDim = 4;
+    DseExplorer explorer(tinySet(), cfg);
+    DesignPoint p;
+    p.rows = 4;
+    p.cols = 2;
+    for (const auto &n : explorer.neighbors(p)) {
+        EXPECT_GE(n.rows, 2);
+        EXPECT_LE(n.rows, 4);
+        EXPECT_GE(n.cols, 2);
+        EXPECT_LE(n.cols, 4);
+        EXPECT_GE(n.memColumns, 1);
+        EXPECT_LE(n.memColumns, n.cols);
+    }
+}
+
+TEST(DseExplorer, ExploreNeverReturnsWorseThanStart)
+{
+    const auto kernels = tinySet();
+    DseExplorer explorer(kernels, fastConfig());
+    DesignPoint start;
+    start.rows = 6;
+    start.cols = 6;
+    start.memColumns = 6;
+    const auto start_eval = explorer.evaluate(start);
+    const DseResult result = explorer.explore(start);
+    EXPECT_LE(result.best.cost, start_eval.cost);
+    EXPECT_FALSE(result.trace.empty());
+}
+
+TEST(DseExplorer, ShrinksOversizedFabricForTinyKernels)
+{
+    // With only "sum" and "mac" to run, an 8x8 fabric is wasteful;
+    // exploration should end on something smaller.
+    const auto kernels = tinySet();
+    DseConfig cfg = fastConfig();
+    cfg.steps = 12;
+    cfg.restarts = 1;
+    DseExplorer explorer(kernels, cfg);
+    DesignPoint start;
+    start.rows = 8;
+    start.cols = 8;
+    start.memColumns = 8;
+    const DseResult result = explorer.explore(start);
+    EXPECT_LT(result.best.point.rows * result.best.point.cols, 64);
+}
+
+TEST(DseExplorer, EmptyKernelSetIsFatal)
+{
+    const std::vector<dfg::Dfg> none;
+    EXPECT_THROW(DseExplorer(none, fastConfig()), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::dse

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end integration tests: full compilations through the public
+ * facade with independent validation of the produced mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+#include "mapper/validator.hpp"
+
+namespace mapzero {
+namespace {
+
+/**
+ * Re-derive a full mapping from returned placements and check it with
+ * the independent validator (routes are re-computed by the router, so
+ * this verifies the placements are genuinely routable).
+ */
+void
+expectPlacementsRoutable(const dfg::Dfg &d,
+                         const cgra::Architecture &arch,
+                         const CompileResult &r)
+{
+    ASSERT_TRUE(r.success);
+    cgra::Mrrg mrrg(arch, r.ii);
+    auto schedule = dfg::moduloSchedule(d, r.ii,
+                                        arch.memoryIssueCapacity());
+    ASSERT_TRUE(schedule.has_value());
+    mapper::MappingState state(d, mrrg, *schedule);
+    ASSERT_TRUE(mapper::Router::replayMapping(state, r.placements));
+    const auto validation = mapper::validateMapping(state);
+    EXPECT_TRUE(validation.valid)
+        << (validation.errors.empty() ? "" : validation.errors.front());
+    EXPECT_TRUE(state.complete());
+}
+
+PretrainBudget
+smallBudget()
+{
+    PretrainBudget b;
+    b.episodes = 6;
+    b.seconds = 15.0;
+    b.maxNodes = 8;
+    b.mctsExpansions = 8;
+    return b;
+}
+
+TEST(EndToEnd, IlpSumOnHreaProducesValidMapping)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Ilp, opts);
+    expectPlacementsRoutable(d, arch, r);
+}
+
+TEST(EndToEnd, MapZeroConv2OnHreaProducesValidMapping)
+{
+    const dfg::Dfg d = dfg::buildKernel("conv2");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    compiler.setNetwork(pretrainedNetwork(arch, smallBudget()));
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r =
+        compiler.compile(d, arch, Method::MapZero, opts);
+    expectPlacementsRoutable(d, arch, r);
+}
+
+TEST(EndToEnd, MapZeroMacOnHycubeProducesValidMapping)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hycube();
+    Compiler compiler;
+    compiler.setNetwork(pretrainedNetwork(arch, smallBudget()));
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r =
+        compiler.compile(d, arch, Method::MapZero, opts);
+    expectPlacementsRoutable(d, arch, r);
+}
+
+TEST(EndToEnd, SaSumOnHreaProducesValidMapping)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Sa, opts);
+    expectPlacementsRoutable(d, arch, r);
+}
+
+TEST(EndToEnd, AdresRowBusHonoredInFinalMapping)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::adres();
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Ilp, opts);
+    ASSERT_TRUE(r.success);
+    // No two memory ops of one row share a modulo slot.
+    for (dfg::NodeId v = 0; v < d.nodeCount(); ++v) {
+        if (dfg::opClass(d.node(v).opcode) != dfg::OpClass::Memory)
+            continue;
+        for (dfg::NodeId w = v + 1; w < d.nodeCount(); ++w) {
+            if (dfg::opClass(d.node(w).opcode) != dfg::OpClass::Memory)
+                continue;
+            const auto &pv = r.placements[static_cast<std::size_t>(v)];
+            const auto &pw = r.placements[static_cast<std::size_t>(w)];
+            if (arch.rowOf(pv.pe) == arch.rowOf(pw.pe)) {
+                EXPECT_NE(pv.time % r.ii, pw.time % r.ii)
+                    << "row bus conflict between " << v << " and " << w;
+            }
+        }
+    }
+}
+
+TEST(EndToEnd, HeterogeneousCapabilitiesHonored)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::heterogeneous();
+    Compiler compiler;
+    CompileOptions opts;
+    opts.timeLimitSeconds = 60.0;
+    const CompileResult r = compiler.compile(d, arch, Method::Ilp, opts);
+    ASSERT_TRUE(r.success);
+    for (dfg::NodeId v = 0; v < d.nodeCount(); ++v)
+        EXPECT_TRUE(
+            arch.pe(r.placements[static_cast<std::size_t>(v)].pe)
+                .supports(d.node(v).opcode));
+}
+
+} // namespace
+} // namespace mapzero

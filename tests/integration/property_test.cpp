@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property-based tests: randomized DFGs and placements must uphold the
+ * core invariants (validator agreement, undo exactness, symmetry
+ * preservation) regardless of the concrete instance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgra/symmetry.hpp"
+#include "dfg/random_gen.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "mapper/router.hpp"
+#include "mapper/validator.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Take one uniformly random legal step. */
+void
+randomEpisodeStep(mapper::MapEnv &env, Rng &rng)
+{
+    const auto mask = env.actionMask();
+    std::vector<cgra::PeId> legal;
+    for (cgra::PeId p = 0; p < static_cast<cgra::PeId>(mask.size()); ++p)
+        if (mask[static_cast<std::size_t>(p)])
+            legal.push_back(p);
+    env.step(legal[rng.uniformInt(legal.size())]);
+}
+
+/** Random-walk an environment, returning the action trace. */
+std::vector<cgra::PeId>
+randomEpisode(mapper::MapEnv &env, Rng &rng)
+{
+    std::vector<cgra::PeId> actions;
+    while (!env.done() && env.legalActionCount() > 0) {
+        const auto mask = env.actionMask();
+        std::vector<cgra::PeId> legal;
+        for (cgra::PeId p = 0;
+             p < static_cast<cgra::PeId>(mask.size()); ++p)
+            if (mask[static_cast<std::size_t>(p)])
+                legal.push_back(p);
+        const cgra::PeId pick = legal[rng.uniformInt(legal.size())];
+        env.step(pick);
+        actions.push_back(pick);
+    }
+    return actions;
+}
+
+class PropertySeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeed, PartialMappingsAlwaysValidate)
+{
+    Rng rng(GetParam());
+    dfg::RandomDfgParams params;
+    params.nodes = 4 + static_cast<std::int32_t>(rng.uniformInt(10u));
+    const dfg::Dfg d = dfg::randomDfg(params, rng);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+
+    mapper::EnvConfig cfg;
+    cfg.stopOnRoutingFailure = false; // explore messy states too
+    mapper::MapEnv env(d, arch, mii, cfg);
+    randomEpisode(env, rng);
+    // Whatever happened, the committed state must be self-consistent.
+    const auto result = mapper::validateMapping(env.state());
+    EXPECT_TRUE(result.valid)
+        << (result.errors.empty() ? "" : result.errors.front());
+}
+
+TEST_P(PropertySeed, UndoIsExactInverse)
+{
+    Rng rng(GetParam() + 1000);
+    dfg::RandomDfgParams params;
+    params.nodes = 4 + static_cast<std::int32_t>(rng.uniformInt(8u));
+    const dfg::Dfg d = dfg::randomDfg(params, rng);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+
+    mapper::MapEnv env(d, arch, mii);
+    // Take a few steps, snapshot reward/occupancy, take one more, undo,
+    // and compare.
+    Rng walk(GetParam() + 2000);
+    for (int step = 0; step < 3 && !env.done(); ++step) {
+        if (env.legalActionCount() == 0)
+            break;
+        randomEpisodeStep(env, walk);
+    }
+    if (env.done() || env.legalActionCount() == 0)
+        return;
+
+    const double reward_before = env.totalReward();
+    const std::int32_t placed_before = env.placedCount();
+    const auto mask_before = env.actionMask();
+
+    randomEpisodeStep(env, walk);
+    env.undo();
+
+    EXPECT_DOUBLE_EQ(env.totalReward(), reward_before);
+    EXPECT_EQ(env.placedCount(), placed_before);
+    EXPECT_EQ(env.actionMask(), mask_before);
+}
+
+TEST_P(PropertySeed, SymmetryMapsValidMappingToValidMapping)
+{
+    Rng rng(GetParam() + 3000);
+    dfg::RandomDfgParams params;
+    params.nodes = 4 + static_cast<std::int32_t>(rng.uniformInt(6u));
+    const dfg::Dfg d = dfg::randomDfg(params, rng);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+
+    // Find one full mapping by random restarts.
+    mapper::MapEnv env(d, arch, mii);
+    bool solved = false;
+    for (int attempt = 0; attempt < 40 && !solved; ++attempt) {
+        env.reset();
+        randomEpisode(env, rng);
+        solved = env.success();
+    }
+    if (!solved)
+        GTEST_SKIP() << "random walk found no mapping for this seed";
+
+    // Apply every symmetry to the placements; the transformed mapping
+    // must be placeable and routable too (this is what makes data
+    // augmentation sound, §3.6.1).
+    const auto schedule = env.schedule();
+    for (const auto &perm : cgra::gridSymmetries(arch)) {
+        cgra::Mrrg mrrg(arch, env.ii());
+        mapper::MappingState state(d, mrrg, schedule);
+        for (dfg::NodeId v : schedule.order) {
+            const cgra::PeId target = perm[static_cast<std::size_t>(
+                env.state().placement(v).pe)];
+            ASSERT_TRUE(state.placementLegal(v, target));
+            state.commitPlacement(v, target);
+        }
+        mapper::Router router(state);
+        for (std::int32_t ei = 0; ei < d.edgeCount(); ++ei)
+            EXPECT_TRUE(router.routeEdge(ei)) << "edge " << ei;
+        EXPECT_TRUE(mapper::validateMapping(state).valid);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace
+} // namespace mapzero

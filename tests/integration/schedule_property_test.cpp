@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property tests for the modulo scheduler: every (kernel, II) pair must
+ * uphold the schedule invariants the mappers rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgra/architecture.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/random_gen.hpp"
+#include "dfg/schedule.hpp"
+
+namespace mapzero::dfg {
+namespace {
+
+void
+expectScheduleInvariants(const Dfg &d, const Schedule &s)
+{
+    // 1. Every edge constraint satisfied.
+    for (const auto &e : d.edges()) {
+        EXPECT_GE(s.time[static_cast<std::size_t>(e.dst)],
+                  s.time[static_cast<std::size_t>(e.src)] + 1 -
+                      s.ii * e.distance)
+            << d.name() << " edge " << e.src << "->" << e.dst;
+    }
+    // 2. Modulo times consistent.
+    for (std::size_t v = 0; v < s.time.size(); ++v)
+        EXPECT_EQ(s.moduloTime[v], s.time[v] % s.ii);
+    // 3. Earliest node at 0.
+    std::int32_t min_t = s.time.empty() ? 0 : s.time[0];
+    for (std::int32_t t : s.time)
+        min_t = std::min(min_t, t);
+    EXPECT_EQ(min_t, 0);
+    // 4. Order is a permutation with ancestors first (distance-0).
+    std::vector<std::int32_t> position(s.time.size(), -1);
+    for (std::size_t i = 0; i < s.order.size(); ++i)
+        position[static_cast<std::size_t>(s.order[i])] =
+            static_cast<std::int32_t>(i);
+    for (std::int32_t p : position)
+        EXPECT_GE(p, 0);
+    for (const auto &e : d.edges()) {
+        if (e.distance == 0 && e.src != e.dst) {
+            EXPECT_LT(position[static_cast<std::size_t>(e.src)],
+                      position[static_cast<std::size_t>(e.dst)])
+                << d.name();
+        }
+    }
+}
+
+class KernelSchedule
+    : public ::testing::TestWithParam<KernelInfo> {};
+
+TEST_P(KernelSchedule, InvariantsAtMiiAndAbove)
+{
+    const Dfg d = buildKernel(GetParam().name);
+    const std::int32_t rec = recMii(d);
+    for (std::int32_t ii = rec; ii <= rec + 3; ++ii) {
+        const auto s = moduloSchedule(d, ii);
+        ASSERT_TRUE(s.has_value()) << GetParam().name << " II=" << ii;
+        expectScheduleInvariants(d, *s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, KernelSchedule, ::testing::ValuesIn(kernelTable()),
+    [](const ::testing::TestParamInfo<KernelInfo> &info) {
+        return info.param.name;
+    });
+
+TEST(ScheduleProperty, MemoryCapacityRespectedWhenFeasible)
+{
+    // ADRES capacity on the full kernel set: whenever total memory ops
+    // fit (memOps <= cap * II), no slot may exceed the capacity.
+    const cgra::Architecture adres = cgra::Architecture::adres();
+    const std::int32_t cap = adres.memoryIssueCapacity();
+    for (const auto &info : kernelTable()) {
+        if (info.unrolled)
+            continue;
+        const Dfg d = buildKernel(info.name);
+        const std::int32_t mii =
+            minimumIi(d, adres.peCount(), cap);
+        const auto s = moduloSchedule(d, mii, cap);
+        ASSERT_TRUE(s.has_value());
+        if (d.memoryOpCount() > cap * mii)
+            continue; // structurally impossible, nothing to check
+        for (std::int32_t slot = 0; slot < mii; ++slot) {
+            std::int32_t mem = 0;
+            for (NodeId v = 0; v < d.nodeCount(); ++v) {
+                if (opClass(d.node(v).opcode) == OpClass::Memory &&
+                    s->moduloTime[static_cast<std::size_t>(v)] == slot)
+                    ++mem;
+            }
+            EXPECT_LE(mem, cap) << info.name << " slot " << slot;
+        }
+    }
+}
+
+TEST(ScheduleProperty, SlotPopulationsAreBalanced)
+{
+    // The balancer must never exceed ceil(n / ii) by a wide margin on
+    // loosely-constrained graphs.
+    Rng rng(41);
+    for (int trial = 0; trial < 20; ++trial) {
+        RandomDfgParams params;
+        params.nodes = 12 + static_cast<std::int32_t>(
+            rng.uniformInt(20u));
+        const Dfg d = randomDfg(params, rng);
+        const std::int32_t ii = 3;
+        const auto s = moduloSchedule(d, ii);
+        if (!s)
+            continue;
+        const std::int32_t ceil_avg =
+            (d.nodeCount() + ii - 1) / ii;
+        for (std::int32_t slot = 0; slot < ii; ++slot)
+            EXPECT_LE(s->nodesInModuloSlot(slot), 2 * ceil_avg)
+                << "trial " << trial;
+    }
+}
+
+TEST(ScheduleProperty, RandomDfgsScheduleAtRecMii)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 30; ++trial) {
+        RandomDfgParams params;
+        params.nodes = 4 + static_cast<std::int32_t>(
+            rng.uniformInt(24u));
+        params.selfCycleProb = 0.3;
+        const Dfg d = randomDfg(params, rng);
+        const std::int32_t rec = recMii(d);
+        const auto s = moduloSchedule(d, rec);
+        ASSERT_TRUE(s.has_value()) << "trial " << trial;
+        expectScheduleInvariants(d, *s);
+        if (rec > 1) {
+            EXPECT_FALSE(moduloSchedule(d, rec - 1).has_value())
+                << "RecMII not minimal at trial " << trial;
+        }
+    }
+}
+
+} // namespace
+} // namespace mapzero::dfg

@@ -1,0 +1,211 @@
+/** @file Unit tests for MappingState and RoutingState. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/schedule.hpp"
+#include "mapper/mapping.hpp"
+
+namespace mapzero::mapper {
+namespace {
+
+/** 3-node chain: load -> add -> store. */
+dfg::Dfg
+chain3()
+{
+    dfg::Dfg d;
+    d.setName("chain3");
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Store);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    return d;
+}
+
+struct Fixture {
+    dfg::Dfg dfg = chain3();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg{arch, 1};
+    MappingState state{dfg, mrrg,
+                       *dfg::moduloSchedule(dfg, 1)};
+};
+
+TEST(RoutingState, RegOwnershipLifecycle)
+{
+    Fixture f;
+    RoutingState &rs = f.state.routing();
+    EXPECT_EQ(rs.regOwner(3, 0), -1);
+    EXPECT_TRUE(rs.regAvailable(3, 0, 7, 10));
+    rs.setRegOwner(3, 0, 7, 10);
+    EXPECT_EQ(rs.regOwner(3, 0), 7);
+    EXPECT_EQ(rs.regOwnerTime(3, 0), 10);
+    // Same (owner, time) can share; different time cannot.
+    EXPECT_TRUE(rs.regAvailable(3, 0, 7, 10));
+    EXPECT_FALSE(rs.regAvailable(3, 0, 7, 11));
+    EXPECT_FALSE(rs.regAvailable(3, 0, 8, 10));
+    rs.clearRegOwner(3, 0);
+    EXPECT_EQ(rs.regOwner(3, 0), -1);
+}
+
+TEST(RoutingState, WireOwnershipLifecycle)
+{
+    Fixture f;
+    RoutingState &rs = f.state.routing();
+    EXPECT_TRUE(rs.wireAvailable(0, 0, 1, 4));
+    rs.setWireOwner(0, 0, 1, 4);
+    EXPECT_FALSE(rs.wireAvailable(0, 0, 2, 4));
+    EXPECT_TRUE(rs.wireAvailable(0, 0, 1, 4));
+    rs.clearWireOwner(0, 0);
+    EXPECT_TRUE(rs.wireAvailable(0, 0, 2, 4));
+}
+
+TEST(MappingState, PlacementLifecycle)
+{
+    Fixture f;
+    EXPECT_FALSE(f.state.placed(0));
+    EXPECT_TRUE(f.state.placementLegal(0, 5));
+    f.state.commitPlacement(0, 5);
+    EXPECT_TRUE(f.state.placed(0));
+    EXPECT_EQ(f.state.placement(0).pe, 5);
+    EXPECT_EQ(f.state.nodeAt(5, 0), 0);
+    EXPECT_EQ(f.state.placedCount(), 1);
+
+    f.state.uncommitPlacement(0);
+    EXPECT_FALSE(f.state.placed(0));
+    EXPECT_EQ(f.state.nodeAt(5, 0), -1);
+    EXPECT_EQ(f.state.placedCount(), 0);
+}
+
+TEST(MappingState, FunctionSlotExclusivity)
+{
+    Fixture f;
+    // All three chain nodes share modulo slot history at II=1? They have
+    // times 0,1,2, all slot 0 at II=1, so one PE can host only one.
+    f.state.commitPlacement(0, 5);
+    EXPECT_FALSE(f.state.placementLegal(1, 5));
+    EXPECT_TRUE(f.state.placementLegal(1, 6));
+}
+
+TEST(MappingState, CapabilityGating)
+{
+    dfg::Dfg d = chain3();
+    cgra::Architecture arch = cgra::Architecture::heterogeneous();
+    cgra::Mrrg mrrg(arch, 1);
+    MappingState state(d, mrrg, *dfg::moduloSchedule(d, 1));
+    // Node 0 is a load; only column-0 PEs are memory-capable on the
+    // heterogeneous fabric.
+    EXPECT_TRUE(state.placementLegal(0, arch.peAt(1, 0)));
+    EXPECT_FALSE(state.placementLegal(0, arch.peAt(1, 2)));
+}
+
+TEST(MappingState, IllegalCommitPanics)
+{
+    Fixture f;
+    f.state.commitPlacement(0, 5);
+    EXPECT_THROW(f.state.commitPlacement(1, 5), std::logic_error);
+}
+
+TEST(MappingState, RouteCommitAndUncommit)
+{
+    Fixture f;
+    // Place producer at PE0 (t=0) and consumer adjacent at PE1 (t=1).
+    f.state.commitPlacement(0, 0);
+    f.state.commitPlacement(1, 1);
+
+    // A route holding PE2's routing register at t=0 (artificial detour
+    // for the resource-lifecycle check).
+    Route route;
+    route.regHolds.push_back(RegHold{2, 0});
+    route.hops = 1;
+    f.state.commitRoute(0, route);
+    EXPECT_TRUE(f.state.edgeRouted(0));
+    EXPECT_EQ(f.state.edgeRoute(0).hops, 1);
+    EXPECT_EQ(f.state.routing().regOwner(2, 0), 0);
+
+    f.state.uncommitRoute(0);
+    EXPECT_FALSE(f.state.edgeRouted(0));
+    EXPECT_EQ(f.state.routing().regOwner(2, 0), -1);
+}
+
+TEST(MappingState, DoubleRouteCommitPanics)
+{
+    Fixture f;
+    f.state.commitPlacement(0, 0);
+    f.state.commitPlacement(1, 1);
+    f.state.commitRoute(0, Route{});
+    EXPECT_THROW(f.state.commitRoute(0, Route{}), std::logic_error);
+}
+
+TEST(MappingState, SharedHoldFreedOnlyWhenLastRouteGone)
+{
+    // Producer with two consumers; both routes share the routing
+    // register of PE5 at t=1 (multicast of the same value).
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(a, c);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg(arch, 2);
+    MappingState state(d, mrrg, *dfg::moduloSchedule(d, 2));
+
+    state.commitPlacement(a, 0);
+    state.commitPlacement(b, 1);
+    state.commitPlacement(c, 4);
+
+    Route r0;
+    r0.regHolds = {RegHold{5, 1}};
+    Route r1;
+    r1.regHolds = {RegHold{5, 1}};
+    state.commitRoute(0, r0);
+    state.commitRoute(1, r1);
+    EXPECT_EQ(state.routing().regOwner(5, 1), a);
+
+    state.uncommitRoute(0);
+    // Still held: the second route carries the same (owner, time).
+    EXPECT_EQ(state.routing().regOwner(5, 1), a);
+    state.uncommitRoute(1);
+    EXPECT_EQ(state.routing().regOwner(5, 1), -1);
+}
+
+TEST(MappingState, CompleteRequiresAllPlacedAndRouted)
+{
+    Fixture f;
+    EXPECT_FALSE(f.state.complete());
+    f.state.commitPlacement(0, 0);
+    f.state.commitPlacement(1, 1);
+    f.state.commitPlacement(2, 2);
+    EXPECT_FALSE(f.state.complete());
+    f.state.commitRoute(0, Route{});
+    f.state.commitRoute(1, Route{});
+    EXPECT_TRUE(f.state.complete());
+}
+
+TEST(MappingState, AdresRowBusExclusivity)
+{
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Load);
+    d.addNode(dfg::Opcode::Load);
+    cgra::Architecture arch = cgra::Architecture::adres();
+    cgra::Mrrg mrrg(arch, 1);
+    MappingState state(d, mrrg, *dfg::moduloSchedule(d, 1));
+
+    state.commitPlacement(0, arch.peAt(0, 0));
+    // Same row, same slot: bus conflict.
+    EXPECT_FALSE(state.placementLegal(1, arch.peAt(0, 2)));
+    // Different row: fine.
+    EXPECT_TRUE(state.placementLegal(1, arch.peAt(1, 2)));
+}
+
+TEST(MappingState, ScheduleIiMismatchPanics)
+{
+    dfg::Dfg d = chain3();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg(arch, 2);
+    auto schedule = *dfg::moduloSchedule(d, 1);
+    EXPECT_THROW(MappingState(d, mrrg, schedule), std::logic_error);
+}
+
+} // namespace
+} // namespace mapzero::mapper

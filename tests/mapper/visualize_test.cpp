@@ -1,0 +1,105 @@
+/** @file Unit tests for mapping visualization. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+#include "mapper/visualize.hpp"
+
+namespace mapzero::mapper {
+namespace {
+
+struct Fixture {
+    dfg::Dfg dfg;
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    std::unique_ptr<cgra::Mrrg> mrrg;
+    std::unique_ptr<MappingState> state;
+
+    Fixture()
+    {
+        dfg.setName("viz");
+        const auto a = dfg.addNode(dfg::Opcode::Load, "in");
+        const auto b = dfg.addNode(dfg::Opcode::Add);
+        const auto c = dfg.addNode(dfg::Opcode::Store);
+        dfg.addEdge(a, b);
+        dfg.addEdge(b, c);
+        mrrg = std::make_unique<cgra::Mrrg>(arch, 1);
+        state = std::make_unique<MappingState>(
+            dfg, *mrrg, *dfg::moduloSchedule(dfg, 1));
+    }
+
+    void
+    placeAll()
+    {
+        state->commitPlacement(0, arch.peAt(0, 0));
+        state->commitPlacement(1, arch.peAt(0, 1));
+        state->commitPlacement(2, arch.peAt(0, 2));
+        Router router(*state);
+        ASSERT_TRUE(router.routeEdge(0));
+        ASSERT_TRUE(router.routeEdge(1));
+    }
+};
+
+TEST(Visualize, GridShowsOccupiedCells)
+{
+    Fixture f;
+    f.placeAll();
+    const std::string grid = renderMappingGrid(*f.state);
+    EXPECT_NE(grid.find("slot 0/1"), std::string::npos);
+    EXPECT_NE(grid.find("0:load"), std::string::npos);
+    EXPECT_NE(grid.find("1:add"), std::string::npos);
+    EXPECT_NE(grid.find("2:store"), std::string::npos);
+    EXPECT_NE(grid.find("."), std::string::npos); // free cells remain
+}
+
+TEST(Visualize, GridHandlesEmptyMapping)
+{
+    Fixture f;
+    const std::string grid = renderMappingGrid(*f.state);
+    EXPECT_EQ(grid.find("load"), std::string::npos);
+    EXPECT_NE(grid.find("slot 0/1"), std::string::npos);
+}
+
+TEST(Visualize, DotContainsCoordinatesAndHops)
+{
+    Fixture f;
+    f.placeAll();
+    const std::string dot = mappingToDot(*f.state);
+    EXPECT_NE(dot.find("digraph \"mapping_viz\""), std::string::npos);
+    EXPECT_NE(dot.find("PE0 (r0,c0) t=0"), std::string::npos);
+    EXPECT_NE(dot.find("hop(s)"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Visualize, DotMarksUnplacedNodes)
+{
+    Fixture f;
+    const std::string dot = mappingToDot(*f.state);
+    EXPECT_NE(dot.find("unplaced"), std::string::npos);
+}
+
+TEST(Visualize, PlacementTableListsEveryNode)
+{
+    Fixture f;
+    f.placeAll();
+    const std::string table = renderPlacementTable(*f.state);
+    EXPECT_NE(table.find("load"), std::string::npos);
+    EXPECT_NE(table.find("store"), std::string::npos);
+    EXPECT_NE(table.find("PE2 (r0,c2)"), std::string::npos);
+}
+
+TEST(Visualize, LoopCarriedEdgesDashedInDot)
+{
+    dfg::Dfg d;
+    const auto acc = d.addNode(dfg::Opcode::Add);
+    d.addEdge(acc, acc, 1);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg(arch, 2);
+    MappingState state(d, mrrg, *dfg::moduloSchedule(d, 2));
+    const std::string dot = mappingToDot(state);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("d=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace mapzero::mapper

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Autograd tests: every op's analytic gradient is verified against a
+ * central-difference numerical gradient.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/autograd.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+/**
+ * Numerically check dLoss/dParam for a scalar-valued function of one
+ * parameter tensor.
+ */
+void
+checkGradient(Tensor param_init,
+              const std::function<Value(const Value &)> &fn,
+              float tolerance = 2e-2f)
+{
+    Value param = Value::parameter(param_init);
+    Value loss = fn(param);
+    ASSERT_EQ(loss.tensor().size(), 1u);
+    loss.backward();
+    const Tensor analytic = param.grad();
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < param_init.size(); ++i) {
+        Tensor plus = param_init;
+        plus[i] += eps;
+        Tensor minus = param_init;
+        minus[i] -= eps;
+        const float f_plus = fn(Value::parameter(plus)).item();
+        const float f_minus = fn(Value::parameter(minus)).item();
+        const float numeric = (f_plus - f_minus) / (2.0f * eps);
+        EXPECT_NEAR(analytic[i], numeric,
+                    tolerance * std::max(1.0f, std::fabs(numeric)))
+            << "grad mismatch at flat index " << i;
+    }
+}
+
+Tensor
+randomTensor(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::uniform(rows, cols, -1.0f, 1.0f, rng);
+}
+
+TEST(Autograd, MatmulForward)
+{
+    Value a = Value::constant(Tensor(2, 2, {1, 2, 3, 4}));
+    Value b = Value::constant(Tensor(2, 2, {5, 6, 7, 8}));
+    const Tensor c = matmul(a, b).tensor();
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Autograd, MatmulGradLeft)
+{
+    const Tensor b = randomTensor(3, 2, 1);
+    checkGradient(randomTensor(2, 3, 2), [&b](const Value &p) {
+        return sumAll(matmul(p, Value::constant(b)));
+    });
+}
+
+TEST(Autograd, MatmulGradRight)
+{
+    const Tensor a = randomTensor(2, 3, 3);
+    checkGradient(randomTensor(3, 2, 4), [&a](const Value &p) {
+        return sumAll(matmul(Value::constant(a), p));
+    });
+}
+
+TEST(Autograd, AddGrad)
+{
+    const Tensor b = randomTensor(2, 3, 5);
+    checkGradient(randomTensor(2, 3, 6), [&b](const Value &p) {
+        return sumAll(square(add(p, Value::constant(b))));
+    });
+}
+
+TEST(Autograd, AddBroadcastBiasGrad)
+{
+    const Tensor x = randomTensor(4, 3, 7);
+    checkGradient(randomTensor(1, 3, 8), [&x](const Value &p) {
+        return sumAll(square(add(Value::constant(x), p)));
+    });
+}
+
+TEST(Autograd, SubGrad)
+{
+    const Tensor b = randomTensor(2, 2, 9);
+    checkGradient(randomTensor(2, 2, 10), [&b](const Value &p) {
+        return sumAll(square(sub(p, Value::constant(b))));
+    });
+}
+
+TEST(Autograd, MulElemGrad)
+{
+    const Tensor b = randomTensor(2, 3, 11);
+    checkGradient(randomTensor(2, 3, 12), [&b](const Value &p) {
+        return sumAll(mulElem(p, Value::constant(b)));
+    });
+}
+
+TEST(Autograd, ScaleGrad)
+{
+    checkGradient(randomTensor(2, 2, 13), [](const Value &p) {
+        return sumAll(scale(p, -2.5f));
+    });
+}
+
+TEST(Autograd, LeakyReluForwardAndGrad)
+{
+    Value x = Value::constant(Tensor(1, 2, {-2.0f, 3.0f}));
+    const Tensor y = leakyRelu(x, 0.1f).tensor();
+    EXPECT_FLOAT_EQ(y[0], -0.2f);
+    EXPECT_FLOAT_EQ(y[1], 3.0f);
+
+    checkGradient(randomTensor(2, 3, 14), [](const Value &p) {
+        return sumAll(leakyRelu(p, 0.2f));
+    });
+}
+
+TEST(Autograd, TanhGrad)
+{
+    checkGradient(randomTensor(2, 2, 15), [](const Value &p) {
+        return sumAll(tanhOp(p));
+    });
+}
+
+TEST(Autograd, SquareGrad)
+{
+    checkGradient(randomTensor(2, 2, 16), [](const Value &p) {
+        return sumAll(square(p));
+    });
+}
+
+TEST(Autograd, ConcatColsForward)
+{
+    Value a = Value::constant(Tensor(2, 1, {1, 2}));
+    Value b = Value::constant(Tensor(2, 2, {3, 4, 5, 6}));
+    const Tensor c = concatCols({a, b}).tensor();
+    EXPECT_EQ(c.cols(), 3u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 2), 4.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(Autograd, ConcatColsGrad)
+{
+    const Tensor b = randomTensor(2, 2, 17);
+    checkGradient(randomTensor(2, 3, 18), [&b](const Value &p) {
+        return sumAll(square(concatCols({p, Value::constant(b)})));
+    });
+}
+
+TEST(Autograd, GatherRowsForward)
+{
+    Value a = Value::constant(Tensor(3, 2, {1, 2, 3, 4, 5, 6}));
+    const Tensor g = gatherRows(a, {2, 0, 2}).tensor();
+    EXPECT_EQ(g.rows(), 3u);
+    EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+    EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(Autograd, GatherRowsGradWithRepeats)
+{
+    checkGradient(randomTensor(3, 2, 19), [](const Value &p) {
+        return sumAll(square(gatherRows(p, {0, 2, 2, 1})));
+    });
+}
+
+TEST(Autograd, MeanRowsGrad)
+{
+    checkGradient(randomTensor(4, 3, 20), [](const Value &p) {
+        return sumAll(square(meanRows(p)));
+    });
+}
+
+TEST(Autograd, SumAllAndMeanAll)
+{
+    Value a = Value::constant(Tensor(2, 2, {1, 2, 3, 4}));
+    EXPECT_FLOAT_EQ(sumAll(a).item(), 10.0f);
+    EXPECT_FLOAT_EQ(meanAll(a).item(), 2.5f);
+}
+
+TEST(Autograd, LogSoftmaxMaskedForward)
+{
+    Value logits = Value::constant(Tensor(1, 3, {1.0f, 2.0f, 3.0f}));
+    const std::vector<bool> mask{true, false, true};
+    const Tensor lp = logSoftmaxMasked(logits, mask).tensor();
+    // Probabilities over entries 0 and 2 only.
+    const float p0 = std::exp(lp[0]);
+    const float p2 = std::exp(lp[2]);
+    EXPECT_NEAR(p0 + p2, 1.0f, 1e-5f);
+    EXPECT_LT(lp[1], -1e8f);
+    EXPECT_GT(p2, p0);
+}
+
+TEST(Autograd, LogSoftmaxMaskedGrad)
+{
+    const std::vector<bool> mask{true, true, false, true};
+    // Weighted policy-loss style objective.
+    const Tensor pi(1, 4, {0.2f, 0.5f, 0.0f, 0.3f});
+    checkGradient(randomTensor(1, 4, 21), [&](const Value &p) {
+        return scale(sumAll(mulElem(Value::constant(pi),
+                                    logSoftmaxMasked(p, mask))),
+                     -1.0f);
+    });
+}
+
+TEST(Autograd, LogSoftmaxAllMaskedPanics)
+{
+    Value logits = Value::constant(Tensor(1, 2, {1.0f, 2.0f}));
+    EXPECT_THROW(logSoftmaxMasked(logits, {false, false}),
+                 std::logic_error);
+}
+
+TEST(Autograd, SegmentSoftmaxForwardNormalizesPerSegment)
+{
+    // Edges 0,1 -> segment 0; edge 2 -> segment 1.
+    Value scores = Value::constant(Tensor(3, 2, {1, 0, 2, 0, 5, 5}));
+    const Tensor alpha =
+        segmentSoftmax(scores, {0, 0, 1}, 2).tensor();
+    EXPECT_NEAR(alpha.at(0, 0) + alpha.at(1, 0), 1.0f, 1e-5f);
+    EXPECT_NEAR(alpha.at(0, 1) + alpha.at(1, 1), 1.0f, 1e-5f);
+    EXPECT_NEAR(alpha.at(2, 0), 1.0f, 1e-5f);
+    EXPECT_NEAR(alpha.at(2, 1), 1.0f, 1e-5f);
+    EXPECT_GT(alpha.at(1, 0), alpha.at(0, 0));
+}
+
+TEST(Autograd, SegmentSoftmaxGrad)
+{
+    const std::vector<std::int32_t> segments{0, 0, 1, 1, 1};
+    const Tensor weights = randomTensor(5, 2, 22);
+    checkGradient(randomTensor(5, 2, 23), [&](const Value &p) {
+        return sumAll(mulElem(Value::constant(weights),
+                              segmentSoftmax(p, segments, 2)));
+    });
+}
+
+TEST(Autograd, AttentionAggregateForward)
+{
+    // 2 edges into node 0, 1 head, feature width 2.
+    Value values = Value::constant(Tensor(2, 2, {1, 2, 3, 4}));
+    Value alpha = Value::constant(Tensor(2, 1, {0.25f, 0.75f}));
+    const Tensor out =
+        attentionAggregate(values, alpha, {0, 0}, 2).tensor();
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.25f * 1 + 0.75f * 3);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 0.25f * 2 + 0.75f * 4);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+}
+
+TEST(Autograd, AttentionAggregateGradValues)
+{
+    const Tensor alpha = randomTensor(4, 2, 24);
+    const std::vector<std::int32_t> dst{0, 1, 1, 2};
+    checkGradient(randomTensor(4, 6, 25), [&](const Value &p) {
+        return sumAll(square(attentionAggregate(
+            p, Value::constant(alpha), dst, 3)));
+    });
+}
+
+TEST(Autograd, AttentionAggregateGradAlpha)
+{
+    const Tensor values = randomTensor(4, 6, 26);
+    const std::vector<std::int32_t> dst{0, 1, 1, 2};
+    checkGradient(randomTensor(4, 2, 27), [&](const Value &p) {
+        return sumAll(square(attentionAggregate(
+            Value::constant(values), p, dst, 3)));
+    });
+}
+
+TEST(Autograd, GradAccumulatesOverSharedUse)
+{
+    // y = p + p should give gradient 2 everywhere.
+    Value p = Value::parameter(Tensor(1, 2, {1.0f, 2.0f}));
+    Value loss = sumAll(add(p, p));
+    loss.backward();
+    EXPECT_FLOAT_EQ(p.grad()[0], 2.0f);
+    EXPECT_FLOAT_EQ(p.grad()[1], 2.0f);
+}
+
+TEST(Autograd, BackwardOnNonScalarPanics)
+{
+    Value p = Value::parameter(Tensor(2, 2));
+    EXPECT_THROW(p.backward(), std::logic_error);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient)
+{
+    Value c = Value::constant(Tensor(1, 2, {1, 2}));
+    Value p = Value::parameter(Tensor(1, 2, {3, 4}));
+    Value loss = sumAll(mulElem(c, p));
+    loss.backward();
+    EXPECT_FALSE(c.node()->gradReady);
+    EXPECT_TRUE(p.node()->gradReady);
+}
+
+} // namespace
+} // namespace mapzero::nn

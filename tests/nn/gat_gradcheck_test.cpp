@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end numeric gradient check of a full GAT layer: verifies that
+ * the composition of the fused attention primitives (segment softmax,
+ * attention aggregation) with the dense ops differentiates correctly
+ * through a realistic loss, parameter by parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/gat.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+TEST(GatGradCheck, FullLayerMatchesNumericGradient)
+{
+    Rng rng(123);
+    GatLayer layer(3, 4, 2, 0.2f, rng);
+    Rng feat_rng(7);
+    const Tensor feats = Tensor::uniform(5, 3, -1.0f, 1.0f, feat_rng);
+    const EdgeList edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4},
+                         {4, 1}};
+
+    auto loss_value = [&]() {
+        Value out =
+            layer.forward(Value::constant(feats), edges,
+                          Activation::Tanh);
+        return sumAll(square(out));
+    };
+
+    // Analytic gradients.
+    layer.zeroGrad();
+    loss_value().backward();
+    const auto named = layer.namedParameters();
+
+    // Numeric check on a sample of coordinates of every parameter.
+    const float eps = 1e-3f;
+    for (const auto &[name, param] : named) {
+        Tensor &w = param.node()->value;
+        const Tensor analytic = param.grad();
+        const std::size_t stride = std::max<std::size_t>(
+            1, w.size() / 4); // 4 probes per tensor
+        for (std::size_t i = 0; i < w.size(); i += stride) {
+            const float saved = w[i];
+            w[i] = saved + eps;
+            const float f_plus = loss_value().item();
+            w[i] = saved - eps;
+            const float f_minus = loss_value().item();
+            w[i] = saved;
+            const float numeric = (f_plus - f_minus) / (2.0f * eps);
+            EXPECT_NEAR(analytic[i], numeric,
+                        5e-2f * std::max(1.0f, std::fabs(numeric)))
+                << name << "[" << i << "]";
+        }
+    }
+}
+
+TEST(GatGradCheck, TwoLayerEncoderGradsFinite)
+{
+    Rng rng(321);
+    GatEncoder encoder(4, 4, 2, 2, rng);
+    Rng feat_rng(11);
+    const Tensor feats = Tensor::uniform(6, 4, -1.0f, 1.0f, feat_rng);
+    const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}};
+
+    encoder.zeroGrad();
+    Value loss = sumAll(square(
+        encoder.encodeGraph(Value::constant(feats), edges)));
+    loss.backward();
+
+    for (const auto &p : encoder.parameters()) {
+        const Tensor &g = p.grad();
+        for (std::size_t i = 0; i < g.size(); ++i)
+            EXPECT_TRUE(std::isfinite(g[i]));
+    }
+}
+
+} // namespace
+} // namespace mapzero::nn

@@ -1,0 +1,139 @@
+/** @file Unit tests for the GAT layer and encoder. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/gat.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+TEST(GatLayer, OutputShape)
+{
+    Rng rng(1);
+    GatLayer layer(5, 8, 4, 0.2f, rng);
+    EXPECT_EQ(layer.outWidth(), 32u);
+
+    Value feats = Value::constant(Tensor(3, 5));
+    const EdgeList edges{{0, 1}, {1, 2}};
+    const Tensor out = layer.forward(feats, edges).tensor();
+    EXPECT_EQ(out.rows(), 3u);
+    EXPECT_EQ(out.cols(), 32u);
+}
+
+TEST(GatLayer, IsolatedNodeStillGetsEmbedding)
+{
+    Rng rng(2);
+    GatLayer layer(4, 4, 2, 0.2f, rng);
+    Rng init(3);
+    Value feats = Value::constant(Tensor::uniform(3, 4, 0.1f, 1.0f,
+                                                  init));
+    // Node 2 has no edges at all; self-loops keep it embedded.
+    const EdgeList edges{{0, 1}};
+    const Tensor out = layer.forward(feats, edges).tensor();
+    float row2 = 0.0f;
+    for (std::size_t c = 0; c < out.cols(); ++c)
+        row2 += std::abs(out.at(2, c));
+    EXPECT_GT(row2, 0.0f);
+}
+
+TEST(GatLayer, NeighborsInfluenceEmbedding)
+{
+    Rng rng(4);
+    GatLayer layer(2, 4, 2, 0.2f, rng);
+    Tensor feats_a(3, 2, {1, 0, 0, 1, 1, 1});
+    Tensor feats_b = feats_a;
+    feats_b.at(0, 0) = 5.0f; // change node 0's features
+
+    const EdgeList edges{{0, 2}}; // node 0 feeds node 2
+    const Tensor out_a =
+        layer.forward(Value::constant(feats_a), edges).tensor();
+    const Tensor out_b =
+        layer.forward(Value::constant(feats_b), edges).tensor();
+
+    float diff2 = 0.0f;
+    for (std::size_t c = 0; c < out_a.cols(); ++c)
+        diff2 += std::abs(out_a.at(2, c) - out_b.at(2, c));
+    EXPECT_GT(diff2, 1e-6f)
+        << "changing a neighbor must change the aggregated embedding";
+
+    // Node 1 is not connected to node 0, so it must be unaffected.
+    float diff1 = 0.0f;
+    for (std::size_t c = 0; c < out_a.cols(); ++c)
+        diff1 += std::abs(out_a.at(1, c) - out_b.at(1, c));
+    EXPECT_LT(diff1, 1e-6f);
+}
+
+TEST(GatLayer, WrongFeatureWidthPanics)
+{
+    Rng rng(5);
+    GatLayer layer(4, 4, 2, 0.2f, rng);
+    Value feats = Value::constant(Tensor(3, 3));
+    EXPECT_THROW(layer.forward(feats, {}), std::logic_error);
+}
+
+TEST(GatLayer, EdgeOutOfRangePanics)
+{
+    Rng rng(6);
+    GatLayer layer(4, 4, 2, 0.2f, rng);
+    Value feats = Value::constant(Tensor(3, 4));
+    EXPECT_THROW(layer.forward(feats, {{0, 7}}), std::logic_error);
+}
+
+TEST(GatLayer, GradientsFlowThroughAttention)
+{
+    Rng rng(7);
+    GatLayer layer(3, 4, 2, 0.2f, rng);
+    Rng init(8);
+    Value feats = Value::constant(Tensor::uniform(4, 3, -1.0f, 1.0f,
+                                                  init));
+    const EdgeList edges{{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    Value loss = sumAll(square(layer.forward(feats, edges)));
+    layer.zeroGrad();
+    loss.backward();
+    float grad_norm = 0.0f;
+    for (const auto &p : layer.parameters())
+        grad_norm += p.grad().norm();
+    EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(GatEncoder, StackedLayersAndPooling)
+{
+    Rng rng(9);
+    GatEncoder encoder(6, 8, 4, 2, rng);
+    EXPECT_EQ(encoder.outWidth(), 32u);
+
+    Rng init(10);
+    Value feats = Value::constant(Tensor::uniform(5, 6, -1.0f, 1.0f,
+                                                  init));
+    const EdgeList edges{{0, 1}, {1, 2}, {3, 4}};
+    const Tensor nodes = encoder.encodeNodes(feats, edges).tensor();
+    EXPECT_EQ(nodes.rows(), 5u);
+    EXPECT_EQ(nodes.cols(), 32u);
+
+    const Tensor graph = encoder.encodeGraph(feats, edges).tensor();
+    EXPECT_EQ(graph.rows(), 1u);
+    EXPECT_EQ(graph.cols(), 32u);
+}
+
+TEST(GatEncoder, InductiveAcrossGraphSizes)
+{
+    // The same encoder must handle graphs of different node counts
+    // (inductive property the paper relies on for unseen DFGs).
+    Rng rng(11);
+    GatEncoder encoder(4, 4, 2, 2, rng);
+    Rng init(12);
+    Value small = Value::constant(Tensor::uniform(3, 4, -1, 1, init));
+    Value large = Value::constant(Tensor::uniform(40, 4, -1, 1, init));
+    EXPECT_NO_THROW(encoder.encodeGraph(small, {{0, 1}}));
+    EXPECT_NO_THROW(encoder.encodeGraph(large, {{0, 39}, {5, 7}}));
+}
+
+TEST(GatEncoder, ZeroLayersPanics)
+{
+    Rng rng(13);
+    EXPECT_THROW(GatEncoder(4, 4, 2, 0, rng), std::logic_error);
+}
+
+} // namespace
+} // namespace mapzero::nn

@@ -1,0 +1,107 @@
+/** @file Unit tests for Linear and Mlp layers. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+TEST(Linear, ShapesAndParameterCount)
+{
+    Rng rng(1);
+    Linear layer(4, 3, rng);
+    EXPECT_EQ(layer.inFeatures(), 4u);
+    EXPECT_EQ(layer.outFeatures(), 3u);
+    // weight 4x3 + bias 1x3
+    EXPECT_EQ(layer.parameterCount(), 4u * 3u + 3u);
+
+    Value x = Value::constant(Tensor(2, 4));
+    const Tensor y = layer.forward(x).tensor();
+    EXPECT_EQ(y.rows(), 2u);
+    EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(Linear, ZeroInputYieldsBias)
+{
+    Rng rng(2);
+    Linear layer(3, 2, rng);
+    Value x = Value::constant(Tensor(1, 3));
+    const Tensor y = layer.forward(x).tensor();
+    // Bias starts at zero.
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Linear, GradientsFlowToWeights)
+{
+    Rng rng(3);
+    Linear layer(2, 2, rng);
+    Value x = Value::constant(Tensor(1, 2, {1.0f, -1.0f}));
+    Value loss = sumAll(square(layer.forward(x)));
+    layer.zeroGrad();
+    loss.backward();
+    float grad_norm = 0.0f;
+    for (const auto &p : layer.parameters())
+        grad_norm += p.grad().norm();
+    EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(Mlp, StackedShapes)
+{
+    Rng rng(4);
+    Mlp mlp({8, 16, 4}, Activation::ReLU, Activation::None, rng);
+    Value x = Value::constant(Tensor(3, 8));
+    const Tensor y = mlp.forward(x).tensor();
+    EXPECT_EQ(y.rows(), 3u);
+    EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(Mlp, SingleLayerDegenerate)
+{
+    Rng rng(5);
+    Mlp mlp({4, 2}, Activation::ReLU, Activation::Tanh, rng);
+    Value x = Value::constant(Tensor(1, 4, {1, 2, 3, 4}));
+    const Tensor y = mlp.forward(x).tensor();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_LE(y[i], 1.0f);
+        EXPECT_GE(y[i], -1.0f);
+    }
+}
+
+TEST(Mlp, TooFewDimsPanics)
+{
+    Rng rng(6);
+    EXPECT_THROW(Mlp({4}, Activation::ReLU, Activation::None, rng),
+                 std::logic_error);
+}
+
+TEST(Mlp, NamedParametersAreHierarchical)
+{
+    Rng rng(7);
+    Mlp mlp({4, 4, 2}, Activation::ReLU, Activation::None, rng);
+    const auto named = mlp.namedParameters();
+    ASSERT_EQ(named.size(), 4u); // 2 layers x (weight, bias)
+    EXPECT_EQ(named[0].first, "fc0.weight");
+    EXPECT_EQ(named[3].first, "fc1.bias");
+}
+
+TEST(Activation, NoneIsIdentity)
+{
+    Value x = Value::constant(Tensor(1, 2, {-1.0f, 2.0f}));
+    const Tensor y = activate(x, Activation::None).tensor();
+    EXPECT_FLOAT_EQ(y[0], -1.0f);
+    EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+TEST(Activation, ReluClampsNegatives)
+{
+    Value x = Value::constant(Tensor(1, 2, {-1.0f, 2.0f}));
+    const Tensor y = activate(x, Activation::ReLU).tensor();
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+} // namespace
+} // namespace mapzero::nn

@@ -1,0 +1,139 @@
+/** @file Unit tests for optimizers, clipping, and LR schedules. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+/** Minimize ||p - target||^2; any sane optimizer must converge. */
+template <typename MakeOpt>
+float
+convergeQuadratic(MakeOpt make_opt, int steps)
+{
+    Value p = Value::parameter(Tensor(1, 2, {5.0f, -3.0f}));
+    const Tensor target(1, 2, {1.0f, 2.0f});
+    auto opt = make_opt(std::vector<Value>{p});
+    for (int i = 0; i < steps; ++i) {
+        opt->zeroGrad();
+        Value loss =
+            sumAll(square(sub(p, Value::constant(target))));
+        loss.backward();
+        opt->step();
+    }
+    Tensor diff = p.tensor();
+    diff.addInPlace([&] {
+        Tensor t = target;
+        t.scaleInPlace(-1.0f);
+        return t;
+    }());
+    return diff.norm();
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    const float err = convergeQuadratic(
+        [](std::vector<Value> params) {
+            return std::make_unique<Sgd>(std::move(params), 0.05f);
+        },
+        200);
+    EXPECT_LT(err, 1e-3f);
+}
+
+TEST(Sgd, MomentumConverges)
+{
+    const float err = convergeQuadratic(
+        [](std::vector<Value> params) {
+            return std::make_unique<Sgd>(std::move(params), 0.02f, 0.9f);
+        },
+        200);
+    EXPECT_LT(err, 1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    const float err = convergeQuadratic(
+        [](std::vector<Value> params) {
+            return std::make_unique<Adam>(std::move(params), 0.1f);
+        },
+        300);
+    EXPECT_LT(err, 1e-2f);
+}
+
+TEST(Optimizer, ZeroGradClears)
+{
+    Value p = Value::parameter(Tensor(1, 2, {1.0f, 1.0f}));
+    Sgd opt({p}, 0.1f);
+    Value loss = sumAll(square(p));
+    loss.backward();
+    EXPECT_GT(p.grad().norm(), 0.0f);
+    opt.zeroGrad();
+    EXPECT_FLOAT_EQ(p.grad().norm(), 0.0f);
+}
+
+TEST(Optimizer, EmptyParamsPanics)
+{
+    EXPECT_THROW(Sgd({}, 0.1f), std::logic_error);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients)
+{
+    Value p = Value::parameter(Tensor(1, 2, {0.0f, 0.0f}));
+    p.node()->ensureGrad();
+    p.node()->grad.at(0, 0) = 30.0f;
+    p.node()->grad.at(0, 1) = 40.0f; // norm 50
+    const float norm = clipGradNorm({p}, 5.0f);
+    EXPECT_FLOAT_EQ(norm, 50.0f);
+    EXPECT_NEAR(p.grad().norm(), 5.0f, 1e-4f);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone)
+{
+    Value p = Value::parameter(Tensor(1, 2, {0.0f, 0.0f}));
+    p.node()->ensureGrad();
+    p.node()->grad.at(0, 0) = 0.3f;
+    clipGradNorm({p}, 5.0f);
+    EXPECT_NEAR(p.grad().norm(), 0.3f, 1e-6f);
+}
+
+TEST(WarmupDecaySchedule, RampsThenDecays)
+{
+    WarmupDecaySchedule sched(1.0f, 10, 0.9f, 0.01f);
+    EXPECT_NEAR(sched.at(0), 0.1f, 1e-5f);
+    EXPECT_NEAR(sched.at(9), 1.0f, 1e-5f);
+    EXPECT_NEAR(sched.at(10), 1.0f, 1e-5f);
+    EXPECT_NEAR(sched.at(11), 0.9f, 1e-5f);
+    EXPECT_LT(sched.at(50), sched.at(11));
+}
+
+TEST(WarmupDecaySchedule, RespectsFloor)
+{
+    WarmupDecaySchedule sched(1.0f, 0, 0.5f, 0.25f);
+    EXPECT_NEAR(sched.at(100), 0.25f, 1e-6f);
+}
+
+TEST(WarmupDecaySchedule, ApplyAdvances)
+{
+    WarmupDecaySchedule sched(1.0f, 2, 0.9f, 0.01f);
+    Value p = Value::parameter(Tensor(1, 1, {0.0f}));
+    Sgd opt({p}, 0.0f);
+    sched.apply(opt);
+    EXPECT_NEAR(opt.learningRate(), 0.5f, 1e-5f);
+    sched.apply(opt);
+    EXPECT_NEAR(opt.learningRate(), 1.0f, 1e-5f);
+    EXPECT_EQ(sched.step(), 2u);
+}
+
+TEST(WarmupDecaySchedule, BadDecayPanics)
+{
+    EXPECT_THROW(WarmupDecaySchedule(1.0f, 0, 1.5f, 0.1f),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace mapzero::nn

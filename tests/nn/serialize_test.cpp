@@ -1,0 +1,92 @@
+/** @file Unit tests for module checkpointing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresWeights)
+{
+    Rng rng(1);
+    Mlp source({4, 8, 2}, Activation::ReLU, Activation::None, rng);
+
+    std::stringstream buffer;
+    saveModule(source, buffer);
+
+    Rng rng2(999); // different init
+    Mlp restored({4, 8, 2}, Activation::ReLU, Activation::None, rng2);
+    loadModule(restored, buffer);
+
+    const auto a = source.namedParameters();
+    const auto b = restored.namedParameters();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].second.tensor().size(),
+                  b[i].second.tensor().size());
+        for (std::size_t j = 0; j < a[i].second.tensor().size(); ++j)
+            EXPECT_FLOAT_EQ(a[i].second.tensor()[j],
+                            b[i].second.tensor()[j]);
+    }
+}
+
+TEST(Serialize, RoundTripPreservesForwardOutputs)
+{
+    Rng rng(2);
+    Mlp source({3, 6, 1}, Activation::Tanh, Activation::None, rng);
+    std::stringstream buffer;
+    saveModule(source, buffer);
+
+    Rng rng2(3);
+    Mlp restored({3, 6, 1}, Activation::Tanh, Activation::None, rng2);
+    loadModule(restored, buffer);
+
+    Value x = Value::constant(Tensor(1, 3, {0.5f, -0.2f, 0.9f}));
+    EXPECT_FLOAT_EQ(source.forward(x).item(), restored.forward(x).item());
+}
+
+TEST(Serialize, ShapeMismatchIsFatal)
+{
+    Rng rng(4);
+    Mlp source({4, 8, 2}, Activation::ReLU, Activation::None, rng);
+    std::stringstream buffer;
+    saveModule(source, buffer);
+
+    Mlp other({4, 9, 2}, Activation::ReLU, Activation::None, rng);
+    EXPECT_THROW(loadModule(other, buffer), std::runtime_error);
+}
+
+TEST(Serialize, CountMismatchIsFatal)
+{
+    Rng rng(5);
+    Mlp source({4, 2}, Activation::ReLU, Activation::None, rng);
+    std::stringstream buffer;
+    saveModule(source, buffer);
+
+    Mlp other({4, 4, 2}, Activation::ReLU, Activation::None, rng);
+    EXPECT_THROW(loadModule(other, buffer), std::runtime_error);
+}
+
+TEST(Serialize, GarbageStreamIsFatal)
+{
+    std::stringstream buffer("definitely not a checkpoint");
+    Rng rng(6);
+    Mlp m({2, 2}, Activation::ReLU, Activation::None, rng);
+    EXPECT_THROW(loadModule(m, buffer), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    Rng rng(7);
+    Mlp m({2, 2}, Activation::ReLU, Activation::None, rng);
+    EXPECT_THROW(loadModule(m, "/nonexistent/path/net.bin"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::nn

@@ -1,0 +1,124 @@
+/** @file Unit tests for the Tensor type. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero)
+{
+    Tensor t;
+    EXPECT_EQ(t.rank(), 0u);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(Tensor, ScalarConstruction)
+{
+    Tensor t(2.5f);
+    EXPECT_EQ(t.rank(), 0u);
+    EXPECT_FLOAT_EQ(t.item(), 2.5f);
+}
+
+TEST(Tensor, VectorConstruction)
+{
+    Tensor t(std::vector<float>{1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, MatrixConstructionAndAccess)
+{
+    Tensor t(2, 3);
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    t.at(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(t[5], 7.0f); // row-major flat index
+}
+
+TEST(Tensor, MatrixFromValues)
+{
+    Tensor t(2, 2, {1, 2, 3, 4});
+    EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, MatrixFromWrongSizePanics)
+{
+    EXPECT_THROW(Tensor(2, 2, {1, 2, 3}), std::logic_error);
+}
+
+TEST(Tensor, ZerosLikeCopiesShape)
+{
+    Tensor t(3, 4, std::vector<float>(12, 5.0f));
+    Tensor z = Tensor::zerosLike(t);
+    EXPECT_TRUE(z.sameShape(t));
+    EXPECT_FLOAT_EQ(z.sum(), 0.0f);
+}
+
+TEST(Tensor, FullFills)
+{
+    Tensor t = Tensor::full(2, 2, 3.0f);
+    EXPECT_FLOAT_EQ(t.sum(), 12.0f);
+}
+
+TEST(Tensor, UniformInRange)
+{
+    Rng rng(5);
+    Tensor t = Tensor::uniform(10, 10, -0.5f, 0.5f, rng);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -0.5f);
+        EXPECT_LT(t[i], 0.5f);
+    }
+}
+
+TEST(Tensor, AddInPlace)
+{
+    Tensor a(1, 3, {1, 2, 3});
+    Tensor b(1, 3, {10, 20, 30});
+    a.addInPlace(b);
+    EXPECT_FLOAT_EQ(a.at(0, 2), 33.0f);
+}
+
+TEST(Tensor, AddInPlaceShapeMismatchPanics)
+{
+    Tensor a(1, 3);
+    Tensor b(3, 1);
+    EXPECT_THROW(a.addInPlace(b), std::logic_error);
+}
+
+TEST(Tensor, ScaleInPlace)
+{
+    Tensor a(1, 2, {2, 4});
+    a.scaleInPlace(0.5f);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(a.at(0, 1), 2.0f);
+}
+
+TEST(Tensor, NormIsL2)
+{
+    Tensor a(1, 2, {3, 4});
+    EXPECT_FLOAT_EQ(a.norm(), 5.0f);
+}
+
+TEST(Tensor, ItemOnNonScalarPanics)
+{
+    Tensor a(2, 2);
+    EXPECT_THROW(a.item(), std::logic_error);
+}
+
+TEST(Tensor, ShapeString)
+{
+    EXPECT_EQ(Tensor().shapeString(), "[scalar]");
+    EXPECT_EQ(Tensor(std::vector<float>{1, 2}).shapeString(), "[2]");
+    EXPECT_EQ(Tensor(3, 4).shapeString(), "[3x4]");
+}
+
+} // namespace
+} // namespace mapzero::nn

@@ -1,0 +1,101 @@
+/** @file Unit tests for the MapZero inference agent. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/validator.hpp"
+#include "rl/agent.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+std::shared_ptr<MapZeroNet>
+freshNet(const cgra::Architecture &arch, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return std::make_shared<MapZeroNet>(arch.peCount(), NetworkConfig{},
+                                        rng);
+}
+
+TEST(MapZeroAgent, MapsSumOnHrea)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    MapZeroAgent agent(freshNet(arch, 1));
+    const auto r = agent.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.placements.size(), static_cast<std::size_t>(8));
+}
+
+TEST(MapZeroAgent, MapsMacOnHycube)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hycube();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    MapZeroAgent agent(freshNet(arch, 2));
+    const auto r = agent.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success) << "backtracks=" << r.searchOps;
+}
+
+TEST(MapZeroAgent, CountsBacktracks)
+{
+    const dfg::Dfg d = dfg::buildKernel("conv2");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    MapZeroAgent agent(freshNet(arch, 3));
+    const auto r = agent.map(d, arch, mii, Deadline(30.0));
+    EXPECT_EQ(agent.lastBacktracks(), r.searchOps);
+    EXPECT_GE(r.searchOps, 0);
+}
+
+TEST(MapZeroAgent, InfeasibleIiFailsCleanly)
+{
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Add);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    const auto c = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    d.addEdge(b, c);
+    d.addEdge(c, a, 1); // RecMII 3
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    MapZeroAgent agent(freshNet(arch, 4));
+    const auto r = agent.map(d, arch, 2, Deadline(5.0));
+    EXPECT_FALSE(r.success);
+}
+
+TEST(MapZeroAgent, PeCountMismatchIsFatal)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture hrea = cgra::Architecture::hrea();
+    cgra::Architecture big = cgra::Architecture::baseline8();
+    MapZeroAgent agent(freshNet(hrea, 5));
+    EXPECT_THROW(agent.map(d, big, 1, Deadline(5.0)),
+                 std::runtime_error);
+}
+
+TEST(MapZeroAgent, NoMctsAblationConfig)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    AgentConfig cfg;
+    cfg.useMcts = false;
+    MapZeroAgent agent(freshNet(arch, 6), cfg);
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    // Guided search alone usually still succeeds on this easy case.
+    const auto r = agent.map(d, arch, mii, Deadline(30.0));
+    EXPECT_TRUE(r.success);
+}
+
+TEST(MapZeroAgent, NullNetworkIsFatal)
+{
+    EXPECT_THROW(MapZeroAgent(nullptr), std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero::rl

@@ -1,0 +1,139 @@
+/** @file Unit tests for observation/feature extraction. */
+
+#include <gtest/gtest.h>
+
+#include "cgra/symmetry.hpp"
+#include "dfg/kernels.hpp"
+#include "rl/features.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+mapper::MapEnv
+makeEnv()
+{
+    static dfg::Dfg d = dfg::buildKernel("sum");
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    return mapper::MapEnv(d, arch, 1);
+}
+
+TEST(Features, ShapesMatchPaperDimensions)
+{
+    auto env = makeEnv();
+    const Observation obs = observe(env);
+    EXPECT_EQ(obs.dfgFeatures.rows(), 8u);   // sum has 8 nodes
+    EXPECT_EQ(obs.dfgFeatures.cols(), kDfgFeatureDim);
+    EXPECT_EQ(obs.cgraFeatures.rows(), 16u); // HReA 4x4
+    EXPECT_EQ(obs.cgraFeatures.cols(), kCgraFeatureDim);
+    EXPECT_EQ(obs.metadata.rows(), 1u);
+    EXPECT_EQ(obs.metadata.cols(), kMetadataDim);
+    EXPECT_EQ(obs.actionMask.size(), 16u);
+    EXPECT_EQ(obs.dfgEdges.size(), 9u);      // sum has 9 edges
+}
+
+TEST(Features, UnassignedIdsMapToZero)
+{
+    auto env = makeEnv();
+    const Observation obs = observe(env);
+    // Nothing placed yet: assigned-PE feature (col 9) and mapped-node
+    // feature (col 6 of CGRA) must be 0.
+    for (std::size_t v = 0; v < obs.dfgFeatures.rows(); ++v)
+        EXPECT_FLOAT_EQ(obs.dfgFeatures.at(v, 9), 0.0f);
+    for (std::size_t p = 0; p < obs.cgraFeatures.rows(); ++p)
+        EXPECT_FLOAT_EQ(obs.cgraFeatures.at(p, 6), 0.0f);
+}
+
+TEST(Features, PlacementUpdatesFeatures)
+{
+    auto env = makeEnv();
+    const dfg::NodeId first = env.currentNode();
+    env.step(5);
+    const Observation obs = observe(env);
+    EXPECT_GT(obs.dfgFeatures.at(static_cast<std::size_t>(first), 9),
+              0.0f);
+    EXPECT_GT(obs.cgraFeatures.at(5, 6), 0.0f);
+    // PE 5's function slot is taken, so it is masked out when the next
+    // node shares the modulo slot.
+    EXPECT_FALSE(obs.actionMask[5]);
+}
+
+TEST(Features, SelfCycleFeatureSet)
+{
+    dfg::Dfg d;
+    const auto acc = d.addNode(dfg::Opcode::Add);
+    d.addNode(dfg::Opcode::Store);
+    d.addEdge(acc, acc, 1);
+    d.addEdge(acc, 1);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    mapper::MapEnv env(d, arch, 1);
+    const Observation obs = observe(env);
+    EXPECT_FLOAT_EQ(obs.dfgFeatures.at(0, 7), 1.0f);
+    EXPECT_FLOAT_EQ(obs.dfgFeatures.at(1, 7), 0.0f);
+}
+
+TEST(Features, CapabilityBooleansReflectFabric)
+{
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::heterogeneous();
+    mapper::MapEnv env(d, arch, 2);
+    const Observation obs = observe(env);
+    for (cgra::PeId p = 0; p < arch.peCount(); ++p) {
+        const auto r = static_cast<std::size_t>(p);
+        EXPECT_FLOAT_EQ(obs.cgraFeatures.at(r, 3),
+                        arch.pe(p).logic ? 1.0f : 0.0f);
+        EXPECT_FLOAT_EQ(obs.cgraFeatures.at(r, 5),
+                        arch.pe(p).memory ? 1.0f : 0.0f);
+    }
+}
+
+TEST(Features, MetadataDescribesCurrentNode)
+{
+    auto env = makeEnv();
+    const Observation obs = observe(env);
+    const auto cur = static_cast<std::size_t>(env.currentNode());
+    for (std::size_t c = 0; c < kDfgFeatureDim; ++c)
+        EXPECT_FLOAT_EQ(obs.metadata.at(0, c),
+                        obs.dfgFeatures.at(cur, c));
+}
+
+TEST(Features, PermutationRemapsMaskAndRows)
+{
+    auto env = makeEnv();
+    env.step(3);
+    const Observation obs = observe(env);
+    const auto syms = cgra::gridSymmetries(env.arch());
+    ASSERT_GT(syms.size(), 1u);
+    const auto &perm = syms[1];
+    const Observation out = permuteObservation(obs, perm);
+
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+        EXPECT_EQ(out.actionMask[static_cast<std::size_t>(perm[p])],
+                  obs.actionMask[p]);
+        // Non-id features copied verbatim to the permuted row.
+        for (std::size_t c = 1; c < kCgraFeatureDim; ++c)
+            EXPECT_FLOAT_EQ(
+                out.cgraFeatures.at(static_cast<std::size_t>(perm[p]),
+                                    c),
+                obs.cgraFeatures.at(p, c));
+    }
+}
+
+TEST(Features, PermutationRemapsAssignedPe)
+{
+    auto env = makeEnv();
+    const dfg::NodeId first = env.currentNode();
+    env.step(3);
+    const Observation obs = observe(env);
+    const auto syms = cgra::gridSymmetries(env.arch());
+    ASSERT_GT(syms.size(), 1u);
+    const auto &perm = syms[1];
+    const Observation out = permuteObservation(obs, perm);
+    const float expected =
+        static_cast<float>(perm[3] + 1) /
+        static_cast<float>(env.arch().peCount() + 1);
+    EXPECT_NEAR(out.dfgFeatures.at(static_cast<std::size_t>(first), 9),
+                expected, 1e-5f);
+}
+
+} // namespace
+} // namespace mapzero::rl

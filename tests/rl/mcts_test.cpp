@@ -1,0 +1,122 @@
+/** @file Unit tests for the MCTS search. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dfg/kernels.hpp"
+#include "rl/mcts.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+struct MctsFixture {
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng netRng{1};
+    MapZeroNet net{arch.peCount(), NetworkConfig{}, netRng};
+};
+
+TEST(Mcts, RestoresEnvironmentState)
+{
+    MctsFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    env.step(0);
+    const std::int32_t before = env.stepIndex();
+    const double reward_before = env.totalReward();
+
+    MctsConfig cfg;
+    cfg.expansionsPerMove = 16;
+    Mcts mcts(f.net, cfg);
+    Rng rng(2);
+    mcts.runFromCurrent(env, rng);
+    EXPECT_EQ(env.stepIndex(), before);
+    EXPECT_DOUBLE_EQ(env.totalReward(), reward_before);
+}
+
+TEST(Mcts, PiIsDistributionOverLegalActions)
+{
+    MctsFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    MctsConfig cfg;
+    cfg.expansionsPerMove = 32;
+    Mcts mcts(f.net, cfg);
+    Rng rng(3);
+    const MctsMoveResult move = mcts.runFromCurrent(env, rng);
+
+    const auto mask = env.actionMask();
+    double total = 0.0;
+    for (std::size_t a = 0; a < move.pi.size(); ++a) {
+        EXPECT_GE(move.pi[a], 0.0);
+        if (!mask[a]) {
+            EXPECT_DOUBLE_EQ(move.pi[a], 0.0);
+        }
+        total += move.pi[a];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_GE(move.bestAction, 0);
+    EXPECT_TRUE(mask[static_cast<std::size_t>(move.bestAction)]);
+}
+
+TEST(Mcts, SolvesTinyMappingViaSimulation)
+{
+    // 2-node chain on HReA: simulations should complete the mapping and
+    // short-circuit per §3.5.
+    dfg::Dfg d;
+    const auto a = d.addNode(dfg::Opcode::Load);
+    const auto b = d.addNode(dfg::Opcode::Add);
+    d.addEdge(a, b);
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng netRng(4);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, netRng);
+    mapper::MapEnv env(d, arch, 1);
+
+    MctsConfig cfg;
+    cfg.expansionsPerMove = 64;
+    Mcts mcts(net, cfg);
+    Rng rng(5);
+    const MctsMoveResult move = mcts.runFromCurrent(env, rng);
+    ASSERT_TRUE(move.solvedSuffix.has_value());
+    // Applying the suffix completes the mapping.
+    for (std::int32_t action : *move.solvedSuffix)
+        env.step(action);
+    EXPECT_TRUE(env.success());
+}
+
+TEST(Mcts, FinishedEpisodeIsPanic)
+{
+    MctsFixture f;
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Load);
+    mapper::MapEnv env(d, f.arch, 1);
+    env.step(0);
+    ASSERT_TRUE(env.done());
+    MctsConfig cfg;
+    Mcts mcts(f.net, cfg);
+    Rng rng(6);
+    EXPECT_THROW(mcts.runFromCurrent(env, rng), std::logic_error);
+}
+
+TEST(Mcts, MoreExpansionsVisitMore)
+{
+    MctsFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    Rng rng(7);
+
+    MctsConfig small;
+    small.expansionsPerMove = 4;
+    const auto move_small =
+        Mcts(f.net, small).runFromCurrent(env, rng);
+    MctsConfig big;
+    big.expansionsPerMove = 64;
+    const auto move_big = Mcts(f.net, big).runFromCurrent(env, rng);
+
+    const auto nonzero = [](const std::vector<double> &pi) {
+        return std::count_if(pi.begin(), pi.end(),
+                             [](double p) { return p > 0.0; });
+    };
+    EXPECT_GE(nonzero(move_big.pi), nonzero(move_small.pi));
+}
+
+} // namespace
+} // namespace mapzero::rl

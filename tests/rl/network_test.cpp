@@ -1,0 +1,120 @@
+/** @file Unit tests for the MapZero policy/value network. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dfg/kernels.hpp"
+#include "common/rng.hpp"
+#include "rl/network.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+TEST(MapZeroNet, OutputShapesAndMasking)
+{
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    mapper::MapEnv env(d, arch, 1);
+    Rng rng(1);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+
+    const Observation obs = observe(env);
+    const auto out = net.forward(obs);
+    EXPECT_EQ(out.logPolicy.tensor().cols(), 16u);
+    EXPECT_EQ(out.value.tensor().size(), 1u);
+
+    // Probabilities over legal actions sum to 1.
+    double total = 0.0;
+    for (std::size_t a = 0; a < 16; ++a)
+        if (obs.actionMask[a])
+            total += std::exp(
+                static_cast<double>(out.logPolicy.tensor()[a]));
+    EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(MapZeroNet, IllegalActionsGetZeroProbability)
+{
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    mapper::MapEnv env(d, arch, 1);
+    env.step(0); // occupy PE 0
+    Rng rng(2);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    const Observation obs = observe(env);
+    ASSERT_FALSE(obs.actionMask[0]);
+    const auto probs = net.policyProbabilities(obs);
+    EXPECT_DOUBLE_EQ(probs[0], 0.0);
+}
+
+TEST(MapZeroNet, DeterministicForward)
+{
+    dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    mapper::MapEnv env(d, arch, 1);
+    Rng rng(3);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    const Observation obs = observe(env);
+    const float v1 = net.forward(obs).value.item();
+    const float v2 = net.forward(obs).value.item();
+    EXPECT_FLOAT_EQ(v1, v2);
+}
+
+TEST(MapZeroNet, InductiveAcrossDfgSizes)
+{
+    // One network must process observations from different DFGs (the
+    // GAT front end is size-independent; §4.5).
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(4);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    for (const char *kernel : {"sum", "mac", "conv2"}) {
+        dfg::Dfg d = dfg::buildKernel(kernel);
+        const std::int32_t mii = dfg::minimumIi(
+            d, arch.peCount(), arch.memoryIssueCapacity());
+        mapper::MapEnv env(d, arch, mii);
+        EXPECT_NO_THROW(net.forward(observe(env))) << kernel;
+    }
+}
+
+TEST(MapZeroNet, PeCountMismatchIsFatal)
+{
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture hrea = cgra::Architecture::hrea();
+    cgra::Architecture big = cgra::Architecture::baseline8();
+    mapper::MapEnv env(d, big, 1);
+    Rng rng(5);
+    MapZeroNet net(hrea.peCount(), NetworkConfig{}, rng);
+    EXPECT_THROW(net.forward(observe(env)), std::logic_error);
+}
+
+TEST(MapZeroNet, ParameterCountScalesWithPolicyHead)
+{
+    Rng rng(6);
+    MapZeroNet small(16, NetworkConfig{}, rng);
+    Rng rng2(6);
+    MapZeroNet large(256, NetworkConfig{}, rng2);
+    EXPECT_GT(large.parameterCount(), small.parameterCount());
+}
+
+TEST(MapZeroNet, GradientsReachAllParameterGroups)
+{
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    mapper::MapEnv env(d, arch, 1);
+    Rng rng(7);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    const Observation obs = observe(env);
+    const auto out = net.forward(obs);
+    net.zeroGrad();
+    nn::Value loss = nn::add(nn::square(out.value),
+                             nn::scale(nn::sumAll(out.logPolicy), -1e-3f));
+    loss.backward();
+    std::size_t touched = 0;
+    for (const auto &p : net.parameters())
+        touched += p.grad().norm() > 0.0f ? 1 : 0;
+    // The overwhelming majority of tensors must receive gradient.
+    EXPECT_GT(touched, net.parameters().size() / 2);
+}
+
+} // namespace
+} // namespace mapzero::rl

@@ -1,0 +1,91 @@
+/** @file Unit tests for the self-play trainer. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/kernels.hpp"
+#include "rl/trainer.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+TrainerConfig
+fastConfig()
+{
+    TrainerConfig cfg;
+    cfg.mcts.expansionsPerMove = 8;
+    cfg.updatesPerEpisode = 1;
+    cfg.minBufferForTraining = 8;
+    cfg.batchSize = 8;
+    cfg.maxAugmentations = 1;
+    return cfg;
+}
+
+TEST(Trainer, EpisodeProducesStats)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer trainer(arch, fastConfig(), 1);
+    dfg::Dfg d = dfg::buildKernel("sum");
+    const EpisodeStats stats = trainer.runEpisode(d, 1);
+    EXPECT_EQ(stats.episode, 0);
+    EXPECT_EQ(trainer.history().size(), 1u);
+}
+
+TEST(Trainer, LossComputedOnceBufferFills)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer trainer(arch, fastConfig(), 2);
+    dfg::Dfg d = dfg::buildKernel("sum");
+    EpisodeStats last{};
+    for (int i = 0; i < 4; ++i)
+        last = trainer.runEpisode(d, 1);
+    // After several episodes the buffer exceeds the training threshold.
+    EXPECT_NE(last.totalLoss, 0.0);
+    EXPECT_GT(last.learningRate, 0.0f);
+}
+
+TEST(Trainer, PretrainRunsCurriculum)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer trainer(arch, fastConfig(), 3);
+    const auto stats =
+        trainer.pretrain(4, 3, 6, Deadline(60.0));
+    EXPECT_EQ(stats.size(), 4u);
+}
+
+TEST(Trainer, PretrainStopsAtDeadline)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer trainer(arch, fastConfig(), 4);
+    const auto stats = trainer.pretrain(1000, 3, 6, Deadline(0.5));
+    EXPECT_LT(stats.size(), 1000u);
+}
+
+TEST(Trainer, NoMctsAblationStillTrains)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    TrainerConfig cfg = fastConfig();
+    cfg.useMcts = false;
+    Trainer trainer(arch, cfg, 5);
+    dfg::Dfg d = dfg::buildKernel("sum");
+    EXPECT_NO_THROW(trainer.runEpisode(d, 1));
+}
+
+TEST(Trainer, WeightsChangeAfterTraining)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer trainer(arch, fastConfig(), 6);
+    const auto before =
+        trainer.network().parameters().front().tensor();
+    dfg::Dfg d = dfg::buildKernel("sum");
+    for (int i = 0; i < 4; ++i)
+        trainer.runEpisode(d, 1);
+    const auto &after =
+        trainer.network().parameters().front().tensor();
+    float diff = 0.0f;
+    for (std::size_t i = 0; i < before.size(); ++i)
+        diff += std::abs(before[i] - after[i]);
+    EXPECT_GT(diff, 0.0f);
+}
+
+} // namespace
+} // namespace mapzero::rl

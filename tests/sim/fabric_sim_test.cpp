@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Golden-model tests: compile kernels, execute the mappings on the
+ * fabric simulator, and compare against the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_mapper.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "mapper/router.hpp"
+#include "sim/fabric_sim.hpp"
+
+namespace mapzero::sim {
+namespace {
+
+/** Compile @p dfg onto @p arch with the exact mapper; asserts success. */
+mapper::MappingState
+compileOrDie(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+             std::int32_t ii)
+{
+    auto schedule = dfg::moduloSchedule(dfg, ii,
+                                        arch.memoryIssueCapacity());
+    EXPECT_TRUE(schedule.has_value());
+
+    baselines::ExactMapper mapper;
+    const auto r = mapper.map(dfg, arch, ii, Deadline(60.0));
+    EXPECT_TRUE(r.success) << dfg.name() << " @II=" << ii;
+
+    static std::vector<std::unique_ptr<cgra::Mrrg>> mrrgs;
+    mrrgs.push_back(std::make_unique<cgra::Mrrg>(arch, ii));
+    mapper::MappingState state(dfg, *mrrgs.back(), *schedule);
+    EXPECT_TRUE(mapper::Router::replayMapping(state, r.placements));
+    return state;
+}
+
+TEST(FabricSim, TinyChainMatchesReference)
+{
+    dfg::Dfg d;
+    const auto ld = d.addNode(dfg::Opcode::Load);
+    const auto add = d.addNode(dfg::Opcode::Add);
+    const auto st = d.addNode(dfg::Opcode::Store);
+    d.addEdge(ld, add);
+    d.addEdge(add, st);
+
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    static dfg::Dfg dd = d;
+    auto state = compileOrDie(dd, arch, 1);
+    EXPECT_EQ(compareWithReference(state, 8, defaultProvider()), "");
+}
+
+TEST(FabricSim, AccumulatorMatchesReference)
+{
+    dfg::Dfg d;
+    const auto ld = d.addNode(dfg::Opcode::Load);
+    const auto acc = d.addNode(dfg::Opcode::Add);
+    const auto st = d.addNode(dfg::Opcode::Store);
+    d.addEdge(ld, acc);
+    d.addEdge(acc, acc, 1);
+    d.addEdge(acc, st);
+
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    static dfg::Dfg dd = d;
+    auto state = compileOrDie(dd, arch, 2);
+    EXPECT_EQ(compareWithReference(state, 6, defaultProvider()), "");
+}
+
+class FabricSimKernel
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FabricSimKernel, CompiledKernelComputesCorrectly)
+{
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    static std::vector<std::unique_ptr<dfg::Dfg>> keep;
+    keep.push_back(
+        std::make_unique<dfg::Dfg>(dfg::buildKernel(GetParam())));
+    const dfg::Dfg &d = *keep.back();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    auto state = compileOrDie(d, arch, mii);
+    EXPECT_EQ(compareWithReference(state, 4, defaultProvider()), "")
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, FabricSimKernel,
+                         ::testing::Values("sum", "mac", "conv2",
+                                           "accumulate", "matmul"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(FabricSim, IncompleteMappingRejected)
+{
+    dfg::Dfg d;
+    d.addNode(dfg::Opcode::Load);
+    d.addNode(dfg::Opcode::Store);
+    d.addEdge(0, 1);
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Mrrg mrrg(arch, 1);
+    mapper::MappingState state(d, mrrg, *dfg::moduloSchedule(d, 1));
+    const auto result = simulateFabric(state, 2, defaultProvider());
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(FabricSim, CycleCountMatchesPipelineDepth)
+{
+    dfg::Dfg d;
+    const auto ld = d.addNode(dfg::Opcode::Load);
+    const auto st = d.addNode(dfg::Opcode::Store);
+    d.addEdge(ld, st);
+    static cgra::Architecture arch = cgra::Architecture::hrea();
+    static dfg::Dfg dd = d;
+    auto state = compileOrDie(dd, arch, 1);
+    const auto result = simulateFabric(state, 10, defaultProvider());
+    EXPECT_TRUE(result.ok);
+    // Schedule length + (iterations - 1) * II.
+    EXPECT_EQ(result.cycles,
+              state.schedule().length() + (10 - 1) * 1);
+    EXPECT_EQ(result.stores.size(), 10u);
+}
+
+TEST(FabricSim, HycubeMappingMatchesReference)
+{
+    static cgra::Architecture arch = cgra::Architecture::hycube();
+    static std::vector<std::unique_ptr<dfg::Dfg>> keep;
+    keep.push_back(std::make_unique<dfg::Dfg>(dfg::buildKernel("mac")));
+    const dfg::Dfg &d = *keep.back();
+    const std::int32_t mii = dfg::minimumIi(d, arch.peCount(),
+                                            arch.memoryIssueCapacity());
+    auto state = compileOrDie(d, arch, mii);
+    EXPECT_EQ(compareWithReference(state, 5, defaultProvider()), "");
+}
+
+} // namespace
+} // namespace mapzero::sim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Hardware-level golden-model tests: execute generated configuration
+ * bitstreams on the register/link-level simulator and compare against
+ * the reference DFG interpreter. This closes the loop over the whole
+ * stack: scheduler -> placer -> router -> bitstream -> hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/exact_mapper.hpp"
+#include "core/bitstream.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "mapper/router.hpp"
+#include "sim/hw_sim.hpp"
+#include "sim/interpreter.hpp"
+
+namespace mapzero::sim {
+namespace {
+
+struct HwSetup {
+    dfg::Dfg dfg;
+    cgra::Architecture arch;
+    std::unique_ptr<cgra::Mrrg> mrrg;
+    std::unique_ptr<mapper::MappingState> state;
+    Bitstream bitstream;
+    ActivationSchedule activation;
+
+    HwSetup(dfg::Dfg d, cgra::Architecture a)
+        : dfg(std::move(d)), arch(std::move(a))
+    {
+        const std::int32_t mii = dfg::minimumIi(
+            dfg, arch.peCount(), arch.memoryIssueCapacity());
+        baselines::ExactMapper exact;
+        const auto r = exact.map(dfg, arch, mii, Deadline(60.0));
+        EXPECT_TRUE(r.success) << dfg.name();
+        auto schedule = dfg::moduloSchedule(dfg, mii,
+                                            arch.memoryIssueCapacity());
+        mrrg = std::make_unique<cgra::Mrrg>(arch, mii);
+        state = std::make_unique<mapper::MappingState>(dfg, *mrrg,
+                                                       *schedule);
+        EXPECT_TRUE(mapper::Router::replayMapping(*state,
+                                                  r.placements));
+
+        bitstream = generateBitstream(*state);
+        activation.startTime = schedule->time;
+        activation.ii = mii;
+        activation.length = schedule->length();
+    }
+};
+
+/** Run hardware + interpreter and compare store multisets. */
+void
+expectHardwareMatchesReference(HwSetup &setup, std::int64_t iterations)
+{
+    const auto provider = defaultProvider();
+    const HwSimResult hw = runHardware(setup.bitstream, setup.arch,
+                                       setup.activation, iterations,
+                                       provider);
+    ASSERT_TRUE(hw.ok) << (hw.errors.empty() ? "" : hw.errors.front());
+
+    const InterpResult ref =
+        interpret(setup.dfg, iterations, provider);
+
+    auto sorted = [](std::vector<StoreRecord> v) {
+        std::sort(v.begin(), v.end(),
+                  [](const StoreRecord &a, const StoreRecord &b) {
+            return std::make_pair(a.node, a.iteration) <
+                   std::make_pair(b.node, b.iteration);
+        });
+        return v;
+    };
+    const auto hw_stores = sorted(hw.stores);
+    const auto ref_stores = sorted(ref.stores);
+    ASSERT_EQ(hw_stores.size(), ref_stores.size());
+    for (std::size_t i = 0; i < hw_stores.size(); ++i) {
+        EXPECT_EQ(hw_stores[i].value, ref_stores[i].value)
+            << "node " << ref_stores[i].node << " iter "
+            << ref_stores[i].iteration;
+    }
+}
+
+TEST(HwSim, TinyChainFromBitstream)
+{
+    dfg::Dfg d;
+    const auto ld = d.addNode(dfg::Opcode::Load);
+    const auto add = d.addNode(dfg::Opcode::Add);
+    const auto st = d.addNode(dfg::Opcode::Store);
+    d.addEdge(ld, add);
+    d.addEdge(add, st);
+    HwSetup setup(std::move(d), cgra::Architecture::hrea());
+    expectHardwareMatchesReference(setup, 6);
+}
+
+TEST(HwSim, AccumulatorFromBitstream)
+{
+    dfg::Dfg d;
+    const auto ld = d.addNode(dfg::Opcode::Load);
+    const auto acc = d.addNode(dfg::Opcode::Add);
+    const auto st = d.addNode(dfg::Opcode::Store);
+    d.addEdge(ld, acc);
+    d.addEdge(acc, acc, 1);
+    d.addEdge(acc, st);
+    HwSetup setup(std::move(d), cgra::Architecture::hrea());
+    expectHardwareMatchesReference(setup, 6);
+}
+
+class HwSimKernel : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(HwSimKernel, KernelBitstreamExecutesCorrectly)
+{
+    HwSetup setup(dfg::buildKernel(GetParam()),
+                  cgra::Architecture::hrea());
+    expectHardwareMatchesReference(setup, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, HwSimKernel,
+                         ::testing::Values("sum", "mac", "conv2",
+                                           "accumulate"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(HwSim, HycubeMultiHopBitstream)
+{
+    // Crossbar pass-through drives (Link-sourced LinkDrive) must
+    // resolve combinationally.
+    HwSetup setup(dfg::buildKernel("mac"),
+                  cgra::Architecture::hycube());
+    expectHardwareMatchesReference(setup, 5);
+}
+
+TEST(HwSim, RoundTrippedBitstreamStillExecutes)
+{
+    HwSetup setup(dfg::buildKernel("sum"), cgra::Architecture::hrea());
+    std::stringstream buffer;
+    writeBitstream(setup.bitstream, buffer);
+    setup.bitstream = readBitstream(buffer);
+    expectHardwareMatchesReference(setup, 4);
+}
+
+TEST(HwSim, PeCountMismatchRejected)
+{
+    HwSetup setup(dfg::buildKernel("sum"), cgra::Architecture::hrea());
+    const cgra::Architecture other = cgra::Architecture::morphosys();
+    const auto result =
+        runHardware(setup.bitstream, other, setup.activation, 2,
+                    defaultProvider());
+    EXPECT_FALSE(result.ok);
+}
+
+} // namespace
+} // namespace mapzero::sim

@@ -1,0 +1,81 @@
+/** @file Unit tests for the shared operational semantics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/semantics.hpp"
+
+namespace mapzero::sim {
+namespace {
+
+TEST(Semantics, ArithmeticOps)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Add, {3, 4}, 0, 0), 7);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Add, {3, 4, 5}, 0, 0), 12);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Sub, {10, 4}, 0, 0), 6);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Mul, {3, 4}, 0, 0), 12);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Div, {12, 4}, 0, 0), 3);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Div, {12, 0}, 0, 0), 0);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Mac, {3, 4, 5}, 0, 0), 17);
+}
+
+TEST(Semantics, LogicOps)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Shl, {1, 4}, 0, 0), 16);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Shr, {16, 2}, 0, 0), 4);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::And, {6, 3}, 0, 0), 2);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Or, {6, 3}, 0, 0), 7);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Xor, {6, 3}, 0, 0), 5);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Not, {0}, 0, 0), -1);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Cmp, {1, 2}, 0, 0), 1);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Cmp, {2, 1}, 0, 0), 0);
+}
+
+TEST(Semantics, SelectUsesThirdOperandAsPredicate)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Select, {10, 20, 1}, 0, 0), 10);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Select, {10, 20, 0}, 0, 0), 20);
+}
+
+TEST(Semantics, ShiftAmountsAreMasked)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Shl, {1, 64}, 0, 0), 1);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Shl, {1, 65}, 0, 0), 2);
+}
+
+TEST(Semantics, ConstDerivesFromNodeId)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Const, {}, 0, 3), constValue(3));
+    EXPECT_NE(constValue(3), constValue(4));
+}
+
+TEST(Semantics, LoadMixesStreamAndAddress)
+{
+    const Word base = evaluateOp(dfg::Opcode::Load, {}, 100, 0);
+    EXPECT_EQ(base, 100);
+    const Word with_addr = evaluateOp(dfg::Opcode::Load, {7}, 100, 0);
+    EXPECT_EQ(with_addr, 100 + (7 & 0xF));
+}
+
+TEST(Semantics, StoreAndRouteForwardFirstOperand)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Store, {42}, 0, 0), 42);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Route, {42}, 0, 0), 42);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Phi, {42, 7}, 0, 0), 42);
+}
+
+TEST(Semantics, MissingOperandsReadZero)
+{
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Sub, {5}, 0, 0), 5);
+    EXPECT_EQ(evaluateOp(dfg::Opcode::Add, {}, 0, 0), 0);
+}
+
+TEST(Semantics, DefaultProviderVariesByStreamAndIteration)
+{
+    const auto provider = defaultProvider();
+    EXPECT_NE(provider(0, 0), provider(1, 0));
+    EXPECT_NE(provider(0, 0), provider(0, 1));
+    EXPECT_EQ(provider(2, 3), provider(2, 3));
+}
+
+} // namespace
+} // namespace mapzero::sim

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * mapzero_cli - command-line front end of the MapZero compiler.
+ *
+ *   mapzero_cli map      --kernel mac --arch hrea [--method mapzero]
+ *                        [--time 10] [--viz] [--dot] [--bitstream F]
+ *   mapzero_cli analyze  --kernel arf
+ *   mapzero_cli simulate --kernel mac --arch hrea [--iters 8]
+ *   mapzero_cli list
+ *
+ * Kernels come from the built-in Table-2 set, or from a DOT file via
+ * --kernel-dot <path> (dialect of dfg/dot.hpp). Fabrics: hrea,
+ * morphosys, adres, hycube, baseline8, baseline16, hetero.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "baselines/exact_mapper.hpp"
+#include "common/log.hpp"
+#include "core/agent_cache.hpp"
+#include "core/bitstream.hpp"
+#include "core/compiler.hpp"
+#include "core/spatial.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+#include "mapper/visualize.hpp"
+#include "sim/fabric_sim.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/** Parsed "--key value" / "--flag" arguments. */
+struct Args {
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    bool
+    flag(const std::string &name) const
+    {
+        return options.count(name) > 0;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &fallback) const
+    {
+        const auto it = options.find(name);
+        return it == options.end() ? fallback : it->second;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc > 1)
+        args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            fatal("unexpected argument: " + token);
+        token = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+            args.options[token] = argv[++i];
+        else
+            args.options[token] = "";
+    }
+    return args;
+}
+
+cgra::Architecture
+fabricByName(const std::string &name)
+{
+    if (name == "hrea")       return cgra::Architecture::hrea();
+    if (name == "morphosys")  return cgra::Architecture::morphosys();
+    if (name == "adres")      return cgra::Architecture::adres();
+    if (name == "hycube")     return cgra::Architecture::hycube();
+    if (name == "baseline8")  return cgra::Architecture::baseline8();
+    if (name == "baseline16") return cgra::Architecture::baseline16();
+    if (name == "hetero")     return cgra::Architecture::heterogeneous();
+    fatal("unknown fabric: " + name +
+          " (hrea|morphosys|adres|hycube|baseline8|baseline16|hetero)");
+}
+
+dfg::Dfg
+kernelFromArgs(const Args &args)
+{
+    if (args.flag("kernel-dot")) {
+        std::ifstream is(args.get("kernel-dot", ""));
+        if (!is)
+            fatal("cannot open " + args.get("kernel-dot", ""));
+        return dfg::readDot(is);
+    }
+    return dfg::buildKernel(args.get("kernel", "mac"));
+}
+
+Method
+methodByName(const std::string &name)
+{
+    if (name == "mapzero") return Method::MapZero;
+    if (name == "ilp")     return Method::Ilp;
+    if (name == "sa")      return Method::Sa;
+    if (name == "lisa")    return Method::Lisa;
+    fatal("unknown method: " + name + " (mapzero|ilp|sa|lisa)");
+}
+
+/** Rebuild a MappingState from a CompileResult (routes re-derived). */
+mapper::MappingState
+rebuildMapping(const dfg::Dfg &dfg, const cgra::Mrrg &mrrg,
+               const CompileResult &r)
+{
+    auto schedule = dfg::moduloSchedule(
+        dfg, r.ii, mrrg.arch().memoryIssueCapacity());
+    mapper::MappingState state(dfg, mrrg, *schedule);
+    if (!mapper::Router::replayMapping(state, r.placements))
+        fatal("replaying the mapping failed");
+    return state;
+}
+
+int
+cmdList()
+{
+    std::printf("%-12s %5s %5s %9s\n", "kernel", "ops", "deps",
+                "unrolled");
+    for (const auto &info : dfg::kernelTable())
+        std::printf("%-12s %5d %5d %9s\n", info.name.c_str(),
+                    info.vertices, info.edges,
+                    info.unrolled ? "yes" : "no");
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const dfg::Dfg kernel = kernelFromArgs(args);
+    std::printf("kernel '%s': %d ops, %d deps, %d memory ops, "
+                "RecMII=%d\n\n",
+                kernel.name().c_str(), kernel.nodeCount(),
+                kernel.edgeCount(), kernel.memoryOpCount(),
+                dfg::recMii(kernel));
+    std::printf("%-16s %-8s %-8s\n", "fabric", "ResMII", "MII");
+    for (const char *name : {"hrea", "morphosys", "adres", "hycube",
+                             "baseline8", "baseline16", "hetero"}) {
+        const cgra::Architecture arch = fabricByName(name);
+        std::printf("%-16s %-8d %-8d\n", name,
+                    dfg::resMii(kernel, arch.peCount(),
+                                arch.memoryIssueCapacity()),
+                    Compiler::minimumIi(kernel, arch));
+    }
+    return 0;
+}
+
+int
+cmdMap(const Args &args)
+{
+    const dfg::Dfg kernel = kernelFromArgs(args);
+    const cgra::Architecture arch =
+        fabricByName(args.get("arch", "hrea"));
+    const Method method = methodByName(args.get("method", "mapzero"));
+
+    Compiler compiler;
+    if (method == Method::MapZero || method == Method::MapZeroNoMcts)
+        compiler.setNetwork(pretrainedNetwork(arch));
+
+    CompileOptions options;
+    options.timeLimitSeconds = std::atof(
+        args.get("time", "10").c_str());
+    const CompileResult r =
+        compiler.compile(kernel, arch, method, options);
+
+    if (!r.success) {
+        std::printf("mapping failed (MII=%d, %.2fs)\n", r.mii,
+                    r.seconds);
+        return 1;
+    }
+    std::printf("%s: %s on %s -> II=%d (MII=%d), %.3fs, %lld search "
+                "ops\n",
+                methodName(method), kernel.name().c_str(),
+                arch.name().c_str(), r.ii, r.mii, r.seconds,
+                static_cast<long long>(r.searchOps));
+
+    cgra::Mrrg mrrg(arch, r.ii);
+    mapper::MappingState state = rebuildMapping(kernel, mrrg, r);
+
+    if (args.flag("viz"))
+        std::printf("\n%s", mapper::renderMappingGrid(state).c_str());
+    if (args.flag("dot"))
+        std::printf("\n%s", mapper::mappingToDot(state).c_str());
+    if (args.flag("bitstream")) {
+        const Bitstream bitstream = generateBitstream(state);
+        const std::string path = args.get("bitstream", "");
+        if (path.empty()) {
+            std::printf("\n%s", bitstreamToText(bitstream).c_str());
+        } else {
+            std::ofstream os(path, std::ios::binary);
+            writeBitstream(bitstream, os);
+            std::printf("bitstream written to %s\n", path.c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    const dfg::Dfg kernel = kernelFromArgs(args);
+    const cgra::Architecture arch =
+        fabricByName(args.get("arch", "hrea"));
+    const std::int64_t iterations =
+        std::atoll(args.get("iters", "8").c_str());
+
+    const std::int32_t mii = Compiler::minimumIi(kernel, arch);
+    baselines::ExactMapper exact;
+    Compiler compiler;
+    const CompileResult r = compiler.compileWith(
+        exact, kernel, arch,
+        CompileOptions{.timeLimitSeconds = 30.0});
+    if (!r.success) {
+        std::printf("mapping failed (MII=%d)\n", mii);
+        return 1;
+    }
+
+    cgra::Mrrg mrrg(arch, r.ii);
+    mapper::MappingState state = rebuildMapping(kernel, mrrg, r);
+    const auto provider = sim::defaultProvider();
+    const auto run = sim::simulateFabric(state, iterations, provider);
+    std::printf("II=%d, %lld cycles, %zu stores\n", r.ii,
+                static_cast<long long>(run.cycles), run.stores.size());
+    const std::string divergence =
+        sim::compareWithReference(state, iterations, provider);
+    if (!divergence.empty()) {
+        std::printf("MISMATCH: %s\n", divergence.c_str());
+        return 1;
+    }
+    std::printf("matches the reference interpreter\n");
+    return 0;
+}
+
+} // namespace
+
+int
+cmdSpatial(const Args &args)
+{
+    const dfg::Dfg kernel = kernelFromArgs(args);
+    const cgra::Architecture arch =
+        fabricByName(args.get("arch", "hrea"));
+    baselines::ExactMapper engine;
+    SpatialOptions options;
+    options.timeLimitSeconds =
+        std::atof(args.get("time", "10").c_str());
+    const SpatialResult r = spatialMap(engine, kernel, arch, options);
+    if (!r.success) {
+        std::printf("one-shot mapping failed (critical path %d)\n",
+                    r.criticalPath);
+        return 1;
+    }
+    std::printf("one-shot mapping of %s on %s: makespan %d cycles "
+                "(critical path %d), %.3fs\n",
+                kernel.name().c_str(), arch.name().c_str(), r.makespan,
+                r.criticalPath, r.seconds);
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Args args = parseArgs(argc, argv);
+        if (args.command == "list")
+            return cmdList();
+        if (args.command == "analyze")
+            return cmdAnalyze(args);
+        if (args.command == "map")
+            return cmdMap(args);
+        if (args.command == "simulate")
+            return cmdSimulate(args);
+        if (args.command == "spatial")
+            return cmdSpatial(args);
+        std::printf(
+            "usage: mapzero_cli <list|analyze|map|simulate|spatial> "
+            "[options]\n"
+            "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
+            "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
+            "           [--viz] [--dot] [--bitstream [FILE]]\n"
+            "  analyze  --kernel NAME|--kernel-dot F\n"
+            "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
+            "  spatial  --kernel NAME --arch FABRIC [--time S]\n");
+        return args.command.empty() ? 0 : 2;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
