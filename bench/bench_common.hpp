@@ -13,10 +13,13 @@
 #define MAPZERO_BENCH_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/agent_cache.hpp"
 #include "core/compiler.hpp"
 #include "core/config.hpp"
@@ -66,10 +69,54 @@ evaluationKernels()
     return dfg::coreKernelNames();
 }
 
+/** Run-report path for benchmark @p name under @p dir. */
+inline std::string
+runReportPath(const std::string &name, const std::string &dir)
+{
+    std::string file = name;
+    for (char &c : file) {
+        if (c == ' ' || c == '/' || c == ':' || c == '(' || c == ')')
+            c = '_';
+    }
+    return dir + "/" + file + ".metrics.json";
+}
+
+/** Write the current metrics registry as a run report for @p name. */
+inline void
+dumpRunReport(const std::string &name, const std::string &dir)
+{
+    writeRunReport(runReportPath(name, dir));
+}
+
+/**
+ * When MAPZERO_BENCH_REPORT_DIR is set, dump a metrics run report
+ * there at process exit, named after the benchmark. Called from
+ * printBanner() so every bench binary gets it for free.
+ */
+inline void
+installRunReportAtExit(const std::string &what)
+{
+    static std::string path;
+    if (!path.empty())
+        return; // one report per process
+    const char *dir = std::getenv("MAPZERO_BENCH_REPORT_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    // Touch the singletons now so they are constructed before the
+    // handler is registered: statics die in reverse construction
+    // order, so lazily constructing them mid-run would leave the
+    // handler snapshotting already-destroyed objects at exit.
+    metrics();
+    TraceCollector::global();
+    path = runReportPath(what, dir);
+    std::atexit(+[] { writeRunReport(path); });
+}
+
 /** Print a header banner with the run configuration. */
 inline void
 printBanner(const std::string &what)
 {
+    installRunReportAtExit(what);
     std::printf("==========================================================\n");
     std::printf("%s\n", what.c_str());
     std::printf("config: timeLimit=%.1fs mctsExpansions=%d "

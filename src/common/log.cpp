@@ -1,7 +1,10 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace mapzero {
@@ -9,6 +12,33 @@ namespace mapzero {
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/**
+ * Apply MAPZERO_LOG_LEVEL once, at the first threshold query. An
+ * explicit setLogLevel() before any logging wins over the environment;
+ * unknown values are ignored (keeping the default rather than failing
+ * a run over a typo'd variable).
+ */
+void
+applyEnvLevelOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *value = std::getenv("MAPZERO_LOG_LEVEL");
+        if (value == nullptr || *value == '\0')
+            return;
+        if (std::strcmp(value, "debug") == 0)
+            globalLevel.store(LogLevel::Debug);
+        else if (std::strcmp(value, "info") == 0)
+            globalLevel.store(LogLevel::Info);
+        else if (std::strcmp(value, "warn") == 0)
+            globalLevel.store(LogLevel::Warn);
+        else if (std::strcmp(value, "error") == 0)
+            globalLevel.store(LogLevel::Error);
+        else if (std::strcmp(value, "off") == 0)
+            globalLevel.store(LogLevel::Off);
+    });
+}
 
 const char *
 levelName(LogLevel level)
@@ -28,18 +58,21 @@ levelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
+    applyEnvLevelOnce();
     globalLevel.store(level);
 }
 
 LogLevel
 logLevel()
 {
+    applyEnvLevelOnce();
     return globalLevel.load();
 }
 
 void
 logMessage(LogLevel level, const std::string &message)
 {
+    applyEnvLevelOnce();
     if (static_cast<int>(level) < static_cast<int>(globalLevel.load()))
         return;
     std::ostream &os =

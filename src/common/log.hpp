@@ -19,7 +19,14 @@ namespace mapzero {
 /** Severity of a log record, ordered from chattiest to most severe. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/** Set the global threshold; records below it are dropped. */
+/**
+ * Set the global threshold; records below it are dropped.
+ *
+ * The MAPZERO_LOG_LEVEL environment variable
+ * (debug|info|warn|error|off) is applied once at the first logging
+ * call, so consumers and CI can change verbosity without code changes;
+ * an explicit setLogLevel() afterwards overrides it.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current global threshold. */

@@ -1,0 +1,278 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mapzero {
+
+// --- Counter -----------------------------------------------------------
+
+void
+Counter::add(std::int64_t delta)
+{
+    if (enabled_ && !enabled_->load(std::memory_order_relaxed))
+        return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+// --- Gauge -------------------------------------------------------------
+
+void
+Gauge::set(double value)
+{
+    if (enabled_ && !enabled_->load(std::memory_order_relaxed))
+        return;
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const
+{
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// --- Histogram ---------------------------------------------------------
+
+std::size_t
+Histogram::bucketOf(double sample)
+{
+    if (!(sample > 0.0))
+        return 0; // underflow: zero, negative, NaN
+    // Bucket i (i >= 1) covers (kFirstBucketBound * 2^(i-2),
+    // kFirstBucketBound * 2^(i-1)].
+    const double scaled = sample / kFirstBucketBound;
+    if (scaled <= 1.0)
+        return 1;
+    const std::size_t index =
+        2 + static_cast<std::size_t>(std::ceil(std::log2(scaled)) - 1.0);
+    return std::min(index, kBucketCount - 1);
+}
+
+double
+Histogram::bucketBound(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    return kFirstBucketBound * std::ldexp(1.0, static_cast<int>(index) - 1);
+}
+
+void
+Histogram::record(double sample)
+{
+    if (enabled_ && !enabled_->load(std::memory_order_relaxed))
+        return;
+    buckets_[bucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(statMutex_);
+    const std::int64_t before =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    if (before == 0) {
+        min_ = max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    sum_ += sample;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(statMutex_);
+    return sum_;
+}
+
+double
+Histogram::min() const
+{
+    std::lock_guard<std::mutex> lock(statMutex_);
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    std::lock_guard<std::mutex> lock(statMutex_);
+    return max_;
+}
+
+double
+Histogram::mean() const
+{
+    const std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    const std::int64_t n = count();
+    if (n <= 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        const std::int64_t in_bucket =
+            buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        seen += in_bucket;
+        if (seen >= rank) {
+            // Interpolate within the bucket; clamp to observed range so
+            // coarse buckets never report beyond the real extremes.
+            const double lo = i == 0 ? 0.0 : bucketBound(i - 1);
+            const double hi = bucketBound(i);
+            const double frac = in_bucket > 0
+                ? static_cast<double>(rank - (seen - in_bucket)) /
+                      static_cast<double>(in_bucket)
+                : 1.0;
+            const double value = lo + frac * (hi - lo);
+            return std::clamp(value, min(), max());
+        }
+    }
+    return max();
+}
+
+// --- MetricsRegistry ---------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Counter &c = counters_[name];
+    c.enabled_ = &enabled_;
+    return c;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Gauge &g = gauges_[name];
+    g.enabled_ = &enabled_;
+    return g;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Histogram &h = histograms_[name];
+    h.enabled_ = &enabled_;
+    return h;
+}
+
+void
+MetricsRegistry::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c.value_.store(0, std::memory_order_relaxed);
+    for (auto &[name, g] : gauges_)
+        g.bits_.store(0, std::memory_order_relaxed);
+    for (auto &[name, h] : histograms_) {
+        for (auto &bucket : h.buckets_)
+            bucket.store(0, std::memory_order_relaxed);
+        h.count_.store(0, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> stat_lock(h.statMutex_);
+        h.sum_ = h.min_ = h.max_ = 0.0;
+    }
+}
+
+namespace {
+
+/** JSON number formatting: finite doubles only (NaN/inf become 0). */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(g.value());
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count()
+           << ", \"sum\": " << jsonNumber(h.sum())
+           << ", \"min\": " << jsonNumber(h.min())
+           << ", \"max\": " << jsonNumber(h.max())
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"p50\": " << jsonNumber(h.percentile(0.50))
+           << ", \"p95\": " << jsonNumber(h.percentile(0.95))
+           << ", \"p99\": " << jsonNumber(h.percentile(0.99)) << "}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+} // namespace mapzero

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Process-wide run metrics: counters, gauges, and log-bucketed
+ * histograms behind a single thread-safe registry.
+ *
+ * The MapZero evaluation is all about where search effort goes - MCTS
+ * expansions per move, routing conflicts, MII-sweep attempts - so the
+ * hot paths (compiler sweep, MCTS inner loop, router) publish their
+ * activity here and front ends snapshot the registry into a JSON "run
+ * report" next to their results.
+ *
+ * Cost model: instruments are resolved once per call site (a mutex-
+ * protected name lookup) and cached by reference; recording afterwards
+ * is one relaxed atomic op, cheap enough for the MCTS inner loop. A
+ * process-wide enable flag turns every record into a single relaxed
+ * load + branch for overhead-sensitive benchmarking.
+ *
+ * Naming convention: "<subsystem>.<what>[_<unit>]", lower_snake_case,
+ * e.g. "mcts.simulations", "router.route_failures",
+ * "compiler.attempt_seconds". Durations are histograms in seconds.
+ */
+
+#ifndef MAPZERO_COMMON_METRICS_HPP
+#define MAPZERO_COMMON_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mapzero {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add @p delta events (no-op while the registry is disabled). */
+    void add(std::int64_t delta = 1);
+
+    std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+    Counter() = default;
+
+  private:
+    friend class MetricsRegistry;
+
+    const std::atomic<bool> *enabled_ = nullptr;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Last-written value (learning rate, buffer fill, ...). */
+class Gauge
+{
+  public:
+    /** Overwrite the value (no-op while the registry is disabled). */
+    void set(double value);
+
+    double value() const;
+
+    Gauge() = default;
+
+  private:
+    friend class MetricsRegistry;
+
+    const std::atomic<bool> *enabled_ = nullptr;
+    /** Stored as bit pattern so reads/writes stay lock-free. */
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/**
+ * Log-bucketed histogram of non-negative samples.
+ *
+ * Buckets grow geometrically (factor 2 per bucket starting at
+ * kFirstBucketBound), which keeps percentile readout within a factor
+ * of 2 relative error across ~18 orders of magnitude - plenty for
+ * wall-times in seconds or hop counts. Zero and negative samples land
+ * in the underflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Number of geometric buckets plus the underflow bucket. */
+    static constexpr std::size_t kBucketCount = 64;
+    /** Upper bound of the first geometric bucket. */
+    static constexpr double kFirstBucketBound = 1e-9;
+
+    /** Record one sample (no-op while the registry is disabled). */
+    void record(double sample);
+
+    std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const;
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1], interpolated within the
+     * winning bucket; 0 when empty.
+     */
+    double percentile(double q) const;
+
+    Histogram() = default;
+
+  private:
+    friend class MetricsRegistry;
+
+    /** Index of the bucket holding @p sample. */
+    static std::size_t bucketOf(double sample);
+    /** Upper bound of bucket @p index (underflow bucket bounds at 0). */
+    static double bucketBound(std::size_t index);
+
+    const std::atomic<bool> *enabled_ = nullptr;
+    std::atomic<std::int64_t> buckets_[kBucketCount] = {};
+    std::atomic<std::int64_t> count_{0};
+    /** Sum/min/max under mutex: record() takes it only for these. */
+    mutable std::mutex statMutex_;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * The process-wide registry of named instruments.
+ *
+ * Instruments live for the lifetime of the process once created, so a
+ * call site can cache the returned reference:
+ *
+ *     static Counter &sims = MetricsRegistry::global()
+ *         .counter("mcts.simulations");
+ *     sims.add();
+ *
+ * reset() zeroes values but never invalidates references.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide instance used by the library's call sites. */
+    static MetricsRegistry &global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create the instrument named @p name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Master switch: while disabled, every add()/set()/record() is a
+     * relaxed load + branch (the compile-out-equivalent path for
+     * overhead-sensitive benchmarks). Enabled by default.
+     */
+    void setEnabled(bool enabled);
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Zero all values; existing references stay valid. */
+    void reset();
+
+    /**
+     * Snapshot of every instrument as a JSON object:
+     * counters/gauges map name -> number; histograms map name ->
+     * {count, sum, min, max, mean, p50, p95, p99}.
+     */
+    std::string snapshotJson() const;
+
+  private:
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mutex_;
+    /** node-based maps: element addresses are stable across inserts. */
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/** Shorthand used by instrumented call sites. */
+inline MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::global();
+}
+
+/** Escape @p text for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_METRICS_HPP

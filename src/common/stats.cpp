@@ -1,8 +1,9 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/log.hpp"
 
 namespace mapzero {
 
@@ -36,7 +37,9 @@ geoMean(const std::vector<double> &values)
         return 0.0;
     double logSum = 0.0;
     for (double v : values) {
-        assert(v > 0.0 && "geoMean requires strictly positive values");
+        if (!(v > 0.0))
+            panic(cat("geoMean requires strictly positive values, got ",
+                      v));
         logSum += std::log(v);
     }
     return std::exp(logSum / static_cast<double>(values.size()));
@@ -45,21 +48,24 @@ geoMean(const std::vector<double> &values)
 double
 minOf(const std::vector<double> &values)
 {
-    assert(!values.empty());
+    if (values.empty())
+        panic("minOf of an empty range");
     return *std::min_element(values.begin(), values.end());
 }
 
 double
 maxOf(const std::vector<double> &values)
 {
-    assert(!values.empty());
+    if (values.empty())
+        panic("maxOf of an empty range");
     return *std::max_element(values.begin(), values.end());
 }
 
 std::vector<double>
 emaSmooth(const std::vector<double> &values, double alpha)
 {
-    assert(alpha > 0.0 && alpha <= 1.0);
+    if (!(alpha > 0.0 && alpha <= 1.0))
+        panic(cat("emaSmooth alpha must be in (0, 1], got ", alpha));
     std::vector<double> out;
     out.reserve(values.size());
     double ema = 0.0;

@@ -21,11 +21,12 @@ double stddev(const std::vector<double> &values);
 
 /**
  * Geometric mean of strictly positive values; 0 for an empty range.
- * Used for the paper's "geo-mean compilation time reduction" numbers.
+ * Panics on non-positive values. Used for the paper's "geo-mean
+ * compilation time reduction" numbers.
  */
 double geoMean(const std::vector<double> &values);
 
-/** Minimum / maximum; callers must pass a non-empty range. */
+/** Minimum / maximum; panics on an empty range. */
 double minOf(const std::vector<double> &values);
 double maxOf(const std::vector<double> &values);
 

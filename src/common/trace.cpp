@@ -1,0 +1,179 @@
+#include "common/trace.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+
+namespace mapzero {
+
+namespace {
+
+/** Stable small integer for the calling thread's trace lane. */
+std::uint64_t
+currentTid()
+{
+    static std::atomic<std::uint64_t> next{1};
+    thread_local std::uint64_t tid = next.fetch_add(1);
+    return tid;
+}
+
+} // namespace
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector instance;
+    return instance;
+}
+
+void
+TraceCollector::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t
+TraceCollector::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+TraceCollector::add(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceCollector::instant(const std::string &name,
+                        const std::string &category,
+                        const std::string &args_json)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.argsJson = args_json;
+    event.startUs = nowUs();
+    event.durationUs = -1;
+    event.tid = currentTid();
+    add(std::move(event));
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::string
+TraceCollector::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        os << (first ? "" : ",") << "\n  {\"name\": \""
+           << jsonEscape(e.name) << "\", \"cat\": \""
+           << jsonEscape(e.category.empty() ? "mapzero" : e.category)
+           << "\", \"pid\": 1, \"tid\": " << e.tid
+           << ", \"ts\": " << e.startUs;
+        if (e.durationUs >= 0)
+            os << ", \"ph\": \"X\", \"dur\": " << e.durationUs;
+        else
+            os << ", \"ph\": \"i\", \"s\": \"t\"";
+        if (!e.argsJson.empty())
+            os << ", \"args\": " << e.argsJson;
+        os << "}";
+        first = false;
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+TraceCollector::writeTo(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace output file " + path);
+    os << toJson();
+    if (!os)
+        fatal("failed writing trace to " + path);
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category,
+                     std::string args_json)
+{
+    TraceCollector &collector = TraceCollector::global();
+    if (!collector.enabled())
+        return;
+    active_ = true;
+    startUs_ = collector.nowUs();
+    name_ = std::move(name);
+    category_ = std::move(category);
+    argsJson_ = std::move(args_json);
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    TraceCollector &collector = TraceCollector::global();
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.argsJson = std::move(argsJson_);
+    event.startUs = startUs_;
+    event.durationUs = collector.nowUs() - startUs_;
+    event.tid = currentTid();
+    collector.add(std::move(event));
+}
+
+void
+TraceSpan::setArgs(std::string args_json)
+{
+    if (active_)
+        argsJson_ = std::move(args_json);
+}
+
+void
+writeRunReport(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open metrics report file " + path);
+    os << "{\n\"metrics\": " << metrics().snapshotJson()
+       << ", \"traceEventCount\": "
+       << TraceCollector::global().eventCount() << "\n}\n";
+    if (!os)
+        fatal("failed writing metrics report to " + path);
+}
+
+} // namespace mapzero

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Scoped-span tracing in the Chrome trace-event format.
+ *
+ * A TraceSpan is an RAII guard: construction stamps the start time,
+ * destruction records a complete ("ph":"X") event into the process-wide
+ * TraceCollector. Spans nest naturally with C++ scopes, and viewers
+ * (chrome://tracing, https://ui.perfetto.dev) reconstruct the nesting
+ * from timestamp containment per thread.
+ *
+ * Tracing is *off* by default: a disabled collector reduces each span
+ * to one relaxed atomic load, so instrumentation can stay in the hot
+ * paths permanently. Front ends opt in with
+ * TraceCollector::global().setEnabled(true) (mapzero_cli does this for
+ * --trace-out) and dump the buffer with toJson()/writeTo().
+ *
+ * The collector can also emit a combined "run report": the trace plus a
+ * MetricsRegistry snapshot in one JSON document (writeRunReport()).
+ */
+
+#ifndef MAPZERO_COMMON_TRACE_HPP
+#define MAPZERO_COMMON_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mapzero {
+
+/** One finished span or instant, in microseconds since collector start. */
+struct TraceEvent {
+    std::string name;
+    /** Chrome "cat" field; we use the subsystem ("compiler", "mcts"). */
+    std::string category;
+    /** Optional pre-rendered JSON object for the "args" field. */
+    std::string argsJson;
+    std::int64_t startUs = 0;
+    /** Duration; < 0 marks an instant ("ph":"i") event. */
+    std::int64_t durationUs = -1;
+    /** Thread lane of the event. */
+    std::uint64_t tid = 0;
+};
+
+/** Process-wide buffer of trace events. */
+class TraceCollector
+{
+  public:
+    /** The process-wide instance used by TraceSpan. */
+    static TraceCollector &global();
+
+    TraceCollector() = default;
+    TraceCollector(const TraceCollector &) = delete;
+    TraceCollector &operator=(const TraceCollector &) = delete;
+
+    /** Turn collection on/off (off by default). */
+    void setEnabled(bool enabled);
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Microseconds since the collector's epoch (first use). */
+    std::int64_t nowUs() const;
+
+    /** Append a finished event (no-op while disabled). */
+    void add(TraceEvent event);
+
+    /** Append an instant event at the current time (no-op while disabled). */
+    void instant(const std::string &name, const std::string &category,
+                 const std::string &args_json = "");
+
+    /** Drop all buffered events. */
+    void clear();
+
+    /** Number of buffered events. */
+    std::size_t eventCount() const;
+
+    /** Copy of the buffered events (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    /** Chrome trace JSON: {"traceEvents": [...]}. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; throws via fatal() on I/O failure. */
+    void writeTo(const std::string &path) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    /** Epoch for timestamps, fixed at construction. */
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * RAII span: records [construction, destruction) into the global
+ * collector. Cheap no-op when the collector is disabled.
+ *
+ *     void compile(...) {
+ *         TraceSpan span("compile", "compiler");
+ *         ...
+ *     }
+ */
+class TraceSpan
+{
+  public:
+    /**
+     * @param name event name shown in the viewer
+     * @param category subsystem tag (Chrome "cat")
+     * @param args_json optional pre-rendered JSON object for "args",
+     *        e.g. "{\"ii\": 3}"
+     */
+    TraceSpan(std::string name, std::string category,
+              std::string args_json = "");
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach/replace the span's "args" JSON before it closes. */
+    void setArgs(std::string args_json);
+
+  private:
+    bool active_ = false;
+    std::int64_t startUs_ = 0;
+    std::string name_;
+    std::string category_;
+    std::string argsJson_;
+};
+
+/**
+ * Write a combined run report to @p path: {"metrics": <registry
+ * snapshot>, "traceEventCount": N}. The trace itself goes to its own
+ * file (writeTo) so viewers can open it directly.
+ */
+void writeRunReport(const std::string &path);
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_TRACE_HPP

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "nn/serialize.hpp"
 
 namespace mapzero {
@@ -63,9 +64,15 @@ std::shared_ptr<const rl::MapZeroNet>
 pretrainedNetwork(const cgra::Architecture &arch,
                   const PretrainBudget &budget)
 {
+    static Counter &hits = metrics().counter("agent_cache.hits");
+    static Counter &disk_hits = metrics().counter("agent_cache.disk_hits");
+    static Counter &misses = metrics().counter("agent_cache.misses");
+
     const std::string key = cacheKey(arch);
-    if (const auto it = cache().find(key); it != cache().end())
+    if (const auto it = cache().find(key); it != cache().end()) {
+        hits.add();
         return it->second;
+    }
 
     // Disk cache (opt-in via MAPZERO_AGENT_CACHE_DIR): reruns of the
     // benchmark harness skip pre-training entirely.
@@ -78,6 +85,7 @@ pretrainedNetwork(const cgra::Architecture &arch,
             nn::loadModule(*net, path);
             inform(cat("loaded cached MapZero agent for ", key,
                        " from ", path));
+            disk_hits.add();
             cache().emplace(key, net);
             return net;
         } catch (const std::exception &error) {
@@ -86,6 +94,7 @@ pretrainedNetwork(const cgra::Architecture &arch,
         }
     }
 
+    misses.add();
     inform(cat("pre-training MapZero agent for ", key, " (",
                budget.episodes, " episodes, <= ", budget.seconds, "s)"));
     auto trainer = trainAgent(arch, budget);

@@ -6,6 +6,8 @@
 #include "baselines/lisa_mapper.hpp"
 #include "baselines/sa_mapper.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/config.hpp"
 #include "dfg/schedule.hpp"
 
@@ -83,9 +85,25 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
                       const cgra::Architecture &arch,
                       const CompileOptions &options)
 {
+    static Counter &compiles = metrics().counter("compiler.compiles");
+    static Counter &attempts = metrics().counter("compiler.ii_attempts");
+    static Counter &escalations =
+        metrics().counter("compiler.ii_escalations");
+    static Counter &timeouts = metrics().counter("compiler.timeouts");
+    static Histogram &attempt_seconds =
+        metrics().histogram("compiler.attempt_seconds");
+    static Histogram &compile_seconds =
+        metrics().histogram("compiler.compile_seconds");
+
     CompileResult result;
     result.method = engine.name();
     result.mii = minimumIi(dfg, arch);
+
+    TraceSpan compile_span(
+        "compile", "compiler",
+        cat("{\"dfg\": \"", jsonEscape(dfg.name()), "\", \"method\": \"",
+            jsonEscape(result.method), "\", \"mii\": ", result.mii, "}"));
+    compiles.add();
 
     const Deadline deadline(options.timeLimitSeconds);
     Timer timer;
@@ -93,8 +111,16 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
     for (std::int32_t ii = result.mii;
          ii <= result.mii + options.maxIiIncrease; ++ii) {
         if (deadline.expired()) {
+            warn(cat("compile of '", dfg.name(), "' (", result.method,
+                     "): time budget exhausted before II=", ii));
             result.timedOut = true;
             break;
+        }
+        if (ii > result.mii) {
+            inform(cat("compile of '", dfg.name(), "' (", result.method,
+                       "): II=", ii - 1, " infeasible, escalating to II=",
+                       ii));
+            escalations.add();
         }
         // Budget slicing: a complete search can burn the whole limit
         // proving one II infeasible, so each attempt gets half of the
@@ -105,8 +131,14 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
             : 0.0;
         const Deadline attempt_deadline(
             std::min(slice, deadline.remaining()));
-        baselines::AttemptResult attempt =
-            engine.map(dfg, arch, ii, attempt_deadline);
+        baselines::AttemptResult attempt;
+        {
+            TraceSpan attempt_span("ii_attempt", "compiler",
+                                   cat("{\"ii\": ", ii, "}"));
+            attempt = engine.map(dfg, arch, ii, attempt_deadline);
+        }
+        attempts.add();
+        attempt_seconds.record(attempt.seconds);
         result.searchOps += attempt.searchOps;
         if (attempt.success) {
             result.success = true;
@@ -118,11 +150,17 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
         // A sliced timeout only ends the sweep when the overall budget
         // is gone; otherwise move on to the next II.
         result.timedOut = attempt.timedOut && deadline.expired();
-        if (result.timedOut)
+        if (result.timedOut) {
+            warn(cat("compile of '", dfg.name(), "' (", result.method,
+                     "): time budget exhausted at II=", ii));
             break;
+        }
     }
 
+    if (result.timedOut)
+        timeouts.add();
     result.seconds = timer.seconds();
+    compile_seconds.record(result.seconds);
     return result;
 }
 

@@ -5,8 +5,28 @@
 #include <unordered_map>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace mapzero::mapper {
+
+namespace {
+
+/** Hot-loop instruments, resolved once (see metrics.hpp cost model). */
+struct RouterMetrics {
+    Counter &routesOk = metrics().counter("router.routes_committed");
+    Counter &routeFailures = metrics().counter("router.route_failures");
+    Counter &conflicts = metrics().counter("router.conflicts");
+    Counter &wireHops = metrics().counter("router.wire_hops");
+
+    static RouterMetrics &
+    get()
+    {
+        static RouterMetrics instance;
+        return instance;
+    }
+};
+
+} // namespace
 
 namespace {
 
@@ -100,6 +120,9 @@ Router::findRoute(std::int32_t edge_index) const
         : searchSingleHop(edge, t_produce, t_consume);
     if (route && !routeSelfConsistent(state_->mrrg(), state_->routing(),
                                       *route, edge.src)) {
+        // The search found a path, but committing it would double-book
+        // a modulo resource: a routing conflict in the paper's sense.
+        RouterMetrics::get().conflicts.add();
         return std::nullopt;
     }
     return route;
@@ -388,9 +411,14 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
 bool
 Router::routeEdge(std::int32_t edge_index)
 {
+    RouterMetrics &m = RouterMetrics::get();
     auto route = findRoute(edge_index);
-    if (!route)
+    if (!route) {
+        m.routeFailures.add();
         return false;
+    }
+    m.routesOk.add();
+    m.wireHops.add(route->hops);
     state_->commitRoute(edge_index, std::move(*route));
     return true;
 }
@@ -408,12 +436,16 @@ Router::routeIncidentEdges(dfg::NodeId node)
             dfg.edges()[static_cast<std::size_t>(ei)];
         if (!state_->placed(e.src) || !state_->placed(e.dst))
             return;
+        RouterMetrics &m = RouterMetrics::get();
         auto route = findRoute(ei);
         if (route) {
             result.totalHops += route->hops;
+            m.routesOk.add();
+            m.wireHops.add(route->hops);
             state_->commitRoute(ei, std::move(*route));
             ++result.routed;
         } else {
+            m.routeFailures.add();
             ++result.failed;
         }
     };

@@ -4,8 +4,34 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace mapzero::rl {
+
+namespace {
+
+/** Hot-loop instruments, resolved once (see metrics.hpp cost model). */
+struct MctsMetrics {
+    Counter &simulations = metrics().counter("mcts.simulations");
+    Counter &nodes = metrics().counter("mcts.nodes_allocated");
+    Counter &netEvals = metrics().counter("mcts.net_evals");
+    Counter &solvedSuffixes =
+        metrics().counter("mcts.solved_suffix_shortcircuits");
+    Counter &moves = metrics().counter("mcts.moves");
+    Histogram &netEvalSeconds =
+        metrics().histogram("mcts.net_eval_seconds");
+
+    static MctsMetrics &
+    get()
+    {
+        static MctsMetrics instance;
+        return instance;
+    }
+};
+
+} // namespace
 
 /** One state in the search tree. */
 struct Mcts::TreeNode {
@@ -97,8 +123,12 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
 
         if (!node->expanded) {
             // Evaluate + expand the leaf with network priors.
+            MctsMetrics &m = MctsMetrics::get();
             const Observation obs = observe(env);
+            const Timer eval_timer;
             const MapZeroNet::Output out = net_->forward(obs);
+            m.netEvals.add();
+            m.netEvalSeconds.record(eval_timer.seconds());
             leaf_value = static_cast<double>(out.value.item()) /
                          config_.valueScale;
             for (std::int32_t a = 0;
@@ -137,8 +167,10 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
         const mapper::StepOutcome out = env.step(best->action);
         actions.push_back(best->action);
         path.push_back(PathEntry{best, out.reward});
-        if (!best->child)
+        if (!best->child) {
             best->child = std::make_unique<TreeNode>();
+            MctsMetrics::get().nodes.add();
+        }
         node = best->child.get();
     }
 
@@ -165,14 +197,20 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
     if (env.done())
         panic("MCTS from a finished episode");
 
+    MctsMetrics &m = MctsMetrics::get();
+    TraceSpan move_span("mcts.move", "mcts");
+    m.moves.add();
+
     TreeNode root;
     MctsMoveResult result;
     result.pi.assign(static_cast<std::size_t>(net_->peCount()), 0.0);
 
     std::vector<std::int32_t> solved_path;
     for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {
+        m.simulations.add();
         if (simulate(root, env, rng, solved_path)) {
             result.solvedSuffix = solved_path;
+            m.solvedSuffixes.add();
             break;
         }
         // Root noise once the root has been expanded (self-play only).

@@ -1,12 +1,59 @@
 #include "rl/trainer.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "dfg/random_gen.hpp"
 #include "dfg/schedule.hpp"
 
 namespace mapzero::rl {
+
+namespace {
+
+/** Publish an episode's learning-curve record into the registry. */
+void
+publishEpisodeMetrics(const EpisodeStats &stats, std::size_t replay_size)
+{
+    static Counter &episodes = metrics().counter("trainer.episodes");
+    static Counter &successes = metrics().counter("trainer.successes");
+    static Histogram &reward =
+        metrics().histogram("trainer.episode_reward");
+    static Histogram &loss = metrics().histogram("trainer.total_loss");
+    static Gauge &lr = metrics().gauge("trainer.learning_rate");
+    static Gauge &replay = metrics().gauge("trainer.replay_size");
+
+    episodes.add();
+    if (stats.success)
+        successes.add();
+    reward.record(stats.reward);
+    loss.record(stats.totalLoss);
+    lr.set(stats.learningRate);
+    replay.set(static_cast<double>(replay_size));
+}
+
+/** Append @p stats as one JSON line to @p path (best-effort). */
+void
+appendStatsJsonl(const std::string &path, const EpisodeStats &stats)
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("cannot append episode stats to " + path);
+        return;
+    }
+    os << "{\"episode\": " << stats.episode
+       << ", \"success\": " << (stats.success ? "true" : "false")
+       << ", \"reward\": " << stats.reward
+       << ", \"routingPenalty\": " << stats.routingPenalty
+       << ", \"totalLoss\": " << stats.totalLoss
+       << ", \"valueLoss\": " << stats.valueLoss
+       << ", \"policyLoss\": " << stats.policyLoss
+       << ", \"learningRate\": " << stats.learningRate << "}\n";
+}
+
+} // namespace
 
 Trainer::Trainer(const cgra::Architecture &arch, TrainerConfig config,
                  std::uint64_t seed)
@@ -27,6 +74,9 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
 {
     EpisodeStats stats;
     stats.episode = episodeCounter_++;
+    TraceSpan episode_span("episode", "trainer",
+                           cat("{\"episode\": ", stats.episode,
+                               ", \"ii\": ", ii, "}"));
 
     // Training episodes keep going after a routing conflict (the paper
     // charges -100 and continues; the final return encodes success), so
@@ -143,6 +193,13 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
 
     // --- Gradient updates ------------------------------------------------
     if (replay_.size() >= config_.minBufferForTraining) {
+        if (!bufferFillAnnounced_) {
+            inform(cat("replay buffer reached the training threshold (",
+                       replay_.size(), " >= ",
+                       config_.minBufferForTraining,
+                       " samples); gradient updates begin"));
+            bufferFillAnnounced_ = true;
+        }
         for (std::int32_t u = 0; u < config_.updatesPerEpisode; ++u)
             trainStep(stats);
         if (config_.updatesPerEpisode > 0) {
@@ -153,6 +210,25 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
         }
     }
     stats.learningRate = optimizer_->learningRate();
+
+    publishEpisodeMetrics(stats, replay_.size());
+    if (!config_.statsJsonlPath.empty())
+        appendStatsJsonl(config_.statsJsonlPath, stats);
+    if (config_.progressEvery > 0 &&
+        (stats.episode + 1) % config_.progressEvery == 0) {
+        std::int32_t recent_ok = 0;
+        const std::size_t window = std::min<std::size_t>(
+            history_.size() + 1,
+            static_cast<std::size_t>(config_.progressEvery));
+        for (std::size_t i = history_.size() + 1 - window;
+             i < history_.size(); ++i)
+            recent_ok += history_[i].success ? 1 : 0;
+        recent_ok += stats.success ? 1 : 0;
+        inform(cat("episode ", stats.episode + 1, ": ", recent_ok, "/",
+                   window, " recent successes, loss=", stats.totalLoss,
+                   ", lr=", stats.learningRate));
+    }
+
     history_.push_back(stats);
     return stats;
 }

@@ -13,6 +13,7 @@
 #define MAPZERO_RL_TRAINER_HPP
 
 #include <memory>
+#include <string>
 
 #include "cgra/symmetry.hpp"
 #include "common/timer.hpp"
@@ -53,6 +54,10 @@ struct TrainerConfig {
     bool useMcts = true;
     /** Start training once the buffer holds this many samples. */
     std::size_t minBufferForTraining = 64;
+    /** Append one JSON line per EpisodeStats here ("" disables). */
+    std::string statsJsonlPath;
+    /** inform() progress every this many episodes (0 disables). */
+    std::int32_t progressEvery = 25;
 };
 
 /** Per-episode learning-curve record (drives Fig. 12). */
@@ -131,6 +136,8 @@ class Trainer
     std::vector<cgra::PePermutation> symmetries_;
     std::vector<EpisodeStats> history_;
     std::int32_t episodeCounter_ = 0;
+    /** The buffer-fill inform() fires once per trainer. */
+    bool bufferFillAnnounced_ = false;
 };
 
 } // namespace mapzero::rl

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "sim/interpreter.hpp"
 
 namespace mapzero::sim {
@@ -128,6 +129,8 @@ simulateFabric(const mapper::MappingState &state, std::int64_t iterations,
         }
     }
     result.cycles = last_cycle + 1;
+    static Counter &cycles = metrics().counter("sim.fabric_cycles");
+    cycles.add(result.cycles);
     return result;
 }
 

@@ -1,6 +1,7 @@
 #include "sim/interpreter.hpp"
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "dfg/schedule.hpp"
 
 namespace mapzero::sim {
@@ -9,6 +10,13 @@ InterpResult
 interpret(const dfg::Dfg &dfg, std::int64_t iterations,
           const InputProvider &provider)
 {
+    static Counter &iterations_run =
+        metrics().counter("sim.interp_iterations");
+    static Counter &ops_evaluated =
+        metrics().counter("sim.interp_ops_evaluated");
+    iterations_run.add(iterations);
+    ops_evaluated.add(iterations * dfg.nodeCount());
+
     const auto order = dfg::topologicalOrder(dfg);
     InterpResult result;
     result.values.assign(

@@ -1,0 +1,184 @@
+/** @file Unit tests for the metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Fresh registries per test keep the global one untouched. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    MetricsRegistry registry;
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAccumulates)
+{
+    Counter &c = registry.counter("test.counter");
+    EXPECT_EQ(c.value(), 0);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameInstrument)
+{
+    Counter &a = registry.counter("test.same");
+    Counter &b = registry.counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3);
+}
+
+TEST_F(MetricsTest, GaugeHoldsLastValue)
+{
+    Gauge &g = registry.gauge("test.gauge");
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(2.5);
+    g.set(-7.25);
+    EXPECT_DOUBLE_EQ(g.value(), -7.25);
+}
+
+TEST_F(MetricsTest, HistogramBasicStats)
+{
+    Histogram &h = registry.histogram("test.hist");
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.record(1.0);
+    h.record(2.0);
+    h.record(3.0);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentilesOnKnownDistribution)
+{
+    Histogram &h = registry.histogram("test.uniform");
+    // Uniform grid over [1, 1000]: log-bucketing guarantees relative
+    // accuracy within the bucket width (factor 2).
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    const double p50 = h.percentile(0.50);
+    const double p95 = h.percentile(0.95);
+    const double p99 = h.percentile(0.99);
+    EXPECT_GE(p50, 250.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_GE(p95, 475.0);
+    EXPECT_LE(p95, 1000.0);
+    EXPECT_GE(p99, p95);
+    EXPECT_LE(p99, 1000.0);
+    // Percentiles never exceed the observed extremes.
+    EXPECT_GE(h.percentile(0.0), 1.0);
+    EXPECT_LE(h.percentile(1.0), 1000.0);
+}
+
+TEST_F(MetricsTest, HistogramTightBucketsAreExact)
+{
+    Histogram &h = registry.histogram("test.point");
+    // All samples in one bucket: every percentile lands inside it.
+    for (int i = 0; i < 100; ++i)
+        h.record(5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 5.0);
+}
+
+TEST_F(MetricsTest, HistogramUnderflowBucket)
+{
+    Histogram &h = registry.histogram("test.underflow");
+    h.record(0.0);
+    h.record(-1.0);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_LE(h.percentile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, DisabledRegistryDropsAllRecords)
+{
+    Counter &c = registry.counter("test.disabled_counter");
+    Gauge &g = registry.gauge("test.disabled_gauge");
+    Histogram &h = registry.histogram("test.disabled_hist");
+    registry.setEnabled(false);
+    c.add(5);
+    g.set(1.0);
+    h.record(1.0);
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0);
+    registry.setEnabled(true);
+    c.add(5);
+    EXPECT_EQ(c.value(), 5);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsReferences)
+{
+    Counter &c = registry.counter("test.reset");
+    Histogram &h = registry.histogram("test.reset_hist");
+    c.add(9);
+    h.record(4.0);
+    registry.reset();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    c.add(1);
+    EXPECT_EQ(c.value(), 1);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless)
+{
+    Counter &c = registry.counter("test.concurrent");
+    Histogram &h = registry.histogram("test.concurrent_hist");
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c, &h] {
+            for (int i = 0; i < kIncrements; ++i) {
+                c.add();
+                h.record(1.0);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(), kThreads * kIncrements);
+    EXPECT_EQ(h.count(), kThreads * kIncrements);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * kIncrements * 1.0);
+}
+
+TEST_F(MetricsTest, SnapshotJsonContainsAllInstruments)
+{
+    registry.counter("snap.counter").add(7);
+    registry.gauge("snap.gauge").set(1.5);
+    registry.histogram("snap.hist").record(2.0);
+    const std::string json = registry.snapshotJson();
+    EXPECT_NE(json.find("\"snap.counter\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"snap.gauge\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"snap.hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &metrics());
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+} // namespace
+} // namespace mapzero

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 
@@ -39,6 +40,25 @@ TEST(Stats, GeoMeanBasic)
 TEST(Stats, GeoMeanSingleValue)
 {
     EXPECT_NEAR(geoMean({42.0}), 42.0, 1e-9);
+}
+
+TEST(Stats, GeoMeanPanicsOnNonPositiveValues)
+{
+    EXPECT_THROW(geoMean({1.0, 0.0}), std::logic_error);
+    EXPECT_THROW(geoMean({1.0, -3.0}), std::logic_error);
+}
+
+TEST(Stats, MinMaxPanicOnEmptyRange)
+{
+    EXPECT_THROW(minOf({}), std::logic_error);
+    EXPECT_THROW(maxOf({}), std::logic_error);
+}
+
+TEST(Stats, EmaSmoothPanicsOnBadAlpha)
+{
+    EXPECT_THROW(emaSmooth({1.0}, 0.0), std::logic_error);
+    EXPECT_THROW(emaSmooth({1.0}, -0.5), std::logic_error);
+    EXPECT_THROW(emaSmooth({1.0}, 1.5), std::logic_error);
 }
 
 TEST(Stats, MinMax)

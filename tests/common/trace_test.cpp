@@ -1,0 +1,149 @@
+/** @file Unit tests for the trace collector and span guards. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/exact_mapper.hpp"
+#include "cgra/architecture.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Enables the global collector for one test, restoring state after. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceCollector::global().clear();
+        TraceCollector::global().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        TraceCollector::global().setEnabled(false);
+        TraceCollector::global().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing)
+{
+    TraceCollector::global().setEnabled(false);
+    {
+        TraceSpan span("ignored", "test");
+    }
+    TraceCollector::global().instant("also_ignored", "test");
+    EXPECT_EQ(TraceCollector::global().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEventOnDestruction)
+{
+    {
+        TraceSpan span("outer", "test", "{\"k\": 1}");
+    }
+    const auto events = TraceCollector::global().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].category, "test");
+    EXPECT_EQ(events[0].argsJson, "{\"k\": 1}");
+    EXPECT_GE(events[0].durationUs, 0);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained)
+{
+    {
+        TraceSpan outer("outer", "test");
+        {
+            TraceSpan inner("inner", "test");
+        }
+    }
+    const auto events = TraceCollector::global().events();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner closes first, so it is recorded first.
+    const TraceEvent &inner = events[0];
+    const TraceEvent &outer = events[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_GE(inner.startUs, outer.startUs);
+    EXPECT_LE(inner.startUs + inner.durationUs,
+              outer.startUs + outer.durationUs);
+}
+
+TEST_F(TraceTest, JsonIsWellFormedChromeTrace)
+{
+    {
+        TraceSpan span("span \"quoted\"", "test");
+    }
+    TraceCollector::global().instant("marker", "test");
+    const std::string json = TraceCollector::global().toJson();
+    EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("span \\\"quoted\\\""), std::string::npos);
+    // Balanced braces/brackets (no raw quotes left unescaped would
+    // break this crude structural check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, CompileEmitsNestedCompilerSpans)
+{
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    baselines::ExactMapper engine;
+    Compiler compiler;
+    const CompileResult result = compiler.compileWith(
+        engine, kernel, arch, CompileOptions{.timeLimitSeconds = 30.0});
+    ASSERT_TRUE(result.success);
+
+    const auto events = TraceCollector::global().events();
+    const auto find = [&](const std::string &name) {
+        return std::find_if(events.begin(), events.end(),
+                            [&](const TraceEvent &e) {
+                                return e.name == name;
+                            });
+    };
+    const auto compile_it = find("compile");
+    const auto attempt_it = find("ii_attempt");
+    ASSERT_NE(compile_it, events.end());
+    ASSERT_NE(attempt_it, events.end());
+    // The II attempt nests inside the compile span.
+    EXPECT_GE(attempt_it->startUs, compile_it->startUs);
+    EXPECT_LE(attempt_it->startUs + attempt_it->durationUs,
+              compile_it->startUs + compile_it->durationUs);
+    EXPECT_NE(compile_it->argsJson.find("\"mii\""), std::string::npos);
+}
+
+TEST_F(TraceTest, MetricsSnapshotRoundTripInRunReport)
+{
+    MetricsRegistry &registry = metrics();
+    registry.counter("trace_test.probe").add(3);
+    const std::string path =
+        ::testing::TempDir() + "/mapzero_run_report.json";
+    writeRunReport(path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string report = buffer.str();
+    EXPECT_NE(report.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(report.find("\"trace_test.probe\": 3"), std::string::npos);
+    EXPECT_NE(report.find("\"traceEventCount\""), std::string::npos);
+    EXPECT_EQ(std::count(report.begin(), report.end(), '{'),
+              std::count(report.begin(), report.end(), '}'));
+}
+
+} // namespace
+} // namespace mapzero

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "dfg/kernels.hpp"
 #include "rl/trainer.hpp"
 
@@ -28,6 +31,31 @@ TEST(Trainer, EpisodeProducesStats)
     const EpisodeStats stats = trainer.runEpisode(d, 1);
     EXPECT_EQ(stats.episode, 0);
     EXPECT_EQ(trainer.history().size(), 1u);
+}
+
+TEST(Trainer, EpisodeStatsJsonlSink)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    TrainerConfig cfg = fastConfig();
+    cfg.statsJsonlPath =
+        ::testing::TempDir() + "/trainer_stats_test.jsonl";
+    std::remove(cfg.statsJsonlPath.c_str());
+    Trainer trainer(arch, cfg, 7);
+    dfg::Dfg d = dfg::buildKernel("sum");
+    trainer.runEpisode(d, 1);
+    trainer.runEpisode(d, 1);
+
+    std::ifstream is(cfg.statsJsonlPath);
+    ASSERT_TRUE(is.good());
+    std::string line;
+    int lines = 0;
+    while (std::getline(is, line)) {
+        EXPECT_EQ(line.rfind("{\"episode\": ", 0), 0u) << line;
+        EXPECT_NE(line.find("\"reward\":"), std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+    std::remove(cfg.statsJsonlPath.c_str());
 }
 
 TEST(Trainer, LossComputedOnceBufferFills)

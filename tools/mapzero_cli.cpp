@@ -11,6 +11,13 @@
  * Kernels come from the built-in Table-2 set, or from a DOT file via
  * --kernel-dot <path> (dialect of dfg/dot.hpp). Fabrics: hrea,
  * morphosys, adres, hycube, baseline8, baseline16, hetero.
+ *
+ * Observability options (any command):
+ *   --trace-out FILE    Chrome trace-event JSON of the run (open in
+ *                       chrome://tracing or https://ui.perfetto.dev)
+ *   --metrics-out FILE  JSON run report of all registry metrics
+ *   --log-level LEVEL   debug|info|warn|error|off (also settable via
+ *                       the MAPZERO_LOG_LEVEL environment variable)
  */
 
 #include <cstdio>
@@ -21,6 +28,8 @@
 
 #include "baselines/exact_mapper.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/agent_cache.hpp"
 #include "core/bitstream.hpp"
 #include "core/compiler.hpp"
@@ -267,31 +276,87 @@ cmdSpatial(const Args &args)
     return 0;
 }
 
+namespace {
+
+LogLevel
+logLevelByName(const std::string &name)
+{
+    if (name == "debug") return LogLevel::Debug;
+    if (name == "info")  return LogLevel::Info;
+    if (name == "warn")  return LogLevel::Warn;
+    if (name == "error") return LogLevel::Error;
+    if (name == "off")   return LogLevel::Off;
+    fatal("unknown log level: " + name +
+          " (debug|info|warn|error|off)");
+}
+
+int
+dispatch(const Args &args)
+{
+    if (args.command == "list")
+        return cmdList();
+    if (args.command == "analyze")
+        return cmdAnalyze(args);
+    if (args.command == "map")
+        return cmdMap(args);
+    if (args.command == "simulate")
+        return cmdSimulate(args);
+    if (args.command == "spatial")
+        return cmdSpatial(args);
+    std::printf(
+        "usage: mapzero_cli <list|analyze|map|simulate|spatial> "
+        "[options]\n"
+        "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
+        "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
+        "           [--viz] [--dot] [--bitstream [FILE]]\n"
+        "  analyze  --kernel NAME|--kernel-dot F\n"
+        "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
+        "  spatial  --kernel NAME --arch FABRIC [--time S]\n"
+        "observability (any command): [--trace-out FILE]\n"
+        "           [--metrics-out FILE] [--log-level LEVEL]\n");
+    return args.command.empty() ? 0 : 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     try {
         const Args args = parseArgs(argc, argv);
-        if (args.command == "list")
-            return cmdList();
-        if (args.command == "analyze")
-            return cmdAnalyze(args);
-        if (args.command == "map")
-            return cmdMap(args);
-        if (args.command == "simulate")
-            return cmdSimulate(args);
-        if (args.command == "spatial")
-            return cmdSpatial(args);
-        std::printf(
-            "usage: mapzero_cli <list|analyze|map|simulate|spatial> "
-            "[options]\n"
-            "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
-            "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
-            "           [--viz] [--dot] [--bitstream [FILE]]\n"
-            "  analyze  --kernel NAME|--kernel-dot F\n"
-            "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
-            "  spatial  --kernel NAME --arch FABRIC [--time S]\n");
-        return args.command.empty() ? 0 : 2;
+        if (args.flag("log-level"))
+            setLogLevel(logLevelByName(args.get("log-level", "")));
+        const std::string trace_out = args.get("trace-out", "");
+        const std::string metrics_out = args.get("metrics-out", "");
+        if (args.flag("trace-out") && trace_out.empty())
+            fatal("--trace-out needs a file path");
+        if (args.flag("metrics-out") && metrics_out.empty())
+            fatal("--metrics-out needs a file path");
+        if (!trace_out.empty())
+            TraceCollector::global().setEnabled(true);
+
+        int rc = 0;
+        try {
+            rc = dispatch(args);
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            rc = 1;
+        }
+
+        // Dump whatever was collected even when the command failed -
+        // a failing run is exactly when the telemetry matters.
+        if (!trace_out.empty()) {
+            TraceCollector::global().writeTo(trace_out);
+            std::printf("trace written to %s (%zu events)\n",
+                        trace_out.c_str(),
+                        TraceCollector::global().eventCount());
+        }
+        if (!metrics_out.empty()) {
+            writeRunReport(metrics_out);
+            std::printf("metrics report written to %s\n",
+                        metrics_out.c_str());
+        }
+        return rc;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
