@@ -11,6 +11,8 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "mapper/environment.hpp"
 
 namespace {
@@ -84,5 +86,55 @@ main()
         std::printf("\nmeasured mean branching factor (mac on HReA, "
                     "II=%d): %.1f legal PEs per decision\n",
                     mii, branching_sum / steps);
+
+    // Navigating that space in parallel: the same SA restart portfolio
+    // compiled once sequentially and once root-parallel across all
+    // hardware threads. The wall times land in the
+    // MAPZERO_BENCH_REPORT_DIR run report as bench.parallel.* gauges.
+    const std::int32_t jobs =
+        static_cast<std::int32_t>(resolveJobs(0));
+    const std::int32_t restarts = std::max<std::int32_t>(2, jobs);
+    const std::vector<std::string> timing_kernels = {"sum", "mac",
+                                                     "conv2"};
+    std::printf("\nparallel restart portfolio (SA, %d restarts/II, "
+                "%d worker thread%s):\n",
+                restarts, jobs, jobs == 1 ? "" : "s");
+    bench::printRow({"kernel", "jobs=1 (s)",
+                     bench::fmt("jobs=%.0f (s)", jobs), "speedup"},
+                    14);
+    double total_single = 0.0;
+    double total_multi = 0.0;
+    for (const auto &name : timing_kernels) {
+        const dfg::Dfg d2 = dfg::buildKernel(name);
+        Compiler compiler;
+        CompileOptions options = bench::benchOptions();
+        options.restartsPerIi = restarts;
+
+        options.jobs = 1;
+        Timer single_timer;
+        compiler.compile(d2, arch, Method::Sa, options);
+        const double single = single_timer.seconds();
+
+        options.jobs = jobs;
+        Timer multi_timer;
+        compiler.compile(d2, arch, Method::Sa, options);
+        const double multi = multi_timer.seconds();
+
+        total_single += single;
+        total_multi += multi;
+        bench::printRow({name, bench::fmt("%.3f", single),
+                         bench::fmt("%.3f", multi),
+                         bench::fmt("%.2fx",
+                                    multi > 0.0 ? single / multi : 0.0)},
+                        14);
+    }
+    std::printf("portfolio wall time: %.3fs sequential, %.3fs with %d "
+                "worker thread%s\n",
+                total_single, total_multi, jobs, jobs == 1 ? "" : "s");
+    metrics().gauge("bench.parallel.jobs").set(jobs);
+    metrics().gauge("bench.parallel.seconds_jobs1").set(total_single);
+    metrics().gauge("bench.parallel.seconds_jobsN").set(total_multi);
+    metrics().gauge("bench.parallel.speedup")
+        .set(total_multi > 0.0 ? total_single / total_multi : 0.0);
     return 0;
 }

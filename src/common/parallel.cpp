@@ -1,0 +1,171 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+
+namespace mapzero {
+
+namespace {
+
+std::atomic<std::size_t> g_default_jobs{0};
+std::atomic<bool> g_default_jobs_set{false};
+
+std::size_t
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/** Identity of the pool worker running the current thread. */
+thread_local const ThreadPool *t_worker_pool = nullptr;
+thread_local int t_worker_index = -1;
+
+} // namespace
+
+void
+setDefaultJobs(std::size_t jobs)
+{
+    g_default_jobs.store(jobs, std::memory_order_relaxed);
+    g_default_jobs_set.store(true, std::memory_order_relaxed);
+}
+
+std::size_t
+defaultJobs()
+{
+    return g_default_jobs_set.load(std::memory_order_relaxed)
+        ? g_default_jobs.load(std::memory_order_relaxed)
+        : 0;
+}
+
+void
+clearDefaultJobs()
+{
+    g_default_jobs.store(0, std::memory_order_relaxed);
+    g_default_jobs_set.store(false, std::memory_order_relaxed);
+}
+
+std::size_t
+resolveJobs(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (g_default_jobs_set.load(std::memory_order_relaxed)) {
+        const std::size_t jobs =
+            g_default_jobs.load(std::memory_order_relaxed);
+        return jobs > 0 ? jobs : hardwareJobs();
+    }
+    if (const char *env = std::getenv("MAPZERO_NUM_THREADS");
+        env != nullptr && *env != '\0') {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed < 0)
+            warn(cat("ignoring negative MAPZERO_NUM_THREADS=", env));
+        else
+            return parsed == 0 ? hardwareJobs()
+                               : static_cast<std::size_t>(parsed);
+    }
+    return 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t count = resolveJobs(threads);
+    static Gauge &pool_size = metrics().gauge("parallel.pool_size");
+    pool_size.set(static_cast<double>(count));
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::currentWorker() const
+{
+    return t_worker_pool == this ? t_worker_index : -1;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    static Counter &tasks = metrics().counter("parallel.tasks");
+    tasks.add();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            panic("ThreadPool: submit after shutdown began");
+        queue_.push_back(Task{std::move(fn), Timer()});
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    static Histogram &queue_wait =
+        metrics().histogram("parallel.queue_wait_seconds");
+    static Histogram &task_run =
+        metrics().histogram("parallel.task_run_seconds");
+
+    t_worker_pool = this;
+    t_worker_index = static_cast<int>(index);
+
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        queue_wait.record(task.queued.seconds());
+        const Timer run_timer;
+        // packaged_task routes any exception into the future.
+        task.run();
+        task_run.record(run_timer.seconds());
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || pool.size() <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&body, i] { body(i); }));
+    std::exception_ptr first_error;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace mapzero

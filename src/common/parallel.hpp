@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The parallel execution subsystem: a fixed-size thread pool with task
+ * futures, a parallel-for helper, and process-wide job-count resolution.
+ *
+ * MapZero's cost is dominated by thousands of small network evaluations
+ * inside MCTS and by self-play episode generation, both of which shard
+ * cleanly across workers. Everything stochastic that runs on a worker
+ * draws from a per-worker Rng stream derived deterministically from a
+ * root seed (Rng::deriveSeed), so results are reproducible for a fixed
+ * seed regardless of scheduling order.
+ *
+ * Job-count resolution (resolveJobs): an explicit argument wins, then a
+ * process-wide default installed by the CLI's --jobs flag
+ * (setDefaultJobs), then the MAPZERO_NUM_THREADS environment variable,
+ * then 1 - so the library defaults to today's single-threaded behavior
+ * unless parallelism is asked for. A count of 0 anywhere means "one per
+ * hardware thread".
+ */
+
+#ifndef MAPZERO_COMMON_PARALLEL_HPP
+#define MAPZERO_COMMON_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace mapzero {
+
+/**
+ * Number of workers to use given an explicit request of @p requested
+ * (0 = auto). Falls back to setDefaultJobs(), then MAPZERO_NUM_THREADS,
+ * then 1; "auto" at any level resolves to the hardware thread count.
+ * The result is always >= 1.
+ */
+std::size_t resolveJobs(std::size_t requested = 0);
+
+/** Install the process-wide default job count (0 = hardware threads,
+ *  negative semantics do not exist: pass what the user typed). */
+void setDefaultJobs(std::size_t jobs);
+
+/** The installed default (0 when never set). */
+std::size_t defaultJobs();
+
+/** Forget any installed default, as if setDefaultJobs was never
+ *  called (tests; distinct from setDefaultJobs(0) = "hardware"). */
+void clearDefaultJobs();
+
+/**
+ * Fixed-size pool of worker threads executing submitted tasks FIFO.
+ *
+ * Tasks are arbitrary callables; submit() returns a std::future that
+ * carries the result or any exception the task threw. The destructor
+ * drains the queue (every submitted task runs) and joins the workers.
+ * Pool activity is published to the metrics registry:
+ * "parallel.tasks" (counter), "parallel.queue_wait_seconds" and
+ * "parallel.task_run_seconds" (histograms).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (resolveJobs(threads) decides 0). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains pending tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /** Queue @p fn; the future resolves with its result or exception. */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Index in [0, size()) of the pool worker running the caller, or -1
+     * when called from a thread outside this pool. Useful for
+     * per-worker scratch space.
+     */
+    int currentWorker() const;
+
+  private:
+    struct Task {
+        std::function<void()> run;
+        /** Started at enqueue; read at dequeue for the wait metric. */
+        Timer queued;
+    };
+
+    void enqueue(std::function<void()> fn);
+    void workerLoop(std::size_t index);
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Task> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run body(i) for every i in [0, count), distributing across @p pool.
+ *
+ * Blocks until every iteration finished. The first exception thrown by
+ * any iteration is rethrown on the calling thread (remaining iterations
+ * still run to completion). With count <= 1 or an empty/1-wide pool the
+ * loop runs inline on the caller.
+ */
+void parallelFor(ThreadPool &pool, std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_PARALLEL_HPP

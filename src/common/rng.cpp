@@ -33,6 +33,19 @@ Rng::Rng(std::uint64_t seed)
 }
 
 std::uint64_t
+Rng::deriveSeed(std::uint64_t root, std::uint64_t stream)
+{
+    // Mix the stream id through splitmix64 before combining with the
+    // root so that consecutive stream ids land far apart, then mix the
+    // combination once more. stream 0 does NOT map back to root: the
+    // derived family is disjoint from the root seed itself.
+    std::uint64_t s = stream;
+    const std::uint64_t mixed_stream = splitmix64(s);
+    std::uint64_t x = root ^ mixed_stream;
+    return splitmix64(x);
+}
+
+std::uint64_t
 Rng::next()
 {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;

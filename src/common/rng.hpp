@@ -27,6 +27,16 @@ class Rng
     /** Construct from a 64-bit seed via splitmix64 expansion. */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+    /**
+     * Decorrelated child seed for worker/episode @p stream of @p root,
+     * via splitmix64 mixing. Parallel code derives one stream per unit
+     * of work (never per OS thread), so a run's random choices are a
+     * pure function of (root seed, work index) no matter how the work
+     * is scheduled across workers.
+     */
+    static std::uint64_t deriveSeed(std::uint64_t root,
+                                    std::uint64_t stream);
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
@@ -12,12 +13,40 @@ namespace mapzero {
 
 namespace {
 
-std::map<std::string, std::shared_ptr<const rl::MapZeroNet>> &
+/**
+ * One cached architecture. The entry-level mutex serializes the
+ * train-on-first-use so concurrent pretrainedNetwork() calls for the
+ * same fabric train exactly once; entries for different fabrics train
+ * concurrently.
+ */
+struct CacheEntry {
+    std::mutex mutex;
+    std::shared_ptr<const rl::MapZeroNet> net;
+};
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex instance;
+    return instance;
+}
+
+std::map<std::string, std::shared_ptr<CacheEntry>> &
 cache()
 {
-    static std::map<std::string, std::shared_ptr<const rl::MapZeroNet>>
-        instance;
+    static std::map<std::string, std::shared_ptr<CacheEntry>> instance;
     return instance;
+}
+
+/** The (possibly fresh) entry for @p key, under the registry lock. */
+std::shared_ptr<CacheEntry>
+entryFor(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    auto &slot = cache()[key];
+    if (!slot)
+        slot = std::make_shared<CacheEntry>();
+    return slot;
 }
 
 std::string
@@ -69,9 +98,13 @@ pretrainedNetwork(const cgra::Architecture &arch,
     static Counter &misses = metrics().counter("agent_cache.misses");
 
     const std::string key = cacheKey(arch);
-    if (const auto it = cache().find(key); it != cache().end()) {
+    const std::shared_ptr<CacheEntry> entry = entryFor(key);
+    // Per-architecture lock: one caller trains, late arrivals block
+    // here and then take the hit path.
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->net) {
         hits.add();
-        return it->second;
+        return entry->net;
     }
 
     // Disk cache (opt-in via MAPZERO_AGENT_CACHE_DIR): reruns of the
@@ -86,7 +119,7 @@ pretrainedNetwork(const cgra::Architecture &arch,
             inform(cat("loaded cached MapZero agent for ", key,
                        " from ", path));
             disk_hits.add();
-            cache().emplace(key, net);
+            entry->net = net;
             return net;
         } catch (const std::exception &error) {
             warn(cat("ignoring stale agent checkpoint ", path, ": ",
@@ -110,13 +143,14 @@ pretrainedNetwork(const cgra::Architecture &arch,
                      error.what()));
         }
     }
-    cache().emplace(key, net);
+    entry->net = net;
     return net;
 }
 
 void
 clearAgentCache()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     cache().clear();
 }
 

@@ -35,8 +35,10 @@ struct PretrainBudget {
 
 /**
  * Pre-trained network for @p arch, trained on first use and memoized by
- * architecture name for the rest of the process. Thread-compatible (not
- * thread-safe; the harness is single-threaded).
+ * architecture name for the rest of the process. Thread-safe: concurrent
+ * callers for the same architecture train exactly once (the first caller
+ * trains under a per-architecture lock while the rest block on it), and
+ * callers for different architectures proceed independently.
  */
 std::shared_ptr<const rl::MapZeroNet> pretrainedNetwork(
     const cgra::Architecture &arch, const PretrainBudget &budget = {});

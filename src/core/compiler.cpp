@@ -1,15 +1,19 @@
 #include "core/compiler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "baselines/exact_mapper.hpp"
 #include "baselines/lisa_mapper.hpp"
 #include "baselines/sa_mapper.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "core/config.hpp"
 #include "dfg/schedule.hpp"
+#include "rl/evaluator.hpp"
 
 namespace mapzero {
 
@@ -42,7 +46,8 @@ Compiler::minimumIi(const dfg::Dfg &dfg, const cgra::Architecture &arch)
 }
 
 std::unique_ptr<baselines::MapperBase>
-Compiler::makeEngine(Method method, const CompileOptions &options) const
+Compiler::makeEngine(Method method, std::uint64_t seed,
+                     std::shared_ptr<rl::Evaluator> evaluator) const
 {
     switch (method) {
       case Method::MapZero:
@@ -53,19 +58,20 @@ Compiler::makeEngine(Method method, const CompileOptions &options) const
         rl::AgentConfig cfg;
         cfg.useMcts = method == Method::MapZero;
         cfg.mcts.expansionsPerMove = config::kBenchMctsExpansions;
-        cfg.seed = options.seed;
-        return std::make_unique<rl::MapZeroAgent>(net_, cfg);
+        cfg.seed = seed;
+        return std::make_unique<rl::MapZeroAgent>(net_, cfg,
+                                                  std::move(evaluator));
       }
       case Method::Ilp:
         return std::make_unique<baselines::ExactMapper>();
       case Method::Sa: {
         baselines::SaConfig cfg;
-        cfg.seed = options.seed;
+        cfg.seed = seed;
         return std::make_unique<baselines::SaMapper>(cfg);
       }
       case Method::Lisa: {
         baselines::SaConfig cfg;
-        cfg.seed = options.seed;
+        cfg.seed = seed;
         return std::make_unique<baselines::LisaMapper>(cfg);
       }
     }
@@ -76,8 +82,19 @@ CompileResult
 Compiler::compile(const dfg::Dfg &dfg, const cgra::Architecture &arch,
                   Method method, const CompileOptions &options)
 {
-    auto engine = makeEngine(method, options);
-    return compileWith(*engine, dfg, arch, options);
+    const std::int32_t jobs = static_cast<std::int32_t>(resolveJobs(
+        options.jobs < 0 ? 1 : static_cast<std::size_t>(options.jobs)));
+    // The exact engine is deterministic: extra restarts would just
+    // repeat the identical search.
+    std::int32_t restarts = method == Method::Ilp ? 1
+        : options.restartsPerIi > 0
+            ? options.restartsPerIi
+            : std::max<std::int32_t>(1, jobs);
+    if (restarts <= 1) {
+        auto engine = makeEngine(method, options.seed);
+        return compileWith(*engine, dfg, arch, options);
+    }
+    return compilePortfolio(dfg, arch, method, options, jobs, restarts);
 }
 
 CompileResult
@@ -150,6 +167,169 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
         // A sliced timeout only ends the sweep when the overall budget
         // is gone; otherwise move on to the next II.
         result.timedOut = attempt.timedOut && deadline.expired();
+        if (result.timedOut) {
+            warn(cat("compile of '", dfg.name(), "' (", result.method,
+                     "): time budget exhausted at II=", ii));
+            break;
+        }
+    }
+
+    if (result.timedOut)
+        timeouts.add();
+    result.seconds = timer.seconds();
+    compile_seconds.record(result.seconds);
+    return result;
+}
+
+CompileResult
+Compiler::compilePortfolio(const dfg::Dfg &dfg,
+                           const cgra::Architecture &arch, Method method,
+                           const CompileOptions &options,
+                           std::int32_t jobs, std::int32_t restarts)
+{
+    static Counter &compiles = metrics().counter("compiler.compiles");
+    static Counter &attempts = metrics().counter("compiler.ii_attempts");
+    static Counter &restart_attempts =
+        metrics().counter("compiler.restart_attempts");
+    static Counter &escalations =
+        metrics().counter("compiler.ii_escalations");
+    static Counter &timeouts = metrics().counter("compiler.timeouts");
+    static Histogram &restart_winner =
+        metrics().histogram("compiler.restart_winner");
+    static Histogram &attempt_seconds =
+        metrics().histogram("compiler.attempt_seconds");
+    static Histogram &compile_seconds =
+        metrics().histogram("compiler.compile_seconds");
+
+    // One engine per attempt index, reused across IIs exactly like the
+    // single engine of compileWith. Attempt 0 keeps the caller's seed
+    // so its search is the one a plain compile() would have run.
+    std::shared_ptr<rl::EvalBatcher> batcher;
+    const bool is_mapzero =
+        method == Method::MapZero || method == Method::MapZeroNoMcts;
+    if (is_mapzero && jobs > 1) {
+        if (!net_)
+            fatal("MapZero methods need setNetwork() with a pre-trained "
+                  "network (see core/agent_cache.hpp)");
+        batcher = std::make_shared<rl::EvalBatcher>(
+            *net_, static_cast<std::size_t>(restarts));
+    }
+    std::vector<std::unique_ptr<baselines::MapperBase>> engines;
+    engines.reserve(static_cast<std::size_t>(restarts));
+    for (std::int32_t k = 0; k < restarts; ++k) {
+        const std::uint64_t seed = k == 0
+            ? options.seed
+            : Rng::deriveSeed(options.seed,
+                              static_cast<std::uint64_t>(k));
+        engines.push_back(makeEngine(method, seed, batcher));
+    }
+
+    CompileResult result;
+    result.method = engines.front()->name();
+    result.mii = minimumIi(dfg, arch);
+
+    TraceSpan compile_span(
+        "compile", "compiler",
+        cat("{\"dfg\": \"", jsonEscape(dfg.name()), "\", \"method\": \"",
+            jsonEscape(result.method), "\", \"mii\": ", result.mii,
+            ", \"restarts\": ", restarts, "}"));
+    compiles.add();
+
+    const Deadline deadline(options.timeLimitSeconds);
+    Timer timer;
+    std::optional<ThreadPool> pool;
+    if (jobs > 1)
+        pool.emplace(static_cast<std::size_t>(std::min(jobs, restarts)));
+
+    for (std::int32_t ii = result.mii;
+         ii <= result.mii + options.maxIiIncrease; ++ii) {
+        if (deadline.expired()) {
+            warn(cat("compile of '", dfg.name(), "' (", result.method,
+                     "): time budget exhausted before II=", ii));
+            result.timedOut = true;
+            break;
+        }
+        if (ii > result.mii) {
+            inform(cat("compile of '", dfg.name(), "' (", result.method,
+                       "): II=", ii - 1, " infeasible, escalating to II=",
+                       ii));
+            escalations.add();
+        }
+        attempts.add();
+
+        std::vector<baselines::AttemptResult> round(
+            static_cast<std::size_t>(restarts));
+        std::int32_t ran = restarts;
+        {
+            TraceSpan round_span("ii_attempt", "compiler",
+                                 cat("{\"ii\": ", ii,
+                                     ", \"restarts\": ", restarts, "}"));
+            if (pool) {
+                // Root-parallel: every attempt gets the same budget
+                // slice (same formula as compileWith) and the MapZero
+                // attempts share the batcher while they overlap.
+                const double slice = options.timeLimitSeconds > 0.0
+                    ? std::max(deadline.remaining() * 0.5, 0.05)
+                    : 0.0;
+                parallelFor(*pool, static_cast<std::size_t>(restarts),
+                            [&](std::size_t k) {
+                    const Deadline attempt_deadline(
+                        std::min(slice, deadline.remaining()));
+                    std::optional<rl::EvalBatcher::Session> session;
+                    if (batcher)
+                        session.emplace(*batcher);
+                    round[k] = engines[k]->map(dfg, arch, ii,
+                                               attempt_deadline);
+                });
+            } else {
+                // Sequential portfolio with early exit: stop at the
+                // first success, which is exactly the attempt the
+                // parallel run would crown (lowest index wins).
+                for (std::int32_t k = 0; k < restarts; ++k) {
+                    const double slice = options.timeLimitSeconds > 0.0
+                        ? std::max(deadline.remaining() * 0.5, 0.05)
+                        : 0.0;
+                    const Deadline attempt_deadline(
+                        std::min(slice, deadline.remaining()));
+                    round[static_cast<std::size_t>(k)] =
+                        engines[static_cast<std::size_t>(k)]->map(
+                            dfg, arch, ii, attempt_deadline);
+                    if (round[static_cast<std::size_t>(k)].success ||
+                        deadline.expired()) {
+                        ran = k + 1;
+                        break;
+                    }
+                }
+            }
+        }
+        restart_attempts.add(ran);
+
+        // Lowest successful attempt index wins; ops from later
+        // attempts are discarded so the aggregate matches what the
+        // sequential early-exit portfolio would report.
+        std::int32_t winner = -1;
+        for (std::int32_t k = 0; k < ran; ++k) {
+            const auto &attempt = round[static_cast<std::size_t>(k)];
+            attempt_seconds.record(attempt.seconds);
+            result.searchOps += attempt.searchOps;
+            if (attempt.success) {
+                winner = k;
+                break;
+            }
+        }
+        if (winner >= 0) {
+            auto &attempt = round[static_cast<std::size_t>(winner)];
+            restart_winner.record(winner);
+            result.success = true;
+            result.ii = ii;
+            result.placements = std::move(attempt.placements);
+            result.totalHops = attempt.totalHops;
+            break;
+        }
+        bool any_timed_out = false;
+        for (std::int32_t k = 0; k < ran; ++k)
+            any_timed_out |= round[static_cast<std::size_t>(k)].timedOut;
+        result.timedOut = any_timed_out && deadline.expired();
         if (result.timedOut) {
             warn(cat("compile of '", dfg.name(), "' (", result.method,
                      "): time budget exhausted at II=", ii));

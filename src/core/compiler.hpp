@@ -40,6 +40,22 @@ struct CompileOptions {
     std::int32_t maxIiIncrease = 6;
     /** Seed for the stochastic engines. */
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the restart portfolio: 0 = resolve from
+     * --jobs / MAPZERO_NUM_THREADS (common/parallel.hpp), 1 = run
+     * everything on the calling thread.
+     */
+    std::int32_t jobs = 0;
+    /**
+     * Independently seeded search attempts per II (0 = one per
+     * worker). Attempt 0 uses `seed` verbatim, attempt k uses
+     * Rng::deriveSeed(seed, k); the winner is the successful attempt
+     * with the lowest index, so for a fixed (seed, restartsPerIi) the
+     * chosen mapping does not depend on the worker count (timeouts
+     * aside). With restartsPerIi = 1 and jobs <= 1 the sweep is
+     * exactly the historical single-threaded one.
+     */
+    std::int32_t restartsPerIi = 0;
 };
 
 /** Outcome of a compilation. */
@@ -89,7 +105,11 @@ class Compiler
 
     /**
      * Compile @p dfg for @p arch with @p method: sweep II from MII
-     * upward until a mapping is found or the time limit expires.
+     * upward until a mapping is found or the time limit expires. With
+     * options.jobs > 1 (or restartsPerIi > 1) each II runs a portfolio
+     * of independently seeded restarts - in parallel when workers are
+     * available - and the lowest-index success wins; the MapZero
+     * methods share one EvalBatcher across concurrent attempts.
      */
     CompileResult compile(const dfg::Dfg &dfg,
                           const cgra::Architecture &arch, Method method,
@@ -106,7 +126,16 @@ class Compiler
 
   private:
     std::unique_ptr<baselines::MapperBase> makeEngine(
-        Method method, const CompileOptions &options) const;
+        Method method, std::uint64_t seed,
+        std::shared_ptr<rl::Evaluator> evaluator = nullptr) const;
+
+    /** The multi-restart sweep behind compile() (restarts > 1). */
+    CompileResult compilePortfolio(const dfg::Dfg &dfg,
+                                   const cgra::Architecture &arch,
+                                   Method method,
+                                   const CompileOptions &options,
+                                   std::int32_t jobs,
+                                   std::int32_t restarts);
 
     std::shared_ptr<const rl::MapZeroNet> net_;
 };

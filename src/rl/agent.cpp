@@ -108,11 +108,17 @@ placementRoutable(const mapper::MapEnv &env,
 } // namespace
 
 MapZeroAgent::MapZeroAgent(std::shared_ptr<const MapZeroNet> net,
-                           AgentConfig config)
-    : net_(std::move(net)), config_(config)
+                           AgentConfig config,
+                           std::shared_ptr<Evaluator> evaluator)
+    : net_(std::move(net)), config_(config),
+      evaluator_(std::move(evaluator))
 {
     if (!net_)
         fatal("MapZeroAgent requires a network");
+    if (!evaluator_)
+        evaluator_ = std::make_shared<DirectEvaluator>(*net_);
+    else if (&evaluator_->network() != net_.get())
+        fatal("MapZeroAgent: evaluator wraps a different network");
 }
 
 void
@@ -156,7 +162,7 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
         const dfg::NodeId node = env.currentNode();
         auto &probs = policy_cache[static_cast<std::size_t>(d)];
         if (probs.empty())
-            probs = net_->policyProbabilities(observe(env));
+            probs = evaluator_->policyProbabilities(observe(env));
         const mapper::MappingState &state = env.state();
         // Spatial continuity anchor for nodes with no placed neighbors
         // (sources): prefer staying near the previous placement so the
@@ -275,7 +281,7 @@ bool
 MapZeroAgent::mctsSearch(mapper::MapEnv &env, const Deadline &deadline,
                          baselines::AttemptResult &result, Rng &rng)
 {
-    Mcts mcts(*net_, config_.mcts);
+    Mcts mcts(*evaluator_, config_.mcts);
     for (std::int32_t restart = 0; restart < config_.mctsRestarts;
          ++restart) {
         env.reset();

@@ -47,9 +47,14 @@ class MapZeroAgent : public baselines::MapperBase
      * @param net pre-trained network whose policy head matches the
      *        architectures this agent will map (peCount equal)
      * @param config inference knobs
+     * @param evaluator optional shared evaluation service (e.g. an
+     *        EvalBatcher coalescing several root-parallel agents);
+     *        defaults to direct forward passes on @p net. Must wrap
+     *        the same network and outlive the agent.
      */
     MapZeroAgent(std::shared_ptr<const MapZeroNet> net,
-                 AgentConfig config = {});
+                 AgentConfig config = {},
+                 std::shared_ptr<Evaluator> evaluator = nullptr);
 
     std::string name() const override { return "MapZero"; }
 
@@ -74,6 +79,7 @@ class MapZeroAgent : public baselines::MapperBase
 
     std::shared_ptr<const MapZeroNet> net_;
     AgentConfig config_;
+    std::shared_ptr<Evaluator> evaluator_;
     std::int64_t lastBacktracks_ = 0;
 };
 

@@ -1,0 +1,145 @@
+#include "rl/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+
+namespace mapzero::rl {
+
+std::vector<double>
+Evaluator::policyProbabilities(const Observation &obs)
+{
+    const MapZeroNet::Output out = evaluate(obs);
+    const auto pe_count =
+        static_cast<std::size_t>(network().peCount());
+    std::vector<double> probs(pe_count, 0.0);
+    for (std::size_t a = 0; a < pe_count; ++a) {
+        if (obs.actionMask[a])
+            probs[a] =
+                std::exp(static_cast<double>(out.logPolicy.tensor()[a]));
+    }
+    return probs;
+}
+
+EvalBatcher::EvalBatcher(const MapZeroNet &net, std::size_t max_batch)
+    : net_(&net), maxBatch_(std::max<std::size_t>(max_batch, 1))
+{}
+
+EvalBatcher::Session::Session(EvalBatcher &batcher) : batcher_(&batcher)
+{
+    batcher_->addSession();
+}
+
+EvalBatcher::Session::~Session()
+{
+    batcher_->removeSession();
+}
+
+void
+EvalBatcher::addSession()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sessions_;
+}
+
+void
+EvalBatcher::removeSession()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --sessions_;
+    }
+    // A departing session can complete the flush condition for the
+    // remaining parked requests; wake them so one takes the lead.
+    wake_.notify_all();
+}
+
+bool
+EvalBatcher::readyLocked() const
+{
+    if (pending_.empty())
+        return false;
+    if (pending_.size() >= maxBatch_)
+        return true;
+    // Every live session is either parked here or being served by an
+    // in-flight batch: nobody else is coming, evaluate what we have.
+    return pending_.size() + inFlight_ >= sessions_;
+}
+
+void
+EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
+{
+    static Counter &batches = metrics().counter("eval_batcher.batches");
+    static Histogram &batch_size =
+        metrics().histogram("eval_batcher.batch_size");
+
+    const std::size_t take = std::min(pending_.size(), maxBatch_);
+    std::vector<Request *> batch(pending_.begin(),
+                                 pending_.begin() +
+                                     static_cast<std::ptrdiff_t>(take));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    inFlight_ += batch.size();
+    lock.unlock();
+
+    std::vector<const Observation *> observations;
+    observations.reserve(batch.size());
+    for (const Request *request : batch)
+        observations.push_back(request->obs);
+    std::vector<MapZeroNet::Output> outputs;
+    std::exception_ptr error;
+    try {
+        outputs = net_->forwardBatch(observations);
+        batches.add();
+        batch_size.record(static_cast<double>(batch.size()));
+    } catch (...) {
+        // Deliver the failure to every request in the batch; each
+        // waiter (and the leader itself) rethrows from evaluate().
+        error = std::current_exception();
+    }
+
+    lock.lock();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (error)
+            batch[i]->error = error;
+        else
+            batch[i]->out = std::move(outputs[i]);
+        batch[i]->done = true;
+    }
+    inFlight_ -= batch.size();
+    wake_.notify_all();
+}
+
+MapZeroNet::Output
+EvalBatcher::evaluate(const Observation &obs)
+{
+    static Counter &requests = metrics().counter("eval_batcher.requests");
+    static Histogram &queue_wait =
+        metrics().histogram("eval_batcher.queue_wait_seconds");
+
+    requests.add();
+    const Timer wait_timer;
+    Request request;
+    request.obs = &obs;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_.push_back(&request);
+    while (!request.done) {
+        if (readyLocked()) {
+            // This thread completes the batch: lead the evaluation
+            // (which serves our own request along the way).
+            runBatch(lock);
+            continue;
+        }
+        wake_.wait(lock);
+    }
+    queue_wait.record(wait_timer.seconds());
+    if (request.error)
+        std::rethrow_exception(request.error);
+    return std::move(request.out);
+}
+
+} // namespace mapzero::rl

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Network evaluation services for the search code.
+ *
+ * MCTS and the guided DFS never call MapZeroNet::forward directly any
+ * more; they go through an Evaluator. DirectEvaluator is the trivial
+ * passthrough. EvalBatcher coalesces leaf-evaluation requests from
+ * several concurrent searches (root-parallel compiler restarts,
+ * parallel self-play workers) into one MapZeroNet::forwardBatch call,
+ * which amortizes the per-pass graph-construction overhead into larger
+ * dense operations.
+ *
+ * Determinism contract: forwardBatch is bit-identical per observation
+ * regardless of batch composition (see network.hpp), so a search
+ * served by an EvalBatcher computes exactly what it would have computed
+ * alone - batching changes throughput, never results.
+ */
+
+#ifndef MAPZERO_RL_EVALUATOR_HPP
+#define MAPZERO_RL_EVALUATOR_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "rl/network.hpp"
+
+namespace mapzero::rl {
+
+/** Policy/value evaluation service over Observations. */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    /** Evaluate one observation (may block to form a batch). */
+    virtual MapZeroNet::Output evaluate(const Observation &obs) = 0;
+
+    /** The network behind this evaluator. */
+    virtual const MapZeroNet &network() const = 0;
+
+    /** Policy probabilities (exp of the masked log-policy). */
+    std::vector<double> policyProbabilities(const Observation &obs);
+};
+
+/** Unbatched evaluation on the calling thread. */
+class DirectEvaluator : public Evaluator
+{
+  public:
+    explicit DirectEvaluator(const MapZeroNet &net) : net_(&net) {}
+
+    MapZeroNet::Output
+    evaluate(const Observation &obs) override
+    {
+        return net_->forward(obs);
+    }
+
+    const MapZeroNet &network() const override { return *net_; }
+
+  private:
+    const MapZeroNet *net_;
+};
+
+/**
+ * Coalesces evaluation requests from concurrent searches into batched
+ * forward passes.
+ *
+ * Each participating thread holds an EvalBatcher::Session for the
+ * duration of its search. evaluate() parks the request; the thread
+ * that completes a batch (every live session has a request pending, or
+ * the batch cap is reached) becomes the leader, runs forwardBatch for
+ * all parked requests, and wakes the others. Sessions that finish
+ * their search drop out via ~Session, which re-checks the flush
+ * condition so stragglers are never left waiting for a peer that will
+ * not come back.
+ *
+ * Publishes "eval_batcher.requests", "eval_batcher.batches",
+ * "eval_batcher.batch_size" and "eval_batcher.queue_wait_seconds" to
+ * the metrics registry.
+ *
+ * With a single live session every request is a batch of one, i.e. the
+ * batcher degrades to DirectEvaluator behavior.
+ */
+class EvalBatcher : public Evaluator
+{
+  public:
+    /**
+     * @param net shared pre-trained network (forward passes only)
+     * @param max_batch cap on observations per forward pass
+     */
+    explicit EvalBatcher(const MapZeroNet &net,
+                         std::size_t max_batch = 16);
+
+    /** RAII registration of one concurrent search on the batcher. */
+    class Session
+    {
+      public:
+        explicit Session(EvalBatcher &batcher);
+        ~Session();
+        Session(const Session &) = delete;
+        Session &operator=(const Session &) = delete;
+
+      private:
+        EvalBatcher *batcher_;
+    };
+
+    /** Must be called from a thread whose Session is alive. */
+    MapZeroNet::Output evaluate(const Observation &obs) override;
+
+    const MapZeroNet &network() const override { return *net_; }
+
+    std::size_t maxBatch() const { return maxBatch_; }
+
+  private:
+    struct Request {
+        const Observation *obs = nullptr;
+        MapZeroNet::Output out;
+        /** Failure of the batch this request was served in, if any. */
+        std::exception_ptr error;
+        bool done = false;
+    };
+
+    /** True when the parked requests should be evaluated now. */
+    bool readyLocked() const;
+
+    /** Take the parked batch and evaluate it on the calling thread. */
+    void runBatch(std::unique_lock<std::mutex> &lock);
+
+    void addSession();
+    void removeSession();
+
+    const MapZeroNet *net_;
+    std::size_t maxBatch_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    /** Live sessions (threads that may still request evaluations). */
+    std::size_t sessions_ = 0;
+    /** Sessions currently being served by an in-flight batch. */
+    std::size_t inFlight_ = 0;
+    std::vector<Request *> pending_;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_EVALUATOR_HPP

@@ -57,7 +57,12 @@ struct Mcts::TreeNode {
 };
 
 Mcts::Mcts(const MapZeroNet &net, MctsConfig config)
-    : net_(&net), config_(config)
+    : owned_(std::make_unique<DirectEvaluator>(net)),
+      eval_(owned_.get()), config_(config)
+{}
+
+Mcts::Mcts(Evaluator &evaluator, MctsConfig config)
+    : eval_(&evaluator), config_(config)
 {}
 
 namespace {
@@ -126,7 +131,7 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
             MctsMetrics &m = MctsMetrics::get();
             const Observation obs = observe(env);
             const Timer eval_timer;
-            const MapZeroNet::Output out = net_->forward(obs);
+            const MapZeroNet::Output out = eval_->evaluate(obs);
             m.netEvals.add();
             m.netEvalSeconds.record(eval_timer.seconds());
             leaf_value = static_cast<double>(out.value.item()) /
@@ -203,7 +208,8 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
 
     TreeNode root;
     MctsMoveResult result;
-    result.pi.assign(static_cast<std::size_t>(net_->peCount()), 0.0);
+    result.pi.assign(
+        static_cast<std::size_t>(eval_->network().peCount()), 0.0);
 
     std::vector<std::int32_t> solved_path;
     for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {

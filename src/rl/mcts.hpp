@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "rl/network.hpp"
+#include "rl/evaluator.hpp"
 
 namespace mapzero::rl {
 
@@ -59,11 +59,18 @@ struct MctsMoveResult {
     std::optional<std::vector<std::int32_t>> solvedSuffix;
 };
 
-/** MCTS driver bound to a network. */
+/** MCTS driver bound to a network (via an evaluation service). */
 class Mcts
 {
   public:
+    /** Evaluate leaves directly on @p net from the calling thread. */
     Mcts(const MapZeroNet &net, MctsConfig config);
+
+    /**
+     * Evaluate leaves through @p evaluator (e.g. an EvalBatcher shared
+     * by concurrent searches). @p evaluator must outlive the search.
+     */
+    Mcts(Evaluator &evaluator, MctsConfig config);
 
     /**
      * Run expansionsPerMove simulations from the environment's current
@@ -81,7 +88,9 @@ class Mcts
     bool simulate(TreeNode &root, mapper::MapEnv &env, Rng &rng,
                   std::vector<std::int32_t> &solved_path);
 
-    const MapZeroNet *net_;
+    /** Set when constructed from a bare network. */
+    std::unique_ptr<DirectEvaluator> owned_;
+    Evaluator *eval_;
     MctsConfig config_;
 };
 

@@ -1,5 +1,6 @@
 #include "rl/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -44,26 +45,129 @@ MapZeroNet::MapZeroNet(std::int32_t pe_count, NetworkConfig config,
 MapZeroNet::Output
 MapZeroNet::forward(const Observation &obs) const
 {
-    if (static_cast<std::int32_t>(obs.actionMask.size()) != peCount_)
-        panic(cat("observation has ", obs.actionMask.size(),
-                  " actions, network expects ", peCount_));
+    return std::move(forwardBatch({&obs}).front());
+}
 
-    const nn::Value dfg_embed = dfgEncoder_->encodeGraph(
-        nn::Value::constant(obs.dfgFeatures), obs.dfgEdges);
-    const nn::Value cgra_embed = cgraEncoder_->encodeGraph(
-        nn::Value::constant(obs.cgraFeatures), obs.cgraEdges);
-    const nn::Value meta_embed = nn::relu(
-        metaFc_->forward(nn::Value::constant(obs.metadata)));
+namespace {
+
+/** Disjoint union of per-observation graphs plus its pooling matrix. */
+struct StackedGraphs {
+    nn::Tensor features; ///< (sum N_i) x featureDim
+    nn::EdgeList edges;  ///< per-graph edges with row offsets applied
+    nn::Tensor pool;     ///< B x (sum N_i); row i holds 1/N_i on block i
+};
+
+/**
+ * Stack one graph per observation into a disjoint union. @p select
+ * picks the (features, edges) pair of one observation.
+ */
+StackedGraphs
+stackGraphs(const std::vector<const rl::Observation *> &batch,
+            const nn::Tensor &(*features)(const rl::Observation &),
+            const nn::EdgeList &(*edges)(const rl::Observation &))
+{
+    std::size_t total_rows = 0;
+    std::size_t total_edges = 0;
+    const std::size_t width = features(*batch.front()).cols();
+    for (const rl::Observation *obs : batch) {
+        total_rows += features(*obs).rows();
+        total_edges += edges(*obs).size();
+    }
+
+    StackedGraphs out;
+    std::vector<float> data;
+    data.reserve(total_rows * width);
+    out.edges.reserve(total_edges);
+    out.pool = nn::Tensor(batch.size(), total_rows);
+
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const nn::Tensor &feats = features(*batch[i]);
+        if (feats.cols() != width)
+            panic(cat("forwardBatch: feature width ", feats.cols(),
+                      " != ", width, " at batch index ", i));
+        data.insert(data.end(), feats.data().begin(),
+                    feats.data().end());
+        const auto base = static_cast<std::int32_t>(offset);
+        for (const auto &[s, d] : edges(*batch[i]))
+            out.edges.emplace_back(s + base, d + base);
+        const float inv =
+            1.0f / static_cast<float>(std::max<std::size_t>(
+                       feats.rows(), 1));
+        for (std::size_t r = 0; r < feats.rows(); ++r)
+            out.pool.at(i, offset + r) = inv;
+        offset += feats.rows();
+    }
+    out.features = nn::Tensor(total_rows, width, std::move(data));
+    return out;
+}
+
+const nn::Tensor &dfgFeaturesOf(const rl::Observation &o) { return o.dfgFeatures; }
+const nn::EdgeList &dfgEdgesOf(const rl::Observation &o) { return o.dfgEdges; }
+const nn::Tensor &cgraFeaturesOf(const rl::Observation &o) { return o.cgraFeatures; }
+const nn::EdgeList &cgraEdgesOf(const rl::Observation &o) { return o.cgraEdges; }
+
+} // namespace
+
+std::vector<MapZeroNet::Output>
+MapZeroNet::forwardBatch(
+    const std::vector<const Observation *> &batch) const
+{
+    if (batch.empty())
+        return {};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i] == nullptr)
+            panic(cat("forwardBatch: null observation at index ", i));
+        if (static_cast<std::int32_t>(batch[i]->actionMask.size()) !=
+            peCount_)
+            panic(cat("observation has ", batch[i]->actionMask.size(),
+                      " actions, network expects ", peCount_));
+    }
+
+    const StackedGraphs dfg =
+        stackGraphs(batch, dfgFeaturesOf, dfgEdgesOf);
+    const StackedGraphs cgra =
+        stackGraphs(batch, cgraFeaturesOf, cgraEdgesOf);
+
+    // One GAT pass per encoder over the whole union, then a pooling
+    // matmul yields the (B x width) per-graph embeddings.
+    const nn::Value dfg_embed = nn::matmul(
+        nn::Value::constant(dfg.pool),
+        dfgEncoder_->encodeNodes(nn::Value::constant(dfg.features),
+                                 dfg.edges));
+    const nn::Value cgra_embed = nn::matmul(
+        nn::Value::constant(cgra.pool),
+        cgraEncoder_->encodeNodes(nn::Value::constant(cgra.features),
+                                  cgra.edges));
+
+    // Metadata rows stack into one (B x kMetadataDim) matrix.
+    nn::Tensor meta(batch.size(), kMetadataDim);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const nn::Tensor &row = batch[i]->metadata;
+        for (std::size_t c = 0; c < kMetadataDim; ++c)
+            meta.at(i, c) = row[c];
+    }
+    const nn::Value meta_embed =
+        nn::relu(metaFc_->forward(nn::Value::constant(meta)));
 
     const nn::Value joint =
         nn::concatCols({dfg_embed, cgra_embed, meta_embed});
     const nn::Value state = trunk_->forward(joint);
+    const nn::Value logits = policyHead_->forward(state);  // B x P
+    const nn::Value values = valueHead_->forward(state);   // B x 1
 
-    Output out;
-    out.logPolicy = nn::logSoftmaxMasked(policyHead_->forward(state),
-                                         obs.actionMask);
-    out.value = valueHead_->forward(state);
-    return out;
+    std::vector<Output> outputs;
+    outputs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::vector<std::int32_t> row = {
+            static_cast<std::int32_t>(i)};
+        Output out;
+        out.logPolicy = nn::logSoftmaxMasked(nn::gatherRows(logits, row),
+                                             batch[i]->actionMask);
+        out.value = nn::gatherRows(values, row);
+        outputs.push_back(std::move(out));
+    }
+    return outputs;
 }
 
 std::vector<double>

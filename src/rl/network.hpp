@@ -54,8 +54,27 @@ class MapZeroNet : public nn::Module
         nn::Value value;
     };
 
-    /** Run the network on one observation. */
+    /** Run the network on one observation (forwardBatch of one). */
     Output forward(const Observation &obs) const;
+
+    /**
+     * Run the network on @p batch observations in one pass.
+     *
+     * The DFG and CGRA graphs are stacked into disjoint unions so each
+     * GAT encoder runs once over the whole batch, mean pooling is a
+     * single matmul against a constant block-diagonal pooling matrix,
+     * and the FC trunk/heads process all rows together. Per-observation
+     * outputs are bit-identical regardless of batch composition (graph
+     * blocks never interact: attention is segmented per destination
+     * vertex and pooling rows are zero outside their block), which is
+     * what keeps parallel searches reproducible when their evaluation
+     * requests are coalesced by rl::EvalBatcher.
+     *
+     * Safe to call concurrently from several threads: forward passes
+     * only read the shared parameters.
+     */
+    std::vector<Output> forwardBatch(
+        const std::vector<const Observation *> &batch) const;
 
     /** Policy probabilities as plain doubles (inference convenience). */
     std::vector<double> policyProbabilities(const Observation &obs) const;

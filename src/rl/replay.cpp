@@ -11,10 +11,18 @@ ReplayBuffer::ReplayBuffer(std::size_t capacity)
         fatal("replay buffer capacity must be positive");
 }
 
+std::size_t
+ReplayBuffer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
 void
 ReplayBuffer::push(TrainingSample sample)
 {
     constexpr double fresh_priority = 1.0;
+    std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.size() < capacity_) {
         samples_.push_back(std::move(sample));
         priorities_.push_back(fresh_priority);
@@ -28,6 +36,7 @@ ReplayBuffer::push(TrainingSample sample)
 std::vector<const TrainingSample *>
 ReplayBuffer::sampleBatch(std::size_t batch_size, Rng &rng)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.empty())
         panic("sampling from an empty replay buffer");
     std::vector<const TrainingSample *> batch;

@@ -9,6 +9,7 @@
 #define MAPZERO_RL_REPLAY_HPP
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,18 +26,26 @@ struct TrainingSample {
     double value = 0.0;
 };
 
-/** Ring buffer with sampling priorities. */
+/**
+ * Ring buffer with sampling priorities.
+ *
+ * Bookkeeping is guarded by an internal mutex so concurrent self-play
+ * workers can push while other threads read size(). The pointers
+ * returned by sampleBatch() reach into the buffer's storage and stay
+ * valid only until the next push - train on a batch before generating
+ * more data, or copy the samples out.
+ */
 class ReplayBuffer
 {
   public:
     /** @param capacity maximum retained samples (paper: 10,000). */
     explicit ReplayBuffer(std::size_t capacity = 10000);
 
-    /** Append a sample (evicts the oldest when full). */
+    /** Append a sample (evicts the oldest when full). Thread-safe. */
     void push(TrainingSample sample);
 
-    std::size_t size() const { return samples_.size(); }
-    bool empty() const { return samples_.empty(); }
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
     std::size_t capacity() const { return capacity_; }
 
     /**
@@ -50,6 +59,7 @@ class ReplayBuffer
   private:
     std::size_t capacity_;
     std::size_t next_ = 0;
+    mutable std::mutex mutex_;
     std::vector<TrainingSample> samples_;
     std::vector<double> priorities_;
 };

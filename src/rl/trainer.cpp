@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "dfg/random_gen.hpp"
 #include "dfg/schedule.hpp"
@@ -57,7 +58,7 @@ appendStatsJsonl(const std::string &path, const EpisodeStats &stats)
 
 Trainer::Trainer(const cgra::Architecture &arch, TrainerConfig config,
                  std::uint64_t seed)
-    : arch_(&arch), config_(config), rng_(seed),
+    : arch_(&arch), config_(config), seed_(seed), rng_(seed),
       lrSchedule_(config.peakLr, config.warmupSteps, config.lrDecay,
                   config.floorLr),
       replay_(config.replayCapacity)
@@ -72,10 +73,19 @@ Trainer::Trainer(const cgra::Architecture &arch, TrainerConfig config,
 EpisodeStats
 Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
 {
-    EpisodeStats stats;
-    stats.episode = episodeCounter_++;
+    const std::int32_t episode = episodeCounter_++;
+    DirectEvaluator evaluator(*net_);
+    return absorbEpisode(runSelfPlay(dfg, ii, episode, evaluator, rng_),
+                         episode);
+}
+
+Trainer::SelfPlayOutcome
+Trainer::runSelfPlay(const dfg::Dfg &dfg, std::int32_t ii,
+                     std::int32_t episode, Evaluator &evaluator,
+                     Rng &rng) const
+{
     TraceSpan episode_span("episode", "trainer",
-                           cat("{\"episode\": ", stats.episode,
+                           cat("{\"episode\": ", episode,
                                ", \"ii\": ", ii, "}"));
 
     // Training episodes keep going after a routing conflict (the paper
@@ -89,17 +99,13 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
     // --- Self-play ------------------------------------------------------
     // Per-move records; the return target is filled in once the episode
     // outcome is known.
-    struct MoveRecord {
-        Observation obs;
-        std::vector<double> pi;
-        double reward = 0.0;
-    };
-    std::vector<MoveRecord> moves;
+    SelfPlayOutcome outcome;
+    std::vector<MoveRecord> &moves = outcome.moves;
 
     MctsConfig mcts_config = config_.mcts;
     mcts_config.noiseFraction =
         config_.useMcts ? 0.25 : mcts_config.noiseFraction;
-    Mcts mcts(*net_, mcts_config);
+    Mcts mcts(evaluator, mcts_config);
 
     while (!env.done()) {
         if (env.legalActionCount() == 0)
@@ -111,16 +117,16 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
         std::int32_t action = -1;
         std::optional<std::vector<std::int32_t>> solved;
         if (config_.useMcts) {
-            MctsMoveResult move = mcts.runFromCurrent(env, rng_);
+            MctsMoveResult move = mcts.runFromCurrent(env, rng);
             record.pi = move.pi;
             action = move.bestAction;
             solved = std::move(move.solvedSuffix);
         } else {
             // Ablation arm (§4.7): sample directly from the policy.
-            const auto probs = net_->policyProbabilities(record.obs);
+            const auto probs = evaluator.policyProbabilities(record.obs);
             record.pi = probs;
             action = static_cast<std::int32_t>(
-                rng_.weightedIndex(probs));
+                rng.weightedIndex(probs));
         }
 
         if (solved && !solved->empty()) {
@@ -152,11 +158,23 @@ Trainer::runEpisode(const dfg::Dfg &dfg, std::int32_t ii)
         moves.push_back(std::move(record));
     }
 
-    stats.success = env.success();
-    stats.reward = env.totalReward() +
+    outcome.success = env.success();
+    outcome.envReward = env.totalReward();
+    return outcome;
+}
+
+EpisodeStats
+Trainer::absorbEpisode(SelfPlayOutcome outcome, std::int32_t episode)
+{
+    EpisodeStats stats;
+    stats.episode = episode;
+    stats.success = outcome.success;
+    stats.reward = outcome.envReward +
                    (stats.success ? config_.mcts.successBonus
                                   : -config_.mcts.deadEndPenalty);
-    stats.routingPenalty = env.totalReward();
+    stats.routingPenalty = outcome.envReward;
+
+    std::vector<MoveRecord> &moves = outcome.moves;
 
     // --- Store (s, pi, r) groups ----------------------------------------
     const double final_bonus = stats.success
@@ -312,21 +330,85 @@ std::vector<EpisodeStats>
 Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
                   std::int32_t max_nodes, const Deadline &deadline)
 {
+    static Gauge &throughput =
+        metrics().gauge("trainer.episodes_per_sec");
+
     // Curriculum: random DFGs sorted easy to hard (§3.6.2); the
     // ablation arm shuffles the same task set instead.
     auto tasks = dfg::curriculum(episodes, min_nodes, max_nodes, rng_);
     if (!config_.curriculum)
         rng_.shuffle(tasks);
+
+    const auto task_mii = [this](const dfg::Dfg &task) {
+        return std::max(dfg::minimumIi(task, arch_->peCount(),
+                                       arch_->memoryIssueCapacity()),
+                        1);
+    };
+
+    const std::size_t jobs = resolveJobs(
+        config_.selfPlayJobs < 0
+            ? 1
+            : static_cast<std::size_t>(config_.selfPlayJobs));
+    const Timer wall;
     std::vector<EpisodeStats> out;
-    for (const auto &task : tasks) {
-        if (deadline.expired())
-            break;
-        const std::int32_t mii = std::max(
-            dfg::minimumIi(task, arch_->peCount(),
-                           arch_->memoryIssueCapacity()),
-            1);
-        out.push_back(runEpisode(task, mii));
+
+    if (jobs <= 1) {
+        // Sequential path: bit-identical to the single-threaded trainer.
+        for (const auto &task : tasks) {
+            if (deadline.expired())
+                break;
+            out.push_back(runEpisode(task, task_mii(task)));
+        }
+        if (wall.seconds() > 0.0)
+            throughput.set(static_cast<double>(out.size()) /
+                           wall.seconds());
+        return out;
     }
+
+    // Parallel path: self-play rollouts of up to `jobs` episodes run
+    // concurrently against a snapshot of the network, with their leaf
+    // evaluations coalesced into batched forward passes. Replay
+    // insertion and gradient updates then run on this thread in
+    // episode order, so weights never move underneath a rollout and a
+    // run is a pure function of (seed, jobs).
+    ThreadPool pool(jobs);
+    EvalBatcher batcher(*net_, config_.evalBatchCap);
+    inform(cat("parallel self-play: ", jobs, " workers, eval batch cap ",
+               config_.evalBatchCap));
+
+    struct Slot {
+        const dfg::Dfg *task = nullptr;
+        std::int32_t episode = 0;
+        SelfPlayOutcome outcome;
+    };
+    std::size_t next = 0;
+    while (next < tasks.size() && !deadline.expired()) {
+        const std::size_t wave =
+            std::min(jobs, tasks.size() - next);
+        std::vector<Slot> slots(wave);
+        for (std::size_t i = 0; i < wave; ++i) {
+            slots[i].task = &tasks[next + i];
+            slots[i].episode = episodeCounter_++;
+        }
+        parallelFor(pool, wave, [&](std::size_t i) {
+            Slot &slot = slots[i];
+            // Stream keyed by episode index, not worker id: random
+            // choices depend on which episode is played, never on
+            // which worker plays it.
+            Rng worker_rng(Rng::deriveSeed(seed_, static_cast<
+                std::uint64_t>(slot.episode)));
+            EvalBatcher::Session session(batcher);
+            slot.outcome =
+                runSelfPlay(*slot.task, task_mii(*slot.task),
+                            slot.episode, batcher, worker_rng);
+        });
+        for (auto &slot : slots)
+            out.push_back(
+                absorbEpisode(std::move(slot.outcome), slot.episode));
+        next += wave;
+    }
+    if (wall.seconds() > 0.0)
+        throughput.set(static_cast<double>(out.size()) / wall.seconds());
     return out;
 }
 

@@ -58,6 +58,19 @@ struct TrainerConfig {
     std::string statsJsonlPath;
     /** inform() progress every this many episodes (0 disables). */
     std::int32_t progressEvery = 25;
+    /**
+     * Self-play workers for pretrain(): 1 = today's fully sequential
+     * loop (bit-reproducible with earlier releases), 0 = resolve from
+     * --jobs / MAPZERO_NUM_THREADS (common/parallel.hpp), N = exactly
+     * N workers. With N > 1, episodes run in waves of N whose network
+     * evaluations are coalesced by an EvalBatcher; replay insertion
+     * and gradient updates stay on the calling thread in episode
+     * order, so a run is deterministic for a fixed (seed, worker
+     * count).
+     */
+    std::int32_t selfPlayJobs = 0;
+    /** Observations per coalesced forward pass in parallel self-play. */
+    std::size_t evalBatchCap = 16;
 };
 
 /** Per-episode learning-curve record (drives Fig. 12). */
@@ -123,11 +136,45 @@ class Trainer
     const std::vector<EpisodeStats> &history() const { return history_; }
 
   private:
+    /** One recorded self-play decision (return target filled later). */
+    struct MoveRecord {
+        Observation obs;
+        std::vector<double> pi;
+        double reward = 0.0;
+    };
+
+    /** Everything one self-play rollout produced. */
+    struct SelfPlayOutcome {
+        std::vector<MoveRecord> moves;
+        bool success = false;
+        /** Accumulated per-step env reward (routing penalty). */
+        double envReward = 0.0;
+    };
+
+    /**
+     * The forward-only self-play phase of one episode: rolls out the
+     * (MCTS-assisted) policy on a fresh environment. Touches no
+     * trainer state, so several rollouts may run concurrently with
+     * per-episode Rng streams and a shared evaluator.
+     */
+    SelfPlayOutcome runSelfPlay(const dfg::Dfg &dfg, std::int32_t ii,
+                                std::int32_t episode,
+                                Evaluator &evaluator, Rng &rng) const;
+
+    /**
+     * The learning phase of one episode: store the (s, pi, r) groups
+     * (with symmetry augmentation), run gradient updates, publish
+     * stats. Caller-thread only.
+     */
+    EpisodeStats absorbEpisode(SelfPlayOutcome outcome,
+                               std::int32_t episode);
+
     /** One gradient step over a replay batch; accumulates into stats. */
     void trainStep(EpisodeStats &stats);
 
     const cgra::Architecture *arch_;
     TrainerConfig config_;
+    std::uint64_t seed_;
     Rng rng_;
     std::shared_ptr<MapZeroNet> net_;
     std::unique_ptr<nn::Adam> optimizer_;

@@ -1,0 +1,178 @@
+/** @file Unit tests for the parallel execution subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Restores the uninstalled job default and env var on scope exit. */
+struct JobsGuard {
+    ~JobsGuard()
+    {
+        clearDefaultJobs();
+        unsetenv("MAPZERO_NUM_THREADS");
+    }
+};
+
+TEST(ResolveJobs, ExplicitRequestWins)
+{
+    JobsGuard guard;
+    setDefaultJobs(8);
+    setenv("MAPZERO_NUM_THREADS", "4", 1);
+    EXPECT_EQ(resolveJobs(3), 3u);
+}
+
+TEST(ResolveJobs, InstalledDefaultBeatsEnvironment)
+{
+    JobsGuard guard;
+    setenv("MAPZERO_NUM_THREADS", "5", 1);
+    setDefaultJobs(2);
+    EXPECT_EQ(resolveJobs(0), 2u);
+    EXPECT_EQ(defaultJobs(), 2u);
+}
+
+TEST(ResolveJobs, HonorsEnvironmentVariable)
+{
+    JobsGuard guard;
+    clearDefaultJobs();
+    setenv("MAPZERO_NUM_THREADS", "6", 1);
+    EXPECT_EQ(resolveJobs(0), 6u);
+    // Negative values are ignored with a warning.
+    setenv("MAPZERO_NUM_THREADS", "-3", 1);
+    EXPECT_EQ(resolveJobs(0), 1u);
+}
+
+TEST(ResolveJobs, UnconfiguredDefaultsToSingleThreaded)
+{
+    JobsGuard guard;
+    clearDefaultJobs();
+    unsetenv("MAPZERO_NUM_THREADS");
+    EXPECT_EQ(resolveJobs(0), 1u);
+    // Explicit 0 at a configured level means "hardware threads".
+    setDefaultJobs(0);
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(DeriveSeed, DeterministicAndStreamSeparated)
+{
+    const std::uint64_t root = 12345;
+    EXPECT_EQ(Rng::deriveSeed(root, 0), Rng::deriveSeed(root, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+        seeds.insert(Rng::deriveSeed(root, stream));
+    EXPECT_EQ(seeds.size(), 64u);
+    // Different roots give different streams.
+    EXPECT_NE(Rng::deriveSeed(1, 0), Rng::deriveSeed(2, 0));
+}
+
+TEST(DeriveSeed, StreamsProduceIndependentSequences)
+{
+    Rng a(Rng::deriveSeed(7, 0));
+    Rng b(Rng::deriveSeed(7, 1));
+    bool diverged = false;
+    for (int i = 0; i < 16 && !diverged; ++i)
+        diverged = a.next() != b.next();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ThreadPool, FuturesCarryResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    auto good = pool.submit([] { return 42; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueueUnderLoad)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // Destroyed while the queue is still deep: every submitted
+        // task must run before the workers join.
+    }
+    EXPECT_EQ(ran.load(), 256);
+}
+
+TEST(ThreadPool, CurrentWorkerIdentifiesPoolThreads)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.currentWorker(), -1);
+    auto index = pool.submit([&pool] { return pool.currentWorker(); });
+    const int worker = index.get();
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(pool, hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsFirstException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 16,
+                             [](std::size_t i) {
+                                 if (i == 7)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, RunsInlineForTrivialCounts)
+{
+    ThreadPool pool(4);
+    int ran = 0;
+    parallelFor(pool, 1, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 1);
+    parallelFor(pool, 0, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 1);
+}
+
+} // namespace
+} // namespace mapzero

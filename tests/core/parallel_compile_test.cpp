@@ -1,0 +1,125 @@
+/** @file Determinism and thread-safety tests for parallel compilation. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero {
+namespace {
+
+PretrainBudget
+tinyBudget()
+{
+    PretrainBudget b;
+    b.episodes = 2;
+    b.seconds = 5.0;
+    b.maxNodes = 6;
+    b.mctsExpansions = 4;
+    return b;
+}
+
+/** The two results must describe the identical mapping. */
+void
+expectSameResult(const CompileResult &a, const CompileResult &b)
+{
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.ii, b.ii);
+    EXPECT_EQ(a.mii, b.mii);
+    EXPECT_EQ(a.totalHops, b.totalHops);
+    EXPECT_EQ(a.searchOps, b.searchOps);
+    ASSERT_EQ(a.placements.size(), b.placements.size());
+    for (std::size_t i = 0; i < a.placements.size(); ++i) {
+        EXPECT_EQ(a.placements[i].pe, b.placements[i].pe) << i;
+        EXPECT_EQ(a.placements[i].time, b.placements[i].time) << i;
+    }
+}
+
+/** Same seed, same restart portfolio, different worker counts. */
+CompileResult
+compileAtJobs(Method method, std::int32_t jobs,
+              std::shared_ptr<const rl::MapZeroNet> net)
+{
+    const dfg::Dfg d = dfg::buildKernel("mac");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    if (net)
+        compiler.setNetwork(std::move(net));
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0; // generous: timeouts would allow
+                                     // scheduling to influence results
+    options.seed = 99;
+    options.jobs = jobs;
+    options.restartsPerIi = 4; // pinned so jobs does not change the
+                               // portfolio size
+    return compiler.compile(d, arch, method, options);
+}
+
+TEST(ParallelCompile, SaDeterministicAcrossWorkerCounts)
+{
+    const CompileResult sequential =
+        compileAtJobs(Method::Sa, 1, nullptr);
+    const CompileResult parallel = compileAtJobs(Method::Sa, 4, nullptr);
+    EXPECT_TRUE(sequential.success);
+    expectSameResult(sequential, parallel);
+}
+
+TEST(ParallelCompile, MapZeroDeterministicAcrossWorkerCounts)
+{
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const auto net = pretrainedNetwork(arch, tinyBudget());
+    const CompileResult sequential =
+        compileAtJobs(Method::MapZero, 1, net);
+    // jobs=4 routes evaluations of the four concurrent attempts
+    // through a shared EvalBatcher; batching must not change what any
+    // attempt computes.
+    const CompileResult parallel = compileAtJobs(Method::MapZero, 4, net);
+    EXPECT_TRUE(sequential.success);
+    expectSameResult(sequential, parallel);
+}
+
+TEST(ParallelCompile, SingleRestartMatchesPlainCompile)
+{
+    // restartsPerIi=1 at jobs=1 must take the historical code path and
+    // produce the historical result.
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    CompileOptions plain;
+    plain.timeLimitSeconds = 30.0;
+    plain.seed = 5;
+    CompileOptions pinned = plain;
+    pinned.jobs = 1;
+    pinned.restartsPerIi = 1;
+    const CompileResult a = compiler.compile(d, arch, Method::Sa, plain);
+    const CompileResult b = compiler.compile(d, arch, Method::Sa, pinned);
+    expectSameResult(a, b);
+}
+
+TEST(AgentCache, ConcurrentCallersShareOneTrainingRun)
+{
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    constexpr int kCallers = 4;
+    std::vector<std::shared_ptr<const rl::MapZeroNet>> nets(kCallers);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kCallers; ++t)
+        threads.emplace_back([&nets, &arch, t] {
+            nets[static_cast<std::size_t>(t)] =
+                pretrainedNetwork(arch, tinyBudget());
+        });
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 1; t < kCallers; ++t)
+        EXPECT_EQ(nets[0].get(), nets[static_cast<std::size_t>(t)].get())
+            << "caller " << t << " trained a duplicate network";
+    clearAgentCache();
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,168 @@
+/** @file Unit tests for the evaluation services (batching parity). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "rl/evaluator.hpp"
+#include "rl/network.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+/** Observations along a first-legal-action rollout of @p kernel. */
+std::vector<Observation>
+rolloutObservations(const std::string &kernel,
+                    const cgra::Architecture &arch)
+{
+    dfg::Dfg d = dfg::buildKernel(kernel);
+    const std::int32_t mii =
+        dfg::minimumIi(d, arch.peCount(), arch.memoryIssueCapacity());
+    mapper::MapEnv env(d, arch, mii);
+    std::vector<Observation> observations;
+    while (!env.done() && env.legalActionCount() > 0) {
+        observations.push_back(observe(env));
+        const auto mask = env.actionMask();
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(mask.size()); ++pe) {
+            if (mask[static_cast<std::size_t>(pe)]) {
+                env.step(pe);
+                break;
+            }
+        }
+    }
+    return observations;
+}
+
+/** Largest absolute difference between two network outputs. */
+double
+outputDiff(const MapZeroNet::Output &a, const MapZeroNet::Output &b)
+{
+    EXPECT_EQ(a.logPolicy.tensor().size(), b.logPolicy.tensor().size());
+    double diff = std::fabs(static_cast<double>(a.value.item()) -
+                            static_cast<double>(b.value.item()));
+    for (std::size_t i = 0; i < a.logPolicy.tensor().size(); ++i)
+        diff = std::max(
+            diff,
+            std::fabs(static_cast<double>(a.logPolicy.tensor()[i]) -
+                      static_cast<double>(b.logPolicy.tensor()[i])));
+    return diff;
+}
+
+TEST(ForwardBatch, MatchesSequentialForward)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(21);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+
+    // Mixed-size graphs in one batch: DFGs of different kernels plus
+    // different depths of the same episode.
+    std::vector<Observation> observations;
+    for (const char *kernel : {"sum", "mac", "conv2"})
+        for (auto &obs : rolloutObservations(kernel, arch))
+            observations.push_back(std::move(obs));
+    ASSERT_GT(observations.size(), 8u);
+
+    std::vector<const Observation *> batch;
+    for (const auto &obs : observations)
+        batch.push_back(&obs);
+    const auto batched = net.forwardBatch(batch);
+    ASSERT_EQ(batched.size(), observations.size());
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < observations.size(); ++i)
+        worst = std::max(worst, outputDiff(net.forward(observations[i]),
+                                           batched[i]));
+    // The stacked batch computes per-row exactly what the single pass
+    // computes; tolerance covers any platform reassociation.
+    EXPECT_LE(worst, 1e-6);
+}
+
+TEST(ForwardBatch, IndependentOfBatchComposition)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(22);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    const auto observations = rolloutObservations("mac", arch);
+    ASSERT_GE(observations.size(), 3u);
+
+    const auto &probe = observations.front();
+    const auto alone = net.forwardBatch({&probe});
+    std::vector<const Observation *> crowded;
+    for (const auto &obs : observations)
+        crowded.push_back(&obs);
+    const auto together = net.forwardBatch(crowded);
+    EXPECT_EQ(outputDiff(alone.front(), together.front()), 0.0)
+        << "batch composition changed a result";
+}
+
+TEST(DirectEvaluator, PassesThroughToForward)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(23);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    DirectEvaluator evaluator(net);
+    const auto observations = rolloutObservations("sum", arch);
+    ASSERT_FALSE(observations.empty());
+    EXPECT_EQ(outputDiff(evaluator.evaluate(observations.front()),
+                         net.forward(observations.front())),
+              0.0);
+    EXPECT_EQ(&evaluator.network(), &net);
+}
+
+TEST(EvalBatcher, SingleSessionDegradesToDirect)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(24);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    EvalBatcher batcher(net, 8);
+    EvalBatcher::Session session(batcher);
+    for (const auto &obs : rolloutObservations("sum", arch))
+        EXPECT_EQ(outputDiff(batcher.evaluate(obs), net.forward(obs)),
+                  0.0);
+}
+
+TEST(EvalBatcher, ConcurrentSessionsGetTheirOwnResults)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(25);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+
+    const std::vector<std::string> kernels = {"sum", "mac", "conv2",
+                                              "accumulate"};
+    std::vector<std::vector<Observation>> inputs;
+    std::vector<std::vector<MapZeroNet::Output>> expected;
+    for (const auto &kernel : kernels) {
+        inputs.push_back(rolloutObservations(kernel, arch));
+        std::vector<MapZeroNet::Output> outs;
+        for (const auto &obs : inputs.back())
+            outs.push_back(net.forward(obs));
+        expected.push_back(std::move(outs));
+    }
+
+    EvalBatcher batcher(net, kernels.size());
+    std::vector<double> worst(kernels.size(), 0.0);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kernels.size(); ++t) {
+        threads.emplace_back([&, t] {
+            EvalBatcher::Session session(batcher);
+            for (std::size_t i = 0; i < inputs[t].size(); ++i)
+                worst[t] = std::max(
+                    worst[t], outputDiff(batcher.evaluate(inputs[t][i]),
+                                         expected[t][i]));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (std::size_t t = 0; t < kernels.size(); ++t)
+        EXPECT_EQ(worst[t], 0.0) << kernels[t];
+}
+
+} // namespace
+} // namespace mapzero::rl

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "dfg/kernels.hpp"
 #include "rl/trainer.hpp"
@@ -78,6 +79,41 @@ TEST(Trainer, PretrainRunsCurriculum)
     const auto stats =
         trainer.pretrain(4, 3, 6, Deadline(60.0));
     EXPECT_EQ(stats.size(), 4u);
+}
+
+TEST(Trainer, ParallelPretrainRunsEveryEpisode)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    TrainerConfig cfg = fastConfig();
+    cfg.selfPlayJobs = 3;
+    cfg.evalBatchCap = 4;
+    Trainer trainer(arch, cfg, 5);
+    const auto stats = trainer.pretrain(6, 3, 6, Deadline(120.0));
+    EXPECT_EQ(stats.size(), 6u);
+    // Episode stats still arrive in episode order.
+    for (std::size_t i = 0; i < stats.size(); ++i)
+        EXPECT_EQ(stats[i].episode, static_cast<std::int32_t>(i));
+}
+
+TEST(Trainer, ParallelPretrainIsDeterministicPerWorkerCount)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    TrainerConfig cfg = fastConfig();
+    cfg.selfPlayJobs = 2;
+    const auto run = [&] {
+        Trainer trainer(arch, cfg, 6);
+        trainer.pretrain(4, 3, 6, Deadline(120.0));
+        std::vector<float> weights;
+        for (const auto &p : trainer.network().parameters())
+            for (std::size_t i = 0; i < p.tensor().size(); ++i)
+                weights.push_back(p.tensor()[i]);
+        return weights;
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "weight " << i;
 }
 
 TEST(Trainer, PretrainStopsAtDeadline)

@@ -3,7 +3,8 @@
  * mapzero_cli - command-line front end of the MapZero compiler.
  *
  *   mapzero_cli map      --kernel mac --arch hrea [--method mapzero]
- *                        [--time 10] [--viz] [--dot] [--bitstream F]
+ *                        [--time 10] [--restarts R] [--viz] [--dot]
+ *                        [--bitstream F]
  *   mapzero_cli analyze  --kernel arf
  *   mapzero_cli simulate --kernel mac --arch hrea [--iters 8]
  *   mapzero_cli list
@@ -18,6 +19,9 @@
  *   --metrics-out FILE  JSON run report of all registry metrics
  *   --log-level LEVEL   debug|info|warn|error|off (also settable via
  *                       the MAPZERO_LOG_LEVEL environment variable)
+ *   --jobs N            worker threads for parallel compilation and
+ *                       self-play (0 = all hardware threads; default 1;
+ *                       also settable via MAPZERO_NUM_THREADS)
  */
 
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include "baselines/exact_mapper.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "core/agent_cache.hpp"
 #include "core/bitstream.hpp"
@@ -180,6 +185,9 @@ cmdMap(const Args &args)
     CompileOptions options;
     options.timeLimitSeconds = std::atof(
         args.get("time", "10").c_str());
+    options.jobs = static_cast<std::int32_t>(resolveJobs());
+    options.restartsPerIi = static_cast<std::int32_t>(
+        std::atoi(args.get("restarts", "0").c_str()));
     const CompileResult r =
         compiler.compile(kernel, arch, method, options);
 
@@ -308,12 +316,14 @@ dispatch(const Args &args)
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
-        "           [--viz] [--dot] [--bitstream [FILE]]\n"
+        "           [--restarts R] [--viz] [--dot] [--bitstream [FILE]]\n"
         "  analyze  --kernel NAME|--kernel-dot F\n"
         "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
         "  spatial  --kernel NAME --arch FABRIC [--time S]\n"
         "observability (any command): [--trace-out FILE]\n"
-        "           [--metrics-out FILE] [--log-level LEVEL]\n");
+        "           [--metrics-out FILE] [--log-level LEVEL]\n"
+        "parallelism (any command): [--jobs N] (0 = all hardware\n"
+        "           threads; default 1; env: MAPZERO_NUM_THREADS)\n");
     return args.command.empty() ? 0 : 2;
 }
 
@@ -326,6 +336,16 @@ main(int argc, char **argv)
         const Args args = parseArgs(argc, argv);
         if (args.flag("log-level"))
             setLogLevel(logLevelByName(args.get("log-level", "")));
+        if (args.flag("jobs")) {
+            const std::string jobs = args.get("jobs", "");
+            if (jobs.empty())
+                fatal("--jobs needs a worker count (0 = all hardware "
+                      "threads)");
+            const long long parsed = std::atoll(jobs.c_str());
+            if (parsed < 0)
+                fatal("--jobs must be >= 0 (0 = all hardware threads)");
+            setDefaultJobs(static_cast<std::size_t>(parsed));
+        }
         const std::string trace_out = args.get("trace-out", "");
         const std::string metrics_out = args.get("metrics-out", "");
         if (args.flag("trace-out") && trace_out.empty())
