@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Network inference microbenchmarks (infrastructure tracking, not a
+ * paper figure): single-observation forward latency on the tape path vs
+ * the no-grad fast path (nn::InferenceGuard + TensorArena), batched
+ * forward throughput, and the eval-cache hit path.
+ *
+ * Publishes "bench.nn.*" gauges, so a run with
+ * MAPZERO_BENCH_REPORT_DIR set leaves the numbers in the standard
+ * metrics run report. With --check the binary exits non-zero unless
+ * the no-grad path beats the tape path, which is the CI smoke test
+ * for the inference fast path.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mapper/environment.hpp"
+#include "nn/autograd.hpp"
+#include "rl/evaluator.hpp"
+#include "rl/features.hpp"
+#include "rl/network.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/** Observations along a first-legal-action rollout of @p kernel. */
+std::vector<rl::Observation>
+rolloutObservations(const std::string &kernel,
+                    const cgra::Architecture &arch)
+{
+    dfg::Dfg d = dfg::buildKernel(kernel);
+    const std::int32_t mii =
+        dfg::minimumIi(d, arch.peCount(), arch.memoryIssueCapacity());
+    mapper::MapEnv env(d, arch, mii);
+    std::vector<rl::Observation> observations;
+    while (!env.done() && env.legalActionCount() > 0) {
+        observations.push_back(rl::observe(env));
+        const auto mask = env.actionMask();
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(mask.size()); ++pe) {
+            if (mask[static_cast<std::size_t>(pe)]) {
+                env.step(pe);
+                break;
+            }
+        }
+    }
+    return observations;
+}
+
+/**
+ * Evaluations per second of @p body (which performs one evaluation per
+ * call), measured over at least @p seconds of wall time.
+ */
+template <typename Fn>
+double
+evalsPerSecond(double seconds, Fn &&body)
+{
+    using Clock = std::chrono::steady_clock;
+    // Warm-up: fault in code paths and fill the tensor arena.
+    for (int i = 0; i < 8; ++i)
+        body();
+    std::int64_t evals = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 16; ++i)
+            body();
+        evals += 16;
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < seconds);
+    return static_cast<double>(evals) / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    double seconds = 0.4;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+            seconds = std::atof(argv[++i]);
+    }
+
+    bench::printBanner("bench_nn: inference fast path");
+
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(12345);
+    const rl::MapZeroNet net(arch.peCount(), rl::NetworkConfig{}, rng);
+
+    std::vector<rl::Observation> observations;
+    for (const char *kernel : {"sum", "mac", "conv2", "accumulate"})
+        for (auto &obs : rolloutObservations(kernel, arch))
+            observations.push_back(std::move(obs));
+    std::size_t next = 0;
+    const auto cycle = [&]() -> const rl::Observation & {
+        const auto &obs = observations[next];
+        next = (next + 1) % observations.size();
+        return obs;
+    };
+
+    // 1. Tape path: the forward the trainer uses (autograd graph built).
+    const double tape = evalsPerSecond(
+        seconds, [&] { net.forward(cycle()); });
+
+    // 2. No-grad path: what every evaluator runs during search.
+    const double nograd = evalsPerSecond(seconds, [&] {
+        const nn::InferenceGuard guard;
+        net.forward(cycle());
+    });
+
+    // 3. Batched no-grad forward, 8 observations per pass.
+    constexpr std::size_t kBatch = 8;
+    const double batched = kBatch * evalsPerSecond(seconds, [&] {
+        std::vector<const rl::Observation *> batch;
+        for (std::size_t i = 0; i < kBatch; ++i)
+            batch.push_back(&cycle());
+        const nn::InferenceGuard guard;
+        net.forwardBatch(batch);
+    });
+
+    // 4. Eval-cache hit path (steady state: everything cached).
+    rl::DirectEvaluator cached(net, std::make_shared<rl::EvalCache>());
+    for (const auto &obs : observations)
+        cached.evaluate(obs);
+    const double hits = evalsPerSecond(
+        seconds, [&] { cached.evaluate(cycle()); });
+
+    const double speedup = tape > 0.0 ? nograd / tape : 0.0;
+    metrics().gauge("bench.nn.forward_tape_evals_per_sec").set(tape);
+    metrics().gauge("bench.nn.forward_nograd_evals_per_sec").set(nograd);
+    metrics().gauge("bench.nn.forward_speedup").set(speedup);
+    metrics().gauge("bench.nn.batch8_evals_per_sec").set(batched);
+    metrics().gauge("bench.nn.cached_evals_per_sec").set(hits);
+
+    bench::printRow({"path", "evals/s", "vs tape"}, 26);
+    bench::printRow({"forward (tape)", bench::fmt("%.0f", tape),
+                     "1.00x"},
+                    26);
+    bench::printRow({"forward (no-grad)", bench::fmt("%.0f", nograd),
+                     bench::fmt("%.2fx", speedup)},
+                    26);
+    bench::printRow({"forwardBatch(8, no-grad)",
+                     bench::fmt("%.0f", batched),
+                     bench::fmt("%.2fx", batched / tape)},
+                    26);
+    bench::printRow({"eval-cache hit", bench::fmt("%.0f", hits),
+                     bench::fmt("%.2fx", hits / tape)},
+                    26);
+    std::printf("no-grad speedup over tape: %.2fx (%zu observations)\n",
+                speedup, observations.size());
+    const auto &arena = nn::TensorArena::thisThread();
+    std::printf("arena: %llu reuses, %llu heap allocations, %zu pooled\n",
+                static_cast<unsigned long long>(arena.reuses()),
+                static_cast<unsigned long long>(arena.heapAllocations()),
+                arena.pooledBuffers());
+
+    if (check && speedup <= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: no-grad path is not faster than the tape "
+                     "path (%.2fx)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -90,8 +90,15 @@ Compiler::compile(const dfg::Dfg &dfg, const cgra::Architecture &arch,
         : options.restartsPerIi > 0
             ? options.restartsPerIi
             : std::max<std::int32_t>(1, jobs);
+    const bool is_mapzero =
+        method == Method::MapZero || method == Method::MapZeroNoMcts;
     if (restarts <= 1) {
-        auto engine = makeEngine(method, options.seed);
+        std::shared_ptr<rl::Evaluator> evaluator;
+        if (is_mapzero && options.evalCache && net_)
+            evaluator = std::make_shared<rl::DirectEvaluator>(
+                *net_, std::make_shared<rl::EvalCache>());
+        auto engine = makeEngine(method, options.seed,
+                                 std::move(evaluator));
         return compileWith(*engine, dfg, arch, options);
     }
     return compilePortfolio(dfg, arch, method, options, jobs, restarts);
@@ -205,14 +212,28 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
     // single engine of compileWith. Attempt 0 keeps the caller's seed
     // so its search is the one a plain compile() would have run.
     std::shared_ptr<rl::EvalBatcher> batcher;
+    std::shared_ptr<rl::Evaluator> shared_eval;
     const bool is_mapzero =
         method == Method::MapZero || method == Method::MapZeroNoMcts;
-    if (is_mapzero && jobs > 1) {
+    if (is_mapzero) {
         if (!net_)
             fatal("MapZero methods need setNetwork() with a pre-trained "
                   "network (see core/agent_cache.hpp)");
-        batcher = std::make_shared<rl::EvalBatcher>(
-            *net_, static_cast<std::size_t>(restarts));
+        // One cache for the whole compile: restarts explore overlapping
+        // prefixes and escalating IIs re-reach early states, so every
+        // attempt profits from every other attempt's evaluations.
+        std::shared_ptr<rl::EvalCache> cache;
+        if (options.evalCache)
+            cache = std::make_shared<rl::EvalCache>();
+        if (jobs > 1) {
+            batcher = std::make_shared<rl::EvalBatcher>(
+                *net_, static_cast<std::size_t>(restarts),
+                std::move(cache));
+            shared_eval = batcher;
+        } else if (cache) {
+            shared_eval = std::make_shared<rl::DirectEvaluator>(
+                *net_, std::move(cache));
+        }
     }
     std::vector<std::unique_ptr<baselines::MapperBase>> engines;
     engines.reserve(static_cast<std::size_t>(restarts));
@@ -221,7 +242,7 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
             ? options.seed
             : Rng::deriveSeed(options.seed,
                               static_cast<std::uint64_t>(k));
-        engines.push_back(makeEngine(method, seed, batcher));
+        engines.push_back(makeEngine(method, seed, shared_eval));
     }
 
     CompileResult result;

@@ -56,6 +56,15 @@ struct CompileOptions {
      * exactly the historical single-threaded one.
      */
     std::int32_t restartsPerIi = 0;
+    /**
+     * Memoize network evaluations across the compile (MapZero methods
+     * only). MCTS re-reaches identical states constantly and restarts
+     * share the cache, so hit rates are high; cached outputs are
+     * bit-identical to fresh ones, so results never change (timeouts
+     * aside - cache hits make the same search faster). Observable via
+     * the "eval_cache.hits" / "eval_cache.misses" metrics.
+     */
+    bool evalCache = true;
 };
 
 /** Outcome of a compilation. */

@@ -1,8 +1,17 @@
 #include "mapper/environment.hpp"
 
+#include <atomic>
+
 #include "common/log.hpp"
 
 namespace mapzero::mapper {
+
+std::uint64_t
+MapEnv::nextInstanceId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 MapEnv::MapEnv(const dfg::Dfg &dfg, const cgra::Architecture &arch,
                std::int32_t ii, EnvConfig config)

@@ -85,6 +85,14 @@ class MapEnv
     /** Restart the episode (empty mapping). */
     void reset();
 
+    /**
+     * Process-unique id of this environment instance. Lets incremental
+     * consumers (rl::ObservationBuilder) detect that a pointer they
+     * cached now refers to a different environment, even when a new
+     * MapEnv reuses the old one's address.
+     */
+    std::uint64_t instanceId() const { return instanceId_; }
+
     const dfg::Dfg &dfg() const { return *dfg_; }
     const cgra::Architecture &arch() const { return *arch_; }
     const cgra::Mrrg &mrrg() const { return mrrg_; }
@@ -123,6 +131,10 @@ class MapEnv
     std::int32_t placedCount() const { return state_->placedCount(); }
 
   private:
+    /** Monotonic id source behind instanceId(). */
+    static std::uint64_t nextInstanceId();
+
+    std::uint64_t instanceId_ = nextInstanceId();
     const dfg::Dfg *dfg_;
     const cgra::Architecture *arch_;
     cgra::Mrrg mrrg_;

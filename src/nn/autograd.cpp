@@ -2,11 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "nn/kernels.hpp"
 
 namespace mapzero::nn {
+
+namespace {
+
+/** Thread-local inference-mode flag behind InferenceGuard. */
+thread_local bool t_inference_mode = false;
+
+} // namespace
+
+InferenceGuard::InferenceGuard() : prev_(t_inference_mode)
+{
+    t_inference_mode = true;
+}
+
+InferenceGuard::~InferenceGuard()
+{
+    t_inference_mode = prev_;
+}
+
+bool
+InferenceGuard::active()
+{
+    return t_inference_mode;
+}
+
+Node::~Node()
+{
+    if (arenaBacked)
+        TensorArena::thisThread().release(std::move(value.data()));
+}
 
 void
 Node::ensureGrad()
@@ -41,6 +72,9 @@ Value::backward() const
 {
     if (!node_)
         panic("backward() on undefined Value");
+    if (node_->arenaBacked)
+        panic("backward() on an inference-mode value (no tape was built "
+              "under InferenceGuard)");
     if (node_->value.size() != 1)
         panic("backward() requires a scalar loss");
 
@@ -76,6 +110,137 @@ Value::backward() const
 }
 
 namespace {
+
+/** Whether the op can skip tape construction entirely. */
+inline bool
+skipTape()
+{
+    return InferenceGuard::active();
+}
+
+/**
+ * Thread-local freelist behind allocate_shared for inference-mode
+ * nodes. Every op under an InferenceGuard creates exactly one Node
+ * whose lifetime is a handful of ops (until the consumer finishes), so
+ * the combined node+control-block allocation is the dominant remaining
+ * heap traffic of a no-grad forward; recycling the fixed-size block
+ * removes it. Blocks are plain ::operator new memory, so a node freed
+ * on a different thread than it was allocated on (an EvalBatcher
+ * waiter dropping a leader-computed output) simply parks the block in
+ * the destroying thread's pool. Tape-mode nodes keep make_shared: they
+ * live as long as the loss graph and gain nothing from a freelist.
+ */
+template <typename T>
+class NodePoolAllocator
+{
+  public:
+    using value_type = T;
+
+    NodePoolAllocator() = default;
+    template <typename U>
+    NodePoolAllocator(const NodePoolAllocator<U> &) {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1) {
+            auto &pool = blocks();
+            if (!pool.free.empty()) {
+                void *block = pool.free.back();
+                pool.free.pop_back();
+                return static_cast<T *>(block);
+            }
+        }
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (n == 1) {
+            auto &pool = blocks();
+            if (pool.free.size() < kMaxPooledNodes) {
+                pool.free.push_back(p);
+                return;
+            }
+        }
+        ::operator delete(p);
+    }
+
+    template <typename U>
+    bool operator==(const NodePoolAllocator<U> &) const { return true; }
+    template <typename U>
+    bool operator!=(const NodePoolAllocator<U> &) const { return false; }
+
+  private:
+    /** Cap on parked blocks per thread (~a few forward passes deep). */
+    static constexpr std::size_t kMaxPooledNodes = 1024;
+
+    struct Pool {
+        std::vector<void *> free;
+        ~Pool()
+        {
+            for (void *block : free)
+                ::operator delete(block);
+        }
+    };
+
+    static Pool &
+    blocks()
+    {
+        static thread_local Pool pool;
+        return pool;
+    }
+};
+
+/** Wrap an op result in a tape-free, arena-recycled node. */
+Value
+inferenceResult(Tensor result)
+{
+    auto node = std::allocate_shared<Node>(NodePoolAllocator<Node>(),
+                                           std::move(result), false);
+    node->arenaBacked = true;
+    return Value(std::move(node));
+}
+
+/** (rows x cols) op output: zeroed, arena-backed in inference mode. */
+Tensor
+outputZeros(std::size_t rows, std::size_t cols)
+{
+    if (skipTape())
+        return Tensor(rows, cols,
+                      TensorArena::thisThread().acquire(rows * cols,
+                                                        /*zeroed=*/true));
+    return Tensor(rows, cols);
+}
+
+/**
+ * (rows x cols) op output the caller fully overwrites: contents
+ * unspecified in inference mode, zeroed otherwise.
+ */
+Tensor
+outputUninit(std::size_t rows, std::size_t cols)
+{
+    if (skipTape())
+        return Tensor(rows, cols,
+                      TensorArena::thisThread().acquire(rows * cols,
+                                                        /*zeroed=*/false));
+    return Tensor(rows, cols);
+}
+
+/** Copy of @p src (shape and contents), arena-backed in inference mode. */
+Tensor
+outputCopy(const Tensor &src)
+{
+    if (skipTape()) {
+        std::vector<float> data =
+            TensorArena::thisThread().acquire(src.size(),
+                                              /*zeroed=*/false);
+        std::copy(src.data().begin(), src.data().end(), data.begin());
+        return Tensor::withShapeOf(src, std::move(data));
+    }
+    return src;
+}
 
 /** Whether any parent wants gradients (controls closure creation). */
 bool
@@ -113,16 +278,11 @@ matmul(const Value &a, const Value &b)
         panic(cat("matmul shape mismatch: ", ta.shapeString(), " * ",
                   tb.shapeString()));
 
-    Tensor out(m, n);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t p = 0; p < k; ++p) {
-            const float aip = ta.at(i, p);
-            if (aip == 0.0f)
-                continue;
-            for (std::size_t j = 0; j < n; ++j)
-                out.at(i, j) += aip * tb.at(p, j);
-        }
-    }
+    Tensor out = outputZeros(m, n);
+    kernels::matmulAccum(ta.data().data(), tb.data().data(),
+                         out.data().data(), m, k, n);
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a, b}, [m, k, n](Node &node) {
         const Tensor &g = node.grad;
@@ -130,14 +290,9 @@ matmul(const Value &a, const Value &b)
         if (pa->requiresGrad) {
             // dA = G * B^T
             Tensor da(m, k);
-            for (std::size_t i = 0; i < m; ++i)
-                for (std::size_t j = 0; j < n; ++j) {
-                    const float gij = g.at(i, j);
-                    if (gij == 0.0f)
-                        continue;
-                    for (std::size_t p = 0; p < k; ++p)
-                        da.at(i, p) += gij * pb->value.at(p, j);
-                }
+            kernels::matmulTransBAccum(g.data().data(),
+                                       pb->value.data().data(),
+                                       da.data().data(), m, n, k);
             pa->accumulateGrad(da);
         }
         if (pb->requiresGrad) {
@@ -157,6 +312,81 @@ matmul(const Value &a, const Value &b)
 }
 
 Value
+linearFused(const Value &x, const Value &w, const Value &b, bool relu)
+{
+    const Tensor &tx = x.tensor();
+    const Tensor &tw = w.tensor();
+    const Tensor &tb = b.tensor();
+    const std::size_t m = tx.rows(), k = tx.cols(), n = tw.cols();
+    if (tw.rows() != k || tb.rows() != 1 || tb.cols() != n)
+        panic(cat("linearFused shape mismatch: ", tx.shapeString(), " * ",
+                  tw.shapeString(), " + ", tb.shapeString()));
+
+    Tensor out = outputZeros(m, n);
+    kernels::matmulAccum(tx.data().data(), tw.data().data(),
+                         out.data().data(), m, k, n);
+    kernels::addBiasRows(out.data().data(), tb.data().data(),
+                         out.data().data(), m, n, relu);
+    if (skipTape())
+        return inferenceResult(std::move(out));
+
+    // The pre-activation sign is not recoverable from a clamped output
+    // (±0 ambiguity), so the closure keeps the ReLU mask explicitly.
+    std::vector<bool> negative;
+    if (relu && (x.requiresGrad() || w.requiresGrad() ||
+                 b.requiresGrad())) {
+        negative.resize(m * n);
+        const std::vector<float> &ov = out.data();
+        for (std::size_t i = 0; i < negative.size(); ++i)
+            negative[i] = ov[i] < 0.0f || std::signbit(ov[i]);
+    }
+
+    return makeOp(std::move(out), {x, w, b},
+                  [m, k, n, relu,
+                   negative = std::move(negative)](Node &node) {
+        NodePtr px = node.parents[0], pw = node.parents[1],
+                pb = node.parents[2];
+        // g' = dLoss/dPreActivation (ReLU zeroes clamped entries).
+        Tensor gp = node.grad;
+        if (relu) {
+            std::vector<float> &gv = gp.data();
+            for (std::size_t i = 0; i < gv.size(); ++i)
+                if (negative[i])
+                    gv[i] = 0.0f;
+        }
+        if (px->requiresGrad) {
+            // dX = G' * W^T
+            Tensor dx(m, k);
+            kernels::matmulTransBAccum(gp.data().data(),
+                                       pw->value.data().data(),
+                                       dx.data().data(), m, n, k);
+            px->accumulateGrad(dx);
+        }
+        if (pw->requiresGrad) {
+            // dW = X^T * G'
+            Tensor dw(k, n);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t p = 0; p < k; ++p) {
+                    const float xip = px->value.at(i, p);
+                    if (xip == 0.0f)
+                        continue;
+                    for (std::size_t j = 0; j < n; ++j)
+                        dw.at(p, j) += xip * gp.at(i, j);
+                }
+            pw->accumulateGrad(dw);
+        }
+        if (pb->requiresGrad) {
+            // db = column sums of G'
+            Tensor db(1, n);
+            for (std::size_t i = 0; i < m; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    db[j] += gp.at(i, j);
+            pb->accumulateGrad(db);
+        }
+    });
+}
+
+Value
 add(const Value &a, const Value &b)
 {
     const Tensor &ta = a.tensor();
@@ -167,7 +397,7 @@ add(const Value &a, const Value &b)
         panic(cat("add shape mismatch: ", ta.shapeString(), " + ",
                   tb.shapeString()));
 
-    Tensor out = ta;
+    Tensor out = outputCopy(ta);
     if (broadcast) {
         for (std::size_t r = 0; r < ta.rows(); ++r)
             for (std::size_t c = 0; c < ta.cols(); ++c)
@@ -175,6 +405,8 @@ add(const Value &a, const Value &b)
     } else {
         out.addInPlace(tb);
     }
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a, b}, [broadcast](Node &node) {
         NodePtr pa = node.parents[0], pb = node.parents[1];
@@ -203,9 +435,11 @@ sub(const Value &a, const Value &b)
     if (!ta.sameShape(tb))
         panic(cat("sub shape mismatch: ", ta.shapeString(), " - ",
                   tb.shapeString()));
-    Tensor out = ta;
+    Tensor out = outputCopy(ta);
     for (std::size_t i = 0; i < out.size(); ++i)
         out[i] -= tb[i];
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a, b}, [](Node &node) {
         NodePtr pa = node.parents[0], pb = node.parents[1];
@@ -227,9 +461,11 @@ mulElem(const Value &a, const Value &b)
     if (!ta.sameShape(tb))
         panic(cat("mulElem shape mismatch: ", ta.shapeString(), " * ",
                   tb.shapeString()));
-    Tensor out = ta;
+    Tensor out = outputCopy(ta);
     for (std::size_t i = 0; i < out.size(); ++i)
         out[i] *= tb[i];
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a, b}, [](Node &node) {
         NodePtr pa = node.parents[0], pb = node.parents[1];
@@ -251,8 +487,11 @@ mulElem(const Value &a, const Value &b)
 Value
 scale(const Value &a, float factor)
 {
-    Tensor out = a.tensor();
+    Tensor out = outputCopy(a.tensor());
     out.scaleInPlace(factor);
+    if (skipTape())
+        return inferenceResult(std::move(out));
+
     return makeOp(std::move(out), {a}, [factor](Node &node) {
         NodePtr pa = node.parents[0];
         if (pa->requiresGrad) {
@@ -272,10 +511,12 @@ relu(const Value &a)
 Value
 leakyRelu(const Value &a, float slope)
 {
-    Tensor out = a.tensor();
+    Tensor out = outputCopy(a.tensor());
     for (auto &x : out.data())
         if (x < 0.0f)
             x *= slope;
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a}, [slope](Node &node) {
         NodePtr pa = node.parents[0];
@@ -292,9 +533,11 @@ leakyRelu(const Value &a, float slope)
 Value
 tanhOp(const Value &a)
 {
-    Tensor out = a.tensor();
+    Tensor out = outputCopy(a.tensor());
     for (auto &x : out.data())
         x = std::tanh(x);
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a}, [](Node &node) {
         NodePtr pa = node.parents[0];
@@ -312,9 +555,11 @@ tanhOp(const Value &a)
 Value
 square(const Value &a)
 {
-    Tensor out = a.tensor();
+    Tensor out = outputCopy(a.tensor());
     for (auto &x : out.data())
         x *= x;
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a}, [](Node &node) {
         NodePtr pa = node.parents[0];
@@ -340,15 +585,20 @@ concatCols(const std::vector<Value> &parts)
         total_cols += p.tensor().cols();
     }
 
-    Tensor out(rows, total_cols);
+    Tensor out = outputUninit(rows, total_cols);
     std::size_t col_off = 0;
     for (const auto &p : parts) {
         const Tensor &t = p.tensor();
+        const std::size_t cols = t.cols();
+        const float *src = t.data().data();
+        float *dst = out.data().data() + col_off;
         for (std::size_t r = 0; r < rows; ++r)
-            for (std::size_t c = 0; c < t.cols(); ++c)
-                out.at(r, col_off + c) = t.at(r, c);
-        col_off += t.cols();
+            std::copy(src + r * cols, src + (r + 1) * cols,
+                      dst + r * total_cols);
+        col_off += cols;
     }
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), parts, [rows](Node &node) {
         std::size_t col_off = 0;
@@ -370,14 +620,18 @@ Value
 gatherRows(const Value &a, const std::vector<std::int32_t> &rows)
 {
     const Tensor &ta = a.tensor();
-    Tensor out(rows.size(), ta.cols());
+    const std::size_t cols = ta.cols();
+    Tensor out = outputUninit(rows.size(), cols);
+    const float *src = ta.data().data();
+    float *dst = out.data().data();
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto src = static_cast<std::size_t>(rows[i]);
-        if (src >= ta.rows())
-            panic(cat("gatherRows index ", src, " out of ", ta.rows()));
-        for (std::size_t c = 0; c < ta.cols(); ++c)
-            out.at(i, c) = ta.at(src, c);
+        const auto r = static_cast<std::size_t>(rows[i]);
+        if (r >= ta.rows())
+            panic(cat("gatherRows index ", r, " out of ", ta.rows()));
+        std::copy(src + r * cols, src + (r + 1) * cols, dst + i * cols);
     }
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a}, [rows](Node &node) {
         NodePtr pa = node.parents[0];
@@ -385,9 +639,9 @@ gatherRows(const Value &a, const std::vector<std::int32_t> &rows)
             return;
         Tensor ga = Tensor::zerosLike(pa->value);
         for (std::size_t i = 0; i < rows.size(); ++i) {
-            const auto dst = static_cast<std::size_t>(rows[i]);
+            const auto dst_row = static_cast<std::size_t>(rows[i]);
             for (std::size_t c = 0; c < ga.cols(); ++c)
-                ga.at(dst, c) += node.grad.at(i, c);
+                ga.at(dst_row, c) += node.grad.at(i, c);
         }
         pa->accumulateGrad(ga);
     });
@@ -400,11 +654,15 @@ meanRows(const Value &a)
     const std::size_t m = ta.rows(), n = ta.cols();
     if (m == 0)
         panic("meanRows on empty matrix");
-    Tensor out(1, n);
+    Tensor out = outputZeros(1, n);
+    const float *src = ta.data().data();
+    float *dst = out.data().data();
     for (std::size_t r = 0; r < m; ++r)
         for (std::size_t c = 0; c < n; ++c)
-            out.at(0, c) += ta.at(r, c);
+            dst[c] += src[r * n + c];
     out.scaleInPlace(1.0f / static_cast<float>(m));
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {a}, [m, n](Node &node) {
         NodePtr pa = node.parents[0];
@@ -423,6 +681,9 @@ Value
 sumAll(const Value &a)
 {
     Tensor out(a.tensor().sum());
+    if (skipTape())
+        return Value::constant(std::move(out)); // scalar: arena pointless
+
     return makeOp(std::move(out), {a}, [](Node &node) {
         NodePtr pa = node.parents[0];
         if (!pa->requiresGrad)
@@ -468,9 +729,11 @@ logSoftmaxMasked(const Value &logits, const std::vector<bool> &mask)
     const float log_denom =
         max_logit + static_cast<float>(std::log(denom));
 
-    Tensor out = t;
+    Tensor out = outputCopy(t);
     for (std::size_t i = 0; i < mask.size(); ++i)
         out[i] = mask[i] ? t[i] - log_denom : masked_logp;
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {logits}, [mask](Node &node) {
         NodePtr pa = node.parents[0];
@@ -493,6 +756,188 @@ logSoftmaxMasked(const Value &logits, const std::vector<bool> &mask)
 }
 
 Value
+edgeScores(const Value &dst_scores, const Value &src_scores,
+           const std::vector<std::int32_t> &dst,
+           const std::vector<std::int32_t> &src, float slope)
+{
+    const Tensor &td = dst_scores.tensor();
+    const Tensor &ts = src_scores.tensor();
+    if (td.cols() != 1 || ts.cols() != 1)
+        panic("edgeScores expects (N x 1) score columns");
+    if (dst.size() != src.size())
+        panic("edgeScores: endpoint array length mismatch");
+    const std::size_t e_count = dst.size();
+    const std::size_t n_dst = td.rows(), n_src = ts.rows();
+
+    Tensor out = outputUninit(e_count, 1);
+    const float *dv = td.data().data();
+    const float *sv = ts.data().data();
+    float *ov = out.data().data();
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto u = static_cast<std::size_t>(dst[e]);
+        const auto v = static_cast<std::size_t>(src[e]);
+        if (u >= n_dst || v >= n_src)
+            panic(cat("edgeScores edge ", e, " endpoint out of range"));
+        const float pre = dv[u] + sv[v];
+        ov[e] = pre < 0.0f ? pre * slope : pre;
+    }
+    if (skipTape())
+        return inferenceResult(std::move(out));
+
+    return makeOp(std::move(out), {dst_scores, src_scores},
+                  [dst, src, slope](Node &node) {
+        NodePtr pd = node.parents[0], ps = node.parents[1];
+        if (!pd->requiresGrad && !ps->requiresGrad)
+            return;
+        const float *dv = pd->value.data().data();
+        const float *sv = ps->value.data().data();
+        // The pre-activation sum is recomputed rather than inferred
+        // from the output sign: pre * slope can underflow to +-0 for
+        // tiny negative sums, which would misclassify the branch.
+        Tensor gd = Tensor::zerosLike(pd->value);
+        Tensor gs = Tensor::zerosLike(ps->value);
+        for (std::size_t e = 0; e < dst.size(); ++e) {
+            const auto u = static_cast<std::size_t>(dst[e]);
+            const auto v = static_cast<std::size_t>(src[e]);
+            const float pre = dv[u] + sv[v];
+            const float g =
+                pre < 0.0f ? node.grad[e] * slope : node.grad[e];
+            gd[u] += g;
+            gs[v] += g;
+        }
+        if (pd->requiresGrad)
+            pd->accumulateGrad(gd);
+        if (ps->requiresGrad)
+            ps->accumulateGrad(gs);
+    });
+}
+
+GatEdgeTensors
+gatEdgeTensorsInference(const Value &feats,
+                        const std::vector<Value> &weights,
+                        const std::vector<Value> &attn_src,
+                        const std::vector<Value> &attn_dst,
+                        const std::vector<std::int32_t> &src,
+                        const std::vector<std::int32_t> &dst, float slope)
+{
+    if (!InferenceGuard::active())
+        panic("gatEdgeTensorsInference outside an InferenceGuard");
+    const Tensor &tf = feats.tensor();
+    const std::size_t n = tf.rows(), in = tf.cols();
+    const std::size_t heads = weights.size();
+    if (heads == 0 || attn_src.size() != heads ||
+        attn_dst.size() != heads)
+        panic("gatEdgeTensorsInference: per-head parameter mismatch");
+    const std::size_t feat = weights[0].tensor().cols();
+    const std::size_t width = heads * feat;
+    const std::size_t e_count = src.size();
+    if (dst.size() != e_count)
+        panic("gatEdgeTensorsInference: endpoint length mismatch");
+
+    auto &arena = TensorArena::thisThread();
+
+    // Concatenated head projections (N x H*F): each head's W_k h lands
+    // in its column block via the strided kernel — same per-element
+    // arithmetic as the separate matmuls, no concat copy.
+    std::vector<float> wh = arena.acquire(n * width, true);
+    for (std::size_t h = 0; h < heads; ++h) {
+        const Tensor &w = weights[h].tensor();
+        if (w.rows() != in || w.cols() != feat)
+            panic(cat("gatEdgeTensorsInference head ", h, " weight is ",
+                      w.shapeString()));
+        kernels::matmulAccumLdc(tf.data().data(), w.data().data(),
+                                wh.data() + h * feat, n, in, feat, width);
+    }
+
+    // Per-vertex attention dots (N x H): sdst[i, h] = (W_h h_i).a_dst_h.
+    // Each accumulator runs ascending over f like matmulTransBAccum's
+    // dot; the kernel's zero-skip is dropped because adding the exact
+    // 0.0f * y it would skip cannot move an accumulator that never
+    // holds -0 (see kernels.hpp), and the branchless form lets the
+    // eight chains of a four-vertex block retire in parallel instead of
+    // serializing on one addition's latency.
+    std::vector<float> sdst = arena.acquire(n * heads, false);
+    std::vector<float> ssrc = arena.acquire(n * heads, false);
+    for (std::size_t h = 0; h < heads; ++h) {
+        const Tensor &ad = attn_dst[h].tensor();
+        const Tensor &as = attn_src[h].tensor();
+        if (ad.size() != feat || as.size() != feat)
+            panic(cat("gatEdgeTensorsInference head ", h,
+                      " attention vector size mismatch"));
+        const float *__restrict adv = ad.data().data();
+        const float *__restrict asv = as.data().data();
+        const float *whk = wh.data() + h * feat;
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const float *__restrict w0 = whk + (i + 0) * width;
+            const float *__restrict w1 = whk + (i + 1) * width;
+            const float *__restrict w2 = whk + (i + 2) * width;
+            const float *__restrict w3 = whk + (i + 3) * width;
+            float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+            float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+            for (std::size_t f = 0; f < feat; ++f) {
+                const float af = adv[f], bf = asv[f];
+                d0 += w0[f] * af;
+                d1 += w1[f] * af;
+                d2 += w2[f] * af;
+                d3 += w3[f] * af;
+                s0 += w0[f] * bf;
+                s1 += w1[f] * bf;
+                s2 += w2[f] * bf;
+                s3 += w3[f] * bf;
+            }
+            sdst[(i + 0) * heads + h] = d0;
+            sdst[(i + 1) * heads + h] = d1;
+            sdst[(i + 2) * heads + h] = d2;
+            sdst[(i + 3) * heads + h] = d3;
+            ssrc[(i + 0) * heads + h] = s0;
+            ssrc[(i + 1) * heads + h] = s1;
+            ssrc[(i + 2) * heads + h] = s2;
+            ssrc[(i + 3) * heads + h] = s3;
+        }
+        for (; i < n; ++i) {
+            const float *__restrict wr = whk + i * width;
+            float accd = 0.0f, accs = 0.0f;
+            for (std::size_t f = 0; f < feat; ++f) {
+                accd += wr[f] * adv[f];
+                accs += wr[f] * asv[f];
+            }
+            sdst[i * heads + h] = accd;
+            ssrc[i * heads + h] = accs;
+        }
+    }
+
+    // Fused Eq. 7 logits (E x H) and gathered source rows (E x H*F).
+    Tensor scores = outputUninit(e_count, heads);
+    Tensor values = outputUninit(e_count, width);
+    float *sc = scores.data().data();
+    float *va = values.data().data();
+    for (std::size_t e = 0; e < e_count; ++e) {
+        const auto u = static_cast<std::size_t>(dst[e]);
+        const auto v = static_cast<std::size_t>(src[e]);
+        if (u >= n || v >= n)
+            panic(cat("gatEdgeTensorsInference edge ", e,
+                      " endpoint out of range ", n));
+        const float *du = sdst.data() + u * heads;
+        const float *sv = ssrc.data() + v * heads;
+        float *srow = sc + e * heads;
+        for (std::size_t h = 0; h < heads; ++h) {
+            const float pre = du[h] + sv[h];
+            srow[h] = pre < 0.0f ? pre * slope : pre;
+        }
+        std::memcpy(va + e * width, wh.data() + v * width,
+                    width * sizeof(float));
+    }
+
+    arena.release(std::move(ssrc));
+    arena.release(std::move(sdst));
+    arena.release(std::move(wh));
+
+    return {inferenceResult(std::move(scores)),
+            inferenceResult(std::move(values))};
+}
+
+Value
 segmentSoftmax(const Value &scores, const std::vector<std::int32_t> &segments,
                std::int32_t num_segments)
 {
@@ -501,32 +946,43 @@ segmentSoftmax(const Value &scores, const std::vector<std::int32_t> &segments,
     if (segments.size() != e_count)
         panic("segmentSoftmax: segment count != edge count");
 
-    Tensor out(e_count, heads);
+    Tensor out = outputUninit(e_count, heads);
     const auto seg_n = static_cast<std::size_t>(num_segments);
-    // Numerically stable per-(segment, head) softmax.
-    std::vector<float> seg_max(seg_n * heads,
-                               -std::numeric_limits<float>::infinity());
+    const float *src = t.data().data();
+    float *dst = out.data().data();
+    // Numerically stable per-(segment, head) softmax. The reduction
+    // scratch is thread-local so the per-call cost is two assigns into
+    // retained capacity, not two heap allocations.
+    static thread_local std::vector<float> seg_max;
+    static thread_local std::vector<double> seg_sum;
+    seg_max.assign(seg_n * heads,
+                   -std::numeric_limits<float>::infinity());
     for (std::size_t e = 0; e < e_count; ++e) {
-        const auto s = static_cast<std::size_t>(segments[e]);
+        const float *srow = src + e * heads;
+        float *mrow =
+            seg_max.data() + static_cast<std::size_t>(segments[e]) * heads;
         for (std::size_t h = 0; h < heads; ++h)
-            seg_max[s * heads + h] =
-                std::max(seg_max[s * heads + h], t.at(e, h));
+            mrow[h] = std::max(mrow[h], srow[h]);
     }
-    std::vector<double> seg_sum(seg_n * heads, 0.0);
+    seg_sum.assign(seg_n * heads, 0.0);
     for (std::size_t e = 0; e < e_count; ++e) {
-        const auto s = static_cast<std::size_t>(segments[e]);
+        const float *srow = src + e * heads;
+        float *orow = dst + e * heads;
+        const std::size_t s = static_cast<std::size_t>(segments[e]) * heads;
         for (std::size_t h = 0; h < heads; ++h) {
-            const float v =
-                std::exp(t.at(e, h) - seg_max[s * heads + h]);
-            out.at(e, h) = v;
-            seg_sum[s * heads + h] += v;
+            const float v = std::exp(srow[h] - seg_max[s + h]);
+            orow[h] = v;
+            seg_sum[s + h] += v;
         }
     }
     for (std::size_t e = 0; e < e_count; ++e) {
-        const auto s = static_cast<std::size_t>(segments[e]);
+        float *orow = dst + e * heads;
+        const std::size_t s = static_cast<std::size_t>(segments[e]) * heads;
         for (std::size_t h = 0; h < heads; ++h)
-            out.at(e, h) /= static_cast<float>(seg_sum[s * heads + h]);
+            orow[h] /= static_cast<float>(seg_sum[s + h]);
     }
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {scores},
                   [segments, num_segments](Node &node) {
@@ -571,16 +1027,26 @@ attentionAggregate(const Value &values, const Value &alpha,
     if (heads == 0 || tv.cols() % heads != 0)
         panic("attentionAggregate: values width not divisible by heads");
     const std::size_t feat = tv.cols() / heads;
+    const std::size_t width = tv.cols();
 
-    Tensor out(static_cast<std::size_t>(num_nodes), tv.cols());
+    Tensor out = outputZeros(static_cast<std::size_t>(num_nodes), width);
+    const float *__restrict vsrc = tv.data().data();
+    const float *__restrict asrc = ta.data().data();
+    float *__restrict osrc = out.data().data();
     for (std::size_t e = 0; e < e_count; ++e) {
-        const auto u = static_cast<std::size_t>(dst[e]);
+        const float *__restrict vrow = vsrc + e * width;
+        const float *__restrict arow = asrc + e * heads;
+        float *__restrict orow =
+            osrc + static_cast<std::size_t>(dst[e]) * width;
         for (std::size_t h = 0; h < heads; ++h) {
-            const float a = ta.at(e, h);
+            const float a = arow[h];
+            const std::size_t base = h * feat;
             for (std::size_t f = 0; f < feat; ++f)
-                out.at(u, h * feat + f) += a * tv.at(e, h * feat + f);
+                orow[base + f] += a * vrow[base + f];
         }
     }
+    if (skipTape())
+        return inferenceResult(std::move(out));
 
     return makeOp(std::move(out), {values, alpha},
                   [dst, heads, feat](Node &node) {

@@ -28,6 +28,36 @@ namespace mapzero::nn {
 class Node;
 using NodePtr = std::shared_ptr<Node>;
 
+/**
+ * RAII inference mode for the calling thread.
+ *
+ * While a guard is alive, every op skips graph construction entirely —
+ * no parent handles, no backward closure, no captured index-vector
+ * copies — and writes its result into a buffer drawn from the thread's
+ * TensorArena, which the result recycles on destruction. The arithmetic
+ * is byte-for-byte the tape path's (same kernels, same accumulation
+ * order), so guarded and unguarded forwards are bit-identical; only the
+ * bookkeeping differs. backward() on a value produced under a guard
+ * panics (it has no tape).
+ *
+ * Guards nest; the thread leaves inference mode when the outermost one
+ * dies. See DESIGN.md §10 for the arena lifetime rules.
+ */
+class InferenceGuard
+{
+  public:
+    InferenceGuard();
+    ~InferenceGuard();
+    InferenceGuard(const InferenceGuard &) = delete;
+    InferenceGuard &operator=(const InferenceGuard &) = delete;
+
+    /** Whether the calling thread is currently in inference mode. */
+    static bool active();
+
+  private:
+    bool prev_;
+};
+
 /** One vertex of the dynamic autograd graph. */
 class Node
 {
@@ -36,10 +66,16 @@ class Node
         : value(std::move(value)), requiresGrad(requires_grad)
     {}
 
+    /** Arena-backed results hand their buffer back to the pool. */
+    ~Node();
+
     /** Forward result. */
     Tensor value;
-    /** Accumulated dLoss/dValue; shape matches value once touched. */
-    Tensor grad;
+    /**
+     * Accumulated dLoss/dValue; storage-free until ensureGrad() so
+     * inference-mode nodes (which never run backward) allocate nothing.
+     */
+    Tensor grad = Tensor::unallocated();
     /** True once grad holds a valid accumulation buffer. */
     bool gradReady = false;
     /** Whether gradients should flow into/through this node. */
@@ -48,6 +84,9 @@ class Node
     std::vector<NodePtr> parents;
     /** Scatters this->grad into the parents' grads. */
     std::function<void(Node &)> backwardFn;
+
+    /** True when value's buffer came from the thread's TensorArena. */
+    bool arenaBacked = false;
 
     /** Lazily allocate + zero the grad buffer. */
     void ensureGrad();
@@ -108,6 +147,19 @@ Value mulElem(const Value &a, const Value &b);
 /** Multiply all elements by a constant. */
 Value scale(const Value &a, float factor);
 
+/**
+ * Fused affine transform y = x W + b with an optional ReLU, in one op:
+ * one output buffer, one node, one backward closure instead of three.
+ * Forward results are bit-identical to relu(add(matmul(x, w), b)).
+ *
+ * @param x (m x k) input rows
+ * @param w (k x n) weight
+ * @param b (1 x n) bias, broadcast over rows
+ * @param relu clamp negatives (slope-0 leaky ReLU semantics)
+ */
+Value linearFused(const Value &x, const Value &w, const Value &b,
+                  bool relu);
+
 /// @}
 /// @name Nonlinearities
 /// @{
@@ -154,6 +206,70 @@ Value logSoftmaxMasked(const Value &logits, const std::vector<bool> &mask);
 /// @}
 /// @name Fused graph-attention primitives
 /// @{
+
+/**
+ * Fused per-edge attention logits — Eq. (7) of the paper, in one op:
+ *
+ *   out[e, 0] = LeakyReLU(dst_scores[dst[e]] + src_scores[src[e]])
+ *
+ * replacing gatherRows + gatherRows + add + leakyRelu (four nodes, four
+ * output buffers, four backward closures) in the GAT inner loop.
+ * Results and gradients are bit-identical to the composed chain: the
+ * same float sum, the same `x < 0` predicate (re-derived from the
+ * pre-activation sum in backward), and the same edge-ascending
+ * scatter-add order.
+ *
+ * @param dst_scores (N x 1) per-vertex destination scores (W h . a_dst)
+ * @param src_scores (N x 1) per-vertex source scores (W h . a_src)
+ * @param dst size-E destination vertex per edge
+ * @param src size-E source vertex per edge
+ * @param slope LeakyReLU slope c of Eq. 7
+ */
+Value edgeScores(const Value &dst_scores, const Value &src_scores,
+                 const std::vector<std::int32_t> &dst,
+                 const std::vector<std::int32_t> &src, float slope);
+
+/** Result pair of gatEdgeTensorsInference(). */
+struct GatEdgeTensors
+{
+    /** (E x H) pre-softmax attention logits, one column per head. */
+    Value scores;
+    /** (E x H*F) gathered source features, head-major. */
+    Value values;
+};
+
+/**
+ * Inference-only fusion of the whole per-head GAT edge chain
+ * (Eq. 5 + 7 of the paper):
+ *
+ *   scores[e, k] = LeakyReLU((W_k h)[dst[e]] . a_dst_k +
+ *                            (W_k h)[src[e]] . a_src_k)
+ *   values[e, k*F + f] = (W_k h)[src[e], f]
+ *
+ * replacing, per head, matmul + two matvecs + edgeScores + gatherRows
+ * plus the two concatCols that merge the heads. Every output element is
+ * produced by the same IEEE operations in the same order as the
+ * composed chain (the concatenated projection is written with a strided
+ * matmul, the score dots keep matmulTransBAccum's ascending zero-skip
+ * accumulation), so results are bit-identical; the fusion only skips
+ * intermediate buffers, node bookkeeping, and concat copies.
+ *
+ * Panics unless the calling thread holds an InferenceGuard: the tape
+ * path must keep the composed ops, which carry the gradients.
+ *
+ * @param feats (N x in) node features
+ * @param weights per-head (in x F) projection
+ * @param attn_src per-head (F x 1) source attention vector
+ * @param attn_dst per-head (F x 1) destination attention vector
+ * @param src size-E source vertex per edge
+ * @param dst size-E destination vertex per edge
+ * @param slope LeakyReLU slope c of Eq. 7
+ */
+GatEdgeTensors gatEdgeTensorsInference(
+    const Value &feats, const std::vector<Value> &weights,
+    const std::vector<Value> &attn_src, const std::vector<Value> &attn_dst,
+    const std::vector<std::int32_t> &src,
+    const std::vector<std::int32_t> &dst, float slope);
 
 /**
  * Per-segment softmax with multiple heads.

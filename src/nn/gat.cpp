@@ -30,18 +30,14 @@ GatLayer::GatLayer(std::size_t in, std::size_t out_per_head,
     }
 }
 
-Value
-GatLayer::forward(const Value &feats, const EdgeList &edges,
-                  Activation activation) const
+void
+GatLayer::prepareEdges(const EdgeList &edges, std::int32_t n_nodes,
+                       std::vector<std::int32_t> &src,
+                       std::vector<std::int32_t> &dst)
 {
-    const auto n_nodes =
-        static_cast<std::int32_t>(feats.tensor().rows());
-    if (feats.tensor().cols() != in_)
-        panic(cat("GatLayer fed ", feats.tensor().cols(),
-                  " features, expected ", in_));
-
     // Self-loops guarantee a non-empty in-neighborhood for every vertex.
-    std::vector<std::int32_t> src, dst;
+    src.clear();
+    dst.clear();
     src.reserve(edges.size() + n_nodes);
     dst.reserve(edges.size() + n_nodes);
     for (const auto &[s, d] : edges) {
@@ -55,6 +51,41 @@ GatLayer::forward(const Value &feats, const EdgeList &edges,
         src.push_back(v);
         dst.push_back(v);
     }
+}
+
+Value
+GatLayer::forward(const Value &feats, const EdgeList &edges,
+                  Activation activation) const
+{
+    std::vector<std::int32_t> src, dst;
+    prepareEdges(edges, static_cast<std::int32_t>(feats.tensor().rows()),
+                 src, dst);
+    return forwardPrepared(feats, src, dst, activation);
+}
+
+Value
+GatLayer::forwardPrepared(const Value &feats,
+                          const std::vector<std::int32_t> &src,
+                          const std::vector<std::int32_t> &dst,
+                          Activation activation) const
+{
+    const auto n_nodes =
+        static_cast<std::int32_t>(feats.tensor().rows());
+    if (feats.tensor().cols() != in_)
+        panic(cat("GatLayer fed ", feats.tensor().cols(),
+                  " features, expected ", in_));
+
+    if (InferenceGuard::active()) {
+        // No-grad fast path: the whole per-head edge chain in one fused
+        // routine (bit-identical to the composed ops below, which the
+        // tape path keeps because they carry the gradients).
+        auto [scores, values] = gatEdgeTensorsInference(
+            feats, weights_, attnSrc_, attnDst_, src, dst, leakySlope_);
+        Value alpha = segmentSoftmax(scores, dst, n_nodes);
+        Value aggregated =
+            attentionAggregate(values, alpha, dst, n_nodes);
+        return activate(aggregated, activation);
+    }
 
     std::vector<Value> head_scores;
     std::vector<Value> head_values;
@@ -64,13 +95,15 @@ GatLayer::forward(const Value &feats, const EdgeList &edges,
         Value wh = matmul(feats, weights_[k]);           // (N x F)
         Value s_src = matmul(wh, attnSrc_[k]);           // (N x 1)
         Value s_dst = matmul(wh, attnDst_[k]);           // (N x 1)
-        Value e = add(gatherRows(s_dst, dst),
-                      gatherRows(s_src, src));           // (E x 1)
-        head_scores.push_back(e);
+        // Fused gather+add+LeakyReLU (Eq. 7). LeakyReLU is pointwise,
+        // so applying it per head before the concat is bit-identical
+        // to the historical leakyRelu(concatCols(...)) ordering.
+        head_scores.push_back(
+            edgeScores(s_dst, s_src, dst, src, leakySlope_)); // (E x 1)
         head_values.push_back(gatherRows(wh, src));      // (E x F)
     }
 
-    Value scores = leakyRelu(concatCols(head_scores), leakySlope_);
+    Value scores = concatCols(head_scores);
     Value alpha = segmentSoftmax(scores, dst, n_nodes);  // (E x K)
     Value values = concatCols(head_values);              // (E x K*F)
     Value aggregated = attentionAggregate(values, alpha, dst, n_nodes);
@@ -94,9 +127,14 @@ GatEncoder::GatEncoder(std::size_t in, std::size_t hidden_per_head,
 Value
 GatEncoder::encodeNodes(const Value &feats, const EdgeList &edges) const
 {
+    // All layers share a vertex set, so the validated, self-loop-augmented
+    // endpoint arrays are built once per pass rather than once per layer.
+    std::vector<std::int32_t> src, dst;
+    GatLayer::prepareEdges(
+        edges, static_cast<std::int32_t>(feats.tensor().rows()), src, dst);
     Value h = feats;
     for (const auto &layer : layers_)
-        h = layer->forward(h, edges);
+        h = layer->forwardPrepared(h, src, dst);
     return h;
 }
 

@@ -56,6 +56,26 @@ class GatLayer : public Module
     Value forward(const Value &feats, const EdgeList &edges,
                   Activation activation = Activation::ReLU) const;
 
+    /**
+     * forward() on pre-validated, self-loop-augmented endpoint arrays —
+     * lets a stacked encoder build them once per pass instead of once
+     * per layer. @p src and @p dst must be the same length, in range,
+     * and include a (v, v) loop for every vertex.
+     */
+    Value forwardPrepared(const Value &feats,
+                          const std::vector<std::int32_t> &src,
+                          const std::vector<std::int32_t> &dst,
+                          Activation activation = Activation::ReLU) const;
+
+    /**
+     * Expand @p edges into the endpoint arrays forwardPrepared() wants:
+     * validated against @p n_nodes and suffixed with per-vertex
+     * self-loops.
+     */
+    static void prepareEdges(const EdgeList &edges, std::int32_t n_nodes,
+                             std::vector<std::int32_t> &src,
+                             std::vector<std::int32_t> &dst);
+
     std::size_t outWidth() const { return heads_ * outPerHead_; }
 
   private:

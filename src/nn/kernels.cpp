@@ -1,0 +1,118 @@
+#include "nn/kernels.hpp"
+
+namespace mapzero::nn::kernels {
+
+namespace {
+
+/** One-row tail of matmulAccum. */
+void
+matmulAccumRow(const float *__restrict arow, const float *__restrict b,
+               float *__restrict crow, std::size_t k, std::size_t n)
+{
+    for (std::size_t p = 0; p < k; ++p) {
+        const float aip = arow[p];
+        if (aip == 0.0f)
+            continue;
+        const float *__restrict brow = b + p * n;
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            crow[j + 0] += aip * brow[j + 0];
+            crow[j + 1] += aip * brow[j + 1];
+            crow[j + 2] += aip * brow[j + 2];
+            crow[j + 3] += aip * brow[j + 3];
+        }
+        for (; j < n; ++j)
+            crow[j] += aip * brow[j];
+    }
+}
+
+} // namespace
+
+void
+matmulAccum(const float *__restrict a, const float *__restrict b,
+            float *__restrict c, std::size_t m, std::size_t k,
+            std::size_t n)
+{
+    matmulAccumLdc(a, b, c, m, k, n, n);
+}
+
+void
+matmulAccumLdc(const float *__restrict a, const float *__restrict b,
+               float *__restrict c, std::size_t m, std::size_t k,
+               std::size_t n, std::size_t ldc)
+{
+    if (n == 1 && ldc == 1) {
+        // Matrix-vector: one contiguous dot product per output row.
+        matmulTransBAccum(a, b, c, m, k, 1);
+        return;
+    }
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        const float *__restrict a0 = a + (i + 0) * k;
+        const float *__restrict a1 = a + (i + 1) * k;
+        const float *__restrict a2 = a + (i + 2) * k;
+        const float *__restrict a3 = a + (i + 3) * k;
+        float *__restrict c0 = c + (i + 0) * ldc;
+        float *__restrict c1 = c + (i + 1) * ldc;
+        float *__restrict c2 = c + (i + 2) * ldc;
+        float *__restrict c3 = c + (i + 3) * ldc;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+            if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f)
+                continue;
+            const float *__restrict brow = b + p * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float bj = brow[j];
+                c0[j] += v0 * bj;
+                c1[j] += v1 * bj;
+                c2[j] += v2 * bj;
+                c3[j] += v3 * bj;
+            }
+        }
+    }
+    for (; i < m; ++i)
+        matmulAccumRow(a + i * k, b, c + i * ldc, k, n);
+}
+
+void
+matmulTransBAccum(const float *__restrict a, const float *__restrict bt,
+                  float *__restrict c, std::size_t m, std::size_t k,
+                  std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *__restrict arow = a + i * k;
+        float *__restrict crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *__restrict btrow = bt + j * k;
+            float acc = crow[j];
+            for (std::size_t p = 0; p < k; ++p) {
+                const float aip = arow[p];
+                if (aip == 0.0f)
+                    continue;
+                acc += aip * btrow[p];
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+addBiasRows(const float *in, const float *__restrict bias, float *out,
+            std::size_t m, std::size_t n, bool relu)
+{
+    for (std::size_t r = 0; r < m; ++r) {
+        const float *irow = in + r * n;
+        float *orow = out + r * n;
+        if (relu) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const float v = irow[j] + bias[j];
+                orow[j] = v < 0.0f ? v * 0.0f : v;
+            }
+        } else {
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] = irow[j] + bias[j];
+        }
+    }
+}
+
+} // namespace mapzero::nn::kernels

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense compute kernels shared by the autograd ops' forward and backward
+ * passes — and therefore by training and inference alike.
+ *
+ * The kernels are pointer-based and register-blocked so the compiler can
+ * keep accumulators in registers and vectorize the contiguous inner
+ * loops. Accumulation order over the contraction dimension is kept
+ * ascending, exactly like the reference triple loop, so swapping a call
+ * site onto a kernel never changes results beyond the sign of exact
+ * zeros (x + 0.0f*y preserves x for every finite y).
+ */
+
+#ifndef MAPZERO_NN_KERNELS_HPP
+#define MAPZERO_NN_KERNELS_HPP
+
+#include <cstddef>
+
+namespace mapzero::nn::kernels {
+
+/**
+ * c += a * b for row-major a (m x k), b (k x n), c (m x n).
+ *
+ * i-p-j loop order with 4-row register blocking: each pass over a row
+ * of b updates four output rows, and the j loop is contiguous in both
+ * b and c so it vectorizes without reassociating any per-element sum.
+ * Rows of a that are entirely zero at a given p are skipped, which
+ * keeps the ReLU-sparse activations of the GAT stack cheap.
+ */
+void matmulAccum(const float *__restrict a, const float *__restrict b,
+                 float *__restrict c,
+                 std::size_t m, std::size_t k, std::size_t n);
+
+/**
+ * As matmulAccum, but rows of c are @p ldc floats apart (ldc >= n), so
+ * the product can land in a column block of a wider matrix. Per-element
+ * arithmetic is identical to the contiguous variant — the inference
+ * fast path uses this to write per-head products straight into the
+ * concatenated head-major buffer, skipping the concatCols copy.
+ */
+void matmulAccumLdc(const float *__restrict a, const float *__restrict b,
+                    float *__restrict c, std::size_t m, std::size_t k,
+                    std::size_t n, std::size_t ldc);
+
+/**
+ * c += a * bt^T for row-major a (m x k), bt (n x k), c (m x n).
+ *
+ * The transposed-B variant: both operands of the inner dot product are
+ * contiguous, which is the right shape when B is tall and thin — the
+ * Linear backward (dX = G * W^T) and the attention matvecs use it.
+ */
+void matmulTransBAccum(const float *__restrict a,
+                       const float *__restrict bt, float *__restrict c,
+                       std::size_t m, std::size_t k, std::size_t n);
+
+/**
+ * out[r, :] = in[r, :] + bias[:] for r in [0, m), optionally clamping
+ * negatives with ReLU (multiply-by-zero form, matching leakyRelu with
+ * slope 0). in == out aliasing is allowed.
+ */
+void addBiasRows(const float *in, const float *__restrict bias,
+                 float *out, std::size_t m, std::size_t n, bool relu);
+
+} // namespace mapzero::nn::kernels
+
+#endif // MAPZERO_NN_KERNELS_HPP

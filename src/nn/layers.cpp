@@ -31,7 +31,13 @@ Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
 Value
 Linear::forward(const Value &x) const
 {
-    return add(matmul(x, weight_), bias_);
+    return linearFused(x, weight_, bias_, /*relu=*/false);
+}
+
+Value
+Linear::forwardRelu(const Value &x) const
+{
+    return linearFused(x, weight_, bias_, /*relu=*/true);
 }
 
 Mlp::Mlp(const std::vector<std::size_t> &dims, Activation hidden,
@@ -52,9 +58,14 @@ Mlp::forward(const Value &x) const
 {
     Value h = x;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
-        h = layers_[i]->forward(h);
         const bool last = i + 1 == layers_.size();
-        h = activate(h, last ? final_ : hidden_);
+        const Activation act = last ? final_ : hidden_;
+        if (act == Activation::ReLU) {
+            h = layers_[i]->forwardRelu(h);
+        } else {
+            h = layers_[i]->forward(h);
+            h = activate(h, act);
+        }
     }
     return h;
 }

@@ -36,6 +36,9 @@ class Linear : public Module
     /** Forward over a (batch x in) matrix. */
     Value forward(const Value &x) const;
 
+    /** forward() with a fused ReLU (one op instead of three). */
+    Value forwardRelu(const Value &x) const;
+
     std::size_t inFeatures() const { return in_; }
     std::size_t outFeatures() const { return out_; }
 

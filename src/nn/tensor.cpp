@@ -40,6 +40,26 @@ Tensor::zerosLike(const Tensor &like)
 }
 
 Tensor
+Tensor::unallocated()
+{
+    return Tensor(UnallocatedTag{});
+}
+
+Tensor
+Tensor::withShapeOf(const Tensor &like, std::vector<float> data)
+{
+    if (data.size() != like.size())
+        panic(cat("withShapeOf size mismatch: ", data.size(), " vs ",
+                  like.shapeString()));
+    Tensor t;
+    t.rank_ = like.rank_;
+    t.rows_ = like.rows_;
+    t.cols_ = like.cols_;
+    t.data_ = std::move(data);
+    return t;
+}
+
+Tensor
 Tensor::full(std::size_t rows, std::size_t cols, float value)
 {
     Tensor t(rows, cols);
@@ -133,6 +153,41 @@ Tensor::norm() const
     for (float x : data_)
         acc += static_cast<double>(x) * x;
     return static_cast<float>(std::sqrt(acc));
+}
+
+TensorArena &
+TensorArena::thisThread()
+{
+    static thread_local TensorArena arena;
+    return arena;
+}
+
+std::vector<float>
+TensorArena::acquire(std::size_t size, bool zeroed)
+{
+    std::vector<float> buffer;
+    if (!pool_.empty()) {
+        buffer = std::move(pool_.back());
+        pool_.pop_back();
+        if (buffer.capacity() >= size)
+            ++reuses_;
+        else
+            ++heapAllocations_;
+    } else {
+        ++heapAllocations_;
+    }
+    if (zeroed)
+        buffer.assign(size, 0.0f);
+    else
+        buffer.resize(size);
+    return buffer;
+}
+
+void
+TensorArena::release(std::vector<float> &&buffer)
+{
+    if (pool_.size() < kMaxPooledBuffers)
+        pool_.push_back(std::move(buffer));
 }
 
 std::string

@@ -11,6 +11,7 @@
 #define MAPZERO_NN_TENSOR_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,22 @@ class Tensor
 
     /** Zero tensor with the same shape as @p like. */
     static Tensor zerosLike(const Tensor &like);
+
+    /**
+     * Storage-free placeholder (size 0): a slot that will be assigned
+     * before any element is read. Autograd nodes use this for the grad
+     * buffer so that the millions of short-lived nodes a forward pass
+     * creates never pay a heap allocation for a gradient that is only
+     * materialized by ensureGrad() during backward().
+     */
+    static Tensor unallocated();
+
+    /**
+     * Tensor with @p like's shape and rank adopting @p data verbatim
+     * (size must match). This is how the inference fast path builds
+     * results on recycled arena buffers without an extra copy.
+     */
+    static Tensor withShapeOf(const Tensor &like, std::vector<float> data);
 
     /** rows x cols of a constant. */
     static Tensor full(std::size_t rows, std::size_t cols, float value);
@@ -91,10 +108,62 @@ class Tensor
     std::string shapeString() const;
 
   private:
+    struct UnallocatedTag {};
+    explicit Tensor(UnallocatedTag) : rank_(0), rows_(1), cols_(1) {}
+
     std::size_t rank_;
     std::size_t rows_;
     std::size_t cols_;
     std::vector<float> data_;
+};
+
+/**
+ * Per-thread pool of float buffers backing inference-mode tensors.
+ *
+ * Forward passes under nn::InferenceGuard draw every op output from
+ * this arena and, when the result's Node dies, the buffer returns here
+ * instead of the heap — after the first forward warms the pool, a
+ * steady-state inference pass performs no tensor allocations at all.
+ *
+ * Lifetime rules (see DESIGN.md §10): the arena is thread-local and
+ * dies with its thread, so arena-backed Values (anything an op returned
+ * while a guard was active) must be dropped — or deep-copied into plain
+ * tensors, as the eval cache does — before the owning thread exits.
+ * Never stash them in process-lifetime statics.
+ */
+class TensorArena
+{
+  public:
+    /** The calling thread's arena. */
+    static TensorArena &thisThread();
+
+    /**
+     * A buffer of exactly @p size floats, recycled when the pool has
+     * one (zero-filled when @p zeroed, else contents unspecified).
+     */
+    std::vector<float> acquire(std::size_t size, bool zeroed);
+
+    /** Return @p buffer's storage to the pool. */
+    void release(std::vector<float> &&buffer);
+
+    /** Buffers currently parked in the pool. */
+    std::size_t pooledBuffers() const { return pool_.size(); }
+    /** acquire() calls served from the pool. */
+    std::uint64_t reuses() const { return reuses_; }
+    /** acquire() calls that had to touch the heap. */
+    std::uint64_t heapAllocations() const { return heapAllocations_; }
+
+    TensorArena() = default;
+    TensorArena(const TensorArena &) = delete;
+    TensorArena &operator=(const TensorArena &) = delete;
+
+  private:
+    /** Cap on parked buffers; excess releases free normally. */
+    static constexpr std::size_t kMaxPooledBuffers = 512;
+
+    std::vector<std::vector<float>> pool_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t heapAllocations_ = 0;
 };
 
 } // namespace mapzero::nn

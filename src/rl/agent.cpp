@@ -138,6 +138,7 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
 {
     const std::int32_t n = env.dfg().nodeCount();
     const auto dist = hopDistances(env.arch());
+    ObservationBuilder obs_builder;
     double noise = 0.0;
 
     // Per-depth candidate lists: routability-pruned, ordered by policy
@@ -162,7 +163,8 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
         const dfg::NodeId node = env.currentNode();
         auto &probs = policy_cache[static_cast<std::size_t>(d)];
         if (probs.empty())
-            probs = evaluator_->policyProbabilities(observe(env));
+            probs = evaluator_->policyProbabilities(
+                obs_builder.refresh(env));
         const mapper::MappingState &state = env.state();
         // Spatial continuity anchor for nodes with no placed neighbors
         // (sources): prefer staying near the previous placement so the

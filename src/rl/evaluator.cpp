@@ -2,12 +2,147 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "nn/autograd.hpp"
 
 namespace mapzero::rl {
+
+namespace {
+
+void
+appendBytes(std::string &s, const void *p, std::size_t n)
+{
+    s.append(static_cast<const char *>(p), n);
+}
+
+void
+appendU64(std::string &s, std::uint64_t v)
+{
+    appendBytes(s, &v, sizeof(v));
+}
+
+void
+appendTensor(std::string &s, const nn::Tensor &t)
+{
+    appendU64(s, t.rows());
+    appendU64(s, t.cols());
+    appendBytes(s, t.data().data(), t.size() * sizeof(float));
+}
+
+void
+appendEdges(std::string &s, const nn::EdgeList &edges)
+{
+    appendU64(s, edges.size());
+    for (const auto &[src, dst] : edges) {
+        appendBytes(s, &src, sizeof(src));
+        appendBytes(s, &dst, sizeof(dst));
+    }
+}
+
+/** Output deep-copied onto plain heap tensors (never arena-backed). */
+MapZeroNet::Output
+detachedCopy(const MapZeroNet::Output &out)
+{
+    MapZeroNet::Output plain;
+    plain.logPolicy =
+        nn::Value::constant(nn::Tensor(out.logPolicy.tensor()));
+    plain.value = nn::Value::constant(nn::Tensor(out.value.tensor()));
+    return plain;
+}
+
+} // namespace
+
+EvalCache::EvalCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{}
+
+std::string
+EvalCache::keyOf(const Observation &obs)
+{
+    std::string key;
+    key.reserve((obs.dfgFeatures.size() + obs.cgraFeatures.size() +
+                 obs.metadata.size()) *
+                    sizeof(float) +
+                (obs.dfgEdges.size() + obs.cgraEdges.size()) * 8 +
+                obs.actionMask.size() + 64);
+    appendTensor(key, obs.dfgFeatures);
+    appendEdges(key, obs.dfgEdges);
+    appendTensor(key, obs.cgraFeatures);
+    appendEdges(key, obs.cgraEdges);
+    appendTensor(key, obs.metadata);
+    appendU64(key, obs.actionMask.size());
+    for (bool legal : obs.actionMask)
+        key.push_back(legal ? '\1' : '\0');
+    return key;
+}
+
+bool
+EvalCache::lookup(const std::string &key, MapZeroNet::Output &out)
+{
+    static Counter &hits = metrics().counter("eval_cache.hits");
+    static Counter &misses = metrics().counter("eval_cache.misses");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+        misses.add();
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    out = it->second.out;
+    hits.add();
+    return true;
+}
+
+void
+EvalCache::insert(const std::string &key, const MapZeroNet::Output &out)
+{
+    MapZeroNet::Output plain = detachedCopy(out);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(plain), lru_.begin()});
+    if (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+MapZeroNet::Output
+DirectEvaluator::evaluate(const Observation &obs)
+{
+    if (!cache_) {
+        nn::InferenceGuard guard;
+        return net_->forward(obs);
+    }
+    const std::string key = EvalCache::keyOf(obs);
+    MapZeroNet::Output out;
+    if (cache_->lookup(key, out))
+        return out;
+    {
+        nn::InferenceGuard guard;
+        out = net_->forward(obs);
+    }
+    cache_->insert(key, out);
+    return out;
+}
 
 std::vector<double>
 Evaluator::policyProbabilities(const Observation &obs)
@@ -24,8 +159,10 @@ Evaluator::policyProbabilities(const Observation &obs)
     return probs;
 }
 
-EvalBatcher::EvalBatcher(const MapZeroNet &net, std::size_t max_batch)
-    : net_(&net), maxBatch_(std::max<std::size_t>(max_batch, 1))
+EvalBatcher::EvalBatcher(const MapZeroNet &net, std::size_t max_batch,
+                         std::shared_ptr<EvalCache> cache)
+    : net_(&net), maxBatch_(std::max<std::size_t>(max_batch, 1)),
+      cache_(std::move(cache))
 {}
 
 EvalBatcher::Session::Session(EvalBatcher &batcher) : batcher_(&batcher)
@@ -92,13 +229,21 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
     std::vector<MapZeroNet::Output> outputs;
     std::exception_ptr error;
     try {
-        outputs = net_->forwardBatch(observations);
+        {
+            nn::InferenceGuard guard;
+            outputs = net_->forwardBatch(observations);
+        }
         batches.add();
         batch_size.record(static_cast<double>(batch.size()));
     } catch (...) {
         // Deliver the failure to every request in the batch; each
         // waiter (and the leader itself) rethrows from evaluate().
         error = std::current_exception();
+    }
+
+    if (!error && cache_) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            cache_->insert(batch[i]->key, outputs[i]);
     }
 
     lock.lock();
@@ -124,6 +269,17 @@ EvalBatcher::evaluate(const Observation &obs)
     const Timer wait_timer;
     Request request;
     request.obs = &obs;
+
+    if (cache_) {
+        // A hit never parks, so this thread behaves exactly like one
+        // that is still computing between requests - the flush
+        // condition (parked + in-flight >= live sessions) is unaffected
+        // and nobody ends up waiting on a peer that already returned.
+        request.key = EvalCache::keyOf(obs);
+        MapZeroNet::Output out;
+        if (cache_->lookup(request.key, out))
+            return out;
+    }
 
     std::unique_lock<std::mutex> lock(mutex_);
     pending_.push_back(&request);

@@ -22,12 +22,77 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <list>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rl/network.hpp"
 
 namespace mapzero::rl {
+
+/**
+ * Thread-safe LRU cache of network outputs keyed by observation.
+ *
+ * MCTS revisits tree nodes constantly (every simulation re-descends the
+ * same prefix) and portfolio restarts re-reach earlier states after
+ * backtracking, so identical observations are evaluated many times per
+ * compile. The key is the canonical byte encoding of the observation -
+ * features, metadata, action mask, and both edge lists - which is
+ * exactly the (placement state, current node, II) triple the network
+ * conditions on, so a hit can never alias two distinct states and the
+ * cached output is bit-identical to a fresh forward pass (forward is a
+ * pure function of the observation). Caching therefore changes
+ * throughput, never results.
+ *
+ * Stored outputs are deep copies on plain heap tensors, never
+ * arena-backed (see TensorArena's lifetime rules), so one cache can
+ * outlive any number of worker threads and be shared between them.
+ *
+ * Publishes "eval_cache.hits" / "eval_cache.misses" counters.
+ */
+class EvalCache
+{
+  public:
+    /** @param capacity max cached entries before LRU eviction */
+    explicit EvalCache(std::size_t capacity = kDefaultCapacity);
+
+    /** Canonical byte encoding of @p obs (the cache key). */
+    static std::string keyOf(const Observation &obs);
+
+    /**
+     * Copy the entry for @p key into @p out and mark it most recently
+     * used. Returns false (and counts a miss) when absent.
+     */
+    bool lookup(const std::string &key, MapZeroNet::Output &out);
+
+    /**
+     * Store @p out under @p key (deep-copied off any arena). When the
+     * key is already present only its recency is refreshed - outputs
+     * are pure functions of the key, so the stored copy is kept.
+     */
+    void insert(const std::string &key, const MapZeroNet::Output &out);
+
+    /** Entries currently cached. */
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+    static constexpr std::size_t kDefaultCapacity = 8192;
+
+  private:
+    struct Entry {
+        MapZeroNet::Output out;
+        /** Position in lru_ (front = most recently used). */
+        std::list<std::string>::iterator lruIt;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<std::string> lru_;
+    std::unordered_map<std::string, Entry> map_;
+};
 
 /** Policy/value evaluation service over Observations. */
 class Evaluator
@@ -45,22 +110,28 @@ class Evaluator
     std::vector<double> policyProbabilities(const Observation &obs);
 };
 
-/** Unbatched evaluation on the calling thread. */
+/**
+ * Unbatched evaluation on the calling thread.
+ *
+ * Forward passes run under nn::InferenceGuard (no tape, arena-backed
+ * buffers); an optional shared EvalCache short-circuits repeated
+ * observations.
+ */
 class DirectEvaluator : public Evaluator
 {
   public:
-    explicit DirectEvaluator(const MapZeroNet &net) : net_(&net) {}
+    explicit DirectEvaluator(const MapZeroNet &net,
+                             std::shared_ptr<EvalCache> cache = nullptr)
+        : net_(&net), cache_(std::move(cache))
+    {}
 
-    MapZeroNet::Output
-    evaluate(const Observation &obs) override
-    {
-        return net_->forward(obs);
-    }
+    MapZeroNet::Output evaluate(const Observation &obs) override;
 
     const MapZeroNet &network() const override { return *net_; }
 
   private:
     const MapZeroNet *net_;
+    std::shared_ptr<EvalCache> cache_;
 };
 
 /**
@@ -89,9 +160,13 @@ class EvalBatcher : public Evaluator
     /**
      * @param net shared pre-trained network (forward passes only)
      * @param max_batch cap on observations per forward pass
+     * @param cache optional shared output cache, consulted before a
+     *        request parks (a hit skips the batch entirely) and filled
+     *        by every completed batch
      */
     explicit EvalBatcher(const MapZeroNet &net,
-                         std::size_t max_batch = 16);
+                         std::size_t max_batch = 16,
+                         std::shared_ptr<EvalCache> cache = nullptr);
 
     /** RAII registration of one concurrent search on the batcher. */
     class Session
@@ -116,6 +191,8 @@ class EvalBatcher : public Evaluator
   private:
     struct Request {
         const Observation *obs = nullptr;
+        /** Cache key, pre-computed by the requester (empty: no cache). */
+        std::string key;
         MapZeroNet::Output out;
         /** Failure of the batch this request was served in, if any. */
         std::exception_ptr error;
@@ -133,6 +210,7 @@ class EvalBatcher : public Evaluator
 
     const MapZeroNet *net_;
     std::size_t maxBatch_;
+    std::shared_ptr<EvalCache> cache_;
 
     std::mutex mutex_;
     std::condition_variable wake_;

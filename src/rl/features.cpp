@@ -1,5 +1,7 @@
 #include "rl/features.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace mapzero::rl {
@@ -13,21 +15,30 @@ idNorm(std::int32_t x, std::int32_t max_value)
     return static_cast<float>(x + 1) / static_cast<float>(max_value + 1);
 }
 
+/** degree / 8, clamped: fan-in beyond 8 saturates instead of leaving
+ *  the normalized range and dominating the attention logits. */
+float
+degreeNorm(std::int32_t degree)
+{
+    return std::min(static_cast<float>(degree) / 8.0f, 1.0f);
+}
+
 } // namespace
 
-Observation
-observe(const mapper::MapEnv &env)
+void
+ObservationBuilder::rebuild(const mapper::MapEnv &env)
 {
     const dfg::Dfg &dfg = env.dfg();
     const cgra::Architecture &arch = env.arch();
     const dfg::Schedule &schedule = env.schedule();
-    const mapper::MappingState &state = env.state();
 
     const std::int32_t n = dfg.nodeCount();
     const std::int32_t p = arch.peCount();
     const std::int32_t sched_len = std::max(schedule.length(), 1);
 
-    Observation obs;
+    env_ = &env;
+    envInstance_ = env.instanceId();
+    ii_ = env.ii();
 
     // Scheduling-order index per node.
     std::vector<std::int32_t> order_of(static_cast<std::size_t>(n), 0);
@@ -41,80 +52,109 @@ observe(const mapper::MapEnv &env)
     for (std::int32_t t : schedule.moduloTime)
         ++slot_population[static_cast<std::size_t>(t)];
 
-    obs.dfgFeatures = nn::Tensor(static_cast<std::size_t>(n),
-                                 kDfgFeatureDim);
+    obs_.dfgFeatures = nn::Tensor(static_cast<std::size_t>(n),
+                                  kDfgFeatureDim);
     for (dfg::NodeId v = 0; v < n; ++v) {
         const auto r = static_cast<std::size_t>(v);
         const std::int32_t slot =
             schedule.moduloTime[static_cast<std::size_t>(v)];
-        obs.dfgFeatures.at(r, 0) = idNorm(v, n);
-        obs.dfgFeatures.at(r, 1) =
+        obs_.dfgFeatures.at(r, 0) = idNorm(v, n);
+        obs_.dfgFeatures.at(r, 1) =
             static_cast<float>(order_of[r]) / static_cast<float>(n);
-        obs.dfgFeatures.at(r, 2) =
+        obs_.dfgFeatures.at(r, 2) =
             static_cast<float>(schedule.time[r]) /
             static_cast<float>(sched_len);
-        obs.dfgFeatures.at(r, 3) =
+        obs_.dfgFeatures.at(r, 3) =
             static_cast<float>(slot) / static_cast<float>(env.ii());
-        obs.dfgFeatures.at(r, 4) =
-            static_cast<float>(dfg.inDegree(v)) / 8.0f;
-        obs.dfgFeatures.at(r, 5) =
-            static_cast<float>(dfg.outDegree(v)) / 8.0f;
-        obs.dfgFeatures.at(r, 6) =
+        obs_.dfgFeatures.at(r, 4) = degreeNorm(dfg.inDegree(v));
+        obs_.dfgFeatures.at(r, 5) = degreeNorm(dfg.outDegree(v));
+        obs_.dfgFeatures.at(r, 6) =
             static_cast<float>(dfg::opcodeIndex(dfg.node(v).opcode)) /
             static_cast<float>(dfg::kOpcodeCount);
-        obs.dfgFeatures.at(r, 7) = dfg.hasSelfCycle(v) ? 1.0f : 0.0f;
-        obs.dfgFeatures.at(r, 8) =
+        obs_.dfgFeatures.at(r, 7) = dfg.hasSelfCycle(v) ? 1.0f : 0.0f;
+        obs_.dfgFeatures.at(r, 8) =
             static_cast<float>(
                 slot_population[static_cast<std::size_t>(slot)]) /
             static_cast<float>(n);
-        obs.dfgFeatures.at(r, 9) =
-            idNorm(state.placed(v) ? state.placement(v).pe : -1, p);
+        // Column 9 (assigned PE) is dynamic; refresh() fills it.
     }
 
-    obs.dfgEdges.reserve(dfg.edges().size());
+    obs_.dfgEdges.clear();
+    obs_.dfgEdges.reserve(dfg.edges().size());
     for (const auto &e : dfg.edges())
-        obs.dfgEdges.emplace_back(e.src, e.dst);
+        obs_.dfgEdges.emplace_back(e.src, e.dst);
 
-    // Hardware graph of the current node's modulo slice.
-    const dfg::NodeId current = env.currentNode();
-    const std::int32_t slot =
-        schedule.moduloTime[static_cast<std::size_t>(current)];
-    obs.cgraFeatures = nn::Tensor(static_cast<std::size_t>(p),
-                                  kCgraFeatureDim);
+    obs_.cgraFeatures = nn::Tensor(static_cast<std::size_t>(p),
+                                   kCgraFeatureDim);
     for (cgra::PeId pe = 0; pe < p; ++pe) {
         const auto r = static_cast<std::size_t>(pe);
         const cgra::PeConfig &cfg = arch.pe(pe);
-        obs.cgraFeatures.at(r, 0) = idNorm(pe, p);
-        obs.cgraFeatures.at(r, 1) =
+        obs_.cgraFeatures.at(r, 0) = idNorm(pe, p);
+        obs_.cgraFeatures.at(r, 1) =
             static_cast<float>(arch.neighborsIn(pe).size()) / 16.0f;
-        obs.cgraFeatures.at(r, 2) =
+        obs_.cgraFeatures.at(r, 2) =
             static_cast<float>(arch.neighborsOut(pe).size()) / 16.0f;
-        obs.cgraFeatures.at(r, 3) = cfg.logic ? 1.0f : 0.0f;
-        obs.cgraFeatures.at(r, 4) = cfg.arithmetic ? 1.0f : 0.0f;
-        obs.cgraFeatures.at(r, 5) = cfg.memory ? 1.0f : 0.0f;
-        obs.cgraFeatures.at(r, 6) = idNorm(state.nodeAt(pe, slot), n);
+        obs_.cgraFeatures.at(r, 3) = cfg.logic ? 1.0f : 0.0f;
+        obs_.cgraFeatures.at(r, 4) = cfg.arithmetic ? 1.0f : 0.0f;
+        obs_.cgraFeatures.at(r, 5) = cfg.memory ? 1.0f : 0.0f;
+        // Column 6 (mapped node of the current slice) is dynamic.
     }
 
-    obs.cgraEdges.reserve(
+    obs_.cgraEdges.clear();
+    obs_.cgraEdges.reserve(
         static_cast<std::size_t>(env.mrrg().linkCount()));
     for (const auto &[src, dst] : arch.linkList())
-        obs.cgraEdges.emplace_back(src, dst);
+        obs_.cgraEdges.emplace_back(src, dst);
+
+    obs_.metadata = nn::Tensor(1, kMetadataDim);
+}
+
+const Observation &
+ObservationBuilder::refresh(const mapper::MapEnv &env)
+{
+    if (env_ != &env || envInstance_ != env.instanceId() ||
+        ii_ != env.ii())
+        rebuild(env);
+
+    const dfg::Dfg &dfg = env.dfg();
+    const mapper::MappingState &state = env.state();
+    const std::int32_t n = dfg.nodeCount();
+    const std::int32_t p = env.arch().peCount();
+
+    // DFG feature 10: id of the assigned PE.
+    for (dfg::NodeId v = 0; v < n; ++v)
+        obs_.dfgFeatures.at(static_cast<std::size_t>(v), 9) =
+            idNorm(state.placed(v) ? state.placement(v).pe : -1, p);
+
+    // Hardware occupancy of the current node's modulo slice.
+    const dfg::NodeId current = env.currentNode();
+    const std::int32_t slot =
+        env.schedule().moduloTime[static_cast<std::size_t>(current)];
+    for (cgra::PeId pe = 0; pe < p; ++pe)
+        obs_.cgraFeatures.at(static_cast<std::size_t>(pe), 6) =
+            idNorm(state.nodeAt(pe, slot), n);
 
     // Metadata: the node's id and relevant features (§3.2.4) plus
     // mapping progress and action availability.
-    obs.metadata = nn::Tensor(1, kMetadataDim);
     for (std::size_t c = 0; c < kDfgFeatureDim; ++c)
-        obs.metadata.at(0, c) =
-            obs.dfgFeatures.at(static_cast<std::size_t>(current), c);
-    obs.metadata.at(0, kDfgFeatureDim) =
+        obs_.metadata.at(0, c) =
+            obs_.dfgFeatures.at(static_cast<std::size_t>(current), c);
+    obs_.metadata.at(0, kDfgFeatureDim) =
         static_cast<float>(env.stepIndex()) /
         static_cast<float>(std::max(env.totalSteps(), 1));
     const std::int32_t legal = env.legalActionCount();
-    obs.metadata.at(0, kDfgFeatureDim + 1) =
+    obs_.metadata.at(0, kDfgFeatureDim + 1) =
         static_cast<float>(legal) / static_cast<float>(p);
 
-    obs.actionMask = env.actionMask();
-    return obs;
+    obs_.actionMask = env.actionMask();
+    return obs_;
+}
+
+Observation
+observe(const mapper::MapEnv &env)
+{
+    ObservationBuilder builder;
+    return builder.refresh(env);
 }
 
 Observation

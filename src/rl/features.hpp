@@ -52,6 +52,40 @@ struct Observation {
 Observation observe(const mapper::MapEnv &env);
 
 /**
+ * Incremental observation construction for tight search loops.
+ *
+ * A step/undo between two decision points of the same environment can
+ * only change four things in the observation: the DFG placement column,
+ * the CGRA occupancy column of the (new) current node's modulo slice,
+ * the metadata row, and the action mask. refresh() patches exactly
+ * those over a cached observation instead of re-deriving schedule
+ * orders, degrees, capabilities, and both edge lists every time, and is
+ * bit-identical to observe(env).
+ *
+ * The builder rebinds automatically when handed a different environment
+ * (detected via MapEnv::instanceId, so address reuse is safe) or a
+ * different II. Not thread-safe; give each search worker its own.
+ */
+class ObservationBuilder
+{
+  public:
+    /**
+     * Observation for @p env's current decision point. The returned
+     * reference lives until the next refresh() on this builder.
+     */
+    const Observation &refresh(const mapper::MapEnv &env);
+
+  private:
+    /** Full rebuild of the static (per-environment) parts. */
+    void rebuild(const mapper::MapEnv &env);
+
+    const mapper::MapEnv *env_ = nullptr;
+    std::uint64_t envInstance_ = 0;
+    std::int32_t ii_ = -1;
+    Observation obs_;
+};
+
+/**
  * Symmetry augmentation (§3.6.1): remap every PE reference in
  * @p obs (CGRA rows, assigned-PE features, action mask) through the fabric
  * automorphism @p perm. The link set is invariant by definition of an

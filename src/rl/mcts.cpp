@@ -129,7 +129,7 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
         if (!node->expanded) {
             // Evaluate + expand the leaf with network priors.
             MctsMetrics &m = MctsMetrics::get();
-            const Observation obs = observe(env);
+            const Observation &obs = obsBuilder_.refresh(env);
             const Timer eval_timer;
             const MapZeroNet::Output out = eval_->evaluate(obs);
             m.netEvals.add();

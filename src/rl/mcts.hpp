@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "rl/evaluator.hpp"
+#include "rl/features.hpp"
 
 namespace mapzero::rl {
 
@@ -92,6 +93,8 @@ class Mcts
     std::unique_ptr<DirectEvaluator> owned_;
     Evaluator *eval_;
     MctsConfig config_;
+    /** Leaf observations patched incrementally instead of rebuilt. */
+    ObservationBuilder obsBuilder_;
 };
 
 } // namespace mapzero::rl

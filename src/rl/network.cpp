@@ -173,6 +173,8 @@ MapZeroNet::forwardBatch(
 std::vector<double>
 MapZeroNet::policyProbabilities(const Observation &obs) const
 {
+    // Pure inference: no caller ever differentiates through this.
+    const nn::InferenceGuard guard;
     const Output out = forward(obs);
     std::vector<double> probs(static_cast<std::size_t>(peCount_), 0.0);
     for (std::int32_t a = 0; a < peCount_; ++a) {

@@ -106,13 +106,14 @@ Trainer::runSelfPlay(const dfg::Dfg &dfg, std::int32_t ii,
     mcts_config.noiseFraction =
         config_.useMcts ? 0.25 : mcts_config.noiseFraction;
     Mcts mcts(evaluator, mcts_config);
+    ObservationBuilder obs_builder;
 
     while (!env.done()) {
         if (env.legalActionCount() == 0)
             break; // dead end: "no available PE exists"
 
         MoveRecord record;
-        record.obs = observe(env);
+        record.obs = obs_builder.refresh(env);
 
         std::int32_t action = -1;
         std::optional<std::vector<std::int32_t>> solved;
@@ -135,7 +136,7 @@ Trainer::runSelfPlay(const dfg::Dfg &dfg, std::int32_t ii,
                 const std::int32_t a = (*solved)[i];
                 if (i > 0) {
                     MoveRecord extra;
-                    extra.obs = observe(env);
+                    extra.obs = obs_builder.refresh(env);
                     extra.pi.assign(
                         static_cast<std::size_t>(arch_->peCount()), 0.0);
                     extra.pi[static_cast<std::size_t>(a)] = 1.0;
@@ -304,10 +305,11 @@ Trainer::evaluateGreedy(const dfg::Dfg &dfg, std::int32_t ii) const
 {
     EvalResult result;
     mapper::MapEnv env(dfg, *arch_, ii);
+    ObservationBuilder obs_builder;
     while (!env.done()) {
         if (env.legalActionCount() == 0)
             break;
-        const Observation obs = observe(env);
+        const Observation &obs = obs_builder.refresh(env);
         const auto probs = net_->policyProbabilities(obs);
         std::int32_t best = -1;
         double best_p = -1.0;

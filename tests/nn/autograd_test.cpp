@@ -226,6 +226,73 @@ TEST(Autograd, LogSoftmaxAllMaskedPanics)
                  std::logic_error);
 }
 
+TEST(Autograd, LogSoftmaxSingleLegalAction)
+{
+    // One legal entry: its probability is exactly 1, so its
+    // log-probability is exactly 0 and its gradient identically 0
+    // (d logp/d logit = 1 - p = 0).
+    const std::vector<bool> mask{false, true, false};
+    Value logits = Value::parameter(Tensor(1, 3, {0.3f, -2.0f, 5.0f}));
+    Value logp = logSoftmaxMasked(logits, mask);
+    EXPECT_EQ(logp.tensor()[1], 0.0f);
+    EXPECT_FLOAT_EQ(logp.tensor()[0], -1e9f);
+    EXPECT_FLOAT_EQ(logp.tensor()[2], -1e9f);
+
+    sumAll(logp).backward();
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(logits.grad()[i], 0.0f) << i;
+}
+
+TEST(Autograd, LinearFusedForwardMatchesComposed)
+{
+    const Tensor xt = randomTensor(3, 4, 31);
+    const Tensor wt = randomTensor(4, 5, 32);
+    const Tensor bt = randomTensor(1, 5, 33);
+    const Value x = Value::constant(xt), w = Value::constant(wt),
+                b = Value::constant(bt);
+
+    const Tensor plain = linearFused(x, w, b, false).tensor();
+    const Tensor composed = add(matmul(x, w), b).tensor();
+    const Tensor fused_relu = linearFused(x, w, b, true).tensor();
+    const Tensor composed_relu = relu(add(matmul(x, w), b)).tensor();
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i], composed[i]) << i;
+        EXPECT_EQ(fused_relu[i], composed_relu[i]) << i;
+    }
+}
+
+TEST(Autograd, LinearFusedBackwardMatchesComposed)
+{
+    const Tensor xt = randomTensor(3, 4, 34);
+    const Tensor wt = randomTensor(4, 5, 35);
+    const Tensor bt = randomTensor(1, 5, 36);
+
+    Value xf = Value::parameter(xt), wf = Value::parameter(wt),
+          bf = Value::parameter(bt);
+    sumAll(linearFused(xf, wf, bf, true)).backward();
+
+    Value xc = Value::parameter(xt), wc = Value::parameter(wt),
+          bc = Value::parameter(bt);
+    sumAll(relu(add(matmul(xc, wc), bc))).backward();
+
+    for (std::size_t i = 0; i < xt.size(); ++i)
+        EXPECT_FLOAT_EQ(xf.grad()[i], xc.grad()[i]) << "dX " << i;
+    for (std::size_t i = 0; i < wt.size(); ++i)
+        EXPECT_FLOAT_EQ(wf.grad()[i], wc.grad()[i]) << "dW " << i;
+    for (std::size_t i = 0; i < bt.size(); ++i)
+        EXPECT_FLOAT_EQ(bf.grad()[i], bc.grad()[i]) << "db " << i;
+}
+
+TEST(Autograd, LinearFusedNumericGrad)
+{
+    const Tensor x = randomTensor(2, 3, 37);
+    const Tensor b = randomTensor(1, 4, 38);
+    checkGradient(randomTensor(3, 4, 39), [&](const Value &p) {
+        return sumAll(linearFused(Value::constant(x), p,
+                                  Value::constant(b), true));
+    });
+}
+
 TEST(Autograd, SegmentSoftmaxForwardNormalizesPerSegment)
 {
     // Edges 0,1 -> segment 0; edge 2 -> segment 1.

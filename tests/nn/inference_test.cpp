@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Inference fast-path tests: forwards run under nn::InferenceGuard must
+ * be bit-identical to tape-building forwards, arena buffers must be
+ * recycled across passes, and guarded values must refuse backward().
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/autograd.hpp"
+#include "nn/gat.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace mapzero::nn {
+namespace {
+
+Tensor
+randomTensor(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::uniform(rows, cols, -1.0f, 1.0f, rng);
+}
+
+/** Bitwise comparison via float equality (NaN-free networks). */
+void
+expectIdentical(const Tensor &a, const Tensor &b)
+{
+    ASSERT_TRUE(a.sameShape(b))
+        << a.shapeString() << " vs " << b.shapeString();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(Inference, GuardNests)
+{
+    EXPECT_FALSE(InferenceGuard::active());
+    {
+        InferenceGuard outer;
+        EXPECT_TRUE(InferenceGuard::active());
+        {
+            InferenceGuard inner;
+            EXPECT_TRUE(InferenceGuard::active());
+        }
+        EXPECT_TRUE(InferenceGuard::active());
+    }
+    EXPECT_FALSE(InferenceGuard::active());
+}
+
+TEST(Inference, MlpForwardBitIdentical)
+{
+    Rng rng(7);
+    const Mlp mlp({6, 16, 8, 3}, Activation::ReLU, Activation::Tanh,
+                  rng);
+    for (std::uint64_t seed = 100; seed < 108; ++seed) {
+        const Tensor x = randomTensor(5, 6, seed);
+        const Tensor tape = mlp.forward(Value::constant(x)).tensor();
+        Tensor guarded;
+        {
+            InferenceGuard guard;
+            guarded = Tensor(mlp.forward(Value::constant(x)).tensor());
+        }
+        expectIdentical(tape, guarded);
+    }
+}
+
+TEST(Inference, GatEncoderForwardBitIdentical)
+{
+    Rng rng(11);
+    const GatEncoder encoder(4, 8, 2, 2, rng);
+    const EdgeList edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}};
+    for (std::uint64_t seed = 200; seed < 206; ++seed) {
+        const Tensor feats = randomTensor(4, 4, seed);
+        const Tensor tape =
+            encoder.encodeGraph(Value::constant(feats), edges).tensor();
+        Tensor guarded;
+        {
+            InferenceGuard guard;
+            guarded = Tensor(
+                encoder.encodeGraph(Value::constant(feats), edges)
+                    .tensor());
+        }
+        expectIdentical(tape, guarded);
+    }
+}
+
+TEST(Inference, PolicyOpsBitIdentical)
+{
+    const Tensor logits = randomTensor(1, 9, 42);
+    const std::vector<bool> mask{true,  false, true, true, false,
+                                 true,  true,  false, true};
+    const Tensor tape =
+        logSoftmaxMasked(Value::constant(logits), mask).tensor();
+    Tensor guarded;
+    {
+        InferenceGuard guard;
+        guarded = Tensor(
+            logSoftmaxMasked(Value::constant(logits), mask).tensor());
+    }
+    expectIdentical(tape, guarded);
+}
+
+TEST(Inference, ArenaRecyclesBuffers)
+{
+    Rng rng(13);
+    const Mlp mlp({8, 32, 32, 4}, Activation::ReLU, Activation::None,
+                  rng);
+    const Tensor x = randomTensor(3, 8, 77);
+
+    TensorArena &arena = TensorArena::thisThread();
+    {
+        // Warm-up pass fills the pool as its intermediates die.
+        InferenceGuard guard;
+        mlp.forward(Value::constant(x));
+    }
+    const std::uint64_t heap_before = arena.heapAllocations();
+    const std::uint64_t reuse_before = arena.reuses();
+    {
+        InferenceGuard guard;
+        mlp.forward(Value::constant(x));
+        mlp.forward(Value::constant(x));
+    }
+    EXPECT_GT(arena.reuses(), reuse_before);
+    // Steady state: every acquire is served from the pool.
+    EXPECT_EQ(arena.heapAllocations(), heap_before);
+}
+
+TEST(Inference, BackwardOnGuardedValuePanics)
+{
+    // A 1x1 matmul result: scalar-sized, but arena-backed.
+    Value loss;
+    {
+        InferenceGuard guard;
+        loss = matmul(Value::constant(randomTensor(1, 3, 5)),
+                      Value::constant(randomTensor(3, 1, 8)));
+    }
+    ASSERT_EQ(loss.tensor().size(), 1u);
+    EXPECT_THROW(loss.backward(), std::logic_error);
+}
+
+TEST(Inference, TapeStillWorksAfterGuard)
+{
+    // Leaving inference mode must fully restore the training path.
+    const Tensor x = randomTensor(2, 2, 6);
+    {
+        InferenceGuard guard;
+        sumAll(square(Value::constant(x)));
+    }
+    Value p = Value::parameter(x);
+    sumAll(square(p)).backward();
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(p.grad()[i], 2.0f * x[i]);
+}
+
+} // namespace
+} // namespace mapzero::nn

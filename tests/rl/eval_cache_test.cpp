@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the evaluation cache and the incremental observation
+ * builder: LRU behavior, bit-identical cached outputs, hit/miss
+ * metrics, and refresh()-vs-observe() equivalence over step/undo walks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "dfg/kernels.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/environment.hpp"
+#include "rl/evaluator.hpp"
+#include "rl/features.hpp"
+#include "rl/network.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+/** Observations along a first-legal-action rollout of @p kernel. */
+std::vector<Observation>
+rolloutObservations(const std::string &kernel,
+                    const cgra::Architecture &arch)
+{
+    dfg::Dfg d = dfg::buildKernel(kernel);
+    const std::int32_t mii =
+        dfg::minimumIi(d, arch.peCount(), arch.memoryIssueCapacity());
+    mapper::MapEnv env(d, arch, mii);
+    std::vector<Observation> observations;
+    while (!env.done() && env.legalActionCount() > 0) {
+        observations.push_back(observe(env));
+        const auto mask = env.actionMask();
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(mask.size()); ++pe) {
+            if (mask[static_cast<std::size_t>(pe)]) {
+                env.step(pe);
+                break;
+            }
+        }
+    }
+    return observations;
+}
+
+/** Largest absolute difference between two network outputs. */
+double
+outputDiff(const MapZeroNet::Output &a, const MapZeroNet::Output &b)
+{
+    EXPECT_EQ(a.logPolicy.tensor().size(), b.logPolicy.tensor().size());
+    double diff = std::fabs(static_cast<double>(a.value.item()) -
+                            static_cast<double>(b.value.item()));
+    for (std::size_t i = 0; i < a.logPolicy.tensor().size(); ++i)
+        diff = std::max(
+            diff,
+            std::fabs(static_cast<double>(a.logPolicy.tensor()[i]) -
+                      static_cast<double>(b.logPolicy.tensor()[i])));
+    return diff;
+}
+
+/** A distinguishable stand-in network output. */
+MapZeroNet::Output
+fakeOutput(float tag)
+{
+    MapZeroNet::Output out;
+    out.logPolicy =
+        nn::Value::constant(nn::Tensor(1, 2, {tag, -tag}));
+    out.value = nn::Value::constant(nn::Tensor(1, 1, {tag * 10.0f}));
+    return out;
+}
+
+void
+expectTensorsIdentical(const nn::Tensor &a, const nn::Tensor &b,
+                       const char *what)
+{
+    ASSERT_TRUE(a.sameShape(b)) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+void
+expectObservationsIdentical(const Observation &a, const Observation &b)
+{
+    expectTensorsIdentical(a.dfgFeatures, b.dfgFeatures, "dfgFeatures");
+    expectTensorsIdentical(a.cgraFeatures, b.cgraFeatures,
+                           "cgraFeatures");
+    expectTensorsIdentical(a.metadata, b.metadata, "metadata");
+    EXPECT_EQ(a.dfgEdges, b.dfgEdges);
+    EXPECT_EQ(a.cgraEdges, b.cgraEdges);
+    EXPECT_EQ(a.actionMask, b.actionMask);
+}
+
+TEST(EvalCache, LruEvictionAndRecency)
+{
+    EvalCache cache(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+    cache.insert("a", fakeOutput(1.0f));
+    cache.insert("b", fakeOutput(2.0f));
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Touch "a" so "b" becomes the eviction victim.
+    MapZeroNet::Output out;
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_EQ(out.logPolicy.tensor()[0], 1.0f);
+
+    cache.insert("c", fakeOutput(3.0f));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FALSE(cache.lookup("b", out)) << "LRU entry survived";
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+    EXPECT_EQ(out.value.item(), 30.0f);
+}
+
+TEST(EvalCache, InsertRefreshesExistingKey)
+{
+    EvalCache cache(2);
+    cache.insert("a", fakeOutput(1.0f));
+    cache.insert("b", fakeOutput(2.0f));
+    // Re-inserting a present key refreshes recency but keeps the
+    // stored entry: outputs are pure functions of the key, so the old
+    // copy is as good as the new one.
+    cache.insert("a", fakeOutput(9.0f));
+    EXPECT_EQ(cache.size(), 2u);
+    cache.insert("c", fakeOutput(3.0f)); // evicts "b", not "a"
+    MapZeroNet::Output out;
+    EXPECT_FALSE(cache.lookup("b", out));
+    ASSERT_TRUE(cache.lookup("a", out));
+    EXPECT_EQ(out.value.item(), 10.0f);
+}
+
+TEST(EvalCache, KeySeparatesDecisionPoints)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const auto observations = rolloutObservations("mac", arch);
+    ASSERT_GE(observations.size(), 3u);
+    std::vector<std::string> keys;
+    for (const auto &obs : observations)
+        keys.push_back(EvalCache::keyOf(obs));
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+    // Deterministic: re-encoding the same observation gives the key.
+    EXPECT_EQ(keys.front(), EvalCache::keyOf(observations.front()));
+}
+
+TEST(EvalCache, DirectEvaluatorHitsAreBitIdentical)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(31);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    DirectEvaluator evaluator(net, std::make_shared<EvalCache>());
+    const auto observations = rolloutObservations("sum", arch);
+    ASSERT_FALSE(observations.empty());
+
+    Counter &hits = metrics().counter("eval_cache.hits");
+    Counter &misses = metrics().counter("eval_cache.misses");
+    const std::int64_t hits0 = hits.value();
+    const std::int64_t misses0 = misses.value();
+
+    std::vector<MapZeroNet::Output> first;
+    for (const auto &obs : observations)
+        first.push_back(evaluator.evaluate(obs));
+    EXPECT_EQ(misses.value() - misses0,
+              static_cast<std::int64_t>(observations.size()));
+    EXPECT_EQ(hits.value(), hits0);
+
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+        EXPECT_EQ(outputDiff(evaluator.evaluate(observations[i]),
+                             first[i]),
+                  0.0)
+            << "cached output differs at step " << i;
+        EXPECT_EQ(outputDiff(first[i], net.forward(observations[i])),
+                  0.0)
+            << "evaluator output differs from tape forward at " << i;
+    }
+    EXPECT_EQ(hits.value() - hits0,
+              static_cast<std::int64_t>(observations.size()));
+}
+
+TEST(EvalCache, EvalBatcherConsultsSharedCache)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng rng(32);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, rng);
+    auto cache = std::make_shared<EvalCache>();
+    EvalBatcher batcher(net, 8, cache);
+    EvalBatcher::Session session(batcher);
+    const auto observations = rolloutObservations("mac", arch);
+    ASSERT_FALSE(observations.empty());
+
+    Counter &hits = metrics().counter("eval_cache.hits");
+    const std::int64_t hits0 = hits.value();
+    std::vector<MapZeroNet::Output> first;
+    for (const auto &obs : observations)
+        first.push_back(batcher.evaluate(obs));
+    EXPECT_GT(cache->size(), 0u);
+    for (std::size_t i = 0; i < observations.size(); ++i)
+        EXPECT_EQ(outputDiff(batcher.evaluate(observations[i]),
+                             first[i]),
+                  0.0)
+            << i;
+    EXPECT_GE(hits.value() - hits0,
+              static_cast<std::int64_t>(observations.size()));
+}
+
+TEST(ObservationBuilder, RefreshMatchesObserveAcrossStepsAndUndo)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    dfg::Dfg d = dfg::buildKernel("mac");
+    const std::int32_t mii =
+        dfg::minimumIi(d, arch.peCount(), arch.memoryIssueCapacity());
+    mapper::MapEnv env(d, arch, mii);
+
+    ObservationBuilder builder;
+    while (!env.done() && env.legalActionCount() > 0) {
+        expectObservationsIdentical(builder.refresh(env), observe(env));
+        const auto mask = env.actionMask();
+        cgra::PeId chosen = 0;
+        for (cgra::PeId pe = 0;
+             pe < static_cast<cgra::PeId>(mask.size()); ++pe) {
+            if (mask[static_cast<std::size_t>(pe)]) {
+                chosen = pe;
+                break;
+            }
+        }
+        // Exercise the undo path the MCTS tree walk relies on.
+        env.step(chosen);
+        if (!env.done()) {
+            expectObservationsIdentical(builder.refresh(env),
+                                        observe(env));
+            env.undo();
+            expectObservationsIdentical(builder.refresh(env),
+                                        observe(env));
+            env.step(chosen);
+        }
+    }
+}
+
+TEST(ObservationBuilder, RebindsAcrossEnvironmentsAndIi)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    dfg::Dfg sum = dfg::buildKernel("sum");
+    dfg::Dfg mac = dfg::buildKernel("mac");
+    const std::int32_t mii_sum = dfg::minimumIi(
+        sum, arch.peCount(), arch.memoryIssueCapacity());
+    const std::int32_t mii_mac = dfg::minimumIi(
+        mac, arch.peCount(), arch.memoryIssueCapacity());
+
+    mapper::MapEnv env_a(sum, arch, mii_sum);
+    mapper::MapEnv env_b(mac, arch, mii_mac);
+    mapper::MapEnv env_c(sum, arch, mii_sum + 1);
+
+    ObservationBuilder builder;
+    expectObservationsIdentical(builder.refresh(env_a), observe(env_a));
+    expectObservationsIdentical(builder.refresh(env_b), observe(env_b));
+    expectObservationsIdentical(builder.refresh(env_c), observe(env_c));
+    // And back again: every switch must trigger a full rebind.
+    expectObservationsIdentical(builder.refresh(env_a), observe(env_a));
+}
+
+TEST(Features, DegreeFeaturesStayInUnitRange)
+{
+    // "spread" has a fan-out node; every normalized degree must be
+    // clamped into [0, 1] no matter how large the raw degree is.
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    for (const char *kernel : {"sum", "mac", "conv2", "spread"}) {
+        dfg::Dfg d;
+        try {
+            d = dfg::buildKernel(kernel);
+        } catch (const std::exception &) {
+            continue; // kernel not in this build's library
+        }
+        const std::int32_t mii = dfg::minimumIi(
+            d, arch.peCount(), arch.memoryIssueCapacity());
+        mapper::MapEnv env(d, arch, mii);
+        const Observation obs = observe(env);
+        for (std::size_t r = 0; r < obs.dfgFeatures.rows(); ++r) {
+            for (std::size_t c : {4u, 5u}) { // in/out degree columns
+                const float v = obs.dfgFeatures.at(r, c);
+                EXPECT_GE(v, 0.0f) << "row " << r << " col " << c;
+                EXPECT_LE(v, 1.0f) << "row " << r << " col " << c;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mapzero::rl

@@ -3,8 +3,8 @@
  * mapzero_cli - command-line front end of the MapZero compiler.
  *
  *   mapzero_cli map      --kernel mac --arch hrea [--method mapzero]
- *                        [--time 10] [--restarts R] [--viz] [--dot]
- *                        [--bitstream F]
+ *                        [--time 10] [--restarts R] [--no-eval-cache]
+ *                        [--viz] [--dot] [--bitstream F]
  *   mapzero_cli analyze  --kernel arf
  *   mapzero_cli simulate --kernel mac --arch hrea [--iters 8]
  *   mapzero_cli list
@@ -188,6 +188,7 @@ cmdMap(const Args &args)
     options.jobs = static_cast<std::int32_t>(resolveJobs());
     options.restartsPerIi = static_cast<std::int32_t>(
         std::atoi(args.get("restarts", "0").c_str()));
+    options.evalCache = !args.flag("no-eval-cache");
     const CompileResult r =
         compiler.compile(kernel, arch, method, options);
 
@@ -316,7 +317,8 @@ dispatch(const Args &args)
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
-        "           [--restarts R] [--viz] [--dot] [--bitstream [FILE]]\n"
+        "           [--restarts R] [--no-eval-cache] [--viz] [--dot]\n"
+        "           [--bitstream [FILE]]\n"
         "  analyze  --kernel NAME|--kernel-dot F\n"
         "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
         "  spatial  --kernel NAME --arch FABRIC [--time S]\n"
