@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+ * integrity footers. Incremental: feed chunks with the running value.
+ */
+
+#ifndef MAPZERO_COMMON_CRC32_HPP
+#define MAPZERO_COMMON_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mapzero {
+
+/**
+ * Update a running CRC-32 with @p size bytes at @p data. Start a fresh
+ * computation with @p crc = 0; the returned value is the final checksum
+ * when all data has been fed (the pre/post inversion is handled here).
+ */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+/** CRC-32 of a byte string. */
+inline std::uint32_t
+crc32(std::string_view bytes, std::uint32_t crc = 0)
+{
+    return crc32(bytes.data(), bytes.size(), crc);
+}
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_CRC32_HPP

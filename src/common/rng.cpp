@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/log.hpp"
+
 namespace mapzero {
 
 namespace {
@@ -121,13 +123,69 @@ Rng::bernoulli(double p)
     return uniformReal() < p;
 }
 
+double
+Rng::gamma(double alpha)
+{
+    assert(alpha > 0.0);
+    if (alpha < 1.0) {
+        // Boost: if X ~ Gamma(alpha + 1) and U ~ Uniform(0, 1) then
+        // X * U^(1/alpha) ~ Gamma(alpha).
+        const double u = std::max(uniformReal(), 1e-300);
+        return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+    }
+    // Marsaglia & Tsang (2000): squeeze over v = (1 + c x)^3.
+    const double d = alpha - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x = 0.0;
+        double v = 0.0;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = std::max(uniformReal(), 1e-300);
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+RngState
+Rng::state() const
+{
+    RngState state;
+    for (int i = 0; i < 4; ++i)
+        state.s[i] = s_[i];
+    state.hasSpareNormal = hasSpareNormal_;
+    state.spareNormal = spareNormal_;
+    return state;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    hasSpareNormal_ = state.hasSpareNormal;
+    spareNormal_ = state.spareNormal;
+}
+
 std::size_t
 Rng::weightedIndex(const std::vector<double> &weights)
 {
+    if (weights.empty())
+        panic("weightedIndex over an empty weight vector");
     double total = 0.0;
     for (double w : weights)
         total += w;
-    assert(total > 0.0);
+    if (!(total > 0.0) || !std::isfinite(total)) {
+        // Degenerate weights (all zero, underflowed, or NaN): a uniform
+        // draw keeps sampling alive instead of silently starving every
+        // entry but the last.
+        return static_cast<std::size_t>(uniformInt(weights.size()));
+    }
     double r = uniformReal() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         r -= weights[i];

@@ -16,6 +16,17 @@
 namespace mapzero {
 
 /**
+ * Complete serializable state of an Rng: the xoshiro256** words plus the
+ * Box-Muller spare, so a restored generator continues the exact stream
+ * (checkpoint/resume must be bit-identical, not merely "seeded alike").
+ */
+struct RngState {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool hasSpareNormal = false;
+    double spareNormal = 0.0;
+};
+
+/**
  * Deterministic pseudo-random generator (xoshiro256**).
  *
  * Small, fast, and fully owned by this repo so results do not depend on the
@@ -61,6 +72,20 @@ class Rng
     /** Bernoulli trial with probability p of true. */
     bool bernoulli(double p);
 
+    /**
+     * Gamma(alpha, 1) via Marsaglia-Tsang squeeze; alpha < 1 uses the
+     * boost gamma(alpha) = gamma(alpha + 1) * u^(1/alpha). Exact
+     * marginals even for small shapes (Dirichlet noise uses
+     * alpha = 0.3).
+     */
+    double gamma(double alpha);
+
+    /** Current stream state (for checkpointing). */
+    RngState state() const;
+
+    /** Resume the exact stream captured by state(). */
+    void setState(const RngState &state);
+
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>
     void
@@ -72,7 +97,13 @@ class Rng
         }
     }
 
-    /** Pick an index according to non-negative weights (sum > 0). */
+    /**
+     * Pick an index according to non-negative weights. When the total
+     * weight is non-positive or non-finite (all-zero priorities,
+     * denormal underflow, NaN poisoning) the draw falls back to a
+     * uniform index instead of silently returning the last entry.
+     * Panics only on an empty weight vector.
+     */
     std::size_t weightedIndex(const std::vector<double> &weights);
 
     /** Fork a child generator with a decorrelated seed stream. */

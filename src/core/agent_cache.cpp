@@ -96,6 +96,8 @@ pretrainedNetwork(const cgra::Architecture &arch,
     static Counter &hits = metrics().counter("agent_cache.hits");
     static Counter &disk_hits = metrics().counter("agent_cache.disk_hits");
     static Counter &misses = metrics().counter("agent_cache.misses");
+    static Counter &invalid =
+        metrics().counter("agent_cache.invalid_checkpoints");
 
     const std::string key = cacheKey(arch);
     const std::shared_ptr<CacheEntry> entry = entryFor(key);
@@ -108,7 +110,11 @@ pretrainedNetwork(const cgra::Architecture &arch,
     }
 
     // Disk cache (opt-in via MAPZERO_AGENT_CACHE_DIR): reruns of the
-    // benchmark harness skip pre-training entirely.
+    // benchmark harness skip pre-training entirely. A checkpoint that
+    // fails validation — truncated, bit-flipped (CRC mismatch), wrong
+    // container version, or shaped for another fabric — is treated as
+    // a cache miss and retrained over; loadModule validates the whole
+    // file before touching the network, so nothing partially loads.
     const std::string path = diskCachePath(key);
     if (!path.empty() && std::filesystem::exists(path)) {
         try {
@@ -122,8 +128,9 @@ pretrainedNetwork(const cgra::Architecture &arch,
             entry->net = net;
             return net;
         } catch (const std::exception &error) {
-            warn(cat("ignoring stale agent checkpoint ", path, ": ",
-                     error.what()));
+            invalid.add();
+            warn(cat("discarding invalid agent checkpoint ", path,
+                     ": ", error.what()));
         }
     }
 
@@ -137,6 +144,9 @@ pretrainedNetwork(const cgra::Architecture &arch,
         std::filesystem::create_directories(
             std::filesystem::path(path).parent_path(), ec);
         try {
+            // saveModule writes via temp file + atomic rename: a crash
+            // here leaves no half-written checkpoint for the next run
+            // to trip over.
             nn::saveModule(trainer->network(), path);
         } catch (const std::exception &error) {
             warn(cat("could not write agent checkpoint ", path, ": ",

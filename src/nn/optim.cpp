@@ -110,6 +110,35 @@ Adam::step()
     }
 }
 
+AdamState
+Adam::exportState() const
+{
+    AdamState state;
+    state.step = t_;
+    state.firstMoments = m_;
+    state.secondMoments = v_;
+    return state;
+}
+
+void
+Adam::importState(const AdamState &state)
+{
+    if (state.firstMoments.size() != params_.size() ||
+        state.secondMoments.size() != params_.size())
+        fatal(cat("Adam state carries ", state.firstMoments.size(),
+                  " moment tensors, optimizer has ", params_.size(),
+                  " parameters"));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (!state.firstMoments[i].sameShape(params_[i].tensor()) ||
+            !state.secondMoments[i].sameShape(params_[i].tensor()))
+            fatal(cat("Adam state moment ", i,
+                      " does not match the parameter shape"));
+    }
+    t_ = state.step;
+    m_ = state.firstMoments;
+    v_ = state.secondMoments;
+}
+
 WarmupDecaySchedule::WarmupDecaySchedule(float peak_lr,
                                          std::size_t warmup_steps,
                                          float decay, float floor_lr)

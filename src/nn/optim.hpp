@@ -53,6 +53,18 @@ class Sgd : public Optimizer
     std::vector<Tensor> velocity_;
 };
 
+/**
+ * Adam's complete mutable state: the bias-correction step count and the
+ * first/second moment estimates, in parameter order. Checkpoints carry
+ * this so a resumed run continues the exact update trajectory (restarting
+ * with zeroed moments silently re-warms the optimizer).
+ */
+struct AdamState {
+    std::size_t step = 0;
+    std::vector<Tensor> firstMoments;
+    std::vector<Tensor> secondMoments;
+};
+
 /** Adam (Kingma & Ba 2015) with bias correction. */
 class Adam : public Optimizer
 {
@@ -61,6 +73,18 @@ class Adam : public Optimizer
          float beta2 = 0.999f, float eps = 1e-8f);
 
     void step() override;
+
+    /** Snapshot the step count and moment estimates. */
+    AdamState exportState() const;
+
+    /**
+     * Restore a snapshot; fatal() when the moment shapes do not match
+     * this optimizer's parameters (checkpoint for a different model).
+     */
+    void importState(const AdamState &state);
+
+    /** Optimizer steps taken so far (drives bias correction). */
+    std::size_t stepCount() const { return t_; }
 
   private:
     float beta1_;
@@ -94,6 +118,9 @@ class WarmupDecaySchedule
     void apply(Optimizer &opt);
 
     std::size_t step() const { return step_; }
+
+    /** Reposition the schedule (checkpoint resume). */
+    void setStep(std::size_t step) { step_ = step; }
 
   private:
     float peakLr_;

@@ -1,9 +1,11 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.hpp"
 #include "common/log.hpp"
 
 namespace mapzero::nn {
@@ -11,56 +13,384 @@ namespace mapzero::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4D5A4E4E; // "MZNN"
-constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+// --- ByteWriter -------------------------------------------------------
 
 void
-writeU32(std::ostream &os, std::uint32_t v)
+ByteWriter::u8(std::uint8_t v)
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    buf_.push_back(static_cast<char>(v));
 }
 
-std::uint32_t
-readU32(std::istream &is)
+void
+ByteWriter::u32(std::uint32_t v)
 {
-    std::uint32_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::i32(std::int32_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::f32(float v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+ByteWriter::bytes(const void *data, std::size_t size)
+{
+    buf_.append(static_cast<const char *>(data), size);
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void
+ByteWriter::tensor(const Tensor &t)
+{
+    u32(static_cast<std::uint32_t>(t.rank()));
+    u32(static_cast<std::uint32_t>(t.rows()));
+    u32(static_cast<std::uint32_t>(t.cols()));
+    u64(t.size());
+    bytes(t.data().data(), t.size() * sizeof(float));
+}
+
+// --- ByteReader -------------------------------------------------------
+
+ByteReader::ByteReader(std::string_view bytes, std::string context)
+    : bytes_(bytes), context_(std::move(context))
+{}
+
+void
+ByteReader::bytes(void *out, std::size_t size)
+{
+    if (size > bytes_.size() - pos_)
+        fatal(cat("truncated ", context_, ": wanted ", size,
+                  " bytes, ", bytes_.size() - pos_, " left"));
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    std::uint8_t v = 0;
+    bytes(&v, sizeof(v));
     return v;
 }
 
-void
-writeString(std::ostream &os, const std::string &s)
+std::uint32_t
+ByteReader::u32()
 {
-    writeU32(os, static_cast<std::uint32_t>(s.size()));
-    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    std::uint32_t v = 0;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    std::uint64_t v = 0;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+std::int32_t
+ByteReader::i32()
+{
+    std::int32_t v = 0;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+float
+ByteReader::f32()
+{
+    float v = 0.0f;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    double v = 0.0;
+    bytes(&v, sizeof(v));
+    return v;
 }
 
 std::string
-readString(std::istream &is)
+ByteReader::str()
 {
-    const std::uint32_t n = readU32(is);
-    std::string s(n, '\0');
-    is.read(s.data(), n);
+    const std::uint32_t n = u32();
+    if (n > bytes_.size() - pos_)
+        fatal(cat("truncated ", context_, ": string of ", n,
+                  " bytes, ", bytes_.size() - pos_, " left"));
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
     return s;
 }
 
-} // namespace
+Tensor
+ByteReader::tensor()
+{
+    const std::uint32_t rank = u32();
+    const std::uint32_t rows = u32();
+    const std::uint32_t cols = u32();
+    const std::uint64_t size = u64();
+    if (rank > 2)
+        fatal(cat("corrupt ", context_, ": tensor rank ", rank));
+    std::vector<float> data(size);
+    bytes(data.data(), size * sizeof(float));
+    switch (rank) {
+    case 0:
+        return Tensor(data.empty() ? 0.0f : data[0]);
+    case 1:
+        return Tensor(std::move(data));
+    default:
+        if (static_cast<std::uint64_t>(rows) * cols != size)
+            fatal(cat("corrupt ", context_, ": tensor ", rows, "x",
+                      cols, " carries ", size, " values"));
+        return Tensor(rows, cols, std::move(data));
+    }
+}
+
+void
+ByteReader::tensorInto(Tensor &into, const std::string &what)
+{
+    const std::uint32_t rank = u32();
+    const std::uint32_t rows = u32();
+    const std::uint32_t cols = u32();
+    const std::uint64_t size = u64();
+    if (rank != into.rank() || rows != into.rows() ||
+        cols != into.cols() || size != into.size())
+        fatal(cat(context_, ": shape mismatch for ", what));
+    bytes(into.data().data(), size * sizeof(float));
+}
+
+void
+ByteReader::skip(std::size_t size)
+{
+    if (size > bytes_.size() - pos_)
+        fatal(cat("truncated ", context_, ": wanted ", size,
+                  " bytes, ", bytes_.size() - pos_, " left"));
+    pos_ += size;
+}
+
+void
+ByteReader::expectEnd() const
+{
+    if (pos_ != bytes_.size())
+        fatal(cat("corrupt ", context_, ": ", bytes_.size() - pos_,
+                  " trailing bytes"));
+}
+
+// --- Container --------------------------------------------------------
+
+void
+CheckpointWriter::addSection(const std::string &name, std::string payload)
+{
+    for (const auto &[existing, _] : sections_) {
+        if (existing == name)
+            panic("duplicate checkpoint section: " + name);
+    }
+    sections_.emplace_back(name, std::move(payload));
+}
+
+std::string
+CheckpointWriter::finish() const
+{
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kCheckpointVersion);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto &[name, payload] : sections_) {
+        w.str(name);
+        w.u64(payload.size());
+        w.bytes(payload.data(), payload.size());
+    }
+    const std::uint32_t crc = crc32(w.buffer());
+    w.u32(crc);
+    return std::string(w.take());
+}
+
+void
+CheckpointWriter::writeFile(const std::string &path) const
+{
+    const std::string bytes = finish();
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open checkpoint for writing: " + tmp);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os)
+            fatal("failed writing checkpoint: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        fatal(cat("cannot move checkpoint into place: ", tmp, " -> ",
+                  path, " (", ec.message(), ")"));
+}
+
+CheckpointReader::CheckpointReader(std::string bytes, std::string context)
+    : bytes_(std::move(bytes)), context_(std::move(context))
+{
+    // Verify the CRC footer over the raw bytes before trusting any of
+    // the framing: a flipped bit anywhere fails here, not deep inside a
+    // section parse.
+    if (bytes_.size() < sizeof(std::uint32_t) * 4)
+        fatal(cat("not a MapZero checkpoint (", context_,
+                  " is too short)"));
+    const std::size_t body_size = bytes_.size() - sizeof(std::uint32_t);
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes_.data() + body_size,
+                sizeof(stored_crc));
+    const std::uint32_t actual_crc = crc32(bytes_.data(), body_size);
+
+    ByteReader r(std::string_view(bytes_.data(), body_size), context_);
+    if (r.u32() != kMagic)
+        fatal(cat("not a MapZero checkpoint (bad magic): ", context_));
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion)
+        fatal(cat("unsupported checkpoint version ", version, " in ",
+                  context_, " (expected ", kCheckpointVersion, ")"));
+    if (stored_crc != actual_crc)
+        fatal(cat("corrupt checkpoint (CRC mismatch): ", context_));
+
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string name = r.str();
+        const std::uint64_t size = r.u64();
+        if (size > r.remaining())
+            fatal(cat("truncated ", context_, ": section '", name,
+                      "' claims ", size, " bytes"));
+        sections_.emplace_back(
+            name, std::string_view(bytes_.data() + r.pos(),
+                                   static_cast<std::size_t>(size)));
+        r.skip(static_cast<std::size_t>(size));
+    }
+    r.expectEnd();
+}
+
+CheckpointReader
+CheckpointReader::fromFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open checkpoint for reading: " + path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (!is && !is.eof())
+        fatal("failed reading checkpoint: " + path);
+    return CheckpointReader(buffer.str(), path);
+}
+
+bool
+CheckpointReader::hasSection(const std::string &name) const
+{
+    for (const auto &[existing, _] : sections_) {
+        if (existing == name)
+            return true;
+    }
+    return false;
+}
+
+std::string_view
+CheckpointReader::section(const std::string &name) const
+{
+    for (const auto &[existing, payload] : sections_) {
+        if (existing == name)
+            return payload;
+    }
+    fatal(cat("checkpoint ", context_, " has no '", name,
+              "' section"));
+}
+
+// --- Module payloads --------------------------------------------------
+
+std::string
+moduleToBytes(const Module &module)
+{
+    const auto named = module.namedParameters();
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(named.size()));
+    for (const auto &[name, p] : named) {
+        w.str(name);
+        w.tensor(p.tensor());
+    }
+    return w.take();
+}
+
+void
+moduleFromBytes(Module &module, std::string_view payload,
+                const std::string &context)
+{
+    const auto named = module.namedParameters();
+
+    // Pass 1: validate the whole payload (names, shapes, framing)
+    // without touching the module, so a mismatch never partially loads.
+    {
+        ByteReader r(payload, context);
+        const std::uint32_t count = r.u32();
+        if (count != named.size())
+            fatal(cat(context, " has ", count, " tensors, module "
+                      "expects ", named.size()));
+        for (const auto &[name, p] : named) {
+            const std::string stored = r.str();
+            if (stored != name)
+                fatal(cat(context, ": checkpoint tensor '", stored,
+                          "' does not match parameter '", name, "'"));
+            const Tensor &t = p.tensor();
+            Tensor probe = Tensor::zerosLike(t);
+            r.tensorInto(probe, name);
+        }
+        r.expectEnd();
+    }
+
+    // Pass 2: the payload is fully valid; copy the data in.
+    ByteReader r(payload, context);
+    r.u32();
+    for (const auto &[name, p] : named) {
+        r.str();
+        r.tensorInto(p.node()->value, name);
+    }
+}
+
+// --- Weights-only containers ------------------------------------------
 
 void
 saveModule(const Module &module, std::ostream &os)
 {
-    const auto named = module.namedParameters();
-    writeU32(os, kMagic);
-    writeU32(os, kVersion);
-    writeU32(os, static_cast<std::uint32_t>(named.size()));
-    for (const auto &[name, p] : named) {
-        const Tensor &t = p.tensor();
-        writeString(os, name);
-        writeU32(os, static_cast<std::uint32_t>(t.rank()));
-        writeU32(os, static_cast<std::uint32_t>(t.rows()));
-        writeU32(os, static_cast<std::uint32_t>(t.cols()));
-        os.write(reinterpret_cast<const char *>(t.data().data()),
-                 static_cast<std::streamsize>(t.size() * sizeof(float)));
-    }
+    CheckpointWriter writer;
+    writer.addSection("module", moduleToBytes(module));
+    const std::string bytes = writer.finish();
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!os)
         fatal("failed writing module checkpoint stream");
 }
@@ -68,49 +398,26 @@ saveModule(const Module &module, std::ostream &os)
 void
 saveModule(const Module &module, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open checkpoint for writing: " + path);
-    saveModule(module, os);
+    CheckpointWriter writer;
+    writer.addSection("module", moduleToBytes(module));
+    writer.writeFile(path);
 }
 
 void
 loadModule(Module &module, std::istream &is)
 {
-    if (readU32(is) != kMagic)
-        fatal("not a MapZero checkpoint (bad magic)");
-    if (readU32(is) != kVersion)
-        fatal("unsupported checkpoint version");
-    const std::uint32_t count = readU32(is);
-    const auto named = module.namedParameters();
-    if (count != named.size())
-        fatal(cat("checkpoint has ", count, " tensors, module expects ",
-                  named.size()));
-    for (const auto &[name, p] : named) {
-        const std::string stored = readString(is);
-        if (stored != name)
-            fatal(cat("checkpoint tensor '", stored,
-                      "' does not match parameter '", name, "'"));
-        const std::uint32_t rank = readU32(is);
-        const std::uint32_t rows = readU32(is);
-        const std::uint32_t cols = readU32(is);
-        Tensor &t = p.node()->value;
-        if (rank != t.rank() || rows != t.rows() || cols != t.cols())
-            fatal(cat("checkpoint shape mismatch for '", name, "'"));
-        is.read(reinterpret_cast<char *>(t.data().data()),
-                static_cast<std::streamsize>(t.size() * sizeof(float)));
-    }
-    if (!is)
-        fatal("failed reading module checkpoint stream");
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const CheckpointReader reader(buffer.str(), "module checkpoint");
+    moduleFromBytes(module, reader.section("module"),
+                    "module checkpoint");
 }
 
 void
 loadModule(Module &module, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        fatal("cannot open checkpoint for reading: " + path);
-    loadModule(module, is);
+    const CheckpointReader reader = CheckpointReader::fromFile(path);
+    moduleFromBytes(module, reader.section("module"), path);
 }
 
 } // namespace mapzero::nn

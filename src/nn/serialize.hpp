@@ -1,28 +1,169 @@
 /**
  * @file
- * Checkpointing: write/read every named parameter of a Module to a simple
- * binary container so a pre-trained agent can be reused at inference time
- * (paper §3.6.2 relies on a pre-trained network for fast online mapping).
+ * Checkpointing: the MZNN container (version 2) used by every durable
+ * artifact in the repo — weights-only module checkpoints (paper §3.6.2
+ * relies on a pre-trained network for fast online mapping) and the full
+ * trainer checkpoints that make long curriculum runs crash-safe.
+ *
+ * Container layout (all little-endian, parsed strictly from memory):
+ *
+ *   u32 magic "MZNN" | u32 version | u32 sectionCount
+ *   per section: string name | u64 payloadSize | payload bytes
+ *   u32 CRC-32 of every preceding byte
+ *
+ * The CRC footer is verified before any section is parsed, so a
+ * truncated or bit-flipped file is rejected as a whole — a load either
+ * succeeds completely or mutates nothing. File writes go through a
+ * temp-file + atomic-rename so a crash mid-write can never leave a
+ * half-written checkpoint under the real name.
  */
 
 #ifndef MAPZERO_NN_SERIALIZE_HPP
 #define MAPZERO_NN_SERIALIZE_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "nn/module.hpp"
 
 namespace mapzero::nn {
 
-/** Write all named parameters of @p module to @p os. */
+/** Current MZNN container version (v1 was the unframed weights dump). */
+constexpr std::uint32_t kCheckpointVersion = 2;
+
+/** Little-endian append-only byte sink for section payloads. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v);
+    void f32(float v);
+    void f64(double v);
+    void bytes(const void *data, std::size_t size);
+    void str(const std::string &s);
+    /** rank | rows | cols | row-major floats. */
+    void tensor(const Tensor &t);
+
+    const std::string &buffer() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked cursor over an in-memory payload. Reading past the end
+ * raises fatal() naming @p context, so corrupt framing surfaces as a
+ * clean error instead of garbage values.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(std::string_view bytes, std::string context);
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    float f32();
+    double f64();
+    void bytes(void *out, std::size_t size);
+    std::string str();
+    /** Rebuild a tensor written by ByteWriter::tensor. */
+    Tensor tensor();
+    /** Read tensor data into @p into; fatal on any shape mismatch. */
+    void tensorInto(Tensor &into, const std::string &what);
+
+    /** Advance the cursor without reading (fatal past the end). */
+    void skip(std::size_t size);
+
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    /** fatal() when trailing bytes remain (framing error). */
+    void expectEnd() const;
+
+  private:
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+    std::string context_;
+};
+
+/** Assembles an MZNN v2 container from named section payloads. */
+class CheckpointWriter
+{
+  public:
+    /** Append a section (names must be unique; order is preserved). */
+    void addSection(const std::string &name, std::string payload);
+
+    /** The complete framed container, CRC footer included. */
+    std::string finish() const;
+
+    /**
+     * Write the container to @p path via "<path>.tmp" + atomic rename.
+     * Readers never observe a partial file; a crash leaves at worst a
+     * stale .tmp next to the previous (still valid) checkpoint.
+     */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/**
+ * Parses and validates a container: magic, version, CRC footer, and
+ * section framing are all checked up front (fatal() on any defect), so
+ * a constructed reader only hands out intact payloads.
+ */
+class CheckpointReader
+{
+  public:
+    /** @param context name used in error messages (e.g. the file path) */
+    explicit CheckpointReader(std::string bytes,
+                              std::string context = "checkpoint");
+
+    /** Read and validate @p path in one go. */
+    static CheckpointReader fromFile(const std::string &path);
+
+    bool hasSection(const std::string &name) const;
+
+    /** Payload of @p name; fatal() when the section is missing. */
+    std::string_view section(const std::string &name) const;
+
+    const std::string &context() const { return context_; }
+
+  private:
+    std::string bytes_;
+    std::string context_;
+    std::vector<std::pair<std::string, std::string_view>> sections_;
+};
+
+/** Serialize all named parameters of @p module to a section payload. */
+std::string moduleToBytes(const Module &module);
+
+/**
+ * Load parameters from a payload produced by moduleToBytes.
+ *
+ * Validates every name and shape against @p module before writing any
+ * tensor, so a mismatched checkpoint (different architecture) raises
+ * fatal() with the module left untouched.
+ */
+void moduleFromBytes(Module &module, std::string_view payload,
+                     const std::string &context);
+
+/** Write a weights-only container ("module" section) to @p os. */
 void saveModule(const Module &module, std::ostream &os);
 
-/** Write all named parameters of @p module to @p path (throws on I/O error). */
+/** Write a weights-only container to @p path atomically. */
 void saveModule(const Module &module, const std::string &path);
 
 /**
- * Load parameters into @p module.
+ * Load parameters into @p module from a weights-only container.
  *
  * The stream must contain exactly the module's parameter names and shapes;
  * mismatches raise fatal() since a checkpoint for a different architecture

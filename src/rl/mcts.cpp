@@ -67,19 +67,14 @@ Mcts::Mcts(Evaluator &evaluator, MctsConfig config)
 
 namespace {
 
-/** Sample a Dirichlet(alpha) vector via gamma draws. */
+/** Sample a Dirichlet(alpha) vector via normalized Gamma(alpha) draws. */
 std::vector<double>
 dirichlet(std::size_t k, double alpha, Rng &rng)
 {
-    // Gamma(alpha < 1) via Ahrens-Dieter; adequate for noise purposes.
     std::vector<double> draws(k, 0.0);
     double sum = 0.0;
     for (auto &d : draws) {
-        // Use the sum of -alpha*log(u) approximation for small alpha:
-        // a single Exp draw raised appropriately keeps the spirit of the
-        // noise without a full gamma sampler.
-        const double u = std::max(rng.uniformReal(), 1e-12);
-        d = std::pow(u, 1.0 / alpha);
+        d = rng.gamma(alpha);
         sum += d;
     }
     if (sum <= 0.0)
@@ -93,9 +88,11 @@ dirichlet(std::size_t k, double alpha, Rng &rng)
 
 bool
 Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
-               std::vector<std::int32_t> &solved_path)
+               std::vector<std::int32_t> &solved_path,
+               std::int64_t &interior_visits)
 {
     struct PathEntry {
+        TreeNode *parent;
         TreeNode::Edge *edge;
         double reward;
     };
@@ -171,7 +168,7 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
 
         const mapper::StepOutcome out = env.step(best->action);
         actions.push_back(best->action);
-        path.push_back(PathEntry{best, out.reward});
+        path.push_back(PathEntry{node, best, out.reward});
         if (!best->child) {
             best->child = std::make_unique<TreeNode>();
             MctsMetrics::get().nodes.add();
@@ -180,14 +177,20 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
     }
 
     // --- Backpropagation ----------------------------------------------
-    // Return seen from each traversed edge: rewards after it + leaf value.
+    // Return seen from each traversed edge: rewards after it + leaf
+    // value. Every node an edge was selected from — the root AND the
+    // interior nodes — bumps its visit total, since that total feeds the
+    // sqrt(N) numerator of its children's exploration term; skipping the
+    // interior ones would freeze deep exploration at sqrt(0 + 1).
     double suffix = leaf_value;
     for (auto it = path.rbegin(); it != path.rend(); ++it) {
         suffix += it->reward;
         it->edge->visits += 1;
         it->edge->totalValue += suffix;
+        it->parent->totalVisits += 1;
+        if (it->parent != &root)
+            interior_visits += 1;
     }
-    root.totalVisits += 1;
 
     // Restore the environment.
     for (std::size_t i = 0; i < actions.size(); ++i)
@@ -214,7 +217,8 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
     std::vector<std::int32_t> solved_path;
     for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {
         m.simulations.add();
-        if (simulate(root, env, rng, solved_path)) {
+        if (simulate(root, env, rng, solved_path,
+                     result.interiorVisits)) {
             result.solvedSuffix = solved_path;
             m.solvedSuffixes.add();
             break;

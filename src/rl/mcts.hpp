@@ -54,6 +54,13 @@ struct MctsMoveResult {
     /** Root value estimate (scaled return). */
     double rootValue = 0.0;
     /**
+     * Visit-count increments applied to non-root tree nodes during this
+     * move. Regression guard: interior nodes must accumulate visit
+     * totals (they drive the sqrt(N) exploration term), so this grows
+     * with the simulation budget on any search deeper than one ply.
+     */
+    std::int64_t interiorVisits = 0;
+    /**
      * When a simulation completed the whole mapping successfully: the
      * action suffix (from the current state) that realizes it.
      */
@@ -87,7 +94,8 @@ class Mcts
 
     /** One simulation; returns true when it solved the whole mapping. */
     bool simulate(TreeNode &root, mapper::MapEnv &env, Rng &rng,
-                  std::vector<std::int32_t> &solved_path);
+                  std::vector<std::int32_t> &solved_path,
+                  std::int64_t &interior_visits);
 
     /** Set when constructed from a bare network. */
     std::unique_ptr<DirectEvaluator> owned_;

@@ -1,5 +1,7 @@
 #include "rl/replay.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace mapzero::rl {
@@ -44,9 +46,39 @@ ReplayBuffer::sampleBatch(std::size_t batch_size, Rng &rng)
     for (std::size_t i = 0; i < batch_size; ++i) {
         const std::size_t idx = rng.weightedIndex(priorities_);
         batch.push_back(&samples_[idx]);
-        priorities_[idx] *= 0.5;
+        priorities_[idx] = std::max(priorities_[idx] * 0.5,
+                                    kPriorityFloor);
     }
     return batch;
+}
+
+ReplaySnapshot
+ReplayBuffer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReplaySnapshot snap;
+    snap.samples = samples_;
+    snap.priorities = priorities_;
+    snap.cursor = next_;
+    return snap;
+}
+
+void
+ReplayBuffer::restore(ReplaySnapshot snap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snap.samples.size() != snap.priorities.size())
+        fatal(cat("replay snapshot has ", snap.samples.size(),
+                  " samples but ", snap.priorities.size(),
+                  " priorities"));
+    if (snap.samples.size() > capacity_)
+        fatal(cat("replay snapshot of ", snap.samples.size(),
+                  " samples exceeds buffer capacity ", capacity_));
+    if (snap.cursor >= capacity_ && !snap.samples.empty())
+        fatal("replay snapshot cursor out of range");
+    samples_ = std::move(snap.samples);
+    priorities_ = std::move(snap.priorities);
+    next_ = snap.cursor;
 }
 
 } // namespace mapzero::rl

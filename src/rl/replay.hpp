@@ -27,6 +27,18 @@ struct TrainingSample {
 };
 
 /**
+ * A replay buffer's complete contents, detached from the buffer's lock:
+ * what trainer checkpoints persist and restore. `cursor` is the ring
+ * eviction position so a restored buffer evicts in the same order the
+ * original would have.
+ */
+struct ReplaySnapshot {
+    std::vector<TrainingSample> samples;
+    std::vector<double> priorities;
+    std::size_t cursor = 0;
+};
+
+/**
  * Ring buffer with sampling priorities.
  *
  * Bookkeeping is guarded by an internal mutex so concurrent self-play
@@ -51,10 +63,25 @@ class ReplayBuffer
     /**
      * Draw @p batch_size samples by priority (with replacement when the
      * buffer is smaller than the batch). Sampled entries get their
-     * priority halved.
+     * priority halved, floored at kPriorityFloor so long runs cannot
+     * drive weights into denormals (which would starve every entry and
+     * degrade weightedIndex to its uniform fallback).
      */
     std::vector<const TrainingSample *> sampleBatch(std::size_t batch_size,
                                                     Rng &rng);
+
+    /** Lower bound a sampled entry's priority can be halved to. */
+    static constexpr double kPriorityFloor = 1e-6;
+
+    /** Deep copy of the contents (checkpointing). Thread-safe. */
+    ReplaySnapshot snapshot() const;
+
+    /**
+     * Replace the contents with @p snap (checkpoint resume); fatal()
+     * when the snapshot exceeds this buffer's capacity or its
+     * sample/priority counts disagree.
+     */
+    void restore(ReplaySnapshot snap);
 
   private:
     std::size_t capacity_;

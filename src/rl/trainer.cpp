@@ -1,6 +1,7 @@
 #include "rl/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "common/log.hpp"
@@ -9,10 +10,20 @@
 #include "common/trace.hpp"
 #include "dfg/random_gen.hpp"
 #include "dfg/schedule.hpp"
+#include "nn/serialize.hpp"
 
 namespace mapzero::rl {
 
 namespace {
+
+/**
+ * Stream id of the curriculum task generator. Tasks are drawn from a
+ * seed-derived stream rather than the live training rng_, so the task
+ * list is a pure function of (seed, episodes, node range) and a resumed
+ * pretrain() regenerates it identically without replaying the episodes
+ * that produced the checkpointed rng_ state.
+ */
+constexpr std::uint64_t kCurriculumStream = 0x43555252u; // "CURR"
 
 /** Publish an episode's learning-curve record into the registry. */
 void
@@ -54,7 +65,198 @@ appendStatsJsonl(const std::string &path, const EpisodeStats &stats)
        << ", \"learningRate\": " << stats.learningRate << "}\n";
 }
 
+void
+writeEdges(nn::ByteWriter &w, const nn::EdgeList &edges)
+{
+    w.u64(edges.size());
+    for (const auto &[src, dst] : edges) {
+        w.i32(src);
+        w.i32(dst);
+    }
+}
+
+nn::EdgeList
+readEdges(nn::ByteReader &r)
+{
+    const std::uint64_t count = r.u64();
+    nn::EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::int32_t src = r.i32();
+        const std::int32_t dst = r.i32();
+        edges.emplace_back(src, dst);
+    }
+    return edges;
+}
+
+void
+writeObservation(nn::ByteWriter &w, const Observation &obs)
+{
+    w.tensor(obs.dfgFeatures);
+    writeEdges(w, obs.dfgEdges);
+    w.tensor(obs.cgraFeatures);
+    writeEdges(w, obs.cgraEdges);
+    w.tensor(obs.metadata);
+    w.u64(obs.actionMask.size());
+    for (const bool legal : obs.actionMask)
+        w.u8(legal ? 1 : 0);
+}
+
+Observation
+readObservation(nn::ByteReader &r)
+{
+    Observation obs;
+    obs.dfgFeatures = r.tensor();
+    obs.dfgEdges = readEdges(r);
+    obs.cgraFeatures = r.tensor();
+    obs.cgraEdges = readEdges(r);
+    obs.metadata = r.tensor();
+    const std::uint64_t mask_size = r.u64();
+    obs.actionMask.resize(static_cast<std::size_t>(mask_size));
+    for (std::uint64_t i = 0; i < mask_size; ++i)
+        obs.actionMask[static_cast<std::size_t>(i)] = r.u8() != 0;
+    return obs;
+}
+
 } // namespace
+
+void
+Trainer::saveCheckpoint(const std::string &path) const
+{
+    nn::CheckpointWriter writer;
+
+    nn::ByteWriter trainer;
+    trainer.i32(arch_->peCount());
+    trainer.u64(seed_);
+    trainer.i32(episodeCounter_);
+    trainer.u8(bufferFillAnnounced_ ? 1 : 0);
+    writer.addSection("trainer", trainer.take());
+
+    writer.addSection("module", nn::moduleToBytes(*net_));
+
+    nn::ByteWriter optim;
+    const nn::AdamState adam = optimizer_->exportState();
+    optim.u64(adam.step);
+    optim.u64(adam.firstMoments.size());
+    for (const auto &m : adam.firstMoments)
+        optim.tensor(m);
+    for (const auto &v : adam.secondMoments)
+        optim.tensor(v);
+    writer.addSection("optim", optim.take());
+
+    nn::ByteWriter lr;
+    lr.u64(lrSchedule_.step());
+    writer.addSection("lr", lr.take());
+
+    nn::ByteWriter rng;
+    const RngState rng_state = rng_.state();
+    for (const std::uint64_t word : rng_state.s)
+        rng.u64(word);
+    rng.u8(rng_state.hasSpareNormal ? 1 : 0);
+    rng.f64(rng_state.spareNormal);
+    writer.addSection("rng", rng.take());
+
+    nn::ByteWriter replay;
+    const ReplaySnapshot snap = replay_.snapshot();
+    replay.u64(replay_.capacity());
+    replay.u64(snap.cursor);
+    replay.u64(snap.samples.size());
+    for (const TrainingSample &sample : snap.samples) {
+        writeObservation(replay, sample.observation);
+        replay.u64(sample.pi.size());
+        for (const double p : sample.pi)
+            replay.f64(p);
+        replay.f64(sample.value);
+    }
+    for (const double priority : snap.priorities)
+        replay.f64(priority);
+    writer.addSection("replay", replay.take());
+
+    writer.writeFile(path);
+}
+
+void
+Trainer::loadCheckpoint(const std::string &path)
+{
+    const nn::CheckpointReader reader =
+        nn::CheckpointReader::fromFile(path);
+
+    nn::ByteReader trainer(reader.section("trainer"), path);
+    const std::int32_t pe_count = trainer.i32();
+    if (pe_count != arch_->peCount())
+        fatal(cat("checkpoint ", path, " was trained for a ", pe_count,
+                  "-PE fabric, this trainer targets ",
+                  arch_->peCount(), " PEs"));
+    const std::uint64_t seed = trainer.u64();
+    const std::int32_t episodes_done = trainer.i32();
+    const bool announced = trainer.u8() != 0;
+    trainer.expectEnd();
+    if (seed != seed_)
+        warn(cat("checkpoint ", path, " was written with seed ", seed,
+                 ", adopting it over the constructor's ", seed_));
+
+    nn::moduleFromBytes(*net_, reader.section("module"), path);
+
+    nn::ByteReader optim(reader.section("optim"), path);
+    nn::AdamState adam;
+    adam.step = static_cast<std::size_t>(optim.u64());
+    const std::uint64_t moment_count = optim.u64();
+    adam.firstMoments.reserve(
+        static_cast<std::size_t>(moment_count));
+    adam.secondMoments.reserve(
+        static_cast<std::size_t>(moment_count));
+    for (std::uint64_t i = 0; i < moment_count; ++i)
+        adam.firstMoments.push_back(optim.tensor());
+    for (std::uint64_t i = 0; i < moment_count; ++i)
+        adam.secondMoments.push_back(optim.tensor());
+    optim.expectEnd();
+    optimizer_->importState(adam);
+
+    nn::ByteReader lr(reader.section("lr"), path);
+    lrSchedule_.setStep(static_cast<std::size_t>(lr.u64()));
+    lr.expectEnd();
+
+    nn::ByteReader rng(reader.section("rng"), path);
+    RngState rng_state;
+    for (auto &word : rng_state.s)
+        word = rng.u64();
+    rng_state.hasSpareNormal = rng.u8() != 0;
+    rng_state.spareNormal = rng.f64();
+    rng.expectEnd();
+    rng_.setState(rng_state);
+
+    nn::ByteReader replay(reader.section("replay"), path);
+    const std::uint64_t capacity = replay.u64();
+    if (capacity != replay_.capacity())
+        warn(cat("checkpoint replay capacity ", capacity,
+                 " differs from the configured ", replay_.capacity()));
+    ReplaySnapshot snap;
+    snap.cursor = static_cast<std::size_t>(replay.u64());
+    const std::uint64_t sample_count = replay.u64();
+    snap.samples.reserve(static_cast<std::size_t>(sample_count));
+    for (std::uint64_t i = 0; i < sample_count; ++i) {
+        TrainingSample sample;
+        sample.observation = readObservation(replay);
+        const std::uint64_t pi_size = replay.u64();
+        sample.pi.resize(static_cast<std::size_t>(pi_size));
+        for (auto &p : sample.pi)
+            p = replay.f64();
+        sample.value = replay.f64();
+        snap.samples.push_back(std::move(sample));
+    }
+    snap.priorities.resize(static_cast<std::size_t>(sample_count));
+    for (auto &priority : snap.priorities)
+        priority = replay.f64();
+    replay.expectEnd();
+    replay_.restore(std::move(snap));
+
+    seed_ = seed;
+    episodeCounter_ = episodes_done;
+    bufferFillAnnounced_ = announced;
+    inform(cat("restored trainer checkpoint ", path, " (",
+               episodes_done, " episodes, ", sample_count,
+               " replay samples, optimizer step ", adam.step, ")"));
+}
 
 Trainer::Trainer(const cgra::Architecture &arch, TrainerConfig config,
                  std::uint64_t seed)
@@ -255,8 +457,10 @@ Trainer::absorbEpisode(SelfPlayOutcome outcome, std::int32_t episode)
 void
 Trainer::trainStep(EpisodeStats &stats)
 {
+    static Counter &divergence_skips =
+        metrics().counter("trainer.divergence_skips");
+
     const auto batch = replay_.sampleBatch(config_.batchSize, rng_);
-    lrSchedule_.apply(*optimizer_);
     optimizer_->zeroGrad();
 
     double value_loss_acc = 0.0;
@@ -291,7 +495,24 @@ Trainer::trainStep(EpisodeStats &stats)
     for (std::size_t i = 1; i < losses.size(); ++i)
         loss_sum = nn::add(loss_sum, losses[i]);
     loss_sum.backward();
-    nn::clipGradNorm(net_->parameters(), config_.gradClip);
+    const float grad_norm =
+        nn::clipGradNorm(net_->parameters(), config_.gradClip);
+
+    // Divergence guard: a non-finite loss or gradient norm would write
+    // NaN/Inf into the weights and Adam moments, poisoning the run from
+    // this step onward. Skip the update (LR schedule included, so the
+    // schedule position keeps matching the optimizer step count) and
+    // surface the event through a counter instead.
+    if (!std::isfinite(value_loss_acc + policy_loss_acc) ||
+        !std::isfinite(grad_norm)) {
+        divergence_skips.add();
+        warn(cat("skipping a diverged gradient step (loss=",
+                 value_loss_acc + policy_loss_acc, ", grad norm=",
+                 grad_norm, ")"));
+        return;
+    }
+
+    lrSchedule_.apply(*optimizer_);
     optimizer_->step();
 
     const auto n = static_cast<double>(batch.size());
@@ -336,15 +557,39 @@ Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
         metrics().gauge("trainer.episodes_per_sec");
 
     // Curriculum: random DFGs sorted easy to hard (§3.6.2); the
-    // ablation arm shuffles the same task set instead.
-    auto tasks = dfg::curriculum(episodes, min_nodes, max_nodes, rng_);
+    // ablation arm shuffles the same task set instead. Drawn from a
+    // seed-derived stream (not rng_) so a resumed run regenerates the
+    // exact task list without disturbing the restored training stream.
+    Rng task_rng(Rng::deriveSeed(seed_, kCurriculumStream));
+    auto tasks = dfg::curriculum(episodes, min_nodes, max_nodes,
+                                 task_rng);
     if (!config_.curriculum)
-        rng_.shuffle(tasks);
+        task_rng.shuffle(tasks);
+
+    // episodeCounter_ is the resume position: a freshly constructed
+    // trainer starts at task 0, one restored from a checkpoint skips
+    // the episodes the saved run already absorbed.
+    if (episodeCounter_ > static_cast<std::int32_t>(tasks.size()))
+        fatal(cat("checkpoint is ", episodeCounter_, " episodes in, "
+                  "but this pretrain run only has ", tasks.size()));
+    if (episodeCounter_ > 0)
+        inform(cat("resuming pretrain at episode ", episodeCounter_,
+                   " of ", tasks.size()));
 
     const auto task_mii = [this](const dfg::Dfg &task) {
         return std::max(dfg::minimumIi(task, arch_->peCount(),
                                        arch_->memoryIssueCapacity()),
                         1);
+    };
+    const auto periodic_save = [this] {
+        if (!config_.checkpointPath.empty() &&
+            config_.checkpointEvery > 0 &&
+            episodeCounter_ % config_.checkpointEvery == 0)
+            saveCheckpoint(config_.checkpointPath);
+    };
+    const auto run_capped = [this](std::int32_t ran_this_run) {
+        return config_.maxEpisodesPerRun > 0 &&
+               ran_this_run >= config_.maxEpisodesPerRun;
     };
 
     const std::size_t jobs = resolveJobs(
@@ -356,11 +601,17 @@ Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
 
     if (jobs <= 1) {
         // Sequential path: bit-identical to the single-threaded trainer.
-        for (const auto &task : tasks) {
-            if (deadline.expired())
+        while (episodeCounter_ < static_cast<std::int32_t>(tasks.size())) {
+            if (deadline.expired() ||
+                run_capped(static_cast<std::int32_t>(out.size())))
                 break;
+            const dfg::Dfg &task =
+                tasks[static_cast<std::size_t>(episodeCounter_)];
             out.push_back(runEpisode(task, task_mii(task)));
+            periodic_save();
         }
+        if (!config_.checkpointPath.empty())
+            saveCheckpoint(config_.checkpointPath);
         if (wall.seconds() > 0.0)
             throughput.set(static_cast<double>(out.size()) /
                            wall.seconds());
@@ -383,8 +634,9 @@ Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
         std::int32_t episode = 0;
         SelfPlayOutcome outcome;
     };
-    std::size_t next = 0;
-    while (next < tasks.size() && !deadline.expired()) {
+    std::size_t next = static_cast<std::size_t>(episodeCounter_);
+    while (next < tasks.size() && !deadline.expired() &&
+           !run_capped(static_cast<std::int32_t>(out.size()))) {
         const std::size_t wave =
             std::min(jobs, tasks.size() - next);
         std::vector<Slot> slots(wave);
@@ -408,7 +660,20 @@ Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
             out.push_back(
                 absorbEpisode(std::move(slot.outcome), slot.episode));
         next += wave;
+        // Saves land on wave boundaries: a rollout's weights snapshot
+        // depends on which wave it runs in, so resuming from inside a
+        // wave could not replay the original run bit-identically. A
+        // wave can step over a checkpointEvery multiple without
+        // landing on it, so save whenever one was crossed.
+        if (!config_.checkpointPath.empty() &&
+            config_.checkpointEvery > 0 &&
+            episodeCounter_ / config_.checkpointEvery !=
+                (episodeCounter_ - static_cast<std::int32_t>(wave)) /
+                    config_.checkpointEvery)
+            saveCheckpoint(config_.checkpointPath);
     }
+    if (!config_.checkpointPath.empty())
+        saveCheckpoint(config_.checkpointPath);
     if (wall.seconds() > 0.0)
         throughput.set(static_cast<double>(out.size()) / wall.seconds());
     return out;

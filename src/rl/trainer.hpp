@@ -71,6 +71,27 @@ struct TrainerConfig {
     std::int32_t selfPlayJobs = 0;
     /** Observations per coalesced forward pass in parallel self-play. */
     std::size_t evalBatchCap = 16;
+    /**
+     * Auto-save a full trainer checkpoint here during pretrain() (""
+     * disables). Writes are atomic (temp file + rename), so a crash at
+     * any instant leaves either the previous checkpoint or the new one,
+     * never a torn file.
+     */
+    std::string checkpointPath;
+    /**
+     * Save every this many completed episodes (0 disables periodic
+     * saves; a final save still happens when checkpointPath is set).
+     * With selfPlayJobs > 1 saves land on wave boundaries, which is
+     * what keeps a resumed parallel run bit-identical.
+     */
+    std::int32_t checkpointEvery = 0;
+    /**
+     * Stop pretrain() after this many episodes in this call (0 = no
+     * cap). Supports chunked training runs and deterministic
+     * crash-injection in the resume tests; with selfPlayJobs > 1 the
+     * cap is enforced at wave granularity.
+     */
+    std::int32_t maxEpisodesPerRun = 0;
 };
 
 /** Per-episode learning-curve record (drives Fig. 12). */
@@ -134,6 +155,31 @@ class Trainer
     EvalResult evaluateGreedy(const dfg::Dfg &dfg, std::int32_t ii) const;
 
     const std::vector<EpisodeStats> &history() const { return history_; }
+
+    /**
+     * Write a full training checkpoint to @p path (atomic): network
+     * parameters, Adam moments and step count, LR-schedule position,
+     * the replay buffer with priorities and ring cursor, the training
+     * RNG stream, and the episode counter. Everything a bit-identical
+     * resume needs; the stats history is not included (the JSONL sink
+     * is the durable record of past episodes).
+     */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore a checkpoint written by saveCheckpoint into this trainer.
+     * The trainer must be built for the same fabric (PE-count mismatch
+     * is fatal); the checkpoint's seed replaces the constructor's so
+     * derived self-play streams line up. Validation (CRC, framing,
+     * shapes) happens before any state is mutated — a corrupt file
+     * raises fatal() and leaves the trainer untouched. A subsequent
+     * pretrain() with the original arguments continues exactly where
+     * the saved run stopped.
+     */
+    void loadCheckpoint(const std::string &path);
+
+    /** Episodes completed so far (the resume position). */
+    std::int32_t episodesCompleted() const { return episodeCounter_; }
 
   private:
     /** One recorded self-play decision (return target filled later). */

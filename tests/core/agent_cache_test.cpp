@@ -98,5 +98,35 @@ TEST(AgentDiskCache, DisabledByDefault)
     EXPECT_NO_THROW(pretrainedNetwork(arch, tinyBudget()));
 }
 
+TEST(AgentDiskCache, TruncatedCheckpointFallsBackToTraining)
+{
+    EnvGuard guard;
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "mapzero_agent_cache_truncated";
+    std::filesystem::remove_all(dir);
+    setenv("MAPZERO_AGENT_CACHE_DIR", dir.c_str(), 1);
+
+    // Write a valid checkpoint, then cut it short - as a crash during
+    // a non-atomic write would have. The CRC footer is gone, so the
+    // loader must treat the file as a cache miss and retrain.
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    clearAgentCache();
+    ASSERT_NE(pretrainedNetwork(arch, tinyBudget()), nullptr);
+
+    std::filesystem::path ckpt;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".ckpt")
+            ckpt = entry.path();
+    ASSERT_FALSE(ckpt.empty());
+    const auto size = std::filesystem::file_size(ckpt);
+    std::filesystem::resize_file(ckpt, size / 2);
+
+    clearAgentCache();
+    EXPECT_NO_THROW(pretrainedNetwork(arch, tinyBudget()));
+    // The retrain rewrote a full-size checkpoint over the stub.
+    EXPECT_GT(std::filesystem::file_size(ckpt), size / 2);
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace
 } // namespace mapzero

@@ -135,5 +135,82 @@ TEST(WarmupDecaySchedule, BadDecayPanics)
                  std::logic_error);
 }
 
+TEST(WarmupDecaySchedule, SetStepRepositions)
+{
+    WarmupDecaySchedule walked(1.0f, 5, 0.9f, 0.01f);
+    WarmupDecaySchedule jumped(1.0f, 5, 0.9f, 0.01f);
+    Value p = Value::parameter(Tensor(1, 1, {0.0f}));
+    Sgd a({p}, 0.0f), b({p}, 0.0f);
+    for (int i = 0; i < 25; ++i)
+        walked.apply(a);
+    jumped.setStep(20);
+    for (int i = 0; i < 5; ++i)
+        jumped.apply(b);
+    EXPECT_EQ(walked.step(), jumped.step());
+    EXPECT_FLOAT_EQ(a.learningRate(), b.learningRate());
+}
+
+/** One ||p||^2 gradient step (deterministic, grads depend on p). */
+void
+quadraticStep(Optimizer &opt, Value &p)
+{
+    opt.zeroGrad();
+    Value loss = sumAll(square(p));
+    loss.backward();
+    opt.step();
+}
+
+TEST(Adam, StateRoundTripContinuesIdentically)
+{
+    Value warm = Value::parameter(
+        Tensor(2, 3, {0.5f, -1.0f, 2.0f, 0.25f, -0.75f, 1.5f}));
+    Adam original({warm}, 0.05f);
+    for (int i = 0; i < 3; ++i)
+        quadraticStep(original, warm);
+
+    const AdamState snap = original.exportState();
+    EXPECT_EQ(snap.step, 3u);
+    EXPECT_EQ(original.stepCount(), 3u);
+    const Tensor at_export = warm.tensor();
+
+    // A resumed optimizer (same weights + imported moments) must track
+    // the original bit for bit; a fresh one (zeroed moments) must not.
+    Value resumed_p = Value::parameter(at_export);
+    Adam resumed({resumed_p}, 0.05f);
+    resumed.importState(snap);
+    EXPECT_EQ(resumed.stepCount(), 3u);
+
+    Value fresh_p = Value::parameter(at_export);
+    Adam fresh({fresh_p}, 0.05f);
+
+    for (int i = 0; i < 4; ++i) {
+        quadraticStep(original, warm);
+        quadraticStep(resumed, resumed_p);
+        quadraticStep(fresh, fresh_p);
+    }
+    bool fresh_diverged = false;
+    for (std::size_t j = 0; j < warm.tensor().size(); ++j) {
+        ASSERT_EQ(warm.tensor()[j], resumed_p.tensor()[j]) << j;
+        fresh_diverged =
+            fresh_diverged || warm.tensor()[j] != fresh_p.tensor()[j];
+    }
+    EXPECT_TRUE(fresh_diverged);
+}
+
+TEST(Adam, ImportRejectsMismatchedState)
+{
+    Value p = Value::parameter(Tensor(1, 3, {1.0f, 2.0f, 3.0f}));
+    Adam opt({p}, 0.01f);
+    quadraticStep(opt, p);
+
+    AdamState wrong_count = opt.exportState();
+    wrong_count.firstMoments.clear();
+    EXPECT_THROW(opt.importState(wrong_count), std::runtime_error);
+
+    AdamState wrong_shape = opt.exportState();
+    wrong_shape.secondMoments[0] = Tensor(1, 4);
+    EXPECT_THROW(opt.importState(wrong_shape), std::runtime_error);
+}
+
 } // namespace
 } // namespace mapzero::nn

@@ -2,14 +2,50 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <vector>
 
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
 
 namespace mapzero::nn {
 namespace {
+
+std::vector<float>
+flatWeights(const Module &module)
+{
+    std::vector<float> out;
+    for (const auto &named : module.namedParameters())
+        for (std::size_t j = 0; j < named.second.tensor().size(); ++j)
+            out.push_back(named.second.tensor()[j]);
+    return out;
+}
+
+/** A serialized container for a small deterministic MLP. */
+std::string
+checkpointBytes(std::uint64_t seed = 10)
+{
+    Rng rng(seed);
+    Mlp m({4, 8, 2}, Activation::ReLU, Activation::None, rng);
+    std::stringstream buffer;
+    saveModule(m, buffer);
+    return buffer.str();
+}
+
+/** Expect the corrupt @p bytes to be rejected without a partial load. */
+void
+expectRejectedWithoutPartialLoad(const std::string &bytes)
+{
+    Rng rng(11);
+    Mlp victim({4, 8, 2}, Activation::ReLU, Activation::None, rng);
+    const std::vector<float> before = flatWeights(victim);
+    std::stringstream in(bytes);
+    EXPECT_THROW(loadModule(victim, in), std::runtime_error);
+    EXPECT_EQ(flatWeights(victim), before);
+}
 
 TEST(Serialize, RoundTripRestoresWeights)
 {
@@ -86,6 +122,132 @@ TEST(Serialize, MissingFileIsFatal)
     Mlp m({2, 2}, Activation::ReLU, Activation::None, rng);
     EXPECT_THROW(loadModule(m, "/nonexistent/path/net.bin"),
                  std::runtime_error);
+}
+
+TEST(Serialize, TruncatedCheckpointIsRejected)
+{
+    const std::string bytes = checkpointBytes();
+    // Every truncation point must fail cleanly, header included.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{11},
+          bytes.size() / 2, bytes.size() - 1})
+        expectRejectedWithoutPartialLoad(bytes.substr(0, keep));
+}
+
+TEST(Serialize, BitFlippedCheckpointIsRejected)
+{
+    const std::string bytes = checkpointBytes();
+    // Flip one bit in the header, the payload, and the CRC footer.
+    for (const std::size_t at :
+         {std::size_t{5}, bytes.size() / 2, bytes.size() - 2}) {
+        std::string corrupt = bytes;
+        corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+        expectRejectedWithoutPartialLoad(corrupt);
+    }
+}
+
+TEST(Serialize, WrongContainerVersionIsRejected)
+{
+    // Rewrite the version field (bytes 4..8, little-endian) to a
+    // future version and re-stamp the CRC footer so only the version
+    // check can fire.
+    std::string bytes = checkpointBytes();
+    ASSERT_GE(bytes.size(), 16u);
+    bytes[4] = 99;
+    bytes[5] = bytes[6] = bytes[7] = 0;
+    const std::uint32_t crc =
+        crc32(bytes.data(), bytes.size() - 4);
+    for (int i = 0; i < 4; ++i)
+        bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+            static_cast<char>((crc >> (8 * i)) & 0xFF);
+    expectRejectedWithoutPartialLoad(bytes);
+}
+
+TEST(Serialize, ShapeMismatchLeavesTargetUntouched)
+{
+    // CRC-valid container for a different architecture: the two-pass
+    // load must reject it before writing any tensor.
+    Rng rng(12);
+    Mlp source({4, 9, 2}, Activation::ReLU, Activation::None, rng);
+    std::stringstream buffer;
+    saveModule(source, buffer);
+
+    Rng rng2(13);
+    Mlp victim({4, 8, 2}, Activation::ReLU, Activation::None, rng2);
+    const std::vector<float> before = flatWeights(victim);
+    EXPECT_THROW(loadModule(victim, buffer), std::runtime_error);
+    EXPECT_EQ(flatWeights(victim), before);
+}
+
+TEST(Serialize, FileSaveIsAtomicAndLeavesNoTempFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/serialize_atomic_test.ckpt";
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+
+    Rng rng(14);
+    Mlp source({3, 5, 2}, Activation::Tanh, Activation::None, rng);
+    saveModule(source, path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    Rng rng2(15);
+    Mlp restored({3, 5, 2}, Activation::Tanh, Activation::None, rng2);
+    loadModule(restored, path);
+    EXPECT_EQ(flatWeights(restored), flatWeights(source));
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, SectionRoundTrip)
+{
+    ByteWriter alpha;
+    alpha.u32(7);
+    alpha.str("hello");
+    alpha.f64(1.5);
+    ByteWriter beta;
+    beta.i32(-3);
+
+    CheckpointWriter writer;
+    writer.addSection("alpha", alpha.take());
+    writer.addSection("beta", beta.take());
+    CheckpointReader reader(writer.finish(), "unit test");
+
+    EXPECT_TRUE(reader.hasSection("alpha"));
+    EXPECT_TRUE(reader.hasSection("beta"));
+    EXPECT_FALSE(reader.hasSection("gamma"));
+    EXPECT_THROW(reader.section("gamma"), std::runtime_error);
+
+    ByteReader a(reader.section("alpha"), "alpha");
+    EXPECT_EQ(a.u32(), 7u);
+    EXPECT_EQ(a.str(), "hello");
+    EXPECT_DOUBLE_EQ(a.f64(), 1.5);
+    a.expectEnd();
+
+    ByteReader b(reader.section("beta"), "beta");
+    EXPECT_EQ(b.i32(), -3);
+    b.expectEnd();
+}
+
+TEST(CheckpointContainer, DuplicateSectionIsPanic)
+{
+    CheckpointWriter writer;
+    writer.addSection("twice", "x");
+    EXPECT_THROW(writer.addSection("twice", "y"), std::logic_error);
+}
+
+TEST(CheckpointContainer, ByteReaderBoundsChecked)
+{
+    ByteWriter w;
+    w.u32(1);
+    const std::string payload = w.take();
+    ByteReader r(payload, "bounds test");
+    EXPECT_EQ(r.u32(), 1u);
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_THROW(r.u64(), std::runtime_error);
+
+    ByteReader trailing(payload, "trailing test");
+    EXPECT_THROW(trailing.expectEnd(), std::runtime_error);
 }
 
 } // namespace

@@ -97,6 +97,31 @@ TEST(Mcts, FinishedEpisodeIsPanic)
     EXPECT_THROW(mcts.runFromCurrent(env, rng), std::logic_error);
 }
 
+TEST(Mcts, InteriorVisitsGrowWithSimulations)
+{
+    // Regression for the UCT bookkeeping bug where only the root's
+    // totalVisits advanced during backprop: interior nodes froze at
+    // sqrt(0 + 1) and deep exploration never widened. A bigger
+    // simulation budget must accumulate strictly more interior visit
+    // increments on a multi-ply search.
+    dfg::Dfg d = dfg::buildKernel("arf");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng netRng(8);
+    MapZeroNet net(arch.peCount(), NetworkConfig{}, netRng);
+    mapper::MapEnv env(d, arch, 1);
+    Rng rng(9);
+
+    MctsConfig small;
+    small.expansionsPerMove = 8;
+    const auto move_small = Mcts(net, small).runFromCurrent(env, rng);
+    MctsConfig big;
+    big.expansionsPerMove = 96;
+    const auto move_big = Mcts(net, big).runFromCurrent(env, rng);
+
+    EXPECT_GT(move_big.interiorVisits, 0);
+    EXPECT_GT(move_big.interiorVisits, move_small.interiorVisits);
+}
+
 TEST(Mcts, MoreExpansionsVisitMore)
 {
     MctsFixture f;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rl/replay.hpp"
 
 namespace mapzero::rl {
@@ -74,6 +76,90 @@ TEST(ReplayBuffer, EmptySampleIsPanic)
 TEST(ReplayBuffer, ZeroCapacityIsFatal)
 {
     EXPECT_THROW(ReplayBuffer(0), std::runtime_error);
+}
+
+TEST(ReplayBuffer, PrioritiesFlooredAboveDenormals)
+{
+    ReplayBuffer buffer(2);
+    buffer.push(sampleWithValue(1));
+    buffer.push(sampleWithValue(2));
+    Rng rng(5);
+    // Thousands of halvings would reach denormals (~2^-1074) without
+    // the floor; with it every priority stays a normal double.
+    for (int i = 0; i < 2000; ++i)
+        buffer.sampleBatch(2, rng);
+    const ReplaySnapshot snap = buffer.snapshot();
+    ASSERT_EQ(snap.priorities.size(), 2u);
+    for (const double p : snap.priorities) {
+        EXPECT_GE(p, ReplayBuffer::kPriorityFloor);
+        EXPECT_TRUE(std::isnormal(p));
+    }
+    // Both entries still get drawn: floored weights never starve.
+    bool saw[2] = {false, false};
+    for (int i = 0; i < 200; ++i)
+        for (const auto *s : buffer.sampleBatch(1, rng))
+            saw[s->value == 1.0 ? 0 : 1] = true;
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+}
+
+TEST(ReplayBuffer, SnapshotRestoreRoundTrip)
+{
+    // Push past capacity so the snapshot carries a wrapped ring
+    // cursor: buffer holds {5, 2, 3, 4} with the cursor at index 1.
+    ReplayBuffer a(4);
+    for (int i = 1; i <= 5; ++i) {
+        TrainingSample s = sampleWithValue(i);
+        s.pi = {0.25, 0.75};
+        a.push(std::move(s));
+    }
+    Rng rng(7);
+    a.sampleBatch(2, rng); // perturb priorities away from the default
+
+    const ReplaySnapshot snap = a.snapshot();
+    ASSERT_EQ(snap.samples.size(), 4u);
+    ASSERT_EQ(snap.priorities.size(), 4u);
+    EXPECT_EQ(snap.cursor, 1u);
+
+    ReplayBuffer b(4);
+    b.restore(snap);
+    const ReplaySnapshot again = b.snapshot();
+    ASSERT_EQ(again.samples.size(), snap.samples.size());
+    EXPECT_EQ(again.cursor, snap.cursor);
+    for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+        EXPECT_EQ(again.samples[i].value, snap.samples[i].value);
+        EXPECT_EQ(again.samples[i].pi, snap.samples[i].pi);
+        EXPECT_EQ(again.priorities[i], snap.priorities[i]);
+    }
+
+    // The restored ring evicts in the original order: the next push
+    // overwrites the cursor slot, which holds the oldest sample (2).
+    b.push(sampleWithValue(6));
+    Rng rng2(9);
+    bool saw_two = false, saw_six = false;
+    for (int i = 0; i < 100; ++i)
+        for (const auto *s : b.sampleBatch(2, rng2)) {
+            saw_two = saw_two || s->value == 2.0;
+            saw_six = saw_six || s->value == 6.0;
+        }
+    EXPECT_FALSE(saw_two);
+    EXPECT_TRUE(saw_six);
+}
+
+TEST(ReplayBuffer, RestoreRejectsInvalidSnapshots)
+{
+    ReplayBuffer donor(4);
+    for (int i = 0; i < 3; ++i)
+        donor.push(sampleWithValue(i));
+    const ReplaySnapshot snap = donor.snapshot();
+
+    ReplayBuffer too_small(2);
+    EXPECT_THROW(too_small.restore(snap), std::runtime_error);
+
+    ReplaySnapshot mismatched = snap;
+    mismatched.priorities.pop_back();
+    ReplayBuffer target(4);
+    EXPECT_THROW(target.restore(mismatched), std::runtime_error);
 }
 
 } // namespace

@@ -134,6 +134,116 @@ TEST(Trainer, NoMctsAblationStillTrains)
     EXPECT_NO_THROW(trainer.runEpisode(d, 1));
 }
 
+std::vector<float>
+flatWeights(Trainer &trainer)
+{
+    std::vector<float> out;
+    for (const auto &p : trainer.network().parameters())
+        for (std::size_t i = 0; i < p.tensor().size(); ++i)
+            out.push_back(p.tensor()[i]);
+    return out;
+}
+
+TEST(Trainer, CheckpointRoundTripRestoresState)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    TrainerConfig cfg = fastConfig();
+    Trainer a(arch, cfg, 11);
+    a.pretrain(3, 3, 5, Deadline(300.0));
+
+    const std::string path =
+        ::testing::TempDir() + "/trainer_ckpt_roundtrip.ckpt";
+    a.saveCheckpoint(path);
+    // Atomic write: no temp file survives a successful save.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    Trainer b(arch, cfg, 999); // seed is overridden by the checkpoint
+    b.loadCheckpoint(path);
+    EXPECT_EQ(b.episodesCompleted(), a.episodesCompleted());
+    EXPECT_EQ(flatWeights(b), flatWeights(a));
+    std::remove(path.c_str());
+}
+
+TEST(Trainer, ResumeMatchesUninterrupted)
+{
+    // The crash-safety acceptance check: train 6 episodes straight
+    // through, then train the same schedule "crashing" after 3
+    // episodes and resuming from the checkpoint. Final weights and the
+    // per-episode stats of the resumed tail must be bit-identical.
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    const std::uint64_t seed = 13;
+
+    Trainer uninterrupted(arch, fastConfig(), seed);
+    const auto stats_full =
+        uninterrupted.pretrain(6, 3, 6, Deadline(600.0));
+    ASSERT_EQ(stats_full.size(), 6u);
+
+    const std::string path =
+        ::testing::TempDir() + "/trainer_resume_test.ckpt";
+    std::remove(path.c_str());
+
+    TrainerConfig crash = fastConfig();
+    crash.checkpointPath = path;
+    crash.checkpointEvery = 1;
+    crash.maxEpisodesPerRun = 3; // deterministic "crash" after 3
+    Trainer first_run(arch, crash, seed);
+    const auto stats_head = first_run.pretrain(6, 3, 6, Deadline(600.0));
+    ASSERT_EQ(stats_head.size(), 3u);
+
+    Trainer resumed(arch, fastConfig(), seed);
+    resumed.loadCheckpoint(path);
+    ASSERT_EQ(resumed.episodesCompleted(), 3);
+    const auto stats_tail = resumed.pretrain(6, 3, 6, Deadline(600.0));
+    ASSERT_EQ(stats_tail.size(), 3u);
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        const EpisodeStats &want = stats_full[i + 3];
+        const EpisodeStats &got = stats_tail[i];
+        EXPECT_EQ(got.episode, want.episode);
+        EXPECT_EQ(got.totalLoss, want.totalLoss);
+        EXPECT_EQ(got.valueLoss, want.valueLoss);
+        EXPECT_EQ(got.policyLoss, want.policyLoss);
+        EXPECT_EQ(got.reward, want.reward);
+        EXPECT_EQ(got.routingPenalty, want.routingPenalty);
+        EXPECT_EQ(got.learningRate, want.learningRate);
+        EXPECT_EQ(got.success, want.success);
+    }
+    EXPECT_EQ(flatWeights(resumed), flatWeights(uninterrupted));
+    std::remove(path.c_str());
+}
+
+TEST(Trainer, CorruptCheckpointLeavesTrainerUntouched)
+{
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Trainer donor(arch, fastConfig(), 17);
+    donor.pretrain(2, 3, 5, Deadline(300.0));
+    const std::string path =
+        ::testing::TempDir() + "/trainer_ckpt_corrupt.ckpt";
+    donor.saveCheckpoint(path);
+
+    // Flip one byte in the middle of the file.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        const auto size = f.tellg();
+        f.seekp(static_cast<std::streamoff>(size) / 2);
+        char byte = 0;
+        f.read(&byte, 1);
+        f.seekp(static_cast<std::streamoff>(size) / 2);
+        byte = static_cast<char>(byte ^ 0x40);
+        f.write(&byte, 1);
+    }
+
+    Trainer victim(arch, fastConfig(), 19);
+    const auto before = flatWeights(victim);
+    EXPECT_THROW(victim.loadCheckpoint(path), std::runtime_error);
+    EXPECT_EQ(flatWeights(victim), before);
+    EXPECT_EQ(victim.episodesCompleted(), 0);
+    std::remove(path.c_str());
+}
+
 TEST(Trainer, WeightsChangeAfterTraining)
 {
     cgra::Architecture arch = cgra::Architecture::hrea();

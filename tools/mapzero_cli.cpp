@@ -5,6 +5,9 @@
  *   mapzero_cli map      --kernel mac --arch hrea [--method mapzero]
  *                        [--time 10] [--restarts R] [--no-eval-cache]
  *                        [--viz] [--dot] [--bitstream F]
+ *   mapzero_cli train    --arch hrea [--episodes N] [--seed S]
+ *                        [--checkpoint-out F] [--checkpoint-every K]
+ *                        [--resume [F]] [--time S]
  *   mapzero_cli analyze  --kernel arf
  *   mapzero_cli simulate --kernel mac --arch hrea [--iters 8]
  *   mapzero_cli list
@@ -224,6 +227,83 @@ cmdMap(const Args &args)
     return 0;
 }
 
+/**
+ * Curriculum pre-training with crash-safe checkpoints.
+ *
+ * --checkpoint-out F   write a full trainer checkpoint to F (atomic)
+ * --checkpoint-every K auto-save every K episodes (default 0 = only a
+ *                      final save when --checkpoint-out is set)
+ * --resume [F]         restore F (default: the --checkpoint-out path)
+ *                      before training; a missing file starts fresh, so
+ *                      the same command line works before and after a
+ *                      crash
+ * --episodes-per-run N stop after N episodes this invocation (chunked
+ *                      training; 0 = run to completion)
+ */
+int
+cmdTrain(const Args &args)
+{
+    const cgra::Architecture arch =
+        fabricByName(args.get("arch", "hrea"));
+
+    rl::TrainerConfig config;
+    config.mcts.expansionsPerMove = static_cast<std::int32_t>(
+        std::atoi(args.get("expansions", "16").c_str()));
+    config.checkpointPath = args.get("checkpoint-out", "");
+    config.checkpointEvery = static_cast<std::int32_t>(
+        std::atoi(args.get("checkpoint-every", "0").c_str()));
+    config.maxEpisodesPerRun = static_cast<std::int32_t>(
+        std::atoi(args.get("episodes-per-run", "0").c_str()));
+    config.statsJsonlPath = args.get("stats-jsonl", "");
+
+    const auto episodes = static_cast<std::int32_t>(
+        std::atoi(args.get("episodes", "64").c_str()));
+    const auto min_nodes = static_cast<std::int32_t>(
+        std::atoi(args.get("min-nodes", "3").c_str()));
+    const auto max_nodes = static_cast<std::int32_t>(
+        std::atoi(args.get("max-nodes", "14").c_str()));
+    const auto seed = static_cast<std::uint64_t>(
+        std::atoll(args.get("seed", "11").c_str()));
+    const double seconds = std::atof(args.get("time", "0").c_str());
+
+    rl::Trainer trainer(arch, config, seed);
+    if (args.flag("resume")) {
+        std::string from = args.get("resume", "");
+        if (from.empty())
+            from = config.checkpointPath;
+        if (from.empty())
+            fatal("--resume needs a checkpoint path (or set "
+                  "--checkpoint-out)");
+        std::ifstream probe(from, std::ios::binary);
+        if (probe) {
+            probe.close();
+            trainer.loadCheckpoint(from);
+        } else {
+            inform(cat("no checkpoint at ", from,
+                       "; starting training from scratch"));
+        }
+    }
+
+    const std::int32_t already_done = trainer.episodesCompleted();
+    const auto stats =
+        trainer.pretrain(episodes, min_nodes, max_nodes,
+                         Deadline(seconds));
+    std::int32_t successes = 0;
+    for (const auto &s : stats)
+        successes += s.success ? 1 : 0;
+    std::printf("trained %zu episodes this run (%d/%d total, %d "
+                "successful this run)\n",
+                stats.size(), trainer.episodesCompleted(), episodes,
+                successes);
+    if (!config.checkpointPath.empty())
+        std::printf("checkpoint written to %s\n",
+                    config.checkpointPath.c_str());
+    if (already_done >= episodes && stats.empty())
+        std::printf("training already complete; checkpoint "
+                    "validated\n");
+    return 0;
+}
+
 int
 cmdSimulate(const Args &args)
 {
@@ -308,17 +388,24 @@ dispatch(const Args &args)
         return cmdAnalyze(args);
     if (args.command == "map")
         return cmdMap(args);
+    if (args.command == "train")
+        return cmdTrain(args);
     if (args.command == "simulate")
         return cmdSimulate(args);
     if (args.command == "spatial")
         return cmdSpatial(args);
     std::printf(
-        "usage: mapzero_cli <list|analyze|map|simulate|spatial> "
+        "usage: mapzero_cli <list|analyze|map|train|simulate|spatial> "
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
         "           [--restarts R] [--no-eval-cache] [--viz] [--dot]\n"
         "           [--bitstream [FILE]]\n"
+        "  train    --arch FABRIC [--episodes N] [--min-nodes N]\n"
+        "           [--max-nodes N] [--expansions E] [--seed S]\n"
+        "           [--time S] [--checkpoint-out FILE]\n"
+        "           [--checkpoint-every K] [--resume [FILE]]\n"
+        "           [--episodes-per-run N] [--stats-jsonl FILE]\n"
         "  analyze  --kernel NAME|--kernel-dot F\n"
         "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
         "  spatial  --kernel NAME --arch FABRIC [--time S]\n"
