@@ -19,6 +19,7 @@ ExactMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
     Timer timer;
 
     if (!mapper::MapEnv::feasible(dfg, ii)) {
+        result.infeasible = true;
         result.seconds = timer.seconds();
         return result;
     }
@@ -27,6 +28,7 @@ ExactMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
     if (!env.structurallyPlaceable()) {
         // Not enough function slots / memory-issue capacity somewhere:
         // no placement exists regardless of search effort.
+        result.infeasible = true;
         result.seconds = timer.seconds();
         return result;
     }
@@ -72,7 +74,11 @@ ExactMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
             continue;
         }
 
-        // Exhausted every PE at this depth: backtrack.
+        // Exhausted every PE at this depth: backtrack. (cursor can stop
+        // short of pe_count on the backtrack cap - that is an abort at
+        // this depth, not evidence the node is unplaceable.)
+        if (cursor >= pe_count)
+            env.noteDeadEnd();
         next_action[static_cast<std::size_t>(depth)] = 0;
         if (depth == 0)
             break; // search space exhausted, II infeasible
@@ -83,6 +89,10 @@ ExactMapper::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
 
     result.timedOut = aborted;
     result.success = !aborted && depth == n && env.success();
+    result.episodes = 1;
+    result.failedEpisodes = result.success ? 0 : 1;
+    if (!result.success)
+        result.failure = env.failureStats();
     if (result.success) {
         result.placements = collectPlacements(env.state());
         for (std::int32_t ei = 0; ei < dfg.edgeCount(); ++ei)

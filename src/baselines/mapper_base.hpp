@@ -16,6 +16,7 @@
 #include "common/timer.hpp"
 #include "cgra/architecture.hpp"
 #include "dfg/dfg.hpp"
+#include "mapper/failure.hpp"
 #include "mapper/mapping.hpp"
 
 namespace mapzero::baselines {
@@ -38,6 +39,21 @@ struct AttemptResult {
     std::vector<mapper::Placement> placements;
     /** Total committed route hops (mapping-quality detail). */
     std::int32_t totalHops = 0;
+    /**
+     * True when no modulo schedule exists at this II or the schedule is
+     * structurally unplaceable - failure without any search.
+     */
+    bool infeasible = false;
+    /** Episodes (restarts) the engine ran inside this attempt. */
+    std::int64_t episodes = 0;
+    /** Episodes that ended without a complete mapping. */
+    std::int64_t failedEpisodes = 0;
+    /**
+     * Failure attribution gathered by the engine's MapEnv (empty for
+     * engines that do not search per-node, e.g. SA). Meaningful when
+     * !success; see mapper/failure.hpp.
+     */
+    mapper::FailureStats failure;
 };
 
 /** A compiler that attempts a mapping at a fixed II. */

@@ -1,0 +1,380 @@
+#include "common/journal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+
+namespace mapzero {
+
+namespace {
+
+/** Stable small integer for the calling thread (journal lane). */
+std::uint64_t
+currentTid()
+{
+    static std::atomic<std::uint64_t> next{1};
+    thread_local std::uint64_t tid = next.fetch_add(1);
+    return tid;
+}
+
+} // namespace
+
+// --- JournalRecord -----------------------------------------------------
+
+JournalRecord::JournalRecord(std::string_view type)
+{
+    body_.reserve(160);
+    body_ += "{\"type\":\"";
+    body_ += jsonEscape(std::string(type));
+    body_ += '"';
+}
+
+void
+JournalRecord::appendKey(std::string_view key)
+{
+    body_ += ",\"";
+    body_ += jsonEscape(std::string(key));
+    body_ += "\":";
+}
+
+JournalRecord &
+JournalRecord::field(std::string_view key, bool value)
+{
+    appendKey(key);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+JournalRecord &
+JournalRecord::field(std::string_view key, double value)
+{
+    appendKey(key);
+    body_ += jsonNumber(value);
+    return *this;
+}
+
+JournalRecord &
+JournalRecord::field(std::string_view key, std::string_view value)
+{
+    appendKey(key);
+    body_ += '"';
+    body_ += jsonEscape(std::string(value));
+    body_ += '"';
+    return *this;
+}
+
+JournalRecord &
+JournalRecord::field(std::string_view key, const char *value)
+{
+    return field(key, std::string_view(value));
+}
+
+JournalRecord &
+JournalRecord::intField(std::string_view key, std::int64_t value)
+{
+    appendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JournalRecord &
+JournalRecord::rawField(std::string_view key, std::string_view json)
+{
+    appendKey(key);
+    body_ += json;
+    return *this;
+}
+
+// --- Journal -----------------------------------------------------------
+
+Journal &
+Journal::global()
+{
+    static Journal instance;
+    return instance;
+}
+
+void
+Journal::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+Journal::setCapacity(std::size_t records)
+{
+    std::lock_guard<std::mutex> lock(centralMutex_);
+    capacity_ = std::max<std::size_t>(records, 1);
+    mergeLocked({});
+}
+
+std::size_t
+Journal::capacity() const
+{
+    std::lock_guard<std::mutex> lock(centralMutex_);
+    return capacity_;
+}
+
+std::int64_t
+Journal::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+Journal::ThreadBuffer &
+Journal::threadBuffer()
+{
+    // The handle's destructor runs at thread exit and drains whatever
+    // the thread still staged into the central ring.
+    struct TlsHandle {
+        Journal *owner = nullptr;
+        std::shared_ptr<ThreadBuffer> buffer;
+
+        ~TlsHandle()
+        {
+            if (owner != nullptr && buffer != nullptr)
+                owner->retireBuffer(buffer);
+        }
+    };
+    thread_local TlsHandle handle;
+    if (handle.buffer == nullptr || handle.owner != this) {
+        handle.owner = this;
+        handle.buffer = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        buffers_.push_back(handle.buffer);
+    }
+    return *handle.buffer;
+}
+
+void
+Journal::emit(JournalRecord record)
+{
+    if (!enabled())
+        return;
+    static Counter &records = metrics().counter("journal.records");
+
+    const std::uint64_t seq = seq_.fetch_add(1) + 1;
+    std::string line = std::move(record.body_);
+    line += ",\"seq\":";
+    line += std::to_string(seq);
+    line += ",\"ts_us\":";
+    line += std::to_string(nowUs());
+    line += ",\"tid\":";
+    line += std::to_string(currentTid());
+    line += '}';
+    records.add();
+
+    ThreadBuffer &buffer = threadBuffer();
+    bool full = false;
+    {
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        buffer.entries.emplace_back(seq, std::move(line));
+        full = buffer.entries.size() >= kFlushBatch;
+    }
+    if (full)
+        mergeBuffer(buffer);
+}
+
+void
+Journal::mergeBuffer(ThreadBuffer &buffer)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> staged;
+    {
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        staged.swap(buffer.entries);
+    }
+    if (!staged.empty()) {
+        std::lock_guard<std::mutex> lock(centralMutex_);
+        mergeLocked(std::move(staged));
+    }
+}
+
+void
+Journal::mergeLocked(
+    std::vector<std::pair<std::uint64_t, std::string>> entries)
+{
+    static Counter &drop_counter = metrics().counter("journal.dropped");
+
+    central_.insert(central_.end(),
+                    std::make_move_iterator(entries.begin()),
+                    std::make_move_iterator(entries.end()));
+    if (central_.size() > capacity_) {
+        // Flight-recorder semantics: evict the *oldest* records so the
+        // tail of a failing run - where the attribution lives - stays.
+        const std::size_t excess = central_.size() - capacity_;
+        const auto mid =
+            central_.begin() + static_cast<std::ptrdiff_t>(excess);
+        std::nth_element(central_.begin(), mid, central_.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        central_.erase(central_.begin(), mid);
+        dropped_.fetch_add(static_cast<std::int64_t>(excess),
+                           std::memory_order_relaxed);
+        drop_counter.add(static_cast<std::int64_t>(excess));
+    }
+}
+
+void
+Journal::retireBuffer(const std::shared_ptr<ThreadBuffer> &buffer)
+{
+    {
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        buffers_.erase(
+            std::remove(buffers_.begin(), buffers_.end(), buffer),
+            buffers_.end());
+    }
+    mergeBuffer(*buffer);
+}
+
+std::int64_t
+Journal::emitted() const
+{
+    return static_cast<std::int64_t>(
+        seq_.load(std::memory_order_relaxed));
+}
+
+std::int64_t
+Journal::dropped() const
+{
+    return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+Journal::lines()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> live;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        live = buffers_;
+    }
+    for (const auto &buffer : live)
+        mergeBuffer(*buffer);
+
+    std::vector<std::pair<std::uint64_t, std::string>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(centralMutex_);
+        snapshot = central_;
+    }
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<std::string> out;
+    out.reserve(snapshot.size());
+    for (auto &[seq, line] : snapshot)
+        out.push_back(std::move(line));
+    return out;
+}
+
+std::size_t
+Journal::recordCount()
+{
+    return lines().size();
+}
+
+bool
+Journal::tryWrite(const std::string &path) noexcept
+{
+    try {
+        std::ofstream os(path);
+        if (!os)
+            return false;
+        for (const std::string &line : lines())
+            os << line << '\n';
+        // Trailer so an offline reader knows the ring overflowed and
+        // the oldest records are missing, not merely absent.
+        const std::int64_t drops = dropped();
+        if (drops > 0)
+            os << "{\"type\":\"journal.dropped\",\"dropped\":" << drops
+               << "}\n";
+        os.flush();
+        if (!os)
+            return false;
+        lastWriteSeq_.store(seq_.load(std::memory_order_relaxed));
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+void
+Journal::writeTo(const std::string &path)
+{
+    if (!tryWrite(path))
+        fatal("cannot write journal to " + path);
+}
+
+void
+Journal::setOutputPath(std::string path)
+{
+    bool install_hooks = false;
+    {
+        std::lock_guard<std::mutex> lock(pathMutex_);
+        outputPath_ = std::move(path);
+        if (!outputPath_.empty() && !exitHookInstalled_) {
+            exitHookInstalled_ = true;
+            install_hooks = true;
+        }
+    }
+    if (install_hooks) {
+        // Flush on orderly exit and from fatal()/panic(): the journal
+        // of a dying run is exactly the journal worth keeping.
+        std::atexit(+[] { Journal::global().crashFlush(); });
+        setFatalHook(
+            +[]() noexcept { Journal::global().crashFlush(); });
+    }
+}
+
+std::string
+Journal::outputPath() const
+{
+    std::lock_guard<std::mutex> lock(pathMutex_);
+    return outputPath_;
+}
+
+void
+Journal::crashFlush() noexcept
+{
+    // Reentry guard: a failing flush must not recurse through the
+    // fatal hook, and concurrent fatal()s need only one writer.
+    if (flushing_.exchange(true))
+        return;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(pathMutex_);
+        path = outputPath_;
+    }
+    if (!path.empty() &&
+        lastWriteSeq_.load(std::memory_order_relaxed) !=
+            seq_.load(std::memory_order_relaxed)) {
+        (void)tryWrite(path);
+    }
+    flushing_.store(false);
+}
+
+void
+Journal::clear()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> live;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        live = buffers_;
+    }
+    for (const auto &buffer : live) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->entries.clear();
+    }
+    std::lock_guard<std::mutex> lock(centralMutex_);
+    central_.clear();
+    seq_.store(0);
+    dropped_.store(0);
+    lastWriteSeq_.store(0);
+}
+
+} // namespace mapzero

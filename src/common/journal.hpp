@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The search flight recorder: a bounded, thread-safe journal of typed
+ * structured events, written out as JSONL.
+ *
+ * Metrics (common/metrics.hpp) aggregate - they can say *that* 31 of 32
+ * restarts failed, but not *which* DFG node stalled each of them or
+ * which PE was congested. The journal keeps the per-event evidence:
+ * search call sites emit one record per compile attempt, MCTS move, or
+ * training episode, and `mapzero_cli report` reconstructs post-mortems
+ * from the file offline (core/diagnostics.hpp).
+ *
+ * Cost model:
+ *  - Disabled (the default), the journal costs one relaxed atomic load
+ *    per call site. Call sites MUST guard record construction with
+ *    `if (journal().enabled())` so the hot path allocates nothing.
+ *  - Enabled, each record renders once into a per-thread staging buffer
+ *    (one uncontended mutex) and batches of kFlushBatch records move
+ *    into the central ring through the single merge path. The ring is
+ *    bounded: when full, the *oldest* records are dropped (a flight
+ *    recorder keeps the newest evidence) and dropped() counts them.
+ *
+ * Crash safety: when an output path is set, the journal is flushed to
+ * it at process exit and from inside fatal()/panic() before the
+ * exception is thrown, so the record of a dying run survives it.
+ *
+ * Record shape: one JSON object per line with a "type" discriminator
+ * plus "seq" (global order), "ts_us" (microseconds since journal
+ * construction), and "tid" (small per-thread id), e.g.
+ *
+ *   {"type":"compile.attempt","ii":3,"restart":7,"outcome":"fail",
+ *    "fail_node":"mul7",...,"seq":42,"ts_us":1234,"tid":2}
+ *
+ * Naming convention for types: "<subsystem>.<event>" lower_snake_case,
+ * mirroring the metrics names ("compile.attempt", "mcts.move",
+ * "trainer.episode").
+ */
+
+#ifndef MAPZERO_COMMON_JOURNAL_HPP
+#define MAPZERO_COMMON_JOURNAL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace mapzero {
+
+/**
+ * One structured record under construction. Fields render eagerly into
+ * the line buffer, so a record is a single string append stream - no
+ * field tree is retained.
+ */
+class JournalRecord
+{
+  public:
+    /** @param type the "<subsystem>.<event>" discriminator. */
+    explicit JournalRecord(std::string_view type);
+
+    /** Append a field. Keys must be unique within one record. */
+    JournalRecord &field(std::string_view key, bool value);
+    JournalRecord &field(std::string_view key, double value);
+    JournalRecord &field(std::string_view key, std::string_view value);
+    JournalRecord &field(std::string_view key, const char *value);
+
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                               !std::is_same_v<T, bool>, int> = 0>
+    JournalRecord &
+    field(std::string_view key, T value)
+    {
+        return intField(key, static_cast<std::int64_t>(value));
+    }
+
+    /** Append @p json (a pre-rendered array/object) verbatim. */
+    JournalRecord &rawField(std::string_view key, std::string_view json);
+
+  private:
+    friend class Journal;
+
+    JournalRecord &intField(std::string_view key, std::int64_t value);
+    void appendKey(std::string_view key);
+
+    std::string body_;
+};
+
+/** Process-wide flight recorder; use the journal() shorthand. */
+class Journal
+{
+  public:
+    /** Records per merge from a thread buffer into the central ring. */
+    static constexpr std::size_t kFlushBatch = 64;
+    /** Default central ring capacity (records). */
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    static Journal &global();
+
+    Journal() = default;
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Master switch (off by default). Call sites must check this
+     *  before building a JournalRecord. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool enabled);
+
+    /** Resize the central ring (drops oldest if shrinking below fill). */
+    void setCapacity(std::size_t records);
+    std::size_t capacity() const;
+
+    /** Record one event (no-op while disabled). Thread-safe. */
+    void emit(JournalRecord record);
+
+    /** Total records emitted (including ones later dropped). */
+    std::int64_t emitted() const;
+    /** Records dropped from the ring (oldest-first) since clear(). */
+    std::int64_t dropped() const;
+
+    /** Retained records in seq order, oldest first. Flushes first. */
+    std::vector<std::string> lines();
+
+    /** Number of retained records. Flushes first. */
+    std::size_t recordCount();
+
+    /** Write the retained records as JSONL; fatal() on I/O failure. */
+    void writeTo(const std::string &path);
+
+    /**
+     * Install @p path as the crash-flush target: the journal is
+     * best-effort flushed there at process exit and from inside
+     * fatal()/panic(), so a run that dies mid-search still leaves its
+     * flight record behind. An empty path uninstalls.
+     */
+    void setOutputPath(std::string path);
+    std::string outputPath() const;
+
+    /** Drop all records and reset counters (tests). */
+    void clear();
+
+    /** The crash-flush entry point (idempotent, never throws). */
+    void crashFlush() noexcept;
+
+  private:
+    struct ThreadBuffer {
+        std::mutex mutex;
+        std::vector<std::pair<std::uint64_t, std::string>> entries;
+    };
+
+    /** Microseconds since the journal's construction. */
+    std::int64_t nowUs() const;
+
+    ThreadBuffer &threadBuffer();
+    void mergeBuffer(ThreadBuffer &buffer);
+    void mergeLocked(
+        std::vector<std::pair<std::uint64_t, std::string>> entries);
+    void retireBuffer(const std::shared_ptr<ThreadBuffer> &buffer);
+    bool tryWrite(const std::string &path) noexcept;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::int64_t> dropped_{0};
+
+    /** Guards the central ring. */
+    mutable std::mutex centralMutex_;
+    std::vector<std::pair<std::uint64_t, std::string>> central_;
+    std::size_t capacity_ = kDefaultCapacity;
+
+    /** Guards the registry of live thread buffers. */
+    mutable std::mutex registryMutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+
+    mutable std::mutex pathMutex_;
+    std::string outputPath_;
+    bool exitHookInstalled_ = false;
+    /** seq_ value as of the last successful write (skip no-op flushes). */
+    std::atomic<std::uint64_t> lastWriteSeq_{0};
+    std::atomic<bool> flushing_{false};
+
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/** Shorthand used by instrumented call sites. */
+inline Journal &
+journal()
+{
+    return Journal::global();
+}
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_JOURNAL_HPP

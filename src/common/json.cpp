@@ -1,0 +1,422 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace mapzero {
+
+namespace {
+
+/** Append @p cp to @p out as UTF-8. */
+void
+appendUtf8(std::string &out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xc0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+        out += static_cast<char>(0xe0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+        out += static_cast<char>(0xf0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+}
+
+} // namespace
+
+/** Recursive-descent parser over one document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return value;
+    }
+
+  private:
+    /** Nesting cap: our documents are shallow; a deeply nested input is
+     *  corrupt and must not overflow the parser's stack. */
+    static constexpr int kMaxDepth = 128;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        fatal(cat("JSON parse error at byte ", pos_, ": ", what));
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(cat("expected '", c, "'"));
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        const std::size_t n = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        switch (peek()) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (!consumeLiteral("null"))
+            fail("invalid literal");
+        return JsonValue();
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Bool;
+        if (consumeLiteral("true"))
+            value.bool_ = true;
+        else if (consumeLiteral("false"))
+            value.bool_ = false;
+        else
+            fail("invalid literal");
+        return value;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("malformed number '" + token + "'");
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Number;
+        value.number_ = parsed;
+        return value;
+    }
+
+    std::uint32_t
+    parseHex4()
+    {
+        std::uint32_t cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+            ++pos_;
+        }
+        return cp;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::String;
+        std::string &out = value.string_;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return value;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_; // backslash
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // Surrogate pair.
+                    if (!consumeLiteral("\\u"))
+                        fail("unpaired surrogate");
+                    const std::uint32_t low = parseHex4();
+                    if (low < 0xdc00 || low > 0xdfff)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            value.array_.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            skipWhitespace();
+            JsonValue key = parseString();
+            skipWhitespace();
+            expect(':');
+            value.object_.emplace_back(std::move(key.string_),
+                                       parseValue(depth + 1));
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+std::vector<JsonValue>
+JsonValue::parseLines(const std::string &text)
+{
+    std::vector<JsonValue> values;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string line = text.substr(begin, end - begin);
+        bool blank = true;
+        for (const char c : line)
+            blank = blank && std::isspace(static_cast<unsigned char>(c));
+        if (!blank)
+            values.push_back(parse(line));
+        if (end == text.size())
+            break;
+        begin = end + 1;
+    }
+    return values;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("JSON: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        fatal("JSON: not a number");
+    return number_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    return static_cast<std::int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("JSON: not a string");
+    return string_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    fatal("JSON: size() on a scalar");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    if (kind_ != Kind::Array)
+        fatal("JSON: not an array");
+    if (index >= array_.size())
+        fatal(cat("JSON: array index ", index, " out of range (size ",
+                  array_.size(), ")"));
+    return array_[index];
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return true;
+    }
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("JSON: not an object");
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return value;
+    }
+    fatal("JSON: missing member '" + key + "'");
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    return has(key) && at(key).isNumber() ? at(key).asNumber() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    return has(key) && at(key).isString() ? at(key).asString() : fallback;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    static const std::vector<std::pair<std::string, JsonValue>> empty;
+    return kind_ == Kind::Object ? object_ : empty;
+}
+
+} // namespace mapzero

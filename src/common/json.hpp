@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON reader for the offline diagnostics tooling.
+ *
+ * The observability layer *writes* JSON by string concatenation
+ * (metrics.cpp, trace.cpp, journal.cpp); the `mapzero_cli report`
+ * subcommand must *read* those documents back - journals, run reports,
+ * bench baselines - without growing a third-party dependency. This is a
+ * small recursive-descent parser for exactly that: strict enough to
+ * round-trip our own writers (and catch their bugs), small enough to
+ * audit.
+ *
+ * Documents parse into an immutable JsonValue tree. Object member order
+ * is preserved; duplicate keys keep the first occurrence on lookup.
+ * Errors raise fatal() with a byte offset, so a truncated journal line
+ * is reported, not silently misread.
+ */
+
+#ifndef MAPZERO_COMMON_JSON_HPP
+#define MAPZERO_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mapzero {
+
+/** One node of a parsed JSON document. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /**
+     * Parse @p text as one complete JSON document (trailing whitespace
+     * allowed, trailing garbage is an error). fatal() on malformed
+     * input.
+     */
+    static JsonValue parse(const std::string &text);
+
+    /**
+     * Parse one JSONL stream: one JSON value per non-empty line.
+     * fatal() when any line is malformed.
+     */
+    static std::vector<JsonValue> parseLines(const std::string &text);
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; fatal() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+
+    /** Array/object element count; fatal() on other kinds. */
+    std::size_t size() const;
+
+    /** Array element @p index; fatal() when out of range. */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Whether the object has member @p key (false on non-objects). */
+    bool has(const std::string &key) const;
+
+    /** Object member @p key; fatal() when missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Object member @p key, or @p fallback when missing. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /** Object members in document order (empty on non-objects). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_JSON_HPP

@@ -92,10 +92,31 @@ warn(const std::string &message)
     logMessage(LogLevel::Warn, message);
 }
 
+namespace {
+
+std::atomic<FatalHook> fatalHook{nullptr};
+
+void
+runFatalHook()
+{
+    const FatalHook hook = fatalHook.load();
+    if (hook != nullptr)
+        hook();
+}
+
+} // namespace
+
+FatalHook
+setFatalHook(FatalHook hook)
+{
+    return fatalHook.exchange(hook);
+}
+
 void
 fatal(const std::string &message)
 {
     logMessage(LogLevel::Error, message);
+    runFatalHook();
     throw std::runtime_error("mapzero fatal: " + message);
 }
 
@@ -103,6 +124,7 @@ void
 panic(const std::string &message)
 {
     logMessage(LogLevel::Error, "PANIC: " + message);
+    runFatalHook();
     throw std::logic_error("mapzero panic: " + message);
 }
 

@@ -53,6 +53,16 @@ void warn(const std::string &message);
  */
 [[noreturn]] void panic(const std::string &message);
 
+/**
+ * Install a hook invoked from fatal()/panic() just before they throw,
+ * so crash-time state (e.g. the event journal) can be flushed while the
+ * process is still coherent. The hook must be noexcept and reentrancy
+ * safe: a fatal() raised *inside* the hook must not recurse. Passing
+ * nullptr uninstalls. Returns the previously installed hook.
+ */
+using FatalHook = void (*)() noexcept;
+FatalHook setFatalHook(FatalHook hook);
+
 /** printf-free formatting helper: cat("x=", 3, " y=", 4.5). */
 template <typename... Args>
 std::string

@@ -197,9 +197,6 @@ MetricsRegistry::reset()
     }
 }
 
-namespace {
-
-/** JSON number formatting: finite doubles only (NaN/inf become 0). */
 std::string
 jsonNumber(double value)
 {
@@ -211,6 +208,77 @@ jsonNumber(double value)
     return os.str();
 }
 
+namespace {
+
+void
+appendEscaped(std::string &out, std::uint32_t cp)
+{
+    char buffer[16];
+    if (cp < 0x10000) {
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", cp);
+    } else {
+        // Outside the BMP: encode as a UTF-16 surrogate pair.
+        cp -= 0x10000;
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x\\u%04x",
+                      0xd800 + (cp >> 10), 0xdc00 + (cp & 0x3ff));
+    }
+    out += buffer;
+}
+
+/**
+ * Decode one UTF-8 sequence starting at @p i; returns the codepoint and
+ * advances @p i past it, or returns U+FFFD and advances one byte when
+ * the sequence is malformed (truncated, overlong, surrogate, > U+10FFFF).
+ */
+std::uint32_t
+decodeUtf8(const std::string &text, std::size_t &i)
+{
+    const auto byte = [&](std::size_t k) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(text[k]));
+    };
+    const std::uint32_t lead = byte(i);
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if (lead < 0xc0) {
+        ++i; // stray continuation byte (or 0x80..0xbf lead)
+        return 0xfffd;
+    } else if (lead < 0xe0) {
+        len = 2;
+        cp = lead & 0x1f;
+    } else if (lead < 0xf0) {
+        len = 3;
+        cp = lead & 0x0f;
+    } else if (lead < 0xf8) {
+        len = 4;
+        cp = lead & 0x07;
+    } else {
+        ++i;
+        return 0xfffd;
+    }
+    if (i + len > text.size()) {
+        ++i;
+        return 0xfffd;
+    }
+    for (std::size_t k = 1; k < len; ++k) {
+        const std::uint32_t cont = byte(i + k);
+        if ((cont & 0xc0) != 0x80) {
+            ++i;
+            return 0xfffd;
+        }
+        cp = (cp << 6) | (cont & 0x3f);
+    }
+    static constexpr std::uint32_t kMinByLen[5] = {0, 0, 0x80, 0x800,
+                                                   0x10000};
+    if (cp < kMinByLen[len] || cp > 0x10ffff ||
+        (cp >= 0xd800 && cp <= 0xdfff)) {
+        ++i; // overlong / out of range / surrogate
+        return 0xfffd;
+    }
+    i += len;
+    return cp;
+}
+
 } // namespace
 
 std::string
@@ -218,21 +286,28 @@ jsonEscape(const std::string &text)
 {
     std::string out;
     out.reserve(text.size() + 8);
-    for (char c : text) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
         switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-                out += buffer;
-            } else {
-                out += c;
-            }
+          case '"':  out += "\\\""; ++i; continue;
+          case '\\': out += "\\\\"; ++i; continue;
+          case '\b': out += "\\b"; ++i; continue;
+          case '\f': out += "\\f"; ++i; continue;
+          case '\n': out += "\\n"; ++i; continue;
+          case '\r': out += "\\r"; ++i; continue;
+          case '\t': out += "\\t"; ++i; continue;
+          default: break;
+        }
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+            appendEscaped(out, u);
+            ++i;
+        } else if (u < 0x80) {
+            out += c;
+            ++i;
+        } else {
+            appendEscaped(out, decodeUtf8(text, i));
         }
     }
     return out;

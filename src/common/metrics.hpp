@@ -186,8 +186,17 @@ metrics()
     return MetricsRegistry::global();
 }
 
-/** Escape @p text for embedding in a JSON string literal. */
+/**
+ * Escape @p text for embedding in a JSON string literal. Control
+ * characters and non-ASCII content are emitted as \uXXXX escapes
+ * (surrogate pairs above the BMP), and bytes that are not valid UTF-8
+ * become U+FFFD - so writer output is always pure-ASCII valid JSON no
+ * matter what ends up in a span or metric name.
+ */
 std::string jsonEscape(const std::string &text);
+
+/** Format @p value as a JSON number (non-finite values become 0). */
+std::string jsonNumber(double value);
 
 } // namespace mapzero
 

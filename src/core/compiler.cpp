@@ -6,6 +6,7 @@
 #include "baselines/exact_mapper.hpp"
 #include "baselines/lisa_mapper.hpp"
 #include "baselines/sa_mapper.hpp"
+#include "common/journal.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -16,6 +17,96 @@
 #include "rl/evaluator.hpp"
 
 namespace mapzero {
+
+namespace {
+
+/** Display name for a DFG node (kernels label nodes; fall back to id). */
+std::string
+nodeLabel(const dfg::Dfg &dfg, std::int32_t node)
+{
+    const std::string &name = dfg.node(node).name;
+    return name.empty() ? cat("n", node) : name;
+}
+
+/**
+ * Flight-recorder record for one (II, restart) attempt, failure
+ * attribution included. Only called when the journal is enabled.
+ */
+void
+emitAttemptRecord(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                  const std::string &method, std::int32_t ii,
+                  std::int32_t restart,
+                  const baselines::AttemptResult &attempt)
+{
+    JournalRecord record("compile.attempt");
+    record.field("dfg", dfg.name())
+        .field("method", method)
+        .field("arch", arch.name())
+        .field("rows", arch.rows())
+        .field("cols", arch.cols())
+        .field("ii", ii)
+        .field("restart", restart)
+        .field("outcome",
+               attempt.success      ? "success"
+               : attempt.infeasible ? "infeasible"
+               : attempt.timedOut   ? "timeout"
+                                    : "fail")
+        .field("seconds", attempt.seconds)
+        .field("search_ops", attempt.searchOps)
+        .field("episodes", attempt.episodes)
+        .field("failed_episodes", attempt.failedEpisodes);
+    const mapper::FailureStats &f = attempt.failure;
+    if (!attempt.success && !attempt.infeasible &&
+        f.failureEvents > 0) {
+        const std::int32_t blamed = f.blamedNode();
+        if (blamed >= 0) {
+            record.field("fail_node", nodeLabel(dfg, blamed))
+                .field("fail_node_id", blamed)
+                .field("fail_node_events", f.nodeFailures(blamed));
+        }
+        if (f.firstFailNode >= 0)
+            record.field("first_fail_node",
+                         nodeLabel(dfg, f.firstFailNode));
+        std::int64_t dead_ends = 0;
+        for (const std::int64_t d : f.deadEnds)
+            dead_ends += d;
+        std::int64_t route_failures = 0;
+        for (const std::int64_t r : f.routeFailures)
+            route_failures += r;
+        record.field("dead_ends", dead_ends)
+            .field("route_failures", route_failures);
+        std::string sites = "[";
+        bool first = true;
+        for (const mapper::CongestionSite &site : f.topSites(5)) {
+            sites += cat(first ? "" : ",", "{\"pe\":", site.pe,
+                         ",\"slot\":", site.slot,
+                         ",\"count\":", site.count, "}");
+            first = false;
+        }
+        sites += "]";
+        record.rawField("hotspots", sites);
+    }
+    journal().emit(std::move(record));
+}
+
+/** Sweep-level summary record mirroring CompileResult. */
+void
+emitCompileRecord(const dfg::Dfg &dfg, const CompileResult &result)
+{
+    JournalRecord record("compile.result");
+    record.field("dfg", dfg.name())
+        .field("method", result.method)
+        .field("mii", result.mii)
+        .field("ii", result.ii)
+        .field("success", result.success)
+        .field("timed_out", result.timedOut)
+        .field("seconds", result.seconds)
+        .field("search_ops", result.searchOps)
+        .field("total_hops", result.totalHops);
+    journal().emit(std::move(record));
+}
+
+} // namespace
 
 const char *
 methodName(Method method)
@@ -163,6 +254,8 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
         }
         attempts.add();
         attempt_seconds.record(attempt.seconds);
+        if (journal().enabled())
+            emitAttemptRecord(dfg, arch, result.method, ii, 0, attempt);
         result.searchOps += attempt.searchOps;
         if (attempt.success) {
             result.success = true;
@@ -185,6 +278,8 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
         timeouts.add();
     result.seconds = timer.seconds();
     compile_seconds.record(result.seconds);
+    if (journal().enabled())
+        emitCompileRecord(dfg, result);
     return result;
 }
 
@@ -324,6 +419,11 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
             }
         }
         restart_attempts.add(ran);
+        if (journal().enabled()) {
+            for (std::int32_t k = 0; k < ran; ++k)
+                emitAttemptRecord(dfg, arch, result.method, ii, k,
+                                  round[static_cast<std::size_t>(k)]);
+        }
 
         // Lowest successful attempt index wins; ops from later
         // attempts are discarded so the aggregate matches what the
@@ -362,6 +462,8 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
         timeouts.add();
     result.seconds = timer.seconds();
     compile_seconds.record(result.seconds);
+    if (journal().enabled())
+        emitCompileRecord(dfg, result);
     return result;
 }
 

@@ -1,0 +1,607 @@
+#include "core/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace mapzero {
+
+namespace {
+
+std::string
+fmt(double value, int precision = 3)
+{
+    std::ostringstream os;
+    os << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+pct(double fraction)
+{
+    std::ostringstream os;
+    os << std::showpos << std::fixed << std::setprecision(1)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+std::int64_t
+intOr(const JsonValue &record, const std::string &key,
+      std::int64_t fallback)
+{
+    return static_cast<std::int64_t>(
+        record.numberOr(key, static_cast<double>(fallback)));
+}
+
+/** "PE(r,c)@t2" when the grid is known, "PE7@t2" when it is not. */
+std::string
+siteLabel(std::int32_t pe, std::int32_t slot, std::int32_t cols)
+{
+    if (cols > 0)
+        return cat("PE(", pe / cols, ",", pe % cols, ")@t", slot);
+    return cat("PE", pe, "@t", slot);
+}
+
+// --------------------------------------------------------------------
+// Journal aggregation
+
+/** Everything learned about one II within one compile sweep. */
+struct IiAgg {
+    std::int64_t attempts = 0;
+    std::int64_t successes = 0;
+    std::int64_t infeasible = 0;
+    std::int64_t timeouts = 0;
+    std::int64_t deadEnds = 0;
+    std::int64_t routeFailures = 0;
+    double seconds = 0.0;
+    /** Lowest restart index that succeeded (-1 when none did). */
+    std::int32_t winningRestart = -1;
+    /** Blamed node -> number of attempts blaming it. */
+    std::map<std::string, std::int64_t> failNodes;
+    /** First unplaceable node of the earliest failing attempt. */
+    std::string firstFailNode;
+    /** (pe, slot) -> merged congestion count across attempts. */
+    std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> sites;
+};
+
+/** One (dfg, method) compile sweep reassembled from the journal. */
+struct SweepAgg {
+    std::string dfg;
+    std::string method;
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::map<std::int32_t, IiAgg> byIi;
+    /** Filled from the compile.result record when present. */
+    bool haveResult = false;
+    bool success = false;
+    bool timedOut = false;
+    std::int32_t mii = 0;
+    std::int32_t finalIi = 0;
+    double seconds = 0.0;
+    std::int64_t searchOps = 0;
+    std::int64_t totalHops = 0;
+};
+
+/** MCTS search health for one DFG. */
+struct MctsAgg {
+    std::int64_t moves = 0;
+    std::int64_t solved = 0;
+    std::int64_t simulations = 0;
+    std::int64_t maxDepth = 0;
+    double entropySum = 0.0;
+    double entropyMin = std::numeric_limits<double>::infinity();
+    double valueSum = 0.0;
+    double valueMin = std::numeric_limits<double>::infinity();
+    double valueMax = -std::numeric_limits<double>::infinity();
+    double shareSum = 0.0;
+    double supportSum = 0.0;
+};
+
+/** Whole-run trainer summary. */
+struct TrainerAgg {
+    std::int64_t episodes = 0;
+    std::int64_t successes = 0;
+    double lastTotalLoss = 0.0;
+    double lastValueLoss = 0.0;
+    double lastPolicyLoss = 0.0;
+    double firstLr = 0.0;
+    double lastLr = 0.0;
+    double gradNormMax = 0.0;
+    std::int64_t replaySize = 0;
+    double priorityMin = 0.0;
+    double priorityMean = 0.0;
+    double priorityMax = 0.0;
+};
+
+void
+absorbAttempt(SweepAgg &sweep, const JsonValue &record)
+{
+    sweep.rows = static_cast<std::int32_t>(intOr(record, "rows",
+                                                 sweep.rows));
+    sweep.cols = static_cast<std::int32_t>(intOr(record, "cols",
+                                                 sweep.cols));
+    const auto ii = static_cast<std::int32_t>(intOr(record, "ii", 0));
+    IiAgg &agg = sweep.byIi[ii];
+    ++agg.attempts;
+    agg.seconds += record.numberOr("seconds", 0.0);
+    const std::string outcome = record.stringOr("outcome", "fail");
+    if (outcome == "success") {
+        ++agg.successes;
+        const auto restart =
+            static_cast<std::int32_t>(intOr(record, "restart", 0));
+        if (agg.winningRestart < 0 || restart < agg.winningRestart)
+            agg.winningRestart = restart;
+        return;
+    }
+    if (outcome == "infeasible") {
+        ++agg.infeasible;
+        return;
+    }
+    if (outcome == "timeout")
+        ++agg.timeouts;
+    agg.deadEnds += intOr(record, "dead_ends", 0);
+    agg.routeFailures += intOr(record, "route_failures", 0);
+    const std::string blamed = record.stringOr("fail_node", "");
+    if (!blamed.empty())
+        ++agg.failNodes[blamed];
+    if (agg.firstFailNode.empty())
+        agg.firstFailNode = record.stringOr("first_fail_node", "");
+    if (record.has("hotspots")) {
+        const JsonValue &spots = record.at("hotspots");
+        for (std::size_t i = 0; i < spots.size(); ++i) {
+            const JsonValue &s = spots.at(i);
+            const auto pe =
+                static_cast<std::int32_t>(intOr(s, "pe", -1));
+            const auto slot =
+                static_cast<std::int32_t>(intOr(s, "slot", -1));
+            agg.sites[{pe, slot}] += intOr(s, "count", 0);
+        }
+    }
+}
+
+void
+absorbMctsMove(MctsAgg &agg, const JsonValue &record)
+{
+    ++agg.moves;
+    if (record.has("solved") && record.at("solved").asBool())
+        ++agg.solved;
+    agg.simulations += intOr(record, "simulations", 0);
+    agg.maxDepth = std::max(agg.maxDepth, intOr(record, "max_depth", 0));
+    const double entropy = record.numberOr("policy_entropy", 0.0);
+    agg.entropySum += entropy;
+    agg.entropyMin = std::min(agg.entropyMin, entropy);
+    const double value = record.numberOr("root_value", 0.0);
+    agg.valueSum += value;
+    agg.valueMin = std::min(agg.valueMin, value);
+    agg.valueMax = std::max(agg.valueMax, value);
+    agg.shareSum += record.numberOr("best_visit_share", 0.0);
+    agg.supportSum += record.numberOr("support", 0.0);
+}
+
+void
+absorbTrainerEpisode(TrainerAgg &agg, const JsonValue &record)
+{
+    ++agg.episodes;
+    if (record.has("success") && record.at("success").asBool())
+        ++agg.successes;
+    agg.lastTotalLoss = record.numberOr("total_loss", 0.0);
+    agg.lastValueLoss = record.numberOr("value_loss", 0.0);
+    agg.lastPolicyLoss = record.numberOr("policy_loss", 0.0);
+    const double lr = record.numberOr("learning_rate", 0.0);
+    if (agg.episodes == 1)
+        agg.firstLr = lr;
+    agg.lastLr = lr;
+    agg.gradNormMax =
+        std::max(agg.gradNormMax, record.numberOr("grad_norm", 0.0));
+    agg.replaySize = intOr(record, "replay_size", 0);
+    agg.priorityMin = record.numberOr("priority_min", 0.0);
+    agg.priorityMean = record.numberOr("priority_mean", 0.0);
+    agg.priorityMax = record.numberOr("priority_max", 0.0);
+}
+
+// --------------------------------------------------------------------
+// Rendering
+
+/**
+ * ASCII congestion heatmap over the fabric for one II: one grid per
+ * time slot, '.' for untouched PEs, 1-9 scaled against the hottest
+ * site. Skipped when the journal never recorded the grid shape.
+ */
+void
+renderHeatmap(std::ostringstream &os, const SweepAgg &sweep,
+              std::int32_t ii, const IiAgg &agg)
+{
+    if (sweep.rows <= 0 || sweep.cols <= 0 || agg.sites.empty())
+        return;
+    std::int64_t hottest = 0;
+    for (const auto &[site, count] : agg.sites)
+        hottest = std::max(hottest, count);
+    if (hottest <= 0)
+        return;
+    os << "  congestion heatmap (II=" << ii
+       << "; '.'=0, 1-9 scaled to hottest=" << hottest << "):\n";
+    for (std::int32_t slot = 0; slot < ii; ++slot) {
+        for (std::int32_t r = 0; r < sweep.rows; ++r) {
+            os << (r == 0 ? cat("    t", slot, ": ")
+                          : std::string(8, ' '));
+            for (std::int32_t c = 0; c < sweep.cols; ++c) {
+                const std::int32_t pe = r * sweep.cols + c;
+                const auto it = agg.sites.find({pe, slot});
+                const std::int64_t count =
+                    it == agg.sites.end() ? 0 : it->second;
+                if (count <= 0) {
+                    os << " .";
+                } else {
+                    const std::int64_t scaled =
+                        1 + count * 8 / hottest;
+                    os << ' ' << std::min<std::int64_t>(scaled, 9);
+                }
+            }
+            os << '\n';
+        }
+    }
+}
+
+void
+renderSweep(std::ostringstream &os, const SweepAgg &sweep,
+            const DiagnosticsOptions &options)
+{
+    os << "=== Compile post-mortem: " << sweep.dfg << " ["
+       << sweep.method << "] ===\n";
+    if (sweep.haveResult) {
+        if (sweep.success) {
+            os << "mapped at II=" << sweep.finalIi << " (MII="
+               << sweep.mii << ") in " << fmt(sweep.seconds)
+               << "s; " << sweep.searchOps << " search ops; "
+               << sweep.totalHops << " routed hops\n";
+        } else {
+            os << "FAILED" << (sweep.timedOut ? " (timed out)" : "")
+               << " after " << fmt(sweep.seconds) << "s from MII="
+               << sweep.mii << "; " << sweep.searchOps
+               << " search ops\n";
+        }
+    }
+    // The II whose heatmap gets rendered: the failed II with the most
+    // congestion evidence.
+    std::int32_t hot_ii = -1;
+    std::int64_t hot_total = 0;
+    for (const auto &[ii, agg] : sweep.byIi) {
+        os << "  II=" << ii << ": ";
+        if (agg.successes > 0) {
+            os << "solved on restart " << agg.winningRestart << " ("
+               << agg.attempts << " attempt"
+               << (agg.attempts == 1 ? "" : "s") << ", "
+               << fmt(agg.seconds) << "s)\n";
+            continue;
+        }
+        if (agg.infeasible == agg.attempts) {
+            os << "structurally infeasible (" << agg.attempts
+               << " attempt" << (agg.attempts == 1 ? "" : "s")
+               << ")\n";
+            continue;
+        }
+        os << "failed";
+        if (agg.timeouts > 0)
+            os << " (" << agg.timeouts << " timed out)";
+        if (!agg.failNodes.empty()) {
+            const auto blamed = std::max_element(
+                agg.failNodes.begin(), agg.failNodes.end(),
+                [](const auto &a, const auto &b) {
+                    return a.second < b.second;
+                });
+            os << ": node " << blamed->first << " unplaceable in "
+               << blamed->second << "/" << agg.attempts << " restart"
+               << (agg.attempts == 1 ? "" : "s");
+        }
+        if (!agg.firstFailNode.empty())
+            os << "; first stuck at " << agg.firstFailNode;
+        if (agg.deadEnds > 0 || agg.routeFailures > 0)
+            os << "; " << agg.deadEnds << " dead ends, "
+               << agg.routeFailures << " route failures";
+        if (!agg.sites.empty()) {
+            std::vector<std::pair<std::int64_t,
+                                  std::pair<std::int32_t,
+                                            std::int32_t>>> ranked;
+            std::int64_t total = 0;
+            for (const auto &[site, count] : agg.sites) {
+                ranked.push_back({count, site});
+                total += count;
+            }
+            std::stable_sort(ranked.begin(), ranked.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.first > b.first;
+                             });
+            if (ranked.size() > options.hotspotCount)
+                ranked.resize(options.hotspotCount);
+            os << "; hottest";
+            for (const auto &[count, site] : ranked)
+                os << " " << siteLabel(site.first, site.second,
+                                       sweep.cols)
+                   << " (x" << count << ")";
+            if (total > hot_total) {
+                hot_total = total;
+                hot_ii = ii;
+            }
+        }
+        os << '\n';
+    }
+    if (hot_ii >= 0)
+        renderHeatmap(os, sweep, hot_ii, sweep.byIi.at(hot_ii));
+    os << '\n';
+}
+
+void
+renderMcts(std::ostringstream &os,
+           const std::map<std::string, MctsAgg> &mcts)
+{
+    if (mcts.empty())
+        return;
+    os << "=== MCTS health ===\n";
+    for (const auto &[dfg, agg] : mcts) {
+        const double n = static_cast<double>(agg.moves);
+        os << dfg << ": " << agg.moves << " moves ("
+           << fmt(static_cast<double>(agg.simulations) / n)
+           << " sims/move); root value mean "
+           << fmt(agg.valueSum / n) << " [" << fmt(agg.valueMin)
+           << ", " << fmt(agg.valueMax) << "]; policy entropy mean "
+           << fmt(agg.entropySum / n) << " (min "
+           << fmt(agg.entropyMin) << "); best-visit share mean "
+           << fmt(agg.shareSum / n) << "; support mean "
+           << fmt(agg.supportSum / n) << "; max depth "
+           << agg.maxDepth << "; " << agg.solved << "/" << agg.moves
+           << " solved roots\n";
+        if (agg.entropySum / n < 0.05)
+            os << "  warning: near-zero root entropy - the policy "
+                  "has collapsed to one action\n";
+    }
+    os << '\n';
+}
+
+void
+renderTrainer(std::ostringstream &os, const TrainerAgg &agg)
+{
+    if (agg.episodes == 0)
+        return;
+    const double n = static_cast<double>(agg.episodes);
+    os << "=== Trainer ===\n"
+       << agg.episodes << " episodes, "
+       << fmt(100.0 * static_cast<double>(agg.successes) / n)
+       << "% success; last loss " << fmt(agg.lastTotalLoss)
+       << " (value " << fmt(agg.lastValueLoss) << ", policy "
+       << fmt(agg.lastPolicyLoss) << "); grad-norm max "
+       << fmt(agg.gradNormMax) << "; lr " << fmt(agg.firstLr)
+       << " -> " << fmt(agg.lastLr) << "; replay " << agg.replaySize
+       << ", priorities min/mean/max " << fmt(agg.priorityMin) << "/"
+       << fmt(agg.priorityMean) << "/" << fmt(agg.priorityMax)
+       << '\n';
+    if (agg.replaySize > 0 && agg.priorityMax < 1e-5)
+        os << "  warning: priority distribution collapsed - replay "
+              "sampling is effectively uniform\n";
+    os << '\n';
+}
+
+} // namespace
+
+std::string
+renderJournalDiagnostics(const std::vector<JsonValue> &records,
+                         const DiagnosticsOptions &options)
+{
+    std::map<std::string, SweepAgg> sweeps;
+    std::map<std::string, MctsAgg> mcts;
+    TrainerAgg trainer;
+    std::int64_t dropped = 0;
+    std::int64_t unknown = 0;
+
+    for (const JsonValue &record : records) {
+        const std::string type = record.stringOr("type", "");
+        if (type == "compile.attempt" || type == "compile.result") {
+            const std::string key = record.stringOr("dfg", "?") +
+                                    "\x1f" +
+                                    record.stringOr("method", "?");
+            SweepAgg &sweep = sweeps[key];
+            sweep.dfg = record.stringOr("dfg", "?");
+            sweep.method = record.stringOr("method", "?");
+            if (type == "compile.attempt") {
+                absorbAttempt(sweep, record);
+            } else {
+                sweep.haveResult = true;
+                sweep.success = record.has("success") &&
+                                record.at("success").asBool();
+                sweep.timedOut = record.has("timed_out") &&
+                                 record.at("timed_out").asBool();
+                sweep.mii =
+                    static_cast<std::int32_t>(intOr(record, "mii", 0));
+                sweep.finalIi =
+                    static_cast<std::int32_t>(intOr(record, "ii", 0));
+                sweep.seconds = record.numberOr("seconds", 0.0);
+                sweep.searchOps = intOr(record, "search_ops", 0);
+                sweep.totalHops = intOr(record, "total_hops", 0);
+            }
+        } else if (type == "mcts.move") {
+            absorbMctsMove(mcts[record.stringOr("dfg", "?")], record);
+        } else if (type == "trainer.episode") {
+            absorbTrainerEpisode(trainer, record);
+        } else if (type == "journal.dropped") {
+            dropped += intOr(record, "dropped", 0);
+        } else {
+            ++unknown;
+        }
+    }
+
+    std::ostringstream os;
+    os << "journal: " << records.size() << " records";
+    if (dropped > 0)
+        os << " (" << dropped
+           << " older records dropped by the ring buffer)";
+    if (unknown > 0)
+        os << "; " << unknown << " unrecognized record types skipped";
+    os << "\n\n";
+    if (records.empty()) {
+        os << "nothing recorded - was the journal enabled "
+              "(--journal-out / MAPZERO_JOURNAL)?\n";
+        return os.str();
+    }
+    for (const auto &[key, sweep] : sweeps)
+        renderSweep(os, sweep, options);
+    renderMcts(os, mcts);
+    renderTrainer(os, trainer);
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Run-report comparison
+
+namespace {
+
+bool
+containsAny(const std::string &name,
+            std::initializer_list<const char *> needles)
+{
+    for (const char *needle : needles)
+        if (name.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Counters where growth means trouble. */
+bool
+lowerBetterCounter(const std::string &name)
+{
+    return containsAny(name, {"timeout", "fail", "conflict", "dropped",
+                              "divergence", "escalation"});
+}
+
+const JsonValue &
+metricsSection(const JsonValue &report, const char *which)
+{
+    if (!report.isObject() || !report.has("metrics"))
+        fatal(cat(which, " run report has no \"metrics\" object - was "
+                         "it written by --metrics-out?"));
+    return report.at("metrics");
+}
+
+struct Comparison {
+    std::string name;
+    double base = 0.0;
+    double cand = 0.0;
+    /** Signed relative change, regression-positive. */
+    double severity = 0.0;
+};
+
+/**
+ * Relative change oriented so positive = worse. A metric appearing
+ * from a zero baseline counts as a full-scale regression.
+ */
+double
+severityOf(double base, double cand, bool lower_better)
+{
+    const double delta = lower_better ? cand - base : base - cand;
+    if (base == 0.0)
+        return delta > 0.0 ? std::numeric_limits<double>::infinity()
+                           : 0.0;
+    return delta / std::abs(base);
+}
+
+} // namespace
+
+CompareReport
+compareRunReports(const JsonValue &baseline, const JsonValue &candidate,
+                  const CompareOptions &options)
+{
+    const JsonValue &base = metricsSection(baseline, "baseline");
+    const JsonValue &cand = metricsSection(candidate, "candidate");
+
+    std::vector<Comparison> regressions;
+    std::vector<Comparison> improvements;
+    CompareReport report;
+
+    const auto consider = [&](const std::string &name, double b,
+                              double c, bool lower_better) {
+        ++report.compared;
+        Comparison cmp{name, b, c, severityOf(b, c, lower_better)};
+        if (cmp.severity >= options.threshold)
+            regressions.push_back(cmp);
+        else if (cmp.severity <= -options.threshold)
+            improvements.push_back(cmp);
+    };
+
+    if (base.has("counters") && cand.has("counters")) {
+        const JsonValue &cc = cand.at("counters");
+        for (const auto &[name, value] : base.at("counters").members())
+            if (lowerBetterCounter(name) && cc.has(name))
+                consider(cat("counter ", name), value.asNumber(),
+                         cc.at(name).asNumber(), true);
+        // A failure counter born in the candidate is still a
+        // regression even though the baseline never saw it.
+        for (const auto &[name, value] : cc.members())
+            if (lowerBetterCounter(name) &&
+                !base.at("counters").has(name) &&
+                value.asNumber() > 0.0)
+                consider(cat("counter ", name), 0.0,
+                         value.asNumber(), true);
+    }
+    if (base.has("gauges") && cand.has("gauges")) {
+        const JsonValue &cg = cand.at("gauges");
+        for (const auto &[name, value] : base.at("gauges").members())
+            if (name.find("per_sec") != std::string::npos &&
+                cg.has(name))
+                consider(cat("gauge ", name), value.asNumber(),
+                         cg.at(name).asNumber(), false);
+    }
+    if (base.has("histograms") && cand.has("histograms")) {
+        const JsonValue &ch = cand.at("histograms");
+        for (const auto &[name, h] : base.at("histograms").members()) {
+            if (name.find("seconds") == std::string::npos ||
+                !ch.has(name))
+                continue;
+            for (const char *stat : {"mean", "p95"})
+                consider(cat("histogram ", name, ".", stat),
+                         h.numberOr(stat, 0.0),
+                         ch.at(name).numberOr(stat, 0.0), true);
+        }
+    }
+
+    const auto worse_first = [](const Comparison &a,
+                                const Comparison &b) {
+        return a.severity > b.severity;
+    };
+    std::stable_sort(regressions.begin(), regressions.end(),
+                     worse_first);
+    std::stable_sort(improvements.begin(), improvements.end(),
+                     [](const Comparison &a, const Comparison &b) {
+                         return a.severity < b.severity;
+                     });
+
+    std::ostringstream os;
+    const auto line = [&](const char *tag, const Comparison &cmp) {
+        os << tag << " " << cmp.name << ": " << fmt(cmp.base, 6)
+           << " -> " << fmt(cmp.cand, 6);
+        if (std::isfinite(cmp.severity))
+            os << " (" << pct(std::abs(cmp.severity))
+               << (cmp.severity > 0.0 ? " worse)" : " better)");
+        else
+            os << " (new)";
+        os << '\n';
+    };
+    for (const Comparison &cmp : regressions)
+        line("REGRESSION ", cmp);
+    for (const Comparison &cmp : improvements)
+        line("improvement", cmp);
+    os << "compared " << report.compared << " key metrics: "
+       << regressions.size() << " regression"
+       << (regressions.size() == 1 ? "" : "s") << ", "
+       << improvements.size() << " improvement"
+       << (improvements.size() == 1 ? "" : "s") << " (threshold "
+       << fmt(options.threshold * 100.0) << "%)\n";
+
+    report.regressed = !regressions.empty();
+    report.text = os.str();
+    return report;
+}
+
+} // namespace mapzero

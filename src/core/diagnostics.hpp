@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Offline diagnostics: turn flight-recorder journals and metrics run
+ * reports into human-readable post-mortems.
+ *
+ * Everything here is pure analysis over already-parsed JSON — no
+ * filesystem access, no global state — so the `mapzero_cli report`
+ * subcommand and the tests share one code path. The two entry points:
+ *
+ *  - renderJournalDiagnostics(): read `compile.attempt` /
+ *    `compile.result` / `mcts.move` / `trainer.episode` records and
+ *    render compile post-mortems ("II=3 failed: node mul7 unplaceable
+ *    in 30/32 restarts"), an ASCII congestion heatmap over the fabric,
+ *    MCTS search-health summaries, and a trainer summary.
+ *
+ *  - compareRunReports(): diff two `--metrics-out` run reports and flag
+ *    relative regressions at or beyond a threshold, for CI gates.
+ */
+
+#ifndef MAPZERO_CORE_DIAGNOSTICS_HPP
+#define MAPZERO_CORE_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace mapzero {
+
+/** Knobs for renderJournalDiagnostics(). */
+struct DiagnosticsOptions {
+    /** Congested (PE, time-slot) pairs listed per failed II. */
+    std::size_t hotspotCount = 3;
+};
+
+/**
+ * Render the full diagnostics report for one journal (the parsed lines
+ * of a `--journal-out` JSONL file). Unknown record types are counted
+ * and noted, never fatal — a journal from a newer build still yields a
+ * report.
+ */
+std::string
+renderJournalDiagnostics(const std::vector<JsonValue> &records,
+                         const DiagnosticsOptions &options = {});
+
+/** Knobs for compareRunReports(). */
+struct CompareOptions {
+    /**
+     * Relative change at or beyond which a key metric counts as a
+     * regression (0.05 = 5%). Direction-aware: failure/timeout/conflict
+     * counters and *_seconds latencies regress upward, *per_sec
+     * throughput gauges regress downward.
+     */
+    double threshold = 0.05;
+};
+
+/** Outcome of a run-report diff. */
+struct CompareReport {
+    /** Any key metric regressed at or beyond the threshold. */
+    bool regressed = false;
+    /** Key metrics present in both reports and compared. */
+    std::size_t compared = 0;
+    /** Human-readable diff, one line per flagged metric. */
+    std::string text;
+};
+
+/**
+ * Diff two metrics run reports (the JSON written by --metrics-out).
+ * Only direction-classified key metrics participate; everything else
+ * is informational. fatal() when either document lacks a "metrics"
+ * object.
+ */
+CompareReport compareRunReports(const JsonValue &baseline,
+                                const JsonValue &candidate,
+                                const CompareOptions &options = {});
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_DIAGNOSTICS_HPP

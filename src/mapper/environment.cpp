@@ -25,6 +25,7 @@ MapEnv::MapEnv(const dfg::Dfg &dfg, const cgra::Architecture &arch,
     state_ = std::make_unique<MappingState>(dfg, mrrg_,
                                             std::move(*schedule));
     router_ = std::make_unique<Router>(*state_);
+    failureStats_.init(dfg.nodeCount(), arch.peCount(), ii);
 }
 
 bool
@@ -161,13 +162,34 @@ MapEnv::step(cgra::PeId pe)
     failHistory_.push_back(!routes.allRouted());
     totalReward_ += out.reward;
     ++stepIndex_;
-    if (!routes.allRouted())
+    if (!routes.allRouted()) {
         failed_ = true;
+        failureStats_.recordRouteFailure(
+            node, pe,
+            schedule().moduloTime[static_cast<std::size_t>(node)]);
+    }
     // Dead end: some future node may already have no legal PE; that is
     // discovered when its turn comes (legalActionCount() == 0), matching
     // the paper's termination condition "no available PE exists".
     out.done = done();
     return out;
+}
+
+void
+MapEnv::noteDeadEnd()
+{
+    if (done())
+        panic("noteDeadEnd() on a finished episode");
+    const dfg::NodeId node = currentNode();
+    failureStats_.recordDeadEnd(node);
+    // Charge the sites blocking it: every occupied function slot in the
+    // node's modulo slice is a competitor for the PE it needed.
+    const std::int32_t slot =
+        schedule().moduloTime[static_cast<std::size_t>(node)];
+    for (cgra::PeId pe = 0; pe < arch_->peCount(); ++pe) {
+        if (state_->nodeAt(pe, slot) >= 0)
+            failureStats_.recordBlockedSite(pe, slot);
+    }
 }
 
 dfg::NodeId

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "mapper/failure.hpp"
 #include "mapper/mapping.hpp"
 #include "mapper/router.hpp"
 
@@ -127,6 +128,24 @@ class MapEnv
     /** Revert the latest placement; returns the node that was undone. */
     dfg::NodeId undo();
 
+    /**
+     * Record that the current node has no legal PE (search dead end,
+     * §3.1's "no available PE exists"). Charges the node and the
+     * occupied sites of its modulo slot in failureStats(). Callers
+     * (agent DFS, MCTS simulation, baselines) invoke this where they
+     * detect legalActionCount() == 0; the environment cannot, because
+     * detection happens in the searcher's control flow.
+     */
+    void noteDeadEnd();
+
+    /**
+     * Failure evidence accumulated since construction. Survives
+     * reset(), so over one map() attempt it aggregates every restart's
+     * failures - exactly the "which node / which sites" attribution
+     * AttemptResult::failure carries out of the engine.
+     */
+    const FailureStats &failureStats() const { return failureStats_; }
+
     /** Number of placements currently committed. */
     std::int32_t placedCount() const { return state_->placedCount(); }
 
@@ -148,6 +167,7 @@ class MapEnv
     std::vector<dfg::NodeId> history_;
     std::vector<double> rewardHistory_;
     std::vector<bool> failHistory_;
+    FailureStats failureStats_;
 };
 
 } // namespace mapzero::mapper

@@ -1,0 +1,121 @@
+#include "mapper/failure.hpp"
+
+#include <algorithm>
+
+namespace mapzero::mapper {
+
+void
+FailureStats::init(std::int32_t node_count, std::int32_t pe_count,
+                   std::int32_t ii_slots)
+{
+    ii = ii_slots;
+    routeFailures.assign(static_cast<std::size_t>(node_count), 0);
+    deadEnds.assign(static_cast<std::size_t>(node_count), 0);
+    siteCounts.assign(
+        static_cast<std::size_t>(pe_count) *
+            static_cast<std::size_t>(std::max(ii_slots, 1)),
+        0);
+    failureEvents = 0;
+    firstFailNode = -1;
+}
+
+void
+FailureStats::recordRouteFailure(std::int32_t node, std::int32_t pe,
+                                 std::int32_t slot)
+{
+    ++routeFailures[static_cast<std::size_t>(node)];
+    ++siteCounts[static_cast<std::size_t>(pe) *
+                     static_cast<std::size_t>(std::max(ii, 1)) +
+                 static_cast<std::size_t>(slot)];
+    ++failureEvents;
+    if (firstFailNode < 0)
+        firstFailNode = node;
+}
+
+void
+FailureStats::recordDeadEnd(std::int32_t node)
+{
+    ++deadEnds[static_cast<std::size_t>(node)];
+    ++failureEvents;
+    if (firstFailNode < 0)
+        firstFailNode = node;
+}
+
+void
+FailureStats::recordBlockedSite(std::int32_t pe, std::int32_t slot)
+{
+    ++siteCounts[static_cast<std::size_t>(pe) *
+                     static_cast<std::size_t>(std::max(ii, 1)) +
+                 static_cast<std::size_t>(slot)];
+}
+
+std::int64_t
+FailureStats::nodeFailures(std::int32_t node) const
+{
+    const auto v = static_cast<std::size_t>(node);
+    return routeFailures[v] + deadEnds[v];
+}
+
+std::int32_t
+FailureStats::blamedNode() const
+{
+    std::int32_t best = -1;
+    std::int64_t best_count = 0;
+    for (std::size_t v = 0; v < routeFailures.size(); ++v) {
+        const std::int64_t count = nodeFailures(
+            static_cast<std::int32_t>(v));
+        const bool wins = count > best_count ||
+            (count == best_count && count > 0 &&
+             static_cast<std::int32_t>(v) == firstFailNode);
+        if (wins) {
+            best_count = count;
+            best = static_cast<std::int32_t>(v);
+        }
+    }
+    return best;
+}
+
+std::vector<CongestionSite>
+FailureStats::topSites(std::size_t n) const
+{
+    std::vector<CongestionSite> sites;
+    const auto slots = static_cast<std::size_t>(std::max(ii, 1));
+    for (std::size_t i = 0; i < siteCounts.size(); ++i) {
+        if (siteCounts[i] <= 0)
+            continue;
+        sites.push_back(CongestionSite{
+            static_cast<std::int32_t>(i / slots),
+            static_cast<std::int32_t>(i % slots), siteCounts[i]});
+    }
+    std::stable_sort(sites.begin(), sites.end(),
+                     [](const CongestionSite &a, const CongestionSite &b) {
+                         return a.count > b.count;
+                     });
+    if (sites.size() > n)
+        sites.resize(n);
+    return sites;
+}
+
+void
+FailureStats::merge(const FailureStats &other)
+{
+    if (other.routeFailures.empty() && other.failureEvents == 0)
+        return;
+    if (routeFailures.size() != other.routeFailures.size() ||
+        siteCounts.size() != other.siteCounts.size()) {
+        // Different shapes (e.g. never initialized): adopt the other's.
+        *this = other;
+        return;
+    }
+    for (std::size_t v = 0; v < routeFailures.size(); ++v) {
+        routeFailures[v] += other.routeFailures[v];
+        deadEnds[v] += other.deadEnds[v];
+    }
+    for (std::size_t i = 0; i < siteCounts.size(); ++i)
+        siteCounts[i] += other.siteCounts[i];
+    failureEvents += other.failureEvents;
+    if (firstFailNode < 0)
+        firstFailNode = other.firstFailNode;
+}
+
+} // namespace mapzero::mapper

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Failure attribution for mapping search (the flight recorder's raw
+ * evidence).
+ *
+ * A failed attempt at a fixed II is normally summarized by a single
+ * bit; the diagnostics layer (core/diagnostics.hpp) instead wants to
+ * know *which* DFG node the search kept dying on and *which* (PE,
+ * modulo-slot) sites were contested. FailureStats accumulates exactly
+ * that, maintained by MapEnv on its failure paths only - a successful
+ * placement records nothing, so the happy path stays untouched.
+ *
+ * The stats survive MapEnv::reset(): one MapEnv serves one
+ * MapperBase::map() attempt (restarts included), so the accumulated
+ * counts are per-attempt evidence ("mul7 stalled 30 of 32 restarts"),
+ * copied into AttemptResult::failure by the engines.
+ */
+
+#ifndef MAPZERO_MAPPER_FAILURE_HPP
+#define MAPZERO_MAPPER_FAILURE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mapzero::mapper {
+
+/** One contested (PE, modulo-slot) site and its failure-event count. */
+struct CongestionSite {
+    std::int32_t pe = -1;
+    std::int32_t slot = -1;
+    std::int64_t count = 0;
+};
+
+/** Failure evidence accumulated across one attempt's episodes. */
+struct FailureStats {
+    /** Modulo slots per PE (the II the attempt targeted). */
+    std::int32_t ii = 0;
+    /** Per node: placements whose operand routing failed. */
+    std::vector<std::int64_t> routeFailures;
+    /** Per node: times it had no legal PE when its turn came. */
+    std::vector<std::int64_t> deadEnds;
+    /** Per flat (pe * ii + slot) site: congestion events. */
+    std::vector<std::int64_t> siteCounts;
+    /** Total failure events (route failures + dead ends). */
+    std::int64_t failureEvents = 0;
+    /** Node of the very first failure event, -1 while clean. */
+    std::int32_t firstFailNode = -1;
+
+    /** Size the per-node/per-site tables (zeroing all counts). */
+    void init(std::int32_t node_count, std::int32_t pe_count,
+              std::int32_t ii_slots);
+
+    void recordRouteFailure(std::int32_t node, std::int32_t pe,
+                            std::int32_t slot);
+    void recordDeadEnd(std::int32_t node);
+    /** Charge @p (pe, slot) with blocking a dead-ended node. */
+    void recordBlockedSite(std::int32_t pe, std::int32_t slot);
+
+    /** Total failure events charged to @p node. */
+    std::int64_t nodeFailures(std::int32_t node) const;
+
+    /**
+     * Node the search most often stalled on (route failures + dead
+     * ends; ties break toward firstFailNode, then the lowest id).
+     * -1 when no failure was recorded.
+     */
+    std::int32_t blamedNode() const;
+
+    /** Up to @p n hottest sites, descending by count (zeroes omitted). */
+    std::vector<CongestionSite> topSites(std::size_t n) const;
+
+    /** Fold @p other's counts into this (portfolio aggregation). */
+    void merge(const FailureStats &other);
+};
+
+} // namespace mapzero::mapper
+
+#endif // MAPZERO_MAPPER_FAILURE_HPP

@@ -158,8 +158,10 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
         auto &list = candidates[static_cast<std::size_t>(d)];
         list.clear();
         cursor[static_cast<std::size_t>(d)] = 0;
-        if (env.legalActionCount() == 0)
+        if (env.legalActionCount() == 0) {
+            env.noteDeadEnd();
             return; // dead end: caller backtracks
+        }
         const dfg::NodeId node = env.currentNode();
         auto &probs = policy_cache[static_cast<std::size_t>(d)];
         if (probs.empty())
@@ -203,6 +205,8 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
         std::stable_sort(scored.begin(), scored.end());
         for (const auto &[neg_score, pe] : scored)
             list.push_back(pe);
+        if (list.empty())
+            env.noteDeadEnd(); // every legal PE pruned as unroutable
     };
 
     // Bounded DFS with randomized restarts: a small per-restart budget
@@ -215,6 +219,7 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
     while (!deadline.expired() &&
            backtracks <= config_.guidedBacktrackBudget &&
            !root_exhausted) {
+        ++result.episodes;
         while (env.placedCount() > 0)
             env.undo();
         depth = 0;
@@ -269,6 +274,7 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
             harvest(env, result);
             return true;
         }
+        ++result.failedEpisodes;
         // Diversify the next restart and let it search deeper.
         noise = std::min(0.30, noise + 0.06);
         per_restart_cap *= 2;
@@ -287,11 +293,14 @@ MapZeroAgent::mctsSearch(mapper::MapEnv &env, const Deadline &deadline,
     for (std::int32_t restart = 0; restart < config_.mctsRestarts;
          ++restart) {
         env.reset();
+        ++result.episodes;
         while (!env.done()) {
             if (deadline.expired())
                 return false;
-            if (env.legalActionCount() == 0)
+            if (env.legalActionCount() == 0) {
+                env.noteDeadEnd();
                 break;
+            }
             MctsMoveResult move = mcts.runFromCurrent(env, rng);
             if (move.solvedSuffix) {
                 for (std::int32_t a : *move.solvedSuffix)
@@ -307,6 +316,7 @@ MapZeroAgent::mctsSearch(mapper::MapEnv &env, const Deadline &deadline,
             return true;
         }
         ++result.searchOps; // failed episode counts as one backtrack op
+        ++result.failedEpisodes;
     }
     return false;
 }
@@ -324,6 +334,7 @@ MapZeroAgent::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
                   " PEs but the architecture has ", arch.peCount()));
 
     if (!mapper::MapEnv::feasible(dfg, ii)) {
+        result.infeasible = true;
         result.seconds = timer.seconds();
         return result;
     }
@@ -331,6 +342,7 @@ MapZeroAgent::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
     Rng rng(config_.seed);
     mapper::MapEnv env(dfg, arch, ii);
     if (!env.structurallyPlaceable()) {
+        result.infeasible = true;
         result.seconds = timer.seconds();
         return result;
     }
@@ -340,6 +352,8 @@ MapZeroAgent::map(const dfg::Dfg &dfg, const cgra::Architecture &arch,
     if (!ok && config_.useMcts && !deadline.expired()) {
         ok = mctsSearch(env, deadline, result, rng);
     }
+    if (!ok)
+        result.failure = env.failureStats();
 
     result.timedOut = !ok && deadline.expired();
     result.seconds = timer.seconds();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/journal.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
@@ -30,6 +31,40 @@ struct MctsMetrics {
         return instance;
     }
 };
+
+/**
+ * Flight-recorder record for one move: search health a post-mortem can
+ * read back (did visit mass collapse? did simulations reach depth?).
+ * Only called when the journal is enabled.
+ */
+void
+emitMoveRecord(const mapper::MapEnv &env, const MctsMoveResult &result)
+{
+    double entropy = 0.0;
+    double max_pi = 0.0;
+    std::int32_t support = 0;
+    for (const double p : result.pi) {
+        if (p <= 0.0)
+            continue;
+        entropy -= p * std::log(p);
+        max_pi = std::max(max_pi, p);
+        ++support;
+    }
+    JournalRecord record("mcts.move");
+    record.field("dfg", env.dfg().name())
+        .field("ii", env.ii())
+        .field("step", env.stepIndex())
+        .field("simulations", result.simulations)
+        .field("root_value", result.rootValue)
+        .field("policy_entropy", entropy)
+        .field("best_action", result.bestAction)
+        .field("best_visit_share", max_pi)
+        .field("support", support)
+        .field("interior_visits", result.interiorVisits)
+        .field("max_depth", result.maxDepth)
+        .field("solved", result.solvedSuffix.has_value());
+    journal().emit(std::move(record));
+}
 
 } // namespace
 
@@ -89,7 +124,7 @@ dirichlet(std::size_t k, double alpha, Rng &rng)
 bool
 Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
                std::vector<std::int32_t> &solved_path,
-               std::int64_t &interior_visits)
+               std::int64_t &interior_visits, std::int32_t &max_depth)
 {
     struct PathEntry {
         TreeNode *parent;
@@ -117,6 +152,7 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
             break;
         }
         if (!env.done() && env.legalActionCount() == 0) {
+            env.noteDeadEnd();
             node->terminal = true;
             node->terminalValue = -config_.deadEndPenalty;
             leaf_value = node->terminalValue;
@@ -192,6 +228,9 @@ Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
             interior_visits += 1;
     }
 
+    max_depth = std::max(
+        max_depth, static_cast<std::int32_t>(actions.size()));
+
     // Restore the environment.
     for (std::size_t i = 0; i < actions.size(); ++i)
         env.undo();
@@ -217,8 +256,9 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
     std::vector<std::int32_t> solved_path;
     for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {
         m.simulations.add();
+        ++result.simulations;
         if (simulate(root, env, rng, solved_path,
-                     result.interiorVisits)) {
+                     result.interiorVisits, result.maxDepth)) {
             result.solvedSuffix = solved_path;
             m.solvedSuffixes.add();
             break;
@@ -251,6 +291,8 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                 result.bestAction = edge.action;
             }
         }
+        if (journal().enabled())
+            emitMoveRecord(env, result);
         return result;
     }
 
@@ -269,6 +311,8 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
         }
     }
     result.rootValue = weighted_value * config_.valueScale;
+    if (journal().enabled())
+        emitMoveRecord(env, result);
     return result;
 }
 

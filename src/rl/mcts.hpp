@@ -60,6 +60,10 @@ struct MctsMoveResult {
      * with the simulation budget on any search deeper than one ply.
      */
     std::int64_t interiorVisits = 0;
+    /** Deepest simulation depth (in placements past the root). */
+    std::int32_t maxDepth = 0;
+    /** Simulations actually run (short-circuits stop early). */
+    std::int32_t simulations = 0;
     /**
      * When a simulation completed the whole mapping successfully: the
      * action suffix (from the current state) that realizes it.
@@ -95,7 +99,8 @@ class Mcts
     /** One simulation; returns true when it solved the whole mapping. */
     bool simulate(TreeNode &root, mapper::MapEnv &env, Rng &rng,
                   std::vector<std::int32_t> &solved_path,
-                  std::int64_t &interior_visits);
+                  std::int64_t &interior_visits,
+                  std::int32_t &max_depth);
 
     /** Set when constructed from a bare network. */
     std::unique_ptr<DirectEvaluator> owned_;

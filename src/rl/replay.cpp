@@ -52,6 +52,25 @@ ReplayBuffer::sampleBatch(std::size_t batch_size, Rng &rng)
     return batch;
 }
 
+PriorityStats
+ReplayBuffer::priorityStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PriorityStats stats;
+    stats.size = priorities_.size();
+    if (priorities_.empty())
+        return stats;
+    double sum = 0.0;
+    stats.min = stats.max = priorities_.front();
+    for (const double p : priorities_) {
+        stats.min = std::min(stats.min, p);
+        stats.max = std::max(stats.max, p);
+        sum += p;
+    }
+    stats.mean = sum / static_cast<double>(priorities_.size());
+    return stats;
+}
+
 ReplaySnapshot
 ReplayBuffer::snapshot() const
 {

@@ -26,6 +26,14 @@ struct TrainingSample {
     double value = 0.0;
 };
 
+/** Summary of the buffer's sampling priorities (diagnostics). */
+struct PriorityStats {
+    std::size_t size = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+};
+
 /**
  * A replay buffer's complete contents, detached from the buffer's lock:
  * what trainer checkpoints persist and restore. `cursor` is the ring
@@ -72,6 +80,13 @@ class ReplayBuffer
 
     /** Lower bound a sampled entry's priority can be halved to. */
     static constexpr double kPriorityFloor = 1e-6;
+
+    /**
+     * Min/max/mean of the current priorities (a collapsed distribution
+     * - everything at the floor - means sampling degraded to uniform).
+     * Thread-safe.
+     */
+    PriorityStats priorityStats() const;
 
     /** Deep copy of the contents (checkpointing). Thread-safe. */
     ReplaySnapshot snapshot() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/journal.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -46,6 +47,31 @@ publishEpisodeMetrics(const EpisodeStats &stats, std::size_t replay_size)
     replay.set(static_cast<double>(replay_size));
 }
 
+/**
+ * Flight-recorder record for one training episode (loss terms, grad
+ * norm, replay priority health). Only called when the journal is on.
+ */
+void
+emitEpisodeRecord(const EpisodeStats &stats,
+                  const PriorityStats &priorities)
+{
+    JournalRecord record("trainer.episode");
+    record.field("episode", stats.episode)
+        .field("success", stats.success)
+        .field("reward", stats.reward)
+        .field("routing_penalty", stats.routingPenalty)
+        .field("total_loss", stats.totalLoss)
+        .field("value_loss", stats.valueLoss)
+        .field("policy_loss", stats.policyLoss)
+        .field("grad_norm", stats.gradNorm)
+        .field("learning_rate", stats.learningRate)
+        .field("replay_size", priorities.size)
+        .field("priority_min", priorities.min)
+        .field("priority_mean", priorities.mean)
+        .field("priority_max", priorities.max);
+    journal().emit(std::move(record));
+}
+
 /** Append @p stats as one JSON line to @p path (best-effort). */
 void
 appendStatsJsonl(const std::string &path, const EpisodeStats &stats)
@@ -62,6 +88,7 @@ appendStatsJsonl(const std::string &path, const EpisodeStats &stats)
        << ", \"totalLoss\": " << stats.totalLoss
        << ", \"valueLoss\": " << stats.valueLoss
        << ", \"policyLoss\": " << stats.policyLoss
+       << ", \"gradNorm\": " << stats.gradNorm
        << ", \"learningRate\": " << stats.learningRate << "}\n";
 }
 
@@ -433,6 +460,8 @@ Trainer::absorbEpisode(SelfPlayOutcome outcome, std::int32_t episode)
     stats.learningRate = optimizer_->learningRate();
 
     publishEpisodeMetrics(stats, replay_.size());
+    if (journal().enabled())
+        emitEpisodeRecord(stats, replay_.priorityStats());
     if (!config_.statsJsonlPath.empty())
         appendStatsJsonl(config_.statsJsonlPath, stats);
     if (config_.progressEvery > 0 &&
@@ -497,6 +526,8 @@ Trainer::trainStep(EpisodeStats &stats)
     loss_sum.backward();
     const float grad_norm =
         nn::clipGradNorm(net_->parameters(), config_.gradClip);
+    stats.gradNorm =
+        std::max(stats.gradNorm, static_cast<double>(grad_norm));
 
     // Divergence guard: a non-finite loss or gradient norm would write
     // NaN/Inf into the weights and Adam moments, poisoning the run from

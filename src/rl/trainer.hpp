@@ -105,6 +105,8 @@ struct EpisodeStats {
     /** Routing penalty of the episode (Fig. 12e). */
     double routingPenalty = 0.0;
     double learningRate = 0.0;
+    /** Largest pre-clip gradient norm among the episode's updates. */
+    double gradNorm = 0.0;
     bool success = false;
 };
 

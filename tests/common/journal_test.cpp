@@ -1,0 +1,163 @@
+/** @file Unit tests for the structured event journal. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "common/json.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Enables the global journal for one test, restoring state after. */
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        journal().clear();
+        journal().setCapacity(Journal::kDefaultCapacity);
+        journal().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        journal().setEnabled(false);
+        journal().clear();
+        journal().setCapacity(Journal::kDefaultCapacity);
+    }
+};
+
+TEST_F(JournalTest, DisabledJournalIsANoOp)
+{
+    journal().setEnabled(false);
+    JournalRecord record("test.event");
+    record.field("k", 1);
+    journal().emit(std::move(record));
+    EXPECT_EQ(journal().emitted(), 0);
+    EXPECT_EQ(journal().recordCount(), 0u);
+    EXPECT_TRUE(journal().lines().empty());
+}
+
+TEST_F(JournalTest, RecordRendersTypedFieldsAsOneJsonObject)
+{
+    JournalRecord record("test.event");
+    record.field("flag", true)
+        .field("count", std::int64_t{-7})
+        .field("ratio", 0.5)
+        .field("name", "a\"b\nc")
+        .rawField("list", "[1,2,3]");
+    journal().emit(std::move(record));
+
+    const auto lines = journal().lines();
+    ASSERT_EQ(lines.size(), 1u);
+    const JsonValue doc = JsonValue::parse(lines.front());
+    EXPECT_EQ(doc.at("type").asString(), "test.event");
+    EXPECT_TRUE(doc.at("flag").asBool());
+    EXPECT_EQ(doc.at("count").asInt(), -7);
+    EXPECT_DOUBLE_EQ(doc.at("ratio").asNumber(), 0.5);
+    EXPECT_EQ(doc.at("name").asString(), "a\"b\nc");
+    EXPECT_EQ(doc.at("list").size(), 3u);
+    EXPECT_EQ(doc.at("seq").asInt(), 1);
+    EXPECT_TRUE(doc.has("ts_us"));
+    EXPECT_TRUE(doc.has("tid"));
+}
+
+TEST_F(JournalTest, ConcurrentEmitsProduceValidDistinctRecords)
+{
+    constexpr int kThreads = 8;
+    // Deliberately not a multiple of kFlushBatch so every thread
+    // leaves a partial staging buffer for lines() to drain.
+    constexpr int kPerThread = 211;
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                JournalRecord record("test.concurrent");
+                record.field("worker", t).field("i", i);
+                journal().emit(std::move(record));
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    const auto lines = journal().lines();
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(journal().dropped(), 0);
+
+    // Every line parses on its own (no interleaved/torn writes), seqs
+    // are unique, and each worker's own records stay in order.
+    std::set<std::int64_t> seqs;
+    std::vector<int> next(kThreads, 0);
+    for (const std::string &line : lines) {
+        const JsonValue doc = JsonValue::parse(line);
+        EXPECT_EQ(doc.at("type").asString(), "test.concurrent");
+        EXPECT_TRUE(seqs.insert(doc.at("seq").asInt()).second);
+        const auto worker =
+            static_cast<int>(doc.at("worker").asInt());
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, kThreads);
+        EXPECT_EQ(doc.at("i").asInt(), next[worker]);
+        ++next[worker];
+    }
+    EXPECT_EQ(seqs.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(JournalTest, RingDropsOldestRecordsFirst)
+{
+    journal().setCapacity(8);
+    constexpr int kTotal = 200;
+    for (int i = 0; i < kTotal; ++i) {
+        JournalRecord record("test.ring");
+        record.field("i", i);
+        journal().emit(std::move(record));
+    }
+    const auto lines = journal().lines();
+    ASSERT_EQ(lines.size(), 8u);
+    EXPECT_EQ(journal().dropped() + 8, kTotal);
+    // Flight-recorder semantics: the newest records survive.
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+        const JsonValue doc = JsonValue::parse(lines[k]);
+        EXPECT_EQ(doc.at("i").asInt(),
+                  kTotal - 8 + static_cast<std::int64_t>(k));
+    }
+}
+
+TEST_F(JournalTest, WriteToAppendsDropTrailer)
+{
+    journal().setCapacity(4);
+    for (int i = 0; i < 10; ++i) {
+        JournalRecord record("test.trailer");
+        record.field("i", i);
+        journal().emit(std::move(record));
+    }
+    const std::string path =
+        testing::TempDir() + "journal_trailer_test.jsonl";
+    journal().writeTo(path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const auto docs = JsonValue::parseLines(ss.str());
+    ASSERT_EQ(docs.size(), 5u);
+    const JsonValue &trailer = docs.back();
+    EXPECT_EQ(trailer.at("type").asString(), "journal.dropped");
+    EXPECT_EQ(trailer.at("dropped").asInt(), 6);
+}
+
+} // namespace
+} // namespace mapzero

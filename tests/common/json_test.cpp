@@ -1,0 +1,133 @@
+/** @file Unit tests for the JSON reader and writer round-trips. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").asNumber(), -1250.0);
+    EXPECT_EQ(JsonValue::parse("42").asInt(), 42);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedDocument)
+{
+    const JsonValue doc = JsonValue::parse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "a": 9})");
+    EXPECT_EQ(doc.size(), 3u);
+    EXPECT_EQ(doc.at("a").size(), 3u);
+    EXPECT_TRUE(doc.at("a").at(2).at("b").asBool());
+    EXPECT_TRUE(doc.at("c").at("d").isNull());
+    // Duplicate keys keep the first occurrence on lookup.
+    EXPECT_TRUE(doc.at("a").isArray());
+    EXPECT_DOUBLE_EQ(doc.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(doc.stringOr("missing", "dflt"), "dflt");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const JsonValue v =
+        JsonValue::parse(R"("a\"b\\c\/d\b\f\n\r\te")");
+    EXPECT_EQ(v.asString(), "a\"b\\c/d\b\f\n\r\te");
+    // \u escapes, including a surrogate pair (U+1F600).
+    const JsonValue u =
+        JsonValue::parse("\"\\u00e9 \\uD83D\\uDE00\"");
+    EXPECT_EQ(u.asString(), "\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedInputIsFatal)
+{
+    EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("\"\\uD83D\""), std::runtime_error);
+}
+
+TEST(JsonParse, KindMismatchIsFatal)
+{
+    const JsonValue v = JsonValue::parse("[1]");
+    EXPECT_THROW((void)v.asString(), std::runtime_error);
+    EXPECT_THROW((void)v.at("key"), std::runtime_error);
+    EXPECT_THROW((void)v.at(5), std::runtime_error);
+}
+
+TEST(JsonParse, ParseLinesSkipsBlanks)
+{
+    const auto docs =
+        JsonValue::parseLines("{\"a\":1}\n\n{\"a\":2}\n");
+    ASSERT_EQ(docs.size(), 2u);
+    EXPECT_EQ(docs[1].at("a").asInt(), 2);
+}
+
+/** Writer -> parser round-trip for every escaping corner. */
+TEST(JsonRoundTrip, EscapedStringsSurviveWriterAndParser)
+{
+    const std::string cases[] = {
+        "plain",
+        "quote\" backslash\\ slash/",
+        std::string("nul\0byte", 8),
+        "\x01\x02\x1f control",
+        "tab\t newline\n return\r",
+        "caf\xc3\xa9",              // U+00E9, two-byte UTF-8
+        "\xe2\x82\xac euro",        // U+20AC, three-byte UTF-8
+        "\xf0\x9f\x98\x80 smile",   // U+1F600, surrogate pair
+    };
+    for (const std::string &original : cases) {
+        const std::string doc = "\"" + jsonEscape(original) + "\"";
+        // The writer must emit pure-ASCII output.
+        for (const char c : doc)
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << doc;
+        EXPECT_EQ(JsonValue::parse(doc).asString(), original) << doc;
+    }
+}
+
+TEST(JsonRoundTrip, InvalidUtf8BytesBecomeReplacementChar)
+{
+    // Lone continuation byte, truncated lead, overlong encoding: each
+    // must degrade to U+FFFD instead of producing invalid JSON.
+    const std::string cases[] = {
+        "\x80",
+        "bad\xff tail",
+        "\xc3",            // truncated two-byte sequence
+        "\xc0\xaf",        // overlong '/'
+        "\xed\xa0\x80",    // UTF-8-encoded surrogate half
+    };
+    for (const std::string &original : cases) {
+        const std::string doc = "\"" + jsonEscape(original) + "\"";
+        const std::string parsed = JsonValue::parse(doc).asString();
+        EXPECT_NE(parsed.find("\xef\xbf\xbd"), std::string::npos)
+            << doc;
+    }
+}
+
+TEST(JsonRoundTrip, NumbersSurviveWriterAndParser)
+{
+    for (const double value : {0.0, -1.5, 3.25e18, 1e-9, 12345.0}) {
+        const JsonValue parsed = JsonValue::parse(jsonNumber(value));
+        EXPECT_DOUBLE_EQ(parsed.asNumber(), value);
+    }
+    // Non-finite doubles must still produce valid JSON (0).
+    EXPECT_DOUBLE_EQ(
+        JsonValue::parse(
+            jsonNumber(std::numeric_limits<double>::infinity()))
+            .asNumber(),
+        0.0);
+}
+
+} // namespace
+} // namespace mapzero

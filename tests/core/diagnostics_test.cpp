@@ -1,0 +1,223 @@
+/** @file Unit tests for offline diagnostics and run-report compare. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cgra/architecture.hpp"
+#include "common/journal.hpp"
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "core/compiler.hpp"
+#include "core/diagnostics.hpp"
+#include "dfg/dfg.hpp"
+
+namespace mapzero {
+namespace {
+
+/** Enables the global journal for one test, restoring state after. */
+class DiagnosticsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        journal().clear();
+        journal().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        journal().setEnabled(false);
+        journal().clear();
+    }
+};
+
+/**
+ * A star DFG no fabric in the suite can map: @p fan_in producers all
+ * feeding one consumer one level later, so every producer needs a
+ * one-cycle route into the consumer's PE. With more producers than any
+ * PE has in-neighbors, the consumer is unplaceable at every II.
+ */
+dfg::Dfg
+starKernel(std::int32_t fan_in)
+{
+    dfg::Dfg dfg;
+    dfg.setName("star");
+    for (std::int32_t i = 0; i < fan_in; ++i)
+        dfg.addNode(dfg::Opcode::Add, cat("in", i));
+    const auto hub = dfg.addNode(dfg::Opcode::Mul, "hub");
+    for (std::int32_t i = 0; i < fan_in; ++i)
+        dfg.addEdge(i, hub);
+    return dfg;
+}
+
+std::vector<JsonValue>
+drainJournal()
+{
+    std::string text;
+    for (const std::string &line : journal().lines()) {
+        text += line;
+        text += '\n';
+    }
+    return JsonValue::parseLines(text);
+}
+
+TEST_F(DiagnosticsTest, InfeasibleKernelPostMortemNamesTheStuckNode)
+{
+    const dfg::Dfg kernel = starKernel(14);
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    Compiler compiler;
+    CompileOptions options;
+    options.timeLimitSeconds = 1.0;
+    const CompileResult result =
+        compiler.compile(kernel, arch, Method::Ilp, options);
+    ASSERT_FALSE(result.success);
+
+    const std::vector<JsonValue> records = drainJournal();
+    ASSERT_FALSE(records.empty());
+
+    // The raw records carry the attribution...
+    bool blamed_hub = false;
+    std::size_t hotspot_sites = 0;
+    for (const JsonValue &record : records) {
+        if (record.stringOr("type", "") != "compile.attempt")
+            continue;
+        EXPECT_NE(record.stringOr("outcome", ""), "success");
+        if (record.stringOr("fail_node", "") == "hub")
+            blamed_hub = true;
+        if (record.has("hotspots"))
+            hotspot_sites =
+                std::max(hotspot_sites, record.at("hotspots").size());
+    }
+    EXPECT_TRUE(blamed_hub);
+    EXPECT_GE(hotspot_sites, 3u);
+
+    // ...and the rendered post-mortem names the node, lists the top
+    // congested (PE, slot) pairs, and draws the heatmap.
+    const std::string report = renderJournalDiagnostics(records);
+    EXPECT_NE(report.find("Compile post-mortem: star"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("node hub unplaceable"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("hottest PE("), std::string::npos) << report;
+    EXPECT_NE(report.find("congestion heatmap"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("FAILED"), std::string::npos) << report;
+}
+
+TEST_F(DiagnosticsTest, MctsAndTrainerRecordsRenderHealthSections)
+{
+    const std::string jsonl =
+        R"({"type":"mcts.move","dfg":"k","ii":2,"simulations":16,)"
+        R"("root_value":0.25,"policy_entropy":1.2,)"
+        R"("best_visit_share":0.5,"support":4,"max_depth":7,)"
+        R"("solved":false})" "\n"
+        R"({"type":"mcts.move","dfg":"k","ii":2,"simulations":16,)"
+        R"("root_value":0.75,"policy_entropy":0.8,)"
+        R"("best_visit_share":0.9,"support":2,"max_depth":9,)"
+        R"("solved":true})" "\n"
+        R"({"type":"trainer.episode","episode":1,"success":true,)"
+        R"("total_loss":0.5,"value_loss":0.3,"policy_loss":0.2,)"
+        R"("grad_norm":2.5,"learning_rate":0.003,"replay_size":128,)"
+        R"("priority_min":0.1,"priority_mean":0.6,"priority_max":1.0})"
+        "\n";
+    const std::string report =
+        renderJournalDiagnostics(JsonValue::parseLines(jsonl));
+    EXPECT_NE(report.find("MCTS health"), std::string::npos) << report;
+    EXPECT_NE(report.find("max depth 9"), std::string::npos) << report;
+    EXPECT_NE(report.find("1/2 solved roots"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("Trainer"), std::string::npos) << report;
+    EXPECT_NE(report.find("1 episodes"), std::string::npos) << report;
+}
+
+// --------------------------------------------------------------------
+// Run-report compare
+
+JsonValue
+report(double timeouts, double ops_per_sec, double mean, double p95)
+{
+    return JsonValue::parse(cat(
+        R"({"metrics":{)",
+        R"("counters":{"compile.timeouts":)", timeouts,
+        R"(,"kernels.mapped":3},)",
+        R"("gauges":{"search.ops_per_sec":)", ops_per_sec,
+        R"(,"replay.fill":0.5},)",
+        R"("histograms":{"compile.compile_seconds":{"count":2,"mean":)",
+        mean, R"(,"p95":)", p95, R"(},)",
+        R"("mcts.depth":{"count":2,"mean":4,"p95":6}}},)",
+        R"("traceEventCount":0})"));
+}
+
+TEST(CompareRunReports, IdenticalReportsPass)
+{
+    const JsonValue a = report(0, 100.0, 1.0, 2.0);
+    const CompareReport cmp = compareRunReports(a, a, {});
+    EXPECT_FALSE(cmp.regressed);
+    // timeouts counter, per_sec gauge, seconds mean + p95; the
+    // unclassified counter/gauge/histogram stay out of the gate.
+    EXPECT_EQ(cmp.compared, 4u);
+}
+
+TEST(CompareRunReports, FlagsRegressionsBeyondThreshold)
+{
+    const JsonValue base = report(0, 100.0, 1.0, 2.0);
+    const JsonValue cand = report(2, 79.0, 1.04, 2.4);
+    CompareOptions options;
+    options.threshold = 0.05;
+    const CompareReport cmp = compareRunReports(base, cand, options);
+    EXPECT_TRUE(cmp.regressed);
+    EXPECT_NE(cmp.text.find("REGRESSION"), std::string::npos)
+        << cmp.text;
+    EXPECT_NE(cmp.text.find("compile.timeouts"), std::string::npos)
+        << cmp.text;
+    EXPECT_NE(cmp.text.find("ops_per_sec"), std::string::npos)
+        << cmp.text;
+    EXPECT_NE(cmp.text.find("p95"), std::string::npos) << cmp.text;
+    // A 4% mean drift stays under the 5% gate, so it is not listed.
+    EXPECT_EQ(cmp.text.find("compile_seconds.mean"),
+              std::string::npos)
+        << cmp.text;
+}
+
+TEST(CompareRunReports, ImprovementsAreNotRegressions)
+{
+    const JsonValue base = report(4, 80.0, 2.0, 3.0);
+    const JsonValue cand = report(0, 120.0, 1.0, 2.0);
+    const CompareReport cmp = compareRunReports(base, cand, {});
+    EXPECT_FALSE(cmp.regressed);
+    EXPECT_NE(cmp.text.find("improvement"), std::string::npos)
+        << cmp.text;
+}
+
+TEST(CompareRunReports, FailureCounterBornInCandidateRegresses)
+{
+    const JsonValue base = JsonValue::parse(
+        R"({"metrics":{"counters":{"kernels.mapped":1}}})");
+    const JsonValue cand = JsonValue::parse(
+        R"({"metrics":{"counters":{"kernels.mapped":1,)"
+        R"("sim.divergence":3}}})");
+    const CompareReport cmp = compareRunReports(base, cand, {});
+    EXPECT_TRUE(cmp.regressed);
+    EXPECT_NE(cmp.text.find("sim.divergence"), std::string::npos)
+        << cmp.text;
+    EXPECT_NE(cmp.text.find("(new)"), std::string::npos) << cmp.text;
+}
+
+TEST(CompareRunReports, MissingMetricsSectionIsFatal)
+{
+    const JsonValue good = report(0, 1.0, 1.0, 1.0);
+    const JsonValue bad = JsonValue::parse(R"({"oops":1})");
+    EXPECT_THROW((void)compareRunReports(bad, good, {}),
+                 std::runtime_error);
+    EXPECT_THROW((void)compareRunReports(good, bad, {}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace mapzero

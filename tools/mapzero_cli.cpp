@@ -10,6 +10,9 @@
  *                        [--resume [F]] [--time S]
  *   mapzero_cli analyze  --kernel arf
  *   mapzero_cli simulate --kernel mac --arch hrea [--iters 8]
+ *   mapzero_cli report   --journal FILE [--hotspots N]
+ *   mapzero_cli report   --compare BASELINE.json CANDIDATE.json
+ *                        [--threshold 0.05]
  *   mapzero_cli list
  *
  * Kernels come from the built-in Table-2 set, or from a DOT file via
@@ -20,6 +23,9 @@
  *   --trace-out FILE    Chrome trace-event JSON of the run (open in
  *                       chrome://tracing or https://ui.perfetto.dev)
  *   --metrics-out FILE  JSON run report of all registry metrics
+ *   --journal-out FILE  structured flight-recorder journal (JSONL; read
+ *                       back with `report --journal`; also settable via
+ *                       the MAPZERO_JOURNAL environment variable)
  *   --log-level LEVEL   debug|info|warn|error|off (also settable via
  *                       the MAPZERO_LOG_LEVEL environment variable)
  *   --jobs N            worker threads for parallel compilation and
@@ -31,9 +37,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/exact_mapper.hpp"
+#include "common/journal.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -41,6 +51,7 @@
 #include "core/agent_cache.hpp"
 #include "core/bitstream.hpp"
 #include "core/compiler.hpp"
+#include "core/diagnostics.hpp"
 #include "core/spatial.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/kernels.hpp"
@@ -53,10 +64,11 @@ namespace {
 
 using namespace mapzero;
 
-/** Parsed "--key value" / "--flag" arguments. */
+/** Parsed "--key value" / "--flag" arguments plus bare positionals. */
 struct Args {
     std::string command;
     std::map<std::string, std::string> options;
+    std::vector<std::string> positionals;
 
     bool
     flag(const std::string &name) const
@@ -80,8 +92,12 @@ parseArgs(int argc, char **argv)
         args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string token = argv[i];
-        if (token.rfind("--", 0) != 0)
-            fatal("unexpected argument: " + token);
+        if (token.rfind("--", 0) != 0) {
+            // Bare operand: `report --compare A.json B.json` puts the
+            // second file here.
+            args.positionals.push_back(std::move(token));
+            continue;
+        }
         token = token.substr(2);
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
             args.options[token] = argv[++i];
@@ -340,6 +356,69 @@ cmdSimulate(const Args &args)
     return 0;
 }
 
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open " + path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (is.bad())
+        fatal("failed reading " + path);
+    return os.str();
+}
+
+/**
+ * Offline diagnostics over artifacts earlier runs wrote to disk:
+ *
+ *   report --journal FILE [--hotspots N]     post-mortem of a journal
+ *   report --compare BASE.json CAND.json     diff two --metrics-out run
+ *          [--threshold 0.05]                reports; exits 3 on any
+ *                                            regression >= threshold
+ */
+int
+cmdReport(const Args &args)
+{
+    if (args.flag("compare")) {
+        const std::string base_path = args.get("compare", "");
+        if (base_path.empty() || args.positionals.empty())
+            fatal("report --compare needs two run-report files: "
+                  "report --compare BASELINE.json CANDIDATE.json");
+        const JsonValue base =
+            JsonValue::parse(readTextFile(base_path));
+        const JsonValue cand =
+            JsonValue::parse(readTextFile(args.positionals.front()));
+        CompareOptions options;
+        options.threshold =
+            std::atof(args.get("threshold", "0.05").c_str());
+        if (options.threshold <= 0.0)
+            fatal("--threshold must be a positive fraction "
+                  "(0.05 = 5%)");
+        const CompareReport cmp = compareRunReports(base, cand,
+                                                    options);
+        std::printf("%s", cmp.text.c_str());
+        return cmp.regressed ? 3 : 0;
+    }
+
+    std::string journal_path = args.get("journal", "");
+    if (journal_path.empty() && !args.positionals.empty())
+        journal_path = args.positionals.front();
+    if (journal_path.empty())
+        fatal("report needs --journal FILE (or --compare A B); "
+              "journals come from --journal-out / MAPZERO_JOURNAL");
+    DiagnosticsOptions options;
+    options.hotspotCount = static_cast<std::size_t>(
+        std::atoi(args.get("hotspots", "3").c_str()));
+    if (options.hotspotCount == 0)
+        options.hotspotCount = 3;
+    const std::vector<JsonValue> records =
+        JsonValue::parseLines(readTextFile(journal_path));
+    std::printf("%s", renderJournalDiagnostics(records,
+                                               options).c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -394,8 +473,11 @@ dispatch(const Args &args)
         return cmdSimulate(args);
     if (args.command == "spatial")
         return cmdSpatial(args);
+    if (args.command == "report")
+        return cmdReport(args);
     std::printf(
-        "usage: mapzero_cli <list|analyze|map|train|simulate|spatial> "
+        "usage: mapzero_cli "
+        "<list|analyze|map|train|simulate|spatial|report> "
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
@@ -409,8 +491,12 @@ dispatch(const Args &args)
         "  analyze  --kernel NAME|--kernel-dot F\n"
         "  simulate --kernel NAME --arch FABRIC [--iters N]\n"
         "  spatial  --kernel NAME --arch FABRIC [--time S]\n"
+        "  report   --journal FILE [--hotspots N]\n"
+        "  report   --compare BASELINE.json CANDIDATE.json\n"
+        "           [--threshold 0.05] (exit 3 on regression)\n"
         "observability (any command): [--trace-out FILE]\n"
-        "           [--metrics-out FILE] [--log-level LEVEL]\n"
+        "           [--metrics-out FILE] [--journal-out FILE]\n"
+        "           [--log-level LEVEL] (env: MAPZERO_JOURNAL)\n"
         "parallelism (any command): [--jobs N] (0 = all hardware\n"
         "           threads; default 1; env: MAPZERO_NUM_THREADS)\n");
     return args.command.empty() ? 0 : 2;
@@ -444,6 +530,23 @@ main(int argc, char **argv)
         if (!trace_out.empty())
             TraceCollector::global().setEnabled(true);
 
+        std::string journal_out = args.get("journal-out", "");
+        if (args.flag("journal-out") && journal_out.empty())
+            fatal("--journal-out needs a file path");
+        if (journal_out.empty())
+            if (const char *env = std::getenv("MAPZERO_JOURNAL"))
+                journal_out = env;
+        // `report` only reads artifacts; recording during it could
+        // clobber the very journal under analysis via the env var.
+        if (args.command == "report")
+            journal_out.clear();
+        if (!journal_out.empty()) {
+            Journal::global().setEnabled(true);
+            // Registers the crash/atexit flush hooks, so even a run
+            // that dies in fatal() leaves a journal behind.
+            Journal::global().setOutputPath(journal_out);
+        }
+
         int rc = 0;
         try {
             rc = dispatch(args);
@@ -464,6 +567,16 @@ main(int argc, char **argv)
             writeRunReport(metrics_out);
             std::printf("metrics report written to %s\n",
                         metrics_out.c_str());
+        }
+        if (!journal_out.empty()) {
+            Journal::global().writeTo(journal_out);
+            std::printf("journal written to %s (%lld records, %lld "
+                        "dropped)\n",
+                        journal_out.c_str(),
+                        static_cast<long long>(
+                            Journal::global().recordCount()),
+                        static_cast<long long>(
+                            Journal::global().dropped()));
         }
         return rc;
     } catch (const std::exception &error) {
