@@ -20,6 +20,7 @@
 
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "svc/telemetry_server.hpp"
 #include "core/agent_cache.hpp"
 #include "core/compiler.hpp"
 #include "core/config.hpp"
@@ -102,14 +103,23 @@ installRunReportAtExit(const std::string &what)
     const char *dir = std::getenv("MAPZERO_BENCH_REPORT_DIR");
     if (dir == nullptr || *dir == '\0')
         return;
-    // Touch the singletons now so they are constructed before the
-    // handler is registered: statics die in reverse construction
-    // order, so lazily constructing them mid-run would leave the
-    // handler snapshotting already-destroyed objects at exit.
-    metrics();
-    TraceCollector::global();
     path = runReportPath(what, dir);
-    std::atexit(+[] { writeRunReport(path); });
+    // atexit + fatal-hook flush: a bench that dies mid-run still
+    // leaves its report behind (same contract as --metrics-out).
+    setRunReportOutputPath(path);
+}
+
+/**
+ * Bench binaries take no telemetry flags, so the stats port comes from
+ * the environment: MAPZERO_STATS_PORT=0 serves /metrics on an
+ * ephemeral port for the whole bench run (and is how the DESIGN.md §13
+ * overhead budget is measured). Unset = no server, no sampler.
+ */
+inline void
+installTelemetryFromEnv()
+{
+    if (const char *port = std::getenv("MAPZERO_STATS_PORT"))
+        svc::ensureTelemetryServer(std::atoi(port));
 }
 
 /** Print a header banner with the run configuration. */
@@ -117,6 +127,7 @@ inline void
 printBanner(const std::string &what)
 {
     installRunReportAtExit(what);
+    installTelemetryFromEnv();
     std::printf("==========================================================\n");
     std::printf("%s\n", what.c_str());
     std::printf("config: timeLimit=%.1fs mctsExpansions=%d "

@@ -324,10 +324,17 @@ Journal::setOutputPath(std::string path)
     }
     if (install_hooks) {
         // Flush on orderly exit and from fatal()/panic(): the journal
-        // of a dying run is exactly the journal worth keeping.
+        // of a dying run is exactly the journal worth keeping. The
+        // previous hook is chained so crash flushers installed by
+        // other subsystems (the run report's, common/trace.hpp) keep
+        // firing regardless of installation order.
         std::atexit(+[] { Journal::global().crashFlush(); });
-        setFatalHook(
-            +[]() noexcept { Journal::global().crashFlush(); });
+        static FatalHook previous_hook = nullptr;
+        previous_hook = setFatalHook(+[]() noexcept {
+            Journal::global().crashFlush();
+            if (previous_hook != nullptr)
+                previous_hook();
+        });
     }
 }
 

@@ -138,6 +138,32 @@ Histogram::percentile(double q) const
     return max();
 }
 
+double
+HistogramSnapshot::percentile(double q) const
+{
+    if (count <= 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const std::int64_t in_bucket = buckets[i].count;
+        if (in_bucket == 0)
+            continue;
+        seen += in_bucket;
+        if (seen >= rank) {
+            const double lo = i == 0 ? 0.0 : buckets[i - 1].upperBound;
+            const double hi = buckets[i].upperBound;
+            const double frac =
+                static_cast<double>(rank - (seen - in_bucket)) /
+                static_cast<double>(in_bucket);
+            return std::clamp(lo + frac * (hi - lo), min, max);
+        }
+    }
+    return max;
+}
+
 // --- MetricsRegistry ---------------------------------------------------
 
 MetricsRegistry &
@@ -313,35 +339,65 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c.value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(name, g.value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.count = h.count();
+        hs.sum = h.sum();
+        hs.min = h.min();
+        hs.max = h.max();
+        hs.buckets.resize(Histogram::kBucketCount);
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+            hs.buckets[i].upperBound = Histogram::bucketBound(i);
+            hs.buckets[i].count =
+                h.buckets_[i].load(std::memory_order_relaxed);
+        }
+        snap.histograms.emplace_back(name, std::move(hs));
+    }
+    return snap;
+}
+
 std::string
 MetricsRegistry::snapshotJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MetricsSnapshot snap = snapshot();
     std::ostringstream os;
     os << "{\n  \"counters\": {";
     bool first = true;
-    for (const auto &[name, c] : counters_) {
+    for (const auto &[name, value] : snap.counters) {
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
-           << "\": " << c.value();
+           << "\": " << value;
         first = false;
     }
     os << "\n  },\n  \"gauges\": {";
     first = true;
-    for (const auto &[name, g] : gauges_) {
+    for (const auto &[name, value] : snap.gauges) {
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
-           << "\": " << jsonNumber(g.value());
+           << "\": " << jsonNumber(value);
         first = false;
     }
     os << "\n  },\n  \"histograms\": {";
     first = true;
-    for (const auto &[name, h] : histograms_) {
+    for (const auto &[name, h] : snap.histograms) {
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
-           << "\": {\"count\": " << h.count()
-           << ", \"sum\": " << jsonNumber(h.sum())
-           << ", \"min\": " << jsonNumber(h.min())
-           << ", \"max\": " << jsonNumber(h.max())
+           << "\": {\"count\": " << h.count
+           << ", \"sum\": " << jsonNumber(h.sum)
+           << ", \"min\": " << jsonNumber(h.min)
+           << ", \"max\": " << jsonNumber(h.max)
            << ", \"mean\": " << jsonNumber(h.mean())
            << ", \"p50\": " << jsonNumber(h.percentile(0.50))
+           << ", \"p90\": " << jsonNumber(h.percentile(0.90))
            << ", \"p95\": " << jsonNumber(h.percentile(0.95))
            << ", \"p99\": " << jsonNumber(h.percentile(0.99)) << "}";
         first = false;

@@ -122,6 +122,51 @@ class Histogram
 };
 
 /**
+ * Point-in-time copy of one histogram, detached from the live atomics.
+ *
+ * Carries the per-bucket counts with their upper bounds so consumers
+ * can re-derive any view - cumulative Prometheus buckets, interpolated
+ * percentiles - without re-reading (and racing) the live instrument.
+ */
+struct HistogramSnapshot {
+    /** One log bucket: samples <= upperBound (and > the previous
+     *  bucket's bound). The first bucket (bound 0) is the underflow. */
+    struct Bucket {
+        double upperBound = 0.0;
+        std::int64_t count = 0;
+    };
+
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** All buckets in bound order, including empty ones. */
+    std::vector<Bucket> buckets;
+
+    double mean() const
+    {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1], interpolated within the
+     * winning log bucket and clamped to [min, max]; 0 when empty.
+     */
+    double percentile(double q) const;
+};
+
+/**
+ * Point-in-time copy of every instrument in a registry: one consistent
+ * read feeding every exposition surface (the JSON run report, the
+ * Prometheus /metrics endpoint, the time-series recorder).
+ */
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/**
  * The process-wide registry of named instruments.
  *
  * Instruments live for the lifetime of the process once created, so a
@@ -160,9 +205,16 @@ class MetricsRegistry
     void reset();
 
     /**
+     * Consistent point-in-time copy of every instrument (names in
+     * lexicographic order). The copy is detached: reading it never
+     * touches the live atomics again.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /**
      * Snapshot of every instrument as a JSON object:
      * counters/gauges map name -> number; histograms map name ->
-     * {count, sum, min, max, mean, p50, p95, p99}.
+     * {count, sum, min, max, mean, p50, p90, p95, p99}.
      */
     std::string snapshotJson() const;
 

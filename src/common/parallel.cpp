@@ -101,12 +101,15 @@ void
 ThreadPool::enqueue(std::function<void()> fn)
 {
     static Counter &tasks = metrics().counter("parallel.tasks");
+    static Gauge &queue_depth =
+        metrics().gauge("threadpool.queue_depth");
     tasks.add();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stop_)
             panic("ThreadPool: submit after shutdown began");
         queue_.push_back(Task{std::move(fn), Timer()});
+        queue_depth.set(static_cast<double>(queue_.size()));
     }
     ready_.notify_one();
 }
@@ -118,6 +121,10 @@ ThreadPool::workerLoop(std::size_t index)
         metrics().histogram("parallel.queue_wait_seconds");
     static Histogram &task_run =
         metrics().histogram("parallel.task_run_seconds");
+    static Gauge &queue_depth =
+        metrics().gauge("threadpool.queue_depth");
+    static Gauge &active_workers =
+        metrics().gauge("threadpool.active_workers");
 
     t_worker_pool = this;
     t_worker_index = static_cast<int>(index);
@@ -131,12 +138,17 @@ ThreadPool::workerLoop(std::size_t index)
                 return; // stop_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            queue_depth.set(static_cast<double>(queue_.size()));
         }
         queue_wait.record(task.queued.seconds());
+        active_workers.set(static_cast<double>(
+            active_.fetch_add(1, std::memory_order_relaxed) + 1));
         const Timer run_timer;
         // packaged_task routes any exception into the future.
         task.run();
         task_run.record(run_timer.seconds());
+        active_workers.set(static_cast<double>(
+            active_.fetch_sub(1, std::memory_order_relaxed) - 1));
     }
 }
 

@@ -21,6 +21,7 @@
 #ifndef MAPZERO_COMMON_PARALLEL_HPP
 #define MAPZERO_COMMON_PARALLEL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -63,7 +64,10 @@ void clearDefaultJobs();
  * drains the queue (every submitted task runs) and joins the workers.
  * Pool activity is published to the metrics registry:
  * "parallel.tasks" (counter), "parallel.queue_wait_seconds" and
- * "parallel.task_run_seconds" (histograms).
+ * "parallel.task_run_seconds" (histograms), plus the live-pressure
+ * gauges "threadpool.queue_depth" and "threadpool.active_workers"
+ * that the telemetry endpoint scrapes mid-run (process-wide
+ * last-writer-wins when several pools coexist).
  */
 class ThreadPool
 {
@@ -113,6 +117,8 @@ class ThreadPool
     std::condition_variable ready_;
     std::deque<Task> queue_;
     bool stop_ = false;
+    /** Workers currently running a task (feeds the activity gauge). */
+    std::atomic<int> active_{0};
     std::vector<std::thread> workers_;
 };
 

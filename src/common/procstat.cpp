@@ -1,0 +1,121 @@
+#include "common/procstat.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "common/metrics.hpp"
+
+namespace mapzero {
+
+namespace {
+
+/**
+ * Parse one "Key:   12345 kB" line from /proc/self/status into bytes;
+ * returns -1 when the line is not the requested key.
+ */
+std::int64_t
+statusLineKb(const char *line, const char *key)
+{
+    const std::size_t key_len = std::strlen(key);
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':')
+        return -1;
+    long long kb = 0;
+    if (std::sscanf(line + key_len + 1, " %lld", &kb) != 1)
+        return -1;
+    return static_cast<std::int64_t>(kb) * 1024;
+}
+
+/** Fill the /proc-sourced fields; returns false when /proc is absent. */
+bool
+sampleFromProc(ProcStat &stat)
+{
+    std::FILE *status = std::fopen("/proc/self/status", "r");
+    if (status == nullptr)
+        return false;
+    char line[256];
+    bool saw_rss = false;
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+        if (std::int64_t bytes = statusLineKb(line, "VmRSS");
+            bytes >= 0) {
+            stat.rssBytes = bytes;
+            saw_rss = true;
+        } else if (std::int64_t peak = statusLineKb(line, "VmHWM");
+                   peak >= 0) {
+            stat.peakRssBytes = peak;
+        } else if (std::strncmp(line, "Threads:", 8) == 0) {
+            long long threads = 0;
+            if (std::sscanf(line + 8, " %lld", &threads) == 1)
+                stat.threads = static_cast<std::int64_t>(threads);
+        }
+    }
+    std::fclose(status);
+
+    if (DIR *fds = opendir("/proc/self/fd"); fds != nullptr) {
+        std::int64_t open_fds = 0;
+        while (const dirent *entry = readdir(fds)) {
+            if (entry->d_name[0] != '.')
+                ++open_fds;
+        }
+        closedir(fds);
+        // Exclude the directory stream's own descriptor.
+        stat.openFds = open_fds > 0 ? open_fds - 1 : 0;
+    }
+    return saw_rss;
+}
+
+} // namespace
+
+ProcStat
+sampleProcStat()
+{
+    ProcStat stat;
+    stat.fromProc = sampleFromProc(stat);
+
+    rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+        stat.cpuUserSeconds =
+            static_cast<double>(usage.ru_utime.tv_sec) +
+            static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+        stat.cpuSysSeconds =
+            static_cast<double>(usage.ru_stime.tv_sec) +
+            static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+        // ru_maxrss is in kilobytes on Linux (bytes on macOS, where
+        // /proc already failed us; the order-of-magnitude fallback is
+        // still better than 0).
+        const std::int64_t max_rss =
+            static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+        if (!stat.fromProc) {
+            stat.peakRssBytes = max_rss;
+            stat.rssBytes = max_rss;
+        }
+    }
+    return stat;
+}
+
+ProcStat
+publishProcMetrics()
+{
+    static Gauge &rss = metrics().gauge("proc.rss_bytes");
+    static Gauge &peak_rss = metrics().gauge("proc.peak_rss_bytes");
+    static Gauge &cpu_user = metrics().gauge("proc.cpu_user_seconds");
+    static Gauge &cpu_sys = metrics().gauge("proc.cpu_sys_seconds");
+    static Gauge &cpu_total = metrics().gauge("proc.cpu_seconds");
+    static Gauge &threads = metrics().gauge("proc.threads");
+    static Gauge &open_fds = metrics().gauge("proc.open_fds");
+
+    const ProcStat stat = sampleProcStat();
+    rss.set(static_cast<double>(stat.rssBytes));
+    peak_rss.set(static_cast<double>(stat.peakRssBytes));
+    cpu_user.set(stat.cpuUserSeconds);
+    cpu_sys.set(stat.cpuSysSeconds);
+    cpu_total.set(stat.cpuSeconds());
+    threads.set(static_cast<double>(stat.threads));
+    open_fds.set(static_cast<double>(stat.openFds));
+    return stat;
+}
+
+} // namespace mapzero

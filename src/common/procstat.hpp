@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Portable process-resource sampling feeding the "proc.*" gauges.
+ *
+ * The telemetry plane (src/svc/telemetry_server.hpp) exposes live
+ * internals of long compiles and training runs; the numbers an operator
+ * reaches for first are not MapZero's own counters but the process
+ * vitals - is it leaking memory, is it actually using its cores, is it
+ * running out of file descriptors. sampleProcStat() reads those from
+ * /proc/self (Linux) with a getrusage() fallback everywhere POSIX, so
+ * the same call sites work in containers, CI, and on macOS (where the
+ * /proc-only fields simply come back absent).
+ *
+ * Cost model: one sample is a handful of small /proc reads plus one
+ * getrusage syscall - microseconds, cheap enough for the time-series
+ * recorder to take every few hundred milliseconds.
+ */
+
+#ifndef MAPZERO_COMMON_PROCSTAT_HPP
+#define MAPZERO_COMMON_PROCSTAT_HPP
+
+#include <cstdint>
+
+namespace mapzero {
+
+/** One point-in-time reading of the process's resource usage. */
+struct ProcStat {
+    /** Resident set size in bytes (0 when unavailable). */
+    std::int64_t rssBytes = 0;
+    /** Peak resident set size in bytes (high-water mark). */
+    std::int64_t peakRssBytes = 0;
+    /** User-mode CPU time consumed so far, seconds. */
+    double cpuUserSeconds = 0.0;
+    /** Kernel-mode CPU time consumed so far, seconds. */
+    double cpuSysSeconds = 0.0;
+    /** Live threads in the process (-1 when unavailable). */
+    std::int64_t threads = -1;
+    /** Open file descriptors (-1 when unavailable). */
+    std::int64_t openFds = -1;
+    /** True when the /proc filesystem supplied the memory fields. */
+    bool fromProc = false;
+
+    double
+    cpuSeconds() const
+    {
+        return cpuUserSeconds + cpuSysSeconds;
+    }
+};
+
+/**
+ * Sample the calling process: /proc/self/{status,fd} where available,
+ * getrusage(RUSAGE_SELF) for CPU time and the peak-RSS fallback.
+ * Never throws; unavailable fields keep their defaults.
+ */
+ProcStat sampleProcStat();
+
+/**
+ * Sample and publish to the global metrics registry as gauges:
+ * proc.rss_bytes, proc.peak_rss_bytes, proc.cpu_user_seconds,
+ * proc.cpu_sys_seconds, proc.cpu_seconds, proc.threads, proc.open_fds
+ * (the -1 "unavailable" markers are published as-is). Returns the
+ * sample so callers can reuse it.
+ */
+ProcStat publishProcMetrics();
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_PROCSTAT_HPP

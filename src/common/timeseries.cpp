@@ -1,0 +1,241 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/procstat.hpp"
+
+namespace mapzero {
+
+TimeSeriesRecorder &
+TimeSeriesRecorder::global()
+{
+    static TimeSeriesRecorder instance;
+    return instance;
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry &registry)
+    : registry_(&registry)
+{}
+
+TimeSeriesRecorder::~TimeSeriesRecorder()
+{
+    stop();
+}
+
+void
+TimeSeriesRecorder::start(int period_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    periodMs_ = std::max(period_ms, 10);
+    if (running_)
+        return;
+    running_ = true;
+    stopRequested_ = false;
+    sampler_ = std::thread([this] { samplerLoop(); });
+}
+
+void
+TimeSeriesRecorder::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    wake_.notify_all();
+    sampler_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+bool
+TimeSeriesRecorder::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+int
+TimeSeriesRecorder::periodMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return periodMs_;
+}
+
+void
+TimeSeriesRecorder::setCapacity(std::size_t points)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<std::size_t>(points, 2);
+}
+
+std::size_t
+TimeSeriesRecorder::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+std::int64_t
+TimeSeriesRecorder::ticks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ticks_;
+}
+
+void
+TimeSeriesRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    series_.clear();
+    ticks_ = 0;
+}
+
+void
+TimeSeriesRecorder::append(Ring &ring, SeriesPoint point)
+{
+    // Shrink in place when setCapacity() went below the fill: drop the
+    // oldest points, keeping time order.
+    if (ring.points.size() > capacity_) {
+        std::vector<SeriesPoint> kept = orderedPoints(ring);
+        kept.erase(kept.begin(),
+                   kept.begin() +
+                       static_cast<std::ptrdiff_t>(kept.size() -
+                                                   capacity_));
+        ring.points = std::move(kept);
+        ring.head = 0;
+    }
+    if (ring.points.size() < capacity_) {
+        ring.points.push_back(point);
+        return;
+    }
+    ring.points[ring.head] = point;
+    ring.head = (ring.head + 1) % ring.points.size();
+}
+
+void
+TimeSeriesRecorder::sampleNow()
+{
+    // Refresh the resource gauges first so the registry snapshot below
+    // already carries this tick's proc.* values.
+    if (registry_ == &MetricsRegistry::global())
+        publishProcMetrics();
+
+    const MetricsSnapshot snap = registry_->snapshot();
+    const auto now = std::chrono::steady_clock::now();
+    const std::int64_t t_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              epoch_)
+            .count();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, value] : snap.counters)
+        append(series_[name],
+               SeriesPoint{t_us, static_cast<double>(value)});
+    for (const auto &[name, value] : snap.gauges)
+        append(series_[name], SeriesPoint{t_us, value});
+    for (const auto &[name, h] : snap.histograms) {
+        append(series_[name + ".count"],
+               SeriesPoint{t_us, static_cast<double>(h.count)});
+        append(series_[name + ".sum"], SeriesPoint{t_us, h.sum});
+    }
+    ++ticks_;
+}
+
+void
+TimeSeriesRecorder::samplerLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait_for(lock, std::chrono::milliseconds(periodMs_),
+                           [this] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+        }
+        sampleNow();
+    }
+}
+
+std::vector<SeriesPoint>
+TimeSeriesRecorder::orderedPoints(const Ring &ring) const
+{
+    std::vector<SeriesPoint> ordered;
+    ordered.reserve(ring.points.size());
+    for (std::size_t i = 0; i < ring.points.size(); ++i)
+        ordered.push_back(
+            ring.points[(ring.head + i) % ring.points.size()]);
+    return ordered;
+}
+
+SeriesWindow
+TimeSeriesRecorder::windowLocked(const std::string &name,
+                                 const Ring &ring) const
+{
+    SeriesWindow window;
+    window.name = name;
+    window.points = orderedPoints(ring);
+    if (window.points.empty())
+        return window;
+    window.last = window.points.back().value;
+    window.min = window.max = window.points.front().value;
+    for (const SeriesPoint &p : window.points) {
+        window.min = std::min(window.min, p.value);
+        window.max = std::max(window.max, p.value);
+    }
+    return window;
+}
+
+std::vector<SeriesWindow>
+TimeSeriesRecorder::windows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SeriesWindow> result;
+    result.reserve(series_.size());
+    for (const auto &[name, ring] : series_)
+        result.push_back(windowLocked(name, ring));
+    return result;
+}
+
+SeriesWindow
+TimeSeriesRecorder::window(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = series_.find(name);
+    if (it == series_.end()) {
+        SeriesWindow empty;
+        empty.name = name;
+        return empty;
+    }
+    return windowLocked(name, it->second);
+}
+
+std::string
+TimeSeriesRecorder::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\"period_ms\": " << periodMs_
+       << ", \"capacity\": " << capacity_ << ", \"ticks\": " << ticks_
+       << ", \"series\": {";
+    bool first = true;
+    for (const auto &[name, ring] : series_) {
+        const SeriesWindow w = windowLocked(name, ring);
+        os << (first ? "" : ",") << "\n  \"" << jsonEscape(name)
+           << "\": {\"last\": " << jsonNumber(w.last)
+           << ", \"min\": " << jsonNumber(w.min)
+           << ", \"max\": " << jsonNumber(w.max) << ", \"points\": [";
+        for (std::size_t i = 0; i < w.points.size(); ++i) {
+            os << (i == 0 ? "" : ",") << "[" << w.points[i].tUs << ","
+               << jsonNumber(w.points[i].value) << "]";
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "\n}}\n";
+    return os.str();
+}
+
+} // namespace mapzero

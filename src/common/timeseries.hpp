@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Background time-series recorder over the metrics registry.
+ *
+ * A single scrape of /metrics answers "what is the queue depth now";
+ * operating a long compile needs "what has it been doing for the last
+ * two minutes". The recorder runs one sampler thread that, every
+ * period, refreshes the proc.* gauges (common/procstat.hpp) and copies
+ * every counter, gauge, and histogram count/sum in the registry into a
+ * fixed-capacity per-metric ring buffer. The retained window therefore
+ * covers capacity * period seconds (default 256 * 250ms ~ one minute)
+ * and memory stays bounded no matter how long the process lives.
+ *
+ * The snapshot API reports, per series, the ring's points plus the
+ * last/min/max over the retained window - what a dashboard sparkline
+ * or the /snapshot.json endpoint needs without post-processing.
+ *
+ * Cost model: one tick takes the registry mutex once for the snapshot
+ * and appends one point per series; at the default period this is well
+ * under the 1% overhead budget of DESIGN.md §13 even with hundreds of
+ * live series. The sampler thread sleeps on a condition variable, so
+ * stop() (and process exit) is immediate.
+ */
+
+#ifndef MAPZERO_COMMON_TIMESERIES_HPP
+#define MAPZERO_COMMON_TIMESERIES_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace mapzero {
+
+/** One recorded sample of one metric. */
+struct SeriesPoint {
+    /** Microseconds since the recorder's construction. */
+    std::int64_t tUs = 0;
+    double value = 0.0;
+};
+
+/** A series' retained window plus its summary (snapshot API). */
+struct SeriesWindow {
+    std::string name;
+    /** Points in time order, oldest first (at most the ring capacity). */
+    std::vector<SeriesPoint> points;
+    double last = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * The background sampler with per-metric ring buffers.
+ *
+ * Instantiable for tests (pass the registry to watch); production code
+ * uses the process-wide instance via TimeSeriesRecorder::global(),
+ * which watches the global registry.
+ */
+class TimeSeriesRecorder
+{
+  public:
+    /** Default ring capacity, points per series. */
+    static constexpr std::size_t kDefaultCapacity = 256;
+    /** Default sampling period, milliseconds. */
+    static constexpr int kDefaultPeriodMs = 250;
+
+    /** The process-wide instance (watches the global registry). */
+    static TimeSeriesRecorder &global();
+
+    explicit TimeSeriesRecorder(
+        MetricsRegistry &registry = MetricsRegistry::global());
+    ~TimeSeriesRecorder();
+
+    TimeSeriesRecorder(const TimeSeriesRecorder &) = delete;
+    TimeSeriesRecorder &operator=(const TimeSeriesRecorder &) = delete;
+
+    /**
+     * Start the sampler thread at @p period_ms (clamped to >= 10ms).
+     * Idempotent: a running recorder just adopts the new period at its
+     * next tick.
+     */
+    void start(int period_ms = kDefaultPeriodMs);
+
+    /** Stop and join the sampler thread (no-op when not running). */
+    void stop();
+
+    bool running() const;
+    int periodMs() const;
+
+    /**
+     * Ring capacity per series; shrinking drops the oldest points of
+     * every series at its next append.
+     */
+    void setCapacity(std::size_t points);
+    std::size_t capacity() const;
+
+    /**
+     * Take one sample now, on the calling thread: refresh the proc.*
+     * gauges, snapshot the registry, and append one point per metric
+     * (histograms contribute "<name>.count" and "<name>.sum" series).
+     * Thread-safe; this is exactly what the sampler thread does per
+     * tick, exposed for tests and for forcing a fresh point before a
+     * scrape.
+     */
+    void sampleNow();
+
+    /** Series recorded so far (lexicographic name order). */
+    std::vector<SeriesWindow> windows() const;
+
+    /** One series' window; empty points when the name is unknown. */
+    SeriesWindow window(const std::string &name) const;
+
+    /** Total ticks taken (sampler thread + sampleNow calls). */
+    std::int64_t ticks() const;
+
+    /** Drop every ring (tests). */
+    void clear();
+
+    /**
+     * The retained windows as JSON:
+     * {"period_ms": P, "capacity": C, "ticks": N,
+     *  "series": {name: {"last": .., "min": .., "max": ..,
+     *                    "points": [[t_us, value], ...]}, ...}}
+     */
+    std::string snapshotJson() const;
+
+  private:
+    /** Fixed-capacity ring of points for one metric. */
+    struct Ring {
+        std::vector<SeriesPoint> points;
+        /** Index of the oldest point once the ring wrapped. */
+        std::size_t head = 0;
+    };
+
+    void append(Ring &ring, SeriesPoint point);
+    void samplerLoop();
+    std::vector<SeriesPoint> orderedPoints(const Ring &ring) const;
+    SeriesWindow windowLocked(const std::string &name,
+                              const Ring &ring) const;
+
+    MetricsRegistry *registry_;
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::map<std::string, Ring> series_;
+    std::size_t capacity_ = kDefaultCapacity;
+    int periodMs_ = kDefaultPeriodMs;
+    bool running_ = false;
+    bool stopRequested_ = false;
+    std::int64_t ticks_ = 0;
+    std::thread sampler_;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_TIMESERIES_HPP

@@ -176,4 +176,72 @@ writeRunReport(const std::string &path)
         fatal("failed writing metrics report to " + path);
 }
 
+namespace {
+
+std::mutex g_report_path_mutex;
+std::string g_report_path;
+bool g_report_hooks_installed = false;
+/** Reentry guard: a failing flush must not recurse via the hook. */
+std::atomic<bool> g_report_flushing{false};
+FatalHook g_report_previous_hook = nullptr;
+
+} // namespace
+
+void
+crashFlushRunReport() noexcept
+{
+    if (g_report_flushing.exchange(true))
+        return;
+    try {
+        std::string path;
+        {
+            std::lock_guard<std::mutex> lock(g_report_path_mutex);
+            path = g_report_path;
+        }
+        if (!path.empty())
+            writeRunReport(path);
+    } catch (...) {
+        // Crash-time best effort; the run is already going down.
+    }
+    g_report_flushing.store(false);
+}
+
+void
+setRunReportOutputPath(std::string path)
+{
+    bool install_hooks = false;
+    {
+        std::lock_guard<std::mutex> lock(g_report_path_mutex);
+        g_report_path = std::move(path);
+        if (!g_report_path.empty() && !g_report_hooks_installed) {
+            g_report_hooks_installed = true;
+            install_hooks = true;
+        }
+    }
+    if (install_hooks) {
+        // Construct the singletons the flush reads before registering
+        // the handler: statics die in reverse construction order, so a
+        // registry first constructed later would already be destroyed
+        // when the atexit hook snapshots it.
+        metrics();
+        TraceCollector::global();
+        // Same contract as Journal::setOutputPath: flush on orderly
+        // exit and from fatal()/panic(), chaining whatever hook was
+        // installed first so both subsystems flush in either order.
+        std::atexit(+[] { crashFlushRunReport(); });
+        g_report_previous_hook = setFatalHook(+[]() noexcept {
+            crashFlushRunReport();
+            if (g_report_previous_hook != nullptr)
+                g_report_previous_hook();
+        });
+    }
+}
+
+std::string
+runReportOutputPath()
+{
+    std::lock_guard<std::mutex> lock(g_report_path_mutex);
+    return g_report_path;
+}
+
 } // namespace mapzero

@@ -136,6 +136,22 @@ class TraceSpan
  */
 void writeRunReport(const std::string &path);
 
+/**
+ * Install @p path as the run report's crash-flush target, mirroring
+ * Journal::setOutputPath: the report is best-effort (re)written at
+ * process exit and from inside fatal()/panic(), so a run that dies
+ * mid-search still leaves its --metrics-out file behind. Orderly
+ * callers should still writeRunReport() at the end for the freshest
+ * numbers; the hooks only guarantee a floor. An empty path uninstalls.
+ */
+void setRunReportOutputPath(std::string path);
+
+/** The installed crash-flush path ("" when none). */
+std::string runReportOutputPath();
+
+/** The crash-flush entry point (idempotent, never throws). */
+void crashFlushRunReport() noexcept;
+
 } // namespace mapzero
 
 #endif // MAPZERO_COMMON_TRACE_HPP

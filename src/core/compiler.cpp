@@ -15,6 +15,7 @@
 #include "core/config.hpp"
 #include "dfg/schedule.hpp"
 #include "rl/evaluator.hpp"
+#include "svc/telemetry_server.hpp"
 
 namespace mapzero {
 
@@ -173,6 +174,7 @@ CompileResult
 Compiler::compile(const dfg::Dfg &dfg, const cgra::Architecture &arch,
                   Method method, const CompileOptions &options)
 {
+    svc::ensureTelemetryServer(options.statsPort);
     const std::int32_t jobs = static_cast<std::int32_t>(resolveJobs(
         options.jobs < 0 ? 1 : static_cast<std::size_t>(options.jobs)));
     // The exact engine is deterministic: extra restarts would just

@@ -65,6 +65,16 @@ struct CompileOptions {
      * the "eval_cache.hits" / "eval_cache.misses" metrics.
      */
     bool evalCache = true;
+    /**
+     * Live telemetry: >= 0 starts the process-wide HTTP telemetry
+     * server (svc/telemetry_server.hpp) on this port before the sweep
+     * begins (0 = ephemeral port, printed on stdout), so `curl
+     * localhost:PORT/metrics` works while the compile runs. -1 (the
+     * default) leaves the server alone; an already-running server is
+     * reused whatever the value. Server startup failure is a warn(),
+     * never a compile failure.
+     */
+    std::int32_t statsPort = -1;
 };
 
 /** Outcome of a compilation. */

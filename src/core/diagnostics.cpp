@@ -604,4 +604,76 @@ compareRunReports(const JsonValue &baseline, const JsonValue &candidate,
     return report;
 }
 
+std::string
+renderMetricsReport(const JsonValue &report)
+{
+    // Accept both the --metrics-out wrapper and a bare registry
+    // snapshot so `report --metrics` works on either artifact.
+    const JsonValue &m =
+        report.isObject() && report.has("metrics")
+            ? report.at("metrics")
+            : report;
+    if (!m.isObject() ||
+        (!m.has("counters") && !m.has("gauges") && !m.has("histograms")))
+        fatal("not a metrics run report - was it written by "
+              "--metrics-out?");
+
+    std::ostringstream os;
+    os << "=== run-report metrics ===\n";
+
+    if (m.has("counters")) {
+        std::size_t shown = 0;
+        for (const auto &[name, value] : m.at("counters").members()) {
+            if (value.asNumber() == 0.0)
+                continue;
+            if (shown++ == 0)
+                os << "\ncounters (non-zero):\n";
+            os << "  " << name << " = "
+               << static_cast<std::int64_t>(value.asNumber()) << '\n';
+        }
+    }
+    if (m.has("gauges")) {
+        std::size_t shown = 0;
+        for (const auto &[name, value] : m.at("gauges").members()) {
+            if (value.asNumber() == 0.0)
+                continue;
+            if (shown++ == 0)
+                os << "\ngauges:\n";
+            os << "  " << name << " = " << fmt(value.asNumber(), 6)
+               << '\n';
+        }
+    }
+    if (m.has("histograms")) {
+        std::size_t shown = 0;
+        for (const auto &[name, h] : m.at("histograms").members()) {
+            const double count = h.numberOr("count", 0.0);
+            if (count <= 0.0)
+                continue;
+            if (shown++ == 0) {
+                os << "\nhistograms (percentiles interpolated from "
+                      "log buckets):\n";
+                char header[128];
+                std::snprintf(header, sizeof(header),
+                              "  %-36s %8s %10s %10s %10s %10s %10s\n",
+                              "name", "count", "mean", "p50", "p90",
+                              "p99", "max");
+                os << header;
+            }
+            char row[192];
+            std::snprintf(row, sizeof(row),
+                          "  %-36s %8lld %10.4g %10.4g %10.4g %10.4g "
+                          "%10.4g\n",
+                          name.c_str(),
+                          static_cast<long long>(count),
+                          h.numberOr("mean", 0.0),
+                          h.numberOr("p50", 0.0),
+                          h.numberOr("p90", 0.0),
+                          h.numberOr("p99", 0.0),
+                          h.numberOr("max", 0.0));
+            os << row;
+        }
+    }
+    return os.str();
+}
+
 } // namespace mapzero

@@ -75,6 +75,15 @@ CompareReport compareRunReports(const JsonValue &baseline,
                                 const JsonValue &candidate,
                                 const CompareOptions &options = {});
 
+/**
+ * Render one metrics run report (the JSON written by --metrics-out,
+ * or its bare "metrics" object) as a human-readable summary: non-zero
+ * counters, gauges, and a latency table per histogram with the
+ * interpolated p50/p90/p99 estimates - the `report --metrics FILE`
+ * view. fatal() when @p report is not a run report.
+ */
+std::string renderMetricsReport(const JsonValue &report);
+
 } // namespace mapzero
 
 #endif // MAPZERO_CORE_DIAGNOSTICS_HPP

@@ -102,9 +102,16 @@ EvalCache::lookup(const std::string &key, MapZeroNet::Output &out)
 void
 EvalCache::insert(const std::string &key, const MapZeroNet::Output &out)
 {
+    static Gauge &size_gauge = metrics().gauge("eval_cache.size");
+    static Gauge &capacity_gauge =
+        metrics().gauge("eval_cache.capacity");
+    static Counter &evictions =
+        metrics().counter("eval_cache.evictions");
+
     MapZeroNet::Output plain = detachedCopy(out);
 
     std::lock_guard<std::mutex> lock(mutex_);
+    capacity_gauge.set(static_cast<double>(capacity_));
     const auto it = map_.find(key);
     if (it != map_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second.lruIt);
@@ -115,7 +122,9 @@ EvalCache::insert(const std::string &key, const MapZeroNet::Output &out)
     if (map_.size() > capacity_) {
         map_.erase(lru_.back());
         lru_.pop_back();
+        evictions.add();
     }
+    size_gauge.set(static_cast<double>(map_.size()));
 }
 
 std::size_t

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace mapzero::rl {
 
@@ -23,6 +24,10 @@ ReplayBuffer::size() const
 void
 ReplayBuffer::push(TrainingSample sample)
 {
+    // Occupancy gauge for live telemetry, independent of the trainer's
+    // per-episode "trainer.replay_size" (which only updates when an
+    // episode is absorbed, not per push).
+    static Gauge &size_gauge = metrics().gauge("replay.size");
     constexpr double fresh_priority = 1.0;
     std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.size() < capacity_) {
@@ -33,6 +38,7 @@ ReplayBuffer::push(TrainingSample sample)
         priorities_[next_] = fresh_priority;
         next_ = (next_ + 1) % capacity_;
     }
+    size_gauge.set(static_cast<double>(samples_.size()));
 }
 
 std::vector<const TrainingSample *>

@@ -12,6 +12,7 @@
 #include "dfg/random_gen.hpp"
 #include "dfg/schedule.hpp"
 #include "nn/serialize.hpp"
+#include "svc/telemetry_server.hpp"
 
 namespace mapzero::rl {
 
@@ -586,6 +587,8 @@ Trainer::pretrain(std::int32_t episodes, std::int32_t min_nodes,
 {
     static Gauge &throughput =
         metrics().gauge("trainer.episodes_per_sec");
+
+    svc::ensureTelemetryServer(config_.statsPort);
 
     // Curriculum: random DFGs sorted easy to hard (§3.6.2); the
     // ablation arm shuffles the same task set instead. Drawn from a

@@ -92,6 +92,14 @@ struct TrainerConfig {
      * cap is enforced at wave granularity.
      */
     std::int32_t maxEpisodesPerRun = 0;
+    /**
+     * Live telemetry: >= 0 starts the process-wide HTTP telemetry
+     * server (svc/telemetry_server.hpp) on this port at the start of
+     * pretrain() (0 = ephemeral, printed on stdout). -1 (the default)
+     * leaves the server alone. Same semantics as
+     * CompileOptions::statsPort.
+     */
+    std::int32_t statsPort = -1;
 };
 
 /** Per-episode learning-curve record (drives Fig. 12). */

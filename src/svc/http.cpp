@@ -1,0 +1,129 @@
+#include "svc/http.hpp"
+
+#include <sstream>
+
+namespace mapzero::svc {
+
+namespace {
+
+/** Decode %XX escapes and '+' in a query component (best-effort). */
+std::string
+urlDecode(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < text.size()) {
+            const auto hex = [](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                return -1;
+            };
+            const int hi = hex(text[i + 1]);
+            const int lo = hex(text[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+            } else {
+                out += c;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+httpHeadersComplete(std::string_view raw)
+{
+    return raw.find("\r\n\r\n") != std::string_view::npos ||
+           raw.find("\n\n") != std::string_view::npos;
+}
+
+bool
+parseHttpRequest(std::string_view raw, HttpRequest &out)
+{
+    const std::size_t line_end = raw.find_first_of("\r\n");
+    std::string_view line =
+        line_end == std::string_view::npos ? raw
+                                           : raw.substr(0, line_end);
+
+    const std::size_t method_end = line.find(' ');
+    if (method_end == std::string_view::npos || method_end == 0)
+        return false;
+    const std::size_t target_end = line.find(' ', method_end + 1);
+    if (target_end == std::string_view::npos ||
+        target_end == method_end + 1)
+        return false;
+    const std::string_view version = line.substr(target_end + 1);
+    if (version.rfind("HTTP/", 0) != 0)
+        return false;
+
+    out.method = std::string(line.substr(0, method_end));
+    out.target = std::string(
+        line.substr(method_end + 1, target_end - method_end - 1));
+    if (out.target.empty() || out.target[0] != '/')
+        return false;
+
+    const std::size_t query_start = out.target.find('?');
+    out.path = out.target.substr(0, query_start);
+    out.query.clear();
+    if (query_start == std::string::npos)
+        return true;
+    std::string_view query =
+        std::string_view(out.target).substr(query_start + 1);
+    while (!query.empty()) {
+        const std::size_t amp = query.find('&');
+        const std::string_view pair = query.substr(0, amp);
+        if (!pair.empty()) {
+            const std::size_t eq = pair.find('=');
+            if (eq == std::string_view::npos)
+                out.query[urlDecode(pair)] = "";
+            else
+                out.query[urlDecode(pair.substr(0, eq))] =
+                    urlDecode(pair.substr(eq + 1));
+        }
+        if (amp == std::string_view::npos)
+            break;
+        query.remove_prefix(amp + 1);
+    }
+    return true;
+}
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 500: return "Internal Server Error";
+      default:  return "Unknown";
+    }
+}
+
+std::string
+httpResponse(int status, std::string_view content_type,
+             std::string_view body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << " " << httpReason(status) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+} // namespace mapzero::svc

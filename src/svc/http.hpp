@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal HTTP/1.0 request parsing and response formatting for the
+ * telemetry server - the first networked component of the planned
+ * `mapzerod` service (ROADMAP open item 1).
+ *
+ * Scope is deliberately tiny: parse "GET <target> HTTP/1.x" plus the
+ * target's query string, and render a complete response with
+ * Content-Length and Connection: close. No keep-alive, no chunking, no
+ * bodies on requests - a /metrics scrape needs none of that, and every
+ * line of a network-facing parser is attack surface the daemon will
+ * have to defend later.
+ */
+
+#ifndef MAPZERO_SVC_HTTP_HPP
+#define MAPZERO_SVC_HTTP_HPP
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mapzero::svc {
+
+/** One parsed request line. */
+struct HttpRequest {
+    std::string method;
+    /** Raw request target as sent ("/journal?n=50"). */
+    std::string target;
+    /** Target with the query string stripped ("/journal"). */
+    std::string path;
+    /** Decoded query parameters ("n" -> "50"). */
+    std::map<std::string, std::string> query;
+};
+
+/**
+ * Parse the request line out of @p raw (a full or partial HTTP request;
+ * only the first line is consulted). Returns false on anything
+ * malformed - the caller answers 400.
+ */
+bool parseHttpRequest(std::string_view raw, HttpRequest &out);
+
+/** True once @p raw contains the end-of-headers "\r\n\r\n" marker. */
+bool httpHeadersComplete(std::string_view raw);
+
+/** Standard reason phrase for @p status ("OK", "Not Found", ...). */
+const char *httpReason(int status);
+
+/**
+ * Render a complete HTTP/1.0 response: status line, Content-Type,
+ * Content-Length, Connection: close, then @p body.
+ */
+std::string httpResponse(int status, std::string_view content_type,
+                         std::string_view body);
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_HTTP_HPP

@@ -1,0 +1,114 @@
+#include "svc/prometheus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mapzero::svc {
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        const bool valid = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' ||
+                           c == ':';
+        out += valid ? c : '_';
+    }
+    if (out.empty())
+        return "_";
+    if (out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+prometheusLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size() + 4);
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+prometheusNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+namespace {
+
+void
+renderHistogram(std::ostringstream &os, const std::string &name,
+                const HistogramSnapshot &h)
+{
+    os << "# TYPE " << name << " histogram\n";
+    // Cumulative buckets up to the last non-empty one; everything
+    // above it is identical to +Inf and adds only noise to a scrape.
+    std::size_t last_used = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i].count > 0) {
+            last_used = i;
+            any = true;
+        }
+    }
+    std::int64_t cumulative = 0;
+    if (any) {
+        for (std::size_t i = 0; i <= last_used; ++i) {
+            cumulative += h.buckets[i].count;
+            os << name << "_bucket{le=\""
+               << prometheusNumber(h.buckets[i].upperBound) << "\"} "
+               << cumulative << "\n";
+        }
+    }
+    // The bucket atomics and the total are incremented separately, so
+    // a scrape racing record() can see one more bucket than count;
+    // keep the exposition internally consistent (+Inf == _count >= any
+    // cumulative bucket) by taking the larger of the two reads.
+    const std::int64_t total = std::max(cumulative, h.count);
+    os << name << "_bucket{le=\"+Inf\"} " << total << "\n";
+    os << name << "_sum " << prometheusNumber(h.sum) << "\n";
+    os << name << "_count " << total << "\n";
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " counter\n"
+           << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " gauge\n"
+           << prom << " " << prometheusNumber(value) << "\n";
+    }
+    for (const auto &[name, h] : snapshot.histograms)
+        renderHistogram(os, prometheusName(name), h);
+    return os.str();
+}
+
+} // namespace mapzero::svc

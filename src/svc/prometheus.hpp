@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over a MetricsSnapshot.
+ *
+ * Internal instrument names are "<subsystem>.<what>" (metrics.hpp);
+ * Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so the dots
+ * become underscores: "eval_cache.hits" scrapes as "eval_cache_hits".
+ * Log-bucketed histograms are rendered the way Prometheus expects
+ * histograms: cumulative "_bucket" series with an "le" upper-bound
+ * label (the registry's per-bucket counts summed left to right), a
+ * final le="+Inf" bucket equal to "_count", plus "_sum" and "_count".
+ *
+ * Pure rendering over a detached snapshot - no registry access, no
+ * locks - so the server can build a scrape response while every hot
+ * path keeps recording.
+ */
+
+#ifndef MAPZERO_SVC_PROMETHEUS_HPP
+#define MAPZERO_SVC_PROMETHEUS_HPP
+
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace mapzero::svc {
+
+/**
+ * Sanitize @p name into a valid Prometheus metric name: every
+ * character outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+ * prefixed with '_'.
+ */
+std::string prometheusName(const std::string &name);
+
+/**
+ * Escape @p value for use inside a label value's double quotes
+ * (backslash, quote, and newline escapes per the exposition format).
+ */
+std::string prometheusLabelValue(const std::string &value);
+
+/** Format @p value as an exposition-format number (handles +-Inf/NaN). */
+std::string prometheusNumber(double value);
+
+/**
+ * Render the whole @p snapshot as exposition text: counters and gauges
+ * as single samples, histograms as cumulative bucket series, each
+ * preceded by its "# TYPE" line.
+ */
+std::string renderPrometheus(const MetricsSnapshot &snapshot);
+
+/** The Content-Type a /metrics response must carry. */
+inline constexpr const char *kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_PROMETHEUS_HPP

@@ -1,0 +1,332 @@
+#include "svc/telemetry_server.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/journal.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/procstat.hpp"
+#include "common/timeseries.hpp"
+#include "svc/prometheus.hpp"
+
+namespace mapzero::svc {
+
+namespace {
+
+/** Hard cap on request bytes read (a scrape request is ~100 bytes). */
+constexpr std::size_t kMaxRequestBytes = 8192;
+/** Fallback poll granularity; the self-pipe wakes stop() instantly. */
+constexpr int kAcceptPollMs = 1000;
+
+/** Write all of @p data to @p fd (best-effort; the peer may vanish). */
+void
+writeAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n <= 0)
+            return;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+TelemetryServer &
+TelemetryServer::global()
+{
+    static TelemetryServer instance;
+    return instance;
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+bool
+TelemetryServer::start(const TelemetryOptions &options)
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (running_.load())
+        return true;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("telemetry: socket() failed; live telemetry disabled");
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(options.port));
+    if (::inet_pton(AF_INET, options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        warn("telemetry: bad bind address " + options.bindAddress);
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        warn(cat("telemetry: cannot listen on ", options.bindAddress,
+                 ":", options.port, " (", std::strerror(errno),
+                 "); live telemetry disabled"));
+        ::close(fd);
+        return false;
+    }
+
+    sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        port_.store(static_cast<int>(ntohs(bound.sin_port)));
+    else
+        port_.store(options.port);
+
+    int wake[2] = {-1, -1};
+    if (::pipe(wake) != 0) {
+        warn("telemetry: pipe() failed; live telemetry disabled");
+        ::close(fd);
+        return false;
+    }
+    wakeReadFd_ = wake[0];
+    wakeWriteFd_ = wake[1];
+
+    listenFd_.store(fd);
+    stopRequested_.store(false);
+    startedAt_ = std::chrono::steady_clock::now();
+    running_.store(true);
+
+    // History must exist before the first scrape asks for it.
+    TimeSeriesRecorder::global().start(options.samplePeriodMs);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (!running_.load())
+        return;
+    stopRequested_.store(true);
+    // Wake the accept poll() immediately instead of waiting out its
+    // timeout - stop() is on the exit path of every run that enabled
+    // telemetry.
+    const char byte = 0;
+    (void)!::write(wakeWriteFd_, &byte, 1);
+    acceptThread_.join();
+    const int fd = listenFd_.exchange(-1);
+    if (fd >= 0)
+        ::close(fd);
+    ::close(wakeReadFd_);
+    ::close(wakeWriteFd_);
+    wakeReadFd_ = wakeWriteFd_ = -1;
+    running_.store(false);
+    port_.store(0);
+    TimeSeriesRecorder::global().stop();
+}
+
+void
+TelemetryServer::acceptLoop()
+{
+    const int listen_fd = listenFd_.load();
+    while (!stopRequested_.load()) {
+        pollfd pfds[2] = {};
+        pfds[0].fd = listen_fd;
+        pfds[0].events = POLLIN;
+        pfds[1].fd = wakeReadFd_;
+        pfds[1].events = POLLIN;
+        const int ready = ::poll(pfds, 2, kAcceptPollMs);
+        if (ready <= 0)
+            continue; // timeout (re-check stop) or transient error
+        if (pfds[1].revents != 0)
+            break; // stop() wrote to the self-pipe
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        serveConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+TelemetryServer::serveConnection(int fd)
+{
+    timeval timeout = {};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+
+    std::string raw;
+    char buffer[2048];
+    while (raw.size() < kMaxRequestBytes &&
+           !httpHeadersComplete(raw)) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        raw.append(buffer, static_cast<std::size_t>(n));
+    }
+    if (raw.empty())
+        return;
+
+    HttpRequest request;
+    std::string response;
+    if (!parseHttpRequest(raw, request)) {
+        response =
+            httpResponse(400, "text/plain", "malformed request\n");
+    } else {
+        try {
+            response = handle(request);
+        } catch (const std::exception &error) {
+            // A scrape must never take the process down with it.
+            response = httpResponse(
+                500, "text/plain",
+                std::string("internal error: ") + error.what() + "\n");
+        }
+    }
+    requests_.fetch_add(1);
+    writeAll(fd, response);
+}
+
+std::string
+TelemetryServer::handle(const HttpRequest &request)
+{
+    if (request.method != "GET")
+        return httpResponse(405, "text/plain",
+                            "only GET is supported\n");
+    if (request.path == "/metrics")
+        return handleMetrics();
+    if (request.path == "/snapshot.json")
+        return handleSnapshot();
+    if (request.path == "/journal")
+        return handleJournal(request);
+    if (request.path == "/healthz" || request.path == "/")
+        return handleHealthz();
+    return httpResponse(404, "text/plain",
+                        "unknown path (try /metrics, /snapshot.json, "
+                        "/journal?n=K, /healthz)\n");
+}
+
+std::string
+TelemetryServer::handleMetrics()
+{
+    // Scrapes double as resource probes: refresh proc.* first so the
+    // exposition always carries current RSS/CPU numbers even when the
+    // time-series recorder is off.
+    publishProcMetrics();
+    return httpResponse(200, kPrometheusContentType,
+                        renderPrometheus(metrics().snapshot()));
+}
+
+std::string
+TelemetryServer::handleSnapshot()
+{
+    publishProcMetrics();
+    std::ostringstream body;
+    body << "{\n\"metrics\": " << metrics().snapshotJson()
+         << ",\n\"timeseries\": "
+         << TimeSeriesRecorder::global().snapshotJson() << "}\n";
+    return httpResponse(200, "application/json", body.str());
+}
+
+std::string
+TelemetryServer::handleJournal(const HttpRequest &request)
+{
+    std::size_t n = 100;
+    if (const auto it = request.query.find("n");
+        it != request.query.end()) {
+        const long long parsed = std::atoll(it->second.c_str());
+        if (parsed <= 0)
+            return httpResponse(400, "text/plain",
+                                "n must be a positive integer\n");
+        n = static_cast<std::size_t>(parsed);
+    }
+    const std::vector<std::string> lines = journal().lines();
+    const std::size_t start =
+        lines.size() > n ? lines.size() - n : 0;
+    std::string body;
+    for (std::size_t i = start; i < lines.size(); ++i) {
+        body += lines[i];
+        body += '\n';
+    }
+    return httpResponse(200, "application/x-ndjson", body);
+}
+
+std::string
+TelemetryServer::handleHealthz()
+{
+    const double uptime =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - startedAt_)
+            .count();
+    const ProcStat stat = sampleProcStat();
+    std::ostringstream body;
+    body << "{\"status\": \"ok\", \"service\": \"mapzero-telemetry\""
+         << ", \"pid\": " << static_cast<long long>(::getpid())
+         << ", \"port\": " << port_.load()
+         << ", \"uptime_seconds\": " << jsonNumber(uptime)
+         << ", \"requests\": " << requests_.load()
+         << ", \"rss_bytes\": " << stat.rssBytes
+         << ", \"threads\": " << stat.threads
+         << ", \"metrics_enabled\": "
+         << (metrics().enabled() ? "true" : "false")
+         << ", \"journal_enabled\": "
+         << (journal().enabled() ? "true" : "false")
+         << ", \"timeseries_period_ms\": "
+         << TimeSeriesRecorder::global().periodMs()
+         << ", \"build\": \""
+#ifdef NDEBUG
+         << "release"
+#else
+         << "debug"
+#endif
+         << "\"}\n";
+    return httpResponse(200, "application/json", body.str());
+}
+
+int
+ensureTelemetryServer(int stats_port)
+{
+    if (stats_port < 0)
+        return -1;
+    TelemetryServer &server = TelemetryServer::global();
+    if (server.running())
+        return server.port();
+    TelemetryOptions options;
+    options.port = stats_port;
+    if (!server.start(options))
+        return -1;
+    // Scripts drive `--stats-port 0` and need the chosen port; print
+    // it eagerly (and flushed) so it is readable before the run ends.
+    std::printf("telemetry: listening on http://127.0.0.1:%d (try "
+                "/metrics, /healthz)\n",
+                server.port());
+    std::fflush(stdout);
+    inform(cat("telemetry server listening on port ", server.port()));
+    return server.port();
+}
+
+} // namespace mapzero::svc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The live telemetry HTTP server - the seed of the `mapzerod` daemon
+ * (ROADMAP open item 1) and the first networked component of the
+ * system.
+ *
+ * Everything observability built so far (run reports, traces, the
+ * journal) is post-mortem; this server makes a *running* compile or
+ * training wave inspectable: a background accept thread on a loopback
+ * socket answers
+ *
+ *   GET /metrics        Prometheus text exposition of the registry
+ *                       (plus fresh proc.* resource gauges)
+ *   GET /snapshot.json  registry snapshot + time-series rings as JSON
+ *   GET /journal?n=K    tail of the in-memory flight-recorder journal
+ *                       (JSONL; K newest records, default 100)
+ *   GET /healthz        liveness + build/config info
+ *
+ * Starting the server also starts the TimeSeriesRecorder so /snapshot
+ * has history from second one. Binding is loopback-only by default:
+ * this is an operator port, not a public API (the daemon will grow
+ * admission control before that changes).
+ *
+ * Cost model: one blocked accept thread plus the recorder's sampler
+ * tick; request handling renders from detached snapshots, so scrapes
+ * never stall the search hot paths (< 1% wall-time on
+ * bench_searchspace, the DESIGN.md §13 budget).
+ */
+
+#ifndef MAPZERO_SVC_TELEMETRY_SERVER_HPP
+#define MAPZERO_SVC_TELEMETRY_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "svc/http.hpp"
+
+namespace mapzero::svc {
+
+/** Configuration of one TelemetryServer::start() call. */
+struct TelemetryOptions {
+    /** TCP port to listen on; 0 = pick an ephemeral port. */
+    int port = 0;
+    /** Bind address; keep loopback unless you know better. */
+    std::string bindAddress = "127.0.0.1";
+    /** Time-series sampler period (milliseconds). */
+    int samplePeriodMs = 250;
+};
+
+/**
+ * A telemetry endpoint over the process-wide registries.
+ *
+ * Instantiable for tests; production code uses the process-wide
+ * instance (global()) so the CLI, CompileOptions, and TrainerConfig
+ * can all idempotently ask for "the" server.
+ */
+class TelemetryServer
+{
+  public:
+    /** The process-wide instance. */
+    static TelemetryServer &global();
+
+    TelemetryServer() = default;
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept thread. Returns true when the
+     * server is running afterwards (including "already was"); logs a
+     * warn() and returns false when the socket cannot be bound - a
+     * telemetry failure must never kill the compile it observes.
+     */
+    bool start(const TelemetryOptions &options = {});
+
+    /** Close the socket and join the accept thread (idempotent). */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound port (the real one when options.port was 0); 0 when
+     *  not running. */
+    int port() const { return port_.load(); }
+
+    /** Requests answered so far (any status). */
+    std::int64_t requestsServed() const { return requests_.load(); }
+
+    /**
+     * Dispatch one parsed request to its route and render the full
+     * HTTP response. Public so tests can exercise every route without
+     * a socket.
+     */
+    std::string handle(const HttpRequest &request);
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    std::string handleMetrics();
+    std::string handleSnapshot();
+    std::string handleJournal(const HttpRequest &request);
+    std::string handleHealthz();
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<int> port_{0};
+    std::atomic<int> listenFd_{-1};
+    /** Self-pipe: stop() writes a byte to wake the accept poll(). */
+    int wakeReadFd_ = -1;
+    int wakeWriteFd_ = -1;
+    std::atomic<std::int64_t> requests_{0};
+    std::chrono::steady_clock::time_point startedAt_;
+    std::mutex lifecycleMutex_;
+    std::thread acceptThread_;
+};
+
+/**
+ * Idempotently start the process-wide server when @p stats_port >= 0
+ * (0 = ephemeral): the one-liner CompileOptions/TrainerConfig wiring
+ * calls. Returns the bound port, or -1 when disabled/failed. The
+ * chosen port is inform()ed and printed once, so scripts driving
+ * `--stats-port 0` can discover it.
+ */
+int ensureTelemetryServer(int stats_port);
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_TELEMETRY_SERVER_HPP

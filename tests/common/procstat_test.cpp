@@ -1,0 +1,72 @@
+/** @file Unit tests for the process resource sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/procstat.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(ProcStat, RssAndThreadsAreSane)
+{
+    const ProcStat s = sampleProcStat();
+    // Any live process has resident memory; the gtest binary easily
+    // exceeds a megabyte.
+    EXPECT_GT(s.rssBytes, 1 << 20);
+    EXPECT_GE(s.peakRssBytes, s.rssBytes);
+    if (s.fromProc) {
+        EXPECT_GE(s.threads, 1);
+        // stdin/stdout/stderr at minimum.
+        EXPECT_GE(s.openFds, 3);
+    }
+}
+
+TEST(ProcStat, CpuTimeIsMonotoneAndAdvancesUnderLoad)
+{
+    const ProcStat before = sampleProcStat();
+    EXPECT_GE(before.cpuUserSeconds, 0.0);
+    EXPECT_GE(before.cpuSysSeconds, 0.0);
+    // Burn enough CPU to be visible at getrusage resolution.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 20'000'000; ++i)
+        sink = sink + static_cast<double>(i) * 1e-9;
+    (void)sink;
+    const ProcStat after = sampleProcStat();
+    EXPECT_GE(after.cpuUserSeconds, before.cpuUserSeconds);
+    EXPECT_GE(after.cpuSysSeconds, before.cpuSysSeconds);
+    EXPECT_GT(after.cpuSeconds(), before.cpuSeconds());
+}
+
+TEST(ProcStat, PublishSetsTheProcGauges)
+{
+    const ProcStat s = publishProcMetrics();
+    MetricsRegistry &reg = MetricsRegistry::global();
+    EXPECT_DOUBLE_EQ(reg.gauge("proc.rss_bytes").value(),
+                     static_cast<double>(s.rssBytes));
+    EXPECT_DOUBLE_EQ(reg.gauge("proc.peak_rss_bytes").value(),
+                     static_cast<double>(s.peakRssBytes));
+    EXPECT_DOUBLE_EQ(reg.gauge("proc.cpu_seconds").value(),
+                     s.cpuSeconds());
+    // The optional fields publish whatever was sampled, -1 included.
+    EXPECT_DOUBLE_EQ(reg.gauge("proc.threads").value(),
+                     static_cast<double>(s.threads));
+    EXPECT_DOUBLE_EQ(reg.gauge("proc.open_fds").value(),
+                     static_cast<double>(s.openFds));
+}
+
+TEST(ProcStat, RssGrowsWithAllocation)
+{
+    const ProcStat before = sampleProcStat();
+    // 32 MiB, touched so the kernel actually maps the pages.
+    std::vector<char> ballast(32u << 20, 1);
+    for (std::size_t i = 0; i < ballast.size(); i += 4096)
+        ballast[i] = static_cast<char>(i);
+    const ProcStat after = sampleProcStat();
+    EXPECT_GT(after.peakRssBytes, before.rssBytes);
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,155 @@
+/** @file Unit tests for the time-series recorder. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/timeseries.hpp"
+
+namespace mapzero {
+namespace {
+
+/** A private registry keeps these tests off the global instruments. */
+class TimeSeriesTest : public ::testing::Test
+{
+  protected:
+    MetricsRegistry registry;
+    TimeSeriesRecorder recorder{registry};
+};
+
+TEST_F(TimeSeriesTest, SampleNowRecordsEveryInstrumentKind)
+{
+    registry.counter("ts.counter").add(3);
+    registry.gauge("ts.gauge").set(1.5);
+    registry.histogram("ts.hist").record(2.0);
+    registry.histogram("ts.hist").record(4.0);
+    recorder.sampleNow();
+
+    EXPECT_EQ(recorder.ticks(), 1);
+    EXPECT_DOUBLE_EQ(recorder.window("ts.counter").last, 3.0);
+    EXPECT_DOUBLE_EQ(recorder.window("ts.gauge").last, 1.5);
+    // Histograms contribute derived count/sum series.
+    EXPECT_DOUBLE_EQ(recorder.window("ts.hist.count").last, 2.0);
+    EXPECT_DOUBLE_EQ(recorder.window("ts.hist.sum").last, 6.0);
+    EXPECT_TRUE(recorder.window("ts.unknown").points.empty());
+}
+
+TEST_F(TimeSeriesTest, WindowTracksLastMinMax)
+{
+    Gauge &g = registry.gauge("ts.depth");
+    for (double v : {4.0, 9.0, 1.0, 6.0}) {
+        g.set(v);
+        recorder.sampleNow();
+    }
+    const SeriesWindow w = recorder.window("ts.depth");
+    ASSERT_EQ(w.points.size(), 4u);
+    EXPECT_DOUBLE_EQ(w.last, 6.0);
+    EXPECT_DOUBLE_EQ(w.min, 1.0);
+    EXPECT_DOUBLE_EQ(w.max, 9.0);
+}
+
+TEST_F(TimeSeriesTest, RingWrapsAndKeepsNewestPointsInOrder)
+{
+    recorder.setCapacity(4);
+    Counter &c = registry.counter("ts.wrap");
+    for (int i = 1; i <= 10; ++i) {
+        c.add(1);
+        recorder.sampleNow();
+    }
+    const SeriesWindow w = recorder.window("ts.wrap");
+    ASSERT_EQ(w.points.size(), 4u);
+    // Counter value i at tick i: the ring retains ticks 7..10.
+    EXPECT_DOUBLE_EQ(w.points.front().value, 7.0);
+    EXPECT_DOUBLE_EQ(w.points.back().value, 10.0);
+    EXPECT_DOUBLE_EQ(w.min, 7.0);
+    EXPECT_DOUBLE_EQ(w.max, 10.0);
+    // Oldest-first time order survives the wraparound.
+    for (std::size_t i = 1; i < w.points.size(); ++i)
+        EXPECT_GE(w.points[i].tUs, w.points[i - 1].tUs);
+}
+
+TEST_F(TimeSeriesTest, ShrinkingCapacityDropsOldestPoints)
+{
+    Counter &c = registry.counter("ts.shrink");
+    for (int i = 1; i <= 8; ++i) {
+        c.add(1);
+        recorder.sampleNow();
+    }
+    recorder.setCapacity(3);
+    c.add(1);
+    recorder.sampleNow();
+    const SeriesWindow w = recorder.window("ts.shrink");
+    ASSERT_EQ(w.points.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.points.back().value, 9.0);
+    for (std::size_t i = 1; i < w.points.size(); ++i)
+        EXPECT_GE(w.points[i].tUs, w.points[i - 1].tUs);
+}
+
+TEST_F(TimeSeriesTest, SamplerThreadTicksAndStopsCleanly)
+{
+    registry.gauge("ts.live").set(1.0);
+    recorder.start(/*period_ms=*/10);
+    EXPECT_TRUE(recorder.running());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (recorder.ticks() < 3 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(recorder.ticks(), 3);
+    recorder.stop();
+    EXPECT_FALSE(recorder.running());
+    const std::int64_t frozen = recorder.ticks();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(recorder.ticks(), frozen);
+}
+
+TEST_F(TimeSeriesTest, StartIsIdempotentAndClearDropsRings)
+{
+    recorder.start(10);
+    recorder.start(20); // adopts the new period, no second thread
+    EXPECT_TRUE(recorder.running());
+    EXPECT_EQ(recorder.periodMs(), 20);
+    recorder.stop();
+
+    registry.counter("ts.gone").add(1);
+    recorder.sampleNow();
+    EXPECT_FALSE(recorder.window("ts.gone").points.empty());
+    recorder.clear();
+    EXPECT_TRUE(recorder.window("ts.gone").points.empty());
+    EXPECT_TRUE(recorder.windows().empty());
+}
+
+TEST_F(TimeSeriesTest, SnapshotJsonParsesAndMatchesTheWindow)
+{
+    registry.gauge("ts.json").set(2.5);
+    recorder.sampleNow();
+    recorder.sampleNow();
+    const JsonValue doc = JsonValue::parse(recorder.snapshotJson());
+    EXPECT_DOUBLE_EQ(doc.numberOr("ticks", 0), 2.0);
+    EXPECT_DOUBLE_EQ(doc.numberOr("capacity", 0),
+                     static_cast<double>(recorder.capacity()));
+    const JsonValue &series = doc.at("series").at("ts.json");
+    EXPECT_DOUBLE_EQ(series.numberOr("last", 0), 2.5);
+    EXPECT_DOUBLE_EQ(series.numberOr("min", 0), 2.5);
+    EXPECT_EQ(series.at("points").size(), 2u);
+}
+
+TEST(TimeSeriesGlobal, GlobalRecorderWatchesTheGlobalRegistry)
+{
+    TimeSeriesRecorder &rec = TimeSeriesRecorder::global();
+    EXPECT_EQ(&rec, &TimeSeriesRecorder::global());
+    const bool was_running = rec.running();
+    rec.sampleNow();
+    // Watching the global registry refreshes proc.* before sampling,
+    // so the resource series exist without anyone publishing them.
+    EXPECT_GT(rec.window("proc.rss_bytes").last, 0.0);
+    if (!was_running)
+        rec.stop();
+}
+
+} // namespace
+} // namespace mapzero

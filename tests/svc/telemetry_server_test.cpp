@@ -1,0 +1,356 @@
+/** @file Tests for the telemetry plane: HTTP parsing, Prometheus
+ *  exposition conformance, and the live server end to end. */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+#include "svc/http.hpp"
+#include "svc/prometheus.hpp"
+#include "svc/telemetry_server.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+// ---------------------------------------------------------------- HTTP
+
+TEST(Http, ParsesRequestLineAndQuery)
+{
+    HttpRequest req;
+    ASSERT_TRUE(parseHttpRequest(
+        "GET /journal?n=50&x=a%20b HTTP/1.1\r\nHost: x\r\n\r\n", req));
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/journal?n=50&x=a%20b");
+    EXPECT_EQ(req.path, "/journal");
+    EXPECT_EQ(req.query.at("n"), "50");
+    EXPECT_EQ(req.query.at("x"), "a b");
+}
+
+TEST(Http, RejectsMalformedRequestLines)
+{
+    HttpRequest req;
+    EXPECT_FALSE(parseHttpRequest("", req));
+    EXPECT_FALSE(parseHttpRequest("GET\r\n", req));
+    EXPECT_FALSE(parseHttpRequest("GET /metrics\r\n", req));
+    EXPECT_FALSE(parseHttpRequest("GET metrics HTTP/1.0\r\n", req));
+    EXPECT_FALSE(parseHttpRequest("GET /metrics FTP/1.0\r\n", req));
+}
+
+TEST(Http, ResponseCarriesLengthAndConnectionClose)
+{
+    const std::string r = httpResponse(200, "text/plain", "hello");
+    EXPECT_EQ(r.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(r.substr(r.size() - 5), "hello");
+}
+
+// ---------------------------------------------- Prometheus exposition
+
+TEST(Prometheus, NameSanitization)
+{
+    EXPECT_EQ(prometheusName("eval_cache.hits"), "eval_cache_hits");
+    EXPECT_EQ(prometheusName("proc.rss_bytes"), "proc_rss_bytes");
+    EXPECT_EQ(prometheusName("a-b c"), "a_b_c");
+    EXPECT_EQ(prometheusName("7seconds"), "_7seconds");
+}
+
+TEST(Prometheus, LabelValueEscaping)
+{
+    EXPECT_EQ(prometheusLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Prometheus, NumberFormatting)
+{
+    EXPECT_EQ(prometheusNumber(2.5), "2.5");
+    EXPECT_EQ(prometheusNumber(
+                  std::numeric_limits<double>::infinity()),
+              "+Inf");
+    EXPECT_EQ(prometheusNumber(
+                  -std::numeric_limits<double>::infinity()),
+              "-Inf");
+    EXPECT_EQ(prometheusNumber(std::nan("")), "NaN");
+}
+
+TEST(Prometheus, CountersAndGaugesGetTypedSamples)
+{
+    MetricsRegistry reg;
+    reg.counter("svc.test_counter").add(7);
+    reg.gauge("svc.test_gauge").set(-1.5);
+    const std::string text = renderPrometheus(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE svc_test_counter counter\n"
+                        "svc_test_counter 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE svc_test_gauge gauge\n"
+                        "svc_test_gauge -1.5\n"),
+              std::string::npos);
+}
+
+/** Per-line view of one metric's exposition block. */
+std::vector<std::string>
+linesOf(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);)
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("svc.lat");
+    for (double v : {0.5, 1.0, 2.0, 100.0})
+        h.record(v);
+    const std::string text = renderPrometheus(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE svc_lat histogram"),
+              std::string::npos);
+
+    // Walk the bucket lines: counts must be non-decreasing, the +Inf
+    // bucket must exist and equal _count, and le bounds must ascend.
+    std::int64_t prev_count = 0;
+    double prev_le = -std::numeric_limits<double>::infinity();
+    std::int64_t inf_count = -1;
+    std::int64_t total_count = -1;
+    for (const std::string &line : linesOf(text)) {
+        if (line.rfind("svc_lat_bucket{le=\"", 0) == 0) {
+            const std::size_t q1 = line.find('"');
+            const std::size_t q2 = line.find('"', q1 + 1);
+            const std::string le = line.substr(q1 + 1, q2 - q1 - 1);
+            const std::int64_t count =
+                std::atoll(line.substr(q2 + 2).c_str());
+            EXPECT_GE(count, prev_count) << line;
+            prev_count = count;
+            if (le == "+Inf") {
+                inf_count = count;
+            } else {
+                const double bound = std::atof(le.c_str());
+                EXPECT_GT(bound, prev_le) << line;
+                prev_le = bound;
+            }
+        } else if (line.rfind("svc_lat_count ", 0) == 0) {
+            total_count = std::atoll(line.substr(14).c_str());
+        }
+    }
+    EXPECT_EQ(inf_count, 4);
+    EXPECT_EQ(total_count, 4);
+    EXPECT_NE(text.find("svc_lat_sum 103.5"), std::string::npos);
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed)
+{
+    MetricsRegistry reg;
+    reg.histogram("svc.empty");
+    const std::string text = renderPrometheus(reg.snapshot());
+    EXPECT_NE(text.find("svc_empty_bucket{le=\"+Inf\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("svc_empty_count 0"), std::string::npos);
+}
+
+// ------------------------------------------------- snapshot/percentile
+
+TEST(MetricsSnapshot, DetachedAndOrdered)
+{
+    MetricsRegistry reg;
+    reg.counter("b.two").add(2);
+    reg.counter("a.one").add(1);
+    reg.gauge("z.g").set(3.0);
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "a.one");
+    EXPECT_EQ(snap.counters[1].first, "b.two");
+    // Detached: later mutation is invisible to the copy.
+    reg.counter("a.one").add(100);
+    EXPECT_EQ(snap.counters[0].second, 1);
+}
+
+TEST(MetricsSnapshot, PercentilesMatchTheLiveHistogram)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("snap.lat");
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramSnapshot &hs = snap.histograms[0].second;
+    EXPECT_EQ(hs.count, 1000);
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(hs.percentile(q), h.percentile(q)) << q;
+}
+
+// ------------------------------------------------------- route handler
+
+TEST(TelemetryRoutes, HandleDispatchesWithoutASocket)
+{
+    metrics().counter("svc.route_probe").add(1);
+    TelemetryServer server;
+    HttpRequest req;
+    req.method = "GET";
+
+    req.path = "/metrics";
+    std::string r = server.handle(req);
+    EXPECT_NE(r.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(r.find(kPrometheusContentType), std::string::npos);
+    EXPECT_NE(r.find("svc_route_probe 1"), std::string::npos);
+    EXPECT_NE(r.find("proc_rss_bytes"), std::string::npos);
+
+    req.path = "/healthz";
+    r = server.handle(req);
+    EXPECT_NE(r.find("\"status\": \"ok\""), std::string::npos);
+
+    req.path = "/snapshot.json";
+    r = server.handle(req);
+    EXPECT_NE(r.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(r.find("\"timeseries\""), std::string::npos);
+
+    req.path = "/journal";
+    req.query["n"] = "0";
+    EXPECT_NE(server.handle(req).find("HTTP/1.0 400"),
+              std::string::npos);
+    req.query["n"] = "5";
+    EXPECT_NE(server.handle(req).find("HTTP/1.0 200"),
+              std::string::npos);
+
+    req.query.clear();
+    req.path = "/nope";
+    EXPECT_NE(server.handle(req).find("HTTP/1.0 404"),
+              std::string::npos);
+    req.method = "POST";
+    req.path = "/metrics";
+    EXPECT_NE(server.handle(req).find("HTTP/1.0 405"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------- live sockets
+
+/** Blocking GET against 127.0.0.1:port; returns the raw response. */
+std::string
+httpGet(int port, const std::string &target)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    (void)!::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(TelemetryServerLive, ServesAllRoutesOverARealSocket)
+{
+    TelemetryServer server;
+    TelemetryOptions options;
+    options.port = 0; // ephemeral
+    ASSERT_TRUE(server.start(options));
+    ASSERT_GT(server.port(), 0);
+
+    const std::string metrics_resp = httpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics_resp.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(metrics_resp.find("# TYPE"), std::string::npos);
+    EXPECT_NE(metrics_resp.find("proc_rss_bytes"), std::string::npos);
+
+    EXPECT_NE(httpGet(server.port(), "/healthz").find("\"ok\""),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/snapshot.json")
+                  .find("\"timeseries\""),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/journal?n=3")
+                  .find("HTTP/1.0 200"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/nope").find("HTTP/1.0 404"),
+              std::string::npos);
+    EXPECT_GE(server.requestsServed(), 5);
+
+    const int port = server.port();
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(httpGet(port, "/healthz"), "");
+}
+
+TEST(TelemetryServerLive, StartIsIdempotentAndRebindsAfterStop)
+{
+    TelemetryServer server;
+    ASSERT_TRUE(server.start());
+    const int first = server.port();
+    EXPECT_TRUE(server.start()); // already running: keeps the port
+    EXPECT_EQ(server.port(), first);
+    server.stop();
+    ASSERT_TRUE(server.start());
+    EXPECT_GT(server.port(), 0);
+    server.stop();
+}
+
+TEST(TelemetryServerLive, ScrapesStayValidDuringAParallelCompile)
+{
+    TelemetryServer server;
+    ASSERT_TRUE(server.start());
+    const int port = server.port();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> scrapes{0};
+    std::atomic<int> failures{0};
+    std::thread scraper([&] {
+        while (!done.load()) {
+            const std::string r = httpGet(port, "/metrics");
+            if (r.find("HTTP/1.0 200") == std::string::npos ||
+                r.find("# TYPE") == std::string::npos)
+                failures.fetch_add(1);
+            scrapes.fetch_add(1);
+        }
+    });
+
+    CompileOptions options;
+    options.timeLimitSeconds = 5.0;
+    options.jobs = 2;
+    options.restartsPerIi = 4;
+    Compiler compiler;
+    const CompileResult result =
+        compiler.compile(dfg::buildKernel("mac"),
+                         cgra::Architecture::hrea(), Method::Sa,
+                         options);
+    done.store(true);
+    scraper.join();
+    server.stop();
+
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(scrapes.load(), 0);
+    EXPECT_EQ(failures.load(), 0);
+}
+
+} // namespace
+} // namespace mapzero::svc

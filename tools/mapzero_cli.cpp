@@ -13,6 +13,7 @@
  *   mapzero_cli report   --journal FILE [--hotspots N]
  *   mapzero_cli report   --compare BASELINE.json CANDIDATE.json
  *                        [--threshold 0.05]
+ *   mapzero_cli report   --metrics RUNREPORT.json
  *   mapzero_cli list
  *
  * Kernels come from the built-in Table-2 set, or from a DOT file via
@@ -31,6 +32,11 @@
  *   --jobs N            worker threads for parallel compilation and
  *                       self-play (0 = all hardware threads; default 1;
  *                       also settable via MAPZERO_NUM_THREADS)
+ *   --stats-port PORT   serve live telemetry over HTTP while the
+ *                       command runs: GET /metrics (Prometheus text),
+ *                       /snapshot.json, /journal, /healthz. PORT 0
+ *                       picks an ephemeral port (printed on stdout).
+ *                       Also settable via MAPZERO_STATS_PORT.
  */
 
 #include <cstdio>
@@ -59,6 +65,7 @@
 #include "mapper/router.hpp"
 #include "mapper/visualize.hpp"
 #include "sim/fabric_sim.hpp"
+#include "svc/telemetry_server.hpp"
 
 namespace {
 
@@ -376,10 +383,22 @@ readTextFile(const std::string &path)
  *   report --compare BASE.json CAND.json     diff two --metrics-out run
  *          [--threshold 0.05]                reports; exits 3 on any
  *                                            regression >= threshold
+ *   report --metrics FILE                    human-readable summary of
+ *                                            one --metrics-out report
  */
 int
 cmdReport(const Args &args)
 {
+    if (args.flag("metrics")) {
+        const std::string path = args.get("metrics", "");
+        if (path.empty())
+            fatal("report --metrics needs a run-report file (the JSON "
+                  "written by --metrics-out)");
+        const JsonValue report = JsonValue::parse(readTextFile(path));
+        std::printf("%s", renderMetricsReport(report).c_str());
+        return 0;
+    }
+
     if (args.flag("compare")) {
         const std::string base_path = args.get("compare", "");
         if (base_path.empty() || args.positionals.empty())
@@ -494,9 +513,12 @@ dispatch(const Args &args)
         "  report   --journal FILE [--hotspots N]\n"
         "  report   --compare BASELINE.json CANDIDATE.json\n"
         "           [--threshold 0.05] (exit 3 on regression)\n"
+        "  report   --metrics RUNREPORT.json\n"
         "observability (any command): [--trace-out FILE]\n"
         "           [--metrics-out FILE] [--journal-out FILE]\n"
-        "           [--log-level LEVEL] (env: MAPZERO_JOURNAL)\n"
+        "           [--log-level LEVEL] [--stats-port PORT]\n"
+        "           (env: MAPZERO_JOURNAL, MAPZERO_STATS_PORT;\n"
+        "           --stats-port 0 = ephemeral, printed on stdout)\n"
         "parallelism (any command): [--jobs N] (0 = all hardware\n"
         "           threads; default 1; env: MAPZERO_NUM_THREADS)\n");
     return args.command.empty() ? 0 : 2;
@@ -529,6 +551,28 @@ main(int argc, char **argv)
             fatal("--metrics-out needs a file path");
         if (!trace_out.empty())
             TraceCollector::global().setEnabled(true);
+        // Register the crash/atexit flush hooks up front, so a run
+        // that dies in fatal() still leaves its run report behind
+        // (same contract as the journal below).
+        if (!metrics_out.empty())
+            setRunReportOutputPath(metrics_out);
+
+        // Live telemetry: --stats-port beats MAPZERO_STATS_PORT; the
+        // server starts before dispatch so /metrics works for the
+        // whole command, not just the phases that call into the
+        // compiler. `report` stays offline-only, like the journal.
+        std::string stats_port = args.get("stats-port", "");
+        if (args.flag("stats-port") && stats_port.empty())
+            fatal("--stats-port needs a port number (0 = ephemeral)");
+        if (stats_port.empty())
+            if (const char *env = std::getenv("MAPZERO_STATS_PORT"))
+                stats_port = env;
+        if (!stats_port.empty() && args.command != "report") {
+            const long long port = std::atoll(stats_port.c_str());
+            if (port < 0 || port > 65535)
+                fatal("--stats-port must be in [0, 65535]");
+            svc::ensureTelemetryServer(static_cast<int>(port));
+        }
 
         std::string journal_out = args.get("journal-out", "");
         if (args.flag("journal-out") && journal_out.empty())
@@ -578,6 +622,8 @@ main(int argc, char **argv)
                         static_cast<long long>(
                             Journal::global().dropped()));
         }
+        // Join the accept/sampler threads before static destruction.
+        svc::TelemetryServer::global().stop();
         return rc;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
