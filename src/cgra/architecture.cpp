@@ -267,4 +267,23 @@ Architecture::table1Presets()
             hycube()};
 }
 
+std::optional<Architecture>
+Architecture::byName(const std::string &name)
+{
+    if (name == "hrea")       return hrea();
+    if (name == "morphosys")  return morphosys();
+    if (name == "adres")      return adres();
+    if (name == "hycube")     return hycube();
+    if (name == "baseline8")  return baseline8();
+    if (name == "baseline16") return baseline16();
+    if (name == "hetero")     return heterogeneous();
+    return std::nullopt;
+}
+
+const char *
+Architecture::knownNames()
+{
+    return "hrea|morphosys|adres|hycube|baseline8|baseline16|hetero";
+}
+
 } // namespace mapzero::cgra

@@ -18,6 +18,7 @@
 #define MAPZERO_CGRA_ARCHITECTURE_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,17 @@ class Architecture
 
     /** All Table-1 presets (excludes heterogeneous). */
     static std::vector<Architecture> table1Presets();
+
+    /**
+     * Preset by canonical CLI/protocol name ("hrea", "morphosys",
+     * "adres", "hycube", "baseline8", "baseline16", "hetero");
+     * nullopt for anything else. Network-facing callers (mapzerod)
+     * turn nullopt into a BAD_REQUEST instead of a fatal().
+     */
+    static std::optional<Architecture> byName(const std::string &name);
+
+    /** The names byName() accepts, pipe-separated (for messages). */
+    static const char *knownNames();
 
   private:
     void buildNeighbors();

@@ -1,6 +1,7 @@
 #include "common/procstat.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <dirent.h>
@@ -70,10 +71,18 @@ sampleFromProc(ProcStat &stat)
 } // namespace
 
 ProcStat
-sampleProcStat()
+sampleProcStat(ProcStatSource source)
 {
+    // Checked per call, not cached: tests flip the variable at runtime.
+    if (source == ProcStatSource::Auto) {
+        const char *force =
+            std::getenv("MAPZERO_PROCSTAT_FORCE_FALLBACK");
+        if (force != nullptr && force[0] != '\0')
+            source = ProcStatSource::RusageOnly;
+    }
     ProcStat stat;
-    stat.fromProc = sampleFromProc(stat);
+    stat.fromProc =
+        source == ProcStatSource::Auto && sampleFromProc(stat);
 
     rusage usage = {};
     if (getrusage(RUSAGE_SELF, &usage) == 0) {

@@ -47,12 +47,26 @@ struct ProcStat {
     }
 };
 
+/** Where sampleProcStat() is allowed to read from. */
+enum class ProcStatSource {
+    /**
+     * /proc/self first, getrusage() fallback - the production path.
+     * Setting the MAPZERO_PROCSTAT_FORCE_FALLBACK environment variable
+     * (any non-empty value) demotes Auto to RusageOnly, so the
+     * fallback path is testable on hosts that *do* have /proc.
+     */
+    Auto,
+    /** Skip /proc entirely; getrusage() only (the macOS/container
+     *  behaviour, exposed for tests). */
+    RusageOnly,
+};
+
 /**
  * Sample the calling process: /proc/self/{status,fd} where available,
  * getrusage(RUSAGE_SELF) for CPU time and the peak-RSS fallback.
  * Never throws; unavailable fields keep their defaults.
  */
-ProcStat sampleProcStat();
+ProcStat sampleProcStat(ProcStatSource source = ProcStatSource::Auto);
 
 /**
  * Sample and publish to the global metrics registry as gauges:

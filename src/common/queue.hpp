@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer job queue - the hand-off point
+ * between the `mapzerod` accept loop and its compile worker pool
+ * (svc/daemon.hpp), kept in common/ because it is a generic primitive.
+ *
+ * The shape follows the classic master/worker lock-queue servers (one
+ * accept thread feeding N workers): producers *try* to push and get an
+ * immediate false when the queue is full - that is the admission-control
+ * signal the daemon turns into a BUSY reply - while consumers block in
+ * pop() until an item or close() arrives. close() is the drain
+ * primitive: producers are refused from that point on, but consumers
+ * keep draining whatever is already queued and only then see
+ * "finished", so no accepted job is ever orphaned by a shutdown.
+ *
+ * Cost model: one mutex + two condvars; push/pop are a lock, a deque
+ * op, and at most one notify. Queue items are moved, never copied.
+ */
+
+#ifndef MAPZERO_COMMON_QUEUE_HPP
+#define MAPZERO_COMMON_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mapzero {
+
+/** Bounded MPMC FIFO; see the file comment for the drain contract. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** A queue holding at most @p capacity (>= 1) pending items. */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity)
+    {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item unless the queue is full or closed; returns
+     * whether the item was accepted. Never blocks - a full queue is
+     * the caller's backpressure signal, not a wait.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available and return it, or return
+     * nullopt once the queue is closed *and* drained. Safe to call
+     * from any number of consumers.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock,
+                    [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /**
+     * Refuse all future pushes and wake every blocked consumer.
+     * Already-queued items remain poppable (drain semantics).
+     * Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Items currently waiting (racy by nature; for metrics). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_QUEUE_HPP

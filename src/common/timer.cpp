@@ -7,6 +7,8 @@ namespace mapzero {
 double
 Deadline::remaining() const
 {
+    if (cancelled())
+        return 0.0;
     if (budgetSeconds_ <= 0.0)
         return std::numeric_limits<double>::infinity();
     const double left = budgetSeconds_ - timer_.seconds();

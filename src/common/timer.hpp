@@ -9,6 +9,7 @@
 #ifndef MAPZERO_COMMON_TIMER_HPP
 #define MAPZERO_COMMON_TIMER_HPP
 
+#include <atomic>
 #include <chrono>
 
 namespace mapzero {
@@ -40,7 +41,14 @@ class Timer
 /**
  * A time budget mappers can poll cheaply.
  *
- * A non-positive budget means "unlimited".
+ * A non-positive budget means "unlimited". A Deadline may additionally
+ * carry a cancellation flag (an externally owned atomic that must
+ * outlive the Deadline): once the flag is set, expired() is true and
+ * remaining() is 0 regardless of the clock. Every search loop in the
+ * repository already polls its Deadline, so this one pointer is how
+ * asynchronous cancellation (mapzerod's CANCEL request, drain
+ * timeouts) reaches the innermost backtracking/MCTS loops without any
+ * engine changes.
  */
 class Deadline
 {
@@ -50,14 +58,29 @@ class Deadline
         : budgetSeconds_(seconds)
     {}
 
-    /** True when a finite budget is configured and exhausted. */
+    /** Same budget, plus a cancellation flag (nullptr = none). */
+    Deadline(double seconds, const std::atomic<bool> *cancel)
+        : budgetSeconds_(seconds), cancel_(cancel)
+    {}
+
+    /** True when cancelled, or when a finite budget is exhausted. */
     bool
     expired() const
     {
+        if (cancelled())
+            return true;
         return budgetSeconds_ > 0.0 && timer_.seconds() >= budgetSeconds_;
     }
 
-    /** Seconds remaining (infinity when unlimited). */
+    /** True when a cancellation flag is attached and set. */
+    bool
+    cancelled() const
+    {
+        return cancel_ != nullptr &&
+               cancel_->load(std::memory_order_relaxed);
+    }
+
+    /** Seconds remaining (infinity when unlimited, 0 when cancelled). */
     double remaining() const;
 
     /** Seconds consumed so far. */
@@ -66,9 +89,13 @@ class Deadline
     /** Configured budget (<= 0 means unlimited). */
     double budget() const { return budgetSeconds_; }
 
+    /** The attached cancellation flag (nullptr when none). */
+    const std::atomic<bool> *cancelFlag() const { return cancel_; }
+
   private:
     Timer timer_;
     double budgetSeconds_;
+    const std::atomic<bool> *cancel_ = nullptr;
 };
 
 } // namespace mapzero

@@ -101,6 +101,7 @@ emitCompileRecord(const dfg::Dfg &dfg, const CompileResult &result)
         .field("ii", result.ii)
         .field("success", result.success)
         .field("timed_out", result.timedOut)
+        .field("cancelled", result.cancelled)
         .field("seconds", result.seconds)
         .field("search_ops", result.searchOps)
         .field("total_hops", result.totalHops);
@@ -189,7 +190,9 @@ Compiler::compile(const dfg::Dfg &dfg, const cgra::Architecture &arch,
         std::shared_ptr<rl::Evaluator> evaluator;
         if (is_mapzero && options.evalCache && net_)
             evaluator = std::make_shared<rl::DirectEvaluator>(
-                *net_, std::make_shared<rl::EvalCache>());
+                *net_, options.evalCacheInstance
+                           ? options.evalCacheInstance
+                           : std::make_shared<rl::EvalCache>());
         auto engine = makeEngine(method, options.seed,
                                  std::move(evaluator));
         return compileWith(*engine, dfg, arch, options);
@@ -222,11 +225,15 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
             jsonEscape(result.method), "\", \"mii\": ", result.mii, "}"));
     compiles.add();
 
-    const Deadline deadline(options.timeLimitSeconds);
+    const Deadline deadline(options.timeLimitSeconds, options.cancel);
     Timer timer;
 
     for (std::int32_t ii = result.mii;
          ii <= result.mii + options.maxIiIncrease; ++ii) {
+        if (deadline.cancelled()) {
+            result.cancelled = true;
+            break;
+        }
         if (deadline.expired()) {
             warn(cat("compile of '", dfg.name(), "' (", result.method,
                      "): time budget exhausted before II=", ii));
@@ -247,7 +254,7 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
             ? std::max(deadline.remaining() * 0.5, 0.05)
             : 0.0;
         const Deadline attempt_deadline(
-            std::min(slice, deadline.remaining()));
+            std::min(slice, deadline.remaining()), options.cancel);
         baselines::AttemptResult attempt;
         {
             TraceSpan attempt_span("ii_attempt", "compiler",
@@ -264,6 +271,10 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
             result.ii = ii;
             result.placements = std::move(attempt.placements);
             result.totalHops = attempt.totalHops;
+            break;
+        }
+        if (deadline.cancelled()) {
+            result.cancelled = true;
             break;
         }
         // A sliced timeout only ends the sweep when the overall budget
@@ -321,7 +332,9 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
         // attempt profits from every other attempt's evaluations.
         std::shared_ptr<rl::EvalCache> cache;
         if (options.evalCache)
-            cache = std::make_shared<rl::EvalCache>();
+            cache = options.evalCacheInstance
+                        ? options.evalCacheInstance
+                        : std::make_shared<rl::EvalCache>();
         if (jobs > 1) {
             batcher = std::make_shared<rl::EvalBatcher>(
                 *net_, static_cast<std::size_t>(restarts),
@@ -353,7 +366,7 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
             ", \"restarts\": ", restarts, "}"));
     compiles.add();
 
-    const Deadline deadline(options.timeLimitSeconds);
+    const Deadline deadline(options.timeLimitSeconds, options.cancel);
     Timer timer;
     std::optional<ThreadPool> pool;
     if (jobs > 1)
@@ -361,6 +374,10 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
 
     for (std::int32_t ii = result.mii;
          ii <= result.mii + options.maxIiIncrease; ++ii) {
+        if (deadline.cancelled()) {
+            result.cancelled = true;
+            break;
+        }
         if (deadline.expired()) {
             warn(cat("compile of '", dfg.name(), "' (", result.method,
                      "): time budget exhausted before II=", ii));
@@ -392,7 +409,8 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                 parallelFor(*pool, static_cast<std::size_t>(restarts),
                             [&](std::size_t k) {
                     const Deadline attempt_deadline(
-                        std::min(slice, deadline.remaining()));
+                        std::min(slice, deadline.remaining()),
+                        options.cancel);
                     std::optional<rl::EvalBatcher::Session> session;
                     if (batcher)
                         session.emplace(*batcher);
@@ -408,7 +426,8 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                         ? std::max(deadline.remaining() * 0.5, 0.05)
                         : 0.0;
                     const Deadline attempt_deadline(
-                        std::min(slice, deadline.remaining()));
+                        std::min(slice, deadline.remaining()),
+                        options.cancel);
                     round[static_cast<std::size_t>(k)] =
                         engines[static_cast<std::size_t>(k)]->map(
                             dfg, arch, ii, attempt_deadline);
@@ -447,6 +466,10 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
             result.ii = ii;
             result.placements = std::move(attempt.placements);
             result.totalHops = attempt.totalHops;
+            break;
+        }
+        if (deadline.cancelled()) {
+            result.cancelled = true;
             break;
         }
         bool any_timed_out = false;

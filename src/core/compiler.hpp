@@ -12,6 +12,7 @@
 #ifndef MAPZERO_CORE_COMPILER_HPP
 #define MAPZERO_CORE_COMPILER_HPP
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,10 @@
 #include "rl/agent.hpp"
 
 namespace mapzero {
+
+namespace rl {
+class EvalCache;
+}
 
 /** Which compilation engine to use. */
 enum class Method {
@@ -66,6 +71,23 @@ struct CompileOptions {
      */
     bool evalCache = true;
     /**
+     * Externally owned evaluation cache to use instead of a fresh
+     * per-compile one (requires evalCache = true; MapZero methods
+     * only). Network outputs are pure functions of the canonical
+     * observation bytes the cache is keyed on, so one cache can be
+     * shared safely across compiles, DFGs, and architectures - this is
+     * how the mapzerod daemon keeps repeat requests warm
+     * (core/service.hpp).
+     */
+    std::shared_ptr<rl::EvalCache> evalCacheInstance;
+    /**
+     * Asynchronous cancellation flag (externally owned, must outlive
+     * the call): when it becomes true every Deadline in the sweep
+     * reports expired and the compile returns promptly with
+     * CompileResult::cancelled set. nullptr = not cancellable.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
      * Live telemetry: >= 0 starts the process-wide HTTP telemetry
      * server (svc/telemetry_server.hpp) on this port before the sweep
      * begins (0 = ephemeral port, printed on stdout), so `curl
@@ -88,6 +110,8 @@ struct CompileResult {
     /** Backtracks / annealing steps over all attempted IIs. */
     std::int64_t searchOps = 0;
     bool timedOut = false;
+    /** True when CompileOptions::cancel fired before completion. */
+    bool cancelled = false;
     std::vector<mapper::Placement> placements;
     std::int32_t totalHops = 0;
     std::string method;

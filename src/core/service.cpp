@@ -1,0 +1,79 @@
+#include "core/service.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "dfg/schedule.hpp"
+#include "mapper/router.hpp"
+#include "mapper/validator.hpp"
+
+namespace mapzero {
+
+CompileService::CompileService(ServiceOptions options)
+    : options_(std::move(options)),
+      evalCache_(
+          std::make_shared<rl::EvalCache>(options_.evalCacheCapacity))
+{}
+
+CompileResult
+CompileService::compile(const dfg::Dfg &dfg,
+                        const cgra::Architecture &arch, Method method,
+                        CompileOptions options,
+                        const std::atomic<bool> *cancel)
+{
+    options.cancel = cancel;
+    if (options.evalCache && !options.evalCacheInstance)
+        options.evalCacheInstance = evalCache_;
+
+    Compiler compiler;
+    if (method == Method::MapZero || method == Method::MapZeroNoMcts)
+        compiler.setNetwork(pretrainedNetwork(arch, options_.pretrain));
+    return compiler.compile(dfg, arch, method, options);
+}
+
+std::string
+renderResultJson(const dfg::Dfg &dfg, const cgra::Architecture &arch,
+                 const CompileResult &result)
+{
+    std::ostringstream os;
+    os << "{\"dfg\": \"" << jsonEscape(dfg.name()) << "\""
+       << ", \"arch\": \"" << jsonEscape(arch.name()) << "\""
+       << ", \"method\": \"" << jsonEscape(result.method) << "\""
+       << ", \"success\": " << (result.success ? "true" : "false")
+       << ", \"ii\": " << result.ii << ", \"mii\": " << result.mii
+       << ", \"seconds\": " << jsonNumber(result.seconds)
+       << ", \"search_ops\": " << result.searchOps
+       << ", \"total_hops\": " << result.totalHops
+       << ", \"timed_out\": " << (result.timedOut ? "true" : "false")
+       << ", \"cancelled\": " << (result.cancelled ? "true" : "false");
+
+    if (result.success) {
+        // Independent server-side check: the daemon hands mappings to
+        // remote tenants, so "success" is backed by a route replay +
+        // full validation, not just the engine's word.
+        bool valid = false;
+        cgra::Mrrg mrrg(arch, result.ii);
+        auto schedule = dfg::moduloSchedule(
+            dfg, result.ii, arch.memoryIssueCapacity());
+        if (schedule) {
+            mapper::MappingState state(dfg, mrrg, *schedule);
+            if (mapper::Router::replayMapping(state, result.placements))
+                valid = mapper::validateMapping(state).valid;
+        }
+        os << ", \"valid\": " << (valid ? "true" : "false");
+        os << ", \"placements\": [";
+        for (std::size_t node = 0; node < result.placements.size();
+             ++node) {
+            const mapper::Placement &p = result.placements[node];
+            os << (node == 0 ? "" : ",") << "{\"node\": " << node
+               << ", \"pe\": " << p.pe << ", \"time\": " << p.time
+               << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace mapzero

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Service-grade compile entry point: the layer mapzerod's workers call.
+ *
+ * A one-shot `mapzero_cli map` pays full startup on every kernel -
+ * model pre-training (or checkpoint load), agent-cache warm-up, eval
+ * cache population - which is exactly the cost a long-lived daemon
+ * exists to amortize. CompileService owns the state worth keeping warm
+ * across requests:
+ *
+ *  - the pre-trained networks, via the process-wide AgentCache
+ *    (core/agent_cache.hpp): the first request per architecture trains
+ *    or loads, every later request is an `agent_cache.hits`;
+ *  - one shared rl::EvalCache for *all* requests: network outputs are
+ *    pure functions of the canonical observation bytes the cache is
+ *    keyed on, so entries are safe to share across tenants, DFGs, and
+ *    architectures - a repeat submission of the same (DFG, arch)
+ *    replays mostly cache hits (`eval_cache.hits`).
+ *
+ * Every compile is cancellable: pass the job's cancel flag and it is
+ * threaded into each Deadline the sweep constructs, so a CANCEL
+ * request reaches the innermost search loops within one deadline poll.
+ * CompileService::compile is safe to call from any number of worker
+ * threads concurrently (the underlying caches are thread-safe and a
+ * fresh Compiler facade is constructed per call).
+ */
+
+#ifndef MAPZERO_CORE_SERVICE_HPP
+#define MAPZERO_CORE_SERVICE_HPP
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "rl/evaluator.hpp"
+
+namespace mapzero {
+
+/** Warm-state configuration of a CompileService. */
+struct ServiceOptions {
+    /**
+     * Training budget for architectures seen for the first time (the
+     * daemon's cold-start cost; subsequent requests hit the cache).
+     */
+    PretrainBudget pretrain;
+    /** Shared eval-cache capacity (entries; daemon-sized default). */
+    std::size_t evalCacheCapacity = 4 * rl::EvalCache::kDefaultCapacity;
+};
+
+/** Warm-cache compile front end; see the file comment. */
+class CompileService
+{
+  public:
+    explicit CompileService(ServiceOptions options = {});
+
+    /**
+     * Compile @p dfg for @p arch exactly like Compiler::compile, with
+     * the service's warm caches injected: MapZero methods get the
+     * memoized pre-trained network and the shared eval cache (unless
+     * @p options already carries its own), and @p cancel (may be
+     * nullptr) is installed as CompileOptions::cancel.
+     */
+    CompileResult compile(const dfg::Dfg &dfg,
+                          const cgra::Architecture &arch, Method method,
+                          CompileOptions options,
+                          const std::atomic<bool> *cancel = nullptr);
+
+    /** The shared evaluation cache (tests, metrics). */
+    const std::shared_ptr<rl::EvalCache> &evalCache() const
+    {
+        return evalCache_;
+    }
+
+  private:
+    ServiceOptions options_;
+    std::shared_ptr<rl::EvalCache> evalCache_;
+};
+
+/**
+ * Render @p result as the JSON blob the daemon's FETCH reply carries:
+ * outcome fields mirroring CompileResult plus the placement list, and -
+ * for successful mappings - an independent server-side validation
+ * (routes are replayed and checked; "valid": true/false). Failed
+ * compiles produce a blob with "success": false and no placements.
+ */
+std::string renderResultJson(const dfg::Dfg &dfg,
+                             const cgra::Architecture &arch,
+                             const CompileResult &result);
+
+} // namespace mapzero
+
+#endif // MAPZERO_CORE_SERVICE_HPP

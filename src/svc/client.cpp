@@ -1,0 +1,211 @@
+#include "svc/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace mapzero::svc {
+
+namespace {
+
+/** Connect to host:port; -1 on failure (errno describes why). */
+int
+connectTo(const std::string &host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+Client::Client(int port, std::string host, double timeoutSeconds)
+    : port_(port), host_(std::move(host)),
+      timeoutSeconds_(timeoutSeconds)
+{
+}
+
+Status
+Client::roundTrip(Op op, std::string_view payload,
+                  std::string &replyBody)
+{
+    lastError_.clear();
+    replyBody.clear();
+    const int fd = connectTo(host_, port_);
+    if (fd < 0) {
+        lastError_ = cat("cannot connect to ", host_, ":", port_,
+                         " (", std::strerror(errno), ")");
+        return Status::Error;
+    }
+    if (!writeFrame(fd, op, payload)) {
+        lastError_ = "send failed";
+        ::close(fd);
+        return Status::Error;
+    }
+    Frame frame;
+    const Status read_status =
+        readFrame(fd, frame, Deadline(timeoutSeconds_));
+    ::close(fd);
+    if (read_status != Status::Ok) {
+        lastError_ = cat("no reply (", statusName(read_status), ")");
+        return Status::Error;
+    }
+    if (frame.op != Op::Reply || frame.payload.empty()) {
+        lastError_ = "malformed reply frame";
+        return Status::Error;
+    }
+    const Status status =
+        static_cast<Status>(static_cast<std::uint8_t>(frame.payload[0]));
+    replyBody = frame.payload.substr(1);
+    if (status != Status::Ok && lastError_.empty())
+        lastError_ = replyBody.empty() ? statusName(status) : replyBody;
+    return status;
+}
+
+Status
+Client::submit(const SubmitRequest &request, std::uint64_t &jobId,
+               std::uint32_t &queueDepth)
+{
+    std::string body;
+    const Status status =
+        roundTrip(Op::Submit, encodeSubmit(request), body);
+    if (status != Status::Ok)
+        return status;
+    WireReader reader(body);
+    jobId = reader.u64();
+    queueDepth = reader.u32();
+    if (!reader.done()) {
+        lastError_ = "malformed SUBMIT reply body";
+        return Status::Error;
+    }
+    return Status::Ok;
+}
+
+Status
+Client::status(std::uint64_t jobId, JobStatus &out)
+{
+    WireWriter payload;
+    payload.u64(jobId);
+    std::string body;
+    const Status status =
+        roundTrip(Op::Status, payload.bytes(), body);
+    if (status != Status::Ok)
+        return status;
+    WireReader reader(body);
+    out.state = static_cast<JobState>(reader.u8());
+    out.queuedSeconds = reader.f64();
+    out.runSeconds = reader.f64();
+    if (!reader.done()) {
+        lastError_ = "malformed STATUS reply body";
+        return Status::Error;
+    }
+    return Status::Ok;
+}
+
+Status
+Client::fetch(std::uint64_t jobId, JobResult &out)
+{
+    WireWriter payload;
+    payload.u64(jobId);
+    std::string body;
+    const Status status = roundTrip(Op::Fetch, payload.bytes(), body);
+    if (status != Status::Ok && status != Status::NotReady)
+        return status;
+    WireReader reader(body);
+    out.state = static_cast<JobState>(reader.u8());
+    if (status == Status::Ok)
+        out.blob = reader.str();
+    if (!reader.done()) {
+        lastError_ = "malformed FETCH reply body";
+        return Status::Error;
+    }
+    return status;
+}
+
+Status
+Client::cancel(std::uint64_t jobId, JobState &state)
+{
+    WireWriter payload;
+    payload.u64(jobId);
+    std::string body;
+    const Status status =
+        roundTrip(Op::Cancel, payload.bytes(), body);
+    if (status != Status::Ok)
+        return status;
+    WireReader reader(body);
+    state = static_cast<JobState>(reader.u8());
+    if (!reader.done()) {
+        lastError_ = "malformed CANCEL reply body";
+        return Status::Error;
+    }
+    return Status::Ok;
+}
+
+Status
+Client::drain()
+{
+    std::string body;
+    return roundTrip(Op::Drain, {}, body);
+}
+
+Status
+Client::ping(DaemonInfo &out)
+{
+    std::string body;
+    const Status status = roundTrip(Op::Ping, {}, body);
+    if (status != Status::Ok)
+        return status;
+    WireReader reader(body);
+    out.phase = reader.u8();
+    out.queueDepth = reader.u32();
+    out.workers = reader.u32();
+    out.activeJobs = reader.u64();
+    if (!reader.done()) {
+        lastError_ = "malformed PING reply body";
+        return Status::Error;
+    }
+    return Status::Ok;
+}
+
+std::optional<JobStatus>
+Client::waitForJob(std::uint64_t jobId, double timeoutSeconds,
+                   double pollSeconds)
+{
+    const Deadline deadline(timeoutSeconds);
+    while (true) {
+        JobStatus snapshot;
+        if (status(jobId, snapshot) != Status::Ok)
+            return std::nullopt;
+        if (jobStateTerminal(snapshot.state))
+            return snapshot;
+        if (deadline.expired()) {
+            lastError_ = cat("job ", jobId, " still ",
+                             jobStateName(snapshot.state), " after ",
+                             timeoutSeconds, "s");
+            return std::nullopt;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            pollSeconds > 0.0 ? pollSeconds : 0.05));
+    }
+}
+
+} // namespace mapzero::svc

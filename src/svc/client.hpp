@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Blocking client for the mapzerod wire protocol (svc/protocol.hpp):
+ * one TCP connection per request, length-prefixed frames, loopback by
+ * default. Used by the CLI `submit`/`status`/`fetch`/`cancel`/`drain`
+ * subcommands and by the daemon tests; kept protocol-only (no compiler
+ * dependencies) so it lives in the base svc library.
+ */
+
+#ifndef MAPZERO_SVC_CLIENT_HPP
+#define MAPZERO_SVC_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "svc/protocol.hpp"
+#include "svc/session.hpp"
+
+namespace mapzero::svc {
+
+/** Decoded STATUS reply. */
+struct JobStatus {
+    JobState state = JobState::Queued;
+    double queuedSeconds = 0.0;
+    double runSeconds = 0.0;
+};
+
+/** Decoded FETCH reply (result JSON for DONE, error text for FAILED). */
+struct JobResult {
+    JobState state = JobState::Queued;
+    std::string blob;
+};
+
+/** Decoded PING reply. */
+struct DaemonInfo {
+    std::uint8_t phase = 0;
+    std::uint32_t queueDepth = 0;
+    std::uint32_t workers = 0;
+    std::uint64_t activeJobs = 0;
+};
+
+/**
+ * One mapzerod endpoint. Every call opens a fresh connection, sends a
+ * single frame, and blocks for the reply (the daemon serves one
+ * request per connection). All calls return the wire Status; Error is
+ * also used for local connect/decode failures, with lastError() set.
+ */
+class Client
+{
+  public:
+    explicit Client(int port, std::string host = "127.0.0.1",
+                    double timeoutSeconds = 10.0);
+
+    /** SUBMIT: on Ok, @p jobId and @p queueDepth are filled in. */
+    Status submit(const SubmitRequest &request, std::uint64_t &jobId,
+                  std::uint32_t &queueDepth);
+
+    /** STATUS for @p jobId. */
+    Status status(std::uint64_t jobId, JobStatus &out);
+
+    /** FETCH: Ok with the blob when terminal, NotReady otherwise. */
+    Status fetch(std::uint64_t jobId, JobResult &out);
+
+    /** CANCEL: on Ok, @p state is the job's state after the cancel. */
+    Status cancel(std::uint64_t jobId, JobState &state);
+
+    /** DRAIN: ask the daemon to stop accepting and finish up. */
+    Status drain();
+
+    /** PING: liveness + load snapshot. */
+    Status ping(DaemonInfo &out);
+
+    /**
+     * Poll STATUS until @p jobId is terminal or @p timeoutSeconds
+     * elapses; returns the final snapshot (nullopt on timeout or
+     * request failure, with lastError() describing why).
+     */
+    std::optional<JobStatus> waitForJob(std::uint64_t jobId,
+                                        double timeoutSeconds,
+                                        double pollSeconds = 0.05);
+
+    /** Human-readable detail for the most recent non-Ok return. */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    /** Connect, send @p op/@p payload, read the one reply frame. */
+    Status roundTrip(Op op, std::string_view payload,
+                     std::string &replyBody);
+
+    int port_;
+    std::string host_;
+    double timeoutSeconds_;
+    std::string lastError_;
+};
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_CLIENT_HPP

@@ -1,0 +1,546 @@
+#include "svc/daemon.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "dfg/dot.hpp"
+#include "svc/slowlog.hpp"
+
+namespace mapzero::svc {
+
+namespace {
+
+/** Fallback poll granularity; the self-pipe wakes instantly. */
+constexpr int kAcceptPollMs = 1000;
+
+/** Self-pipe commands. */
+constexpr char kWakeDrain = 'd';
+constexpr char kWakeStop = 's';
+
+/** The daemon whose signal handlers are installed (at most one). */
+std::atomic<int> g_signalWakeFd{-1};
+
+extern "C" void
+daemonSignalHandler(int)
+{
+    // Only async-signal-safe work here: one byte onto the self-pipe;
+    // the accept thread translates it into requestDrain().
+    const int fd = g_signalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = kWakeDrain;
+        (void)!::write(fd, &byte, 1);
+    }
+}
+
+Gauge &
+queueDepthGauge()
+{
+    static Gauge &gauge = metrics().gauge("svc.queue_depth");
+    return gauge;
+}
+
+/** Method byte -> Method; nullopt for out-of-range values. */
+std::optional<Method>
+methodFromWire(std::uint8_t method)
+{
+    switch (method) {
+      case 0: return Method::MapZero;
+      case 1: return Method::MapZeroNoMcts;
+      case 2: return Method::Ilp;
+      case 3: return Method::Sa;
+      case 4: return Method::Lisa;
+      default: return std::nullopt;
+    }
+}
+
+/** Reply payload = status byte + body. */
+std::string
+reply(Status status, std::string_view body = {})
+{
+    std::string payload;
+    payload += static_cast<char>(status);
+    payload.append(body.data(), body.size());
+    return payload;
+}
+
+} // namespace
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+bool
+Daemon::start(const DaemonOptions &options)
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (running_.load())
+        return true;
+    options_ = options;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("mapzerod: socket() failed");
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+    if (::inet_pton(AF_INET, options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        warn("mapzerod: bad bind address " + options.bindAddress);
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        warn(cat("mapzerod: cannot listen on ", options.bindAddress,
+                 ":", options.port, " (", std::strerror(errno), ")"));
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        port_.store(static_cast<int>(ntohs(bound.sin_port)));
+    else
+        port_.store(options.port);
+
+    int wake[2] = {-1, -1};
+    if (::pipe(wake) != 0) {
+        warn("mapzerod: pipe() failed");
+        ::close(fd);
+        return false;
+    }
+    wakeReadFd_ = wake[0];
+    wakeWriteFd_ = wake[1];
+    listenFd_.store(fd);
+
+    service_ = std::make_unique<CompileService>(options_.service);
+    sessions_ =
+        std::make_unique<SessionTable>(options_.retainTerminal);
+    queue_ =
+        std::make_unique<BoundedQueue<JobId>>(options_.queueCapacity);
+    queueDepthGauge().set(0.0);
+
+    stopRequested_.store(false);
+    drainRequested_.store(false);
+    drainComplete_ = false;
+    startedAt_ = std::chrono::steady_clock::now();
+    running_.store(true);
+    setDaemonPhase(DaemonPhase::Serving);
+
+    const std::size_t workers = resolveJobs(
+        options_.workers <= 0
+            ? 0
+            : static_cast<std::size_t>(options_.workers));
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+
+    inform(cat("mapzerod: serving on ", options_.bindAddress, ":",
+               port_.load(), " (", workers, " workers, queue ",
+               options_.queueCapacity, ")"));
+    return true;
+}
+
+DaemonPhase
+Daemon::phase() const
+{
+    if (!running_.load())
+        return DaemonPhase::Idle;
+    return drainRequested_.load() ? DaemonPhase::Draining
+                                  : DaemonPhase::Serving;
+}
+
+void
+Daemon::requestDrain()
+{
+    if (!running_.load())
+        return;
+    bool expected = false;
+    if (!drainRequested_.compare_exchange_strong(expected, true))
+        return;
+    setDaemonPhase(DaemonPhase::Draining);
+    inform("mapzerod: drain requested; finishing admitted jobs");
+    // Refuse new work; workers exit once the backlog is gone.
+    queue_->close();
+    // Lock-step with run()'s wait so the flag flip cannot slip into
+    // the gap between its predicate check and its sleep.
+    { std::lock_guard<std::mutex> lock(drainMutex_); }
+    drained_.notify_all();
+}
+
+std::int64_t
+Daemon::run()
+{
+    {
+        std::unique_lock<std::mutex> lock(drainMutex_);
+        drained_.wait(lock, [this] {
+            return drainRequested_.load() || !running_.load();
+        });
+    }
+    shutdown();
+    const SessionTable::Counts counts =
+        sessions_ ? sessions_->counts() : SessionTable::Counts{};
+    return counts.done + counts.failed + counts.cancelled;
+}
+
+void
+Daemon::stop()
+{
+    requestDrain();
+    shutdown();
+}
+
+void
+Daemon::shutdown()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (!running_.load())
+        return;
+    // Workers first: they drain every admitted job (the queue is
+    // already closed by requestDrain), so nothing is orphaned. The
+    // accept thread keeps answering STATUS/FETCH while they finish.
+    queue_->close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+
+    stopRequested_.store(true);
+    const char byte = kWakeStop;
+    (void)!::write(wakeWriteFd_, &byte, 1);
+    acceptThread_.join();
+
+    if (g_signalWakeFd.load() == wakeWriteFd_)
+        g_signalWakeFd.store(-1);
+    const int fd = listenFd_.exchange(-1);
+    if (fd >= 0)
+        ::close(fd);
+    ::close(wakeReadFd_);
+    ::close(wakeWriteFd_);
+    wakeReadFd_ = wakeWriteFd_ = -1;
+    running_.store(false);
+    port_.store(0);
+    setDaemonPhase(DaemonPhase::Idle);
+    const SessionTable::Counts counts = sessions_->counts();
+    inform(cat("mapzerod: drained (submitted=", counts.submitted,
+               " done=", counts.done, " failed=", counts.failed,
+               " cancelled=", counts.cancelled, ")"));
+    { std::lock_guard<std::mutex> lock(drainMutex_); }
+    drained_.notify_all();
+}
+
+void
+Daemon::installSignalHandlers()
+{
+    g_signalWakeFd.store(wakeWriteFd_);
+    struct sigaction action = {};
+    action.sa_handler = daemonSignalHandler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+// ---------------------------------------------------------- accept side
+
+void
+Daemon::acceptLoop()
+{
+    const int listen_fd = listenFd_.load();
+    while (!stopRequested_.load()) {
+        pollfd pfds[2] = {};
+        pfds[0].fd = listen_fd;
+        pfds[0].events = POLLIN;
+        pfds[1].fd = wakeReadFd_;
+        pfds[1].events = POLLIN;
+        const int ready = ::poll(pfds, 2, kAcceptPollMs);
+        if (ready <= 0)
+            continue;
+        if (pfds[1].revents != 0) {
+            char byte = 0;
+            if (::read(wakeReadFd_, &byte, 1) == 1 &&
+                byte == kWakeDrain) {
+                requestDrain();
+                continue; // keep serving STATUS/FETCH during drain
+            }
+            break; // kWakeStop (or pipe gone): shutdown() is joining us
+        }
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        serveConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+Daemon::serveConnection(int fd)
+{
+    static Counter &requests = metrics().counter("svc.requests_total");
+    Frame request;
+    const Deadline deadline(options_.requestTimeoutSeconds);
+    const Status read_status = readFrame(fd, request, deadline);
+    if (read_status == Status::BadRequest) {
+        writeReply(fd, Status::BadRequest, "oversized frame");
+        return;
+    }
+    if (read_status != Status::Ok)
+        return; // EOF/timeout: nobody left to answer
+    requests.add();
+    std::string payload;
+    try {
+        payload = handle(request);
+    } catch (const std::exception &error) {
+        // A single bad request must never take the daemon down.
+        payload = reply(Status::Error, error.what());
+    }
+    writeFrame(fd, Op::Reply, payload);
+}
+
+std::string
+Daemon::handle(const Frame &request)
+{
+    if (!running_.load())
+        return reply(Status::Error, "daemon not running");
+    switch (request.op) {
+      case Op::Submit: return handleSubmit(request);
+      case Op::Status: return handleStatus(request);
+      case Op::Fetch:  return handleFetch(request);
+      case Op::Cancel: return handleCancel(request);
+      case Op::Ping:   return handlePing();
+      case Op::Drain:
+        requestDrain();
+        return reply(Status::Ok);
+      case Op::Reply:  break;
+    }
+    return reply(Status::BadRequest, "unknown opcode");
+}
+
+std::string
+Daemon::handleSubmit(const Frame &request)
+{
+    static Counter &submitted =
+        metrics().counter("svc.submitted_total");
+    static Counter &rejected = metrics().counter("svc.rejected_total");
+
+    if (drainRequested_.load())
+        return reply(Status::Draining, "daemon is draining");
+
+    SubmitRequest submit;
+    if (!decodeSubmit(request.payload, submit))
+        return reply(Status::BadRequest, "malformed SUBMIT payload");
+
+    const std::optional<Method> method = methodFromWire(submit.method);
+    if (!method)
+        return reply(Status::BadRequest, "unknown method byte");
+    std::optional<cgra::Architecture> arch =
+        cgra::Architecture::byName(submit.archName);
+    if (!arch)
+        return reply(Status::BadRequest,
+                     cat("unknown arch '", submit.archName, "' (",
+                         cgra::Architecture::knownNames(), ")"));
+
+    PendingJob job;
+    try {
+        job.dfg = dfg::fromDot(submit.dfgDot);
+    } catch (const std::exception &error) {
+        return reply(Status::BadRequest,
+                     cat("bad DFG: ", error.what()));
+    }
+    if (job.dfg.nodeCount() <= 0)
+        return reply(Status::BadRequest, "empty DFG");
+    job.arch = std::move(*arch);
+    job.method = *method;
+    job.options.timeLimitSeconds = submit.timeLimitSeconds;
+    job.options.seed = submit.seed;
+    job.options.restartsPerIi =
+        static_cast<std::int32_t>(submit.restartsPerIi);
+    job.options.jobs = submit.jobs == 0
+        ? 1
+        : static_cast<std::int32_t>(submit.jobs);
+    job.options.evalCache = submit.evalCache;
+
+    // Admission control. The accept thread is the only producer, so
+    // the size check cannot race another submit.
+    if (queue_->size() >= queue_->capacity()) {
+        rejected.add();
+        return reply(Status::Busy,
+                     cat("queue full (", queue_->capacity(), ")"));
+    }
+    const JobId id = sessions_->add(job.dfg.name(), submit.archName,
+                                    methodName(job.method));
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        pendingSubmits_.emplace(id, std::move(job));
+    }
+    if (!queue_->tryPush(id)) {
+        // Drain closed the queue between the check and the push.
+        {
+            std::lock_guard<std::mutex> lock(submitMutex_);
+            pendingSubmits_.erase(id);
+        }
+        sessions_->cancel(id);
+        return reply(Status::Draining, "daemon is draining");
+    }
+    submitted.add();
+    queueDepthGauge().set(static_cast<double>(queue_->size()));
+
+    WireWriter body;
+    body.u64(id);
+    body.u32(static_cast<std::uint32_t>(queue_->size()));
+    return reply(Status::Ok, body.bytes());
+}
+
+std::string
+Daemon::handleStatus(const Frame &request)
+{
+    WireReader reader(request.payload);
+    const JobId id = reader.u64();
+    if (!reader.done())
+        return reply(Status::BadRequest, "malformed STATUS payload");
+    JobSnapshot snapshot;
+    if (!sessions_->get(id, snapshot))
+        return reply(Status::NotFound, "unknown job id");
+    WireWriter body;
+    body.u8(static_cast<std::uint8_t>(snapshot.state));
+    body.f64(snapshot.queuedSeconds);
+    body.f64(snapshot.runSeconds);
+    return reply(Status::Ok, body.bytes());
+}
+
+std::string
+Daemon::handleFetch(const Frame &request)
+{
+    WireReader reader(request.payload);
+    const JobId id = reader.u64();
+    if (!reader.done())
+        return reply(Status::BadRequest, "malformed FETCH payload");
+    JobSnapshot snapshot;
+    if (!sessions_->get(id, snapshot))
+        return reply(Status::NotFound, "unknown job id");
+    if (!jobStateTerminal(snapshot.state)) {
+        WireWriter body;
+        body.u8(static_cast<std::uint8_t>(snapshot.state));
+        return reply(Status::NotReady, body.bytes());
+    }
+    WireWriter body;
+    body.u8(static_cast<std::uint8_t>(snapshot.state));
+    body.str(snapshot.result);
+    return reply(Status::Ok, body.bytes());
+}
+
+std::string
+Daemon::handleCancel(const Frame &request)
+{
+    WireReader reader(request.payload);
+    const JobId id = reader.u64();
+    if (!reader.done())
+        return reply(Status::BadRequest, "malformed CANCEL payload");
+    const std::optional<JobState> state = sessions_->cancel(id);
+    if (!state)
+        return reply(Status::NotFound, "unknown job id");
+    WireWriter body;
+    body.u8(static_cast<std::uint8_t>(*state));
+    return reply(Status::Ok, body.bytes());
+}
+
+std::string
+Daemon::handlePing()
+{
+    WireWriter body;
+    body.u8(static_cast<std::uint8_t>(phase()));
+    body.u32(static_cast<std::uint32_t>(queue_->size()));
+    body.u32(static_cast<std::uint32_t>(workers_.size()));
+    body.u64(sessions_->activeCount());
+    return reply(Status::Ok, body.bytes());
+}
+
+// ---------------------------------------------------------- worker side
+
+void
+Daemon::workerLoop(std::size_t index)
+{
+    static Counter &completed =
+        metrics().counter("svc.completed_total");
+    static Counter &failed = metrics().counter("svc.failed_total");
+    static Counter &cancelled =
+        metrics().counter("svc.cancelled_total");
+    static Histogram &wait_seconds =
+        metrics().histogram("svc.queue_wait_seconds");
+    static Histogram &job_seconds =
+        metrics().histogram("svc.job_seconds");
+    (void)index;
+
+    while (std::optional<JobId> id = queue_->pop()) {
+        queueDepthGauge().set(static_cast<double>(queue_->size()));
+        PendingJob job;
+        {
+            std::lock_guard<std::mutex> lock(submitMutex_);
+            const auto it = pendingSubmits_.find(*id);
+            if (it == pendingSubmits_.end())
+                continue;
+            job = std::move(it->second);
+            pendingSubmits_.erase(it);
+        }
+        // Cancelled while queued: the session already flipped state.
+        if (!sessions_->markRunning(*id))
+            continue;
+        const std::shared_ptr<std::atomic<bool>> cancel =
+            sessions_->cancelFlag(*id);
+        bool was_cancelled = false;
+        try {
+            const CompileResult result = service_->compile(
+                job.dfg, job.arch, job.method, job.options,
+                cancel.get());
+            was_cancelled = result.cancelled;
+            sessions_->finish(
+                *id, renderResultJson(job.dfg, job.arch, result),
+                was_cancelled);
+        } catch (const std::exception &error) {
+            sessions_->fail(*id, error.what());
+        }
+
+        JobSnapshot snapshot;
+        if (!sessions_->get(*id, snapshot))
+            continue;
+        (snapshot.state == JobState::Done        ? completed
+         : snapshot.state == JobState::Cancelled ? cancelled
+                                                 : failed)
+            .add();
+        wait_seconds.record(snapshot.queuedSeconds);
+        job_seconds.record(snapshot.queuedSeconds +
+                           snapshot.runSeconds);
+        SlowlogEntry entry;
+        entry.jobId = *id;
+        entry.dfgName = snapshot.dfgName;
+        entry.archName = snapshot.archName;
+        entry.method = snapshot.method;
+        entry.seconds = snapshot.runSeconds;
+        entry.queuedSeconds = snapshot.queuedSeconds;
+        entry.outcome = jobStateName(snapshot.state);
+        entry.uptimeSeconds =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                std::chrono::steady_clock::now() - startedAt_)
+                .count();
+        Slowlog::global().record(std::move(entry),
+                                 options_.slowlogThresholdSeconds);
+    }
+}
+
+} // namespace mapzero::svc

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * mapzerod - the long-lived multi-tenant compile service daemon
+ * (ROADMAP open item 1, grown from the PR 6 telemetry-server seed).
+ *
+ * Threading model (DESIGN.md §14): one master accept thread owns the
+ * listening socket and the whole control plane - it parses one
+ * length-prefixed request per connection (svc/protocol.hpp), answers
+ * STATUS/FETCH/CANCEL/PING from the session table, and turns SUBMIT
+ * into a job: a session-table record plus an id pushed onto a bounded
+ * MPMC queue (common/queue.hpp). A fixed pool of compile workers pops
+ * ids and runs the actual mapping through core's CompileService, which
+ * keeps the pre-trained networks and one shared eval cache warm across
+ * requests. The master thread never compiles; the workers never touch
+ * a socket.
+ *
+ * Admission control: a full queue answers SUBMIT with BUSY immediately
+ * (`svc.rejected_total`, `svc.queue_depth`) - backpressure is explicit
+ * and cheap, not a timeout. Graceful drain (SIGTERM, SIGINT, or a
+ * DRAIN request): the daemon flips to the Draining phase, refuses new
+ * SUBMITs with DRAINING, closes the queue, lets the workers finish
+ * every already-admitted job (in-flight *and* queued - nothing is
+ * orphaned), keeps answering STATUS/FETCH meanwhile, then joins
+ * everything and returns from run() so the process can flush its
+ * journal/report hooks and exit 0.
+ *
+ * Requests slower than DaemonOptions::slowlogThresholdSeconds land in
+ * the process-wide Slowlog, served by the telemetry server at
+ * `GET /slowlog`.
+ */
+
+#ifndef MAPZERO_SVC_DAEMON_HPP
+#define MAPZERO_SVC_DAEMON_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "core/service.hpp"
+#include "svc/daemon_state.hpp"
+#include "svc/protocol.hpp"
+#include "svc/session.hpp"
+
+namespace mapzero::svc {
+
+/** Configuration of one Daemon::start() call. */
+struct DaemonOptions {
+    /** TCP port; 0 = ephemeral (printed and readable via port()). */
+    int port = 0;
+    /** Loopback by default: mapzerod has no authn yet. */
+    std::string bindAddress = "127.0.0.1";
+    /** Compile workers; 0 = resolveJobs() (hardware threads). */
+    std::int32_t workers = 0;
+    /** Bounded job-queue capacity (admission-control knob). */
+    std::size_t queueCapacity = 64;
+    /** Compile-latency slowlog threshold; <= 0 disables. */
+    double slowlogThresholdSeconds = 0.5;
+    /** Finished jobs retained for FETCH before eviction. */
+    std::size_t retainTerminal = 1024;
+    /** Per-connection request read budget (seconds). */
+    double requestTimeoutSeconds = 5.0;
+    /** Warm-cache configuration handed to CompileService. */
+    ServiceOptions service;
+};
+
+/**
+ * The compile server. Instantiable for tests (ephemeral ports, several
+ * daemons per process are fine); the `serve` CLI command runs one with
+ * installSignalHandlers() so SIGTERM drains it.
+ */
+class Daemon
+{
+  public:
+    Daemon() = default;
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind, listen, spawn the accept thread and the worker pool.
+     * Returns false (with a warn()) when the socket cannot be bound.
+     */
+    bool start(const DaemonOptions &options = {});
+
+    /**
+     * Block until the daemon has drained and every thread is joined
+     * (i.e. until SIGTERM/DRAIN). Returns the number of jobs that
+     * reached a terminal state over the daemon's lifetime.
+     */
+    std::int64_t run();
+
+    /**
+     * Begin graceful drain (idempotent, callable from any thread):
+     * refuse new SUBMITs, finish admitted jobs, then shut down.
+     */
+    void requestDrain();
+
+    /** Hard stop for tests: drain + join synchronously. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    int port() const { return port_.load(); }
+    DaemonPhase phase() const;
+
+    /**
+     * Route one already-parsed request frame and return the reply
+     * payload (status byte + body). Public so tests can exercise the
+     * control plane without a socket.
+     */
+    std::string handle(const Frame &request);
+
+    /**
+     * Install SIGTERM/SIGINT handlers that drain *this* daemon (the
+     * handler only sets a flag and writes a self-pipe byte; at most
+     * one daemon per process can own the signals).
+     */
+    void installSignalHandlers();
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void workerLoop(std::size_t index);
+
+    std::string handleSubmit(const Frame &request);
+    std::string handleStatus(const Frame &request);
+    std::string handleFetch(const Frame &request);
+    std::string handleCancel(const Frame &request);
+    std::string handlePing();
+
+    /** Close the listen socket and join accept + workers. */
+    void shutdown();
+
+    DaemonOptions options_;
+    std::unique_ptr<CompileService> service_;
+    std::unique_ptr<SessionTable> sessions_;
+    std::unique_ptr<BoundedQueue<JobId>> queue_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> drainRequested_{false};
+    std::atomic<int> port_{0};
+    std::atomic<int> listenFd_{-1};
+    int wakeReadFd_ = -1;
+    int wakeWriteFd_ = -1;
+    std::chrono::steady_clock::time_point startedAt_;
+
+    std::mutex lifecycleMutex_;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    /** A SUBMIT parsed and validated on the accept thread, waiting
+     *  for a worker to pick it up. */
+    struct PendingJob {
+        dfg::Dfg dfg;
+        cgra::Architecture arch = cgra::Architecture::hrea();
+        Method method = Method::Sa;
+        CompileOptions options;
+    };
+
+    /** Admitted jobs not yet picked up (id -> parsed request). */
+    std::mutex submitMutex_;
+    std::map<JobId, PendingJob> pendingSubmits_;
+
+    std::mutex drainMutex_;
+    std::condition_variable drained_;
+    bool drainComplete_ = false;
+};
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_DAEMON_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Process-wide daemon lifecycle phase, published by mapzerod and read
+ * by the telemetry server's /healthz handler.
+ *
+ * Lives in its own header (not daemon.hpp) because the telemetry
+ * server must stay in the base svc library - the daemon itself links
+ * the whole compiler stack - and the only thing the two share is this
+ * one atomic.
+ */
+
+#ifndef MAPZERO_SVC_DAEMON_STATE_HPP
+#define MAPZERO_SVC_DAEMON_STATE_HPP
+
+#include <atomic>
+
+namespace mapzero::svc {
+
+/** Lifecycle phase of the in-process mapzerod (Idle = no daemon). */
+enum class DaemonPhase : int {
+    Idle = 0,
+    Serving = 1,
+    Draining = 2,
+};
+
+namespace detail {
+inline std::atomic<int> g_daemonPhase{
+    static_cast<int>(DaemonPhase::Idle)};
+}
+
+inline DaemonPhase
+daemonPhase()
+{
+    return static_cast<DaemonPhase>(
+        detail::g_daemonPhase.load(std::memory_order_relaxed));
+}
+
+inline void
+setDaemonPhase(DaemonPhase phase)
+{
+    detail::g_daemonPhase.store(static_cast<int>(phase),
+                                std::memory_order_relaxed);
+}
+
+/** "idle" | "serving" | "draining" (the /healthz vocabulary). */
+inline const char *
+daemonPhaseName(DaemonPhase phase)
+{
+    switch (phase) {
+      case DaemonPhase::Idle:     return "idle";
+      case DaemonPhase::Serving:  return "serving";
+      case DaemonPhase::Draining: return "draining";
+    }
+    return "unknown";
+}
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_DAEMON_STATE_HPP

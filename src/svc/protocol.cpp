@@ -1,0 +1,266 @@
+#include "svc/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace mapzero::svc {
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok:         return "OK";
+      case Status::Busy:       return "BUSY";
+      case Status::NotFound:   return "NOT_FOUND";
+      case Status::BadRequest: return "BAD_REQUEST";
+      case Status::Draining:   return "DRAINING";
+      case Status::Error:      return "ERROR";
+      case Status::NotReady:   return "NOT_READY";
+    }
+    return "UNKNOWN";
+}
+
+// ------------------------------------------------------------- encoding
+
+void
+WireWriter::u32(std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buffer_ += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+WireWriter::u64(std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buffer_ += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+WireWriter::f64(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(std::string_view value)
+{
+    u32(static_cast<std::uint32_t>(value.size()));
+    buffer_.append(value.data(), value.size());
+}
+
+bool
+WireReader::take(std::size_t count, const char *&out)
+{
+    if (!ok_ || bytes_.size() - pos_ < count) {
+        ok_ = false;
+        return false;
+    }
+    out = bytes_.data() + pos_;
+    pos_ += count;
+    return true;
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    const char *p = nullptr;
+    if (!take(1, p))
+        return 0;
+    return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    const char *p = nullptr;
+    if (!take(4, p))
+        return 0;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    const char *p = nullptr;
+    if (!take(8, p))
+        return 0;
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(p[i]))
+                 << (8 * i);
+    return value;
+}
+
+double
+WireReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return ok_ ? value : 0.0;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t length = u32();
+    // The length is attacker-controlled; refuse anything that cannot
+    // fit in a legal frame before touching the buffer.
+    if (length > kMaxFrameBytes) {
+        ok_ = false;
+        return {};
+    }
+    const char *p = nullptr;
+    if (!take(length, p))
+        return {};
+    return std::string(p, length);
+}
+
+std::string
+encodeFrame(Op op, std::string_view payload)
+{
+    WireWriter writer;
+    writer.u32(static_cast<std::uint32_t>(payload.size()));
+    writer.u8(static_cast<std::uint8_t>(op));
+    std::string frame = writer.bytes();
+    frame.append(payload.data(), payload.size());
+    return frame;
+}
+
+std::string
+encodeSubmit(const SubmitRequest &request)
+{
+    WireWriter writer;
+    writer.str(request.dfgDot);
+    writer.str(request.archName);
+    writer.u8(request.method);
+    writer.f64(request.timeLimitSeconds);
+    writer.u64(request.seed);
+    writer.u32(request.restartsPerIi);
+    writer.u32(request.jobs);
+    writer.u8(request.evalCache ? 1 : 0);
+    return writer.bytes();
+}
+
+bool
+decodeSubmit(std::string_view payload, SubmitRequest &out)
+{
+    WireReader reader(payload);
+    out.dfgDot = reader.str();
+    out.archName = reader.str();
+    out.method = reader.u8();
+    out.timeLimitSeconds = reader.f64();
+    out.seed = reader.u64();
+    out.restartsPerIi = reader.u32();
+    out.jobs = reader.u32();
+    out.evalCache = reader.u8() != 0;
+    return reader.done();
+}
+
+// ------------------------------------------------------------ socket IO
+
+namespace {
+
+/** Short receive timeout so the deadline is polled promptly. */
+void
+setRecvTimeout(int fd, int ms)
+{
+    timeval tv = {};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/** Read exactly @p count bytes; false on EOF/error/deadline. */
+bool
+readExactly(int fd, char *buffer, std::size_t count,
+            const Deadline &deadline)
+{
+    std::size_t got = 0;
+    while (got < count) {
+        if (deadline.expired())
+            return false;
+        const ssize_t n = ::recv(fd, buffer + got, count - got, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                continue; // timeout tick: re-check the deadline
+            return false;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Status
+readFrame(int fd, Frame &out, const Deadline &deadline)
+{
+    setRecvTimeout(fd, 100);
+    char header[5];
+    if (!readExactly(fd, header, sizeof(header), deadline))
+        return Status::Error;
+    WireReader reader(std::string_view(header, sizeof(header)));
+    const std::uint32_t length = reader.u32();
+    const std::uint8_t op = reader.u8();
+    if (length > kMaxFrameBytes)
+        return Status::BadRequest;
+    out.op = static_cast<Op>(op);
+    out.payload.resize(length);
+    if (length > 0 &&
+        !readExactly(fd, out.payload.data(), length, deadline))
+        return Status::Error;
+    return Status::Ok;
+}
+
+bool
+writeFrame(int fd, Op op, std::string_view payload)
+{
+    const std::string frame = encodeFrame(op, payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd, frame.data() + sent, frame.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeReply(int fd, Status status, std::string_view body)
+{
+    std::string payload;
+    payload += static_cast<char>(status);
+    payload.append(body.data(), body.size());
+    return writeFrame(fd, Op::Reply, payload);
+}
+
+} // namespace mapzero::svc

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The mapzerod wire protocol: length-prefixed binary frames over TCP
+ * (DESIGN.md §14).
+ *
+ * Framing: every message is
+ *
+ *     u32  payload length (little-endian, excludes the 5-byte header)
+ *     u8   opcode
+ *     ...  payload
+ *
+ * Requests: SUBMIT (DFG DOT text + arch name + compile options),
+ * STATUS / FETCH / CANCEL (a job id), DRAIN, PING. The server answers
+ * every request with one REPLY frame whose payload starts with a u8
+ * status code (OK, BUSY, NOT_FOUND, ...) followed by an op-specific
+ * body, then closes the connection - one request per connection, the
+ * same HTTP/1.0-style simplicity the telemetry server uses.
+ *
+ * Integers are explicit little-endian (no struct punning), strings are
+ * u32 length + raw bytes, doubles travel as their IEEE-754 bit pattern
+ * in a u64. Payloads are capped at kMaxFrameBytes; a peer announcing
+ * more is answered with BAD_REQUEST and disconnected before any
+ * allocation happens - the length prefix is attacker-controlled input.
+ *
+ * Decoding is all bounds-checked pull-parsing (WireReader never reads
+ * past the buffer; any short read poisons the reader), so a truncated
+ * or malicious payload degrades to a BAD_REQUEST, never UB.
+ */
+
+#ifndef MAPZERO_SVC_PROTOCOL_HPP
+#define MAPZERO_SVC_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/timer.hpp"
+
+namespace mapzero::svc {
+
+/** Protocol revision; bumped on any incompatible framing change. */
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Hard cap on a frame payload (DFG text dominates; 1 MiB is ample). */
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/** Request/response opcodes (u8 on the wire). */
+enum class Op : std::uint8_t {
+    Submit = 0x01, ///< DFG + arch + options -> job id
+    Status = 0x02, ///< job id -> state + timings
+    Fetch = 0x03,  ///< job id -> result JSON blob
+    Cancel = 0x04, ///< job id -> cancellation requested/applied
+    Drain = 0x05,  ///< stop admitting, finish in-flight, exit
+    Ping = 0x06,   ///< liveness + queue probe
+    Reply = 0x80,  ///< the single response opcode
+};
+
+/** Reply status codes (first payload byte of every Reply). */
+enum class Status : std::uint8_t {
+    Ok = 0,
+    Busy = 1,       ///< admission control: job queue is full
+    NotFound = 2,   ///< unknown job id
+    BadRequest = 3, ///< malformed frame/payload/field
+    Draining = 4,   ///< daemon no longer admits new work
+    Error = 5,      ///< internal failure (message in body)
+    NotReady = 6,   ///< FETCH of a job still queued/running
+};
+
+/** Human-readable status name ("OK", "BUSY", ...). */
+const char *statusName(Status status);
+
+/** One decoded frame. */
+struct Frame {
+    Op op = Op::Reply;
+    std::string payload;
+};
+
+/** Everything a SUBMIT carries. */
+struct SubmitRequest {
+    /** Kernel as DOT text (dfg/dot.hpp dialect). */
+    std::string dfgDot;
+    /** Target fabric preset name (cgra::Architecture::byName). */
+    std::string archName;
+    /** Method byte, same numbering as mapzero::Method. */
+    std::uint8_t method = 0;
+    double timeLimitSeconds = 10.0;
+    std::uint64_t seed = 1;
+    std::uint32_t restartsPerIi = 0;
+    std::uint32_t jobs = 1;
+    bool evalCache = true;
+};
+
+// ------------------------------------------------------------- encoding
+
+/** Append-only little-endian encoder backing every payload builder. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t value) { buffer_ += static_cast<char>(value); }
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    /** IEEE-754 bit pattern in a u64. */
+    void f64(double value);
+    /** u32 length + raw bytes. */
+    void str(std::string_view value);
+
+    const std::string &bytes() const { return buffer_; }
+
+  private:
+    std::string buffer_;
+};
+
+/**
+ * Bounds-checked little-endian pull decoder. Every accessor returns a
+ * value and keeps ok() true only while all reads so far were in
+ * bounds; once a read runs short the reader is poisoned (ok() false,
+ * zero/empty results) - callers check ok() once at the end.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    bool ok() const { return ok_; }
+    /** True when every byte has been consumed (and ok()). */
+    bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+  private:
+    bool take(std::size_t count, const char *&out);
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Render a complete frame (header + payload). */
+std::string encodeFrame(Op op, std::string_view payload);
+
+/** SUBMIT payload for @p request. */
+std::string encodeSubmit(const SubmitRequest &request);
+
+/** Decode a SUBMIT payload; false on truncation/trailing garbage. */
+bool decodeSubmit(std::string_view payload, SubmitRequest &out);
+
+// ------------------------------------------------------------ socket IO
+
+/**
+ * Read one frame from @p fd into @p out. Returns Status::Ok on a
+ * complete frame, BadRequest on malformed/oversized framing, Error on
+ * EOF/socket errors/deadline expiry. Reads at most
+ * kMaxFrameBytes + header bytes and never blocks past @p deadline
+ * (enforced with a short SO_RCVTIMEO poll granularity).
+ */
+Status readFrame(int fd, Frame &out, const Deadline &deadline);
+
+/** Write header + payload to @p fd; false when the peer vanished. */
+bool writeFrame(int fd, Op op, std::string_view payload);
+
+/** writeFrame of a Reply whose payload is status byte + @p body. */
+bool writeReply(int fd, Status status, std::string_view body = {});
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_PROTOCOL_HPP

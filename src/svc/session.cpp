@@ -1,0 +1,182 @@
+#include "svc/session.hpp"
+
+namespace mapzero::svc {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:    return "QUEUED";
+      case JobState::Running:   return "RUNNING";
+      case JobState::Done:      return "DONE";
+      case JobState::Failed:    return "FAILED";
+      case JobState::Cancelled: return "CANCELLED";
+    }
+    return "UNKNOWN";
+}
+
+bool
+jobStateTerminal(JobState state)
+{
+    return state == JobState::Done || state == JobState::Failed ||
+           state == JobState::Cancelled;
+}
+
+SessionTable::SessionTable(std::size_t retainTerminal)
+    : retainTerminal_(retainTerminal < 1 ? 1 : retainTerminal)
+{}
+
+JobId
+SessionTable::add(std::string dfgName, std::string archName,
+                  std::string method)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const JobId id = nextId_++;
+    Record record;
+    record.snapshot.id = id;
+    record.snapshot.state = JobState::Queued;
+    record.snapshot.dfgName = std::move(dfgName);
+    record.snapshot.archName = std::move(archName);
+    record.snapshot.method = std::move(method);
+    record.cancel = std::make_shared<std::atomic<bool>>(false);
+    record.submittedAt = std::chrono::steady_clock::now();
+    jobs_.emplace(id, std::move(record));
+    ++counts_.submitted;
+    return id;
+}
+
+bool
+SessionTable::get(JobId id, JobSnapshot &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    out = it->second.snapshot;
+    // Live timings for non-terminal jobs (terminal ones were frozen at
+    // the transition).
+    if (out.state == JobState::Queued)
+        out.queuedSeconds = secondsSince(it->second.submittedAt);
+    else if (out.state == JobState::Running)
+        out.runSeconds = secondsSince(it->second.startedAt);
+    return true;
+}
+
+bool
+SessionTable::markRunning(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() ||
+        it->second.snapshot.state != JobState::Queued)
+        return false;
+    it->second.snapshot.state = JobState::Running;
+    it->second.snapshot.queuedSeconds =
+        secondsSince(it->second.submittedAt);
+    it->second.startedAt = std::chrono::steady_clock::now();
+    return true;
+}
+
+void
+SessionTable::finish(JobId id, std::string resultJson, bool cancelled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() ||
+        jobStateTerminal(it->second.snapshot.state))
+        return;
+    it->second.snapshot.state =
+        cancelled ? JobState::Cancelled : JobState::Done;
+    it->second.snapshot.runSeconds =
+        secondsSince(it->second.startedAt);
+    it->second.snapshot.result = std::move(resultJson);
+    (cancelled ? counts_.cancelled : counts_.done) += 1;
+    terminalOrder_.push_back(id);
+    evictLocked();
+}
+
+void
+SessionTable::fail(JobId id, std::string error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() ||
+        jobStateTerminal(it->second.snapshot.state))
+        return;
+    it->second.snapshot.state = JobState::Failed;
+    it->second.snapshot.runSeconds =
+        secondsSince(it->second.startedAt);
+    it->second.snapshot.result = std::move(error);
+    ++counts_.failed;
+    terminalOrder_.push_back(id);
+    evictLocked();
+}
+
+std::optional<JobState>
+SessionTable::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    Record &record = it->second;
+    record.cancel->store(true);
+    if (record.snapshot.state == JobState::Queued) {
+        record.snapshot.state = JobState::Cancelled;
+        record.snapshot.queuedSeconds =
+            secondsSince(record.submittedAt);
+        ++counts_.cancelled;
+        terminalOrder_.push_back(id);
+        evictLocked();
+        return JobState::Cancelled;
+    }
+    return record.snapshot.state;
+}
+
+std::shared_ptr<std::atomic<bool>>
+SessionTable::cancelFlag(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.cancel;
+}
+
+std::size_t
+SessionTable::activeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t active = 0;
+    for (const auto &[id, record] : jobs_)
+        active += jobStateTerminal(record.snapshot.state) ? 0 : 1;
+    return active;
+}
+
+SessionTable::Counts
+SessionTable::counts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+void
+SessionTable::evictLocked()
+{
+    while (terminalOrder_.size() > retainTerminal_) {
+        jobs_.erase(terminalOrder_.front());
+        terminalOrder_.pop_front();
+    }
+}
+
+} // namespace mapzero::svc

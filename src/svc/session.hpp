@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The daemon's session table: one record per submitted compile job,
+ * with an explicit state machine
+ *
+ *     QUEUED -> RUNNING -> DONE | FAILED
+ *        \---------------> CANCELLED
+ *
+ * (a RUNNING job that is cancelled keeps state RUNNING until the
+ * worker observes its cancel flag, then finishes as CANCELLED). The
+ * table is the single source of truth shared by the accept loop
+ * (SUBMIT/STATUS/FETCH/CANCEL handlers) and the worker pool; all
+ * transitions happen under one mutex, and each record carries the
+ * heap-allocated cancel flag whose address is threaded into the
+ * compile's Deadlines, so a CANCEL request reaches a running search
+ * without the table lock being held during the compile.
+ *
+ * Completed records are retained for FETCH and then evicted
+ * oldest-first past a retention cap, so a long-lived daemon's table
+ * stays bounded no matter how many jobs flow through it.
+ */
+
+#ifndef MAPZERO_SVC_SESSION_HPP
+#define MAPZERO_SVC_SESSION_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace mapzero::svc {
+
+/** Job identifier (1-based; 0 is never issued). */
+using JobId = std::uint64_t;
+
+/** Lifecycle states; numeric values are wire-visible (STATUS reply). */
+enum class JobState : std::uint8_t {
+    Queued = 0,
+    Running = 1,
+    Done = 2,
+    Failed = 3,
+    Cancelled = 4,
+};
+
+/** Human-readable state name ("QUEUED", ...). */
+const char *jobStateName(JobState state);
+
+/** True for DONE/FAILED/CANCELLED. */
+bool jobStateTerminal(JobState state);
+
+/** Detached copy of one job's externally visible fields. */
+struct JobSnapshot {
+    JobId id = 0;
+    JobState state = JobState::Queued;
+    std::string dfgName;
+    std::string archName;
+    std::string method;
+    /** Seconds spent waiting in the queue (so far, or final). */
+    double queuedSeconds = 0.0;
+    /** Seconds spent compiling (so far, or final; 0 while queued). */
+    double runSeconds = 0.0;
+    /** Result JSON (DONE) or error message (FAILED); else empty. */
+    std::string result;
+};
+
+/** Thread-safe job registry; see the file comment. */
+class SessionTable
+{
+  public:
+    /** Retain at most @p retainTerminal finished records. */
+    explicit SessionTable(std::size_t retainTerminal = 1024);
+
+    /** Register a new QUEUED job and return its id. */
+    JobId add(std::string dfgName, std::string archName,
+              std::string method);
+
+    /** Snapshot @p id into @p out; false for unknown ids. */
+    bool get(JobId id, JobSnapshot &out) const;
+
+    /**
+     * QUEUED -> RUNNING, recording the queue wait. Returns false when
+     * the job is not QUEUED anymore (cancelled while waiting) - the
+     * worker must then skip it.
+     */
+    bool markRunning(JobId id);
+
+    /** RUNNING -> DONE (or CANCELLED when @p cancelled). */
+    void finish(JobId id, std::string resultJson, bool cancelled);
+
+    /** RUNNING -> FAILED with @p error. */
+    void fail(JobId id, std::string error);
+
+    /**
+     * Request cancellation. QUEUED jobs flip to CANCELLED right away;
+     * RUNNING jobs get their cancel flag raised (the worker completes
+     * the transition). Returns the state *after* the call, or nullopt
+     * for unknown ids.
+     */
+    std::optional<JobState> cancel(JobId id);
+
+    /** The job's cancel flag (worker-side; nullptr for unknown ids).
+     *  The flag outlives the record's eviction. */
+    std::shared_ptr<std::atomic<bool>> cancelFlag(JobId id) const;
+
+    /** Jobs currently QUEUED or RUNNING. */
+    std::size_t activeCount() const;
+
+    /** Per-state job counts over the whole daemon lifetime. */
+    struct Counts {
+        std::int64_t submitted = 0;
+        std::int64_t done = 0;
+        std::int64_t failed = 0;
+        std::int64_t cancelled = 0;
+    };
+    Counts counts() const;
+
+  private:
+    struct Record {
+        JobSnapshot snapshot;
+        std::shared_ptr<std::atomic<bool>> cancel;
+        std::chrono::steady_clock::time_point submittedAt;
+        std::chrono::steady_clock::time_point startedAt;
+    };
+
+    void evictLocked();
+
+    const std::size_t retainTerminal_;
+    mutable std::mutex mutex_;
+    JobId nextId_ = 1;
+    std::map<JobId, Record> jobs_;
+    /** Terminal ids in completion order (eviction queue). */
+    std::deque<JobId> terminalOrder_;
+    Counts counts_;
+};
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_SESSION_HPP

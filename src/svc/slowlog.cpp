@@ -1,0 +1,76 @@
+#include "svc/slowlog.hpp"
+
+#include <sstream>
+
+#include "common/metrics.hpp"
+
+namespace mapzero::svc {
+
+Slowlog &
+Slowlog::global()
+{
+    static Slowlog instance;
+    return instance;
+}
+
+bool
+Slowlog::record(SlowlogEntry entry, double thresholdSeconds)
+{
+    if (thresholdSeconds <= 0.0 ||
+        entry.seconds < thresholdSeconds)
+        return false;
+    static Counter &entries =
+        metrics().counter("svc.slowlog_entries");
+    entries.add();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(std::move(entry));
+    while (ring_.size() > kCapacity)
+        ring_.pop_front();
+    return true;
+}
+
+std::vector<SlowlogEntry>
+Slowlog::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<SlowlogEntry>(ring_.rbegin(), ring_.rend());
+}
+
+std::size_t
+Slowlog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+void
+Slowlog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+}
+
+std::string
+Slowlog::toJson() const
+{
+    const std::vector<SlowlogEntry> newest_first = entries();
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    for (const SlowlogEntry &e : newest_first) {
+        os << (first ? "" : ",\n ") << "{\"job_id\": " << e.jobId
+           << ", \"dfg\": \"" << jsonEscape(e.dfgName) << "\""
+           << ", \"arch\": \"" << jsonEscape(e.archName) << "\""
+           << ", \"method\": \"" << jsonEscape(e.method) << "\""
+           << ", \"seconds\": " << jsonNumber(e.seconds)
+           << ", \"queued_seconds\": " << jsonNumber(e.queuedSeconds)
+           << ", \"outcome\": \"" << jsonEscape(e.outcome) << "\""
+           << ", \"uptime_seconds\": " << jsonNumber(e.uptimeSeconds)
+           << "}";
+        first = false;
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace mapzero::svc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Slowlog: a bounded ring of compile requests that exceeded a latency
+ * threshold, in the redis SLOWLOG tradition - the first place an
+ * operator looks when tail latency moves.
+ *
+ * The daemon appends one entry per finished job whose compile time is
+ * at or above the configured threshold; the ring keeps the newest
+ * kCapacity entries and drops oldest-first. Exposure is through the
+ * existing telemetry server (`GET /slowlog` renders the ring as JSON,
+ * newest first) plus the `svc.slowlog_entries` counter, so slow-tenant
+ * hunting needs no new port or tool.
+ */
+
+#ifndef MAPZERO_SVC_SLOWLOG_HPP
+#define MAPZERO_SVC_SLOWLOG_HPP
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mapzero::svc {
+
+/** One over-threshold request. */
+struct SlowlogEntry {
+    std::uint64_t jobId = 0;
+    std::string dfgName;
+    std::string archName;
+    std::string method;
+    /** End-to-end compile seconds (the thresholded quantity). */
+    double seconds = 0.0;
+    /** Seconds the job waited in the queue before running. */
+    double queuedSeconds = 0.0;
+    /** Final state name ("DONE", "FAILED", "CANCELLED"). */
+    std::string outcome;
+    /** Daemon uptime seconds at completion (monotonic ordering key). */
+    double uptimeSeconds = 0.0;
+};
+
+/** Thread-safe bounded ring of SlowlogEntry, newest kept. */
+class Slowlog
+{
+  public:
+    static constexpr std::size_t kCapacity = 128;
+
+    /** The process-wide ring the telemetry server renders. */
+    static Slowlog &global();
+
+    Slowlog() = default;
+    Slowlog(const Slowlog &) = delete;
+    Slowlog &operator=(const Slowlog &) = delete;
+
+    /**
+     * Record @p entry when entry.seconds >= @p thresholdSeconds
+     * (a threshold <= 0 disables the slowlog entirely). Returns
+     * whether the entry was kept.
+     */
+    bool record(SlowlogEntry entry, double thresholdSeconds);
+
+    /** Newest-first copy of the ring. */
+    std::vector<SlowlogEntry> entries() const;
+
+    std::size_t size() const;
+
+    /** Drop everything (tests; daemon restart). */
+    void clear();
+
+    /** Render entries() as a JSON array (newest first). */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<SlowlogEntry> ring_;
+};
+
+} // namespace mapzero::svc
+
+#endif // MAPZERO_SVC_SLOWLOG_HPP

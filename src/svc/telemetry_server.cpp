@@ -1,5 +1,8 @@
 #include "svc/telemetry_server.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -16,7 +19,9 @@
 #include "common/metrics.hpp"
 #include "common/procstat.hpp"
 #include "common/timeseries.hpp"
+#include "svc/daemon_state.hpp"
 #include "svc/prometheus.hpp"
+#include "svc/slowlog.hpp"
 
 namespace mapzero::svc {
 
@@ -26,6 +31,38 @@ namespace {
 constexpr std::size_t kMaxRequestBytes = 8192;
 /** Fallback poll granularity; the self-pipe wakes stop() instantly. */
 constexpr int kAcceptPollMs = 1000;
+
+/** "release" or "debug", from how this TU was compiled. */
+const char *
+buildMode()
+{
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+/** Which sanitizer (if any) instruments this build. */
+const char *
+sanitizerName()
+{
+#if defined(__SANITIZE_THREAD__)
+    return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+    return "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    return "thread";
+#elif __has_feature(address_sanitizer)
+    return "address";
+#else
+    return "none";
+#endif
+#else
+    return "none";
+#endif
+}
 
 /** Write all of @p data to @p fd (best-effort; the peer may vanish). */
 void
@@ -67,6 +104,7 @@ TelemetryServer::start(const TelemetryOptions &options)
     std::lock_guard<std::mutex> lock(lifecycleMutex_);
     if (running_.load())
         return true;
+    options_ = options;
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -175,26 +213,50 @@ TelemetryServer::acceptLoop()
 void
 TelemetryServer::serveConnection(int fd)
 {
+    // Per-recv timeout of 100ms; the overall request budget is
+    // enforced by the deadline below, so a peer dribbling one byte
+    // per poll cannot pin the accept thread past requestTimeoutMs.
     timeval timeout = {};
-    timeout.tv_sec = 2;
+    timeout.tv_usec = 100 * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                  sizeof(timeout));
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            options_.requestTimeoutMs > 0 ? options_.requestTimeoutMs
+                                          : 2000);
 
     std::string raw;
     char buffer[2048];
     while (raw.size() < kMaxRequestBytes &&
            !httpHeadersComplete(raw)) {
         const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-        if (n <= 0)
-            break;
+        if (n == 0)
+            break; // peer closed
+        if (n < 0) {
+            if ((errno == EAGAIN || errno == EWOULDBLOCK ||
+                 errno == EINTR) &&
+                std::chrono::steady_clock::now() < deadline)
+                continue;
+            break; // overall budget elapsed or hard error
+        }
         raw.append(buffer, static_cast<std::size_t>(n));
     }
     if (raw.empty())
-        return;
+        return; // peer connected and said nothing: nothing to answer
 
     HttpRequest request;
     std::string response;
-    if (!parseHttpRequest(raw, request)) {
+    if (!httpHeadersComplete(raw)) {
+        // Bytes arrived but the headers never finished: either the
+        // request blew the size cap or the peer stalled/disconnected
+        // mid-request. Answer 400 promptly and close.
+        response = httpResponse(
+            400, "text/plain",
+            raw.size() >= kMaxRequestBytes
+                ? "request too large\n"
+                : "incomplete request\n");
+    } else if (!parseHttpRequest(raw, request)) {
         response =
             httpResponse(400, "text/plain", "malformed request\n");
     } else {
@@ -223,11 +285,14 @@ TelemetryServer::handle(const HttpRequest &request)
         return handleSnapshot();
     if (request.path == "/journal")
         return handleJournal(request);
+    if (request.path == "/slowlog")
+        return httpResponse(200, "application/json",
+                            Slowlog::global().toJson());
     if (request.path == "/healthz" || request.path == "/")
         return handleHealthz();
     return httpResponse(404, "text/plain",
                         "unknown path (try /metrics, /snapshot.json, "
-                        "/journal?n=K, /healthz)\n");
+                        "/journal?n=K, /slowlog, /healthz)\n");
 }
 
 std::string
@@ -255,14 +320,32 @@ TelemetryServer::handleSnapshot()
 std::string
 TelemetryServer::handleJournal(const HttpRequest &request)
 {
+    // The tail length is clamped: the journal itself is bounded, but
+    // a huge or garbage `n` must not be able to size anything.
+    constexpr std::size_t kMaxJournalTail = 10000;
     std::size_t n = 100;
     if (const auto it = request.query.find("n");
         it != request.query.end()) {
-        const long long parsed = std::atoll(it->second.c_str());
+        const std::string &value = it->second;
+        const bool digits_only =
+            !value.empty() &&
+            std::all_of(value.begin(), value.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c));
+            });
+        if (!digits_only)
+            return httpResponse(400, "text/plain",
+                                "n must be a positive integer\n");
+        // Longer than 9 digits cannot fit below the clamp anyway;
+        // skip the parse rather than risk overflow.
+        const long long parsed =
+            value.size() > 9
+                ? static_cast<long long>(kMaxJournalTail)
+                : std::atoll(value.c_str());
         if (parsed <= 0)
             return httpResponse(400, "text/plain",
                                 "n must be a positive integer\n");
-        n = static_cast<std::size_t>(parsed);
+        n = std::min(static_cast<std::size_t>(parsed),
+                     kMaxJournalTail);
     }
     const std::vector<std::string> lines = journal().lines();
     const std::size_t start =
@@ -297,13 +380,10 @@ TelemetryServer::handleHealthz()
          << (journal().enabled() ? "true" : "false")
          << ", \"timeseries_period_ms\": "
          << TimeSeriesRecorder::global().periodMs()
-         << ", \"build\": \""
-#ifdef NDEBUG
-         << "release"
-#else
-         << "debug"
-#endif
-         << "\"}\n";
+         << ", \"build\": \"" << buildMode() << "\""
+         << ", \"sanitizer\": \"" << sanitizerName() << "\""
+         << ", \"daemon_state\": \""
+         << daemonPhaseName(daemonPhase()) << "\"}\n";
     return httpResponse(200, "application/json", body.str());
 }
 

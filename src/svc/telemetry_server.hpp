@@ -49,6 +49,13 @@ struct TelemetryOptions {
     std::string bindAddress = "127.0.0.1";
     /** Time-series sampler period (milliseconds). */
     int samplePeriodMs = 250;
+    /**
+     * Total budget for reading one request (milliseconds). A client
+     * that dribbles bytes or never finishes its headers is answered
+     * 400 and closed when this elapses - a stuck peer must not pin
+     * the accept thread.
+     */
+    int requestTimeoutMs = 2000;
 };
 
 /**
@@ -115,6 +122,7 @@ class TelemetryServer
     int wakeWriteFd_ = -1;
     std::atomic<std::int64_t> requests_{0};
     std::chrono::steady_clock::time_point startedAt_;
+    TelemetryOptions options_;
     std::mutex lifecycleMutex_;
     std::thread acceptThread_;
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -55,6 +56,48 @@ TEST(ProcStat, PublishSetsTheProcGauges)
                      static_cast<double>(s.threads));
     EXPECT_DOUBLE_EQ(reg.gauge("proc.open_fds").value(),
                      static_cast<double>(s.openFds));
+}
+
+TEST(ProcStat, RusageOnlySourceExercisesTheFallbackPath)
+{
+    // The explicit source override runs the macOS/containers path on
+    // any host: no /proc reads, rss/peak from ru_maxrss, and the
+    // /proc-only fields stay at their "unavailable" markers.
+    const ProcStat s = sampleProcStat(ProcStatSource::RusageOnly);
+    EXPECT_FALSE(s.fromProc);
+    EXPECT_GT(s.rssBytes, 0);
+    EXPECT_EQ(s.peakRssBytes, s.rssBytes); // both from ru_maxrss
+    EXPECT_GE(s.cpuSeconds(), 0.0);
+    EXPECT_EQ(s.threads, -1);
+    EXPECT_EQ(s.openFds, -1);
+}
+
+TEST(ProcStat, ForceFallbackEnvVarDemotesAuto)
+{
+    ASSERT_EQ(setenv("MAPZERO_PROCSTAT_FORCE_FALLBACK", "1", 1), 0);
+    const ProcStat forced = sampleProcStat();
+    ASSERT_EQ(unsetenv("MAPZERO_PROCSTAT_FORCE_FALLBACK"), 0);
+
+    EXPECT_FALSE(forced.fromProc);
+    EXPECT_GT(forced.rssBytes, 0);
+    EXPECT_EQ(forced.threads, -1);
+    EXPECT_EQ(forced.openFds, -1);
+
+    // With the variable gone, Auto is back to the full sampler (on
+    // hosts that have /proc; elsewhere both paths are the fallback).
+    const ProcStat normal = sampleProcStat();
+    if (normal.fromProc) {
+        EXPECT_GE(normal.threads, 1);
+    }
+}
+
+TEST(ProcStat, EmptyForceFallbackValueIsIgnored)
+{
+    ASSERT_EQ(setenv("MAPZERO_PROCSTAT_FORCE_FALLBACK", "", 1), 0);
+    const ProcStat s = sampleProcStat();
+    ASSERT_EQ(unsetenv("MAPZERO_PROCSTAT_FORCE_FALLBACK"), 0);
+    // Empty means unset: the sampler behaves exactly like Auto.
+    EXPECT_EQ(s.fromProc, sampleProcStat().fromProc);
 }
 
 TEST(ProcStat, RssGrowsWithAllocation)

@@ -1,0 +1,123 @@
+/** @file Tests for the bounded MPMC queue feeding mapzerod's workers:
+ *  admission control, blocking pop, and close()-as-drain semantics. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(BoundedQueue, TryPushRefusesWhenFull)
+{
+    BoundedQueue<int> queue(2);
+    EXPECT_EQ(queue.capacity(), 2u);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3)); // full: the BUSY signal
+    EXPECT_EQ(queue.size(), 2u);
+
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_TRUE(queue.tryPush(3)); // slot freed
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(BoundedQueue, CapacityFloorIsOne)
+{
+    BoundedQueue<int> queue(0);
+    EXPECT_EQ(queue.capacity(), 1u);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_FALSE(queue.tryPush(2));
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsThenSignalsFinished)
+{
+    BoundedQueue<int> queue(4);
+    ASSERT_TRUE(queue.tryPush(10));
+    ASSERT_TRUE(queue.tryPush(11));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_FALSE(queue.tryPush(12)); // refused after close
+    // Already-admitted items still drain in order...
+    EXPECT_EQ(queue.pop().value(), 10);
+    EXPECT_EQ(queue.pop().value(), 11);
+    // ...and only then do consumers see "finished".
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_FALSE(queue.pop().has_value()); // idempotent
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush)
+{
+    BoundedQueue<int> queue(1);
+    std::atomic<bool> popped{false};
+    std::thread consumer([&] {
+        const std::optional<int> item = queue.pop();
+        EXPECT_EQ(item.value(), 42);
+        popped.store(true);
+    });
+    // The consumer should be parked, not spinning on an empty queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(popped.load());
+    ASSERT_TRUE(queue.tryPush(42));
+    consumer.join();
+    EXPECT_TRUE(popped.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers)
+{
+    BoundedQueue<int> queue(1);
+    std::thread consumer([&] {
+        EXPECT_FALSE(queue.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    consumer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 250;
+    BoundedQueue<int> queue(8);
+
+    std::mutex seen_mutex;
+    std::set<int> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (std::optional<int> item = queue.pop()) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                seen.insert(*item);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const int value = p * kPerProducer + i;
+                while (!queue.tryPush(value))
+                    std::this_thread::yield(); // full: retry (BUSY)
+            }
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    queue.close();
+    for (std::thread &consumer : consumers)
+        consumer.join();
+
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,176 @@
+/** @file Tests for CompileService (the daemon's warm-cache compile
+ *  layer) and renderResultJson: shared eval-cache reuse, cancellation
+ *  plumbing, and the FETCH blob format. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "core/service.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/kernels.hpp"
+
+namespace mapzero {
+namespace {
+
+ServiceOptions
+tinyServiceOptions()
+{
+    ServiceOptions options;
+    options.pretrain.episodes = 2;
+    options.pretrain.seconds = 5.0;
+    options.pretrain.maxNodes = 6;
+    options.pretrain.mctsExpansions = 4;
+    return options;
+}
+
+TEST(CompileService, SaCompileSucceedsAndRendersJson)
+{
+    CompileService service;
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 20.0;
+    const CompileResult result =
+        service.compile(kernel, arch, Method::Sa, options);
+    ASSERT_TRUE(result.success);
+
+    const std::string json = renderResultJson(kernel, arch, result);
+    EXPECT_NE(json.find("\"dfg\": \"mac\""), std::string::npos);
+    EXPECT_NE(json.find("\"method\": \"SA\""), std::string::npos);
+    EXPECT_NE(json.find("\"success\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"valid\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"placements\""), std::string::npos);
+    EXPECT_NE(json.find("\"cancelled\": false"), std::string::npos);
+}
+
+TEST(CompileService, FailureRendersWithoutPlacements)
+{
+    CompileService service;
+    const dfg::Dfg kernel = dfg::buildKernel("huf_u");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 0.2; // far too little for 592 ops
+    const CompileResult result =
+        service.compile(kernel, arch, Method::Sa, options);
+    ASSERT_FALSE(result.success);
+    const std::string json = renderResultJson(kernel, arch, result);
+    EXPECT_NE(json.find("\"success\": false"), std::string::npos);
+    EXPECT_EQ(json.find("\"placements\""), std::string::npos);
+}
+
+TEST(CompileService, SharedEvalCachePersistsAcrossCompiles)
+{
+    CompileService service(tinyServiceOptions());
+    ASSERT_NE(service.evalCache(), nullptr);
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0;
+
+    const CompileResult first =
+        service.compile(kernel, arch, Method::MapZero, options);
+    ASSERT_TRUE(first.success);
+    const std::size_t cached_after_first = service.evalCache()->size();
+    EXPECT_GT(cached_after_first, 0u);
+
+    const std::int64_t hits_before =
+        metrics().counter("eval_cache.hits").value();
+    const CompileResult second =
+        service.compile(kernel, arch, Method::MapZero, options);
+    ASSERT_TRUE(second.success);
+    // The repeat compile replays evaluations out of the shared cache.
+    EXPECT_GT(metrics().counter("eval_cache.hits").value(),
+              hits_before);
+}
+
+TEST(CompileService, ExplicitCacheInOptionsWinsOverTheSharedOne)
+{
+    CompileService service(tinyServiceOptions());
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+
+    const auto own_cache = std::make_shared<rl::EvalCache>(128);
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0;
+    options.evalCacheInstance = own_cache;
+    const std::size_t shared_before = service.evalCache()->size();
+    const CompileResult result =
+        service.compile(kernel, arch, Method::MapZero, options);
+    ASSERT_TRUE(result.success);
+    EXPECT_GT(own_cache->size(), 0u);
+    EXPECT_EQ(service.evalCache()->size(), shared_before);
+}
+
+/** A 1-to-15 star: schedulable at II=1 but unroutable on the 4x4
+ *  fabric, so with unbounded restarts SA searches its entire budget
+ *  instead of failing fast (big kernels like huf_u are rejected at
+ *  the scheduling stage in milliseconds and cannot hold a worker). */
+dfg::Dfg
+unroutableStar()
+{
+    dfg::Dfg star;
+    star.setName("star15");
+    const auto root = star.addNode(dfg::Opcode::Add, "n0");
+    for (int i = 1; i <= 15; ++i)
+        star.addEdge(root, star.addNode(dfg::Opcode::Add));
+    return star;
+}
+
+TEST(CompileService, CancelFlagAbortsALongCompile)
+{
+    CompileService service;
+    const dfg::Dfg kernel = unroutableStar();
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 120.0; // nominal budget: 2 minutes
+    options.restartsPerIi = 1'000'000;
+
+    std::atomic<bool> cancel{false};
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        cancel.store(true);
+    });
+    const auto started = std::chrono::steady_clock::now();
+    const CompileResult result =
+        service.compile(kernel, arch, Method::Sa, options, &cancel);
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    canceller.join();
+
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_FALSE(result.success);
+    // Aborted within polling latency of the flag flip, nowhere near
+    // the 120s nominal budget.
+    EXPECT_LT(seconds, 30.0);
+    const std::string json = renderResultJson(kernel, arch, result);
+    EXPECT_NE(json.find("\"cancelled\": true"), std::string::npos);
+}
+
+TEST(CompileService, PreRaisedCancelFlagShortCircuits)
+{
+    CompileService service;
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0;
+    std::atomic<bool> cancel{true};
+    const auto started = std::chrono::steady_clock::now();
+    const CompileResult result =
+        service.compile(kernel, arch, Method::Sa, options, &cancel);
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_FALSE(result.success);
+    EXPECT_LT(seconds, 5.0);
+}
+
+} // namespace
+} // namespace mapzero

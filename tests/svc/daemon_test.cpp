@@ -1,0 +1,469 @@
+/** @file End-to-end tests for mapzerod: the submit/status/fetch/cancel
+ *  lifecycle over real sockets, admission control under a saturated
+ *  queue, graceful drain, cancellation of queued and running jobs, and
+ *  the warm-cache effect of the shared CompileService. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/daemon_state.hpp"
+#include "svc/slowlog.hpp"
+#include "svc/telemetry_server.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+/** SUBMIT for a built-in kernel with fast-test defaults. */
+SubmitRequest
+submitOf(const std::string &kernel, std::uint8_t method = 3 /* SA */,
+         double timeLimitSeconds = 10.0)
+{
+    SubmitRequest request;
+    request.dfgDot = dfg::toDot(dfg::buildKernel(kernel));
+    request.archName = "hrea";
+    request.method = method;
+    request.timeLimitSeconds = timeLimitSeconds;
+    return request;
+}
+
+/**
+ * A job that reliably occupies a worker for its whole time budget (or
+ * until cancelled), which is what the busy/cancel/drain tests need.
+ * A 1-to-15 star is schedulable at II=1 but unroutable on a 4x4
+ * fabric, and with an effectively unbounded restart count SA keeps
+ * re-annealing each II slice until the deadline instead of giving up
+ * after a fixed number of attempts.
+ */
+SubmitRequest
+slowSubmit(double timeLimitSeconds)
+{
+    dfg::Dfg star;
+    star.setName("star15");
+    const auto root = star.addNode(dfg::Opcode::Add, "n0");
+    for (int i = 1; i <= 15; ++i)
+        star.addEdge(root, star.addNode(dfg::Opcode::Add));
+
+    SubmitRequest request;
+    request.dfgDot = dfg::toDot(star);
+    request.archName = "hrea";
+    request.method = 3; // SA
+    request.timeLimitSeconds = timeLimitSeconds;
+    request.restartsPerIi = 1'000'000;
+    return request;
+}
+
+TEST(Daemon, StartStopAndPing)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    EXPECT_TRUE(daemon.running());
+    EXPECT_GT(daemon.port(), 0);
+    EXPECT_EQ(daemon.phase(), DaemonPhase::Serving);
+    EXPECT_EQ(daemonPhase(), DaemonPhase::Serving);
+
+    Client client(daemon.port());
+    DaemonInfo info;
+    ASSERT_EQ(client.ping(info), Status::Ok);
+    EXPECT_EQ(info.phase,
+              static_cast<std::uint8_t>(DaemonPhase::Serving));
+    EXPECT_EQ(info.workers, 1u);
+    EXPECT_EQ(info.activeJobs, 0u);
+
+    daemon.stop();
+    EXPECT_FALSE(daemon.running());
+    EXPECT_EQ(daemon.phase(), DaemonPhase::Idle);
+    EXPECT_EQ(daemonPhase(), DaemonPhase::Idle);
+    // A stopped daemon is unreachable.
+    EXPECT_EQ(client.ping(info), Status::Error);
+}
+
+TEST(Daemon, SubmitStatusFetchProducesAValidMapping)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(submitOf("mac"), id, depth), Status::Ok);
+    EXPECT_GT(id, 0u);
+
+    const std::optional<JobStatus> final_status =
+        client.waitForJob(id, 60.0);
+    ASSERT_TRUE(final_status.has_value()) << client.lastError();
+    EXPECT_EQ(final_status->state, JobState::Done);
+
+    JobResult result;
+    ASSERT_EQ(client.fetch(id, result), Status::Ok)
+        << client.lastError();
+    EXPECT_EQ(result.state, JobState::Done);
+    // The blob carries the server-side re-validation verdict.
+    EXPECT_NE(result.blob.find("\"success\": true"),
+              std::string::npos)
+        << result.blob;
+    EXPECT_NE(result.blob.find("\"valid\": true"), std::string::npos)
+        << result.blob;
+    EXPECT_NE(result.blob.find("\"placements\""), std::string::npos);
+    daemon.stop();
+}
+
+TEST(Daemon, EightConcurrentSubmissionsAllMapValidly)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 4;
+    options.queueCapacity = 16;
+    ASSERT_TRUE(daemon.start(options));
+    const int port = daemon.port();
+
+    const std::vector<std::string> kernels = {
+        "mac", "sum", "matmul", "accumulate",
+        "mac",  "sum", "matmul", "accumulate"};
+    std::vector<std::uint64_t> ids(kernels.size(), 0);
+    std::vector<std::thread> submitters;
+    std::atomic<int> submit_failures{0};
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        submitters.emplace_back([&, i] {
+            Client client(port);
+            std::uint32_t depth = 0;
+            if (client.submit(submitOf(kernels[i]), ids[i], depth) !=
+                Status::Ok)
+                submit_failures.fetch_add(1);
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    ASSERT_EQ(submit_failures.load(), 0);
+
+    Client client(port);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_GT(ids[i], 0u) << i;
+        const std::optional<JobStatus> done =
+            client.waitForJob(ids[i], 120.0);
+        ASSERT_TRUE(done.has_value())
+            << kernels[i] << ": " << client.lastError();
+        EXPECT_EQ(done->state, JobState::Done) << kernels[i];
+        JobResult result;
+        ASSERT_EQ(client.fetch(ids[i], result), Status::Ok);
+        EXPECT_NE(result.blob.find("\"valid\": true"),
+                  std::string::npos)
+            << kernels[i] << ": " << result.blob;
+    }
+    daemon.stop();
+}
+
+TEST(Daemon, FullQueueAnswersBusyAndCountsRejections)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    options.queueCapacity = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    const std::int64_t rejected_before =
+        metrics().counter("svc.rejected_total").value();
+
+    // Job 1 occupies the lone worker; job 2 fills the queue slot.
+    std::uint64_t running_id = 0, queued_id = 0, rejected_id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(slowSubmit(30.0), running_id, depth),
+              Status::Ok);
+    // Wait until the worker actually picked job 1 up, so job 2 sits
+    // alone in the queue.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        JobStatus status;
+        ASSERT_EQ(client.status(running_id, status), Status::Ok);
+        if (status.state == JobState::Running)
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(client.submit(slowSubmit(30.0), queued_id, depth),
+              Status::Ok);
+
+    // The queue is saturated: admission control answers BUSY.
+    EXPECT_EQ(client.submit(submitOf("mac"), rejected_id, depth),
+              Status::Busy);
+    EXPECT_EQ(rejected_id, 0u);
+    EXPECT_GE(metrics().counter("svc.rejected_total").value(),
+              rejected_before + 1);
+
+    // Cancel both admitted jobs so teardown is prompt.
+    JobState state;
+    EXPECT_EQ(client.cancel(queued_id, state), Status::Ok);
+    EXPECT_EQ(state, JobState::Cancelled); // queued: immediate
+    EXPECT_EQ(client.cancel(running_id, state), Status::Ok);
+    const std::optional<JobStatus> final_status =
+        client.waitForJob(running_id, 30.0);
+    ASSERT_TRUE(final_status.has_value()) << client.lastError();
+    EXPECT_EQ(final_status->state, JobState::Cancelled);
+    daemon.stop();
+}
+
+TEST(Daemon, CancelReachesARunningSearchPromptly)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    // Nominal budget of 120s: only cancellation can end this quickly.
+    ASSERT_EQ(client.submit(slowSubmit(120.0), id, depth), Status::Ok);
+    for (;;) {
+        JobStatus status;
+        ASSERT_EQ(client.status(id, status), Status::Ok);
+        if (status.state == JobState::Running)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    const auto cancelled_at = std::chrono::steady_clock::now();
+    JobState state;
+    ASSERT_EQ(client.cancel(id, state), Status::Ok);
+    const std::optional<JobStatus> final_status =
+        client.waitForJob(id, 30.0);
+    ASSERT_TRUE(final_status.has_value()) << client.lastError();
+    EXPECT_EQ(final_status->state, JobState::Cancelled);
+    const double reaction =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - cancelled_at)
+            .count();
+    // The flag is polled by every Deadline check in the search loops;
+    // seconds, not the 120s nominal budget.
+    EXPECT_LT(reaction, 15.0);
+
+    JobResult result;
+    ASSERT_EQ(client.fetch(id, result), Status::Ok);
+    EXPECT_EQ(result.state, JobState::Cancelled);
+    EXPECT_NE(result.blob.find("\"cancelled\": true"),
+              std::string::npos)
+        << result.blob;
+    daemon.stop();
+}
+
+TEST(Daemon, DrainFinishesAdmittedJobsAndRefusesNewOnes)
+{
+    const std::int64_t done_before =
+        metrics().counter("svc.completed_total").value();
+
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    options.queueCapacity = 8;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    // One slow job holds the worker; two fast ones wait behind it.
+    std::uint64_t slow_id = 0, fast1 = 0, fast2 = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(slowSubmit(3.0), slow_id, depth),
+              Status::Ok);
+    ASSERT_EQ(client.submit(submitOf("mac"), fast1, depth),
+              Status::Ok);
+    ASSERT_EQ(client.submit(submitOf("sum"), fast2, depth),
+              Status::Ok);
+
+    std::thread runner([&] { daemon.run(); });
+    ASSERT_EQ(client.drain(), Status::Ok);
+
+    // New submissions are refused while admitted ones keep going.
+    std::uint64_t late_id = 0;
+    const Status late = client.submit(submitOf("mac"), late_id, depth);
+    // Draining while reachable; Error once the daemon has exited.
+    EXPECT_TRUE(late == Status::Draining || late == Status::Error)
+        << statusName(late);
+
+    runner.join();
+    EXPECT_FALSE(daemon.running());
+    // Every admitted job reached a terminal state: the slow one used
+    // its 3s budget, the queued fast ones were NOT orphaned.
+    EXPECT_GE(metrics().counter("svc.completed_total").value(),
+              done_before + 2);
+}
+
+TEST(Daemon, SecondIdenticalSubmissionHitsTheWarmCaches)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    // Tiny pre-train budget: this test exercises the cache plumbing,
+    // not mapping quality.
+    options.service.pretrain.episodes = 2;
+    options.service.pretrain.seconds = 5.0;
+    options.service.pretrain.maxNodes = 6;
+    options.service.pretrain.mctsExpansions = 4;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    const SubmitRequest request =
+        submitOf("mac", /*method=*/0 /* MapZero */, 30.0);
+
+    std::uint64_t first = 0, second = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(request, first, depth), Status::Ok);
+    const std::optional<JobStatus> first_status =
+        client.waitForJob(first, 120.0);
+    ASSERT_TRUE(first_status.has_value()) << client.lastError();
+    ASSERT_EQ(first_status->state, JobState::Done);
+
+    const std::int64_t eval_hits_before =
+        metrics().counter("eval_cache.hits").value();
+    const std::int64_t agent_hits_before =
+        metrics().counter("agent_cache.hits").value();
+
+    ASSERT_EQ(client.submit(request, second, depth), Status::Ok);
+    const std::optional<JobStatus> second_status =
+        client.waitForJob(second, 120.0);
+    ASSERT_TRUE(second_status.has_value()) << client.lastError();
+    ASSERT_EQ(second_status->state, JobState::Done);
+
+    // The repeat submission re-used the pre-trained network (no second
+    // training run) and replayed observation evaluations out of the
+    // shared eval cache.
+    EXPECT_GT(metrics().counter("agent_cache.hits").value(),
+              agent_hits_before);
+    EXPECT_GT(metrics().counter("eval_cache.hits").value(),
+              eval_hits_before);
+    daemon.stop();
+}
+
+TEST(Daemon, HandleRejectsGarbageWithoutASocket)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+
+    const auto status_of = [](const std::string &payload) {
+        return payload.empty()
+                   ? Status::Error
+                   : static_cast<Status>(
+                         static_cast<std::uint8_t>(payload[0]));
+    };
+
+    Frame frame;
+    frame.op = static_cast<Op>(0x77); // unknown opcode
+    EXPECT_EQ(status_of(daemon.handle(frame)), Status::BadRequest);
+
+    frame.op = Op::Submit;
+    frame.payload = "not a submit payload";
+    EXPECT_EQ(status_of(daemon.handle(frame)), Status::BadRequest);
+
+    SubmitRequest bad_arch;
+    bad_arch.dfgDot = dfg::toDot(dfg::buildKernel("mac"));
+    bad_arch.archName = "not-a-fabric";
+    frame.payload = encodeSubmit(bad_arch);
+    EXPECT_EQ(status_of(daemon.handle(frame)), Status::BadRequest);
+
+    SubmitRequest bad_dot;
+    bad_dot.dfgDot = "this is not DOT";
+    bad_dot.archName = "hrea";
+    frame.payload = encodeSubmit(bad_dot);
+    EXPECT_EQ(status_of(daemon.handle(frame)), Status::BadRequest);
+
+    SubmitRequest bad_method;
+    bad_method.dfgDot = bad_arch.dfgDot;
+    bad_method.archName = "hrea";
+    bad_method.method = 200;
+    frame.payload = encodeSubmit(bad_method);
+    EXPECT_EQ(status_of(daemon.handle(frame)), Status::BadRequest);
+
+    // Unknown ids on the query ops.
+    WireWriter id_payload;
+    id_payload.u64(424242);
+    for (const Op op : {Op::Status, Op::Fetch, Op::Cancel}) {
+        frame.op = op;
+        frame.payload = id_payload.bytes();
+        EXPECT_EQ(status_of(daemon.handle(frame)), Status::NotFound);
+    }
+    daemon.stop();
+}
+
+TEST(Daemon, HealthzReportsDaemonState)
+{
+    TelemetryServer telemetry;
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/healthz";
+
+    EXPECT_NE(telemetry.handle(request).find(
+                  "\"daemon_state\": \"idle\""),
+              std::string::npos);
+
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    EXPECT_NE(telemetry.handle(request).find(
+                  "\"daemon_state\": \"serving\""),
+              std::string::npos);
+    daemon.stop();
+    EXPECT_NE(telemetry.handle(request).find(
+                  "\"daemon_state\": \"idle\""),
+              std::string::npos);
+}
+
+TEST(Daemon, SlowJobsLandInTheSlowlog)
+{
+    Slowlog::global().clear();
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    // Threshold 0: disabled; then a daemon with a tiny threshold.
+    options.slowlogThresholdSeconds = 0.001;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    // The star job deterministically burns its whole 0.3s budget,
+    // which is comfortably past the 1ms threshold; a trivial kernel
+    // like mac completes in microseconds and would never qualify.
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(slowSubmit(0.3), id, depth), Status::Ok);
+    const std::optional<JobStatus> done = client.waitForJob(id, 60.0);
+    ASSERT_TRUE(done.has_value());
+    daemon.stop();
+
+    ASSERT_GE(Slowlog::global().size(), 1u);
+    const SlowlogEntry newest = Slowlog::global().entries().front();
+    EXPECT_EQ(newest.dfgName, "star15");
+    EXPECT_EQ(newest.archName, "hrea");
+    // The compile ran to completion (the mapping attempt failed, but
+    // that is in the blob): job-wise this is DONE, not FAILED, which
+    // is reserved for compiles that threw.
+    EXPECT_EQ(newest.outcome, "DONE");
+    EXPECT_GE(newest.seconds, 0.001);
+
+    // And the telemetry server serves the ring at /slowlog.
+    TelemetryServer telemetry;
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/slowlog";
+    const std::string response = telemetry.handle(request);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(response.find("\"dfg\": \"star15\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mapzero::svc

@@ -1,0 +1,165 @@
+/** @file Regression tests for telemetry-server request hardening:
+ *  malformed request lines, oversized requests, and partial reads must
+ *  all be answered 400 (or closed) promptly - a bad client must never
+ *  pin the accept thread. */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+
+#include "svc/telemetry_server.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+int
+connectTo(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Send @p raw bytes, then read the full response until close. */
+std::string
+sendRaw(int port, const std::string &raw)
+{
+    const int fd = connectTo(port);
+    if (fd < 0)
+        return "";
+    if (!raw.empty())
+        (void)!::send(fd, raw.data(), raw.size(), 0);
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+class HttpHardening : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TelemetryOptions options;
+        options.port = 0;
+        // Small request budget so the stall tests run in sub-second
+        // time rather than the 2s production default.
+        options.requestTimeoutMs = 300;
+        ASSERT_TRUE(server_.start(options));
+    }
+
+    void
+    TearDown() override
+    {
+        server_.stop();
+    }
+
+    TelemetryServer server_;
+};
+
+TEST_F(HttpHardening, MalformedRequestLinesGet400)
+{
+    for (const char *raw : {
+             "GARBAGE\r\n\r\n",
+             "GET\r\n\r\n",
+             "GET /metrics\r\n\r\n",           // no HTTP version
+             "GET metrics HTTP/1.0\r\n\r\n",   // path missing '/'
+             "GET /metrics FTP/1.0\r\n\r\n",   // wrong protocol
+         }) {
+        const std::string response = sendRaw(server_.port(), raw);
+        EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos)
+            << raw;
+    }
+}
+
+TEST_F(HttpHardening, OversizedRequestGets400NotABufferBloat)
+{
+    // 64 KiB of headers, far past the 8 KiB cap, with no terminator
+    // in the first 8 KiB - the server must refuse, not buffer it all.
+    std::string huge = "GET /metrics HTTP/1.0\r\n";
+    while (huge.size() < 64 * 1024)
+        huge += "X-Padding: " + std::string(1000, 'a') + "\r\n";
+    const std::string response = sendRaw(server_.port(), huge);
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos);
+    EXPECT_NE(response.find("request too large"), std::string::npos);
+}
+
+TEST_F(HttpHardening, PartialRequestTimesOutWith400)
+{
+    // Send half a request and stall: after requestTimeoutMs the
+    // server must answer 400 and close rather than wait forever.
+    const int fd = connectTo(server_.port());
+    ASSERT_GE(fd, 0);
+    const std::string half = "GET /metrics HTT";
+    ASSERT_EQ(::send(fd, half.data(), half.size(), 0),
+              static_cast<ssize_t>(half.size()));
+
+    const auto started = std::chrono::steady_clock::now();
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const double waited =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos);
+    EXPECT_NE(response.find("incomplete request"), std::string::npos);
+    // Promptly: the 300ms budget plus slack, not a hung connection.
+    EXPECT_LT(waited, 5.0);
+}
+
+TEST_F(HttpHardening, SilentConnectionIsJustClosed)
+{
+    // Connect, send nothing: the server closes without a response
+    // once the request budget elapses.
+    const int fd = connectTo(server_.port());
+    ASSERT_GE(fd, 0);
+    char buffer[64];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    EXPECT_LE(n, 0);
+    ::close(fd);
+}
+
+TEST_F(HttpHardening, ServerStaysHealthyAfterAbuse)
+{
+    sendRaw(server_.port(), "GARBAGE\r\n\r\n");
+    sendRaw(server_.port(), std::string(10000, 'x'));
+    const std::string response = sendRaw(
+        server_.port(),
+        "GET /healthz HTTP/1.0\r\nHost: localhost\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mapzero::svc

@@ -1,0 +1,200 @@
+/** @file Tests for the mapzerod wire protocol: little-endian
+ *  round-trips, poisoned readers on truncation, frame IO over real
+ *  socket pairs, and the oversized-frame guard. */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "svc/protocol.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+TEST(Protocol, WriterReaderRoundTripsEveryType)
+{
+    WireWriter writer;
+    writer.u8(0xAB);
+    writer.u32(0xDEADBEEF);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.f64(-2.5);
+    writer.f64(0.1); // not exactly representable: bits must survive
+    writer.str("hello");
+    writer.str(""); // empty strings are legal
+
+    WireReader reader(writer.bytes());
+    EXPECT_EQ(reader.u8(), 0xAB);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.f64(), -2.5);
+    EXPECT_EQ(reader.f64(), 0.1);
+    EXPECT_EQ(reader.str(), "hello");
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_TRUE(reader.done());
+}
+
+TEST(Protocol, IntegersAreLittleEndianOnTheWire)
+{
+    WireWriter writer;
+    writer.u32(0x04030201);
+    const std::string &bytes = writer.bytes();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x01);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x02);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0x03);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x04);
+}
+
+TEST(Protocol, TruncationPoisonsTheReader)
+{
+    WireWriter writer;
+    writer.u64(7);
+    // Chop the last byte: the u64 read must fail, and every read
+    // after the poisoning must stay failed and harmless.
+    WireReader reader(
+        std::string_view(writer.bytes()).substr(0, 7));
+    EXPECT_EQ(reader.u64(), 0u);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.u32(), 0u);
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_FALSE(reader.done());
+}
+
+TEST(Protocol, StringLengthBeyondCapPoisonsWithoutAllocating)
+{
+    WireWriter writer;
+    writer.u32(0xFFFFFFFF); // announced length: 4 GiB
+    WireReader reader(writer.bytes());
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_FALSE(reader.ok());
+}
+
+TEST(Protocol, SubmitRoundTrip)
+{
+    SubmitRequest request;
+    request.dfgDot = "digraph mac { a -> b }";
+    request.archName = "hrea";
+    request.method = 3;
+    request.timeLimitSeconds = 2.25;
+    request.seed = 99;
+    request.restartsPerIi = 5;
+    request.jobs = 2;
+    request.evalCache = false;
+
+    SubmitRequest decoded;
+    ASSERT_TRUE(decodeSubmit(encodeSubmit(request), decoded));
+    EXPECT_EQ(decoded.dfgDot, request.dfgDot);
+    EXPECT_EQ(decoded.archName, request.archName);
+    EXPECT_EQ(decoded.method, request.method);
+    EXPECT_EQ(decoded.timeLimitSeconds, request.timeLimitSeconds);
+    EXPECT_EQ(decoded.seed, request.seed);
+    EXPECT_EQ(decoded.restartsPerIi, request.restartsPerIi);
+    EXPECT_EQ(decoded.jobs, request.jobs);
+    EXPECT_EQ(decoded.evalCache, request.evalCache);
+}
+
+TEST(Protocol, SubmitDecodeRejectsTruncationAndTrailingGarbage)
+{
+    const std::string good = encodeSubmit(SubmitRequest{});
+    SubmitRequest out;
+    EXPECT_TRUE(decodeSubmit(good, out));
+    EXPECT_FALSE(decodeSubmit(good.substr(0, good.size() - 1), out));
+    EXPECT_FALSE(decodeSubmit(good + "x", out));
+    EXPECT_FALSE(decodeSubmit("", out));
+}
+
+TEST(Protocol, FrameRoundTripOverASocketPair)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    ASSERT_TRUE(writeFrame(fds[0], Op::Submit, "payload-bytes"));
+    Frame frame;
+    EXPECT_EQ(readFrame(fds[1], frame, Deadline(5.0)), Status::Ok);
+    EXPECT_EQ(frame.op, Op::Submit);
+    EXPECT_EQ(frame.payload, "payload-bytes");
+
+    // Empty payloads (PING/DRAIN) work too.
+    ASSERT_TRUE(writeFrame(fds[0], Op::Ping, ""));
+    EXPECT_EQ(readFrame(fds[1], frame, Deadline(5.0)), Status::Ok);
+    EXPECT_EQ(frame.op, Op::Ping);
+    EXPECT_TRUE(frame.payload.empty());
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, ReadFrameRejectsOversizedAnnouncedLength)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // Hand-build a header announcing kMaxFrameBytes + 1 payload bytes.
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(kMaxFrameBytes + 1);
+    WireWriter header;
+    header.u32(length);
+    header.u8(static_cast<std::uint8_t>(Op::Submit));
+    const std::string &bytes = header.bytes();
+    ASSERT_EQ(::send(fds[0], bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+
+    Frame frame;
+    EXPECT_EQ(readFrame(fds[1], frame, Deadline(5.0)),
+              Status::BadRequest);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, ReadFrameReturnsErrorOnEofAndOnDeadline)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    // Peer closes without sending anything: EOF.
+    ::close(fds[0]);
+    Frame frame;
+    EXPECT_EQ(readFrame(fds[1], frame, Deadline(5.0)), Status::Error);
+    ::close(fds[1]);
+
+    // Peer sends half a header and stalls: deadline expiry.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_EQ(::send(fds[0], "\x08\x00", 2, 0), 2);
+    EXPECT_EQ(readFrame(fds[1], frame, Deadline(0.3)), Status::Error);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, WriteReplyPrefixesStatusByte)
+{
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(writeReply(fds[0], Status::Busy, "queue full"));
+    Frame frame;
+    ASSERT_EQ(readFrame(fds[1], frame, Deadline(5.0)), Status::Ok);
+    EXPECT_EQ(frame.op, Op::Reply);
+    ASSERT_FALSE(frame.payload.empty());
+    EXPECT_EQ(static_cast<Status>(
+                  static_cast<std::uint8_t>(frame.payload[0])),
+              Status::Busy);
+    EXPECT_EQ(frame.payload.substr(1), "queue full");
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, StatusNamesAreStable)
+{
+    EXPECT_STREQ(statusName(Status::Ok), "OK");
+    EXPECT_STREQ(statusName(Status::Busy), "BUSY");
+    EXPECT_STREQ(statusName(Status::NotFound), "NOT_FOUND");
+    EXPECT_STREQ(statusName(Status::Draining), "DRAINING");
+}
+
+} // namespace
+} // namespace mapzero::svc

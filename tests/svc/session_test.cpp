@@ -1,0 +1,159 @@
+/** @file Tests for the daemon's session table: the job state machine,
+ *  cancel semantics for queued vs running jobs, timing capture, and
+ *  terminal-record retention. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "svc/session.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+TEST(Session, StateNamesAndTerminality)
+{
+    EXPECT_STREQ(jobStateName(JobState::Queued), "QUEUED");
+    EXPECT_STREQ(jobStateName(JobState::Running), "RUNNING");
+    EXPECT_STREQ(jobStateName(JobState::Done), "DONE");
+    EXPECT_STREQ(jobStateName(JobState::Failed), "FAILED");
+    EXPECT_STREQ(jobStateName(JobState::Cancelled), "CANCELLED");
+    EXPECT_FALSE(jobStateTerminal(JobState::Queued));
+    EXPECT_FALSE(jobStateTerminal(JobState::Running));
+    EXPECT_TRUE(jobStateTerminal(JobState::Done));
+    EXPECT_TRUE(jobStateTerminal(JobState::Failed));
+    EXPECT_TRUE(jobStateTerminal(JobState::Cancelled));
+}
+
+TEST(Session, HappyPathQueuedRunningDone)
+{
+    SessionTable table;
+    const JobId id = table.add("mac", "hrea", "SA");
+    EXPECT_GT(id, 0u);
+    JobSnapshot snapshot;
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Queued);
+    EXPECT_EQ(snapshot.dfgName, "mac");
+    EXPECT_EQ(snapshot.archName, "hrea");
+    EXPECT_EQ(table.activeCount(), 1u);
+
+    EXPECT_TRUE(table.markRunning(id));
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Running);
+
+    table.finish(id, "{\"success\": true}", /*cancelled=*/false);
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Done);
+    EXPECT_EQ(snapshot.result, "{\"success\": true}");
+    EXPECT_EQ(table.activeCount(), 0u);
+    EXPECT_EQ(table.counts().done, 1);
+}
+
+TEST(Session, UnknownIdsAreRejectedEverywhere)
+{
+    SessionTable table;
+    JobSnapshot snapshot;
+    EXPECT_FALSE(table.get(404, snapshot));
+    EXPECT_FALSE(table.markRunning(404));
+    EXPECT_FALSE(table.cancel(404).has_value());
+    EXPECT_EQ(table.cancelFlag(404), nullptr);
+}
+
+TEST(Session, CancelWhileQueuedIsImmediate)
+{
+    SessionTable table;
+    const JobId id = table.add("mac", "hrea", "SA");
+    const std::optional<JobState> state = table.cancel(id);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, JobState::Cancelled);
+    // The worker that later pops this id must skip it.
+    EXPECT_FALSE(table.markRunning(id));
+    EXPECT_EQ(table.counts().cancelled, 1);
+}
+
+TEST(Session, CancelWhileRunningRaisesTheFlagOnly)
+{
+    SessionTable table;
+    const JobId id = table.add("mac", "hrea", "SA");
+    ASSERT_TRUE(table.markRunning(id));
+    const std::shared_ptr<std::atomic<bool>> flag =
+        table.cancelFlag(id);
+    ASSERT_NE(flag, nullptr);
+    EXPECT_FALSE(flag->load());
+
+    const std::optional<JobState> state = table.cancel(id);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, JobState::Running); // worker finishes the move
+    EXPECT_TRUE(flag->load());
+
+    // The worker observes the flag and completes as CANCELLED.
+    table.finish(id, "", /*cancelled=*/true);
+    JobSnapshot snapshot;
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Cancelled);
+}
+
+TEST(Session, FailCarriesTheErrorMessage)
+{
+    SessionTable table;
+    const JobId id = table.add("mac", "hrea", "SA");
+    ASSERT_TRUE(table.markRunning(id));
+    table.fail(id, "schedule infeasible");
+    JobSnapshot snapshot;
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Failed);
+    EXPECT_EQ(snapshot.result, "schedule infeasible");
+    EXPECT_EQ(table.counts().failed, 1);
+}
+
+TEST(Session, TimingsAccumulateThroughTheLifecycle)
+{
+    SessionTable table;
+    const JobId id = table.add("mac", "hrea", "SA");
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    ASSERT_TRUE(table.markRunning(id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    table.finish(id, "{}", false);
+
+    JobSnapshot snapshot;
+    ASSERT_TRUE(table.get(id, snapshot));
+    EXPECT_GT(snapshot.queuedSeconds, 0.0);
+    EXPECT_GT(snapshot.runSeconds, 0.0);
+}
+
+TEST(Session, TerminalRecordsAreEvictedOldestFirst)
+{
+    SessionTable table(/*retainTerminal=*/2);
+    const JobId a = table.add("a", "hrea", "SA");
+    const JobId b = table.add("b", "hrea", "SA");
+    const JobId c = table.add("c", "hrea", "SA");
+    for (const JobId id : {a, b, c}) {
+        ASSERT_TRUE(table.markRunning(id));
+        table.finish(id, "{}", false);
+    }
+    JobSnapshot snapshot;
+    EXPECT_FALSE(table.get(a, snapshot)); // evicted
+    EXPECT_TRUE(table.get(b, snapshot));
+    EXPECT_TRUE(table.get(c, snapshot));
+    // Lifetime counters are unaffected by eviction.
+    EXPECT_EQ(table.counts().submitted, 3);
+    EXPECT_EQ(table.counts().done, 3);
+}
+
+TEST(Session, ActiveJobsAreNeverEvicted)
+{
+    SessionTable table(/*retainTerminal=*/1);
+    const JobId live = table.add("live", "hrea", "SA");
+    for (int i = 0; i < 5; ++i) {
+        const JobId id = table.add("x", "hrea", "SA");
+        ASSERT_TRUE(table.markRunning(id));
+        table.finish(id, "{}", false);
+    }
+    JobSnapshot snapshot;
+    ASSERT_TRUE(table.get(live, snapshot));
+    EXPECT_EQ(snapshot.state, JobState::Queued);
+}
+
+} // namespace
+} // namespace mapzero::svc

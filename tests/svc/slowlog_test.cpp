@@ -1,0 +1,89 @@
+/** @file Tests for the compile slowlog ring: thresholding, bounded
+ *  capacity, newest-first ordering, and JSON rendering. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "svc/slowlog.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+SlowlogEntry
+entry(std::uint64_t id, double seconds)
+{
+    SlowlogEntry e;
+    e.jobId = id;
+    e.dfgName = "k" + std::to_string(id);
+    e.archName = "hrea";
+    e.method = "SA";
+    e.seconds = seconds;
+    e.outcome = "DONE";
+    return e;
+}
+
+TEST(Slowlog, ThresholdGatesRecording)
+{
+    Slowlog log;
+    EXPECT_FALSE(log.record(entry(1, 0.1), /*threshold=*/0.5));
+    EXPECT_TRUE(log.record(entry(2, 0.5), 0.5)); // at threshold: kept
+    EXPECT_TRUE(log.record(entry(3, 2.0), 0.5));
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Slowlog, NonPositiveThresholdDisables)
+{
+    Slowlog log;
+    EXPECT_FALSE(log.record(entry(1, 100.0), 0.0));
+    EXPECT_FALSE(log.record(entry(2, 100.0), -1.0));
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Slowlog, NewestFirstAndBounded)
+{
+    Slowlog log;
+    for (std::uint64_t i = 0; i < Slowlog::kCapacity + 10; ++i)
+        ASSERT_TRUE(log.record(entry(i, 1.0), 0.5));
+    EXPECT_EQ(log.size(), Slowlog::kCapacity);
+    const std::vector<SlowlogEntry> entries = log.entries();
+    ASSERT_EQ(entries.size(), Slowlog::kCapacity);
+    // Newest entry first; the 10 oldest were dropped.
+    EXPECT_EQ(entries.front().jobId, Slowlog::kCapacity + 9);
+    EXPECT_EQ(entries.back().jobId, 10u);
+}
+
+TEST(Slowlog, ClearEmpties)
+{
+    Slowlog log;
+    ASSERT_TRUE(log.record(entry(1, 1.0), 0.5));
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.toJson(), "[]\n");
+}
+
+TEST(Slowlog, JsonCarriesTheFields)
+{
+    Slowlog log;
+    SlowlogEntry e = entry(7, 1.25);
+    e.queuedSeconds = 0.5;
+    e.outcome = "FAILED";
+    ASSERT_TRUE(log.record(e, 0.5));
+    const std::string json = log.toJson();
+    EXPECT_NE(json.find("\"job_id\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"dfg\": \"k7\""), std::string::npos);
+    EXPECT_NE(json.find("\"arch\": \"hrea\""), std::string::npos);
+    EXPECT_NE(json.find("\"seconds\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"queued_seconds\": 0.5"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"FAILED\""),
+              std::string::npos);
+}
+
+TEST(Slowlog, GlobalIsASingleton)
+{
+    EXPECT_EQ(&Slowlog::global(), &Slowlog::global());
+}
+
+} // namespace
+} // namespace mapzero::svc

@@ -238,6 +238,61 @@ TEST(TelemetryRoutes, HandleDispatchesWithoutASocket)
               std::string::npos);
 }
 
+TEST(TelemetryRoutes, JournalTailParamIsValidatedAndClamped)
+{
+    TelemetryServer server;
+    HttpRequest req;
+    req.method = "GET";
+    req.path = "/journal";
+
+    // Garbage values: non-numeric, signed, decorated, empty.
+    for (const char *bad : {"abc", "-5", "+5", "1.5", "", "12x",
+                            " 12", "0"}) {
+        req.query["n"] = bad;
+        EXPECT_NE(server.handle(req).find("HTTP/1.0 400"),
+                  std::string::npos)
+            << "n=" << bad;
+    }
+
+    // Huge values are clamped, not rejected and not trusted: both of
+    // these answer 200 (the clamp caps the tail length internally).
+    for (const char *huge :
+         {"999999999", "99999999999999999999999999"}) {
+        req.query["n"] = huge;
+        EXPECT_NE(server.handle(req).find("HTTP/1.0 200"),
+                  std::string::npos)
+            << "n=" << huge;
+    }
+
+    req.query["n"] = "1";
+    EXPECT_NE(server.handle(req).find("HTTP/1.0 200"),
+              std::string::npos);
+}
+
+TEST(TelemetryRoutes, HealthzCarriesBuildAndDaemonFields)
+{
+    TelemetryServer server;
+    HttpRequest req;
+    req.method = "GET";
+    req.path = "/healthz";
+    const std::string response = server.handle(req);
+    EXPECT_NE(response.find("\"uptime_seconds\": "),
+              std::string::npos);
+    // Build mode and sanitizer are compile-time facts of this binary.
+#ifdef NDEBUG
+    EXPECT_NE(response.find("\"build\": \"release\""),
+              std::string::npos);
+#else
+    EXPECT_NE(response.find("\"build\": \"debug\""),
+              std::string::npos);
+#endif
+    EXPECT_NE(response.find("\"sanitizer\": \""), std::string::npos);
+    // No daemon in this process (or an idle one): state is reported
+    // either way.
+    EXPECT_NE(response.find("\"daemon_state\": \""),
+              std::string::npos);
+}
+
 // ------------------------------------------------------- live sockets
 
 /** Blocking GET against 127.0.0.1:port; returns the raw response. */

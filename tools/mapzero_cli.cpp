@@ -15,6 +15,12 @@
  *                        [--threshold 0.05]
  *   mapzero_cli report   --metrics RUNREPORT.json
  *   mapzero_cli list
+ *   mapzero_cli serve    [--port 0] [--bind 127.0.0.1] [--workers N]
+ *                        [--queue-depth Q] [--slowlog-ms MS]
+ *   mapzero_cli submit   --port P --kernel mac --arch hrea
+ *                        [--method sa] [--time 10] [--wait]
+ *   mapzero_cli status|fetch|cancel --port P --id JOB
+ *   mapzero_cli drain    --port P
  *
  * Kernels come from the built-in Table-2 set, or from a DOT file via
  * --kernel-dot <path> (dialect of dfg/dot.hpp). Fabrics: hrea,
@@ -65,6 +71,8 @@
 #include "mapper/router.hpp"
 #include "mapper/visualize.hpp"
 #include "sim/fabric_sim.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
 #include "svc/telemetry_server.hpp"
 
 namespace {
@@ -463,6 +471,195 @@ cmdSpatial(const Args &args)
     return 0;
 }
 
+// ------------------------------------------------------------- serving
+
+int
+cmdServe(const Args &args)
+{
+    svc::DaemonOptions options;
+    options.port =
+        static_cast<int>(std::atoll(args.get("port", "0").c_str()));
+    options.bindAddress = args.get("bind", "127.0.0.1");
+    options.workers = static_cast<std::int32_t>(
+        std::atoll(args.get("workers", "0").c_str()));
+    const long long depth =
+        std::atoll(args.get("queue-depth", "64").c_str());
+    if (depth < 1)
+        fatal("--queue-depth must be >= 1");
+    options.queueCapacity = static_cast<std::size_t>(depth);
+    options.slowlogThresholdSeconds =
+        std::atof(args.get("slowlog-ms", "500").c_str()) / 1000.0;
+
+    svc::Daemon daemon;
+    if (!daemon.start(options))
+        return 1;
+    // Machine-parseable endpoint line (the CI smoke greps this).
+    std::printf("mapzerod: listening on %s:%d\n",
+                options.bindAddress.c_str(), daemon.port());
+    std::fflush(stdout);
+    daemon.installSignalHandlers();
+    const std::int64_t jobs = daemon.run();
+    std::printf("mapzerod: exit after %lld terminal jobs\n",
+                static_cast<long long>(jobs));
+    return 0;
+}
+
+/** --port is mandatory for every client subcommand. */
+int
+clientPort(const Args &args)
+{
+    const std::string port = args.get("port", "");
+    if (port.empty())
+        fatal("--port is required (the mapzerod endpoint)");
+    const long long parsed = std::atoll(port.c_str());
+    if (parsed < 1 || parsed > 65535)
+        fatal("--port must be in [1, 65535]");
+    return static_cast<int>(parsed);
+}
+
+svc::Client
+clientFromArgs(const Args &args)
+{
+    return svc::Client(clientPort(args),
+                       args.get("host", "127.0.0.1"));
+}
+
+std::uint64_t
+jobIdFromArgs(const Args &args)
+{
+    const std::string id = args.get("id", "");
+    if (id.empty())
+        fatal("--id is required (a job id from `submit`)");
+    return static_cast<std::uint64_t>(std::atoll(id.c_str()));
+}
+
+/** Print one FETCH result blob; exit code mirrors the job state. */
+int
+printFetched(const svc::JobResult &result)
+{
+    if (result.state == svc::JobState::Failed) {
+        std::fprintf(stderr, "job failed: %s\n", result.blob.c_str());
+        return 1;
+    }
+    std::printf("%s\n", result.blob.c_str());
+    return result.state == svc::JobState::Done ? 0 : 1;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    svc::SubmitRequest request;
+    request.dfgDot = dfg::toDot(kernelFromArgs(args));
+    request.archName = args.get("arch", "hrea");
+    request.method = static_cast<std::uint8_t>(
+        methodByName(args.get("method", "sa")));
+    request.timeLimitSeconds =
+        std::atof(args.get("time", "10").c_str());
+    request.seed = static_cast<std::uint64_t>(
+        std::atoll(args.get("seed", "1").c_str()));
+    request.restartsPerIi = static_cast<std::uint32_t>(
+        std::atoll(args.get("restarts", "0").c_str()));
+    request.jobs = static_cast<std::uint32_t>(
+        std::atoll(args.get("jobs", "1").c_str()));
+    request.evalCache = !args.flag("no-eval-cache");
+
+    std::uint64_t id = 0;
+    std::uint32_t queue_depth = 0;
+    const svc::Status status = client.submit(request, id, queue_depth);
+    if (status == svc::Status::Busy) {
+        std::fprintf(stderr, "rejected: %s\n",
+                     client.lastError().c_str());
+        return 4; // distinct code so scripts can retry with backoff
+    }
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return 1;
+    }
+    std::printf("job %llu queued (queue depth %u)\n",
+                static_cast<unsigned long long>(id), queue_depth);
+    if (!args.flag("wait"))
+        return 0;
+
+    const double poll =
+        std::atof(args.get("poll-ms", "50").c_str()) / 1000.0;
+    // Budget: the job's own time limit plus slack for queueing.
+    const double wait_budget = request.timeLimitSeconds * 4.0 + 30.0;
+    if (!client.waitForJob(id, wait_budget, poll)) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return 1;
+    }
+    svc::JobResult result;
+    if (client.fetch(id, result) != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return 1;
+    }
+    return printFetched(result);
+}
+
+int
+cmdStatus(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    svc::JobStatus out;
+    const svc::Status status = client.status(jobIdFromArgs(args), out);
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return status == svc::Status::NotFound ? 3 : 1;
+    }
+    std::printf("%s queued %.3fs run %.3fs\n",
+                svc::jobStateName(out.state), out.queuedSeconds,
+                out.runSeconds);
+    return 0;
+}
+
+int
+cmdFetch(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    svc::JobResult result;
+    const svc::Status status =
+        client.fetch(jobIdFromArgs(args), result);
+    if (status == svc::Status::NotReady) {
+        std::fprintf(stderr, "not ready: job is %s\n",
+                     svc::jobStateName(result.state));
+        return 2;
+    }
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return status == svc::Status::NotFound ? 3 : 1;
+    }
+    return printFetched(result);
+}
+
+int
+cmdCancel(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    svc::JobState state = svc::JobState::Queued;
+    const svc::Status status =
+        client.cancel(jobIdFromArgs(args), state);
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return status == svc::Status::NotFound ? 3 : 1;
+    }
+    std::printf("job is now %s\n", svc::jobStateName(state));
+    return 0;
+}
+
+int
+cmdDrain(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    const svc::Status status = client.drain();
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return 1;
+    }
+    std::printf("drain requested\n");
+    return 0;
+}
+
 namespace {
 
 LogLevel
@@ -494,9 +691,22 @@ dispatch(const Args &args)
         return cmdSpatial(args);
     if (args.command == "report")
         return cmdReport(args);
+    if (args.command == "serve")
+        return cmdServe(args);
+    if (args.command == "submit")
+        return cmdSubmit(args);
+    if (args.command == "status")
+        return cmdStatus(args);
+    if (args.command == "fetch")
+        return cmdFetch(args);
+    if (args.command == "cancel")
+        return cmdCancel(args);
+    if (args.command == "drain")
+        return cmdDrain(args);
     std::printf(
         "usage: mapzero_cli "
-        "<list|analyze|map|train|simulate|spatial|report> "
+        "<list|analyze|map|train|simulate|spatial|report|serve|"
+        "submit|status|fetch|cancel|drain> "
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
@@ -514,6 +724,18 @@ dispatch(const Args &args)
         "  report   --compare BASELINE.json CANDIDATE.json\n"
         "           [--threshold 0.05] (exit 3 on regression)\n"
         "  report   --metrics RUNREPORT.json\n"
+        "  serve    [--port P] [--bind ADDR] [--workers N]\n"
+        "           [--queue-depth Q] [--slowlog-ms MS]\n"
+        "           (0 = ephemeral port, printed on stdout;\n"
+        "           SIGTERM/SIGINT drain gracefully)\n"
+        "  submit   --port P [--host H] --kernel NAME|--kernel-dot F\n"
+        "           [--arch FABRIC] [--method M] [--time S] [--seed S]\n"
+        "           [--restarts R] [--no-eval-cache] [--wait\n"
+        "           [--poll-ms MS]] (exit 4 = server busy)\n"
+        "  status   --port P --id JOB\n"
+        "  fetch    --port P --id JOB (exit 2 = not ready yet)\n"
+        "  cancel   --port P --id JOB\n"
+        "  drain    --port P\n"
         "observability (any command): [--trace-out FILE]\n"
         "           [--metrics-out FILE] [--journal-out FILE]\n"
         "           [--log-level LEVEL] [--stats-port PORT]\n"
