@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Search-core throughput benchmark (infrastructure tracking, not a
+ * paper figure): simulations/sec of the arena-allocated, virtual-loss
+ * batched MCTS (rl::Mcts) against the pointer-tree baseline it
+ * replaced. The baseline is embedded here file-locally — a faithful
+ * copy of the old per-node-unique_ptr tree with one network call per
+ * leaf and a full router search on every edge traversal — so the
+ * comparison survives in CI after the old engine is gone.
+ *
+ * Correctness guard: with leafBatch=1 the arena engine must reproduce
+ * the baseline's move sequence action for action (same tree policy,
+ * same routes); the bench replays one episode per kernel under both
+ * engines and compares traces before timing anything.
+ *
+ * Publishes "bench.mcts.*" gauges for the standard run report. With
+ * --check the binary exits non-zero unless the arena engine clears 3x
+ * the baseline's simulations/sec (the CI floor; the ISSUE target is
+ * 5x) or any trace diverges.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "mapper/environment.hpp"
+#include "rl/evaluator.hpp"
+#include "rl/features.hpp"
+#include "rl/mcts.hpp"
+#include "rl/network.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/**
+ * The pre-arena search engine, verbatim minus metrics/journal hooks:
+ * heap-allocated tree nodes, edges in per-node vectors, one
+ * Evaluator::evaluate call per leaf, and env.step() re-running the
+ * full router search on every traversal. Produces rl::MctsMoveResult
+ * so the episode driver below serves both engines.
+ */
+class PointerTreeMcts
+{
+  public:
+    PointerTreeMcts(rl::Evaluator &evaluator, rl::MctsConfig config)
+        : eval_(&evaluator), config_(config)
+    {}
+
+    rl::MctsMoveResult
+    runFromCurrent(mapper::MapEnv &env, Rng &rng)
+    {
+        (void)rng; // noise-free in this bench
+        if (env.done())
+            panic("MCTS from a finished episode");
+
+        TreeNode root;
+        rl::MctsMoveResult result;
+        result.pi.assign(
+            static_cast<std::size_t>(eval_->network().peCount()), 0.0);
+
+        std::vector<std::int32_t> solved_path;
+        for (std::int32_t sim = 0; sim < config_.expansionsPerMove;
+             ++sim) {
+            ++result.simulations;
+            if (simulate(root, env, solved_path, result)) {
+                result.solvedSuffix = solved_path;
+                break;
+            }
+        }
+
+        std::int32_t total_visits = 0;
+        for (const auto &edge : root.edges)
+            total_visits += edge.visits;
+        if (total_visits == 0) {
+            double best_prior = -1.0;
+            for (const auto &edge : root.edges) {
+                result.pi[static_cast<std::size_t>(edge.action)] =
+                    edge.prior;
+                if (edge.prior > best_prior) {
+                    best_prior = edge.prior;
+                    result.bestAction = edge.action;
+                }
+            }
+            return result;
+        }
+        std::int32_t best_visits = -1;
+        double weighted_value = 0.0;
+        for (const auto &edge : root.edges) {
+            result.pi[static_cast<std::size_t>(edge.action)] =
+                static_cast<double>(edge.visits) /
+                static_cast<double>(total_visits);
+            weighted_value += edge.meanValue() *
+                              static_cast<double>(edge.visits) /
+                              static_cast<double>(total_visits);
+            if (edge.visits > best_visits) {
+                best_visits = edge.visits;
+                result.bestAction = edge.action;
+            }
+        }
+        result.rootValue = weighted_value * config_.valueScale;
+        return result;
+    }
+
+  private:
+    struct TreeNode {
+        struct Edge {
+            std::int32_t action = -1;
+            double prior = 0.0;
+            std::int32_t visits = 0;
+            double totalValue = 0.0;
+            std::unique_ptr<TreeNode> child;
+
+            double
+            meanValue() const
+            {
+                return visits > 0 ? totalValue / visits : 0.0;
+            }
+        };
+
+        bool expanded = false;
+        bool terminal = false;
+        double terminalValue = 0.0;
+        std::int32_t totalVisits = 0;
+        std::vector<Edge> edges;
+    };
+
+    bool
+    simulate(TreeNode &root, mapper::MapEnv &env,
+             std::vector<std::int32_t> &solved_path,
+             rl::MctsMoveResult &result)
+    {
+        struct PathEntry {
+            TreeNode *parent;
+            TreeNode::Edge *edge;
+            double reward;
+        };
+        std::vector<PathEntry> path;
+        std::vector<std::int32_t> actions;
+        TreeNode *node = &root;
+        double leaf_value = 0.0;
+        bool solved = false;
+
+        while (true) {
+            if (env.done()) {
+                node->terminal = true;
+                node->terminalValue =
+                    env.success() ? config_.successBonus : 0.0;
+                leaf_value = node->terminalValue;
+                if (env.success()) {
+                    solved = true;
+                    solved_path = actions;
+                }
+                break;
+            }
+            if (env.legalActionCount() == 0) {
+                env.noteDeadEnd();
+                node->terminal = true;
+                node->terminalValue = -config_.deadEndPenalty;
+                leaf_value = node->terminalValue;
+                break;
+            }
+
+            if (!node->expanded) {
+                const rl::Observation &obs = obsBuilder_.refresh(env);
+                const rl::MapZeroNet::Output out = eval_->evaluate(obs);
+                ++result.netCalls;
+                ++result.netLeaves;
+                leaf_value = static_cast<double>(out.value.item()) /
+                             config_.valueScale;
+                for (std::int32_t a = 0;
+                     a <
+                     static_cast<std::int32_t>(obs.actionMask.size());
+                     ++a) {
+                    if (!obs.actionMask[static_cast<std::size_t>(a)])
+                        continue;
+                    TreeNode::Edge edge;
+                    edge.action = a;
+                    edge.prior = std::exp(static_cast<double>(
+                        out.logPolicy
+                            .tensor()[static_cast<std::size_t>(a)]));
+                    node->edges.push_back(std::move(edge));
+                }
+                node->expanded = true;
+                break;
+            }
+
+            TreeNode::Edge *best = nullptr;
+            double best_score =
+                -std::numeric_limits<double>::infinity();
+            const double sqrt_total = std::sqrt(
+                static_cast<double>(node->totalVisits + 1));
+            for (auto &edge : node->edges) {
+                const double q = edge.meanValue() * config_.valueScale;
+                const double u = config_.cExplore * edge.prior *
+                                 sqrt_total /
+                                 (1.0 + static_cast<double>(edge.visits));
+                const double score = q + u;
+                if (score > best_score) {
+                    best_score = score;
+                    best = &edge;
+                }
+            }
+            if (best == nullptr)
+                panic("pointer-tree MCTS: expanded node with no edges");
+
+            const mapper::StepOutcome out = env.step(best->action);
+            actions.push_back(best->action);
+            path.push_back(PathEntry{node, best, out.reward});
+            if (!best->child)
+                best->child = std::make_unique<TreeNode>();
+            node = best->child.get();
+        }
+
+        double suffix = leaf_value;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+            suffix += it->reward;
+            it->edge->visits += 1;
+            it->edge->totalValue += suffix;
+            it->parent->totalVisits += 1;
+            if (it->parent != &root)
+                result.interiorVisits += 1;
+        }
+        result.maxDepth = std::max(
+            result.maxDepth, static_cast<std::int32_t>(actions.size()));
+
+        for (std::size_t i = 0; i < actions.size(); ++i)
+            env.undo();
+        return solved;
+    }
+
+    rl::Evaluator *eval_;
+    rl::MctsConfig config_;
+    rl::ObservationBuilder obsBuilder_;
+};
+
+/** Per-measurement accumulator. */
+struct EpisodeStats {
+    std::int64_t sims = 0;
+    std::int64_t moves = 0;
+    std::int64_t episodes = 0;
+    std::int64_t netCalls = 0;
+    std::int64_t netLeaves = 0;
+    std::int32_t maxDepth = 0;
+};
+
+/**
+ * One restart episode: search a move, play the most-visited action,
+ * repeat until the episode ends (the same loop mctsSearch runs).
+ * Appends the played actions to @p trace when provided.
+ */
+template <typename Engine>
+void
+runEpisode(Engine &engine, mapper::MapEnv &env, Rng &rng,
+           EpisodeStats &stats, std::vector<std::int32_t> *trace)
+{
+    env.reset();
+    ++stats.episodes;
+    while (!env.done()) {
+        if (env.legalActionCount() == 0) {
+            env.noteDeadEnd();
+            break;
+        }
+        const rl::MctsMoveResult move = engine.runFromCurrent(env, rng);
+        stats.sims += move.simulations;
+        stats.netCalls += move.netCalls;
+        stats.netLeaves += move.netLeaves;
+        stats.maxDepth = std::max(stats.maxDepth, move.maxDepth);
+        ++stats.moves;
+        if (move.solvedSuffix) {
+            for (const std::int32_t a : *move.solvedSuffix) {
+                env.step(a);
+                if (trace != nullptr)
+                    trace->push_back(a);
+            }
+            break;
+        }
+        if (move.bestAction < 0)
+            break;
+        env.step(move.bestAction);
+        if (trace != nullptr)
+            trace->push_back(move.bestAction);
+    }
+}
+
+/** A kernel environment with its DFG kept alive alongside. */
+struct Workload {
+    std::unique_ptr<dfg::Dfg> dfg;
+    std::unique_ptr<mapper::MapEnv> env;
+};
+
+/** Simulations/sec of @p engine cycling episodes over @p work. */
+template <typename Engine>
+double
+simsPerSecond(Engine &engine, std::vector<Workload> &work,
+              double seconds, EpisodeStats &stats)
+{
+    Rng rng(7);
+    // Warm-up: fault in code paths, fill caches, grow the arena.
+    for (auto &w : work) {
+        EpisodeStats warm;
+        runEpisode(engine, *w.env, rng, warm, nullptr);
+    }
+    const Timer timer;
+    std::size_t next = 0;
+    double elapsed = 0.0;
+    do {
+        runEpisode(engine, *work[next].env, rng, stats, nullptr);
+        next = (next + 1) % work.size();
+        elapsed = timer.seconds();
+    } while (elapsed < seconds);
+    return static_cast<double>(stats.sims) / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    double seconds = 0.6;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+            seconds = std::atof(argv[++i]);
+    }
+
+    bench::printBanner(
+        "bench_mcts: search-core throughput (arena vs pointer tree)");
+
+    // hycube: the multi-hop crossbar fabric, where every placement
+    // step pays a full wire-level Dijkstra in the baseline — the cost
+    // the memoized replay and cached frontiers eliminate.
+    const cgra::Architecture arch = cgra::Architecture::hycube();
+    Rng net_rng(12345);
+    const rl::MapZeroNet net(arch.peCount(), rl::NetworkConfig{},
+                             net_rng);
+
+    std::vector<Workload> work;
+    for (const char *kernel : {"conv2", "matmul", "conv3"}) {
+        Workload w;
+        w.dfg = std::make_unique<dfg::Dfg>(dfg::buildKernel(kernel));
+        const std::int32_t mii = dfg::minimumIi(
+            *w.dfg, arch.peCount(), arch.memoryIssueCapacity());
+        w.env = std::make_unique<mapper::MapEnv>(*w.dfg, arch, mii);
+        work.push_back(std::move(w));
+    }
+
+    rl::MctsConfig config;
+    config.expansionsPerMove = 64;
+    config.noiseFraction = 0.0;
+
+    // --- Correctness guard: leafBatch=1 must replay the baseline ----
+    bool traces_match = true;
+    {
+        rl::DirectEvaluator eval_a(net,
+                                   std::make_shared<rl::EvalCache>());
+        rl::DirectEvaluator eval_b(net,
+                                   std::make_shared<rl::EvalCache>());
+        PointerTreeMcts baseline(eval_a, config);
+        rl::MctsConfig sequential = config;
+        sequential.leafBatch = 1;
+        rl::Mcts arena(eval_b, sequential);
+        for (auto &w : work) {
+            EpisodeStats ignore;
+            std::vector<std::int32_t> trace_base, trace_arena;
+            Rng rng_a(7), rng_b(7);
+            runEpisode(baseline, *w.env, rng_a, ignore, &trace_base);
+            runEpisode(arena, *w.env, rng_b, ignore, &trace_arena);
+            if (trace_base != trace_arena) {
+                traces_match = false;
+                std::fprintf(stderr,
+                             "trace divergence on %s: baseline %zu "
+                             "moves, arena(leafBatch=1) %zu moves\n",
+                             w.env->dfg().name().c_str(),
+                             trace_base.size(), trace_arena.size());
+            }
+        }
+    }
+
+    // --- Throughput: baseline vs arena at the production leafBatch --
+    rl::DirectEvaluator eval_legacy(net,
+                                    std::make_shared<rl::EvalCache>());
+    PointerTreeMcts legacy(eval_legacy, config);
+    EpisodeStats legacy_stats;
+    const double legacy_sps =
+        simsPerSecond(legacy, work, seconds, legacy_stats);
+
+    rl::DirectEvaluator eval_arena(net,
+                                   std::make_shared<rl::EvalCache>());
+    rl::Mcts arena(eval_arena, config);
+    EpisodeStats arena_stats;
+    const double arena_sps =
+        simsPerSecond(arena, work, seconds, arena_stats);
+
+    const double speedup = legacy_sps > 0.0 ? arena_sps / legacy_sps
+                                            : 0.0;
+    const double fill =
+        arena_stats.netCalls > 0
+            ? static_cast<double>(arena_stats.netLeaves) /
+                  static_cast<double>(arena_stats.netCalls)
+            : 0.0;
+    const rl::Mcts::ArenaStats astats = arena.arenaStats();
+
+    metrics().gauge("bench.mcts.legacy_sims_per_sec").set(legacy_sps);
+    metrics().gauge("bench.mcts.arena_sims_per_sec").set(arena_sps);
+    metrics().gauge("bench.mcts.speedup").set(speedup);
+    metrics().gauge("bench.mcts.batch_fill").set(fill);
+
+    bench::printRow({"engine", "sims/s", "speedup"}, 26);
+    bench::printRow({"pointer tree (seed)",
+                     bench::fmt("%.0f", legacy_sps), "1.00x"},
+                    26);
+    bench::printRow({"arena + batched waves",
+                     bench::fmt("%.0f", arena_sps),
+                     bench::fmt("%.2fx", speedup)},
+                    26);
+    std::printf("single-restart speedup: %.2fx (target 5x, CI floor "
+                "3x); leaf batch fill %.1f leaves/net call "
+                "(leafBatch=%d)\n",
+                speedup, fill, config.leafBatch);
+    std::printf("episodes: legacy %lld (%lld moves, depth<=%d, %lld "
+                "sims, %lld evals), arena %lld (%lld moves, depth<=%d, "
+                "%lld sims, %lld evals)\n",
+                static_cast<long long>(legacy_stats.episodes),
+                static_cast<long long>(legacy_stats.moves),
+                legacy_stats.maxDepth,
+                static_cast<long long>(legacy_stats.sims),
+                static_cast<long long>(legacy_stats.netLeaves),
+                static_cast<long long>(arena_stats.episodes),
+                static_cast<long long>(arena_stats.moves),
+                arena_stats.maxDepth,
+                static_cast<long long>(arena_stats.sims),
+                static_cast<long long>(arena_stats.netLeaves));
+    std::printf("arena: %zu node cap, %zu edge cap, %zu memo cap, "
+                "%zu bytes; leafBatch=1 trace check: %s\n",
+                astats.nodeCapacity, astats.edgeCapacity,
+                astats.memoCapacity, astats.bytes,
+                traces_match ? "identical" : "DIVERGED");
+
+    if (check && !traces_match) {
+        std::fprintf(stderr, "FAIL: arena search with leafBatch=1 does "
+                             "not reproduce the pointer-tree "
+                             "baseline\n");
+        return 1;
+    }
+    if (check && speedup < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: arena search is only %.2fx the pointer-tree "
+                     "baseline (floor 3x)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

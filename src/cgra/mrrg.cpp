@@ -1,5 +1,7 @@
 #include "cgra/mrrg.hpp"
 
+#include <queue>
+
 #include "common/log.hpp"
 
 namespace mapzero::cgra {
@@ -28,6 +30,26 @@ Mrrg::Mrrg(const Architecture &arch, std::int32_t ii)
         linksOut_[static_cast<std::size_t>(src)].push_back(l);
         linksIn_[static_cast<std::size_t>(dst)].push_back(l);
         linkLookup_.emplace(pairKey(src, dst), l);
+    }
+
+    const auto n = static_cast<std::size_t>(arch.peCount());
+    hopDist_.assign(n * n, -1);
+    for (PeId s = 0; s < arch.peCount(); ++s) {
+        std::int32_t *row = hopDist_.data() + static_cast<std::size_t>(s) * n;
+        row[s] = 0;
+        std::queue<PeId> q;
+        q.push(s);
+        while (!q.empty()) {
+            const PeId u = q.front();
+            q.pop();
+            for (LinkId l : linksOut_[static_cast<std::size_t>(u)]) {
+                const PeId v = links_[static_cast<std::size_t>(l)].second;
+                if (row[v] < 0) {
+                    row[v] = row[u] + 1;
+                    q.push(v);
+                }
+            }
+        }
     }
 }
 

@@ -94,6 +94,20 @@ class Mrrg
         return linksIn_[static_cast<std::size_t>(pe)];
     }
 
+    /**
+     * Static link-hop distance src -> dst over the fabric graph, or -1
+     * when unreachable. Computed once per Mrrg (all-pairs BFS), it is a
+     * lower bound on any route's hop count and on the cycles a
+     * single-hop route needs, which is what the router's admissible
+     * pruning and the agent's routability filter consume.
+     */
+    std::int32_t hopDistance(PeId src, PeId dst) const
+    {
+        return hopDist_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(peCount()) +
+                        static_cast<std::size_t>(dst)];
+    }
+
   private:
     const Architecture *arch_;
     std::int32_t ii_;
@@ -101,6 +115,8 @@ class Mrrg
     std::vector<std::vector<LinkId>> linksOut_;
     std::vector<std::vector<LinkId>> linksIn_;
     std::unordered_map<std::int64_t, LinkId> linkLookup_;
+    /** Row-major peCount x peCount link-hop distances (-1: unreachable). */
+    std::vector<std::int32_t> hopDist_;
 };
 
 } // namespace mapzero::cgra

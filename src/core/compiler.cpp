@@ -15,6 +15,7 @@
 #include "core/config.hpp"
 #include "dfg/schedule.hpp"
 #include "rl/evaluator.hpp"
+#include "rl/mcts.hpp"
 #include "svc/telemetry_server.hpp"
 
 namespace mapzero {
@@ -138,6 +139,27 @@ Compiler::minimumIi(const dfg::Dfg &dfg, const cgra::Architecture &arch)
                           arch.memoryIssueCapacity());
 }
 
+namespace {
+
+/**
+ * The one place the portfolio's MapZero engines get their agent
+ * config: compilePortfolio sizes the shared EvalBatcher from the same
+ * object, so the batch cap always covers the virtual-loss wave the
+ * engines actually run with (a leafBatch larger than the cap would
+ * silently split every wave into multiple forward passes).
+ */
+rl::AgentConfig
+mapzeroAgentConfig(Method method, std::uint64_t seed)
+{
+    rl::AgentConfig cfg;
+    cfg.useMcts = method == Method::MapZero;
+    cfg.mcts.expansionsPerMove = config::kBenchMctsExpansions;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
 std::unique_ptr<baselines::MapperBase>
 Compiler::makeEngine(Method method, std::uint64_t seed,
                      std::shared_ptr<rl::Evaluator> evaluator) const
@@ -148,12 +170,9 @@ Compiler::makeEngine(Method method, std::uint64_t seed,
         if (!net_)
             fatal("MapZero methods need setNetwork() with a pre-trained "
                   "network (see core/agent_cache.hpp)");
-        rl::AgentConfig cfg;
-        cfg.useMcts = method == Method::MapZero;
-        cfg.mcts.expansionsPerMove = config::kBenchMctsExpansions;
-        cfg.seed = seed;
-        return std::make_unique<rl::MapZeroAgent>(net_, cfg,
-                                                  std::move(evaluator));
+        return std::make_unique<rl::MapZeroAgent>(
+            net_, mapzeroAgentConfig(method, seed),
+            std::move(evaluator));
       }
       case Method::Ilp:
         return std::make_unique<baselines::ExactMapper>();
@@ -336,8 +355,17 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                         ? options.evalCacheInstance
                         : std::make_shared<rl::EvalCache>();
         if (jobs > 1) {
+            // Batch cap: enough for one leaf per restart, and never
+            // below a single search's virtual-loss wave so an MCTS
+            // restart can fill a forward pass by itself. Read from the
+            // config the engines are actually built with (below).
+            const auto wave = static_cast<std::size_t>(
+                std::max<std::int32_t>(
+                    1, mapzeroAgentConfig(method, options.seed)
+                           .mcts.leafBatch));
             batcher = std::make_shared<rl::EvalBatcher>(
-                *net_, static_cast<std::size_t>(restarts),
+                *net_,
+                std::max(static_cast<std::size_t>(restarts), wave),
                 std::move(cache));
             shared_eval = batcher;
         } else if (cache) {

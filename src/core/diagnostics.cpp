@@ -100,6 +100,10 @@ struct MctsAgg {
     double valueMax = -std::numeric_limits<double>::infinity();
     double shareSum = 0.0;
     double supportSum = 0.0;
+    std::int64_t netCalls = 0;
+    std::int64_t netLeaves = 0;
+    std::int64_t treeNodesMax = 0;
+    std::int64_t arenaBytesMax = 0;
 };
 
 /** Whole-run trainer summary. */
@@ -181,6 +185,12 @@ absorbMctsMove(MctsAgg &agg, const JsonValue &record)
     agg.valueMax = std::max(agg.valueMax, value);
     agg.shareSum += record.numberOr("best_visit_share", 0.0);
     agg.supportSum += record.numberOr("support", 0.0);
+    agg.netCalls += intOr(record, "net_calls", 0);
+    agg.netLeaves += intOr(record, "net_leaves", 0);
+    agg.treeNodesMax =
+        std::max(agg.treeNodesMax, intOr(record, "tree_nodes", 0));
+    agg.arenaBytesMax =
+        std::max(agg.arenaBytesMax, intOr(record, "arena_bytes", 0));
 }
 
 void
@@ -355,6 +365,15 @@ renderMcts(std::ostringstream &os,
            << fmt(agg.supportSum / n) << "; max depth "
            << agg.maxDepth << "; " << agg.solved << "/" << agg.moves
            << " solved roots\n";
+        if (agg.netCalls > 0) {
+            os << "  batching: "
+               << fmt(static_cast<double>(agg.netLeaves) /
+                      static_cast<double>(agg.netCalls))
+               << " leaves/net call (" << agg.netCalls
+               << " calls); tree peak " << agg.treeNodesMax
+               << " nodes, arena peak " << agg.arenaBytesMax
+               << " bytes\n";
+        }
         if (agg.entropySum / n < 0.05)
             os << "  warning: near-zero root entropy - the policy "
                   "has collapsed to one action\n";

@@ -88,6 +88,7 @@ MapEnv::reset()
     history_.clear();
     rewardHistory_.clear();
     failHistory_.clear();
+    ++stateEpoch_;
 }
 
 dfg::NodeId
@@ -114,41 +115,42 @@ MapEnv::success() const
     return state_->complete();
 }
 
+void
+MapEnv::refreshMaskCache() const
+{
+    if (maskEpoch_ == stateEpoch_)
+        return;
+    maskCache_.assign(static_cast<std::size_t>(arch_->peCount()), false);
+    legalCount_ = 0;
+    if (!done()) {
+        const dfg::NodeId node = currentNode();
+        for (cgra::PeId pe = 0; pe < arch_->peCount(); ++pe) {
+            const bool legal = state_->placementLegal(node, pe);
+            maskCache_[static_cast<std::size_t>(pe)] = legal;
+            legalCount_ += legal ? 1 : 0;
+        }
+    }
+    maskEpoch_ = stateEpoch_;
+}
+
 std::vector<bool>
 MapEnv::actionMask() const
 {
-    std::vector<bool> mask(static_cast<std::size_t>(arch_->peCount()),
-                           false);
-    if (done())
-        return mask;
-    const dfg::NodeId node = currentNode();
-    for (cgra::PeId pe = 0; pe < arch_->peCount(); ++pe)
-        mask[static_cast<std::size_t>(pe)] =
-            state_->placementLegal(node, pe);
-    return mask;
+    refreshMaskCache();
+    return maskCache_;
 }
 
 std::int32_t
 MapEnv::legalActionCount() const
 {
-    std::int32_t n = 0;
-    for (bool legal : actionMask())
-        n += legal ? 1 : 0;
-    return n;
+    refreshMaskCache();
+    return legalCount_;
 }
 
 StepOutcome
-MapEnv::step(cgra::PeId pe)
+MapEnv::finishStep(dfg::NodeId node, cgra::PeId pe,
+                   const RouteResult &routes)
 {
-    if (done())
-        panic("step() on a finished episode");
-    const dfg::NodeId node = currentNode();
-    if (!state_->placementLegal(node, pe))
-        panic(cat("step(): illegal action PE ", pe, " for node ", node));
-
-    state_->commitPlacement(node, pe);
-    const RouteResult routes = router_->routeIncidentEdges(node);
-
     StepOutcome out;
     out.hops = routes.totalHops;
     out.routedOk = routes.allRouted();
@@ -162,6 +164,7 @@ MapEnv::step(cgra::PeId pe)
     failHistory_.push_back(!routes.allRouted());
     totalReward_ += out.reward;
     ++stepIndex_;
+    ++stateEpoch_;
     if (!routes.allRouted()) {
         failed_ = true;
         failureStats_.recordRouteFailure(
@@ -173,6 +176,97 @@ MapEnv::step(cgra::PeId pe)
     // the paper's termination condition "no available PE exists".
     out.done = done();
     return out;
+}
+
+StepOutcome
+MapEnv::step(cgra::PeId pe)
+{
+    if (done())
+        panic("step() on a finished episode");
+    const dfg::NodeId node = currentNode();
+    if (!state_->placementLegal(node, pe))
+        panic(cat("step(): illegal action PE ", pe, " for node ", node));
+
+    state_->commitPlacement(node, pe);
+    const RouteResult routes = router_->routeIncidentEdges(node);
+    return finishStep(node, pe, routes);
+}
+
+StepOutcome
+MapEnv::step(cgra::PeId pe, StepRecord &record)
+{
+    if (done())
+        panic("step() on a finished episode");
+    const dfg::NodeId node = currentNode();
+    if (!state_->placementLegal(node, pe))
+        panic(cat("step(): illegal action PE ", pe, " for node ", node));
+
+    record.routes.clear();
+    state_->commitPlacement(node, pe);
+    const RouteResult routes =
+        router_->routeIncidentEdges(node, &record.routes);
+    record.outcome = finishStep(node, pe, routes);
+    return record.outcome;
+}
+
+StepOutcome
+MapEnv::stepReplay(cgra::PeId pe, const StepRecord &record)
+{
+    if (routerCrossCheck()) {
+        // Debug mode: re-run the full step and verify the record matches
+        // bit for bit, validating the "state is a pure function of the
+        // action prefix" assumption the replay fast path relies on.
+        StepRecord fresh;
+        const StepOutcome out = step(pe, fresh);
+        if (fresh.outcome.reward != record.outcome.reward ||
+            fresh.outcome.routedOk != record.outcome.routedOk ||
+            fresh.outcome.hops != record.outcome.hops ||
+            fresh.routes.size() != record.routes.size())
+            panic(cat("stepReplay cross-check: outcome diverged for PE ",
+                      pe));
+        for (std::size_t i = 0; i < fresh.routes.size(); ++i)
+            if (fresh.routes[i].first != record.routes[i].first ||
+                fresh.routes[i].second != record.routes[i].second)
+                panic(cat("stepReplay cross-check: route diverged for "
+                          "edge ",
+                          record.routes[i].first));
+        return out;
+    }
+
+    if (done())
+        panic("stepReplay() on a finished episode");
+    const dfg::NodeId node = currentNode();
+    if (!state_->placementLegal(node, pe))
+        panic(cat("stepReplay(): illegal action PE ", pe, " for node ",
+                  node));
+
+    state_->commitPlacement(node, pe);
+    for (const auto &[edge_index, route] : record.routes)
+        state_->commitRoute(edge_index, route);
+
+    history_.push_back(node);
+    rewardHistory_.push_back(record.outcome.reward);
+    failHistory_.push_back(!record.outcome.routedOk);
+    totalReward_ += record.outcome.reward;
+    ++stepIndex_;
+    ++stateEpoch_;
+    // No failureStats_ recording here: a replay re-applies a step whose
+    // failure was attributed when first recorded; traversal-frequency
+    // accounting is the searcher's via noteRouteFailure().
+    failed_ = failed_ || !record.outcome.routedOk;
+    StepOutcome out = record.outcome;
+    out.done = done();
+    return out;
+}
+
+void
+MapEnv::noteRouteFailure(std::int32_t stepIndex, cgra::PeId pe)
+{
+    const dfg::NodeId node =
+        schedule().order[static_cast<std::size_t>(stepIndex)];
+    failureStats_.recordRouteFailure(
+        node, pe,
+        schedule().moduloTime[static_cast<std::size_t>(node)]);
 }
 
 void
@@ -209,6 +303,7 @@ MapEnv::undo()
         totalReward_ += r;
     failHistory_.pop_back();
     --stepIndex_;
+    ++stateEpoch_;
     // Recompute the failure latch from the remaining history.
     failed_ = false;
     for (const bool f : failHistory_)

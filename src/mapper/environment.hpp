@@ -40,6 +40,20 @@ struct StepOutcome {
     std::int32_t hops = 0;
 };
 
+/**
+ * Everything one step committed, for verbatim replay. The environment
+ * is deterministic and a state is a pure function of the action prefix
+ * that built it, so a step recorded at some state can be replayed at
+ * that same state (e.g. on MCTS tree re-traversal) without re-running
+ * the router. Replaying against any other state is undefined; the
+ * router cross-check flag verifies replays against fresh recomputation.
+ */
+struct StepRecord {
+    StepOutcome outcome;
+    /** (edge index, committed route) pairs in commit order. */
+    std::vector<std::pair<std::int32_t, Route>> routes;
+};
+
 /** Environment configuration. */
 struct EnvConfig {
     /** Reward per committed route hop (negated). */
@@ -122,8 +136,30 @@ class MapEnv
     /** Count of legal actions. */
     std::int32_t legalActionCount() const;
 
+    /**
+     * Monotonic counter bumped by every state mutation (step / undo /
+     * reset). Lets consumers cache state-derived values (the action
+     * mask, observations) and revalidate in O(1).
+     */
+    std::uint64_t stateEpoch() const { return stateEpoch_; }
+
     /** Place the current node on @p pe; routes incident edges. */
     StepOutcome step(cgra::PeId pe);
+
+    /**
+     * step() that additionally captures the committed routes and the
+     * outcome into @p record for later stepReplay().
+     */
+    StepOutcome step(cgra::PeId pe, StepRecord &record);
+
+    /**
+     * Re-apply a step previously captured by step(pe, record) at this
+     * exact state: commits the placement and the recorded routes with
+     * identical bookkeeping, skipping the route search. With the router
+     * cross-check flag on, the step is recomputed instead and verified
+     * against the record.
+     */
+    StepOutcome stepReplay(cgra::PeId pe, const StepRecord &record);
 
     /** Revert the latest placement; returns the node that was undone. */
     dfg::NodeId undo();
@@ -137,6 +173,18 @@ class MapEnv
      * detection happens in the searcher's control flow.
      */
     void noteDeadEnd();
+
+    /**
+     * Charge a route failure to the node placed at schedule position
+     * @p stepIndex on @p pe, without touching mapping state. The seed
+     * search re-ran step() on every traversal of a failing edge, so
+     * failure-attribution magnitudes were per-traversal; env-free
+     * searches that replay recorded outcomes call this on each
+     * re-traversal to keep post-mortem magnitudes identical
+     * (stepReplay itself records nothing - a replay is mechanical
+     * re-application, not new evidence).
+     */
+    void noteRouteFailure(std::int32_t stepIndex, cgra::PeId pe);
 
     /**
      * Failure evidence accumulated since construction. Survives
@@ -158,6 +206,12 @@ class MapEnv
     const cgra::Architecture *arch_;
     cgra::Mrrg mrrg_;
     EnvConfig config_;
+    /** Reward shaping + history bookkeeping shared by the step paths. */
+    StepOutcome finishStep(dfg::NodeId node, cgra::PeId pe,
+                           const RouteResult &routes);
+    /** Recompute maskCache_/legalCount_ when stale. */
+    void refreshMaskCache() const;
+
     std::unique_ptr<MappingState> state_;
     std::unique_ptr<Router> router_;
     std::int32_t stepIndex_ = 0;
@@ -168,6 +222,11 @@ class MapEnv
     std::vector<double> rewardHistory_;
     std::vector<bool> failHistory_;
     FailureStats failureStats_;
+    std::uint64_t stateEpoch_ = 0;
+    /** Action-mask cache, valid while maskEpoch_ == stateEpoch_. */
+    mutable std::vector<bool> maskCache_;
+    mutable std::int32_t legalCount_ = 0;
+    mutable std::uint64_t maskEpoch_ = ~std::uint64_t{0};
 };
 
 } // namespace mapzero::mapper

@@ -11,7 +11,8 @@ RoutingState::RoutingState(const cgra::Mrrg &mrrg)
       regTime_(static_cast<std::size_t>(mrrg.regResourceCount()), -1),
       wire_(static_cast<std::size_t>(mrrg.wireResourceCount()), -1),
       wireTime_(static_cast<std::size_t>(mrrg.wireResourceCount()), -1),
-      bus_(static_cast<std::size_t>(mrrg.arch().rows() * mrrg.ii()), -1)
+      bus_(static_cast<std::size_t>(mrrg.arch().rows() * mrrg.ii()), -1),
+      wireEpochs_(static_cast<std::size_t>(mrrg.ii()), 0)
 {}
 
 dfg::NodeId
@@ -82,16 +83,48 @@ RoutingState::setWireOwner(cgra::LinkId link, std::int32_t slot,
                            dfg::NodeId owner, std::int32_t time)
 {
     const auto i = static_cast<std::size_t>(mrrg_->wireIndex(link, slot));
+    if (wire_[i] == owner && wireTime_[i] == time)
+        return; // multicast re-commit of an already-held wire
+    if (wire_[i] != -1)
+        adjustOwnerWires(wire_[i], slot, -1);
+    if (owner != -1)
+        adjustOwnerWires(owner, slot, +1);
     wire_[i] = owner;
     wireTime_[i] = time;
+    ++wireEpochs_[static_cast<std::size_t>(slot)];
 }
 
 void
 RoutingState::clearWireOwner(cgra::LinkId link, std::int32_t slot)
 {
     const auto i = static_cast<std::size_t>(mrrg_->wireIndex(link, slot));
+    if (wire_[i] == -1)
+        return;
+    adjustOwnerWires(wire_[i], slot, -1);
     wire_[i] = -1;
     wireTime_[i] = -1;
+    ++wireEpochs_[static_cast<std::size_t>(slot)];
+}
+
+std::int32_t
+RoutingState::ownerWireCount(dfg::NodeId owner, std::int32_t slot) const
+{
+    const auto i = static_cast<std::size_t>(owner) *
+                       static_cast<std::size_t>(mrrg_->ii()) +
+                   static_cast<std::size_t>(slot);
+    return i < ownerWires_.size() ? ownerWires_[i] : 0;
+}
+
+void
+RoutingState::adjustOwnerWires(dfg::NodeId owner, std::int32_t slot,
+                               std::int32_t delta)
+{
+    const auto i = static_cast<std::size_t>(owner) *
+                       static_cast<std::size_t>(mrrg_->ii()) +
+                   static_cast<std::size_t>(slot);
+    if (i >= ownerWires_.size())
+        ownerWires_.resize(i + 1, 0);
+    ownerWires_[i] += delta;
 }
 
 bool

@@ -37,11 +37,23 @@ struct RegHold {
     std::int32_t time = -1;
 };
 
+inline bool
+operator==(const RegHold &a, const RegHold &b)
+{
+    return a.pe == b.pe && a.time == b.time;
+}
+
 /** One crossbar wire traversal of a routed value. */
 struct WireUse {
     cgra::LinkId link = -1;
     std::int32_t time = -1;
 };
+
+inline bool
+operator==(const WireUse &a, const WireUse &b)
+{
+    return a.link == b.link && a.time == b.time;
+}
 
 /** Committed route of one DFG edge. */
 struct Route {
@@ -53,6 +65,21 @@ struct Route {
     /** Total hop cost (for reward shaping and reports). */
     std::int32_t hops = 0;
 };
+
+/** Exact equality, field for field (the replay cross-checks rely on
+ *  this covering every committed resource of the route). */
+inline bool
+operator==(const Route &a, const Route &b)
+{
+    return a.hops == b.hops && a.regHolds == b.regHolds &&
+           a.wires == b.wires;
+}
+
+inline bool
+operator!=(const Route &a, const Route &b)
+{
+    return !(a == b);
+}
 
 /**
  * Modulo resource occupancy. Values of -1 mean free; otherwise the id of
@@ -107,7 +134,28 @@ class RoutingState
                      dfg::NodeId owner);
     /// @}
 
+    /// @name Incremental-routing bookkeeping
+    ///
+    /// The router memoizes free-wire reachability frontiers per modulo
+    /// slot. wireEpoch(slot) advances whenever the slot's wire occupancy
+    /// changes, which is the frontier cache's invalidation signal.
+    /// ownerWireCount(owner, slot) counts wires @p owner holds in the
+    /// slot: when it is zero, owner-aware wire availability degenerates
+    /// to plain "is the wire free", so the shared free-wire frontier is
+    /// exact for that owner's query.
+    /// @{
+    std::uint32_t wireEpoch(std::int32_t slot) const
+    {
+        return wireEpochs_[static_cast<std::size_t>(slot)];
+    }
+    std::int32_t ownerWireCount(dfg::NodeId owner,
+                                std::int32_t slot) const;
+    /// @}
+
   private:
+    void adjustOwnerWires(dfg::NodeId owner, std::int32_t slot,
+                          std::int32_t delta);
+
     const cgra::Mrrg *mrrg_;
     std::vector<dfg::NodeId> func_;
     std::vector<dfg::NodeId> reg_;
@@ -115,6 +163,10 @@ class RoutingState
     std::vector<dfg::NodeId> wire_;
     std::vector<std::int32_t> wireTime_;
     std::vector<dfg::NodeId> bus_;
+    /** Per-slot change counter of the wire occupancy. */
+    std::vector<std::uint32_t> wireEpochs_;
+    /** owner * ii + slot -> wires held; grown lazily per owner. */
+    std::vector<std::int32_t> ownerWires_;
 };
 
 /**

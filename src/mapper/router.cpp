@@ -1,6 +1,8 @@
 #include "mapper/router.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <queue>
 #include <unordered_map>
 
@@ -8,6 +10,27 @@
 #include "common/metrics.hpp"
 
 namespace mapzero::mapper {
+
+namespace {
+
+std::atomic<bool> g_routerCrossCheck{[] {
+    const char *env = std::getenv("MAPZERO_ROUTER_CROSSCHECK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+} // namespace
+
+void
+setRouterCrossCheck(bool on)
+{
+    g_routerCrossCheck.store(on, std::memory_order_relaxed);
+}
+
+bool
+routerCrossCheck()
+{
+    return g_routerCrossCheck.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -30,7 +53,14 @@ struct RouterMetrics {
 
 namespace {
 
-/** Dijkstra node for the register-state search. */
+/**
+ * Dijkstra node for the register-state search. Equal costs are left to
+ * the heap's internal order: which equal-cost route wins is therefore a
+ * function of the exact push/pop sequence, and every fast path in this
+ * file (start-bound early-outs, the memoized free-wire frontier) is
+ * constructed to leave that sequence untouched, so optimized and plain
+ * searches return bit-identical routes.
+ */
 struct QEntry {
     std::int32_t cost;
     std::int32_t state;
@@ -47,7 +77,59 @@ constexpr std::int32_t kUnvisited = -1;
 
 Router::Router(MappingState &state)
     : state_(&state)
-{}
+{
+    frontiers_.resize(static_cast<std::size_t>(state.mrrg().ii()) *
+                      static_cast<std::size_t>(state.mrrg().peCount()));
+}
+
+void
+Router::wireBfs(cgra::PeId from, std::int32_t slot, dfg::NodeId owner,
+                std::int32_t cycle, WireFrontier &out) const
+{
+    const cgra::Mrrg &mrrg = state_->mrrg();
+    const RoutingState &rs = state_->routing();
+    const auto pe_count = static_cast<std::size_t>(mrrg.peCount());
+    out.hops.assign(pe_count, kUnvisited);
+    out.via.assign(pe_count, -1);
+    std::queue<cgra::PeId> q;
+    out.hops[static_cast<std::size_t>(from)] = 0;
+    q.push(from);
+    while (!q.empty()) {
+        const cgra::PeId u = q.front();
+        q.pop();
+        for (cgra::LinkId l : mrrg.linksOut(u)) {
+            const cgra::PeId v = mrrg.link(l).second;
+            if (out.hops[static_cast<std::size_t>(v)] != kUnvisited)
+                continue;
+            if (!rs.wireAvailable(l, slot, owner, cycle))
+                continue;
+            out.hops[static_cast<std::size_t>(v)] =
+                out.hops[static_cast<std::size_t>(u)] + 1;
+            out.via[static_cast<std::size_t>(v)] = l;
+            q.push(v);
+        }
+    }
+}
+
+const Router::WireFrontier &
+Router::freeWireFrontier(cgra::PeId from, std::int32_t slot) const
+{
+    const cgra::Mrrg &mrrg = state_->mrrg();
+    WireFrontier &entry = frontiers_[
+        static_cast<std::size_t>(slot) *
+            static_cast<std::size_t>(mrrg.peCount()) +
+        static_cast<std::size_t>(from)];
+    const auto epoch = static_cast<std::int64_t>(
+        state_->routing().wireEpoch(slot));
+    if (entry.epoch != epoch) {
+        // Owner -1 matches nothing, so availability means "wire free";
+        // the cycle argument is then irrelevant (any cycle of this
+        // modulo slot sees the same free set).
+        wireBfs(from, slot, -1, 0, entry);
+        entry.epoch = epoch;
+    }
+    return entry;
+}
 
 namespace {
 
@@ -115,9 +197,19 @@ Router::findRoute(std::int32_t edge_index) const
         return std::nullopt;
     }
 
-    auto route = state_->mrrg().arch().isMultiHop()
+    const bool multi_hop = state_->mrrg().arch().isMultiHop();
+    auto route = multi_hop
         ? searchMultiHop(edge, t_produce, t_consume)
-        : searchSingleHop(edge, t_produce, t_consume);
+        : searchSingleHop(edge, t_produce, t_consume, true);
+    if (!multi_hop && routerCrossCheck()) {
+        const auto full =
+            searchSingleHop(edge, t_produce, t_consume, false);
+        if (route != full)
+            panic(cat("router cross-check: pruned search diverged from "
+                      "full search on edge ", edge_index, " (pruned ",
+                      route ? "found" : "none", ", full ",
+                      full ? "found" : "none", ")"));
+    }
     if (route && !routeSelfConsistent(state_->mrrg(), state_->routing(),
                                       *route, edge.src)) {
         // The search found a path, but committing it would double-book
@@ -130,7 +222,7 @@ Router::findRoute(std::int32_t edge_index) const
 
 std::optional<Route>
 Router::searchSingleHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
-                        std::int32_t t_consume) const
+                        std::int32_t t_consume, bool prune) const
 {
     const cgra::Mrrg &mrrg = state_->mrrg();
     const RoutingState &rs = state_->routing();
@@ -140,6 +232,20 @@ Router::searchSingleHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
 
     // States: (pe, t) for t in [t_produce, t_consume - 1].
     const std::int32_t window = t_consume - t_produce;
+
+    // Admissible start bound on the static link-hop distance: the value
+    // can traverse at most one link per cycle (window cycles, delivery
+    // link included), so a destination farther than the window - or not
+    // reachable at all - can never be reached and the full search would
+    // only prove the same nullopt slowly. States inside a feasible
+    // search are never skipped, so when a route exists the push/pop
+    // sequence (and therefore the chosen route) is bit-identical to the
+    // unpruned search.
+    if (prune) {
+        const std::int32_t d0 = mrrg.hopDistance(src_pe, dst_pe);
+        if (d0 < 0 || d0 > window)
+            return std::nullopt;
+    }
     const std::int32_t n_states = window * pe_count;
     auto state_id = [&](cgra::PeId pe, std::int32_t t) {
         return (t - t_produce) * pe_count + pe;
@@ -259,44 +365,42 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
     const cgra::PeId src_pe = state_->placement(edge.src).pe;
     const cgra::PeId dst_pe = state_->placement(edge.dst).pe;
 
+    // Disconnected endpoints can never route, whatever the schedule.
+    if (mrrg.hopDistance(src_pe, dst_pe) < 0)
+        return std::nullopt;
+
     /**
-     * One-cycle crossbar reachability: BFS from @p from over links whose
-     * wire slot at cycle @p cycle is available; fills hop counts and BFS
-     * parents for path reconstruction. A value leaving a register can
-     * traverse any number of free crossbar links within the cycle.
+     * One-cycle crossbar reachability from @p from during @p cycle: a
+     * value leaving a register can traverse any number of available
+     * crossbar links within the cycle. When the producer holds no wires
+     * in the cycle's modulo slot, "available to the producer" equals
+     * "free", so the per-slot memoized free-wire frontier answers the
+     * query without a BFS; otherwise (multicast sharing in flight) an
+     * owner-aware BFS runs into scratch. Both BFS orders are
+     * deterministic over the same availability set, so the cached and
+     * recomputed frontiers are interchangeable - which the cross-check
+     * flag verifies on every cached use.
      */
-    struct WireBfs {
-        std::vector<std::int32_t> hops;
-        std::vector<cgra::LinkId> via;
-    };
-    auto wire_bfs = [&](cgra::PeId from, std::int32_t cycle) {
-        WireBfs bfs;
-        bfs.hops.assign(static_cast<std::size_t>(pe_count), kUnvisited);
-        bfs.via.assign(static_cast<std::size_t>(pe_count), -1);
+    auto wire_reach = [&](cgra::PeId from,
+                          std::int32_t cycle) -> const WireFrontier & {
         const std::int32_t slot = mrrg.slotOf(cycle);
-        std::queue<cgra::PeId> q;
-        bfs.hops[static_cast<std::size_t>(from)] = 0;
-        q.push(from);
-        while (!q.empty()) {
-            const cgra::PeId u = q.front();
-            q.pop();
-            for (cgra::LinkId l : mrrg.linksOut(u)) {
-                const cgra::PeId v = mrrg.link(l).second;
-                if (bfs.hops[static_cast<std::size_t>(v)] != kUnvisited)
-                    continue;
-                if (!rs.wireAvailable(l, slot, edge.src, cycle))
-                    continue;
-                bfs.hops[static_cast<std::size_t>(v)] =
-                    bfs.hops[static_cast<std::size_t>(u)] + 1;
-                bfs.via[static_cast<std::size_t>(v)] = l;
-                q.push(v);
+        if (rs.ownerWireCount(edge.src, slot) == 0) {
+            const WireFrontier &cached = freeWireFrontier(from, slot);
+            if (routerCrossCheck()) {
+                wireBfs(from, slot, edge.src, cycle, scratch_);
+                if (scratch_.hops != cached.hops ||
+                    scratch_.via != cached.via)
+                    panic("router cross-check: cached free-wire "
+                          "frontier diverged from owner-aware BFS");
             }
+            return cached;
         }
-        return bfs;
+        wireBfs(from, slot, edge.src, cycle, scratch_);
+        return scratch_;
     };
 
     /** Collect the link sequence from @p from to @p to out of a BFS. */
-    auto wire_path = [&](const WireBfs &bfs, cgra::PeId from,
+    auto wire_path = [&](const WireFrontier &bfs, cgra::PeId from,
                          cgra::PeId to, std::int32_t cycle,
                          std::vector<WireUse> &out) {
         cgra::PeId cur = to;
@@ -342,7 +446,7 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
                 goal_state = s;
                 break;
             }
-            const WireBfs bfs = wire_bfs(pe, t_consume);
+            const WireFrontier &bfs = wire_reach(pe, t_consume);
             if (bfs.hops[static_cast<std::size_t>(dst_pe)] != kUnvisited) {
                 goal_state = s;
                 break;
@@ -353,7 +457,7 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
         const std::int32_t nt = t + 1;
         const std::int32_t nslot = mrrg.slotOf(nt);
         // Crossbar reach during cycle nt, then latch at (r, nt).
-        const WireBfs bfs = wire_bfs(pe, nt);
+        const WireFrontier &bfs = wire_reach(pe, nt);
         for (cgra::PeId r = 0; r < pe_count; ++r) {
             const std::int32_t h = bfs.hops[static_cast<std::size_t>(r)];
             if (h == kUnvisited)
@@ -393,7 +497,7 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
             const cgra::PeId npe = chain[i + 1] % pe_count;
             const std::int32_t nt = t + 1;
             if (npe != pe) {
-                const WireBfs bfs = wire_bfs(pe, nt);
+                const WireFrontier &bfs = wire_reach(pe, nt);
                 wire_path(bfs, pe, npe, nt, route.wires);
                 route.hops += bfs.hops[static_cast<std::size_t>(npe)];
             }
@@ -401,7 +505,7 @@ Router::searchMultiHop(const dfg::DfgEdge &edge, std::int32_t t_produce,
     }
     const cgra::PeId last_pe = chain.back() % pe_count;
     if (last_pe != dst_pe) {
-        const WireBfs bfs = wire_bfs(last_pe, t_consume);
+        const WireFrontier &bfs = wire_reach(last_pe, t_consume);
         wire_path(bfs, last_pe, dst_pe, t_consume, route.wires);
         route.hops += bfs.hops[static_cast<std::size_t>(dst_pe)];
     }
@@ -424,7 +528,9 @@ Router::routeEdge(std::int32_t edge_index)
 }
 
 RouteResult
-Router::routeIncidentEdges(dfg::NodeId node)
+Router::routeIncidentEdges(
+    dfg::NodeId node,
+    std::vector<std::pair<std::int32_t, Route>> *recorded)
 {
     RouteResult result;
     const dfg::Dfg &dfg = state_->dfg();
@@ -442,6 +548,8 @@ Router::routeIncidentEdges(dfg::NodeId node)
             result.totalHops += route->hops;
             m.routesOk.add();
             m.wireHops.add(route->hops);
+            if (recorded)
+                recorded->emplace_back(ei, *route);
             state_->commitRoute(ei, std::move(*route));
             ++result.routed;
         } else {

@@ -24,10 +24,21 @@
 #define MAPZERO_MAPPER_ROUTER_HPP
 
 #include <optional>
+#include <utility>
 
 #include "mapper/mapping.hpp"
 
 namespace mapzero::mapper {
+
+/**
+ * Debug cross-checking of the router's incremental state (frontier
+ * cache, admissible Dijkstra pruning) and of MapEnv's step replay
+ * against full recomputation. Every divergence panics. Also enabled by
+ * the MAPZERO_ROUTER_CROSSCHECK environment variable. Global, so tests
+ * must not toggle it concurrently with live searches.
+ */
+void setRouterCrossCheck(bool on);
+bool routerCrossCheck();
 
 /** Outcome of routing all pending edges of a placement. */
 struct RouteResult {
@@ -59,9 +70,14 @@ class Router
     /**
      * Route every unrouted edge of @p node whose other endpoint is
      * already placed. Commits the successes; failures are reported in
-     * the result (callers decide whether to backtrack).
+     * the result (callers decide whether to backtrack). When
+     * @p recorded is non-null, each committed (edge index, route) pair
+     * is appended in commit order, which is what MapEnv::StepRecord
+     * replays verbatim on tree re-traversal.
      */
-    RouteResult routeIncidentEdges(dfg::NodeId node);
+    RouteResult routeIncidentEdges(
+        dfg::NodeId node,
+        std::vector<std::pair<std::int32_t, Route>> *recorded = nullptr);
 
     /** Remove every committed route incident to @p node. */
     void unrouteIncidentEdges(dfg::NodeId node);
@@ -83,14 +99,41 @@ class Router
                               const std::vector<Placement> &placements);
 
   private:
+    /** One-cycle crossbar reachability from a fixed PE (hops + BFS
+     *  parent links for path reconstruction). */
+    struct WireFrontier {
+        std::vector<std::int32_t> hops;
+        std::vector<cgra::LinkId> via;
+        /** RoutingState::wireEpoch value this was computed at. */
+        std::int64_t epoch = -1;
+    };
+
     std::optional<Route> searchSingleHop(const dfg::DfgEdge &edge,
                                          std::int32_t t_produce,
-                                         std::int32_t t_consume) const;
+                                         std::int32_t t_consume,
+                                         bool prune) const;
     std::optional<Route> searchMultiHop(const dfg::DfgEdge &edge,
                                         std::int32_t t_produce,
                                         std::int32_t t_consume) const;
 
+    /** BFS over links whose wire slot is available to (owner, cycle). */
+    void wireBfs(cgra::PeId from, std::int32_t slot, dfg::NodeId owner,
+                 std::int32_t cycle, WireFrontier &out) const;
+
+    /**
+     * Memoized free-wire frontier for (from, slot), recomputed only
+     * when the slot's wire occupancy changed since the cached BFS.
+     * Exact for any owner holding no wires in the slot (the common
+     * case); owner-aware queries fall back to a fresh BFS.
+     */
+    const WireFrontier &freeWireFrontier(cgra::PeId from,
+                                         std::int32_t slot) const;
+
     MappingState *state_;
+    /** slot * peCount + from -> cached free-wire frontier. */
+    mutable std::vector<WireFrontier> frontiers_;
+    /** Scratch for owner-aware (uncached) frontier queries. */
+    mutable WireFrontier scratch_;
 };
 
 } // namespace mapzero::mapper

@@ -3,40 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <queue>
 
 #include "common/log.hpp"
 
 namespace mapzero::rl {
 
 namespace {
-
-/** All-pairs single-hop link distance (BFS per PE). */
-std::vector<std::vector<std::int32_t>>
-hopDistances(const cgra::Architecture &arch)
-{
-    const auto n = static_cast<std::size_t>(arch.peCount());
-    std::vector<std::vector<std::int32_t>> dist(
-        n, std::vector<std::int32_t>(n, -1));
-    for (cgra::PeId s = 0; s < arch.peCount(); ++s) {
-        auto &row = dist[static_cast<std::size_t>(s)];
-        row[static_cast<std::size_t>(s)] = 0;
-        std::queue<cgra::PeId> q;
-        q.push(s);
-        while (!q.empty()) {
-            const cgra::PeId u = q.front();
-            q.pop();
-            for (cgra::PeId v : arch.neighborsOut(u)) {
-                if (row[static_cast<std::size_t>(v)] < 0) {
-                    row[static_cast<std::size_t>(v)] =
-                        row[static_cast<std::size_t>(u)] + 1;
-                    q.push(v);
-                }
-            }
-        }
-    }
-    return dist;
-}
 
 /**
  * Routability lower bound for placing @p node on @p pe: on single-hop
@@ -49,8 +21,7 @@ hopDistances(const cgra::Architecture &arch)
  * bias.
  */
 bool
-placementRoutable(const mapper::MapEnv &env,
-                  const std::vector<std::vector<std::int32_t>> &dist,
+placementRoutable(const mapper::MapEnv &env, const cgra::Mrrg &mrrg,
                   dfg::NodeId node, cgra::PeId pe, double &mean_dist)
 {
     const dfg::Dfg &dfg = env.dfg();
@@ -71,9 +42,8 @@ placementRoutable(const mapper::MapEnv &env,
             return true; // configuration-supplied, always routable
         const cgra::PeId other_pe = state.placement(other).pe;
         const std::int32_t d =
-            dist[static_cast<std::size_t>(
-                node_is_dst ? other_pe : pe)][static_cast<std::size_t>(
-                node_is_dst ? pe : other_pe)];
+            mrrg.hopDistance(node_is_dst ? other_pe : pe,
+                             node_is_dst ? pe : other_pe);
         const std::int32_t t_src = node_is_dst
             ? state.placement(other).time
             : node_time;
@@ -137,7 +107,8 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
                            baselines::AttemptResult &result, Rng &rng)
 {
     const std::int32_t n = env.dfg().nodeCount();
-    const auto dist = hopDistances(env.arch());
+    // All-pairs link distance precomputed once per MRRG construction.
+    const cgra::Mrrg &mrrg = env.mrrg();
     ObservationBuilder obs_builder;
     double noise = 0.0;
 
@@ -184,13 +155,11 @@ MapZeroAgent::guidedSearch(mapper::MapEnv &env, const Deadline &deadline,
             if (!state.placementLegal(node, pe))
                 continue;
             double mean_dist = 0.0;
-            if (!placementRoutable(env, dist, node, pe, mean_dist))
+            if (!placementRoutable(env, mrrg, node, pe, mean_dist))
                 continue;
             if (mean_dist < 0.0) {
                 if (anchor >= 0) {
-                    const std::int32_t da =
-                        dist[static_cast<std::size_t>(anchor)][
-                            static_cast<std::size_t>(pe)];
+                    const std::int32_t da = mrrg.hopDistance(anchor, pe);
                     mean_dist = da < 0 ? 8.0 : static_cast<double>(da);
                 } else {
                     mean_dist = 0.0;

@@ -153,6 +153,16 @@ DirectEvaluator::evaluate(const Observation &obs)
     return out;
 }
 
+std::vector<MapZeroNet::Output>
+Evaluator::evaluateBatch(const std::vector<const Observation *> &batch)
+{
+    std::vector<MapZeroNet::Output> outs;
+    outs.reserve(batch.size());
+    for (const Observation *obs : batch)
+        outs.push_back(evaluate(*obs));
+    return outs;
+}
+
 std::vector<double>
 Evaluator::policyProbabilities(const Observation &obs)
 {
@@ -210,9 +220,9 @@ EvalBatcher::readyLocked() const
         return false;
     if (pending_.size() >= maxBatch_)
         return true;
-    // Every live session is either parked here or being served by an
-    // in-flight batch: nobody else is coming, evaluate what we have.
-    return pending_.size() + inFlight_ >= sessions_;
+    // Every live session is blocked inside evaluate()/evaluateBatch():
+    // nobody else is coming, evaluate what we have.
+    return blocked_ >= sessions_;
 }
 
 void
@@ -221,6 +231,10 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
     static Counter &batches = metrics().counter("eval_batcher.batches");
     static Histogram &batch_size =
         metrics().histogram("eval_batcher.batch_size");
+    static Counter &full_batches =
+        metrics().counter("eval_batcher.full_batches");
+    static Counter &partial_batches =
+        metrics().counter("eval_batcher.partial_batches");
 
     const std::size_t take = std::min(pending_.size(), maxBatch_);
     std::vector<Request *> batch(pending_.begin(),
@@ -228,7 +242,6 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
                                      static_cast<std::ptrdiff_t>(take));
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
-    inFlight_ += batch.size();
     lock.unlock();
 
     std::vector<const Observation *> observations;
@@ -244,6 +257,7 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
         }
         batches.add();
         batch_size.record(static_cast<double>(batch.size()));
+        (take == maxBatch_ ? full_batches : partial_batches).add();
     } catch (...) {
         // Deliver the failure to every request in the batch; each
         // waiter (and the leader itself) rethrows from evaluate().
@@ -263,48 +277,83 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
             batch[i]->out = std::move(outputs[i]);
         batch[i]->done = true;
     }
-    inFlight_ -= batch.size();
     wake_.notify_all();
 }
 
 MapZeroNet::Output
 EvalBatcher::evaluate(const Observation &obs)
 {
+    std::vector<MapZeroNet::Output> outs = evaluateBatch({&obs});
+    return std::move(outs.front());
+}
+
+std::vector<MapZeroNet::Output>
+EvalBatcher::evaluateBatch(const std::vector<const Observation *> &batch)
+{
     static Counter &requests = metrics().counter("eval_batcher.requests");
     static Histogram &queue_wait =
         metrics().histogram("eval_batcher.queue_wait_seconds");
 
-    requests.add();
+    requests.add(static_cast<std::int64_t>(batch.size()));
     const Timer wait_timer;
-    Request request;
-    request.obs = &obs;
 
-    if (cache_) {
+    std::vector<MapZeroNet::Output> outs(batch.size());
+    std::vector<Request> misses;
+    misses.reserve(batch.size());
+    std::vector<std::size_t> miss_pos;
+    miss_pos.reserve(batch.size());
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
         // A hit never parks, so this thread behaves exactly like one
         // that is still computing between requests - the flush
-        // condition (parked + in-flight >= live sessions) is unaffected
+        // condition (blocked sessions >= live sessions) is unaffected
         // and nobody ends up waiting on a peer that already returned.
-        request.key = EvalCache::keyOf(obs);
-        MapZeroNet::Output out;
-        if (cache_->lookup(request.key, out))
-            return out;
+        std::string key;
+        if (cache_) {
+            key = EvalCache::keyOf(*batch[i]);
+            if (cache_->lookup(key, outs[i]))
+                continue;
+        }
+        misses.emplace_back();
+        misses.back().obs = batch[i];
+        misses.back().key = std::move(key);
+        miss_pos.push_back(i);
     }
+    if (misses.empty())
+        return outs;
 
     std::unique_lock<std::mutex> lock(mutex_);
-    pending_.push_back(&request);
-    while (!request.done) {
+    for (Request &request : misses)
+        pending_.push_back(&request);
+    ++blocked_;
+    // The wave may span several forward passes (more misses than the
+    // batch cap, or peers filling batches first); keep leading or
+    // waiting until every one of OUR requests is served.
+    const auto all_done = [&misses] {
+        for (const Request &request : misses)
+            if (!request.done)
+                return false;
+        return true;
+    };
+    while (!all_done()) {
         if (readyLocked()) {
-            // This thread completes the batch: lead the evaluation
-            // (which serves our own request along the way).
+            // This thread completes a batch: lead the evaluation
+            // (which serves our own requests along the way).
             runBatch(lock);
             continue;
         }
         wake_.wait(lock);
     }
+    --blocked_;
+    lock.unlock();
+
     queue_wait.record(wait_timer.seconds());
-    if (request.error)
-        std::rethrow_exception(request.error);
-    return std::move(request.out);
+    for (const Request &request : misses)
+        if (request.error)
+            std::rethrow_exception(request.error);
+    for (std::size_t i = 0; i < misses.size(); ++i)
+        outs[miss_pos[i]] = std::move(misses[i].out);
+    return outs;
 }
 
 } // namespace mapzero::rl

@@ -103,6 +103,15 @@ class Evaluator
     /** Evaluate one observation (may block to form a batch). */
     virtual MapZeroNet::Output evaluate(const Observation &obs) = 0;
 
+    /**
+     * Evaluate several observations from ONE search (e.g. a virtual-loss
+     * leaf wave). The default loops evaluate(); batching evaluators
+     * submit the group as a single forward pass. Outputs are positional
+     * and bit-identical to per-observation evaluate() calls.
+     */
+    virtual std::vector<MapZeroNet::Output>
+    evaluateBatch(const std::vector<const Observation *> &batch);
+
     /** The network behind this evaluator. */
     virtual const MapZeroNet &network() const = 0;
 
@@ -147,12 +156,18 @@ class DirectEvaluator : public Evaluator
  * condition so stragglers are never left waiting for a peer that will
  * not come back.
  *
- * Publishes "eval_batcher.requests", "eval_batcher.batches",
- * "eval_batcher.batch_size" and "eval_batcher.queue_wait_seconds" to
- * the metrics registry.
+ * evaluateBatch() parks a whole leaf wave at once, so a single search
+ * that gathers leaves under virtual loss can fill a forward batch by
+ * itself - one restart saturates the network without peers.
  *
- * With a single live session every request is a batch of one, i.e. the
- * batcher degrades to DirectEvaluator behavior.
+ * Publishes "eval_batcher.requests", "eval_batcher.batches",
+ * "eval_batcher.batch_size", "eval_batcher.queue_wait_seconds", plus
+ * the starvation split "eval_batcher.full_batches" /
+ * "eval_batcher.partial_batches" (partial = the flush condition fired
+ * below the batch cap, i.e. the batcher was starved of peers).
+ *
+ * With a single live session issuing single requests every batch is a
+ * batch of one, i.e. the batcher degrades to DirectEvaluator behavior.
  */
 class EvalBatcher : public Evaluator
 {
@@ -183,6 +198,10 @@ class EvalBatcher : public Evaluator
 
     /** Must be called from a thread whose Session is alive. */
     MapZeroNet::Output evaluate(const Observation &obs) override;
+
+    /** Must be called from a thread whose Session is alive. */
+    std::vector<MapZeroNet::Output>
+    evaluateBatch(const std::vector<const Observation *> &batch) override;
 
     const MapZeroNet &network() const override { return *net_; }
 
@@ -216,8 +235,10 @@ class EvalBatcher : public Evaluator
     std::condition_variable wake_;
     /** Live sessions (threads that may still request evaluations). */
     std::size_t sessions_ = 0;
-    /** Sessions currently being served by an in-flight batch. */
-    std::size_t inFlight_ = 0;
+    /** Sessions currently inside evaluate()/evaluateBatch() waiting on
+     *  (or leading) a batch. When every live session is blocked, nobody
+     *  else is coming and the parked requests must be flushed. */
+    std::size_t blocked_ = 0;
     std::vector<Request *> pending_;
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <unordered_map>
 
 #include "common/journal.hpp"
 #include "common/log.hpp"
@@ -23,6 +27,9 @@ struct MctsMetrics {
     Counter &moves = metrics().counter("mcts.moves");
     Histogram &netEvalSeconds =
         metrics().histogram("mcts.net_eval_seconds");
+    Gauge &treeNodes = metrics().gauge("mcts.tree_nodes");
+    Gauge &arenaBytes = metrics().gauge("mcts.arena_bytes");
+    Histogram &batchFill = metrics().histogram("mcts.batch_fill");
 
     static MctsMetrics &
     get()
@@ -34,8 +41,8 @@ struct MctsMetrics {
 
 /**
  * Flight-recorder record for one move: search health a post-mortem can
- * read back (did visit mass collapse? did simulations reach depth?).
- * Only called when the journal is enabled.
+ * read back (did visit mass collapse? did batching fill? did
+ * simulations reach depth?). Only called when the journal is enabled.
  */
 void
 emitMoveRecord(const mapper::MapEnv &env, const MctsMoveResult &result)
@@ -50,6 +57,9 @@ emitMoveRecord(const mapper::MapEnv &env, const MctsMoveResult &result)
         max_pi = std::max(max_pi, p);
         ++support;
     }
+    const double fill =
+        static_cast<double>(result.netLeaves) /
+        static_cast<double>(std::max<std::int32_t>(1, result.netCalls));
     JournalRecord record("mcts.move");
     record.field("dfg", env.dfg().name())
         .field("ii", env.ii())
@@ -62,45 +72,15 @@ emitMoveRecord(const mapper::MapEnv &env, const MctsMoveResult &result)
         .field("support", support)
         .field("interior_visits", result.interiorVisits)
         .field("max_depth", result.maxDepth)
+        .field("net_calls", result.netCalls)
+        .field("net_leaves", result.netLeaves)
+        .field("batch_fill", fill)
+        .field("tree_nodes", result.treeNodes)
+        .field("arena_bytes",
+               static_cast<std::int64_t>(result.arenaBytes))
         .field("solved", result.solvedSuffix.has_value());
     journal().emit(std::move(record));
 }
-
-} // namespace
-
-/** One state in the search tree. */
-struct Mcts::TreeNode {
-    struct Edge {
-        std::int32_t action = -1;
-        double prior = 0.0;
-        std::int32_t visits = 0;
-        double totalValue = 0.0;
-        std::unique_ptr<TreeNode> child;
-
-        double
-        meanValue() const
-        {
-            return visits > 0 ? totalValue / visits : 0.0;
-        }
-    };
-
-    bool expanded = false;
-    bool terminal = false;
-    double terminalValue = 0.0;
-    std::int32_t totalVisits = 0;
-    std::vector<Edge> edges;
-};
-
-Mcts::Mcts(const MapZeroNet &net, MctsConfig config)
-    : owned_(std::make_unique<DirectEvaluator>(net)),
-      eval_(owned_.get()), config_(config)
-{}
-
-Mcts::Mcts(Evaluator &evaluator, MctsConfig config)
-    : eval_(&evaluator), config_(config)
-{}
-
-namespace {
 
 /** Sample a Dirichlet(alpha) vector via normalized Gamma(alpha) draws. */
 std::vector<double>
@@ -121,121 +101,228 @@ dirichlet(std::size_t k, double alpha, Rng &rng)
 
 } // namespace
 
-bool
-Mcts::simulate(TreeNode &root, mapper::MapEnv &env, Rng &,
-               std::vector<std::int32_t> &solved_path,
-               std::int64_t &interior_visits, std::int32_t &max_depth)
-{
-    struct PathEntry {
-        TreeNode *parent;
-        TreeNode::Edge *edge;
+/**
+ * Structure-of-arrays tree storage. Nodes and edges are rows in
+ * contiguous parallel columns; a node's children form the span
+ * [childOffset, childOffset + childCount) of the edge columns.
+ * rewind() resets all row counts in O(1) while keeping every column's
+ * capacity, so after a warmup move steady-state search allocates
+ * nothing.
+ */
+struct Mcts::Arena {
+    static constexpr std::uint32_t kNullNode = 0xffffffffu;
+    enum NodeFlag : std::uint8_t {
+        kExpanded = 1,
+        kTerminal = 2,
+        /** Leaf collected into the current wave, evaluation in flight. */
+        kPending = 4,
+    };
+
+    /// @name Node columns
+    /// @{
+    std::vector<std::uint8_t> flags;
+    std::vector<double> terminalValue;
+    std::vector<std::int32_t> totalVisits;
+    std::vector<std::int32_t> virtualVisits;
+    std::vector<std::uint32_t> childOffset;
+    std::vector<std::int32_t> childCount;
+    /// @}
+
+    /// @name Edge columns
+    /// @{
+    std::vector<std::int32_t> edgeAction;
+    std::vector<double> edgePrior;
+    std::vector<std::int32_t> edgeVisits;
+    std::vector<double> edgeValue;
+    std::vector<std::int32_t> edgeVloss;
+    std::vector<std::uint32_t> edgeChild;
+    /** Index into memoPool of the recorded step, -1 until traversed. */
+    std::vector<std::int32_t> edgeMemo;
+    /// @}
+
+    /** Recorded steps for replay; entries (and their route vectors'
+     *  capacity) are reused across rewinds via memoUsed. */
+    std::vector<mapper::StepRecord> memoPool;
+    std::size_t memoUsed = 0;
+
+    /** One selected edge of a descent. */
+    struct PathStep {
+        std::uint32_t parent;
+        std::uint32_t edge;
         double reward;
     };
-    std::vector<PathEntry> path;
-    std::vector<std::int32_t> actions;
-    TreeNode *node = &root;
-    double leaf_value = 0.0;
-    bool solved = false;
+    /**
+     * Expansion recorded the first time a state was evaluated: the
+     * legal actions, their priors (exp of the policy logits, computed
+     * once), and the leaf value. Replayed verbatim on re-encounter, so
+     * a memoized leaf needs no action mask, no exp(), no observation,
+     * and no network call.
+     */
+    struct EvalMemoEntry {
+        std::vector<std::int32_t> actions;
+        std::vector<double> priors;
+        float value = 0.0f;
+    };
+    /** A leaf awaiting its (evaluated or memoized) expansion. */
+    struct PendingLeaf {
+        std::uint32_t node = 0;
+        /** Built only on memo miss (the expensive part). */
+        Observation obs;
+        std::vector<PathStep> path;
+        /** Packed absolute action prefix (evalMemo key). */
+        std::string key;
+        /** Recorded expansion when this state was seen before; the
+         *  leaf still occupies its wave slot in collection order, so
+         *  a warm memo changes no search decision. */
+        const EvalMemoEntry *memo = nullptr;
+    };
+    /** Descent scratch. */
+    std::vector<PathStep> path;
+    /** Current wave of distinct leaves. waveUsed of the vector's slots
+     *  are live; slots are assigned in place so their heap buffers
+     *  (key, path, observation tensors) are reused wave after wave. */
+    std::vector<PendingLeaf> wave;
+    std::size_t waveUsed = 0;
 
-    // --- Selection + expansion ----------------------------------------
-    while (true) {
-        if (env.done()) {
-            node->terminal = true;
-            node->terminalValue = env.success()
-                ? config_.successBonus
-                : 0.0; // routing failures already charged per step
-            leaf_value = node->terminalValue;
-            if (env.success()) {
-                solved = true;
-                solved_path = actions;
-            }
-            break;
-        }
-        if (!env.done() && env.legalActionCount() == 0) {
-            env.noteDeadEnd();
-            node->terminal = true;
-            node->terminalValue = -config_.deadEndPenalty;
-            leaf_value = node->terminalValue;
-            break;
-        }
-
-        if (!node->expanded) {
-            // Evaluate + expand the leaf with network priors.
-            MctsMetrics &m = MctsMetrics::get();
-            const Observation &obs = obsBuilder_.refresh(env);
-            const Timer eval_timer;
-            const MapZeroNet::Output out = eval_->evaluate(obs);
-            m.netEvals.add();
-            m.netEvalSeconds.record(eval_timer.seconds());
-            leaf_value = static_cast<double>(out.value.item()) /
-                         config_.valueScale;
-            for (std::int32_t a = 0;
-                 a < static_cast<std::int32_t>(obs.actionMask.size());
-                 ++a) {
-                if (!obs.actionMask[static_cast<std::size_t>(a)])
-                    continue;
-                TreeNode::Edge edge;
-                edge.action = a;
-                edge.prior = std::exp(static_cast<double>(
-                    out.logPolicy.tensor()[static_cast<std::size_t>(a)]));
-                node->edges.push_back(std::move(edge));
-            }
-            node->expanded = true;
-            break;
-        }
-
-        // UCT selection over stored priors/values (Algorithm 1 line 11).
-        TreeNode::Edge *best = nullptr;
-        double best_score = -std::numeric_limits<double>::infinity();
-        const double sqrt_total = std::sqrt(
-            static_cast<double>(node->totalVisits + 1));
-        for (auto &edge : node->edges) {
-            const double q = edge.meanValue() * config_.valueScale;
-            const double u = config_.cExplore * edge.prior * sqrt_total /
-                             (1.0 + static_cast<double>(edge.visits));
-            const double score = q + u;
-            if (score > best_score) {
-                best_score = score;
-                best = &edge;
-            }
-        }
-        if (best == nullptr)
-            panic("MCTS: expanded node with no edges");
-
-        const mapper::StepOutcome out = env.step(best->action);
-        actions.push_back(best->action);
-        path.push_back(PathEntry{node, best, out.reward});
-        if (!best->child) {
-            best->child = std::make_unique<TreeNode>();
-            MctsMetrics::get().nodes.add();
-        }
-        node = best->child.get();
+    PendingLeaf &
+    waveSlot()
+    {
+        if (waveUsed == wave.size())
+            wave.emplace_back();
+        PendingLeaf &leaf = wave[waveUsed++];
+        leaf.memo = nullptr;
+        return leaf;
     }
 
-    // --- Backpropagation ----------------------------------------------
-    // Return seen from each traversed edge: rewards after it + leaf
-    // value. Every node an edge was selected from — the root AND the
-    // interior nodes — bumps its visit total, since that total feeds the
-    // sqrt(N) numerator of its children's exploration term; skipping the
-    // interior ones would freeze deep exploration at sqrt(0 + 1).
-    double suffix = leaf_value;
-    for (auto it = path.rbegin(); it != path.rend(); ++it) {
-        suffix += it->reward;
-        it->edge->visits += 1;
-        it->edge->totalValue += suffix;
-        it->parent->totalVisits += 1;
-        if (it->parent != &root)
-            interior_visits += 1;
+    /**
+     * Network-output memo across moves and restarts: the state at a
+     * tree node is a pure function of the absolute action prefix (from
+     * episode reset), so outputs are keyed by the byte-packed prefix -
+     * a far cheaper key than re-building the observation and hashing
+     * its canonical encoding the way the cross-process EvalCache must.
+     * Keys are prefixed with the environment's process-unique id, so
+     * one Mcts can serve several environments without cross-talk.
+     * Survives rewind() and is NOT counted in bytes() (the arena
+     * no-growth contract covers the tree columns, while the memo
+     * legitimately grows with episode coverage, bounded by
+     * kEvalMemoMax). Entry references stay valid across inserts
+     * (node-based map); the size cap is enforced only between moves
+     * so in-wave references never dangle.
+     */
+    static constexpr std::size_t kEvalMemoMax = std::size_t{1} << 20;
+    std::unordered_map<std::string, EvalMemoEntry> evalMemo;
+    /**
+     * Route memo with the same key scheme and lifetime rules, keyed by
+     * the prefix INCLUDING the step's action (i.e. the child state):
+     * the routes the router commits for a step are a function of the
+     * state it is applied to, so a step first recorded in one move (or
+     * episode) replays in any later one, skipping the router search
+     * that otherwise re-runs on every first per-move edge traversal.
+     */
+    std::unordered_map<std::string, mapper::StepRecord> stepMemo;
+    /** Key of the descent's current node, extended action by action
+     *  (so the leaf key and every step key come for free). */
+    std::string keyScratch;
+
+    std::uint32_t
+    allocNode()
+    {
+        const auto id = static_cast<std::uint32_t>(flags.size());
+        flags.push_back(0);
+        terminalValue.push_back(0.0);
+        totalVisits.push_back(0);
+        virtualVisits.push_back(0);
+        childOffset.push_back(0);
+        childCount.push_back(0);
+        return id;
     }
 
-    max_depth = std::max(
-        max_depth, static_cast<std::int32_t>(actions.size()));
+    std::uint32_t
+    allocEdges(std::int32_t count)
+    {
+        const auto offset = static_cast<std::uint32_t>(edgeAction.size());
+        const auto n = edgeAction.size() + static_cast<std::size_t>(count);
+        edgeAction.resize(n, -1);
+        edgePrior.resize(n, 0.0);
+        edgeVisits.resize(n, 0);
+        edgeValue.resize(n, 0.0);
+        edgeVloss.resize(n, 0);
+        edgeChild.resize(n, kNullNode);
+        edgeMemo.resize(n, -1);
+        return offset;
+    }
 
-    // Restore the environment.
-    for (std::size_t i = 0; i < actions.size(); ++i)
-        env.undo();
+    std::int32_t
+    allocMemo()
+    {
+        if (memoUsed == memoPool.size())
+            memoPool.emplace_back();
+        return static_cast<std::int32_t>(memoUsed++);
+    }
 
-    return solved;
+    void
+    rewind()
+    {
+        flags.clear();
+        terminalValue.clear();
+        totalVisits.clear();
+        virtualVisits.clear();
+        childOffset.clear();
+        childCount.clear();
+        edgeAction.clear();
+        edgePrior.clear();
+        edgeVisits.clear();
+        edgeValue.clear();
+        edgeVloss.clear();
+        edgeChild.clear();
+        edgeMemo.clear();
+        memoUsed = 0;
+        path.clear();
+        waveUsed = 0;
+    }
+
+    std::size_t
+    bytes() const
+    {
+        return flags.capacity() * sizeof(std::uint8_t) +
+               terminalValue.capacity() * sizeof(double) +
+               totalVisits.capacity() * sizeof(std::int32_t) +
+               virtualVisits.capacity() * sizeof(std::int32_t) +
+               childOffset.capacity() * sizeof(std::uint32_t) +
+               childCount.capacity() * sizeof(std::int32_t) +
+               edgeAction.capacity() * sizeof(std::int32_t) +
+               edgePrior.capacity() * sizeof(double) +
+               edgeVisits.capacity() * sizeof(std::int32_t) +
+               edgeValue.capacity() * sizeof(double) +
+               edgeVloss.capacity() * sizeof(std::int32_t) +
+               edgeChild.capacity() * sizeof(std::uint32_t) +
+               edgeMemo.capacity() * sizeof(std::int32_t) +
+               memoPool.capacity() * sizeof(mapper::StepRecord);
+    }
+};
+
+Mcts::Mcts(const MapZeroNet &net, MctsConfig config)
+    : owned_(std::make_unique<DirectEvaluator>(net)),
+      eval_(owned_.get()), config_(config),
+      arena_(std::make_unique<Arena>())
+{}
+
+Mcts::Mcts(Evaluator &evaluator, MctsConfig config)
+    : eval_(&evaluator), config_(config),
+      arena_(std::make_unique<Arena>())
+{}
+
+Mcts::~Mcts() = default;
+
+Mcts::ArenaStats
+Mcts::arenaStats() const
+{
+    ArenaStats stats;
+    stats.nodeCapacity = arena_->flags.capacity();
+    stats.edgeCapacity = arena_->edgeAction.capacity();
+    stats.memoCapacity = arena_->memoPool.capacity();
+    stats.bytes = arena_->bytes();
+    return stats;
 }
 
 MctsMoveResult
@@ -248,47 +335,480 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
     TraceSpan move_span("mcts.move", "mcts");
     m.moves.add();
 
-    TreeNode root;
+    Arena &ar = *arena_;
+    ar.rewind();
+    const std::uint32_t root = ar.allocNode();
+
+    // Build the episode's packed memo-key prefix: the environment's
+    // process-unique id (so one Mcts can interleave environments
+    // without cross-talk) followed by the placements so far in
+    // schedule order. Every leaf key extends it with the in-tree
+    // action path. The cap is enforced only here, between moves, so
+    // in-wave entry references never dangle.
+    if (ar.evalMemo.size() >= Arena::kEvalMemoMax)
+        ar.evalMemo.clear();
+    if (ar.stepMemo.size() >= Arena::kEvalMemoMax)
+        ar.stepMemo.clear();
+    const auto append_action = [](std::string &key, std::int32_t a) {
+        char bytes[sizeof a];
+        std::memcpy(bytes, &a, sizeof a);
+        key.append(bytes, sizeof a);
+    };
+    std::string episode_prefix;
+    episode_prefix.reserve(
+        sizeof(std::uint64_t) +
+        static_cast<std::size_t>(env.totalSteps()) * sizeof(std::int32_t));
+    {
+        const std::uint64_t id = env.instanceId();
+        char bytes[sizeof id];
+        std::memcpy(bytes, &id, sizeof id);
+        episode_prefix.append(bytes, sizeof id);
+    }
+    for (std::int32_t i = 0; i < env.stepIndex(); ++i) {
+        const dfg::NodeId placed =
+            env.schedule().order[static_cast<std::size_t>(i)];
+        append_action(episode_prefix,
+                      env.state().placement(placed).pe);
+    }
+
     MctsMoveResult result;
     result.pi.assign(
         static_cast<std::size_t>(eval_->network().peCount()), 0.0);
 
+    // Schedule position of the root: depth d of a descent places
+    // schedule().order[root_steps + d], which is all noteRouteFailure
+    // needs to attribute env-free traversals of failing edges.
+    const std::int32_t root_steps = env.stepIndex();
+
     std::vector<std::int32_t> solved_path;
-    for (std::int32_t sim = 0; sim < config_.expansionsPerMove; ++sim) {
-        m.simulations.add();
-        ++result.simulations;
-        if (simulate(root, env, rng, solved_path,
-                     result.interiorVisits, result.maxDepth)) {
-            result.solvedSuffix = solved_path;
-            m.solvedSuffixes.add();
-            break;
+    bool solved = false;
+    bool noise_pending = config_.noiseFraction > 0.0;
+    const std::int32_t budget = config_.expansionsPerMove;
+    const std::int32_t leaf_batch =
+        std::max<std::int32_t>(1, config_.leafBatch);
+
+    // Descents are env-free wherever step records exist: rewards and
+    // episode-end flags come from the recorded outcomes, so the
+    // environment is only materialized where its state is truly needed
+    // (a leaf that must build an observation or record a dead end, an
+    // edge the router has never searched, the success check at a
+    // completed mapping). env_path is the edge sequence currently
+    // applied to the environment; sync_env brings it to the first
+    // @p depth steps of the descent path by undoing past the common
+    // prefix and replaying recorded steps forward.
+    std::vector<std::uint32_t> env_path;
+    const auto sync_env = [&](std::size_t depth) {
+        std::size_t common = 0;
+        while (common < env_path.size() && common < depth &&
+               env_path[common] == ar.path[common].edge)
+            ++common;
+        while (env_path.size() > common) {
+            env.undo();
+            env_path.pop_back();
         }
+        for (std::size_t j = common; j < depth; ++j) {
+            const std::uint32_t e = ar.path[j].edge;
+            env.stepReplay(ar.edgeAction[e],
+                           ar.memoPool[static_cast<std::size_t>(
+                               ar.edgeMemo[e])]);
+            env_path.push_back(e);
+        }
+    };
+
+    // Revert the virtual losses a descent applied (no real update).
+    const auto revert_virtual =
+        [&ar](const std::vector<Arena::PathStep> &path) {
+            for (const auto &step : path) {
+                --ar.edgeVloss[step.edge];
+                --ar.virtualVisits[step.parent];
+            }
+        };
+
+    // Real backup: return seen from each traversed edge (rewards after
+    // it + leaf value). Every node an edge was selected from - the root
+    // AND the interior nodes - bumps its visit total, since that total
+    // feeds the sqrt(N) numerator of its children's exploration term;
+    // skipping the interior ones would freeze deep exploration at
+    // sqrt(0 + 1). The descent's virtual losses are reverted here.
+    const auto backprop = [&ar, root, &result](
+                              const std::vector<Arena::PathStep> &path,
+                              double leaf_value) {
+        double suffix = leaf_value;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+            suffix += it->reward;
+            ++ar.edgeVisits[it->edge];
+            ar.edgeValue[it->edge] += suffix;
+            --ar.edgeVloss[it->edge];
+            ++ar.totalVisits[it->parent];
+            --ar.virtualVisits[it->parent];
+            if (it->parent != root)
+                ++result.interiorVisits;
+        }
+    };
+
+    const auto note_depth = [&result](std::size_t depth) {
+        result.maxDepth = std::max(result.maxDepth,
+                                   static_cast<std::int32_t>(depth));
+    };
+
+    enum class Descent { Terminal, Pending, Duplicate, Solved };
+
+    // Carve @p nodeId's child span from the edge arena and flip the
+    // node pending -> expanded; the caller fills edgeAction/edgePrior
+    // over [returned offset, offset + count). The single place the
+    // expansion invariants live, shared by the fresh-evaluation and
+    // memo-replay paths.
+    const auto open_children = [&ar](std::uint32_t nodeId,
+                                     std::int32_t count) {
+        const std::uint32_t offset = ar.allocEdges(count);
+        ar.childOffset[nodeId] = offset;
+        ar.childCount[nodeId] = count;
+        ar.flags[nodeId] = static_cast<std::uint8_t>(
+            (ar.flags[nodeId] & ~Arena::kPending) | Arena::kExpanded);
+        return offset;
+    };
+
+    // Give @p nodeId its child edges from @p logits (one float per PE,
+    // legal actions only). Fresh-evaluation path; memo hits replay the
+    // recorded (action, prior) span verbatim instead, which is the
+    // same arithmetic because the priors were stored post-exp().
+    const auto expand_node = [&](std::uint32_t nodeId,
+                                 const std::vector<bool> &mask,
+                                 const float *logits) {
+        std::int32_t count = 0;
+        for (const bool legal : mask)
+            count += legal ? 1 : 0;
+        std::uint32_t e = open_children(nodeId, count);
+        for (std::int32_t a = 0;
+             a < static_cast<std::int32_t>(mask.size()); ++a) {
+            if (!mask[static_cast<std::size_t>(a)])
+                continue;
+            ar.edgeAction[e] = a;
+            ar.edgePrior[e] = std::exp(static_cast<double>(
+                logits[static_cast<std::size_t>(a)]));
+            ++e;
+        }
+    };
+
+    // One virtual-loss descent: selection down to a leaf. Terminal
+    // leaves (known value, no network needed) are backed up in place
+    // and count a simulation immediately; fresh leaves join the wave
+    // under a pending flag; reaching a pending leaf again means the
+    // tree is exhausted of distinct leaves for this wave.
+    const auto descend = [&]() -> Descent {
+        ar.path.clear();
+        // Invariant: keyScratch is the packed absolute action prefix
+        // of `node` at every loop head (extended as edges are taken).
+        ar.keyScratch.assign(episode_prefix);
+        std::uint32_t node = root;
+        // Recorded outcome.done of the edge that reached `node`
+        // (the env may be elsewhere; runFromCurrent panics when the
+        // root itself is a finished episode).
+        bool arrived_done = false;
+        while (true) {
+            if (ar.flags[node] & Arena::kTerminal) {
+                // Cached terminal. A dead end is terminal for the
+                // search but not for the environment; re-record the
+                // failure attribution exactly as the per-visit search
+                // did, so post-mortem magnitudes are unchanged.
+                if (!arrived_done) {
+                    sync_env(ar.path.size());
+                    env.noteDeadEnd();
+                }
+                backprop(ar.path, ar.terminalValue[node]);
+                ++result.simulations;
+                m.simulations.add();
+                note_depth(ar.path.size());
+                return Descent::Terminal;
+            }
+            if (arrived_done) {
+                ar.flags[node] |= Arena::kTerminal;
+                sync_env(ar.path.size());
+                const bool success = env.success();
+                ar.terminalValue[node] =
+                    success ? config_.successBonus
+                            : 0.0; // route failures charged per step
+                if (success) {
+                    solved_path.clear();
+                    for (const auto &step : ar.path)
+                        solved_path.push_back(ar.edgeAction[step.edge]);
+                }
+                backprop(ar.path, ar.terminalValue[node]);
+                ++result.simulations;
+                m.simulations.add();
+                note_depth(ar.path.size());
+                return success ? Descent::Solved : Descent::Terminal;
+            }
+            if (ar.flags[node] & Arena::kPending) {
+                // Same leaf twice in one wave: virtual loss could not
+                // divert us anywhere new. Evaluate what we have.
+                revert_virtual(ar.path);
+                return Descent::Duplicate;
+            }
+            if (!(ar.flags[node] & Arena::kExpanded)) {
+                // Fresh leaf, keyed by its absolute action prefix.
+                // Seen before (earlier move or restart): carry the
+                // recorded expansion into the wave - no action mask,
+                // no observation build, no network call, not even an
+                // environment state (only states with legal actions
+                // are ever memoized, so the dead-end check is implied
+                // by a hit). Either way the leaf joins the wave in
+                // collection order under virtual loss, so a warm memo
+                // changes no search decision and repeated searches
+                // retrace (and keep hitting) the same states.
+                const auto hit = ar.evalMemo.find(ar.keyScratch);
+                if (hit == ar.evalMemo.end()) {
+                    sync_env(ar.path.size());
+                    if (env.legalActionCount() == 0) {
+                        env.noteDeadEnd();
+                        ar.flags[node] |= Arena::kTerminal;
+                        ar.terminalValue[node] = -config_.deadEndPenalty;
+                        backprop(ar.path, ar.terminalValue[node]);
+                        ++result.simulations;
+                        m.simulations.add();
+                        note_depth(ar.path.size());
+                        return Descent::Terminal;
+                    }
+                }
+                ar.flags[node] |= Arena::kPending;
+                Arena::PendingLeaf &leaf = ar.waveSlot();
+                leaf.node = node;
+                leaf.path = ar.path;
+                leaf.key = ar.keyScratch;
+                if (hit != ar.evalMemo.end()) {
+                    leaf.memo = &hit->second;
+                } else {
+                    // Copy the observation (the builder's buffer is
+                    // invalidated by the next refresh).
+                    leaf.obs = obsBuilder_.refresh(env);
+                }
+                note_depth(ar.path.size());
+                return Descent::Pending;
+            }
+
+            // UCT selection over stored priors/values (Algorithm 1
+            // line 11), with in-flight edges discounted by virtual
+            // loss. Strict > keeps the lowest edge (= lowest action)
+            // index on ties, independent of wave size, which is what
+            // makes leafBatch a pure throughput knob.
+            const double sqrt_total =
+                std::sqrt(static_cast<double>(ar.totalVisits[node] +
+                                              ar.virtualVisits[node] + 1));
+            const std::uint32_t begin = ar.childOffset[node];
+            const std::uint32_t end =
+                begin + static_cast<std::uint32_t>(ar.childCount[node]);
+            std::uint32_t best = Arena::kNullNode;
+            double best_score =
+                -std::numeric_limits<double>::infinity();
+            for (std::uint32_t e = begin; e < end; ++e) {
+                const std::int32_t n_eff =
+                    ar.edgeVisits[e] + ar.edgeVloss[e];
+                const double w_eff =
+                    ar.edgeValue[e] - static_cast<double>(ar.edgeVloss[e]) *
+                                          config_.virtualLossValue;
+                const double q =
+                    (n_eff > 0 ? w_eff / static_cast<double>(n_eff)
+                               : 0.0) *
+                    config_.valueScale;
+                const double u = config_.cExplore * ar.edgePrior[e] *
+                                 sqrt_total /
+                                 (1.0 + static_cast<double>(n_eff));
+                const double score = q + u;
+                if (score > best_score) {
+                    best_score = score;
+                    best = e;
+                }
+            }
+            if (best == Arena::kNullNode)
+                panic("MCTS: expanded node with no edges");
+
+            // Take the edge. The reward and episode-end flag come from
+            // the step record - recorded earlier this move, in the
+            // cross-move route memo, or (only for a route the router
+            // has never searched under this prefix) by materializing
+            // the environment and stepping it for real.
+            const std::int32_t action = ar.edgeAction[best];
+            append_action(ar.keyScratch, action);
+            std::int32_t memo = ar.edgeMemo[best];
+            bool failure_recorded = false;
+            if (memo < 0) {
+                memo = ar.allocMemo();
+                ar.edgeMemo[best] = memo;
+                mapper::StepRecord &rec =
+                    ar.memoPool[static_cast<std::size_t>(memo)];
+                const auto known = ar.stepMemo.find(ar.keyScratch);
+                if (known != ar.stepMemo.end()) {
+                    rec = known->second;
+                } else {
+                    sync_env(ar.path.size());
+                    env.step(action, rec); // records any route failure
+                    failure_recorded = true;
+                    env_path.push_back(best);
+                    ar.stepMemo.emplace(ar.keyScratch, rec);
+                }
+            }
+            const mapper::StepOutcome &out =
+                ar.memoPool[static_cast<std::size_t>(memo)].outcome;
+            // The seed engine re-stepped every traversal, charging a
+            // failing route once per visit; replayed/memoized
+            // traversals keep those magnitudes via the attribution
+            // hook (see MapEnv::noteRouteFailure).
+            if (!out.routedOk && !failure_recorded) {
+                env.noteRouteFailure(
+                    root_steps +
+                        static_cast<std::int32_t>(ar.path.size()),
+                    action);
+            }
+
+            ar.path.push_back(Arena::PathStep{node, best, out.reward});
+            ++ar.edgeVloss[best];
+            ++ar.virtualVisits[node];
+            if (ar.edgeChild[best] == Arena::kNullNode) {
+                ar.edgeChild[best] = ar.allocNode();
+                m.nodes.add();
+            }
+            node = ar.edgeChild[best];
+            arrived_done = out.done;
+        }
+    };
+
+    while (!solved && result.simulations < budget) {
+        // --- Collect a wave of distinct leaves under virtual loss ----
+        ar.waveUsed = 0;
+        while (static_cast<std::int32_t>(ar.waveUsed) < leaf_batch &&
+               result.simulations +
+                       static_cast<std::int32_t>(ar.waveUsed) <
+                   budget) {
+            const Descent r = descend();
+            if (r == Descent::Solved) {
+                solved = true;
+                break;
+            }
+            if (r == Descent::Duplicate)
+                break;
+        }
+
+        // --- One network call for the wave's unmemoized leaves -------
+        if (ar.waveUsed != 0 && !solved) {
+            std::vector<const Observation *> wave_obs;
+            wave_obs.reserve(ar.waveUsed);
+            for (std::size_t i = 0; i < ar.waveUsed; ++i) {
+                if (ar.wave[i].memo == nullptr)
+                    wave_obs.push_back(&ar.wave[i].obs);
+            }
+            std::vector<MapZeroNet::Output> outs;
+            if (!wave_obs.empty()) {
+                const Timer eval_timer;
+                outs = eval_->evaluateBatch(wave_obs);
+                m.netEvalSeconds.record(eval_timer.seconds());
+                m.netEvals.add(
+                    static_cast<std::int64_t>(wave_obs.size()));
+                m.batchFill.record(
+                    static_cast<double>(wave_obs.size()));
+                ++result.netCalls;
+                result.netLeaves +=
+                    static_cast<std::int32_t>(wave_obs.size());
+            }
+
+            // Expand + back up in collection order - identical
+            // arithmetic whether a leaf's expansion came from the
+            // batch or the memo (the memo stores the post-exp()
+            // priors verbatim).
+            std::size_t miss = 0;
+            for (std::size_t i = 0; i < ar.waveUsed; ++i) {
+                const Arena::PendingLeaf &leaf = ar.wave[i];
+                float value = 0.0f;
+                if (leaf.memo != nullptr) {
+                    const Arena::EvalMemoEntry &entry = *leaf.memo;
+                    value = entry.value;
+                    const std::uint32_t offset = open_children(
+                        leaf.node,
+                        static_cast<std::int32_t>(entry.actions.size()));
+                    for (std::size_t j = 0; j < entry.actions.size();
+                         ++j) {
+                        ar.edgeAction[offset + j] = entry.actions[j];
+                        ar.edgePrior[offset + j] = entry.priors[j];
+                    }
+                } else {
+                    const nn::Tensor &t = outs[miss].logPolicy.tensor();
+                    value = outs[miss].value.item();
+                    ++miss;
+                    expand_node(leaf.node, leaf.obs.actionMask,
+                                t.data().data());
+                    // Record the expansion (pre-noise: root noise is
+                    // applied after this block) for future moves and
+                    // restarts.
+                    Arena::EvalMemoEntry &entry = ar.evalMemo[leaf.key];
+                    if (entry.actions.empty()) {
+                        const std::uint32_t off =
+                            ar.childOffset[leaf.node];
+                        const auto cnt = static_cast<std::size_t>(
+                            ar.childCount[leaf.node]);
+                        entry.actions.assign(
+                            ar.edgeAction.begin() + off,
+                            ar.edgeAction.begin() + off + cnt);
+                        entry.priors.assign(
+                            ar.edgePrior.begin() + off,
+                            ar.edgePrior.begin() + off + cnt);
+                        entry.value = value;
+                    }
+                }
+                backprop(leaf.path,
+                         static_cast<double>(value) / config_.valueScale);
+                ++result.simulations;
+                m.simulations.add();
+            }
+        }
+
         // Root noise once the root has been expanded (self-play only).
-        if (sim == 0 && config_.noiseFraction > 0.0 &&
-            !root.edges.empty()) {
-            const auto noise = dirichlet(root.edges.size(),
-                                         config_.dirichletAlpha, rng);
-            for (std::size_t i = 0; i < root.edges.size(); ++i) {
-                root.edges[i].prior =
-                    (1.0 - config_.noiseFraction) * root.edges[i].prior +
-                    config_.noiseFraction * noise[i];
+        if (noise_pending && (ar.flags[root] & Arena::kExpanded)) {
+            noise_pending = false;
+            const auto k =
+                static_cast<std::size_t>(ar.childCount[root]);
+            if (k > 0) {
+                const auto noise =
+                    dirichlet(k, config_.dirichletAlpha, rng);
+                const std::uint32_t off = ar.childOffset[root];
+                for (std::size_t i = 0; i < k; ++i) {
+                    ar.edgePrior[off + i] =
+                        (1.0 - config_.noiseFraction) *
+                            ar.edgePrior[off + i] +
+                        config_.noiseFraction * noise[i];
+                }
             }
         }
     }
+    // Hand the environment back exactly as we received it.
+    sync_env(0);
 
-    std::int32_t total_visits = 0;
-    for (const auto &edge : root.edges)
-        total_visits += edge.visits;
+    if (solved) {
+        result.solvedSuffix = solved_path;
+        m.solvedSuffixes.add();
+    }
+
+    result.treeNodes = static_cast<std::int32_t>(ar.flags.size());
+    result.arenaBytes = ar.bytes();
+    m.treeNodes.set(static_cast<double>(result.treeNodes));
+    m.arenaBytes.set(static_cast<double>(result.arenaBytes));
+
+    // --- Move result off the root edge span --------------------------
+    const std::uint32_t begin = ar.childOffset[root];
+    const std::uint32_t end =
+        begin + static_cast<std::uint32_t>(ar.childCount[root]);
+    std::int64_t total_visits = 0;
+    for (std::uint32_t e = begin; e < end; ++e)
+        total_visits += ar.edgeVisits[e];
 
     if (total_visits == 0) {
         // No simulation got past the root (all immediate terminals);
         // fall back to priors.
         double best_prior = -1.0;
-        for (const auto &edge : root.edges) {
-            result.pi[static_cast<std::size_t>(edge.action)] = edge.prior;
-            if (edge.prior > best_prior) {
-                best_prior = edge.prior;
-                result.bestAction = edge.action;
+        for (std::uint32_t e = begin; e < end; ++e) {
+            result.pi[static_cast<std::size_t>(ar.edgeAction[e])] =
+                ar.edgePrior[e];
+            if (ar.edgePrior[e] > best_prior) {
+                best_prior = ar.edgePrior[e];
+                result.bestAction = ar.edgeAction[e];
             }
         }
         if (journal().enabled())
@@ -298,16 +818,17 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
 
     std::int32_t best_visits = -1;
     double weighted_value = 0.0;
-    for (const auto &edge : root.edges) {
-        result.pi[static_cast<std::size_t>(edge.action)] =
-            static_cast<double>(edge.visits) /
-            static_cast<double>(total_visits);
-        weighted_value += edge.meanValue() *
-                          static_cast<double>(edge.visits) /
-                          static_cast<double>(total_visits);
-        if (edge.visits > best_visits) {
-            best_visits = edge.visits;
-            result.bestAction = edge.action;
+    for (std::uint32_t e = begin; e < end; ++e) {
+        const double share = static_cast<double>(ar.edgeVisits[e]) /
+                             static_cast<double>(total_visits);
+        result.pi[static_cast<std::size_t>(ar.edgeAction[e])] = share;
+        if (ar.edgeVisits[e] > 0)
+            weighted_value +=
+                ar.edgeValue[e] /
+                static_cast<double>(ar.edgeVisits[e]) * share;
+        if (ar.edgeVisits[e] > best_visits) {
+            best_visits = ar.edgeVisits[e];
+            result.bestAction = ar.edgeAction[e];
         }
     }
     result.rootValue = weighted_value * config_.valueScale;

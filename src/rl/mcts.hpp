@@ -12,11 +12,38 @@
  * under the MII constraint, the whole mapping procedure ends": a
  * simulation that reaches a complete successful mapping short-circuits the
  * search and hands the caller the full action suffix.
+ *
+ * Implementation notes (see DESIGN.md §15 "Search-core memory model"):
+ *
+ *  - The tree lives in a structure-of-arrays *arena*: nodes and edges are
+ *    rows in contiguous parallel vectors indexed by uint32, children are
+ *    (offset, count) spans in the edge arena, and a move/restart resets
+ *    the arena in O(1) while keeping its capacity, so steady-state search
+ *    performs no tree allocation at all.
+ *
+ *  - Simulations run in *waves* under virtual loss: one search descends
+ *    the tree repeatedly, marking each selected edge with a temporary
+ *    pessimistic loss so consecutive descents diverge, gathers up to
+ *    leafBatch distinct leaves, and submits them as ONE
+ *    Evaluator::evaluateBatch call. Virtual losses are reverted during
+ *    backup. Leaves are expanded in collection order and the collection
+ *    order is deterministic (strict UCT tie-break on the lowest edge
+ *    index), so for a fixed config the search is bit-identical run to
+ *    run and across any jobs count (the jobs=1 ≡ jobs=N contract);
+ *    leafBatch=1 reproduces the classic sequential search exactly,
+ *    while larger batches deterministically trade a slightly different
+ *    (virtual-loss-diverged) leaf order for throughput.
+ *
+ *  - Steps are memoized: the environment state at a tree node is a pure
+ *    function of the action path, so the routes committed the first time
+ *    an edge is traversed are recorded and replayed verbatim on
+ *    re-traversal (mapper::StepRecord), skipping the router search.
  */
 
 #ifndef MAPZERO_RL_MCTS_HPP
 #define MAPZERO_RL_MCTS_HPP
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -43,6 +70,19 @@ struct MctsConfig {
     double deadEndPenalty = 100.0;
     /** Scale applied to returns before they feed Q and the value loss. */
     double valueScale = 0.01;
+    /**
+     * Distinct leaves gathered under virtual loss per network call.
+     * 1 reproduces the classic sequential search; larger values fill
+     * forwardBatch from a single restart. Any value is deterministic
+     * and independent of the jobs count (see file header).
+     */
+    std::int32_t leafBatch = 16;
+    /**
+     * Pessimistic value (in unscaled return units) an in-flight edge
+     * carries until its leaf evaluation lands; steers concurrent
+     * descents of one wave apart.
+     */
+    double virtualLossValue = 100.0;
 };
 
 /** Result of running the search for one move. */
@@ -64,6 +104,14 @@ struct MctsMoveResult {
     std::int32_t maxDepth = 0;
     /** Simulations actually run (short-circuits stop early). */
     std::int32_t simulations = 0;
+    /** Network forward calls (batched: one per leaf wave). */
+    std::int32_t netCalls = 0;
+    /** Leaves evaluated by those calls (netLeaves/netCalls = fill). */
+    std::int32_t netLeaves = 0;
+    /** Tree nodes allocated in the arena for this move. */
+    std::int32_t treeNodes = 0;
+    /** Arena footprint (capacity bytes) after this move. */
+    std::size_t arenaBytes = 0;
     /**
      * When a simulation completed the whole mapping successfully: the
      * action suffix (from the current state) that realizes it.
@@ -84,23 +132,32 @@ class Mcts
      */
     Mcts(Evaluator &evaluator, MctsConfig config);
 
+    ~Mcts();
+    Mcts(const Mcts &) = delete;
+    Mcts &operator=(const Mcts &) = delete;
+
     /**
      * Run expansionsPerMove simulations from the environment's current
      * state. The environment is stepped and undone internally and is
-     * returned in its original state.
+     * returned in its original state. The tree arena is rewound (not
+     * freed) on entry, so repeated moves reuse its capacity.
      */
     MctsMoveResult runFromCurrent(mapper::MapEnv &env, Rng &rng);
 
     const MctsConfig &config() const { return config_; }
 
-  private:
-    struct TreeNode;
+    /** Capacity snapshot of the arena (for reuse tests and gauges). */
+    struct ArenaStats {
+        std::size_t nodeCapacity = 0;
+        std::size_t edgeCapacity = 0;
+        std::size_t memoCapacity = 0;
+        /** Total capacity bytes across all columns. */
+        std::size_t bytes = 0;
+    };
+    ArenaStats arenaStats() const;
 
-    /** One simulation; returns true when it solved the whole mapping. */
-    bool simulate(TreeNode &root, mapper::MapEnv &env, Rng &rng,
-                  std::vector<std::int32_t> &solved_path,
-                  std::int64_t &interior_visits,
-                  std::int32_t &max_depth);
+  private:
+    struct Arena;
 
     /** Set when constructed from a bare network. */
     std::unique_ptr<DirectEvaluator> owned_;
@@ -108,6 +165,8 @@ class Mcts
     MctsConfig config_;
     /** Leaf observations patched incrementally instead of rebuilt. */
     ObservationBuilder obsBuilder_;
+    /** SoA tree storage, reused across moves and restarts. */
+    std::unique_ptr<Arena> arena_;
 };
 
 } // namespace mapzero::rl

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cross-checks of the incremental routing fast paths (frontier cache,
+ * admissible pruning, step replay) against full recomputation, over
+ * randomized place/undo sequences. With the cross-check flag on, every
+ * divergence between the incremental and the recomputed answer panics,
+ * so these tests pass only if the fast paths are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cgra/architecture.hpp"
+#include "common/rng.hpp"
+#include "dfg/kernels.hpp"
+#include "mapper/environment.hpp"
+#include "mapper/router.hpp"
+
+namespace mapzero::mapper {
+namespace {
+
+/** Scoped enable of the debug cross-check (global flag, restored). */
+struct CrossCheckGuard {
+    bool previous = routerCrossCheck();
+    CrossCheckGuard() { setRouterCrossCheck(true); }
+    ~CrossCheckGuard() { setRouterCrossCheck(previous); }
+};
+
+std::int32_t
+randomLegalPe(const MapEnv &env, Rng &rng)
+{
+    const std::vector<bool> &mask = env.actionMask();
+    std::vector<std::int32_t> legal;
+    for (std::size_t pe = 0; pe < mask.size(); ++pe)
+        if (mask[pe])
+            legal.push_back(static_cast<std::int32_t>(pe));
+    if (legal.empty())
+        return -1;
+    return legal[static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(legal.size())))];
+}
+
+/**
+ * Random walk of place / undo / record+replay steps. Replay exercises
+ * MapEnv::stepReplay, which under the cross-check re-runs the full
+ * router and verifies the recorded routes bit for bit.
+ */
+void
+randomizedWalk(const char *kernel, const cgra::Architecture &arch,
+               std::int32_t ii, std::uint64_t seed)
+{
+    const dfg::Dfg d = dfg::buildKernel(kernel);
+    MapEnv env(d, arch, ii);
+    Rng rng(seed);
+    std::vector<StepRecord> records;
+
+    for (std::int32_t iter = 0; iter < 300; ++iter) {
+        const bool can_place =
+            !env.done() && env.legalActionCount() > 0;
+        const bool can_undo = env.stepIndex() > 0;
+        const std::uint64_t coin = rng.uniformInt(4);
+
+        if (can_place && (coin < 2 || !can_undo)) {
+            // Place on a random legal PE, capturing the step record.
+            const std::int32_t pe = randomLegalPe(env, rng);
+            ASSERT_GE(pe, 0);
+            records.emplace_back();
+            env.step(pe, records.back());
+        } else if (can_undo && coin == 2) {
+            env.undo();
+            records.pop_back();
+        } else if (can_undo) {
+            // Undo then replay the same step from its record at the
+            // identical state: the cross-check recomputes it and
+            // panics on any divergence.
+            const dfg::NodeId node = env.schedule().order[
+                static_cast<std::size_t>(env.stepIndex() - 1)];
+            const std::int32_t pe = env.state().placement(node).pe;
+            StepRecord record = std::move(records.back());
+            records.pop_back();
+            env.undo();
+            env.stepReplay(pe, record);
+            records.push_back(std::move(record));
+        }
+    }
+
+    // Unwind completely; the environment must return to its reset
+    // state with nothing left committed.
+    while (env.stepIndex() > 0)
+        env.undo();
+    EXPECT_EQ(env.stepIndex(), 0);
+}
+
+/** Record/undo/replay round-trips on a fixed prefix. */
+void
+replayRoundTrip(const char *kernel, const cgra::Architecture &arch,
+                std::int32_t ii, std::uint64_t seed)
+{
+    const dfg::Dfg d = dfg::buildKernel(kernel);
+    MapEnv env(d, arch, ii);
+    Rng rng(seed);
+
+    while (!env.done() && env.legalActionCount() > 0) {
+        const std::int32_t pe = randomLegalPe(env, rng);
+        ASSERT_GE(pe, 0);
+        StepRecord record;
+        const StepOutcome first = env.step(pe, record);
+        env.undo();
+        // Replay at the identical state: the cross-check re-runs the
+        // router and verifies outcome and routes match the record.
+        const StepOutcome replayed = env.stepReplay(pe, record);
+        EXPECT_DOUBLE_EQ(replayed.reward, first.reward);
+        EXPECT_EQ(replayed.routedOk, first.routedOk);
+        EXPECT_EQ(replayed.hops, first.hops);
+        EXPECT_EQ(replayed.done, first.done);
+    }
+}
+
+TEST(RouterIncremental, RandomizedWalkHrea)
+{
+    CrossCheckGuard guard;
+    randomizedWalk("mac", cgra::Architecture::hrea(), 2, 101);
+    randomizedWalk("sum", cgra::Architecture::hrea(), 1, 102);
+}
+
+TEST(RouterIncremental, RandomizedWalkHycube)
+{
+    CrossCheckGuard guard;
+    randomizedWalk("conv2", cgra::Architecture::hycube(), 2, 103);
+    randomizedWalk("mac", cgra::Architecture::hycube(), 1, 104);
+}
+
+TEST(RouterIncremental, ReplayMatchesFreshStepHrea)
+{
+    CrossCheckGuard guard;
+    replayRoundTrip("mac", cgra::Architecture::hrea(), 2, 105);
+}
+
+TEST(RouterIncremental, ReplayMatchesFreshStepHycube)
+{
+    CrossCheckGuard guard;
+    replayRoundTrip("conv2", cgra::Architecture::hycube(), 2, 106);
+}
+
+} // namespace
+} // namespace mapzero::mapper

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Determinism, arena-reuse, and jobs-invariance tests for the batched
+ * (virtual-loss wave) MCTS (DESIGN.md §15).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/agent_cache.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+#include "rl/mcts.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+struct BatchFixture {
+    dfg::Dfg d = dfg::buildKernel("sum");
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng netRng{21};
+    MapZeroNet net{arch.peCount(), NetworkConfig{}, netRng};
+
+    MctsConfig config() const
+    {
+        MctsConfig cfg;
+        cfg.expansionsPerMove = 48;
+        cfg.leafBatch = 16;
+        return cfg;
+    }
+};
+
+/** One move per step until the episode ends; records each decision. */
+struct EpisodeTrace {
+    std::vector<std::int32_t> actions;
+    std::vector<std::vector<double>> pis;
+};
+
+EpisodeTrace
+playEpisode(Mcts &mcts, mapper::MapEnv &env, std::uint64_t seed)
+{
+    EpisodeTrace trace;
+    Rng rng(seed);
+    env.reset();
+    while (!env.done() && env.legalActionCount() > 0) {
+        const MctsMoveResult move = mcts.runFromCurrent(env, rng);
+        trace.actions.push_back(move.bestAction);
+        trace.pis.push_back(move.pi);
+        if (move.solvedSuffix.has_value()) {
+            for (const std::int32_t a : *move.solvedSuffix) {
+                trace.actions.push_back(a);
+                env.step(a);
+            }
+            break;
+        }
+        env.step(move.bestAction);
+    }
+    return trace;
+}
+
+TEST(MctsBatched, FreshEnginesSearchBitIdentically)
+{
+    BatchFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    Rng rngA(7), rngB(7);
+
+    Mcts a(f.net, f.config());
+    Mcts b(f.net, f.config());
+    const MctsMoveResult ra = a.runFromCurrent(env, rngA);
+    const MctsMoveResult rb = b.runFromCurrent(env, rngB);
+
+    EXPECT_EQ(ra.bestAction, rb.bestAction);
+    EXPECT_EQ(ra.simulations, rb.simulations);
+    EXPECT_EQ(ra.netCalls, rb.netCalls);
+    ASSERT_EQ(ra.pi.size(), rb.pi.size());
+    for (std::size_t i = 0; i < ra.pi.size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.pi[i], rb.pi[i]) << i;
+}
+
+TEST(MctsBatched, WarmMemosDoNotChangeTheSearch)
+{
+    // The eval/route memos carry results across episodes; a warm second
+    // episode must retrace the cold one's decisions exactly.
+    BatchFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    Mcts mcts(f.net, f.config());
+
+    const EpisodeTrace cold = playEpisode(mcts, env, 11);
+    const EpisodeTrace warm = playEpisode(mcts, env, 11);
+
+    ASSERT_EQ(cold.actions, warm.actions);
+    ASSERT_EQ(cold.pis.size(), warm.pis.size());
+    for (std::size_t m = 0; m < cold.pis.size(); ++m) {
+        ASSERT_EQ(cold.pis[m].size(), warm.pis[m].size());
+        for (std::size_t i = 0; i < cold.pis[m].size(); ++i)
+            EXPECT_DOUBLE_EQ(cold.pis[m][i], warm.pis[m][i])
+                << "move " << m << " action " << i;
+    }
+}
+
+TEST(MctsBatched, ArenaCapacityStopsGrowingAfterWarmup)
+{
+    // The arena rewinds in O(1) and reuses capacity: after a warmup
+    // episode, replaying the (deterministic) episode allocates nothing.
+    BatchFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    Mcts mcts(f.net, f.config());
+
+    playEpisode(mcts, env, 13);
+    const Mcts::ArenaStats warm = mcts.arenaStats();
+    EXPECT_GT(warm.nodeCapacity, 0u);
+    EXPECT_GT(warm.bytes, 0u);
+
+    playEpisode(mcts, env, 13);
+    const Mcts::ArenaStats after = mcts.arenaStats();
+    EXPECT_EQ(after.nodeCapacity, warm.nodeCapacity);
+    EXPECT_EQ(after.edgeCapacity, warm.edgeCapacity);
+    EXPECT_EQ(after.memoCapacity, warm.memoCapacity);
+    EXPECT_EQ(after.bytes, warm.bytes);
+}
+
+TEST(MctsBatched, BatchedSearchRestoresTheEnvironment)
+{
+    BatchFixture f;
+    mapper::MapEnv env(f.d, f.arch, 1);
+    env.step(0);
+    const std::int32_t before = env.stepIndex();
+    const double reward_before = env.totalReward();
+
+    Mcts mcts(f.net, f.config());
+    Rng rng(17);
+    mcts.runFromCurrent(env, rng);
+    EXPECT_EQ(env.stepIndex(), before);
+    EXPECT_DOUBLE_EQ(env.totalReward(), reward_before);
+}
+
+TEST(MctsBatched, JobsInvariantMappingWithBatchedWaves)
+{
+    // jobs=4 routes the concurrent restarts' leaf waves through one
+    // shared EvalBatcher; batching across attempts must not change
+    // what any attempt computes (the jobs=1 ≡ jobs=N contract).
+    clearAgentCache();
+    cgra::Architecture arch = cgra::Architecture::hrea();
+    PretrainBudget budget;
+    budget.episodes = 2;
+    budget.seconds = 5.0;
+    budget.maxNodes = 6;
+    budget.mctsExpansions = 4;
+    const auto net = pretrainedNetwork(arch, budget);
+    const dfg::Dfg d = dfg::buildKernel("mac");
+
+    const auto compile_at = [&](std::int32_t jobs) {
+        Compiler compiler;
+        compiler.setNetwork(net);
+        CompileOptions options;
+        options.timeLimitSeconds = 60.0;
+        options.seed = 99;
+        options.jobs = jobs;
+        options.restartsPerIi = 4; // pinned portfolio size
+        return compiler.compile(d, arch, Method::MapZero, options);
+    };
+
+    const CompileResult sequential = compile_at(1);
+    const CompileResult parallel = compile_at(4);
+    EXPECT_EQ(sequential.success, parallel.success);
+    EXPECT_EQ(sequential.ii, parallel.ii);
+    EXPECT_EQ(sequential.totalHops, parallel.totalHops);
+    EXPECT_EQ(sequential.searchOps, parallel.searchOps);
+    ASSERT_EQ(sequential.placements.size(), parallel.placements.size());
+    for (std::size_t i = 0; i < sequential.placements.size(); ++i) {
+        EXPECT_EQ(sequential.placements[i].pe, parallel.placements[i].pe)
+            << i;
+        EXPECT_EQ(sequential.placements[i].time,
+                  parallel.placements[i].time)
+            << i;
+    }
+}
+
+} // namespace
+} // namespace mapzero::rl
