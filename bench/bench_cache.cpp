@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Persistent compile-cache replay benchmark (infrastructure tracking,
+ * not a paper figure): a Zipf-distributed request stream - the shape of
+ * real tenant traffic, where a few hot kernels dominate - replayed
+ * through an in-process mapzerod over loopback TCP, once with the
+ * persistent result tier off and once with it on. Latency is the
+ * server-side compile time (JobStatus::runSeconds, frozen at the
+ * terminal transition), so client poll granularity cannot pollute the
+ * percentiles.
+ *
+ * Correctness guard: with the tier on, every warm repeat of a
+ * successfully compiled kernel must FETCH a blob byte-identical to the
+ * cold one's (the tier replays the stored original result, timing
+ * fields included).
+ *
+ * Publishes "bench.cache.*" gauges for the standard run report. With
+ * --check the binary exits non-zero unless the warm p50 clears 5x the
+ * cold p50, at least one request was served from disk, and every warm
+ * blob matched its cold original.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "dfg/dot.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+
+namespace {
+
+using namespace mapzero;
+
+/** One replayed request's outcome. */
+struct Sample {
+    std::size_t kernel = 0;
+    double runSeconds = 0.0;
+    bool success = false;
+    std::string blob;
+};
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t index = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(values.size())));
+    return values[index];
+}
+
+/**
+ * Replay @p sequence (indices into @p dots) through a fresh daemon.
+ * @p cacheDir empty = persistent tier off. Requests run one at a time
+ * so each runSeconds measures an uncontended compile.
+ */
+std::vector<Sample>
+replay(const std::vector<std::string> &dots,
+       const std::vector<std::size_t> &sequence,
+       const std::string &cacheDir)
+{
+    svc::DaemonOptions options;
+    options.workers = 1;
+    options.service.persistDir = cacheDir;
+    svc::Daemon daemon;
+    if (!daemon.start(options))
+        fatal("bench_cache: daemon failed to start");
+
+    svc::Client client(daemon.port());
+    std::vector<Sample> samples;
+    samples.reserve(sequence.size());
+    for (const std::size_t kernel : sequence) {
+        svc::SubmitRequest request;
+        request.dfgDot = dots[kernel];
+        request.archName = "hrea";
+        request.method = 3; // SA: search-heavy and model-free
+        request.timeLimitSeconds = 10.0;
+        // A production-shaped restart portfolio per request: the cold
+        // cost the tier amortizes is the whole portfolio, not one
+        // anneal.
+        request.restartsPerIi = 8;
+
+        std::uint64_t id = 0;
+        std::uint32_t depth = 0;
+        if (client.submit(request, id, depth) != svc::Status::Ok)
+            fatal(cat("bench_cache: SUBMIT failed: ", client.lastError()));
+        const auto status = client.waitForJob(id, 60.0);
+        if (!status)
+            fatal(cat("bench_cache: job ", id,
+                      " never finished: ", client.lastError()));
+
+        svc::JobResult result;
+        if (client.fetch(id, result) != svc::Status::Ok)
+            fatal(cat("bench_cache: FETCH failed: ", client.lastError()));
+
+        Sample sample;
+        sample.kernel = kernel;
+        sample.runSeconds = status->runSeconds;
+        sample.success = result.state == svc::JobState::Done &&
+            result.blob.find("\"success\": true") != std::string::npos;
+        sample.blob = std::move(result.blob);
+        samples.push_back(std::move(sample));
+    }
+    daemon.stop();
+    return samples;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    std::size_t requests = 48;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+            requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+
+    bench::printBanner(
+        "bench_cache: persistent result tier under Zipf replay");
+
+    // The paper's core kernel set, pre-rendered to the DOT text a real
+    // SUBMIT carries. Ordered heaviest-first so the Zipf head lands on
+    // the expensive kernels - the regime a result cache exists for
+    // (nobody deploys one to amortize sub-millisecond compiles).
+    std::vector<std::string> names = dfg::coreKernelNames();
+    std::vector<dfg::Dfg> kernels;
+    kernels.reserve(names.size());
+    for (const std::string &name : names)
+        kernels.push_back(dfg::buildKernel(name));
+    std::vector<std::size_t> order(names.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&kernels](std::size_t a, std::size_t b) {
+                  return kernels[a].nodeCount() > kernels[b].nodeCount();
+              });
+    std::vector<std::string> sorted_names;
+    std::vector<std::string> dots;
+    sorted_names.reserve(order.size());
+    dots.reserve(order.size());
+    for (const std::size_t i : order) {
+        sorted_names.push_back(names[i]);
+        dots.push_back(dfg::toDot(kernels[i]));
+    }
+    names = std::move(sorted_names);
+
+    // Zipf(1.0) request stream: kernel k drawn with weight 1/(k+1).
+    std::vector<double> weights(dots.size());
+    for (std::size_t k = 0; k < weights.size(); ++k)
+        weights[k] = 1.0 / static_cast<double>(k + 1);
+    Rng rng(2024);
+    std::vector<std::size_t> sequence;
+    sequence.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i)
+        sequence.push_back(rng.weightedIndex(weights));
+
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         ("mapzero-bench-cache-" + std::to_string(getpid())))
+            .string();
+    std::filesystem::remove_all(cache_dir);
+
+    const std::int64_t disk_hits_before =
+        metrics().counter("cache.disk_hits").value();
+
+    const std::vector<Sample> cold = replay(dots, sequence, "");
+    const std::vector<Sample> warm = replay(dots, sequence, cache_dir);
+
+    const std::int64_t disk_hits =
+        metrics().counter("cache.disk_hits").value() - disk_hits_before;
+
+    // Bit-identity: every warm repeat of a persisted kernel must equal
+    // the warm stream's own first (cold-path) blob for that kernel.
+    std::size_t repeats = 0, mismatches = 0;
+    {
+        std::map<std::size_t, const Sample *> first;
+        for (const Sample &sample : warm) {
+            const auto [it, inserted] =
+                first.emplace(sample.kernel, &sample);
+            if (inserted || !it->second->success)
+                continue;
+            ++repeats;
+            if (sample.blob != it->second->blob) {
+                ++mismatches;
+                std::fprintf(stderr,
+                             "warm blob of %s diverged from its cold "
+                             "original\n",
+                             names[sample.kernel].c_str());
+            }
+        }
+    }
+
+    const auto seconds_of = [](const std::vector<Sample> &samples) {
+        std::vector<double> out;
+        out.reserve(samples.size());
+        for (const Sample &sample : samples)
+            out.push_back(sample.runSeconds);
+        return out;
+    };
+    const double cold_p50 = percentile(seconds_of(cold), 0.50);
+    const double cold_p99 = percentile(seconds_of(cold), 0.99);
+    const double warm_p50 = percentile(seconds_of(warm), 0.50);
+    const double warm_p99 = percentile(seconds_of(warm), 0.99);
+    const double speedup = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+
+    metrics().gauge("bench.cache.cold_p50_ms").set(cold_p50 * 1e3);
+    metrics().gauge("bench.cache.cold_p99_ms").set(cold_p99 * 1e3);
+    metrics().gauge("bench.cache.warm_p50_ms").set(warm_p50 * 1e3);
+    metrics().gauge("bench.cache.warm_p99_ms").set(warm_p99 * 1e3);
+    metrics().gauge("bench.cache.p50_speedup").set(speedup);
+    metrics().gauge("bench.cache.disk_hits")
+        .set(static_cast<double>(disk_hits));
+
+    bench::printRow({"tier", "p50 ms", "p99 ms"}, 22);
+    bench::printRow({"off (every request compiles)",
+                     bench::fmt("%.3f", cold_p50 * 1e3),
+                     bench::fmt("%.3f", cold_p99 * 1e3)},
+                    22);
+    bench::printRow({"on (Zipf repeats from disk)",
+                     bench::fmt("%.3f", warm_p50 * 1e3),
+                     bench::fmt("%.3f", warm_p99 * 1e3)},
+                    22);
+    std::printf("p50 speedup: %.1fx (CI floor 5x); %zu requests over "
+                "%zu kernels, %lld disk hits, %zu warm repeats "
+                "(%zu blob mismatches)\n",
+                speedup, sequence.size(), dots.size(),
+                static_cast<long long>(disk_hits), repeats, mismatches);
+
+    std::filesystem::remove_all(cache_dir);
+
+    if (check && mismatches > 0) {
+        std::fprintf(stderr, "FAIL: warm results are not byte-identical "
+                             "to their cold originals\n");
+        return 1;
+    }
+    if (check && disk_hits <= 0) {
+        std::fprintf(stderr,
+                     "FAIL: the persistent tier never served a hit\n");
+        return 1;
+    }
+    if (check && speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm p50 is only %.2fx the cold p50 "
+                     "(floor 5x)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -106,6 +106,34 @@ Architecture::connected(PeId src, PeId dst) const
     return std::find(nbrs.begin(), nbrs.end(), dst) != nbrs.end();
 }
 
+std::string
+Architecture::canonicalBytes() const
+{
+    std::string bytes;
+    const auto append = [&bytes](const void *p, std::size_t n) {
+        bytes.append(static_cast<const char *>(p), n);
+    };
+    const auto append_i32 = [&](std::int32_t v) { append(&v, sizeof(v)); };
+    append_i32(rows_);
+    append_i32(cols_);
+    bytes.push_back(rowSharedMemoryBus_ ? '\1' : '\0');
+    for (const PeConfig &cfg : pes_) {
+        bytes.push_back(cfg.arithmetic ? '\1' : '\0');
+        bytes.push_back(cfg.logic ? '\1' : '\0');
+        bytes.push_back(cfg.memory ? '\1' : '\0');
+        append_i32(cfg.constUnits);
+        append_i32(cfg.loadUnits);
+        append_i32(cfg.aluUnits);
+        append_i32(cfg.storeUnits);
+        append_i32(cfg.outputRegs);
+    }
+    for (const auto &[src, dst] : linkList()) {
+        append_i32(src);
+        append_i32(dst);
+    }
+    return bytes;
+}
+
 void
 Architecture::addLink(PeId src, PeId dst)
 {

@@ -110,6 +110,15 @@ class Architecture
     /** Whether a directed link src -> dst exists. */
     bool connected(PeId src, PeId dst) const;
 
+    /**
+     * Canonical byte encoding of everything that affects mapping:
+     * grid shape, memory-bus mode, every PE's configuration, and the
+     * full link list. Excludes the display name, so two fabrics that
+     * map identically encode identically. Used as cache-key material
+     * (eval-cache arch signature, persistent result tier).
+     */
+    std::string canonicalBytes() const;
+
     /// @name Paper presets (Table 1, Fig. 14)
     /// @{
     static Architecture hrea();        ///< 4x4, mesh+1hop+diag+toroidal

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * N-way sharded, open-addressing, byte-keyed LRU cache.
+ *
+ * The process-wide caches (network-output EvalCache, the MCTS
+ * transposition table) are keyed by canonical byte strings and hit from
+ * many threads at once. A single mutex-guarded map serializes every
+ * portfolio restart on one lock; this container shards the key space so
+ * concurrent lookups only contend when they land on the same shard.
+ *
+ * Layout per shard follows the btree24 HashNode idiom: a power-of-two
+ * array of compact 24-byte slot headers (tick, hash fingerprint, key
+ * offset/length, value index) probed linearly, with the variable-length
+ * key bytes packed into a separate heap string and the values held in a
+ * parallel vector with a free list. Shard selection is plain modula
+ * dispatch on the 64-bit key hash (as in the modula_dispatch snippet);
+ * the probe start comes from an independent mix of the same hash so the
+ * bits spent on shard choice do not degrade probing.
+ *
+ * Recency is an exact per-shard LRU: every touch stamps the slot with a
+ * strictly increasing tick, and eviction removes the minimum-tick live
+ * slot. The tick scan is O(table) but only runs when a full shard
+ * inserts a new key, which is noise next to the work being cached (a
+ * network forward pass or an MCTS expansion).
+ *
+ * Semantics contract shared by all users: values are pure functions of
+ * their key, so re-inserting an existing key refreshes recency but
+ * keeps the stored value. A capacity of zero constructs a disabled
+ * cache (every lookup misses, inserts are dropped) instead of
+ * underflowing the eviction loop.
+ *
+ * Thread safety: all public methods are safe for concurrent use; each
+ * shard is guarded by its own mutex.
+ */
+
+#ifndef MAPZERO_COMMON_BYTECACHE_HPP
+#define MAPZERO_COMMON_BYTECACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mapzero {
+
+/** FNV-1a 64-bit hash of a byte string. */
+inline std::uint64_t
+byteHash64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer; decorrelates probe bits from shard bits. */
+inline std::uint64_t
+byteHashMix(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+template <typename V>
+class ShardedByteCache
+{
+  public:
+    /** Outcome of insert(), for the caller's metric accounting. */
+    struct InsertResult {
+        /** A new entry was stored (false: key existed or disabled). */
+        bool inserted = false;
+        /** Entries evicted to make room (0 or 1). */
+        std::size_t evicted = 0;
+    };
+
+    /**
+     * @param capacity total live entries across all shards; 0 disables
+     *        the cache entirely
+     * @param shards requested shard count (rounded down to a power of
+     *        two); 0 picks automatically so small caches collapse to a
+     *        single shard and keep exact global LRU order
+     */
+    explicit ShardedByteCache(std::size_t capacity, std::size_t shards = 0)
+        : capacity_(capacity)
+    {
+        const std::size_t n = pickShardCount(capacity, shards);
+        shards_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t per = capacity / n + (i < capacity % n ? 1 : 0);
+            shards_.push_back(std::make_unique<Shard>(per));
+        }
+    }
+
+    /** True when capacity 0 turned the cache off. */
+    bool enabled() const { return !shards_.empty(); }
+
+    /**
+     * Copy the value stored under @p key into @p out and mark the entry
+     * most recently used. Returns false when absent (or disabled).
+     */
+    bool
+    lookup(std::string_view key, V &out)
+    {
+        if (shards_.empty())
+            return false;
+        const std::uint64_t h = byteHash64(key);
+        Shard &shard = *shards_[h % shards_.size()];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const std::size_t i = shard.find(key, h);
+        if (i == kNotFound)
+            return false;
+        Slot &slot = shard.slots[i];
+        slot.tick = shard.nextTick++;
+        out = shard.values[slot.valueIndex];
+        return true;
+    }
+
+    /**
+     * Store @p value under @p key. When the key is already present only
+     * its recency is refreshed and the stored value is kept (values are
+     * pure functions of the key). Evicts the shard's least recently
+     * used entry when the shard is full.
+     */
+    InsertResult
+    insert(std::string_view key, V value)
+    {
+        InsertResult result;
+        if (shards_.empty())
+            return result;
+        const std::uint64_t h = byteHash64(key);
+        Shard &shard = *shards_[h % shards_.size()];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.capacity == 0)
+            return result;
+        const std::size_t existing = shard.find(key, h);
+        if (existing != kNotFound) {
+            shard.slots[existing].tick = shard.nextTick++;
+            return result;
+        }
+        if (shard.live >= shard.capacity) {
+            shard.evictLru();
+            result.evicted = 1;
+        }
+        shard.place(key, h, std::move(value));
+        result.inserted = true;
+        return result;
+    }
+
+    /** Live entries across all shards. */
+    std::size_t
+    size() const
+    {
+        std::size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            total += shard->live;
+        }
+        return total;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
+    /** Ticks 0 and 1 are the empty / tombstone slot states. */
+    static constexpr std::uint64_t kEmpty = 0;
+    static constexpr std::uint64_t kTombstone = 1;
+    static constexpr std::uint64_t kFirstTick = 2;
+    static constexpr std::size_t kMaxShards = 16;
+    /** Auto-sharding floor: below this per-shard size, fewer shards. */
+    static constexpr std::size_t kMinShardCapacity = 64;
+
+    static std::size_t
+    pickShardCount(std::size_t capacity, std::size_t requested)
+    {
+        if (capacity == 0)
+            return 0;
+        std::size_t limit = requested > 0
+                                ? requested
+                                : std::min(kMaxShards,
+                                           capacity / kMinShardCapacity);
+        if (limit < 1)
+            limit = 1;
+        if (limit > capacity)
+            limit = capacity;
+        std::size_t n = 1;
+        while (n * 2 <= limit)
+            n *= 2;
+        return n;
+    }
+
+    /** 24-byte slot header (btree24 HashNode style). */
+    struct Slot {
+        /** kEmpty, kTombstone, or the last-touch LRU tick. */
+        std::uint64_t tick = kEmpty;
+        /** High hash bits; cheap inequality filter before memcmp. */
+        std::uint32_t fingerprint = 0;
+        std::uint32_t keyOffset = 0;
+        std::uint32_t keyLen = 0;
+        std::uint32_t valueIndex = 0;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::size_t capacity;
+        std::vector<Slot> slots;
+        /** Packed key bytes; slots address [keyOffset, keyOffset+keyLen). */
+        std::string heap;
+        /** Bytes of heap belonging to live slots (compaction trigger). */
+        std::size_t heapLive = 0;
+        std::vector<V> values;
+        std::vector<std::uint32_t> freeValues;
+        std::size_t live = 0;
+        std::size_t tombstones = 0;
+        std::uint64_t nextTick = kFirstTick;
+
+        explicit Shard(std::size_t cap) : capacity(cap)
+        {
+            std::size_t table = 8;
+            while (table < capacity * 2)
+                table *= 2;
+            slots.resize(table);
+        }
+
+        static std::uint32_t
+        fingerprintOf(std::uint64_t h)
+        {
+            return static_cast<std::uint32_t>(h >> 32) | 1u;
+        }
+
+        std::size_t
+        find(std::string_view key, std::uint64_t h) const
+        {
+            const std::size_t mask = slots.size() - 1;
+            const std::uint32_t fp = fingerprintOf(h);
+            std::size_t i = byteHashMix(h) & mask;
+            for (std::size_t n = 0; n < slots.size(); ++n) {
+                const Slot &slot = slots[i];
+                if (slot.tick == kEmpty)
+                    return kNotFound;
+                if (slot.tick != kTombstone && slot.fingerprint == fp &&
+                    slot.keyLen == key.size() &&
+                    std::memcmp(heap.data() + slot.keyOffset, key.data(),
+                                key.size()) == 0) {
+                    return i;
+                }
+                i = (i + 1) & mask;
+            }
+            return kNotFound;
+        }
+
+        void
+        place(std::string_view key, std::uint64_t h, V value)
+        {
+            const std::size_t mask = slots.size() - 1;
+            std::size_t i = byteHashMix(h) & mask;
+            while (slots[i].tick != kEmpty && slots[i].tick != kTombstone)
+                i = (i + 1) & mask;
+            Slot &slot = slots[i];
+            if (slot.tick == kTombstone)
+                --tombstones;
+            slot.tick = nextTick++;
+            slot.fingerprint = fingerprintOf(h);
+            slot.keyOffset = static_cast<std::uint32_t>(heap.size());
+            slot.keyLen = static_cast<std::uint32_t>(key.size());
+            heap.append(key.data(), key.size());
+            heapLive += key.size();
+            if (!freeValues.empty()) {
+                slot.valueIndex = freeValues.back();
+                freeValues.pop_back();
+                values[slot.valueIndex] = std::move(value);
+            } else {
+                slot.valueIndex =
+                    static_cast<std::uint32_t>(values.size());
+                values.push_back(std::move(value));
+            }
+            ++live;
+            maybeCompact();
+        }
+
+        /** Tombstone the minimum-tick live slot (exact LRU victim). */
+        void
+        evictLru()
+        {
+            std::size_t victim = kNotFound;
+            std::uint64_t best = ~std::uint64_t{0};
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                const std::uint64_t tick = slots[i].tick;
+                if (tick >= kFirstTick && tick < best) {
+                    best = tick;
+                    victim = i;
+                }
+            }
+            if (victim == kNotFound)
+                return;
+            Slot &slot = slots[victim];
+            heapLive -= slot.keyLen;
+            freeValues.push_back(slot.valueIndex);
+            values[slot.valueIndex] = V{};
+            slot.tick = kTombstone;
+            ++tombstones;
+            --live;
+        }
+
+        /**
+         * Rebuild the table when tombstones clog probe chains or dead
+         * key bytes dominate the heap. Rehashes live slots into fresh
+         * slots of the same size (live <= capacity <= table/2, so the
+         * load factor stays below 1/2) and compacts the key heap.
+         */
+        void
+        maybeCompact()
+        {
+            const bool clogged = tombstones > slots.size() / 4;
+            const bool bloated =
+                heap.size() > 4096 && heap.size() > heapLive * 2;
+            if (!clogged && !bloated)
+                return;
+            std::vector<Slot> fresh(slots.size());
+            std::string packed;
+            packed.reserve(heapLive);
+            const std::size_t mask = fresh.size() - 1;
+            for (const Slot &slot : slots) {
+                if (slot.tick < kFirstTick)
+                    continue;
+                const std::string_view key(heap.data() + slot.keyOffset,
+                                           slot.keyLen);
+                const std::uint64_t h = byteHash64(key);
+                std::size_t i = byteHashMix(h) & mask;
+                while (fresh[i].tick != kEmpty)
+                    i = (i + 1) & mask;
+                fresh[i] = slot;
+                fresh[i].keyOffset =
+                    static_cast<std::uint32_t>(packed.size());
+                packed.append(key.data(), key.size());
+            }
+            slots.swap(fresh);
+            heap.swap(packed);
+            heapLive = heap.size();
+            tombstones = 0;
+        }
+    };
+
+    std::size_t capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_BYTECACHE_HPP

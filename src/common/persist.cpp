@@ -1,0 +1,188 @@
+#include "common/persist.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/bytecache.hpp"
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+
+namespace mapzero {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'Z', 'D', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+appendU32(std::string &s, std::uint32_t v)
+{
+    s.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+appendU64(std::string &s, std::uint64_t v)
+{
+    s.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU32(std::string_view bytes, std::size_t &pos, std::uint32_t &v)
+{
+    if (bytes.size() - pos < sizeof(v))
+        return false;
+    std::memcpy(&v, bytes.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return true;
+}
+
+bool
+readU64(std::string_view bytes, std::size_t &pos, std::uint64_t &v)
+{
+    if (bytes.size() - pos < sizeof(v))
+        return false;
+    std::memcpy(&v, bytes.data() + pos, sizeof(v));
+    pos += sizeof(v);
+    return true;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, std::string_view bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            warn("persist: cannot open for writing: " + tmp);
+            return false;
+        }
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) {
+            warn("persist: failed writing: " + tmp);
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn(cat("persist: cannot move into place: ", tmp, " -> ", path,
+                 " (", ec.message(), ")"));
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::string
+frameDiskEntry(std::string_view key, std::string_view payload)
+{
+    std::string framed;
+    framed.reserve(sizeof(kMagic) + 3 * sizeof(std::uint32_t) +
+                   sizeof(std::uint64_t) + key.size() + payload.size());
+    framed.append(kMagic, sizeof(kMagic));
+    appendU32(framed, kVersion);
+    appendU32(framed, static_cast<std::uint32_t>(key.size()));
+    framed.append(key.data(), key.size());
+    appendU64(framed, payload.size());
+    framed.append(payload.data(), payload.size());
+    appendU32(framed, crc32(framed));
+    return framed;
+}
+
+std::optional<std::string>
+parseDiskEntry(std::string_view bytes, std::string_view key)
+{
+    if (bytes.size() < sizeof(kMagic) + 3 * sizeof(std::uint32_t) +
+                           sizeof(std::uint64_t)) {
+        return std::nullopt;
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    std::uint32_t stored_crc = 0;
+    std::size_t crc_pos = bytes.size() - sizeof(stored_crc);
+    std::memcpy(&stored_crc, bytes.data() + crc_pos, sizeof(stored_crc));
+    if (crc32(bytes.substr(0, crc_pos)) != stored_crc)
+        return std::nullopt;
+
+    std::size_t pos = sizeof(kMagic);
+    std::uint32_t version = 0;
+    std::uint32_t key_len = 0;
+    if (!readU32(bytes, pos, version) || version != kVersion)
+        return std::nullopt;
+    if (!readU32(bytes, pos, key_len))
+        return std::nullopt;
+    if (crc_pos - pos < key_len)
+        return std::nullopt;
+    // Filenames are hash-derived; a hash collision shows up here as a
+    // key mismatch and reads as a miss.
+    if (key_len != key.size() ||
+        std::memcmp(bytes.data() + pos, key.data(), key_len) != 0) {
+        return std::nullopt;
+    }
+    pos += key_len;
+    std::uint64_t payload_len = 0;
+    if (!readU64(bytes, pos, payload_len))
+        return std::nullopt;
+    if (crc_pos - pos != payload_len)
+        return std::nullopt;
+    return std::string(bytes.substr(pos, payload_len));
+}
+
+DiskByteStore::DiskByteStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn(cat("persist: cannot create cache dir ", dir_, " (",
+                 ec.message(), "); disk tier disabled"));
+        return;
+    }
+    ready_ = true;
+}
+
+std::string
+DiskByteStore::pathOf(std::string_view key) const
+{
+    // 64-bit FNV + 32-bit CRC of the key: 96 bits of filename, and the
+    // envelope still verifies the full key on load.
+    std::ostringstream name;
+    name << std::hex << byteHash64(key) << '-' << crc32(key) << ".mzc";
+    return (std::filesystem::path(dir_) / name.str()).string();
+}
+
+std::optional<std::string>
+DiskByteStore::load(std::string_view key) const
+{
+    if (!ready_)
+        return std::nullopt;
+    std::ifstream is(pathOf(key), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    if (!is.good() && !is.eof())
+        return std::nullopt;
+    return parseDiskEntry(bytes, key);
+}
+
+bool
+DiskByteStore::store(std::string_view key, std::string_view payload) const
+{
+    if (!ready_)
+        return false;
+    return atomicWriteFile(pathOf(key), frameDiskEntry(key, payload));
+}
+
+} // namespace mapzero

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * On-disk byte store for cached results.
+ *
+ * DiskByteStore maps canonical byte keys to opaque payloads, one file
+ * per entry under a cache directory. It reuses the checkpoint
+ * machinery's durability idioms (see nn/serialize): every entry is a
+ * CRC-32-framed envelope written to a temp file and renamed into place
+ * atomically, so readers never observe a torn write and a crash
+ * mid-store leaves at worst a stale .tmp file.
+ *
+ * Filenames are derived from the key hash; the full key is echoed
+ * inside the envelope and verified on load, so a filename-hash
+ * collision degrades to a miss instead of serving the wrong entry.
+ * Any corruption (bad magic, bad CRC, truncation, key mismatch) is
+ * likewise a miss - callers recompute and overwrite.
+ *
+ * The store itself is policy-free: invalidation is the caller's job
+ * and happens by keying (e.g. CompileService folds a model-weight
+ * fingerprint and the full arch geometry into the key, so a new
+ * checkpoint or a changed arch simply misses).
+ */
+
+#ifndef MAPZERO_COMMON_PERSIST_HPP
+#define MAPZERO_COMMON_PERSIST_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mapzero {
+
+/**
+ * Write @p bytes to @p path via a temp file and atomic rename.
+ * Returns false (after a warn) on any I/O failure - persistence is
+ * best-effort and must never fail the operation that produced the
+ * payload.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view bytes);
+
+/** Wrap @p payload in the CRC-framed envelope for @p key. */
+std::string frameDiskEntry(std::string_view key, std::string_view payload);
+
+/**
+ * Unwrap an envelope previously produced by frameDiskEntry. Returns
+ * the payload, or nullopt when the envelope is corrupt or was written
+ * for a different key.
+ */
+std::optional<std::string> parseDiskEntry(std::string_view bytes,
+                                          std::string_view key);
+
+/** Directory of CRC-framed key -> payload entries. */
+class DiskByteStore
+{
+  public:
+    /**
+     * @param dir cache directory (created if missing); empty disables
+     *        the store
+     */
+    explicit DiskByteStore(std::string dir);
+
+    /** False when no directory was given or it could not be created. */
+    bool enabled() const { return ready_; }
+
+    const std::string &directory() const { return dir_; }
+
+    /** Load the payload stored under @p key, if present and intact. */
+    std::optional<std::string> load(std::string_view key) const;
+
+    /**
+     * Persist @p payload under @p key (overwrites). Best-effort:
+     * returns false on failure without raising.
+     */
+    bool store(std::string_view key, std::string_view payload) const;
+
+    /** Path of the entry file for @p key (for tests/tools). */
+    std::string pathOf(std::string_view key) const;
+
+  private:
+    std::string dir_;
+    bool ready_ = false;
+};
+
+} // namespace mapzero
+
+#endif // MAPZERO_COMMON_PERSIST_HPP

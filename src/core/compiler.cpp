@@ -16,6 +16,7 @@
 #include "dfg/schedule.hpp"
 #include "rl/evaluator.hpp"
 #include "rl/mcts.hpp"
+#include "rl/transposition.hpp"
 #include "svc/telemetry_server.hpp"
 
 namespace mapzero {
@@ -161,8 +162,10 @@ mapzeroAgentConfig(Method method, std::uint64_t seed)
 } // namespace
 
 std::unique_ptr<baselines::MapperBase>
-Compiler::makeEngine(Method method, std::uint64_t seed,
-                     std::shared_ptr<rl::Evaluator> evaluator) const
+Compiler::makeEngine(
+    Method method, std::uint64_t seed,
+    std::shared_ptr<rl::Evaluator> evaluator,
+    std::shared_ptr<rl::TranspositionTable> transposition) const
 {
     switch (method) {
       case Method::MapZero:
@@ -170,9 +173,10 @@ Compiler::makeEngine(Method method, std::uint64_t seed,
         if (!net_)
             fatal("MapZero methods need setNetwork() with a pre-trained "
                   "network (see core/agent_cache.hpp)");
-        return std::make_unique<rl::MapZeroAgent>(
-            net_, mapzeroAgentConfig(method, seed),
-            std::move(evaluator));
+        rl::AgentConfig cfg = mapzeroAgentConfig(method, seed);
+        cfg.mcts.transposition = std::move(transposition);
+        return std::make_unique<rl::MapZeroAgent>(net_, cfg,
+                                                  std::move(evaluator));
       }
       case Method::Ilp:
         return std::make_unique<baselines::ExactMapper>();
@@ -373,6 +377,13 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                 *net_, std::move(cache));
         }
     }
+    // One transposition table for the whole compile: all restarts (and
+    // escalating IIs - the key includes the II) search the same
+    // (DFG, arch) episode, so whichever restart expands a state first
+    // publishes its evaluation and route verdict for the others.
+    std::shared_ptr<rl::TranspositionTable> transposition;
+    if (method == Method::MapZero && options.transposition)
+        transposition = std::make_shared<rl::TranspositionTable>();
     std::vector<std::unique_ptr<baselines::MapperBase>> engines;
     engines.reserve(static_cast<std::size_t>(restarts));
     for (std::int32_t k = 0; k < restarts; ++k) {
@@ -380,7 +391,8 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
             ? options.seed
             : Rng::deriveSeed(options.seed,
                               static_cast<std::uint64_t>(k));
-        engines.push_back(makeEngine(method, seed, shared_eval));
+        engines.push_back(
+            makeEngine(method, seed, shared_eval, transposition));
     }
 
     CompileResult result;

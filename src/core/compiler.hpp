@@ -23,6 +23,7 @@ namespace mapzero {
 
 namespace rl {
 class EvalCache;
+class TranspositionTable;
 }
 
 /** Which compilation engine to use. */
@@ -80,6 +81,15 @@ struct CompileOptions {
      * (core/service.hpp).
      */
     std::shared_ptr<rl::EvalCache> evalCacheInstance;
+    /**
+     * Share one MCTS transposition table across the per-II portfolio
+     * restarts (Method::MapZero only). Restarts search the same
+     * episode, so the first restart to expand a state publishes its
+     * evaluation and route verdict and the others replay them. Hits
+     * are bit-identical to the work they replace (rl/transposition.hpp),
+     * so results never change; observable via "cache.tt_hits".
+     */
+    bool transposition = true;
     /**
      * Asynchronous cancellation flag (externally owned, must outlive
      * the call): when it becomes true every Deadline in the sweep
@@ -170,7 +180,9 @@ class Compiler
   private:
     std::unique_ptr<baselines::MapperBase> makeEngine(
         Method method, std::uint64_t seed,
-        std::shared_ptr<rl::Evaluator> evaluator = nullptr) const;
+        std::shared_ptr<rl::Evaluator> evaluator = nullptr,
+        std::shared_ptr<rl::TranspositionTable> transposition =
+            nullptr) const;
 
     /** The multi-restart sweep behind compile() (restarts > 1). */
     CompileResult compilePortfolio(const dfg::Dfg &dfg,

@@ -1,20 +1,165 @@
 #include "core/service.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/bytecache.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "dfg/schedule.hpp"
 #include "mapper/router.hpp"
 #include "mapper/validator.hpp"
+#include "nn/serialize.hpp"
 
 namespace mapzero {
+
+namespace {
+
+/** Persistent-tier instruments (issue: cache.disk_* plane). */
+struct DiskMetrics {
+    Counter &hits = metrics().counter("cache.disk_hits");
+    Counter &misses = metrics().counter("cache.disk_misses");
+    Counter &writes = metrics().counter("cache.disk_writes");
+    Counter &errors = metrics().counter("cache.disk_errors");
+
+    static DiskMetrics &
+    get()
+    {
+        static DiskMetrics instance;
+        return instance;
+    }
+};
+
+constexpr std::uint32_t kResultVersion = 1;
+
+} // namespace
+
+std::string
+encodeCompileResult(const CompileResult &result)
+{
+    nn::ByteWriter w;
+    w.u32(kResultVersion);
+    w.u8(result.success ? 1 : 0);
+    w.i32(result.ii);
+    w.i32(result.mii);
+    w.f64(result.seconds);
+    w.u64(static_cast<std::uint64_t>(result.searchOps));
+    w.u8(result.timedOut ? 1 : 0);
+    w.u8(result.cancelled ? 1 : 0);
+    w.i32(result.totalHops);
+    w.str(result.method);
+    w.u32(static_cast<std::uint32_t>(result.placements.size()));
+    for (const mapper::Placement &p : result.placements) {
+        w.i32(p.pe);
+        w.i32(p.time);
+    }
+    return w.take();
+}
+
+bool
+decodeCompileResult(const std::string &payload, CompileResult &out)
+{
+    try {
+        nn::ByteReader r(payload, "compile result cache entry");
+        if (r.u32() != kResultVersion)
+            return false;
+        CompileResult result;
+        result.success = r.u8() != 0;
+        result.ii = r.i32();
+        result.mii = r.i32();
+        result.seconds = r.f64();
+        result.searchOps = static_cast<std::int64_t>(r.u64());
+        result.timedOut = r.u8() != 0;
+        result.cancelled = r.u8() != 0;
+        result.totalHops = r.i32();
+        result.method = r.str();
+        const std::uint32_t count = r.u32();
+        result.placements.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            result.placements[i].pe = r.i32();
+            result.placements[i].time = r.i32();
+        }
+        r.expectEnd();
+        out = std::move(result);
+        return true;
+    } catch (const std::exception &) {
+        // ByteReader raises fatal() (a runtime_error) on truncation;
+        // the envelope CRC makes this unreachable short of a bug, but
+        // a corrupt entry must read as a miss, not a crash.
+        return false;
+    }
+}
 
 CompileService::CompileService(ServiceOptions options)
     : options_(std::move(options)),
       evalCache_(
-          std::make_shared<rl::EvalCache>(options_.evalCacheCapacity))
+          std::make_shared<rl::EvalCache>(options_.evalCacheCapacity)),
+      disk_(options_.persistDir)
 {}
+
+std::uint64_t
+CompileService::modelFingerprint(const rl::MapZeroNet &net)
+{
+    {
+        std::lock_guard<std::mutex> lock(fingerprintMutex_);
+        const auto it = fingerprints_.find(&net);
+        if (it != fingerprints_.end())
+            return it->second;
+    }
+    // FNV-1a over every parameter tensor's bytes: a retrained or
+    // checkpoint-loaded network changes the fingerprint, so persisted
+    // results keyed on the old weights simply miss.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](const void *data, std::size_t size) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const nn::Value &param : net.parameters()) {
+        const nn::Tensor &t = param.tensor();
+        mix(t.data().data(), t.size() * sizeof(float));
+    }
+    std::lock_guard<std::mutex> lock(fingerprintMutex_);
+    fingerprints_.emplace(&net, h);
+    return h;
+}
+
+std::string
+CompileService::requestKey(const dfg::Dfg &dfg,
+                           const cgra::Architecture &arch, Method method,
+                           const CompileOptions &options)
+{
+    const bool is_mapzero =
+        method == Method::MapZero || method == Method::MapZeroNoMcts;
+    // The portfolio width is part of the result (the winner is the
+    // lowest successful restart index), so the key folds in the
+    // RESOLVED restart count - restartsPerIi = 0 derives it from the
+    // machine's worker resolution, and two machines resolving
+    // differently must not share entries.
+    const std::int32_t jobs = static_cast<std::int32_t>(resolveJobs(
+        options.jobs < 0 ? 1 : static_cast<std::size_t>(options.jobs)));
+    const std::int32_t restarts = method == Method::Ilp ? 1
+        : options.restartsPerIi > 0
+            ? options.restartsPerIi
+            : std::max<std::int32_t>(1, jobs);
+
+    nn::ByteWriter w;
+    w.u32(kResultVersion);
+    w.u8(static_cast<std::uint8_t>(method));
+    w.str(dfg.canonicalBytes());
+    w.str(arch.canonicalBytes());
+    w.u64(options.seed);
+    w.i32(restarts);
+    w.i32(options.maxIiIncrease);
+    w.f64(options.timeLimitSeconds);
+    w.u64(is_mapzero ? modelFingerprint(*pretrainedNetwork(
+                           arch, options_.pretrain))
+                     : 0);
+    return w.take();
+}
 
 CompileResult
 CompileService::compile(const dfg::Dfg &dfg,
@@ -29,7 +174,36 @@ CompileService::compile(const dfg::Dfg &dfg,
     Compiler compiler;
     if (method == Method::MapZero || method == Method::MapZeroNoMcts)
         compiler.setNetwork(pretrainedNetwork(arch, options_.pretrain));
-    return compiler.compile(dfg, arch, method, options);
+
+    // Persistent tier: consult before any search. Only intact entries
+    // for the exact canonical key are served, and a served result is
+    // the stored original byte for byte, so the response a warm
+    // request renders is identical to the cold one's.
+    std::string key;
+    if (disk_.enabled()) {
+        DiskMetrics &m = DiskMetrics::get();
+        key = requestKey(dfg, arch, method, options);
+        if (const auto payload = disk_.load(key)) {
+            CompileResult cached;
+            if (decodeCompileResult(*payload, cached)) {
+                m.hits.add();
+                return cached;
+            }
+            m.errors.add();
+        }
+        m.misses.add();
+    }
+
+    CompileResult result = compiler.compile(dfg, arch, method, options);
+
+    // Persist only clean successes: a timeout or cancellation is a
+    // property of that run's wall clock, not of the request.
+    if (disk_.enabled() && result.success && !result.timedOut &&
+        !result.cancelled) {
+        if (disk_.store(key, encodeCompileResult(result)))
+            DiskMetrics::get().writes.add();
+    }
+    return result;
 }
 
 std::string

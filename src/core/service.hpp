@@ -29,9 +29,13 @@
 #define MAPZERO_CORE_SERVICE_HPP
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/persist.hpp"
 #include "core/agent_cache.hpp"
 #include "core/compiler.hpp"
 #include "rl/evaluator.hpp"
@@ -47,6 +51,21 @@ struct ServiceOptions {
     PretrainBudget pretrain;
     /** Shared eval-cache capacity (entries; daemon-sized default). */
     std::size_t evalCacheCapacity = 4 * rl::EvalCache::kDefaultCapacity;
+    /**
+     * Directory of the persistent result tier (empty = disabled).
+     * Successful compiles are stored as CRC-framed files keyed by the
+     * canonical request bytes - DFG structure, full arch geometry,
+     * method, seed, resolved restart count, sweep limits, and (for
+     * MapZero methods) a fingerprint of the served network's weights -
+     * and a repeat request is answered from disk without any search.
+     * A replayed result is byte-for-byte the result of the original
+     * compile (including its timing fields), so the FETCH blob a warm
+     * request renders is identical to the one the cold request
+     * produced. New checkpoints or changed fabrics change the key, so
+     * invalidation is automatic. Shared safely by any number of
+     * daemons on one filesystem (atomic-rename writes).
+     */
+    std::string persistDir;
 };
 
 /** Warm-cache compile front end; see the file comment. */
@@ -73,10 +92,38 @@ class CompileService
         return evalCache_;
     }
 
+    /** The persistent result tier (disabled unless persistDir set). */
+    const DiskByteStore &resultStore() const { return disk_; }
+
+    /**
+     * Canonical byte key of one compile request against this service
+     * (exposed for tests): everything that determines the result, and
+     * nothing that does not (jobs and cache toggles change throughput,
+     * never results).
+     */
+    std::string requestKey(const dfg::Dfg &dfg,
+                           const cgra::Architecture &arch, Method method,
+                           const CompileOptions &options);
+
   private:
+    /** Weight fingerprint of @p net, memoized per network instance. */
+    std::uint64_t modelFingerprint(const rl::MapZeroNet &net);
+
     ServiceOptions options_;
     std::shared_ptr<rl::EvalCache> evalCache_;
+    DiskByteStore disk_;
+    std::mutex fingerprintMutex_;
+    std::map<const rl::MapZeroNet *, std::uint64_t> fingerprints_;
 };
+
+/** Serialize @p result for the persistent tier (round-trips exactly). */
+std::string encodeCompileResult(const CompileResult &result);
+
+/**
+ * Decode a payload written by encodeCompileResult. Returns false (and
+ * leaves @p out untouched) on any framing error - treated as a miss.
+ */
+bool decodeCompileResult(const std::string &payload, CompileResult &out);
 
 /**
  * Render @p result as the JSON blob the daemon's FETCH reply carries:

@@ -170,4 +170,22 @@ Dfg::validate() const
                   "': distance-0 dependency cycle (unschedulable)"));
 }
 
+std::string
+Dfg::canonicalBytes() const
+{
+    std::string bytes;
+    const auto append_i32 = [&bytes](std::int32_t v) {
+        bytes.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    append_i32(nodeCount());
+    for (const DfgNode &node : nodes_)
+        append_i32(static_cast<std::int32_t>(node.opcode));
+    for (const DfgEdge &e : edges_) {
+        append_i32(e.src);
+        append_i32(e.dst);
+        append_i32(e.distance);
+    }
+    return bytes;
+}
+
 } // namespace mapzero::dfg

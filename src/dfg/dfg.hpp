@@ -94,6 +94,15 @@ class Dfg
     /** True when the distance-0 subgraph is acyclic. */
     bool isDistanceZeroAcyclic() const;
 
+    /**
+     * Canonical byte encoding of the graph structure: node opcodes in
+     * id order plus every edge (src, dst, distance). Excludes node and
+     * kernel names, which affect reports but never mapping. Used as
+     * cache-key material (MCTS transposition prefix, persistent result
+     * tier).
+     */
+    std::string canonicalBytes() const;
+
   private:
     std::string name_;
     std::vector<DfgNode> nodes_;

@@ -57,9 +57,7 @@ detachedCopy(const MapZeroNet::Output &out)
 
 } // namespace
 
-EvalCache::EvalCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1))
-{}
+EvalCache::EvalCache(std::size_t capacity) : cache_(capacity) {}
 
 std::string
 EvalCache::keyOf(const Observation &obs)
@@ -78,6 +76,7 @@ EvalCache::keyOf(const Observation &obs)
     appendU64(key, obs.actionMask.size());
     for (bool legal : obs.actionMask)
         key.push_back(legal ? '\1' : '\0');
+    appendU64(key, obs.archSignature);
     return key;
 }
 
@@ -86,16 +85,17 @@ EvalCache::lookup(const std::string &key, MapZeroNet::Output &out)
 {
     static Counter &hits = metrics().counter("eval_cache.hits");
     static Counter &misses = metrics().counter("eval_cache.misses");
+    static Counter &shard_hits = metrics().counter("cache.shard_hits");
+    static Counter &shard_misses =
+        metrics().counter("cache.shard_misses");
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
+    if (!cache_.lookup(key, out)) {
         misses.add();
+        shard_misses.add();
         return false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-    out = it->second.out;
     hits.add();
+    shard_hits.add();
     return true;
 }
 
@@ -108,30 +108,12 @@ EvalCache::insert(const std::string &key, const MapZeroNet::Output &out)
     static Counter &evictions =
         metrics().counter("eval_cache.evictions");
 
-    MapZeroNet::Output plain = detachedCopy(out);
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    capacity_gauge.set(static_cast<double>(capacity_));
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-        return;
-    }
-    lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(plain), lru_.begin()});
-    if (map_.size() > capacity_) {
-        map_.erase(lru_.back());
-        lru_.pop_back();
-        evictions.add();
-    }
-    size_gauge.set(static_cast<double>(map_.size()));
-}
-
-std::size_t
-EvalCache::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return map_.size();
+    capacity_gauge.set(static_cast<double>(cache_.capacity()));
+    const auto result = cache_.insert(key, detachedCopy(out));
+    if (result.evicted > 0)
+        evictions.add(static_cast<std::int64_t>(result.evicted));
+    if (result.inserted || result.evicted > 0)
+        size_gauge.set(static_cast<double>(cache_.size()));
 }
 
 MapZeroNet::Output

@@ -22,41 +22,51 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/bytecache.hpp"
 #include "rl/network.hpp"
 
 namespace mapzero::rl {
 
 /**
- * Thread-safe LRU cache of network outputs keyed by observation.
+ * Thread-safe sharded LRU cache of network outputs keyed by
+ * observation.
  *
  * MCTS revisits tree nodes constantly (every simulation re-descends the
  * same prefix) and portfolio restarts re-reach earlier states after
  * backtracking, so identical observations are evaluated many times per
  * compile. The key is the canonical byte encoding of the observation -
- * features, metadata, action mask, and both edge lists - which is
- * exactly the (placement state, current node, II) triple the network
- * conditions on, so a hit can never alias two distinct states and the
- * cached output is bit-identical to a fresh forward pass (forward is a
- * pure function of the observation). Caching therefore changes
- * throughput, never results.
+ * features, metadata, action mask, both edge lists, and the arch
+ * geometry signature - which is exactly the (placement state, current
+ * node, II, fabric) tuple the network conditions on, so a hit can never
+ * alias two distinct states and the cached output is bit-identical to a
+ * fresh forward pass (forward is a pure function of the observation).
+ * Caching therefore changes throughput, never results.
+ *
+ * Storage is a ShardedByteCache (modula hash dispatch over N
+ * open-addressing shards, each with its own lock and exact LRU), so
+ * concurrent portfolio restarts no longer serialize on one mutex.
+ * Small capacities collapse to a single shard, which keeps global LRU
+ * order exact for tests and tiny configurations. Capacity 0 disables
+ * the cache. Re-inserting an existing key refreshes its recency but
+ * keeps the stored value (outputs are pure functions of the key).
  *
  * Stored outputs are deep copies on plain heap tensors, never
  * arena-backed (see TensorArena's lifetime rules), so one cache can
  * outlive any number of worker threads and be shared between them.
  *
- * Publishes "eval_cache.hits" / "eval_cache.misses" counters.
+ * Publishes "eval_cache.hits" / "eval_cache.misses" /
+ * "eval_cache.evictions" (legacy names) plus the service-plane aliases
+ * "cache.shard_hits" / "cache.shard_misses".
  */
 class EvalCache
 {
   public:
-    /** @param capacity max cached entries before LRU eviction */
+    /** @param capacity max cached entries (0 disables the cache) */
     explicit EvalCache(std::size_t capacity = kDefaultCapacity);
 
     /** Canonical byte encoding of @p obs (the cache key). */
@@ -76,22 +86,15 @@ class EvalCache
     void insert(const std::string &key, const MapZeroNet::Output &out);
 
     /** Entries currently cached. */
-    std::size_t size() const;
-    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return cache_.size(); }
+    std::size_t capacity() const { return cache_.capacity(); }
+    /** Shards backing this cache (1 for small capacities, 0 disabled). */
+    std::size_t shardCount() const { return cache_.shardCount(); }
 
     static constexpr std::size_t kDefaultCapacity = 8192;
 
   private:
-    struct Entry {
-        MapZeroNet::Output out;
-        /** Position in lru_ (front = most recently used). */
-        std::list<std::string>::iterator lruIt;
-    };
-
-    std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<std::string> lru_;
-    std::unordered_map<std::string, Entry> map_;
+    ShardedByteCache<MapZeroNet::Output> cache_;
 };
 
 /** Policy/value evaluation service over Observations. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bytecache.hpp"
 #include "common/log.hpp"
 
 namespace mapzero::rl {
@@ -107,6 +108,7 @@ ObservationBuilder::rebuild(const mapper::MapEnv &env)
         obs_.cgraEdges.emplace_back(src, dst);
 
     obs_.metadata = nn::Tensor(1, kMetadataDim);
+    obs_.archSignature = byteHash64(arch.canonicalBytes());
 }
 
 const Observation &

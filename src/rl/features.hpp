@@ -46,6 +46,15 @@ struct Observation {
     nn::EdgeList cgraEdges;   ///< fabric links (src, dst)
     nn::Tensor metadata;      ///< 1 x kMetadataDim
     std::vector<bool> actionMask; ///< legality per PE
+    /**
+     * Hash of Architecture::canonicalBytes(). Not a network input -
+     * cache-key material only. The tensors above almost determine the
+     * fabric (per-PE capabilities, the link list), but properties like
+     * the row-shared memory bus affect mapping legality without
+     * appearing in any feature, so two distinct fabrics could otherwise
+     * produce byte-identical observations at the same decision point.
+     */
+    std::uint64_t archSignature = 0;
 };
 
 /** Build the observation for the environment's current decision. */

@@ -7,11 +7,13 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/bytecache.hpp"
 #include "common/journal.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
+#include "rl/transposition.hpp"
 
 namespace mapzero::rl {
 
@@ -156,13 +158,10 @@ struct Mcts::Arena {
      * legal actions, their priors (exp of the policy logits, computed
      * once), and the leaf value. Replayed verbatim on re-encounter, so
      * a memoized leaf needs no action mask, no exp(), no observation,
-     * and no network call.
+     * and no network call. Aliases the transposition-table entry type
+     * so local and shared tiers exchange entries without conversion.
      */
-    struct EvalMemoEntry {
-        std::vector<std::int32_t> actions;
-        std::vector<double> priors;
-        float value = 0.0f;
-    };
+    using EvalMemoEntry = TtExpansion;
     /** A leaf awaiting its (evaluated or memoized) expansion. */
     struct PendingLeaf {
         std::uint32_t node = 0;
@@ -223,6 +222,15 @@ struct Mcts::Arena {
     /** Key of the descent's current node, extended action by action
      *  (so the leaf key and every step key come for free). */
     std::string keyScratch;
+
+    /** Transposition-key header (DFG hash, arch hash, II), cached per
+     *  (environment instance, II) so a move only re-hashes the DFG and
+     *  arch when the episode it serves actually changed. */
+    std::string ttHeader;
+    std::uint64_t ttHeaderInstance = 0;
+    std::int32_t ttHeaderIi = -1;
+    /** Canonical-key scratch (header + action prefix), reused. */
+    std::string ttScratch;
 
     std::uint32_t
     allocNode()
@@ -370,6 +378,40 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
         append_action(episode_prefix,
                       env.state().placement(placed).pe);
     }
+
+    // Cross-restart transposition prefix: canonical in (DFG, arch, II,
+    // placements-so-far) instead of the env instance, so every
+    // portfolio restart derives the same key for the same state. The
+    // suffix past episode_prefix (the in-tree action path) is shared
+    // verbatim between the local and canonical key schemes.
+    TranspositionTable *const tt = config_.transposition.get();
+    std::string tt_prefix;
+    if (tt != nullptr) {
+        if (ar.ttHeaderInstance != env.instanceId() ||
+            ar.ttHeaderIi != env.ii()) {
+            ar.ttHeaderInstance = env.instanceId();
+            ar.ttHeaderIi = env.ii();
+            ar.ttHeader.clear();
+            const std::uint64_t hashes[2] = {
+                byteHash64(env.dfg().canonicalBytes()),
+                byteHash64(env.arch().canonicalBytes()),
+            };
+            ar.ttHeader.append(reinterpret_cast<const char *>(hashes),
+                               sizeof hashes);
+            append_action(ar.ttHeader, env.ii());
+        }
+        tt_prefix.assign(ar.ttHeader);
+        tt_prefix.append(episode_prefix, sizeof(std::uint64_t),
+                         std::string::npos);
+    }
+    const auto tt_key_of = [&ar, &tt_prefix,
+                            prefix_len = episode_prefix.size()](
+                               const std::string &local_key)
+        -> const std::string & {
+        ar.ttScratch.assign(tt_prefix);
+        ar.ttScratch.append(local_key, prefix_len, std::string::npos);
+        return ar.ttScratch;
+    };
 
     MctsMoveResult result;
     result.pi.assign(
@@ -556,7 +598,21 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                 // collection order under virtual loss, so a warm memo
                 // changes no search decision and repeated searches
                 // retrace (and keep hitting) the same states.
-                const auto hit = ar.evalMemo.find(ar.keyScratch);
+                auto hit = ar.evalMemo.find(ar.keyScratch);
+                if (hit == ar.evalMemo.end() && tt != nullptr) {
+                    // Shared-tier consult; a hit is copied into the
+                    // local memo so this restart never re-fetches it
+                    // (and the pointer stored on the leaf stays valid:
+                    // the map is node-based).
+                    TtExpansion fetched;
+                    if (tt->lookupEval(tt_key_of(ar.keyScratch),
+                                       fetched)) {
+                        hit = ar.evalMemo
+                                  .emplace(ar.keyScratch,
+                                           std::move(fetched))
+                                  .first;
+                    }
+                }
                 if (hit == ar.evalMemo.end()) {
                     sync_env(ar.path.size());
                     if (env.legalActionCount() == 0) {
@@ -639,12 +695,21 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                 const auto known = ar.stepMemo.find(ar.keyScratch);
                 if (known != ar.stepMemo.end()) {
                     rec = known->second;
+                } else if (tt != nullptr &&
+                           tt->lookupStep(tt_key_of(ar.keyScratch),
+                                          rec)) {
+                    // Another restart already routed this edge; replay
+                    // its verdict (failure attribution below, exactly
+                    // as for a local memo hit).
+                    ar.stepMemo.emplace(ar.keyScratch, rec);
                 } else {
                     sync_env(ar.path.size());
                     env.step(action, rec); // records any route failure
                     failure_recorded = true;
                     env_path.push_back(best);
                     ar.stepMemo.emplace(ar.keyScratch, rec);
+                    if (tt != nullptr)
+                        tt->insertStep(tt_key_of(ar.keyScratch), rec);
                 }
             }
             const mapper::StepOutcome &out =
@@ -751,6 +816,8 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                             ar.edgePrior.begin() + off,
                             ar.edgePrior.begin() + off + cnt);
                         entry.value = value;
+                        if (tt != nullptr)
+                            tt->insertEval(tt_key_of(leaf.key), entry);
                     }
                 }
                 backprop(leaf.path,

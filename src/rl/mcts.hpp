@@ -54,6 +54,8 @@
 
 namespace mapzero::rl {
 
+class TranspositionTable;
+
 /** Search hyper-parameters. */
 struct MctsConfig {
     /** Tree expansions per move (paper: 100; 200 for 16x16 fabrics). */
@@ -83,6 +85,16 @@ struct MctsConfig {
      * descents of one wave apart.
      */
     double virtualLossValue = 100.0;
+    /**
+     * Optional shared transposition table. The arena-local memos are
+     * keyed by environment instance; this table is keyed canonically
+     * (DFG hash, arch hash, II, action prefix), so independent
+     * restarts searching the same episode exchange expansions and
+     * step records. Hits are bit-identical to the computation they
+     * replace (see transposition.hpp), so sharing never changes a
+     * search decision. nullptr disables.
+     */
+    std::shared_ptr<TranspositionTable> transposition;
 };
 
 /** Result of running the search for one move. */

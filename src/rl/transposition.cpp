@@ -1,0 +1,79 @@
+#include "rl/transposition.hpp"
+
+#include "common/metrics.hpp"
+
+namespace mapzero::rl {
+
+namespace {
+
+/** Hot-loop instruments, resolved once (see metrics.hpp cost model). */
+struct TtMetrics {
+    Counter &hits = metrics().counter("cache.tt_hits");
+    Counter &misses = metrics().counter("cache.tt_misses");
+    Counter &inserts = metrics().counter("cache.tt_inserts");
+    Counter &evictions = metrics().counter("cache.tt_evictions");
+
+    static TtMetrics &
+    get()
+    {
+        static TtMetrics instance;
+        return instance;
+    }
+};
+
+} // namespace
+
+TranspositionTable::TranspositionTable(std::size_t capacityPerPlane)
+    : evals_(capacityPerPlane), steps_(capacityPerPlane)
+{}
+
+bool
+TranspositionTable::lookupEval(const std::string &key, TtExpansion &out)
+{
+    TtMetrics &m = TtMetrics::get();
+    if (!evals_.lookup(key, out)) {
+        m.misses.add();
+        return false;
+    }
+    m.hits.add();
+    return true;
+}
+
+void
+TranspositionTable::insertEval(const std::string &key,
+                               const TtExpansion &entry)
+{
+    TtMetrics &m = TtMetrics::get();
+    const auto result = evals_.insert(key, entry);
+    if (result.inserted)
+        m.inserts.add();
+    if (result.evicted > 0)
+        m.evictions.add(static_cast<std::int64_t>(result.evicted));
+}
+
+bool
+TranspositionTable::lookupStep(const std::string &key,
+                               mapper::StepRecord &out)
+{
+    TtMetrics &m = TtMetrics::get();
+    if (!steps_.lookup(key, out)) {
+        m.misses.add();
+        return false;
+    }
+    m.hits.add();
+    return true;
+}
+
+void
+TranspositionTable::insertStep(const std::string &key,
+                               const mapper::StepRecord &record)
+{
+    TtMetrics &m = TtMetrics::get();
+    const auto result = steps_.insert(key, record);
+    if (result.inserted)
+        m.inserts.add();
+    if (result.evicted > 0)
+        m.evictions.add(static_cast<std::int64_t>(result.evicted));
+}
+
+} // namespace mapzero::rl

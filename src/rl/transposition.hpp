@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cross-restart MCTS transposition table.
+ *
+ * A portfolio compile runs several independently-seeded MCTS restarts
+ * over the SAME (DFG, arch, II) episode. Each restart's arena keeps
+ * local memos keyed by its environment instance (see mcts.cpp), so
+ * restart k re-evaluates and re-routes every state restart j already
+ * expanded. This table lifts those memos to a canonical key -
+ * (DFG hash, arch hash, II, absolute action prefix) - shared by every
+ * restart of one compile, so the first restart to reach a state pays
+ * for its network evaluation and router search and the others replay
+ * the recorded result.
+ *
+ * Safety: the state of an episode is a pure function of that canonical
+ * tuple, and both stored payloads (the post-exp() expansion priors +
+ * leaf value, and the router's committed step record) are deterministic
+ * functions of the state. A hit is therefore bit-identical to the
+ * computation it replaces: sharing changes which restart pays, never
+ * what any restart computes (the jobs=1 ≡ jobs=N contract holds; only
+ * timing decides which restart publishes first).
+ *
+ * Storage is two ShardedByteCache planes (expansions and step records)
+ * so concurrent restarts mostly touch different shards. Entries are
+ * LRU-evicted per shard; an evicted state is simply recomputed.
+ *
+ * Publishes "cache.tt_hits" / "cache.tt_misses" / "cache.tt_inserts".
+ */
+
+#ifndef MAPZERO_RL_TRANSPOSITION_HPP
+#define MAPZERO_RL_TRANSPOSITION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytecache.hpp"
+#include "mapper/environment.hpp"
+
+namespace mapzero::rl {
+
+/**
+ * One recorded expansion: the legal actions of a state, their priors
+ * (exp of the policy logits, stored post-exp and pre-root-noise), and
+ * the network's leaf value. Also the arena-local memo entry type in
+ * mcts.cpp, so local and shared tiers exchange entries without
+ * conversion.
+ */
+struct TtExpansion {
+    std::vector<std::int32_t> actions;
+    std::vector<double> priors;
+    float value = 0.0f;
+};
+
+/** Thread-safe shared memo of expansions and step records. */
+class TranspositionTable
+{
+  public:
+    /** @param capacityPerPlane LRU capacity of each plane */
+    explicit TranspositionTable(
+        std::size_t capacityPerPlane = kDefaultCapacity);
+
+    bool lookupEval(const std::string &key, TtExpansion &out);
+    void insertEval(const std::string &key, const TtExpansion &entry);
+
+    bool lookupStep(const std::string &key, mapper::StepRecord &out);
+    void insertStep(const std::string &key,
+                    const mapper::StepRecord &record);
+
+    std::size_t evalEntries() const { return evals_.size(); }
+    std::size_t stepEntries() const { return steps_.size(); }
+
+    static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  private:
+    ShardedByteCache<TtExpansion> evals_;
+    ShardedByteCache<mapper::StepRecord> steps_;
+};
+
+} // namespace mapzero::rl
+
+#endif // MAPZERO_RL_TRANSPOSITION_HPP

@@ -503,22 +503,25 @@ Daemon::workerLoop(std::size_t index)
             continue;
         const std::shared_ptr<std::atomic<bool>> cancel =
             sessions_->cancelFlag(*id);
-        bool was_cancelled = false;
+        // The terminal snapshot comes back from finish()/fail(): with
+        // retainTerminal 0 the record is evicted inside that call, so
+        // a re-get() here would silently skip all the bookkeeping
+        // below.
+        std::optional<JobSnapshot> terminal;
         try {
             const CompileResult result = service_->compile(
                 job.dfg, job.arch, job.method, job.options,
                 cancel.get());
-            was_cancelled = result.cancelled;
-            sessions_->finish(
+            terminal = sessions_->finish(
                 *id, renderResultJson(job.dfg, job.arch, result),
-                was_cancelled);
+                result.cancelled);
         } catch (const std::exception &error) {
-            sessions_->fail(*id, error.what());
+            terminal = sessions_->fail(*id, error.what());
         }
 
-        JobSnapshot snapshot;
-        if (!sessions_->get(*id, snapshot))
+        if (!terminal)
             continue;
+        const JobSnapshot &snapshot = *terminal;
         (snapshot.state == JobState::Done        ? completed
          : snapshot.state == JobState::Cancelled ? cancelled
                                                  : failed)

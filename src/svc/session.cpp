@@ -1,5 +1,7 @@
 #include "svc/session.hpp"
 
+#include "common/metrics.hpp"
+
 namespace mapzero::svc {
 
 namespace {
@@ -35,7 +37,7 @@ jobStateTerminal(JobState state)
 }
 
 SessionTable::SessionTable(std::size_t retainTerminal)
-    : retainTerminal_(retainTerminal < 1 ? 1 : retainTerminal)
+    : retainTerminal_(retainTerminal)
 {}
 
 JobId
@@ -89,39 +91,43 @@ SessionTable::markRunning(JobId id)
     return true;
 }
 
-void
+std::optional<JobSnapshot>
 SessionTable::finish(JobId id, std::string resultJson, bool cancelled)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() ||
         jobStateTerminal(it->second.snapshot.state))
-        return;
+        return std::nullopt;
     it->second.snapshot.state =
         cancelled ? JobState::Cancelled : JobState::Done;
     it->second.snapshot.runSeconds =
         secondsSince(it->second.startedAt);
     it->second.snapshot.result = std::move(resultJson);
     (cancelled ? counts_.cancelled : counts_.done) += 1;
+    JobSnapshot frozen = it->second.snapshot;
     terminalOrder_.push_back(id);
-    evictLocked();
+    evictLocked(); // may erase the record; `frozen` survives
+    return frozen;
 }
 
-void
+std::optional<JobSnapshot>
 SessionTable::fail(JobId id, std::string error)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() ||
         jobStateTerminal(it->second.snapshot.state))
-        return;
+        return std::nullopt;
     it->second.snapshot.state = JobState::Failed;
     it->second.snapshot.runSeconds =
         secondsSince(it->second.startedAt);
     it->second.snapshot.result = std::move(error);
     ++counts_.failed;
+    JobSnapshot frozen = it->second.snapshot;
     terminalOrder_.push_back(id);
-    evictLocked();
+    evictLocked(); // may erase the record; `frozen` survives
+    return frozen;
 }
 
 std::optional<JobState>
@@ -173,9 +179,11 @@ SessionTable::counts() const
 void
 SessionTable::evictLocked()
 {
+    static Counter &evicted = metrics().counter("svc.evicted_total");
     while (terminalOrder_.size() > retainTerminal_) {
         jobs_.erase(terminalOrder_.front());
         terminalOrder_.pop_front();
+        evicted.add();
     }
 }
 

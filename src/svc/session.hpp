@@ -72,7 +72,12 @@ struct JobSnapshot {
 class SessionTable
 {
   public:
-    /** Retain at most @p retainTerminal finished records. */
+    /**
+     * Retain at most @p retainTerminal finished records; 0 means a
+     * record is evicted the moment it turns terminal (a FETCH/STATUS
+     * of it answers NOT_FOUND - deliberate for fire-and-forget
+     * tenants). Every eviction counts `svc.evicted_total`.
+     */
     explicit SessionTable(std::size_t retainTerminal = 1024);
 
     /** Register a new QUEUED job and return its id. */
@@ -89,11 +94,19 @@ class SessionTable
      */
     bool markRunning(JobId id);
 
-    /** RUNNING -> DONE (or CANCELLED when @p cancelled). */
-    void finish(JobId id, std::string resultJson, bool cancelled);
+    /**
+     * RUNNING -> DONE (or CANCELLED when @p cancelled). Returns the
+     * terminal snapshot, frozen before any eviction - with
+     * retainTerminal 0 the record may be gone the instant this
+     * returns, so post-completion bookkeeping (counters, slowlog) must
+     * use the returned copy, never a fresh get(). nullopt for unknown
+     * or already-terminal ids.
+     */
+    std::optional<JobSnapshot> finish(JobId id, std::string resultJson,
+                                      bool cancelled);
 
-    /** RUNNING -> FAILED with @p error. */
-    void fail(JobId id, std::string error);
+    /** RUNNING -> FAILED with @p error; same contract as finish(). */
+    std::optional<JobSnapshot> fail(JobId id, std::string error);
 
     /**
      * Request cancellation. QUEUED jobs flip to CANCELLED right away;

@@ -1,0 +1,227 @@
+/** @file Tests for the sharded byte-keyed LRU cache
+ *  (common/bytecache.hpp): exact LRU in the single-shard regime,
+ *  eviction accounting, the pure-function-of-key re-insert contract,
+ *  tombstone/heap compaction under churn, the zero-capacity guard, and
+ *  concurrent mixed load across shards. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytecache.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(ShardedByteCache, StoresAndRetrievesByExactBytes)
+{
+    ShardedByteCache<int> cache(8);
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_TRUE(cache.insert("alpha", 1).inserted);
+    EXPECT_TRUE(cache.insert("beta", 2).inserted);
+
+    int out = 0;
+    EXPECT_TRUE(cache.lookup("alpha", out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(cache.lookup("beta", out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(cache.lookup("alph", out));
+    EXPECT_FALSE(cache.lookup("alphaa", out));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedByteCache, SmallCapacityCollapsesToOneShardWithExactLru)
+{
+    ShardedByteCache<int> cache(3);
+    ASSERT_EQ(cache.shardCount(), 1u);
+
+    cache.insert("a", 1);
+    cache.insert("b", 2);
+    cache.insert("c", 3);
+    int out = 0;
+    ASSERT_TRUE(cache.lookup("a", out)); // "b" is now the LRU entry
+
+    const auto result = cache.insert("d", 4);
+    EXPECT_TRUE(result.inserted);
+    EXPECT_EQ(result.evicted, 1u);
+    EXPECT_FALSE(cache.lookup("b", out));
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+    EXPECT_TRUE(cache.lookup("d", out));
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ShardedByteCache, ReinsertKeepsStoredValueAndRefreshesRecency)
+{
+    ShardedByteCache<int> cache(2);
+    cache.insert("x", 10);
+    cache.insert("y", 20);
+
+    // Values are pure functions of the key: a re-insert must not
+    // replace the stored value...
+    const auto refresh = cache.insert("x", 999);
+    EXPECT_FALSE(refresh.inserted);
+    EXPECT_EQ(refresh.evicted, 0u);
+    int out = 0;
+    ASSERT_TRUE(cache.lookup("x", out));
+    EXPECT_EQ(out, 10);
+
+    // ...but it must refresh recency: inserting a third key now evicts
+    // "y", not the re-inserted "x".
+    cache.insert("x", 0);
+    cache.insert("z", 30);
+    EXPECT_TRUE(cache.lookup("x", out));
+    EXPECT_FALSE(cache.lookup("y", out));
+}
+
+TEST(ShardedByteCache, ZeroCapacityIsDisabledNotUnderflowing)
+{
+    ShardedByteCache<int> cache(0);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_EQ(cache.shardCount(), 0u);
+
+    const auto result = cache.insert("k", 1);
+    EXPECT_FALSE(result.inserted);
+    EXPECT_EQ(result.evicted, 0u);
+    int out = 0;
+    EXPECT_FALSE(cache.lookup("k", out));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedByteCache, EmptyKeyIsAValidKey)
+{
+    ShardedByteCache<int> cache(4);
+    EXPECT_TRUE(cache.insert("", 7).inserted);
+    int out = 0;
+    ASSERT_TRUE(cache.lookup("", out));
+    EXPECT_EQ(out, 7);
+}
+
+TEST(ShardedByteCache, LargeCapacityShardsAndKeepsEveryEntry)
+{
+    ShardedByteCache<std::size_t> cache(1024);
+    EXPECT_GT(cache.shardCount(), 1u);
+
+    for (std::size_t i = 0; i < 1024; ++i)
+        cache.insert("key-" + std::to_string(i), i);
+    // The per-shard capacities sum to the total and FNV spreads 1024
+    // keys close to evenly - but not exactly, so allow the few dozen
+    // evictions shard imbalance causes.
+    EXPECT_GE(cache.size(), 960u);
+    EXPECT_LE(cache.size(), 1024u);
+
+    std::size_t present = 0;
+    for (std::size_t i = 0; i < 1024; ++i) {
+        std::size_t out = 0;
+        if (cache.lookup("key-" + std::to_string(i), out)) {
+            EXPECT_EQ(out, i);
+            ++present;
+        }
+    }
+    EXPECT_EQ(present, cache.size());
+}
+
+TEST(ShardedByteCache, ChurnWellPastCapacityStaysConsistent)
+{
+    // 4x capacity of distinct keys through a small cache: every insert
+    // past the fill point evicts, exercising tombstone reuse and the
+    // compaction rebuild. The most recent keys must all survive.
+    ShardedByteCache<std::size_t> cache(16, 1);
+    std::size_t evictions = 0;
+    for (std::size_t i = 0; i < 64; ++i)
+        evictions += cache.insert("churn-" + std::to_string(i), i).evicted;
+    EXPECT_EQ(evictions, 48u);
+    EXPECT_EQ(cache.size(), 16u);
+    for (std::size_t i = 48; i < 64; ++i) {
+        std::size_t out = 0;
+        ASSERT_TRUE(cache.lookup("churn-" + std::to_string(i), out)) << i;
+        EXPECT_EQ(out, i);
+    }
+}
+
+TEST(ShardedByteCache, HeapCompactionPreservesEntries)
+{
+    // Long keys + heavy churn force the key-heap "bloated" rebuild
+    // (heap > 4096 bytes and > 2x live); entries must survive it.
+    ShardedByteCache<std::size_t> cache(8, 1);
+    const std::string padding(256, 'p');
+    for (std::size_t i = 0; i < 200; ++i)
+        cache.insert(padding + std::to_string(i), i);
+    EXPECT_EQ(cache.size(), 8u);
+    for (std::size_t i = 192; i < 200; ++i) {
+        std::size_t out = 0;
+        ASSERT_TRUE(cache.lookup(padding + std::to_string(i), out)) << i;
+        EXPECT_EQ(out, i);
+    }
+}
+
+TEST(ShardedByteCache, MatchesReferenceMapUnderMixedOperations)
+{
+    // Differential test against std::unordered_map at a capacity the
+    // working set never exceeds, so eviction cannot cause divergence.
+    ShardedByteCache<int> cache(512);
+    std::unordered_map<std::string, int> reference;
+    std::uint64_t state = 42;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int round = 0; round < 4000; ++round) {
+        const std::string key = "k" + std::to_string(next() % 300);
+        if (next() % 2 == 0) {
+            const int value = static_cast<int>(next() % 1000);
+            if (reference.emplace(key, value).second) {
+                cache.insert(key, value);
+            }
+        } else {
+            int out = -1;
+            const bool hit = cache.lookup(key, out);
+            const auto it = reference.find(key);
+            ASSERT_EQ(hit, it != reference.end()) << key;
+            if (hit) {
+                EXPECT_EQ(out, it->second) << key;
+            }
+        }
+    }
+    EXPECT_EQ(cache.size(), reference.size());
+}
+
+TEST(ShardedByteCache, ConcurrentMixedLoadIsSafeAndConverges)
+{
+    ShardedByteCache<std::size_t> cache(4096);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kKeys = 512;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (std::size_t round = 0; round < 200; ++round) {
+                const std::size_t k = (t * 131 + round * 7) % kKeys;
+                const std::string key = "shared-" + std::to_string(k);
+                std::size_t out = 0;
+                if (cache.lookup(key, out)) {
+                    // The first writer's value must be what everyone
+                    // reads forever after.
+                    EXPECT_EQ(out, k);
+                } else {
+                    cache.insert(key, k);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        std::size_t out = 0;
+        ASSERT_TRUE(cache.lookup("shared-" + std::to_string(k), out));
+        EXPECT_EQ(out, k);
+    }
+}
+
+} // namespace
+} // namespace mapzero

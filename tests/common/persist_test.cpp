@@ -1,0 +1,180 @@
+/** @file Tests for the on-disk byte store (common/persist.hpp):
+ *  envelope round-trips, every corruption mode reading as a miss, the
+ *  key echo defeating filename-hash collisions, and atomic overwrite
+ *  behaviour of the store. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/persist.hpp"
+
+namespace mapzero {
+namespace {
+
+class DiskByteStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("mapzero-persist-test-" +
+                 std::to_string(::getpid()) + "-" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(DiskByteStoreTest, RoundTripsArbitraryBytes)
+{
+    DiskByteStore store(dir_);
+    ASSERT_TRUE(store.enabled());
+
+    const std::string key("binary\0key\xff", 10);
+    const std::string payload("payload\0with\0nulls", 18);
+    ASSERT_TRUE(store.store(key, payload));
+
+    const auto loaded = store.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, payload);
+    EXPECT_FALSE(store.load("some other key").has_value());
+}
+
+TEST_F(DiskByteStoreTest, EmptyDirectoryDisablesTheStore)
+{
+    DiskByteStore store("");
+    EXPECT_FALSE(store.enabled());
+    EXPECT_FALSE(store.store("k", "v"));
+    EXPECT_FALSE(store.load("k").has_value());
+}
+
+TEST_F(DiskByteStoreTest, OverwriteReplacesThePayload)
+{
+    DiskByteStore store(dir_);
+    ASSERT_TRUE(store.store("k", "first"));
+    ASSERT_TRUE(store.store("k", "second"));
+    const auto loaded = store.load("k");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, "second");
+}
+
+TEST_F(DiskByteStoreTest, EveryFlippedByteReadsAsAMiss)
+{
+    DiskByteStore store(dir_);
+    ASSERT_TRUE(store.store("k", "precious payload"));
+    const std::string path = store.pathOf("k");
+
+    std::string original;
+    {
+        std::ifstream is(path, std::ios::binary);
+        original.assign(std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(original.empty());
+
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        std::string corrupt = original;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5a);
+        {
+            std::ofstream os(path,
+                             std::ios::binary | std::ios::trunc);
+            os.write(corrupt.data(),
+                     static_cast<std::streamsize>(corrupt.size()));
+        }
+        EXPECT_FALSE(store.load("k").has_value())
+            << "flipped byte " << i << " was served";
+    }
+}
+
+TEST_F(DiskByteStoreTest, TruncationReadsAsAMiss)
+{
+    DiskByteStore store(dir_);
+    ASSERT_TRUE(store.store("k", "precious payload"));
+    const std::string path = store.pathOf("k");
+
+    std::string original;
+    {
+        std::ifstream is(path, std::ios::binary);
+        original.assign(std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>());
+    }
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, original.size() / 2,
+          original.size() - 1}) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(original.data(), static_cast<std::streamsize>(keep));
+        os.close();
+        EXPECT_FALSE(store.load("k").has_value()) << keep << " bytes";
+    }
+}
+
+TEST_F(DiskByteStoreTest, FilenameCollisionServesAMissNotTheWrongEntry)
+{
+    DiskByteStore store(dir_);
+    ASSERT_TRUE(store.store("victim", "victim payload"));
+
+    // Simulate a filename-hash collision: place the intact, correctly
+    // CRC'd envelope of "victim" where "imposter" would live. The key
+    // echo inside the envelope must reject it.
+    std::string envelope;
+    {
+        std::ifstream is(store.pathOf("victim"), std::ios::binary);
+        envelope.assign(std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>());
+    }
+    {
+        std::ofstream os(store.pathOf("imposter"),
+                         std::ios::binary | std::ios::trunc);
+        os.write(envelope.data(),
+                 static_cast<std::streamsize>(envelope.size()));
+    }
+    EXPECT_FALSE(store.load("imposter").has_value());
+    EXPECT_TRUE(store.load("victim").has_value());
+}
+
+TEST(DiskEntryFraming, ParseRejectsWrongKeyAndGarbage)
+{
+    const std::string framed = frameDiskEntry("key-a", "payload-a");
+    const auto parsed = parseDiskEntry(framed, "key-a");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, "payload-a");
+
+    EXPECT_FALSE(parseDiskEntry(framed, "key-b").has_value());
+    EXPECT_FALSE(parseDiskEntry("", "key-a").has_value());
+    EXPECT_FALSE(parseDiskEntry("short", "key-a").has_value());
+    EXPECT_FALSE(
+        parseDiskEntry(std::string(64, '\0'), "key-a").has_value());
+}
+
+TEST(AtomicWriteFile, LeavesNoTempFileBehind)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("mapzero-persist-atomic-" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/entry.bin";
+    ASSERT_TRUE(atomicWriteFile(path, "contents"));
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace mapzero

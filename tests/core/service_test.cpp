@@ -6,9 +6,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/metrics.hpp"
+#include "common/persist.hpp"
 #include "core/service.hpp"
 #include "dfg/dfg.hpp"
 #include "dfg/kernels.hpp"
@@ -170,6 +174,190 @@ TEST(CompileService, PreRaisedCancelFlagShortCircuits)
     EXPECT_TRUE(result.cancelled);
     EXPECT_FALSE(result.success);
     EXPECT_LT(seconds, 5.0);
+}
+
+/** Scoped temp directory for the disk-tier tests. */
+struct TempDir {
+    std::string path;
+    explicit TempDir(const std::string &tag)
+        : path((std::filesystem::temp_directory_path() /
+                ("mapzero-service-" + tag + "-" +
+                 std::to_string(::getpid())))
+                   .string())
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(CompileService, EncodeDecodeRoundTripsEveryResultField)
+{
+    CompileResult result;
+    result.success = true;
+    result.ii = 3;
+    result.mii = 2;
+    result.seconds = 1.25;
+    result.searchOps = 4242;
+    result.timedOut = false;
+    result.cancelled = false;
+    result.totalHops = 17;
+    result.method = "SA";
+    result.placements = {{0, 0}, {5, 1}, {11, 2}};
+
+    CompileResult out;
+    ASSERT_TRUE(decodeCompileResult(encodeCompileResult(result), out));
+    EXPECT_EQ(out.success, result.success);
+    EXPECT_EQ(out.ii, result.ii);
+    EXPECT_EQ(out.mii, result.mii);
+    EXPECT_DOUBLE_EQ(out.seconds, result.seconds);
+    EXPECT_EQ(out.searchOps, result.searchOps);
+    EXPECT_EQ(out.totalHops, result.totalHops);
+    EXPECT_EQ(out.method, result.method);
+    ASSERT_EQ(out.placements.size(), result.placements.size());
+    for (std::size_t i = 0; i < out.placements.size(); ++i) {
+        EXPECT_EQ(out.placements[i].pe, result.placements[i].pe);
+        EXPECT_EQ(out.placements[i].time, result.placements[i].time);
+    }
+
+    // Garbage never decodes (and never throws out of the decoder).
+    CompileResult untouched;
+    EXPECT_FALSE(decodeCompileResult("", untouched));
+    EXPECT_FALSE(decodeCompileResult("garbage bytes", untouched));
+    EXPECT_FALSE(decodeCompileResult(std::string(3, '\0'), untouched));
+}
+
+TEST(CompileService, DiskTierAnswersARestartedServiceByteIdentically)
+{
+    const TempDir dir("restart");
+    ServiceOptions service_options;
+    service_options.persistDir = dir.path;
+
+    const dfg::Dfg kernel = dfg::buildKernel("mac");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 20.0;
+    options.restartsPerIi = 2;
+
+    // Service A computes and persists...
+    const std::int64_t writes_before =
+        metrics().counter("cache.disk_writes").value();
+    CompileService first_service(service_options);
+    ASSERT_TRUE(first_service.resultStore().enabled());
+    const CompileResult cold =
+        first_service.compile(kernel, arch, Method::Sa, options);
+    ASSERT_TRUE(cold.success);
+    EXPECT_GT(metrics().counter("cache.disk_writes").value(),
+              writes_before);
+
+    // ...and service B (a daemon restart) replays from disk without
+    // searching: the result - including the timing the original run
+    // recorded - and the rendered FETCH blob are byte-identical.
+    const std::int64_t hits_before =
+        metrics().counter("cache.disk_hits").value();
+    CompileService second_service(service_options);
+    const CompileResult warm =
+        second_service.compile(kernel, arch, Method::Sa, options);
+    EXPECT_GT(metrics().counter("cache.disk_hits").value(),
+              hits_before);
+    ASSERT_TRUE(warm.success);
+    EXPECT_DOUBLE_EQ(warm.seconds, cold.seconds);
+    EXPECT_EQ(warm.searchOps, cold.searchOps);
+    EXPECT_EQ(renderResultJson(kernel, arch, warm),
+              renderResultJson(kernel, arch, cold));
+}
+
+TEST(CompileService, CorruptDiskEntriesFallBackToRecompute)
+{
+    const TempDir dir("corrupt");
+    ServiceOptions service_options;
+    service_options.persistDir = dir.path;
+    CompileService service(service_options);
+
+    const dfg::Dfg kernel = dfg::buildKernel("sum");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    CompileOptions options;
+    options.timeLimitSeconds = 20.0;
+    options.restartsPerIi = 2;
+
+    ASSERT_TRUE(
+        service.compile(kernel, arch, Method::Sa, options).success);
+    const std::string key =
+        service.requestKey(kernel, arch, Method::Sa, options);
+    const std::string path = service.resultStore().pathOf(key);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // A correctly framed envelope whose payload is not a serialized
+    // CompileResult: the load succeeds, the decode must not - counted
+    // as a decode error, answered by recomputing.
+    {
+        DiskByteStore side_door(dir.path);
+        ASSERT_TRUE(side_door.store(key, "not a compile result"));
+    }
+    const std::int64_t decode_errors_before =
+        metrics().counter("cache.disk_errors").value();
+    EXPECT_TRUE(
+        service.compile(kernel, arch, Method::Sa, options).success);
+    EXPECT_GT(metrics().counter("cache.disk_errors").value(),
+              decode_errors_before);
+
+    // Bit-rot in the envelope itself: a CRC failure is a plain miss,
+    // and the recompute re-populates the entry.
+    {
+        std::filesystem::resize_file(
+            path, std::filesystem::file_size(path) / 2);
+    }
+    const std::int64_t misses_before =
+        metrics().counter("cache.disk_misses").value();
+    EXPECT_TRUE(
+        service.compile(kernel, arch, Method::Sa, options).success);
+    EXPECT_GT(metrics().counter("cache.disk_misses").value(),
+              misses_before);
+    const std::int64_t hits_before =
+        metrics().counter("cache.disk_hits").value();
+    EXPECT_TRUE(
+        service.compile(kernel, arch, Method::Sa, options).success);
+    EXPECT_GT(metrics().counter("cache.disk_hits").value(),
+              hits_before);
+}
+
+TEST(CompileService, RequestKeyCoversResultsAndIgnoresThroughput)
+{
+    CompileService service;
+    const dfg::Dfg mac = dfg::buildKernel("mac");
+    const dfg::Dfg sum = dfg::buildKernel("sum");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    cgra::Architecture bused = cgra::Architecture::hrea();
+    bused.setRowSharedMemoryBus(true);
+
+    CompileOptions base;
+    base.timeLimitSeconds = 20.0;
+    base.restartsPerIi = 8;
+    const std::string key =
+        service.requestKey(mac, arch, Method::Sa, base);
+
+    // Everything that can change the mapping changes the key.
+    EXPECT_NE(service.requestKey(sum, arch, Method::Sa, base), key);
+    EXPECT_NE(service.requestKey(mac, bused, Method::Sa, base), key);
+    EXPECT_NE(service.requestKey(mac, arch, Method::Ilp, base), key);
+    CompileOptions reseeded = base;
+    reseeded.seed = 999;
+    EXPECT_NE(service.requestKey(mac, arch, Method::Sa, reseeded), key);
+    CompileOptions more_restarts = base;
+    more_restarts.restartsPerIi = 9;
+    EXPECT_NE(service.requestKey(mac, arch, Method::Sa, more_restarts),
+              key);
+    CompileOptions longer = base;
+    longer.timeLimitSeconds = 21.0;
+    EXPECT_NE(service.requestKey(mac, arch, Method::Sa, longer), key);
+
+    // Worker count and cache toggles change throughput, not results
+    // (restartsPerIi is pinned, so the portfolio shape is fixed).
+    CompileOptions wide = base;
+    wide.jobs = 4;
+    EXPECT_EQ(service.requestKey(mac, arch, Method::Sa, wide), key);
+    CompileOptions uncached = base;
+    uncached.evalCache = false;
+    EXPECT_EQ(service.requestKey(mac, arch, Method::Sa, uncached), key);
 }
 
 } // namespace

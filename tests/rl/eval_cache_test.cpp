@@ -132,6 +132,50 @@ TEST(EvalCache, InsertRefreshesExistingKey)
     EXPECT_EQ(out.value.item(), 10.0f);
 }
 
+TEST(EvalCache, ZeroCapacityIsDisabled)
+{
+    EvalCache cache(0);
+    EXPECT_EQ(cache.capacity(), 0u);
+    EXPECT_EQ(cache.shardCount(), 0u);
+    cache.insert("a", fakeOutput(1.0f));
+    MapZeroNet::Output out;
+    EXPECT_FALSE(cache.lookup("a", out));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCache, DaemonSizedCapacityShards)
+{
+    // The daemon-shared cache must actually spread across shards; the
+    // tiny test caches above must not (their LRU tests rely on exact
+    // global order).
+    EvalCache small(2);
+    EXPECT_EQ(small.shardCount(), 1u);
+    EvalCache large(4 * EvalCache::kDefaultCapacity);
+    EXPECT_GT(large.shardCount(), 1u);
+}
+
+TEST(EvalCache, KeySeparatesArchsWithIdenticalObservationTensors)
+{
+    // Two fabrics differing ONLY in the row-shared memory bus: the
+    // network input tensors are identical (the flag is not a feature),
+    // but mapping legality differs, so the cache key must not collide.
+    cgra::Architecture plain = cgra::Architecture::hrea();
+    cgra::Architecture shared_bus = cgra::Architecture::hrea();
+    shared_bus.setRowSharedMemoryBus(true);
+    ASSERT_NE(plain.canonicalBytes(), shared_bus.canonicalBytes());
+
+    dfg::Dfg d = dfg::buildKernel("mac");
+    const std::int32_t mii = dfg::minimumIi(
+        d, plain.peCount(), plain.memoryIssueCapacity());
+    mapper::MapEnv env_plain(d, plain, mii);
+    mapper::MapEnv env_shared(d, shared_bus, mii);
+
+    const Observation a = observe(env_plain);
+    const Observation b = observe(env_shared);
+    EXPECT_NE(a.archSignature, b.archSignature);
+    EXPECT_NE(EvalCache::keyOf(a), EvalCache::keyOf(b));
+}
+
 TEST(EvalCache, KeySeparatesDecisionPoints)
 {
     cgra::Architecture arch = cgra::Architecture::hrea();

@@ -1,0 +1,251 @@
+/** @file Tests for the cross-restart transposition table
+ *  (rl/transposition.hpp): both storage planes round-trip, a warm
+ *  table replays searches move-for-move identically (the bit-identical
+ *  hit contract), and the compiler-level portfolio produces the same
+ *  mapping with the table on or off while actually hitting it. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/compiler.hpp"
+#include "dfg/kernels.hpp"
+#include "rl/agent.hpp"
+#include "rl/mcts.hpp"
+#include "rl/transposition.hpp"
+
+namespace mapzero::rl {
+namespace {
+
+TEST(Transposition, EvalPlaneRoundTrips)
+{
+    TranspositionTable table(256);
+    TtExpansion entry;
+    entry.actions = {0, 3, 7};
+    entry.priors = {0.5, 0.25, 0.25};
+    entry.value = 0.75f;
+    table.insertEval("state-a", entry);
+    EXPECT_EQ(table.evalEntries(), 1u);
+
+    TtExpansion out;
+    ASSERT_TRUE(table.lookupEval("state-a", out));
+    EXPECT_EQ(out.actions, entry.actions);
+    EXPECT_EQ(out.priors, entry.priors);
+    EXPECT_EQ(out.value, entry.value);
+    EXPECT_FALSE(table.lookupEval("state-b", out));
+}
+
+TEST(Transposition, StepPlaneRoundTrips)
+{
+    TranspositionTable table(256);
+    mapper::StepRecord record;
+    record.outcome.reward = -0.04;
+    record.outcome.routedOk = true;
+    record.outcome.hops = 2;
+    mapper::Route route;
+    route.hops = 2;
+    record.routes.emplace_back(5, route);
+    table.insertStep("state-a|action-3", record);
+    EXPECT_EQ(table.stepEntries(), 1u);
+
+    mapper::StepRecord out;
+    ASSERT_TRUE(table.lookupStep("state-a|action-3", out));
+    EXPECT_DOUBLE_EQ(out.outcome.reward, -0.04);
+    EXPECT_EQ(out.outcome.hops, 2);
+    ASSERT_EQ(out.routes.size(), 1u);
+    EXPECT_EQ(out.routes[0].first, 5);
+    EXPECT_EQ(out.routes[0].second.hops, 2);
+    EXPECT_FALSE(table.lookupStep("state-a|action-4", out));
+}
+
+/** Play one full episode, collecting the chosen action sequence. */
+std::vector<std::int32_t>
+playEpisode(Mcts &mcts, mapper::MapEnv &env, std::uint64_t seed)
+{
+    env.reset();
+    Rng rng(seed);
+    std::vector<std::int32_t> trace;
+    while (!env.done()) {
+        if (env.legalActionCount() == 0) {
+            env.noteDeadEnd();
+            break;
+        }
+        const MctsMoveResult move = mcts.runFromCurrent(env, rng);
+        if (move.solvedSuffix) {
+            for (const std::int32_t a : *move.solvedSuffix) {
+                trace.push_back(a);
+                env.step(a);
+            }
+            break;
+        }
+        if (move.bestAction < 0)
+            break;
+        trace.push_back(move.bestAction);
+        env.step(move.bestAction);
+    }
+    return trace;
+}
+
+TEST(Transposition, WarmTableReplaysTheSearchIdentically)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng net_rng(11);
+    const MapZeroNet net(arch.peCount(), NetworkConfig{}, net_rng);
+    mapper::MapEnv env(d, arch, 1);
+
+    MctsConfig cfg;
+    cfg.expansionsPerMove = 24;
+    cfg.noiseFraction = 0.0;
+
+    // Engine A with no table is the reference behaviour.
+    Mcts reference(net, cfg);
+    const auto baseline = playEpisode(reference, env, 21);
+    ASSERT_FALSE(baseline.empty());
+
+    // Engine B populates the shared table...
+    const auto table = std::make_shared<TranspositionTable>();
+    MctsConfig shared_cfg = cfg;
+    shared_cfg.transposition = table;
+    Mcts writer(net, shared_cfg);
+    const auto first = playEpisode(writer, env, 21);
+    EXPECT_EQ(first, baseline); // the table must never change results
+    EXPECT_GT(table->evalEntries(), 0u);
+
+    // ...and engine C (a fresh restart, as in a portfolio) replays the
+    // same episode out of it, bit-identically, with real hits.
+    const std::int64_t hits_before =
+        metrics().counter("cache.tt_hits").value();
+    Mcts reader(net, shared_cfg);
+    const auto second = playEpisode(reader, env, 21);
+    EXPECT_EQ(second, baseline);
+    EXPECT_GT(metrics().counter("cache.tt_hits").value(), hits_before);
+}
+
+TEST(Transposition, PortfolioMappingUnchangedWithTableOn)
+{
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng net_rng(13);
+    const auto net = std::make_shared<const MapZeroNet>(
+        arch.peCount(), NetworkConfig{}, net_rng);
+
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0;
+    options.restartsPerIi = 3;
+    options.jobs = 1;
+
+    Compiler with_table;
+    with_table.setNetwork(net);
+    options.transposition = true;
+    const CompileResult on =
+        with_table.compile(d, arch, Method::MapZero, options);
+    ASSERT_TRUE(on.success);
+
+    Compiler without_table;
+    without_table.setNetwork(net);
+    options.transposition = false;
+    const CompileResult off =
+        without_table.compile(d, arch, Method::MapZero, options);
+    ASSERT_TRUE(off.success);
+
+    // Sharing work across restarts must not change what is computed.
+    EXPECT_EQ(on.ii, off.ii);
+    EXPECT_EQ(on.totalHops, off.totalHops);
+    ASSERT_EQ(on.placements.size(), off.placements.size());
+    for (std::size_t i = 0; i < on.placements.size(); ++i) {
+        EXPECT_EQ(on.placements[i].pe, off.placements[i].pe) << i;
+        EXPECT_EQ(on.placements[i].time, off.placements[i].time) << i;
+    }
+}
+
+TEST(Transposition, PortfolioCompilesConsultTheSharedTable)
+{
+    // The compiler wires one table through every portfolio engine.
+    // A mappable kernel is solved by the guided-DFS phase before MCTS
+    // ever runs, so this uses the unroutable 1-to-15 star: the guided
+    // phase exhausts itself, the MCTS phase runs, and every expansion
+    // it makes must consult and populate the shared tier. (The hit
+    // payoff is proven deterministically in the neighbouring tests;
+    // this one checks Compiler::compile's wiring.)
+    dfg::Dfg star;
+    star.setName("star15");
+    const auto root = star.addNode(dfg::Opcode::Add, "n0");
+    for (int i = 1; i <= 15; ++i)
+        star.addEdge(root, star.addNode(dfg::Opcode::Add));
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng net_rng(17);
+    const auto net = std::make_shared<const MapZeroNet>(
+        arch.peCount(), NetworkConfig{}, net_rng);
+
+    CompileOptions options;
+    options.timeLimitSeconds = 10.0;
+    options.maxIiIncrease = 0; // a single II=1 round, then give up
+    options.restartsPerIi = 2; // one lone restart takes the
+                               // single-engine path, which has no
+                               // portfolio table to share
+    options.jobs = 1;
+    options.transposition = true;
+
+    Compiler compiler;
+    compiler.setNetwork(net);
+    const std::int64_t lookups_before =
+        metrics().counter("cache.tt_hits").value() +
+        metrics().counter("cache.tt_misses").value();
+    const std::int64_t inserts_before =
+        metrics().counter("cache.tt_inserts").value();
+    const std::int64_t simulations_before =
+        metrics().counter("mcts.simulations").value();
+    EXPECT_FALSE(
+        compiler.compile(star, arch, Method::MapZero, options).success);
+    if (metrics().counter("mcts.simulations").value() ==
+        simulations_before)
+        GTEST_SKIP() << "guided phase consumed the attempt budget "
+                        "(slow sanitizer build); MCTS never ran";
+    EXPECT_GT(metrics().counter("cache.tt_hits").value() +
+                  metrics().counter("cache.tt_misses").value(),
+              lookups_before);
+    EXPECT_GT(metrics().counter("cache.tt_inserts").value(),
+              inserts_before);
+}
+
+TEST(Transposition, RestartEnginesReplayEachOthersWork)
+{
+    // Two independently seeded engines sharing one table - exactly the
+    // portfolio's restart topology, but driven directly through
+    // compileWith so the guided-DFS phase cannot eat the MCTS budget
+    // and the second engine deterministically reaches the states the
+    // first one published.
+    const dfg::Dfg d = dfg::buildKernel("sum");
+    const cgra::Architecture arch = cgra::Architecture::hrea();
+    Rng net_rng(17);
+    const auto net = std::make_shared<const MapZeroNet>(
+        arch.peCount(), NetworkConfig{}, net_rng);
+
+    const auto table = std::make_shared<TranspositionTable>();
+    AgentConfig cfg;
+    cfg.useGuided = false; // MCTS-only engines
+    cfg.mcts.expansionsPerMove = 24;
+    cfg.mcts.noiseFraction = 0.0;
+    cfg.mcts.transposition = table;
+
+    CompileOptions options;
+    options.timeLimitSeconds = 60.0;
+
+    Compiler compiler;
+    cfg.seed = 1;
+    MapZeroAgent first(net, cfg);
+    ASSERT_TRUE(compiler.compileWith(first, d, arch, options).success);
+    EXPECT_GT(table->evalEntries(), 0u);
+
+    const std::int64_t hits_before =
+        metrics().counter("cache.tt_hits").value();
+    cfg.seed = 2;
+    MapZeroAgent second(net, cfg);
+    ASSERT_TRUE(compiler.compileWith(second, d, arch, options).success);
+    EXPECT_GT(metrics().counter("cache.tt_hits").value(), hits_before);
+}
+
+} // namespace
+} // namespace mapzero::rl

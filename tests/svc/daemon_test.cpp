@@ -7,9 +7,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/metrics.hpp"
 #include "dfg/dfg.hpp"
@@ -346,6 +350,173 @@ TEST(Daemon, SecondIdenticalSubmissionHitsTheWarmCaches)
     EXPECT_GT(metrics().counter("eval_cache.hits").value(),
               eval_hits_before);
     daemon.stop();
+}
+
+TEST(Daemon, RetainZeroEvictsTerminalJobsFromTheWire)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    options.retainTerminal = 0; // evict at the terminal transition
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    const std::int64_t completed_before =
+        metrics().counter("svc.completed_total").value();
+    const std::int64_t evicted_before =
+        metrics().counter("svc.evicted_total").value();
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(submitOf("mac"), id, depth), Status::Ok);
+
+    // The job is visible while queued/running and vanishes the moment
+    // it completes: a poller sees NOT_FOUND, never a terminal state.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+        JobStatus status;
+        const Status rc = client.status(id, status);
+        if (rc == Status::NotFound)
+            break;
+        ASSERT_EQ(rc, Status::Ok) << client.lastError();
+        EXPECT_FALSE(jobStateTerminal(status.state));
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    JobResult result;
+    EXPECT_EQ(client.fetch(id, result), Status::NotFound);
+
+    // The job did complete (it was evicted, not lost), and the
+    // eviction is visible in the metrics plane.
+    EXPECT_GE(metrics().counter("svc.completed_total").value(),
+              completed_before + 1);
+    EXPECT_GT(metrics().counter("svc.evicted_total").value(),
+              evicted_before);
+    daemon.stop();
+}
+
+/** Drop every `"seconds": <number>` field: the one part of a result
+ *  blob an uncached recompile legitimately changes. */
+std::string
+stripSeconds(std::string blob)
+{
+    for (;;) {
+        const std::size_t at = blob.find("\"seconds\":");
+        if (at == std::string::npos)
+            return blob;
+        std::size_t end = at + 10;
+        while (end < blob.size() && blob[end] != ',' &&
+               blob[end] != '}' && blob[end] != '\n')
+            ++end;
+        blob.erase(at, end - at);
+    }
+}
+
+TEST(Daemon, PersistentTierReplaysBitIdenticalBlobsAcrossRestarts)
+{
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         ("mapzero-daemon-persist-" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(cache_dir);
+
+    // A Zipf-shaped replay: the head kernel dominates, with duplicates
+    // submitted concurrently so same-key compiles and disk writes race.
+    const std::vector<std::string> stream = {
+        "mac", "mac",    "sum", "mac",        "matmul", "mac",
+        "sum", "matmul", "mac", "accumulate", "sum",    "mac"};
+
+    // Phase 1: a cold daemon computes everything and fills the disk
+    // tier. Every blob for a kernel must agree once the wall-clock
+    // "seconds" field is stripped: the mapping itself is a pure
+    // function of the request.
+    std::map<std::string, std::string> cold;
+    {
+        Daemon daemon;
+        DaemonOptions options;
+        options.workers = 4;
+        options.service.persistDir = cache_dir;
+        ASSERT_TRUE(daemon.start(options));
+        const int port = daemon.port();
+
+        std::vector<std::uint64_t> ids(stream.size(), 0);
+        std::vector<std::thread> submitters;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            submitters.emplace_back([&, i] {
+                Client client(port);
+                std::uint32_t depth = 0;
+                client.submit(submitOf(stream[i]), ids[i], depth);
+            });
+        }
+        for (std::thread &submitter : submitters)
+            submitter.join();
+
+        Client client(port);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            ASSERT_GT(ids[i], 0u) << stream[i];
+            const std::optional<JobStatus> done =
+                client.waitForJob(ids[i], 120.0);
+            ASSERT_TRUE(done.has_value()) << client.lastError();
+            ASSERT_EQ(done->state, JobState::Done) << stream[i];
+            JobResult result;
+            ASSERT_EQ(client.fetch(ids[i], result), Status::Ok);
+            const auto [it, first_of_kernel] =
+                cold.emplace(stream[i], result.blob);
+            if (!first_of_kernel) {
+                EXPECT_EQ(stripSeconds(result.blob),
+                          stripSeconds(it->second))
+                    << stream[i];
+            }
+        }
+        daemon.stop();
+        EXPECT_GT(metrics().counter("cache.disk_writes").value(), 0);
+    }
+
+    // Phase 2: a fresh daemon (a restart) sharing the directory serves
+    // the stream out of the disk tier. Repeats of a kernel are
+    // byte-for-byte identical - including "seconds", because the tier
+    // replays the stored result instead of recompiling - and match the
+    // cold mapping.
+    {
+        const std::int64_t hits_before =
+            metrics().counter("cache.disk_hits").value();
+        Daemon daemon;
+        DaemonOptions options;
+        options.workers = 2;
+        options.service.persistDir = cache_dir;
+        ASSERT_TRUE(daemon.start(options));
+        Client client(daemon.port());
+
+        std::map<std::string, std::string> warm;
+        for (const auto &[kernel, cold_blob] : cold) {
+            for (int repeat = 0; repeat < 2; ++repeat) {
+                std::uint64_t id = 0;
+                std::uint32_t depth = 0;
+                ASSERT_EQ(client.submit(submitOf(kernel), id, depth),
+                          Status::Ok);
+                const std::optional<JobStatus> done =
+                    client.waitForJob(id, 120.0);
+                ASSERT_TRUE(done.has_value()) << client.lastError();
+                ASSERT_EQ(done->state, JobState::Done) << kernel;
+                JobResult result;
+                ASSERT_EQ(client.fetch(id, result), Status::Ok);
+                const auto [it, first_fetch] =
+                    warm.emplace(kernel, result.blob);
+                if (!first_fetch) {
+                    EXPECT_EQ(result.blob, it->second) << kernel;
+                }
+                EXPECT_EQ(stripSeconds(result.blob),
+                          stripSeconds(cold_blob))
+                    << kernel;
+            }
+        }
+        daemon.stop();
+        EXPECT_GE(metrics().counter("cache.disk_hits").value(),
+                  hits_before +
+                      static_cast<std::int64_t>(2 * cold.size()));
+    }
+    std::filesystem::remove_all(cache_dir);
 }
 
 TEST(Daemon, HandleRejectsGarbageWithoutASocket)

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "svc/session.hpp"
 
 namespace mapzero::svc {
@@ -139,6 +140,47 @@ TEST(Session, TerminalRecordsAreEvictedOldestFirst)
     // Lifetime counters are unaffected by eviction.
     EXPECT_EQ(table.counts().submitted, 3);
     EXPECT_EQ(table.counts().done, 3);
+}
+
+TEST(Session, RetainZeroEvictsAtTheTerminalTransition)
+{
+    // retainTerminal = 0 is a real policy, not a typo to be clamped:
+    // a record becomes unreachable the moment it turns terminal.
+    SessionTable table(/*retainTerminal=*/0);
+    const std::int64_t evicted_before =
+        metrics().counter("svc.evicted_total").value();
+
+    const JobId id = table.add("mac", "hrea", "SA");
+    ASSERT_TRUE(table.markRunning(id));
+    const std::optional<JobSnapshot> frozen =
+        table.finish(id, "{\"success\": true}", /*cancelled=*/false);
+
+    // The caller gets the terminal snapshot (the worker's bookkeeping
+    // depends on it: the record itself is already gone)...
+    ASSERT_TRUE(frozen.has_value());
+    EXPECT_EQ(frozen->state, JobState::Done);
+    EXPECT_EQ(frozen->result, "{\"success\": true}");
+
+    // ...a client polling the just-finished job sees NOT_FOUND...
+    JobSnapshot snapshot;
+    EXPECT_FALSE(table.get(id, snapshot));
+    // ...the lifetime counters still record the completion...
+    EXPECT_EQ(table.counts().done, 1);
+    EXPECT_EQ(table.activeCount(), 0u);
+    // ...and the eviction itself is observable in the metrics plane.
+    EXPECT_GT(metrics().counter("svc.evicted_total").value(),
+              evicted_before);
+
+    // Failed and cancelled jobs evict the same way.
+    const JobId failed = table.add("mac", "hrea", "SA");
+    ASSERT_TRUE(table.markRunning(failed));
+    table.fail(failed, "boom");
+    EXPECT_FALSE(table.get(failed, snapshot));
+
+    const JobId cancelled = table.add("mac", "hrea", "SA");
+    const std::optional<JobState> state = table.cancel(cancelled);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_FALSE(table.get(cancelled, snapshot));
 }
 
 TEST(Session, ActiveJobsAreNeverEvicted)

@@ -17,6 +17,7 @@
  *   mapzero_cli list
  *   mapzero_cli serve    [--port 0] [--bind 127.0.0.1] [--workers N]
  *                        [--queue-depth Q] [--slowlog-ms MS]
+ *                        [--cache-dir DIR]
  *   mapzero_cli submit   --port P --kernel mac --arch hrea
  *                        [--method sa] [--time 10] [--wait]
  *   mapzero_cli status|fetch|cancel --port P --id JOB
@@ -489,6 +490,10 @@ cmdServe(const Args &args)
     options.queueCapacity = static_cast<std::size_t>(depth);
     options.slowlogThresholdSeconds =
         std::atof(args.get("slowlog-ms", "500").c_str()) / 1000.0;
+    options.service.persistDir = args.get("cache-dir", "");
+    if (!options.service.persistDir.empty())
+        std::printf("mapzerod: persistent result cache at %s\n",
+                    options.service.persistDir.c_str());
 
     svc::Daemon daemon;
     if (!daemon.start(options))
@@ -726,6 +731,7 @@ dispatch(const Args &args)
         "  report   --metrics RUNREPORT.json\n"
         "  serve    [--port P] [--bind ADDR] [--workers N]\n"
         "           [--queue-depth Q] [--slowlog-ms MS]\n"
+        "           [--cache-dir DIR] (persistent result cache)\n"
         "           (0 = ephemeral port, printed on stdout;\n"
         "           SIGTERM/SIGINT drain gracefully)\n"
         "  submit   --port P [--host H] --kernel NAME|--kernel-dot F\n"
