@@ -8,7 +8,10 @@
  * measured legal-action branching factors of the real environment.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string_view>
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
@@ -32,8 +35,15 @@ log10Placements(std::int32_t pes, std::int32_t nodes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --check: exit nonzero when request tracing costs more than its
+    // DESIGN.md §17 budget (the CI gate).
+    bool check = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--check")
+            check = true;
+
     bench::printBanner("§2.5.1: search-space size");
 
     // Paper's two flagship numbers.
@@ -136,5 +146,65 @@ main()
     metrics().gauge("bench.parallel.seconds_jobsN").set(total_multi);
     metrics().gauge("bench.parallel.speedup")
         .set(total_multi > 0.0 ? total_single / total_multi : 0.0);
+
+    // Request-tracing overhead: the same SA portfolio with and without
+    // a bound TraceContext, alternating so thermal/cache drift hits
+    // both modes equally; min-of-rounds suppresses scheduling noise.
+    constexpr int kRounds = 5;
+    // Enough compiles per timed round that each measurement is tens
+    // of milliseconds - a single SA compile of these kernels is too
+    // fast to resolve a 2% ratio against timer noise.
+    constexpr int kCompilesPerRound = 50;
+    constexpr double kOverheadBudget = 0.02; // DESIGN.md §17
+    const dfg::Dfg traced_kernel = dfg::buildKernel("conv2");
+    double untraced_min = std::numeric_limits<double>::infinity();
+    double traced_min = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < kRounds; ++round) {
+        for (int traced = 0; traced < 2; ++traced) {
+            Compiler compiler;
+            CompileOptions options = bench::benchOptions();
+            options.restartsPerIi = 4;
+            options.jobs = 1;
+            TraceContext context("bench-" + std::to_string(round));
+            if (traced == 0) {
+                Timer timer;
+                for (int i = 0; i < kCompilesPerRound; ++i)
+                    compiler.compile(traced_kernel, arch, Method::Sa,
+                                     options);
+                untraced_min =
+                    std::min(untraced_min, timer.seconds());
+            } else {
+                options.trace = &context;
+                TraceBinding bind(&context);
+                Timer timer;
+                TraceScope stage("compile");
+                for (int i = 0; i < kCompilesPerRound; ++i)
+                    compiler.compile(traced_kernel, arch, Method::Sa,
+                                     options);
+                traced_min = std::min(traced_min, timer.seconds());
+            }
+        }
+    }
+    const double overhead =
+        untraced_min > 0.0 ? traced_min / untraced_min - 1.0 : 0.0;
+    std::printf("\nrequest-tracing overhead (conv2 SA portfolio, min "
+                "of %d alternating rounds):\n"
+                "  untraced %.4fs, traced %.4fs -> %+.2f%% (budget "
+                "%.0f%%)\n",
+                kRounds, untraced_min, traced_min, overhead * 100.0,
+                kOverheadBudget * 100.0);
+    metrics().gauge("bench.trace.seconds_untraced").set(untraced_min);
+    metrics().gauge("bench.trace.seconds_traced").set(traced_min);
+    metrics().gauge("bench.trace.overhead_pct").set(overhead * 100.0);
+    // 10ms absolute slack keeps sub-second runs from failing on
+    // scheduler noise alone.
+    if (check &&
+        traced_min > untraced_min * (1.0 + kOverheadBudget) + 0.010) {
+        std::fprintf(stderr,
+                     "FAIL: tracing overhead %.2f%% exceeds the "
+                     "%.0f%% budget\n",
+                     overhead * 100.0, kOverheadBudget * 100.0);
+        return 1;
+    }
     return 0;
 }

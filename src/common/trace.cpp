@@ -1,7 +1,9 @@
 #include "common/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -161,6 +163,334 @@ TraceSpan::setArgs(std::string args_json)
 {
     if (active_)
         argsJson_ = std::move(args_json);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing
+// ---------------------------------------------------------------------------
+
+const char *const kTraceCountNames[kTraceCountSlots] = {
+    "mcts_waves",      "mcts_leaves",     "mcts_sims",
+    "tt_eval_hits",    "tt_step_hits",    "eval_cache_hits",
+    "eval_cache_misses", "eval_batches",  "route_calls",
+    "route_us",
+};
+
+namespace {
+
+/** Per-thread binding state; TraceBinding saves/restores all four. */
+thread_local TraceContext *t_context = nullptr;
+thread_local int t_baseDepth = 0;
+thread_local TraceScope *t_innerScope = nullptr;
+thread_local int t_openScopes = 0;
+
+/** Fold nonzero counter slots into @p args_json (a JSON object or ""). */
+std::string
+mergeCountsIntoArgs(std::string args_json,
+                    const std::int64_t (&counts)[kTraceCountSlots])
+{
+    std::ostringstream extra;
+    bool any = false;
+    for (int i = 0; i < kTraceCountSlots; ++i) {
+        if (counts[i] == 0)
+            continue;
+        extra << (any ? ", " : "") << "\"" << kTraceCountNames[i]
+              << "\": " << counts[i];
+        any = true;
+    }
+    if (!any)
+        return args_json;
+    if (args_json.empty())
+        return "{" + extra.str() + "}";
+    // args_json is a pre-rendered object: splice before its closing '}'.
+    std::size_t close = args_json.rfind('}');
+    if (close == std::string::npos)
+        return args_json;
+    bool empty_object = args_json.find_first_not_of(" \t", 1) == close;
+    return args_json.substr(0, close) + (empty_object ? "" : ", ") +
+           extra.str() + "}";
+}
+
+/**
+ * Pre-create the bounded set of per-stage histograms once per process.
+ * The first record against a fresh registry name pays a map insert
+ * under the registry mutex; done lazily from addStage that cost lands
+ * in the gap *between* two stages of the first request and eats into
+ * its timeline coverage, so it is paid up front at context creation
+ * (i.e. at SUBMIT) instead.
+ */
+void
+warmStageHistograms()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        for (const char *stage : {"queue_wait", "disk_cache", "compile",
+                                  "persist", "render"})
+            metrics().histogram(
+                std::string("compile.stage_seconds.") + stage);
+    });
+}
+
+} // namespace
+
+TraceContext::TraceContext(std::string trace_id)
+    : traceId_(std::move(trace_id))
+{
+    warmStageHistograms();
+}
+
+std::int64_t
+TraceContext::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+TraceContext::addStage(const std::string &name, std::int64_t start_us,
+                       std::int64_t duration_us, int depth,
+                       const std::string &args_json)
+{
+    if (depth == 0)
+        metrics()
+            .histogram("compile.stage_seconds." + name)
+            .record(static_cast<double>(duration_us) / 1e6);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stages_.size() >= kMaxStages) {
+        ++dropped_;
+        return;
+    }
+    TraceStage stage;
+    stage.name = name;
+    stage.argsJson = args_json;
+    stage.startUs = start_us;
+    stage.durationUs = duration_us;
+    stage.tid = currentTid();
+    stage.depth = depth;
+    stages_.push_back(std::move(stage));
+}
+
+void
+TraceContext::setPending(std::string name, std::int64_t start_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pendingName_ = std::move(name);
+    pendingStartUs_ = start_us;
+    hasPending_ = true;
+}
+
+void
+TraceContext::closePendingAt(std::int64_t end_us)
+{
+    std::string name;
+    std::int64_t start = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!hasPending_)
+            return;
+        name = std::move(pendingName_);
+        start = pendingStartUs_;
+        hasPending_ = false;
+    }
+    addStage(name, start, std::max<std::int64_t>(0, end_us - start), 0);
+}
+
+std::size_t
+TraceContext::stageCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stages_.size();
+}
+
+std::size_t
+TraceContext::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::vector<TraceStage>
+TraceContext::stages() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stages_;
+}
+
+std::string
+TraceContext::timelineJson() const
+{
+    const std::int64_t now_us = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceStage> stages = stages_;
+    if (hasPending_) {
+        // An armed-but-unclosed pending stage (job still queued, or a
+        // compile that died before its first scope) renders as running
+        // until this snapshot's clock.
+        TraceStage open;
+        open.name = pendingName_;
+        open.startUs = pendingStartUs_;
+        open.durationUs =
+            std::max<std::int64_t>(0, now_us - pendingStartUs_);
+        open.tid = currentTid();
+        open.depth = 0;
+        stages.push_back(std::move(open));
+    }
+    std::int64_t total_us = now_us;
+    // The timeline should cover the request even if the clock is read
+    // before the last stage's end has settled.
+    std::int64_t covered_us = 0;
+    std::string dominant;
+    std::int64_t dominant_us = 0;
+    std::vector<std::pair<std::string, std::int64_t>> top_level;
+    for (const TraceStage &s : stages) {
+        total_us = std::max(total_us, s.startUs + s.durationUs);
+        if (s.depth != 0)
+            continue;
+        covered_us += s.durationUs;
+        bool found = false;
+        for (auto &entry : top_level) {
+            if (entry.first == s.name) {
+                entry.second += s.durationUs;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            top_level.emplace_back(s.name, s.durationUs);
+    }
+    for (const auto &entry : top_level) {
+        if (entry.second > dominant_us) {
+            dominant_us = entry.second;
+            dominant = entry.first;
+        }
+    }
+    double coverage =
+        total_us > 0
+            ? std::min(1.0, static_cast<double>(covered_us) /
+                                static_cast<double>(total_us))
+            : 1.0;
+    std::ostringstream os;
+    os << "{\"trace_id\": \"" << jsonEscape(traceId_)
+       << "\", \"total_us\": " << total_us
+       << ", \"total_ms\": " << jsonNumber(total_us / 1e3)
+       << ", \"coverage\": " << jsonNumber(coverage)
+       << ", \"dominant_stage\": \"" << jsonEscape(dominant)
+       << "\", \"dropped\": " << dropped_ << ", \"stages\": [";
+    bool first = true;
+    for (const TraceStage &s : stages) {
+        os << (first ? "" : ",") << "\n  {\"name\": \""
+           << jsonEscape(s.name) << "\", \"start_us\": " << s.startUs
+           << ", \"dur_us\": " << s.durationUs
+           << ", \"depth\": " << s.depth << ", \"tid\": " << s.tid;
+        if (!s.argsJson.empty())
+            os << ", \"args\": " << s.argsJson;
+        os << "}";
+        first = false;
+    }
+    os << "\n]}";
+    return os.str();
+}
+
+TraceStageSummary
+TraceContext::summarizeStages() const
+{
+    TraceStageSummary summary;
+    std::lock_guard<std::mutex> lock(mutex_);
+    double dominant_ms = 0.0;
+    const auto fold = [&summary](const std::string &name, double ms) {
+        for (auto &entry : summary.stageMs) {
+            if (entry.first == name) {
+                entry.second += ms;
+                return;
+            }
+        }
+        summary.stageMs.emplace_back(name, ms);
+    };
+    for (const TraceStage &s : stages_) {
+        if (s.depth != 0)
+            continue;
+        fold(s.name, static_cast<double>(s.durationUs) / 1e3);
+    }
+    if (hasPending_)
+        fold(pendingName_,
+             static_cast<double>(
+                 std::max<std::int64_t>(0, nowUs() - pendingStartUs_)) /
+                 1e3);
+    for (const auto &entry : summary.stageMs) {
+        if (entry.second > dominant_ms) {
+            dominant_ms = entry.second;
+            summary.dominantStage = entry.first;
+        }
+    }
+    return summary;
+}
+
+TraceBinding::TraceBinding(TraceContext *context, int base_depth)
+    : prevContext_(t_context), prevBaseDepth_(t_baseDepth),
+      prevInnerScope_(t_innerScope), prevOpenScopes_(t_openScopes)
+{
+    t_context = context;
+    t_baseDepth = base_depth;
+    t_innerScope = nullptr;
+    t_openScopes = 0;
+}
+
+TraceBinding::~TraceBinding()
+{
+    t_context = prevContext_;
+    t_baseDepth = prevBaseDepth_;
+    t_innerScope = static_cast<TraceScope *>(prevInnerScope_);
+    t_openScopes = prevOpenScopes_;
+}
+
+TraceScope::TraceScope(std::string name, std::string args_json)
+{
+    if (t_context == nullptr)
+        return;
+    context_ = t_context;
+    parent_ = t_innerScope;
+    depth_ = t_baseDepth + t_openScopes;
+    startUs_ = context_->nowUs();
+    // A top-level scope closes any armed pending stage with its own
+    // start time: the previous stage ends exactly where this one
+    // begins, so the boundary carries no unattributed time.
+    if (depth_ == 0)
+        context_->closePendingAt(startUs_);
+    name_ = std::move(name);
+    argsJson_ = std::move(args_json);
+    t_innerScope = this;
+    ++t_openScopes;
+}
+
+TraceScope::~TraceScope()
+{
+    if (context_ == nullptr)
+        return;
+    std::int64_t end_us = context_->nowUs();
+    context_->addStage(name_, startUs_, end_us - startUs_, depth_,
+                       mergeCountsIntoArgs(std::move(argsJson_), counts_));
+    t_innerScope = parent_;
+    --t_openScopes;
+    if (parent_ != nullptr) {
+        for (int i = 0; i < kTraceCountSlots; ++i)
+            parent_->counts_[i] += counts_[i];
+    }
+}
+
+void
+traceCountAdd(TraceCount count, std::int64_t delta)
+{
+    TraceScope *scope = t_innerScope;
+    if (scope == nullptr)
+        return;
+    scope->counts_[static_cast<int>(count)] += delta;
+}
+
+bool
+traceCountActive()
+{
+    return t_innerScope != nullptr;
 }
 
 void

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mapzero {
@@ -128,6 +129,222 @@ class TraceSpan
     std::string category_;
     std::string argsJson_;
 };
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing
+//
+// TraceContext is the per-request counterpart to the process-global
+// TraceCollector: one context is created per daemon job at SUBMIT and
+// rides along the compile pipeline, collecting a bounded timeline of
+// named stages (queue wait, disk-cache lookup, per-(II,restart)
+// attempts, routing, result render). Deep layers never see the context
+// directly - they publish through a thread-local binding:
+//
+//     TraceBinding bind(options.trace);       // worker / pool thread
+//     {
+//         TraceScope stage("disk_cache");     // one timeline stage
+//         ...
+//         traceCountAdd(TraceCount::EvalCacheHits, 1);  // anywhere below
+//     }
+//
+// Counters recorded via traceCountAdd() attach to the innermost open
+// scope on the calling thread and are folded into that stage's "args"
+// when it closes, so an attempt span carries its own wave/eval/TT-hit
+// totals. When no binding is active every entry point is a
+// thread-local load + branch, keeping the instrumentation permanently
+// enabled within the < 2% overhead budget.
+// ---------------------------------------------------------------------------
+
+/** Fixed counter slots a stage can accumulate (see kTraceCountNames). */
+enum class TraceCount : int {
+    MctsWaves = 0,
+    MctsLeaves,
+    MctsSimulations,
+    TtEvalHits,
+    TtStepHits,
+    EvalCacheHits,
+    EvalCacheMisses,
+    EvalBatches,
+    RouteCalls,
+    RouteUs,
+    kCount
+};
+
+constexpr int kTraceCountSlots = static_cast<int>(TraceCount::kCount);
+
+/** JSON key for each TraceCount slot, in enum order. */
+extern const char *const kTraceCountNames[kTraceCountSlots];
+
+/** One finished stage of a per-request timeline. */
+struct TraceStage {
+    std::string name;
+    /** Pre-rendered JSON object for "args" ("" when none). */
+    std::string argsJson;
+    /** Offset from the context's epoch (job submit time). */
+    std::int64_t startUs = 0;
+    std::int64_t durationUs = 0;
+    /** Recording thread's trace lane (Chrome "tid"). */
+    std::uint64_t tid = 0;
+    /** Nesting depth: 0 = top-level pipeline stage, 1 = attempt, ... */
+    int depth = 0;
+};
+
+/** Aggregated per-stage view used by the slowlog. */
+struct TraceStageSummary {
+    /** Top-level stage with the largest aggregate duration ("" if none). */
+    std::string dominantStage;
+    /** (stage name, aggregate milliseconds) for depth-0 stages, in
+     *  first-appearance order. */
+    std::vector<std::pair<std::string, double>> stageMs;
+};
+
+/**
+ * Bounded, thread-safe per-request stage timeline.
+ *
+ * The epoch is fixed at construction (job submit), so stage offsets
+ * are directly "microseconds into the request" and a queue_wait stage
+ * starting at offset 0 makes the timeline gap-free from SUBMIT.
+ */
+class TraceContext
+{
+  public:
+    /** Hard cap on recorded stages; later stages are counted, not kept. */
+    static constexpr std::size_t kMaxStages = 512;
+
+    explicit TraceContext(std::string trace_id);
+
+    TraceContext(const TraceContext &) = delete;
+    TraceContext &operator=(const TraceContext &) = delete;
+
+    const std::string &id() const { return traceId_; }
+
+    /** Microseconds since this context's epoch. */
+    std::int64_t nowUs() const;
+
+    /**
+     * Append a finished stage. Also feeds the process-wide
+     * "compile.stage_seconds.<name>" histogram for depth-0 stages.
+     * Stages beyond kMaxStages increment dropped() instead.
+     */
+    void addStage(const std::string &name, std::int64_t start_us,
+                  std::int64_t duration_us, int depth,
+                  const std::string &args_json = "");
+
+    /**
+     * Arm a pending depth-0 stage that stays open until the next
+     * depth-0 TraceScope begins on a thread bound to this context;
+     * that scope's own start timestamp closes it, so the two stages
+     * share one clock reading and the boundary between them carries
+     * no unattributed gap by construction. The daemon arms
+     * "queue_wait" this way: the dispatch setup between a worker
+     * dequeuing a job and the compile's first stage has tens of
+     * microseconds of cold-start jitter - enough to sink a
+     * sub-millisecond job's coverage if it were left between stages.
+     * A pending stage that is never closed by a scope still shows up:
+     * timelineJson() renders it as running until the render clock.
+     */
+    void setPending(std::string name, std::int64_t start_us);
+
+    /** Close the armed pending stage (if any) ending at @p end_us. */
+    void closePendingAt(std::int64_t end_us);
+
+    std::size_t stageCount() const;
+    std::size_t dropped() const;
+
+    /** Copy of the recorded stages (record order). */
+    std::vector<TraceStage> stages() const;
+
+    /**
+     * The request timeline as one JSON object:
+     * {"trace_id", "total_us", "total_ms", "coverage",
+     *  "dominant_stage", "dropped", "stages": [...]}.
+     * total is the elapsed time at render; coverage is the fraction of
+     * it attributed to depth-0 stages (clamped to [0, 1]).
+     */
+    std::string timelineJson() const;
+
+    /** Aggregate depth-0 stages for the slowlog. */
+    TraceStageSummary summarizeStages() const;
+
+  private:
+    std::string traceId_;
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    mutable std::mutex mutex_;
+    std::vector<TraceStage> stages_;
+    std::size_t dropped_ = 0;
+    std::string pendingName_;
+    std::int64_t pendingStartUs_ = 0;
+    bool hasPending_ = false;
+};
+
+/**
+ * RAII thread binding: routes TraceScope / traceCountAdd on the
+ * current thread to @p context until destruction. Saves and restores
+ * the previous binding, so pool threads reused across jobs (and
+ * nested bindings) stay correct. A null context is a valid no-op
+ * binding that masks any outer one.
+ *
+ * @p base_depth offsets the depth of scopes opened under this binding;
+ * the portfolio uses 1 so attempt spans nest under the "compile" stage
+ * regardless of which thread runs them.
+ */
+class TraceBinding
+{
+  public:
+    explicit TraceBinding(TraceContext *context, int base_depth = 0);
+    ~TraceBinding();
+
+    TraceBinding(const TraceBinding &) = delete;
+    TraceBinding &operator=(const TraceBinding &) = delete;
+
+  private:
+    TraceContext *prevContext_;
+    int prevBaseDepth_;
+    void *prevInnerScope_;
+    int prevOpenScopes_;
+};
+
+/**
+ * RAII timeline stage: records [construction, destruction) into the
+ * thread-bound TraceContext, at depth base + number of enclosing open
+ * scopes on this thread. Counters published via traceCountAdd() while
+ * this is the innermost scope are folded into its "args" on close and
+ * then propagated to the parent scope. Inert when no context is bound.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(std::string name, std::string args_json = "");
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    bool active() const { return context_ != nullptr; }
+
+  private:
+    friend void traceCountAdd(TraceCount count, std::int64_t delta);
+
+    TraceContext *context_ = nullptr;
+    TraceScope *parent_ = nullptr;
+    std::int64_t startUs_ = 0;
+    int depth_ = 0;
+    std::string name_;
+    std::string argsJson_;
+    std::int64_t counts_[kTraceCountSlots] = {};
+};
+
+/**
+ * Accumulate @p delta into slot @p count of the innermost open
+ * TraceScope on this thread. No-op (one thread-local load + branch)
+ * when no scope is open.
+ */
+void traceCountAdd(TraceCount count, std::int64_t delta);
+
+/** True when the calling thread has an open TraceScope - use to gate
+ *  timers whose cost is only worth paying under tracing. */
+bool traceCountActive();
 
 /**
  * Write a combined run report to @p path: {"metrics": <registry

@@ -282,6 +282,8 @@ Compiler::compileWith(baselines::MapperBase &engine, const dfg::Dfg &dfg,
         {
             TraceSpan attempt_span("ii_attempt", "compiler",
                                    cat("{\"ii\": ", ii, "}"));
+            TraceScope attempt_stage(
+                "attempt", cat("{\"ii\": ", ii, ", \"restart\": 0}"));
             attempt = engine.map(dfg, arch, ii, attempt_deadline);
         }
         attempts.add();
@@ -448,6 +450,14 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                     : 0.0;
                 parallelFor(*pool, static_cast<std::size_t>(restarts),
                             [&](std::size_t k) {
+                    // Pool threads carry no binding: re-bind the job's
+                    // context at depth 1 so the attempt stage nests
+                    // under the caller's "compile" stage exactly like
+                    // the sequential path's.
+                    TraceBinding bind(options.trace, 1);
+                    TraceScope attempt_stage(
+                        "attempt", cat("{\"ii\": ", ii, ", \"restart\": ",
+                                       k, "}"));
                     const Deadline attempt_deadline(
                         std::min(slice, deadline.remaining()),
                         options.cancel);
@@ -468,6 +478,9 @@ Compiler::compilePortfolio(const dfg::Dfg &dfg,
                     const Deadline attempt_deadline(
                         std::min(slice, deadline.remaining()),
                         options.cancel);
+                    TraceScope attempt_stage(
+                        "attempt", cat("{\"ii\": ", ii, ", \"restart\": ",
+                                       k, "}"));
                     round[static_cast<std::size_t>(k)] =
                         engines[static_cast<std::size_t>(k)]->map(
                             dfg, arch, ii, attempt_deadline);

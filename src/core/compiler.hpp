@@ -21,6 +21,8 @@
 
 namespace mapzero {
 
+class TraceContext;
+
 namespace rl {
 class EvalCache;
 class TranspositionTable;
@@ -97,6 +99,16 @@ struct CompileOptions {
      * CompileResult::cancelled set. nullptr = not cancellable.
      */
     const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Request-scoped trace context (externally owned, must outlive the
+     * call; nullptr = untraced). The sweep records one "attempt" stage
+     * per (II, restart) into it - portfolio pool threads re-bind the
+     * context so attempt spans land at the right depth - and the
+     * layers below (MCTS, evaluator, router) fold their wave /
+     * cache-hit / routing counters into whichever attempt stage is
+     * open on their thread (common/trace.hpp, traceCountAdd).
+     */
+    TraceContext *trace = nullptr;
     /**
      * Live telemetry: >= 0 starts the process-wide HTTP telemetry
      * server (svc/telemetry_server.hpp) on this port before the sweep

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace mapzero {
 
@@ -692,6 +693,177 @@ renderMetricsReport(const JsonValue &report)
             os << row;
         }
     }
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Request timelines
+
+namespace {
+
+/** Re-serialize a parsed JsonValue (for Chrome event args). */
+void
+writeJsonValue(std::ostream &os, const JsonValue &value)
+{
+    switch (value.kind()) {
+    case JsonValue::Kind::Null:
+        os << "null";
+        break;
+    case JsonValue::Kind::Bool:
+        os << (value.asBool() ? "true" : "false");
+        break;
+    case JsonValue::Kind::Number:
+        os << jsonNumber(value.asNumber());
+        break;
+    case JsonValue::Kind::String:
+        os << '"' << jsonEscape(value.asString()) << '"';
+        break;
+    case JsonValue::Kind::Array: {
+        os << '[';
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            os << (i ? ", " : "");
+            writeJsonValue(os, value.at(i));
+        }
+        os << ']';
+        break;
+    }
+    case JsonValue::Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, member] : value.members()) {
+            os << (first ? "" : ", ") << '"' << jsonEscape(key)
+               << "\": ";
+            writeJsonValue(os, member);
+            first = false;
+        }
+        os << '}';
+        break;
+    }
+    }
+}
+
+/** fatal() unless @p timeline looks like TraceContext::timelineJson. */
+void
+requireTimeline(const JsonValue &timeline)
+{
+    if (!timeline.isObject() || !timeline.has("stages") ||
+        !timeline.at("stages").isArray())
+        fatal("not a request timeline - was it fetched via the TRACE "
+              "op or GET /trace?job=ID?");
+}
+
+/** "ii=3 restart=0 mcts_waves=12" from a stage args object. */
+std::string
+argsSummary(const JsonValue &args)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[key, value] : args.members()) {
+        os << (first ? "" : " ") << key << '=';
+        if (value.isString())
+            os << value.asString();
+        else if (value.isNumber())
+            os << (value.asNumber() ==
+                           std::floor(value.asNumber())
+                       ? cat(value.asInt())
+                       : fmt(value.asNumber(), 4));
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderTraceTimeline(const JsonValue &timeline)
+{
+    requireTimeline(timeline);
+    const double total_us =
+        std::max(timeline.numberOr("total_us", 0.0), 1.0);
+    std::ostringstream os;
+    os << "=== request timeline " << timeline.stringOr("trace_id", "?")
+       << " ===\n"
+       << "total " << fmt(total_us / 1e3, 6) << " ms, coverage "
+       << fmt(timeline.numberOr("coverage", 0.0) * 100.0, 4)
+       << "%, dominant stage: "
+       << timeline.stringOr("dominant_stage", "-") << '\n';
+    const auto dropped =
+        static_cast<std::int64_t>(timeline.numberOr("dropped", 0.0));
+    if (dropped > 0)
+        os << "(" << dropped
+           << " stages dropped at the per-job cap - the busiest "
+              "attempts are missing)\n";
+    os << '\n';
+
+    constexpr int kBarWidth = 40;
+    const JsonValue &stages = timeline.at("stages");
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const JsonValue &s = stages.at(i);
+        const double start_us = s.numberOr("start_us", 0.0);
+        const double dur_us = s.numberOr("dur_us", 0.0);
+        const int depth =
+            static_cast<int>(s.numberOr("depth", 0.0));
+        // Position bar: '=' spans the stage's [start, end) slice of the
+        // request; even a sub-pixel stage gets one cell so it is
+        // visible.
+        int begin = static_cast<int>(start_us / total_us * kBarWidth);
+        begin = std::clamp(begin, 0, kBarWidth - 1);
+        int end = static_cast<int>(
+            std::ceil((start_us + dur_us) / total_us * kBarWidth));
+        end = std::clamp(end, begin + 1, kBarWidth);
+        std::string bar(static_cast<std::size_t>(kBarWidth), '.');
+        for (int c = begin; c < end; ++c)
+            bar[static_cast<std::size_t>(c)] = '=';
+
+        std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+        label += s.stringOr("name", "?");
+        char row[160];
+        std::snprintf(row, sizeof(row),
+                      "  %-18s |%s| %9.2f ms +%9.2f ms",
+                      label.c_str(), bar.c_str(), start_us / 1e3,
+                      dur_us / 1e3);
+        os << row;
+        if (s.has("args")) {
+            const std::string summary = argsSummary(s.at("args"));
+            if (!summary.empty())
+                os << "  " << summary;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+timelineToChromeJson(const JsonValue &timeline)
+{
+    requireTimeline(timeline);
+    const std::string trace_id = timeline.stringOr("trace_id", "?");
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n"
+       << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"args\": {\"name\": \"mapzerod "
+       << jsonEscape(trace_id) << "\"}}";
+    const JsonValue &stages = timeline.at("stages");
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const JsonValue &s = stages.at(i);
+        // Complete ("X") events; tid picks the chrome lane, so the
+        // portfolio's parallel attempts stack side by side instead of
+        // overlapping.
+        os << ",\n {\"name\": \"" << jsonEscape(s.stringOr("name", "?"))
+           << "\", \"cat\": \"compile\", \"ph\": \"X\", \"pid\": 1"
+           << ", \"tid\": "
+           << static_cast<std::uint64_t>(s.numberOr("tid", 0.0))
+           << ", \"ts\": "
+           << static_cast<std::int64_t>(s.numberOr("start_us", 0.0))
+           << ", \"dur\": "
+           << static_cast<std::int64_t>(s.numberOr("dur_us", 0.0));
+        if (s.has("args")) {
+            os << ", \"args\": ";
+            writeJsonValue(os, s.at("args"));
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
     return os.str();
 }
 

@@ -84,6 +84,24 @@ CompareReport compareRunReports(const JsonValue &baseline,
  */
 std::string renderMetricsReport(const JsonValue &report);
 
+/**
+ * Render one request timeline (the JSON served by the daemon TRACE op
+ * and the telemetry /trace endpoint) as an ASCII Gantt chart: one row
+ * per stage, indented by nesting depth, with a position bar scaled to
+ * the request wall time and the stage's counters (waves, cache hits,
+ * routing time) inline - the `trace` / `report --trace FILE` view.
+ * fatal() when @p timeline is not a timeline document.
+ */
+std::string renderTraceTimeline(const JsonValue &timeline);
+
+/**
+ * Convert one request timeline to Chrome trace-event JSON (complete
+ * "X" events, microsecond timestamps) loadable in chrome://tracing or
+ * ui.perfetto.dev. Stage tids become lanes, so parallel portfolio
+ * attempts render side by side. fatal() on non-timeline input.
+ */
+std::string timelineToChromeJson(const JsonValue &timeline);
+
 } // namespace mapzero
 
 #endif // MAPZERO_CORE_DIAGNOSTICS_HPP

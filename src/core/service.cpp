@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "dfg/schedule.hpp"
 #include "mapper/router.hpp"
 #include "mapper/validator.hpp"
@@ -165,22 +166,26 @@ CompileResult
 CompileService::compile(const dfg::Dfg &dfg,
                         const cgra::Architecture &arch, Method method,
                         CompileOptions options,
-                        const std::atomic<bool> *cancel)
+                        const std::atomic<bool> *cancel,
+                        TraceContext *trace)
 {
     options.cancel = cancel;
+    options.trace = trace;
     if (options.evalCache && !options.evalCacheInstance)
         options.evalCacheInstance = evalCache_;
 
-    Compiler compiler;
-    if (method == Method::MapZero || method == Method::MapZeroNoMcts)
-        compiler.setNetwork(pretrainedNetwork(arch, options_.pretrain));
+    // Route this thread's TraceScopes / counters to the job's context
+    // for the duration of the call (inert when trace is null).
+    TraceBinding bind(trace);
 
-    // Persistent tier: consult before any search. Only intact entries
-    // for the exact canonical key are served, and a served result is
-    // the stored original byte for byte, so the response a warm
-    // request renders is identical to the cold one's.
+    // Persistent tier: consult before any search - or even touching
+    // the compiler stack. Only intact entries for the exact canonical
+    // key are served, and a served result is the stored original byte
+    // for byte, so the response a warm request renders is identical
+    // to the cold one's.
     std::string key;
     if (disk_.enabled()) {
+        TraceScope stage("disk_cache");
         DiskMetrics &m = DiskMetrics::get();
         key = requestKey(dfg, arch, method, options);
         if (const auto payload = disk_.load(key)) {
@@ -194,12 +199,32 @@ CompileService::compile(const dfg::Dfg &dfg,
         m.misses.add();
     }
 
-    CompileResult result = compiler.compile(dfg, arch, method, options);
+    CompileResult result;
+    {
+        // The scope covers compiler construction and model setup too,
+        // so the timeline has no unattributed gap between queue_wait
+        // and the search.
+        TraceScope stage("compile",
+                         cat("{\"method\": \"",
+                             jsonEscape(methodName(method)), "\"}"));
+        Compiler compiler;
+        if (method == Method::MapZero ||
+            method == Method::MapZeroNoMcts) {
+            // First request per architecture trains or loads the
+            // network - the daemon's cold-start cost, worth its own
+            // (nested) timeline stage.
+            TraceScope model_stage("model");
+            compiler.setNetwork(
+                pretrainedNetwork(arch, options_.pretrain));
+        }
+        result = compiler.compile(dfg, arch, method, options);
+    }
 
     // Persist only clean successes: a timeout or cancellation is a
     // property of that run's wall clock, not of the request.
     if (disk_.enabled() && result.success && !result.timedOut &&
         !result.cancelled) {
+        TraceScope stage("persist");
         if (disk_.store(key, encodeCompileResult(result)))
             DiskMetrics::get().writes.add();
     }

@@ -80,11 +80,18 @@ class CompileService
      * memoized pre-trained network and the shared eval cache (unless
      * @p options already carries its own), and @p cancel (may be
      * nullptr) is installed as CompileOptions::cancel.
+     *
+     * When @p trace is non-null the call records the request timeline
+     * into it: top-level "disk_cache", "compile", and "persist"
+     * stages, with the "model" cold-start span (pretrain/load) and
+     * the per-(II, restart) attempt spans nested under "compile". The
+     * context must outlive the call.
      */
     CompileResult compile(const dfg::Dfg &dfg,
                           const cgra::Architecture &arch, Method method,
                           CompileOptions options,
-                          const std::atomic<bool> *cancel = nullptr);
+                          const std::atomic<bool> *cancel = nullptr,
+                          TraceContext *trace = nullptr);
 
     /** The shared evaluation cache (tests, metrics). */
     const std::shared_ptr<rl::EvalCache> &evalCache() const

@@ -1,10 +1,38 @@
 #include "mapper/environment.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 
 namespace mapzero::mapper {
+
+namespace {
+
+/**
+ * Book the wall time of one real routing call against the calling
+ * thread's open trace stage. The clock reads are gated on an open
+ * scope, so untraced episodes pay one thread-local load + branch.
+ */
+template <typename Fn>
+auto
+timedRoute(Fn &&route)
+{
+    if (!traceCountActive())
+        return route();
+    const auto start = std::chrono::steady_clock::now();
+    auto result = route();
+    traceCountAdd(
+        TraceCount::RouteUs,
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    traceCountAdd(TraceCount::RouteCalls, 1);
+    return result;
+}
+
+} // namespace
 
 std::uint64_t
 MapEnv::nextInstanceId()
@@ -188,7 +216,8 @@ MapEnv::step(cgra::PeId pe)
         panic(cat("step(): illegal action PE ", pe, " for node ", node));
 
     state_->commitPlacement(node, pe);
-    const RouteResult routes = router_->routeIncidentEdges(node);
+    const RouteResult routes =
+        timedRoute([&] { return router_->routeIncidentEdges(node); });
     return finishStep(node, pe, routes);
 }
 
@@ -203,8 +232,9 @@ MapEnv::step(cgra::PeId pe, StepRecord &record)
 
     record.routes.clear();
     state_->commitPlacement(node, pe);
-    const RouteResult routes =
-        router_->routeIncidentEdges(node, &record.routes);
+    const RouteResult routes = timedRoute([&] {
+        return router_->routeIncidentEdges(node, &record.routes);
+    });
     record.outcome = finishStep(node, pe, routes);
     return record.outcome;
 }

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "nn/autograd.hpp"
 
 namespace mapzero::rl {
@@ -89,13 +90,17 @@ EvalCache::lookup(const std::string &key, MapZeroNet::Output &out)
     static Counter &shard_misses =
         metrics().counter("cache.shard_misses");
 
+    // Per-request attribution: lookups happen on the requesting
+    // thread, so the hit lands in that thread's open attempt stage.
     if (!cache_.lookup(key, out)) {
         misses.add();
         shard_misses.add();
+        traceCountAdd(TraceCount::EvalCacheMisses, 1);
         return false;
     }
     hits.add();
     shard_hits.add();
+    traceCountAdd(TraceCount::EvalCacheHits, 1);
     return true;
 }
 
@@ -240,6 +245,11 @@ EvalBatcher::runBatch(std::unique_lock<std::mutex> &lock)
         batches.add();
         batch_size.record(static_cast<double>(batch.size()));
         (take == maxBatch_ ? full_batches : partial_batches).add();
+        // Leader attribution: the thread that runs the forward pass
+        // books the batch against its own attempt stage, even when
+        // the batch also serves parked peer restarts (documented in
+        // DESIGN.md - per-job batch counts are a lower bound).
+        traceCountAdd(TraceCount::EvalBatches, 1);
     } catch (...) {
         // Deliver the failure to every request in the batch; each
         // waiter (and the leader itself) rethrows from evaluate().

@@ -607,6 +607,7 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                     TtExpansion fetched;
                     if (tt->lookupEval(tt_key_of(ar.keyScratch),
                                        fetched)) {
+                        traceCountAdd(TraceCount::TtEvalHits, 1);
                         hit = ar.evalMemo
                                   .emplace(ar.keyScratch,
                                            std::move(fetched))
@@ -701,6 +702,7 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                     // Another restart already routed this edge; replay
                     // its verdict (failure attribution below, exactly
                     // as for a local memo hit).
+                    traceCountAdd(TraceCount::TtStepHits, 1);
                     ar.stepMemo.emplace(ar.keyScratch, rec);
                 } else {
                     sync_env(ar.path.size());
@@ -770,6 +772,10 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
                     static_cast<std::int64_t>(wave_obs.size()));
                 m.batchFill.record(
                     static_cast<double>(wave_obs.size()));
+                traceCountAdd(TraceCount::MctsWaves, 1);
+                traceCountAdd(
+                    TraceCount::MctsLeaves,
+                    static_cast<std::int64_t>(wave_obs.size()));
                 ++result.netCalls;
                 result.netLeaves +=
                     static_cast<std::int32_t>(wave_obs.size());
@@ -847,6 +853,7 @@ Mcts::runFromCurrent(mapper::MapEnv &env, Rng &rng)
     }
     // Hand the environment back exactly as we received it.
     sync_env(0);
+    traceCountAdd(TraceCount::MctsSimulations, result.simulations);
 
     if (solved) {
         result.solvedSuffix = solved_path;

@@ -161,6 +161,25 @@ Client::cancel(std::uint64_t jobId, JobState &state)
 }
 
 Status
+Client::trace(std::uint64_t jobId, JobTrace &out)
+{
+    WireWriter payload;
+    payload.u64(jobId);
+    std::string body;
+    const Status status = roundTrip(Op::Trace, payload.bytes(), body);
+    if (status != Status::Ok)
+        return status;
+    WireReader reader(body);
+    out.state = static_cast<JobState>(reader.u8());
+    out.timelineJson = reader.str();
+    if (!reader.done()) {
+        lastError_ = "malformed TRACE reply body";
+        return Status::Error;
+    }
+    return Status::Ok;
+}
+
+Status
 Client::drain()
 {
     std::string body;
@@ -191,6 +210,14 @@ Client::waitForJob(std::uint64_t jobId, double timeoutSeconds,
                    double pollSeconds)
 {
     const Deadline deadline(timeoutSeconds);
+    // Capped exponential backoff: a fixed interval turns N concurrent
+    // waiters into a constant N/interval req/s load on the accept
+    // thread for the whole compile; backing off to ~1 Hz keeps the
+    // fast path fast (first polls are still pollSeconds apart) while
+    // long jobs cost each waiter about one request per second.
+    constexpr double kBackoffFactor = 1.6;
+    constexpr double kMaxPollSeconds = 1.0;
+    double interval = pollSeconds > 0.0 ? pollSeconds : 0.05;
     while (true) {
         JobStatus snapshot;
         if (status(jobId, snapshot) != Status::Ok)
@@ -203,8 +230,11 @@ Client::waitForJob(std::uint64_t jobId, double timeoutSeconds,
                              timeoutSeconds, "s");
             return std::nullopt;
         }
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            pollSeconds > 0.0 ? pollSeconds : 0.05));
+        const double sleep =
+            std::min(interval, std::max(deadline.remaining(), 0.001));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep));
+        interval = std::min(interval * kBackoffFactor, kMaxPollSeconds);
     }
 }
 

@@ -32,6 +32,13 @@ struct JobResult {
     std::string blob;
 };
 
+/** Decoded TRACE reply. */
+struct JobTrace {
+    JobState state = JobState::Queued;
+    /** Request timeline JSON (TraceContext::timelineJson). */
+    std::string timelineJson;
+};
+
 /** Decoded PING reply. */
 struct DaemonInfo {
     std::uint8_t phase = 0;
@@ -65,6 +72,12 @@ class Client
     /** CANCEL: on Ok, @p state is the job's state after the cancel. */
     Status cancel(std::uint64_t jobId, JobState &state);
 
+    /**
+     * TRACE: the job's request timeline (frozen for terminal jobs, the
+     * stages recorded so far for live ones).
+     */
+    Status trace(std::uint64_t jobId, JobTrace &out);
+
     /** DRAIN: ask the daemon to stop accepting and finish up. */
     Status drain();
 
@@ -75,6 +88,12 @@ class Client
      * Poll STATUS until @p jobId is terminal or @p timeoutSeconds
      * elapses; returns the final snapshot (nullopt on timeout or
      * request failure, with lastError() describing why).
+     *
+     * @p pollSeconds is the *initial* poll interval: each subsequent
+     * sleep grows by ~1.6x up to a 1 s cap (and never past the
+     * deadline), so short jobs still resolve within milliseconds while
+     * hundreds of long-job waiters poll the daemon about once a second
+     * instead of hammering it at a fixed rate.
      */
     std::optional<JobStatus> waitForJob(std::uint64_t jobId,
                                         double timeoutSeconds,

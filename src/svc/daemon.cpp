@@ -136,6 +136,14 @@ Daemon::start(const DaemonOptions &options)
     queue_ =
         std::make_unique<BoundedQueue<JobId>>(options_.queueCapacity);
     queueDepthGauge().set(0.0);
+    // Publish GET /trace?job=ID: the closure captures the session
+    // table raw; lookupDaemonTrace runs it under the install mutex, so
+    // the uninstall in shutdown() fences every in-flight scrape.
+    setDaemonTraceLookup(
+        [table = sessions_.get()](std::uint64_t id)
+            -> std::optional<std::string> {
+            return table->traceJson(id);
+        });
 
     stopRequested_.store(false);
     drainRequested_.store(false);
@@ -238,6 +246,7 @@ Daemon::shutdown()
     running_.store(false);
     port_.store(0);
     setDaemonPhase(DaemonPhase::Idle);
+    setDaemonTraceLookup(nullptr);
     const SessionTable::Counts counts = sessions_->counts();
     inform(cat("mapzerod: drained (submitted=", counts.submitted,
                " done=", counts.done, " failed=", counts.failed,
@@ -323,6 +332,7 @@ Daemon::handle(const Frame &request)
       case Op::Status: return handleStatus(request);
       case Op::Fetch:  return handleFetch(request);
       case Op::Cancel: return handleCancel(request);
+      case Op::Trace:  return handleTrace(request);
       case Op::Ping:   return handlePing();
       case Op::Drain:
         requestDrain();
@@ -461,6 +471,25 @@ Daemon::handleCancel(const Frame &request)
 }
 
 std::string
+Daemon::handleTrace(const Frame &request)
+{
+    WireReader reader(request.payload);
+    const JobId id = reader.u64();
+    if (!reader.done())
+        return reply(Status::BadRequest, "malformed TRACE payload");
+    JobSnapshot snapshot;
+    if (!sessions_->get(id, snapshot))
+        return reply(Status::NotFound, "unknown job id");
+    // Terminal jobs answer with the frozen timeline, live ones with a
+    // render of the stages recorded so far (same as GET /trace).
+    const std::optional<std::string> timeline = sessions_->traceJson(id);
+    WireWriter body;
+    body.u8(static_cast<std::uint8_t>(snapshot.state));
+    body.str(timeline ? *timeline : "");
+    return reply(Status::Ok, body.bytes());
+}
+
+std::string
 Daemon::handlePing()
 {
     WireWriter body;
@@ -503,18 +532,39 @@ Daemon::workerLoop(std::size_t index)
             continue;
         const std::shared_ptr<std::atomic<bool>> cancel =
             sessions_->cancelFlag(*id);
+        // Held as a shared_ptr so the timeline survives even if the
+        // record is evicted mid-flight (retainTerminal 0).
+        const std::shared_ptr<TraceContext> trace =
+            sessions_->trace(*id);
         // The terminal snapshot comes back from finish()/fail(): with
         // retainTerminal 0 the record is evicted inside that call, so
         // a re-get() here would silently skip all the bookkeeping
         // below.
         std::optional<JobSnapshot> terminal;
+        // queue_wait spans [submit, first compile stage): armed as a
+        // pending stage so the compile's first TraceScope closes it
+        // with its own start timestamp. Dispatch setup and service
+        // entry (whose cold-start jitter runs to tens of microseconds)
+        // are folded into the wait instead of surfacing as an
+        // unattributed gap - what keeps sub-millisecond jobs at
+        // >= 95% coverage.
+        if (trace)
+            trace->setPending("queue_wait", 0);
         try {
             const CompileResult result = service_->compile(
                 job.dfg, job.arch, job.method, job.options,
-                cancel.get());
-            terminal = sessions_->finish(
-                *id, renderResultJson(job.dfg, job.arch, result),
-                result.cancelled);
+                cancel.get(), trace.get());
+            std::string result_json;
+            {
+                // The render stage must close before finish() freezes
+                // the timeline, or it would be missing from it.
+                TraceBinding bind(trace.get());
+                TraceScope stage("render");
+                result_json =
+                    renderResultJson(job.dfg, job.arch, result);
+            }
+            terminal = sessions_->finish(*id, std::move(result_json),
+                                         result.cancelled);
         } catch (const std::exception &error) {
             terminal = sessions_->fail(*id, error.what());
         }
@@ -537,6 +587,11 @@ Daemon::workerLoop(std::size_t index)
         entry.seconds = snapshot.runSeconds;
         entry.queuedSeconds = snapshot.queuedSeconds;
         entry.outcome = jobStateName(snapshot.state);
+        if (trace) {
+            const TraceStageSummary stages = trace->summarizeStages();
+            entry.dominantStage = stages.dominantStage;
+            entry.stageMs = stages.stageMs;
+        }
         entry.uptimeSeconds =
             std::chrono::duration_cast<std::chrono::duration<double>>(
                 std::chrono::steady_clock::now() - startedAt_)

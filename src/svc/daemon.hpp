@@ -134,6 +134,7 @@ class Daemon
     std::string handleStatus(const Frame &request);
     std::string handleFetch(const Frame &request);
     std::string handleCancel(const Frame &request);
+    std::string handleTrace(const Frame &request);
     std::string handlePing();
 
     /** Close the listen socket and join accept + workers. */

@@ -1,18 +1,25 @@
 /**
  * @file
- * Process-wide daemon lifecycle phase, published by mapzerod and read
- * by the telemetry server's /healthz handler.
+ * Process-wide daemon state shared with the telemetry server: the
+ * lifecycle phase (read by /healthz) and the per-job trace resolver
+ * (read by /trace?job=ID).
  *
  * Lives in its own header (not daemon.hpp) because the telemetry
  * server must stay in the base svc library - the daemon itself links
- * the whole compiler stack - and the only thing the two share is this
- * one atomic.
+ * the whole compiler stack - so the two can only share link-free
+ * state: one atomic and one std::function slot.
  */
 
 #ifndef MAPZERO_SVC_DAEMON_STATE_HPP
 #define MAPZERO_SVC_DAEMON_STATE_HPP
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
 
 namespace mapzero::svc {
 
@@ -52,6 +59,40 @@ daemonPhaseName(DaemonPhase phase)
       case DaemonPhase::Draining: return "draining";
     }
     return "unknown";
+}
+
+/** Resolves a job id to its timeline JSON (nullopt = unknown job). */
+using DaemonTraceLookup =
+    std::function<std::optional<std::string>(std::uint64_t)>;
+
+namespace detail {
+inline std::mutex g_traceLookupMutex;
+inline DaemonTraceLookup g_traceLookup;
+} // namespace detail
+
+/**
+ * Install (or, with an empty function, uninstall) the resolver behind
+ * GET /trace?job=ID. The daemon installs a closure over its session
+ * table at start and uninstalls it during shutdown; lookupDaemonTrace
+ * runs the resolver under the same mutex, so an uninstall blocks until
+ * any in-flight scrape has finished and the closure can never outlive
+ * the table it captured.
+ */
+inline void
+setDaemonTraceLookup(DaemonTraceLookup lookup)
+{
+    std::lock_guard<std::mutex> lock(detail::g_traceLookupMutex);
+    detail::g_traceLookup = std::move(lookup);
+}
+
+/** The timeline JSON of @p jobId, or nullopt (no daemon/unknown id). */
+inline std::optional<std::string>
+lookupDaemonTrace(std::uint64_t jobId)
+{
+    std::lock_guard<std::mutex> lock(detail::g_traceLookupMutex);
+    if (!detail::g_traceLookup)
+        return std::nullopt;
+    return detail::g_traceLookup(jobId);
 }
 
 } // namespace mapzero::svc

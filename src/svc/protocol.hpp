@@ -10,8 +10,8 @@
  *     ...  payload
  *
  * Requests: SUBMIT (DFG DOT text + arch name + compile options),
- * STATUS / FETCH / CANCEL (a job id), DRAIN, PING. The server answers
- * every request with one REPLY frame whose payload starts with a u8
+ * STATUS / FETCH / CANCEL / TRACE (a job id), DRAIN, PING. The server
+ * answers every request with one REPLY frame whose payload starts with a u8
  * status code (OK, BUSY, NOT_FOUND, ...) followed by an op-specific
  * body, then closes the connection - one request per connection, the
  * same HTTP/1.0-style simplicity the telemetry server uses.
@@ -52,6 +52,7 @@ enum class Op : std::uint8_t {
     Cancel = 0x04, ///< job id -> cancellation requested/applied
     Drain = 0x05,  ///< stop admitting, finish in-flight, exit
     Ping = 0x06,   ///< liveness + queue probe
+    Trace = 0x07,  ///< job id -> state + request timeline JSON
     Reply = 0x80,  ///< the single response opcode
 };
 

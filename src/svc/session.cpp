@@ -53,6 +53,10 @@ SessionTable::add(std::string dfgName, std::string archName,
     record.snapshot.archName = std::move(archName);
     record.snapshot.method = std::move(method);
     record.cancel = std::make_shared<std::atomic<bool>>(false);
+    // The context's epoch is now, so every stage offset is
+    // "microseconds after SUBMIT" and queue wait starts at 0.
+    record.trace = std::make_shared<TraceContext>(
+        "job-" + std::to_string(id));
     record.submittedAt = std::chrono::steady_clock::now();
     jobs_.emplace(id, std::move(record));
     ++counts_.submitted;
@@ -88,6 +92,9 @@ SessionTable::markRunning(JobId id)
     it->second.snapshot.queuedSeconds =
         secondsSince(it->second.submittedAt);
     it->second.startedAt = std::chrono::steady_clock::now();
+    // The worker arms queue_wait as the trace's pending stage when it
+    // dequeues the job; the compile's first stage closes it with its
+    // own start time, so the timeline stays gap-free from offset 0.
     return true;
 }
 
@@ -104,6 +111,7 @@ SessionTable::finish(JobId id, std::string resultJson, bool cancelled)
     it->second.snapshot.runSeconds =
         secondsSince(it->second.startedAt);
     it->second.snapshot.result = std::move(resultJson);
+    it->second.snapshot.traceJson = it->second.trace->timelineJson();
     (cancelled ? counts_.cancelled : counts_.done) += 1;
     JobSnapshot frozen = it->second.snapshot;
     terminalOrder_.push_back(id);
@@ -123,6 +131,7 @@ SessionTable::fail(JobId id, std::string error)
     it->second.snapshot.runSeconds =
         secondsSince(it->second.startedAt);
     it->second.snapshot.result = std::move(error);
+    it->second.snapshot.traceJson = it->second.trace->timelineJson();
     ++counts_.failed;
     JobSnapshot frozen = it->second.snapshot;
     terminalOrder_.push_back(id);
@@ -143,6 +152,10 @@ SessionTable::cancel(JobId id)
         record.snapshot.state = JobState::Cancelled;
         record.snapshot.queuedSeconds =
             secondsSince(record.submittedAt);
+        // The job's whole life was queue wait; freeze that timeline.
+        record.trace->addStage("queue_wait", 0, record.trace->nowUs(),
+                               0);
+        record.snapshot.traceJson = record.trace->timelineJson();
         ++counts_.cancelled;
         terminalOrder_.push_back(id);
         evictLocked();
@@ -157,6 +170,26 @@ SessionTable::cancelFlag(JobId id) const
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
     return it == jobs_.end() ? nullptr : it->second.cancel;
+}
+
+std::shared_ptr<TraceContext>
+SessionTable::trace(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.trace;
+}
+
+std::optional<std::string>
+SessionTable::traceJson(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    if (jobStateTerminal(it->second.snapshot.state))
+        return it->second.snapshot.traceJson;
+    return it->second.trace->timelineJson();
 }
 
 std::size_t

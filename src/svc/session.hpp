@@ -33,6 +33,8 @@
 #include <optional>
 #include <string>
 
+#include "common/trace.hpp"
+
 namespace mapzero::svc {
 
 /** Job identifier (1-based; 0 is never issued). */
@@ -66,6 +68,9 @@ struct JobSnapshot {
     double runSeconds = 0.0;
     /** Result JSON (DONE) or error message (FAILED); else empty. */
     std::string result;
+    /** Frozen request timeline (TraceContext::timelineJson), rendered
+     *  at the terminal transition; empty while the job is live. */
+    std::string traceJson;
 };
 
 /** Thread-safe job registry; see the file comment. */
@@ -120,6 +125,18 @@ class SessionTable
      *  The flag outlives the record's eviction. */
     std::shared_ptr<std::atomic<bool>> cancelFlag(JobId id) const;
 
+    /** The job's trace context, created at add() with id "job-<id>"
+     *  (worker-side; nullptr for unknown ids). The context outlives
+     *  the record's eviction while the worker holds it. */
+    std::shared_ptr<TraceContext> trace(JobId id) const;
+
+    /**
+     * The job's timeline JSON: the frozen copy for terminal jobs, a
+     * live render for QUEUED/RUNNING ones (queue wait so far appears
+     * once the worker picks the job up). nullopt for unknown ids.
+     */
+    std::optional<std::string> traceJson(JobId id) const;
+
     /** Jobs currently QUEUED or RUNNING. */
     std::size_t activeCount() const;
 
@@ -136,6 +153,7 @@ class SessionTable
     struct Record {
         JobSnapshot snapshot;
         std::shared_ptr<std::atomic<bool>> cancel;
+        std::shared_ptr<TraceContext> trace;
         std::chrono::steady_clock::time_point submittedAt;
         std::chrono::steady_clock::time_point startedAt;
     };

@@ -65,7 +65,15 @@ Slowlog::toJson() const
            << ", \"seconds\": " << jsonNumber(e.seconds)
            << ", \"queued_seconds\": " << jsonNumber(e.queuedSeconds)
            << ", \"outcome\": \"" << jsonEscape(e.outcome) << "\""
-           << ", \"uptime_seconds\": " << jsonNumber(e.uptimeSeconds)
+           << ", \"dominant_stage\": \"" << jsonEscape(e.dominantStage)
+           << "\", \"stages\": {";
+        bool first_stage = true;
+        for (const auto &[stage, ms] : e.stageMs) {
+            os << (first_stage ? "" : ", ") << "\"" << jsonEscape(stage)
+               << "\": " << jsonNumber(ms);
+            first_stage = false;
+        }
+        os << "}, \"uptime_seconds\": " << jsonNumber(e.uptimeSeconds)
            << "}";
         first = false;
     }

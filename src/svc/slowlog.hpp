@@ -19,6 +19,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mapzero::svc {
@@ -35,6 +36,12 @@ struct SlowlogEntry {
     double queuedSeconds = 0.0;
     /** Final state name ("DONE", "FAILED", "CANCELLED"). */
     std::string outcome;
+    /** Top-level trace stage that ate the most time ("" when the job
+     *  carried no trace), so an outlier entry is self-explaining. */
+    std::string dominantStage;
+    /** (stage name, aggregate ms) per top-level stage, from the job's
+     *  TraceContext::summarizeStages(). */
+    std::vector<std::pair<std::string, double>> stageMs;
     /** Daemon uptime seconds at completion (monotonic ordering key). */
     double uptimeSeconds = 0.0;
 };

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -288,11 +290,14 @@ TelemetryServer::handle(const HttpRequest &request)
     if (request.path == "/slowlog")
         return httpResponse(200, "application/json",
                             Slowlog::global().toJson());
+    if (request.path == "/trace")
+        return handleTrace(request);
     if (request.path == "/healthz" || request.path == "/")
         return handleHealthz();
     return httpResponse(404, "text/plain",
                         "unknown path (try /metrics, /snapshot.json, "
-                        "/journal?n=K, /slowlog, /healthz)\n");
+                        "/journal?n=K, /slowlog, /trace?job=ID, "
+                        "/healthz)\n");
 }
 
 std::string
@@ -356,6 +361,35 @@ TelemetryServer::handleJournal(const HttpRequest &request)
         body += '\n';
     }
     return httpResponse(200, "application/x-ndjson", body);
+}
+
+std::string
+TelemetryServer::handleTrace(const HttpRequest &request)
+{
+    const auto it = request.query.find("job");
+    if (it == request.query.end())
+        return httpResponse(400, "text/plain",
+                            "missing job query parameter "
+                            "(/trace?job=ID)\n");
+    const std::string &value = it->second;
+    const bool digits_only =
+        !value.empty() && value.size() <= 19 &&
+        std::all_of(value.begin(), value.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+        });
+    if (!digits_only)
+        return httpResponse(400, "text/plain",
+                            "job must be a positive integer\n");
+    const std::uint64_t id = std::strtoull(value.c_str(), nullptr, 10);
+    // Resolved through the daemon_state slot: this server never links
+    // the daemon, it only runs whatever resolver mapzerod installed.
+    const std::optional<std::string> timeline = lookupDaemonTrace(id);
+    if (!timeline)
+        return httpResponse(404, "text/plain",
+                            "unknown job (no daemon running, or the "
+                            "job was never submitted / already "
+                            "evicted)\n");
+    return httpResponse(200, "application/json", *timeline + "\n");
 }
 
 std::string

@@ -111,6 +111,7 @@ class TelemetryServer
     std::string handleMetrics();
     std::string handleSnapshot();
     std::string handleJournal(const HttpRequest &request);
+    std::string handleTrace(const HttpRequest &request);
     std::string handleHealthz();
 
     std::atomic<bool> running_{false};

@@ -1,0 +1,291 @@
+/** @file Unit tests for request-scoped tracing: TraceContext stage
+ *  recording, TraceBinding/TraceScope nesting across thread bindings,
+ *  counter merging and propagation, the bounded-timeline cap, and the
+ *  offline timeline renderers (ASCII + Chrome trace-event export). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/diagnostics.hpp"
+
+namespace mapzero {
+namespace {
+
+TEST(TraceContext, UnboundScopesAndCountsAreNoops)
+{
+    EXPECT_FALSE(traceCountActive());
+    {
+        TraceScope scope("orphan");
+        EXPECT_FALSE(scope.active());
+        traceCountAdd(TraceCount::MctsWaves, 1); // must not crash
+    }
+    EXPECT_FALSE(traceCountActive());
+}
+
+TEST(TraceContext, BoundScopeRecordsOneStagePerClose)
+{
+    TraceContext context("job-1");
+    {
+        TraceBinding bind(&context);
+        EXPECT_TRUE(traceCountActive() == false); // no scope open yet
+        TraceScope stage("compile");
+        EXPECT_TRUE(stage.active());
+        EXPECT_TRUE(traceCountActive());
+    }
+    EXPECT_FALSE(traceCountActive());
+    const std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].name, "compile");
+    EXPECT_EQ(stages[0].depth, 0);
+    EXPECT_GE(stages[0].startUs, 0);
+    EXPECT_GE(stages[0].durationUs, 0);
+}
+
+TEST(TraceContext, PendingStageClosesExactlyWhereTheNextScopeOpens)
+{
+    TraceContext context("job-pending");
+    context.setPending("queue_wait", 0);
+    {
+        TraceBinding bind(&context);
+        TraceScope stage("compile");
+        // The scope's construction already closed the pending stage.
+        EXPECT_EQ(context.stageCount(), 1u);
+    }
+    const std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].name, "queue_wait");
+    EXPECT_EQ(stages[0].depth, 0);
+    EXPECT_EQ(stages[1].name, "compile");
+    // Shared timestamp: queue_wait ends exactly where compile begins,
+    // so the boundary carries zero unattributed time.
+    EXPECT_EQ(stages[0].startUs + stages[0].durationUs,
+              stages[1].startUs);
+}
+
+TEST(TraceContext, NestedScopesDoNotClosePendingStages)
+{
+    TraceContext context("job-pending-nested");
+    context.setPending("queue_wait", 0);
+    {
+        // A pool-thread binding at base depth 1 (the portfolio's
+        // attempt spans) must leave the top-level pending stage alone.
+        TraceBinding bind(&context, 1);
+        TraceScope stage("attempt");
+    }
+    std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].name, "attempt");
+    // An unclosed pending stage still renders, open until the
+    // snapshot clock.
+    const JsonValue timeline = JsonValue::parse(context.timelineJson());
+    const JsonValue &listed = timeline.at("stages");
+    bool found = false;
+    for (std::size_t i = 0; i < listed.size(); ++i)
+        found = found || listed.at(i).stringOr("name", "") == "queue_wait";
+    EXPECT_TRUE(found);
+    // A later top-level scope closes it for real.
+    {
+        TraceBinding bind(&context);
+        TraceScope stage("render");
+    }
+    stages = context.stages();
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[1].name, "queue_wait");
+    EXPECT_EQ(stages[1].startUs + stages[1].durationUs,
+              stages[2].startUs);
+}
+
+TEST(TraceContext, NestedScopesGetIncreasingDepth)
+{
+    TraceContext context("job-2");
+    {
+        TraceBinding bind(&context);
+        TraceScope outer("compile");
+        {
+            TraceScope inner("attempt", "{\"ii\": 3, \"restart\": 0}");
+        }
+    }
+    const std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    // Scopes close inner-first.
+    EXPECT_EQ(stages[0].name, "attempt");
+    EXPECT_EQ(stages[0].depth, 1);
+    EXPECT_EQ(stages[1].name, "compile");
+    EXPECT_EQ(stages[1].depth, 0);
+    EXPECT_NE(stages[0].argsJson.find("\"ii\": 3"), std::string::npos);
+}
+
+TEST(TraceContext, BaseDepthOffsetsPoolThreadScopes)
+{
+    // A portfolio worker re-binds with base_depth 1 so its attempt
+    // span nests under the submitting thread's "compile" stage even
+    // though the pool thread has no open scopes of its own.
+    TraceContext context("job-3");
+    std::thread worker([&context] {
+        TraceBinding bind(&context, /*base_depth=*/1);
+        TraceScope stage("attempt", "{\"ii\": 2, \"restart\": 5}");
+    });
+    worker.join();
+    const std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].depth, 1);
+}
+
+TEST(TraceContext, CountsMergeIntoArgsAndPropagateToParent)
+{
+    TraceContext context("job-4");
+    {
+        TraceBinding bind(&context);
+        TraceScope outer("compile");
+        {
+            TraceScope inner("attempt", "{\"ii\": 1, \"restart\": 0}");
+            traceCountAdd(TraceCount::MctsWaves, 3);
+            traceCountAdd(TraceCount::EvalCacheHits, 7);
+            traceCountAdd(TraceCount::EvalCacheHits, 1);
+        }
+    }
+    const std::vector<TraceStage> stages = context.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    // The inner scope keeps its explicit args and gains its counters.
+    EXPECT_NE(stages[0].argsJson.find("\"ii\": 1"), std::string::npos);
+    EXPECT_NE(stages[0].argsJson.find("\"mcts_waves\": 3"),
+              std::string::npos);
+    EXPECT_NE(stages[0].argsJson.find("\"eval_cache_hits\": 8"),
+              std::string::npos);
+    // Counters roll up into the parent so depth-0 stages stay useful
+    // summaries on their own.
+    EXPECT_NE(stages[1].argsJson.find("\"mcts_waves\": 3"),
+              std::string::npos);
+    EXPECT_NE(stages[1].argsJson.find("\"eval_cache_hits\": 8"),
+              std::string::npos);
+}
+
+TEST(TraceContext, TimelineIsBoundedAndCountsDrops)
+{
+    TraceContext context("job-5");
+    for (int i = 0; i < 600; ++i)
+        context.addStage("attempt", i, 1, 1);
+    // kMaxStages = 512: the timeline must never grow without bound.
+    EXPECT_EQ(context.stageCount(), 512u);
+    EXPECT_EQ(context.dropped(), 88u);
+    const JsonValue timeline =
+        JsonValue::parse(context.timelineJson());
+    EXPECT_EQ(static_cast<int>(timeline.numberOr("dropped", 0.0)), 88);
+}
+
+TEST(TraceContext, TimelineJsonParsesWithCoverageAndDominantStage)
+{
+    TraceContext context("job-6");
+    context.addStage("queue_wait", 0, 2'000, 0);
+    context.addStage("compile", 2'000, 8'000, 0,
+                     "{\"method\": \"SA\"}");
+    context.addStage("attempt", 2'100, 7'000, 1,
+                     "{\"ii\": 2, \"restart\": 0}");
+    const JsonValue timeline =
+        JsonValue::parse(context.timelineJson());
+    EXPECT_EQ(timeline.stringOr("trace_id", ""), "job-6");
+    EXPECT_EQ(timeline.stringOr("dominant_stage", ""), "compile");
+    ASSERT_TRUE(timeline.at("stages").isArray());
+    EXPECT_EQ(timeline.at("stages").size(), 3u);
+    // total >= the last stage end, and only depth-0 stages count
+    // toward coverage (the nested attempt must not double-book).
+    EXPECT_GE(timeline.numberOr("total_us", 0.0), 10'000.0);
+    const double coverage = timeline.numberOr("coverage", 0.0);
+    EXPECT_GT(coverage, 0.0);
+    EXPECT_LE(coverage, 1.0);
+
+    const TraceStageSummary summary = context.summarizeStages();
+    EXPECT_EQ(summary.dominantStage, "compile");
+    ASSERT_EQ(summary.stageMs.size(), 2u);
+    EXPECT_EQ(summary.stageMs[0].first, "queue_wait");
+    EXPECT_DOUBLE_EQ(summary.stageMs[0].second, 2.0);
+    EXPECT_EQ(summary.stageMs[1].first, "compile");
+    EXPECT_DOUBLE_EQ(summary.stageMs[1].second, 8.0);
+}
+
+TEST(TraceContext, TopLevelStagesFeedStageHistograms)
+{
+    Histogram &h = metrics().histogram("compile.stage_seconds.render");
+    const std::int64_t before = h.count();
+    TraceContext context("job-7");
+    context.addStage("render", 0, 1'500, 0);
+    context.addStage("inner", 0, 1'500, 1); // depth>0: not recorded
+    EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(TraceContext, AsciiRendererShowsEveryStage)
+{
+    TraceContext context("job-8");
+    context.addStage("queue_wait", 0, 1'000, 0);
+    context.addStage("compile", 1'000, 9'000, 0);
+    context.addStage("attempt", 1'100, 8'000, 1,
+                     "{\"ii\": 4, \"restart\": 2, \"mcts_waves\": 6}");
+    const JsonValue timeline =
+        JsonValue::parse(context.timelineJson());
+    const std::string text = renderTraceTimeline(timeline);
+    EXPECT_NE(text.find("request timeline job-8"), std::string::npos);
+    EXPECT_NE(text.find("queue_wait"), std::string::npos);
+    EXPECT_NE(text.find("compile"), std::string::npos);
+    // The nested attempt is indented and carries its args inline.
+    EXPECT_NE(text.find("  attempt"), std::string::npos);
+    EXPECT_NE(text.find("ii=4"), std::string::npos);
+    EXPECT_NE(text.find("mcts_waves=6"), std::string::npos);
+    EXPECT_NE(text.find("dominant stage: compile"), std::string::npos);
+}
+
+TEST(TraceContext, ChromeExportIsValidTraceEventJson)
+{
+    TraceContext context("job-9");
+    context.addStage("queue_wait", 0, 1'000, 0);
+    context.addStage("attempt", 1'100, 8'000, 1,
+                     "{\"ii\": 4, \"restart\": 2}");
+    const std::string chrome = timelineToChromeJson(
+        JsonValue::parse(context.timelineJson()));
+    // Must round-trip through the strict parser (what chrome://tracing
+    // would load) and keep the complete-event fields.
+    const JsonValue doc = JsonValue::parse(chrome);
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const JsonValue &events = doc.at("traceEvents");
+    // One metadata record plus one event per stage.
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events.at(0).stringOr("ph", ""), "M");
+    EXPECT_EQ(events.at(1).stringOr("ph", ""), "X");
+    EXPECT_EQ(events.at(1).stringOr("name", ""), "queue_wait");
+    EXPECT_EQ(static_cast<int>(events.at(2).numberOr("dur", 0.0)),
+              8'000);
+    EXPECT_EQ(static_cast<int>(
+                  events.at(2).at("args").numberOr("ii", 0.0)),
+              4);
+}
+
+TEST(TraceContext, BindingRestoresThePreviousContext)
+{
+    TraceContext outer_context("job-outer");
+    TraceContext inner_context("job-inner");
+    TraceBinding outer_bind(&outer_context);
+    {
+        TraceScope outer_stage("compile");
+        {
+            TraceBinding inner_bind(&inner_context);
+            TraceScope inner_stage("render");
+        }
+        // Back on the outer context: counts must land on its scope.
+        traceCountAdd(TraceCount::RouteCalls, 2);
+    }
+    ASSERT_EQ(inner_context.stages().size(), 1u);
+    EXPECT_EQ(inner_context.stages()[0].name, "render");
+    EXPECT_EQ(inner_context.stages()[0].depth, 0);
+    ASSERT_EQ(outer_context.stages().size(), 1u);
+    EXPECT_NE(outer_context.stages()[0].argsJson.find(
+                  "\"route_calls\": 2"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mapzero

@@ -1,0 +1,333 @@
+/** @file End-to-end tests for request-scoped tracing through mapzerod:
+ *  the TRACE wire op, timeline consistency under a concurrent worker
+ *  pool (spans nested, stage time bounded by wall time), the telemetry
+ *  /trace endpoint, and the waitForJob polling backoff. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/kernels.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/daemon_state.hpp"
+#include "svc/telemetry_server.hpp"
+
+namespace mapzero::svc {
+namespace {
+
+/** SUBMIT for a built-in kernel with fast-test defaults (SA). */
+SubmitRequest
+submitOf(const std::string &kernel, double timeLimitSeconds = 10.0)
+{
+    SubmitRequest request;
+    request.dfgDot = dfg::toDot(dfg::buildKernel(kernel));
+    request.archName = "hrea";
+    request.method = 3; // SA
+    request.timeLimitSeconds = timeLimitSeconds;
+    return request;
+}
+
+/** A job that occupies a worker for its whole budget (see
+ *  daemon_test.cpp): an unroutable star with unbounded restarts. */
+SubmitRequest
+slowSubmit(double timeLimitSeconds)
+{
+    dfg::Dfg star;
+    star.setName("star15");
+    const auto root = star.addNode(dfg::Opcode::Add, "n0");
+    for (int i = 1; i <= 15; ++i)
+        star.addEdge(root, star.addNode(dfg::Opcode::Add));
+
+    SubmitRequest request;
+    request.dfgDot = dfg::toDot(star);
+    request.archName = "hrea";
+    request.method = 3; // SA
+    request.timeLimitSeconds = timeLimitSeconds;
+    request.restartsPerIi = 1'000'000;
+    return request;
+}
+
+/**
+ * Structural invariants every finished timeline must satisfy: stages
+ * inside the request window, nested spans inside a top-level span,
+ * and top-level stage time that never exceeds wall time.
+ */
+void
+checkTimelineConsistency(const JsonValue &timeline)
+{
+    const double total_us = timeline.numberOr("total_us", 0.0);
+    ASSERT_GT(total_us, 0.0);
+    ASSERT_TRUE(timeline.at("stages").isArray());
+    const JsonValue &stages = timeline.at("stages");
+    ASSERT_GT(stages.size(), 0u);
+
+    // Stage close order and clock slack: allow a small epsilon when
+    // comparing independently-taken clock readings.
+    constexpr double kSlackUs = 2'000.0;
+    double top_level_us = 0.0;
+    bool saw_queue_wait = false;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const JsonValue &s = stages.at(i);
+        const double start = s.numberOr("start_us", -1.0);
+        const double dur = s.numberOr("dur_us", -1.0);
+        const int depth = static_cast<int>(s.numberOr("depth", -1.0));
+        ASSERT_GE(start, 0.0) << i;
+        ASSERT_GE(dur, 0.0) << i;
+        ASSERT_GE(depth, 0) << i;
+        EXPECT_LE(start + dur, total_us + kSlackUs) << i;
+        if (depth == 0) {
+            top_level_us += dur;
+            saw_queue_wait |= s.stringOr("name", "") == "queue_wait";
+            continue;
+        }
+        // Every nested span must sit inside some top-level span.
+        bool nested = false;
+        for (std::size_t j = 0; j < stages.size() && !nested; ++j) {
+            const JsonValue &outer = stages.at(j);
+            if (static_cast<int>(outer.numberOr("depth", -1.0)) != 0)
+                continue;
+            const double ostart = outer.numberOr("start_us", 0.0);
+            const double oend = ostart + outer.numberOr("dur_us", 0.0);
+            nested = start >= ostart - kSlackUs &&
+                     start + dur <= oend + kSlackUs;
+        }
+        EXPECT_TRUE(nested)
+            << "stage " << i << " (" << s.stringOr("name", "?")
+            << ") is not nested in any top-level stage";
+    }
+    EXPECT_TRUE(saw_queue_wait);
+    // Top-level stages partition the request: their sum can never
+    // exceed the wall time they are carved out of.
+    EXPECT_LE(top_level_us, total_us + kSlackUs);
+}
+
+TEST(DaemonTrace, TimelineCoversTheWholeRequest)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(submitOf("mac"), id, depth), Status::Ok);
+    ASSERT_TRUE(client.waitForJob(id, 60.0).has_value())
+        << client.lastError();
+
+    JobTrace out;
+    ASSERT_EQ(client.trace(id, out), Status::Ok) << client.lastError();
+    EXPECT_EQ(out.state, JobState::Done);
+    ASSERT_FALSE(out.timelineJson.empty());
+    const JsonValue timeline = JsonValue::parse(out.timelineJson);
+    EXPECT_EQ(timeline.stringOr("trace_id", ""),
+              "job-" + std::to_string(id));
+    checkTimelineConsistency(timeline);
+
+    // The acceptance bar: the named stages explain >= 95% of the
+    // request's wall time - no large unattributed gaps.
+    EXPECT_GE(timeline.numberOr("coverage", 0.0), 0.95);
+
+    // Per-(II, restart) attribution: at least one nested attempt span
+    // tagged with its II and restart index.
+    bool saw_attempt = false;
+    const JsonValue &stages = timeline.at("stages");
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const JsonValue &s = stages.at(i);
+        if (s.stringOr("name", "") != "attempt")
+            continue;
+        saw_attempt = true;
+        EXPECT_GT(static_cast<int>(s.numberOr("depth", 0.0)), 0);
+        ASSERT_TRUE(s.has("args"));
+        EXPECT_TRUE(s.at("args").has("ii"));
+        EXPECT_TRUE(s.at("args").has("restart"));
+    }
+    EXPECT_TRUE(saw_attempt);
+    daemon.stop();
+}
+
+TEST(DaemonTrace, UnknownJobIsNotFound)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+    JobTrace out;
+    EXPECT_EQ(client.trace(424242, out), Status::NotFound);
+    daemon.stop();
+}
+
+TEST(DaemonTrace, LiveJobServesAPartialTimeline)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(slowSubmit(20.0), id, depth), Status::Ok);
+
+    // Wait until the worker has picked the job up.
+    JobStatus status;
+    for (int i = 0; i < 400; ++i) {
+        ASSERT_EQ(client.status(id, status), Status::Ok);
+        if (status.state == JobState::Running)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_EQ(status.state, JobState::Running);
+
+    JobTrace out;
+    ASSERT_EQ(client.trace(id, out), Status::Ok) << client.lastError();
+    EXPECT_EQ(out.state, JobState::Running);
+    ASSERT_FALSE(out.timelineJson.empty());
+    const JsonValue timeline = JsonValue::parse(out.timelineJson);
+    // queue_wait is already closed; the in-flight compile stage is
+    // not in the timeline yet, but the document is well-formed.
+    bool saw_queue_wait = false;
+    const JsonValue &stages = timeline.at("stages");
+    for (std::size_t i = 0; i < stages.size(); ++i)
+        saw_queue_wait |=
+            stages.at(i).stringOr("name", "") == "queue_wait";
+    EXPECT_TRUE(saw_queue_wait);
+
+    JobState after = JobState::Queued;
+    ASSERT_EQ(client.cancel(id, after), Status::Ok);
+    ASSERT_TRUE(client.waitForJob(id, 30.0).has_value())
+        << client.lastError();
+    daemon.stop();
+}
+
+TEST(DaemonTrace, EightConcurrentJobsKeepTimelinesConsistent)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 8;
+    options.queueCapacity = 16;
+    ASSERT_TRUE(daemon.start(options));
+    const int port = daemon.port();
+
+    const std::vector<std::string> kernels = {
+        "mac", "sum", "matmul", "accumulate",
+        "mac", "sum", "matmul", "accumulate"};
+    std::vector<std::uint64_t> ids(kernels.size(), 0);
+    std::vector<std::thread> submitters;
+    std::atomic<int> submit_failures{0};
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        submitters.emplace_back([&, i] {
+            Client client(port);
+            std::uint32_t depth = 0;
+            if (client.submit(submitOf(kernels[i]), ids[i], depth) !=
+                Status::Ok)
+                submit_failures.fetch_add(1);
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    ASSERT_EQ(submit_failures.load(), 0);
+
+    Client client(port);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_GT(ids[i], 0u) << i;
+        ASSERT_TRUE(client.waitForJob(ids[i], 60.0).has_value())
+            << i << ": " << client.lastError();
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        JobTrace out;
+        ASSERT_EQ(client.trace(ids[i], out), Status::Ok)
+            << i << ": " << client.lastError();
+        ASSERT_FALSE(out.timelineJson.empty()) << i;
+        const JsonValue timeline = JsonValue::parse(out.timelineJson);
+        EXPECT_EQ(timeline.stringOr("trace_id", ""),
+                  "job-" + std::to_string(ids[i]))
+            << i;
+        checkTimelineConsistency(timeline);
+        // Concurrent workers share cores, so be a little more lenient
+        // than the single-job bar - but the timeline must still
+        // explain the request.
+        EXPECT_GE(timeline.numberOr("coverage", 0.0), 0.9) << i;
+    }
+    daemon.stop();
+}
+
+TEST(DaemonTrace, TelemetryEndpointServesTimelines)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(submitOf("sum"), id, depth), Status::Ok);
+    ASSERT_TRUE(client.waitForJob(id, 60.0).has_value())
+        << client.lastError();
+
+    TelemetryServer server;
+    const auto get = [&server](const std::string &target) {
+        HttpRequest request;
+        EXPECT_TRUE(parseHttpRequest(
+            "GET " + target + " HTTP/1.0\r\n\r\n", request));
+        return server.handle(request);
+    };
+
+    const std::string ok =
+        get("/trace?job=" + std::to_string(id));
+    EXPECT_NE(ok.find("200"), std::string::npos);
+    EXPECT_NE(ok.find("application/json"), std::string::npos);
+    EXPECT_NE(ok.find("job-" + std::to_string(id)),
+              std::string::npos);
+
+    EXPECT_NE(get("/trace").find("400"), std::string::npos);
+    EXPECT_NE(get("/trace?job=abc").find("400"), std::string::npos);
+    EXPECT_NE(get("/trace?job=424242").find("404"),
+              std::string::npos);
+
+    daemon.stop();
+    // Shutdown uninstalls the resolver: the endpoint must answer 404,
+    // not touch a dead session table.
+    EXPECT_NE(get("/trace?job=" + std::to_string(id)).find("404"),
+              std::string::npos);
+}
+
+TEST(DaemonTrace, WaitForJobBacksOffItsPolling)
+{
+    Daemon daemon;
+    DaemonOptions options;
+    options.workers = 1;
+    ASSERT_TRUE(daemon.start(options));
+    Client client(daemon.port());
+
+    std::uint64_t id = 0;
+    std::uint32_t depth = 0;
+    ASSERT_EQ(client.submit(slowSubmit(3.0), id, depth), Status::Ok);
+
+    Counter &requests = metrics().counter("svc.requests_total");
+    const std::int64_t before = requests.value();
+    ASSERT_TRUE(client.waitForJob(id, 60.0, 0.01).has_value())
+        << client.lastError();
+    const std::int64_t polls = requests.value() - before;
+    // A fixed 10ms interval would take ~300 status requests over the
+    // ~3s compile; the 1.6x backoff needs O(log) polls to reach its
+    // 1s cap and then ~1/s, so even with scheduling noise the total
+    // stays tiny.
+    EXPECT_GE(polls, 2);
+    EXPECT_LE(polls, 30);
+    daemon.stop();
+}
+
+} // namespace
+} // namespace mapzero::svc

@@ -14,6 +14,7 @@
  *   mapzero_cli report   --compare BASELINE.json CANDIDATE.json
  *                        [--threshold 0.05]
  *   mapzero_cli report   --metrics RUNREPORT.json
+ *   mapzero_cli report   --trace TIMELINE.json [--chrome OUT.json]
  *   mapzero_cli list
  *   mapzero_cli serve    [--port 0] [--bind 127.0.0.1] [--workers N]
  *                        [--queue-depth Q] [--slowlog-ms MS]
@@ -21,6 +22,7 @@
  *   mapzero_cli submit   --port P --kernel mac --arch hrea
  *                        [--method sa] [--time 10] [--wait]
  *   mapzero_cli status|fetch|cancel --port P --id JOB
+ *   mapzero_cli trace    --port P --id JOB [--json] [--chrome FILE]
  *   mapzero_cli drain    --port P
  *
  * Kernels come from the built-in Table-2 set, or from a DOT file via
@@ -394,10 +396,35 @@ readTextFile(const std::string &path)
  *                                            regression >= threshold
  *   report --metrics FILE                    human-readable summary of
  *                                            one --metrics-out report
+ *   report --trace FILE [--chrome OUT]       ASCII timeline of a saved
+ *                                            request trace (the JSON
+ *                                            from `trace --json` or
+ *                                            GET /trace?job=ID)
  */
 int
 cmdReport(const Args &args)
 {
+    if (args.flag("trace")) {
+        const std::string path = args.get("trace", "");
+        if (path.empty())
+            fatal("report --trace needs a timeline file (save one "
+                  "with `trace --json` or GET /trace?job=ID)");
+        const JsonValue timeline =
+            JsonValue::parse(readTextFile(path));
+        std::printf("%s", renderTraceTimeline(timeline).c_str());
+        const std::string chrome_out = args.get("chrome", "");
+        if (!chrome_out.empty()) {
+            std::ofstream os(chrome_out, std::ios::binary);
+            if (!os)
+                fatal("cannot write " + chrome_out);
+            os << timelineToChromeJson(timeline);
+            std::printf("chrome trace written to %s (open in "
+                        "chrome://tracing)\n",
+                        chrome_out.c_str());
+        }
+        return 0;
+    }
+
     if (args.flag("metrics")) {
         const std::string path = args.get("metrics", "");
         if (path.empty())
@@ -637,6 +664,53 @@ cmdFetch(const Args &args)
     return printFetched(result);
 }
 
+/**
+ * Fetch and render one job's request timeline.
+ *
+ *   trace --port P --id JOB            ASCII timeline on stdout
+ *   trace ... --json                   raw timeline JSON (pipe to a
+ *                                      file for `report --trace`)
+ *   trace ... --chrome FILE            also write Chrome trace-event
+ *                                      JSON for chrome://tracing
+ */
+int
+cmdTrace(const Args &args)
+{
+    svc::Client client = clientFromArgs(args);
+    svc::JobTrace out;
+    const svc::Status status =
+        client.trace(jobIdFromArgs(args), out);
+    if (status != svc::Status::Ok) {
+        std::fprintf(stderr, "error: %s\n", client.lastError().c_str());
+        return status == svc::Status::NotFound ? 3 : 1;
+    }
+    if (out.timelineJson.empty()) {
+        std::fprintf(stderr, "no timeline recorded (job is %s)\n",
+                     svc::jobStateName(out.state));
+        return 2;
+    }
+    if (args.flag("json")) {
+        std::printf("%s\n", out.timelineJson.c_str());
+    } else {
+        const JsonValue timeline =
+            JsonValue::parse(out.timelineJson);
+        std::printf("job is %s\n%s", svc::jobStateName(out.state),
+                    renderTraceTimeline(timeline).c_str());
+    }
+    const std::string chrome_out = args.get("chrome", "");
+    if (!chrome_out.empty()) {
+        std::ofstream os(chrome_out, std::ios::binary);
+        if (!os)
+            fatal("cannot write " + chrome_out);
+        os << timelineToChromeJson(
+            JsonValue::parse(out.timelineJson));
+        std::printf("chrome trace written to %s (open in "
+                    "chrome://tracing)\n",
+                    chrome_out.c_str());
+    }
+    return 0;
+}
+
 int
 cmdCancel(const Args &args)
 {
@@ -704,6 +778,8 @@ dispatch(const Args &args)
         return cmdStatus(args);
     if (args.command == "fetch")
         return cmdFetch(args);
+    if (args.command == "trace")
+        return cmdTrace(args);
     if (args.command == "cancel")
         return cmdCancel(args);
     if (args.command == "drain")
@@ -711,7 +787,7 @@ dispatch(const Args &args)
     std::printf(
         "usage: mapzero_cli "
         "<list|analyze|map|train|simulate|spatial|report|serve|"
-        "submit|status|fetch|cancel|drain> "
+        "submit|status|fetch|trace|cancel|drain> "
         "[options]\n"
         "  map      --kernel NAME|--kernel-dot F --arch FABRIC\n"
         "           [--method mapzero|ilp|sa|lisa] [--time S]\n"
@@ -729,6 +805,7 @@ dispatch(const Args &args)
         "  report   --compare BASELINE.json CANDIDATE.json\n"
         "           [--threshold 0.05] (exit 3 on regression)\n"
         "  report   --metrics RUNREPORT.json\n"
+        "  report   --trace TIMELINE.json [--chrome OUT.json]\n"
         "  serve    [--port P] [--bind ADDR] [--workers N]\n"
         "           [--queue-depth Q] [--slowlog-ms MS]\n"
         "           [--cache-dir DIR] (persistent result cache)\n"
@@ -740,6 +817,9 @@ dispatch(const Args &args)
         "           [--poll-ms MS]] (exit 4 = server busy)\n"
         "  status   --port P --id JOB\n"
         "  fetch    --port P --id JOB (exit 2 = not ready yet)\n"
+        "  trace    --port P --id JOB [--json] [--chrome FILE]\n"
+        "           (per-stage request timeline; works on live and\n"
+        "           terminal jobs)\n"
         "  cancel   --port P --id JOB\n"
         "  drain    --port P\n"
         "observability (any command): [--trace-out FILE]\n"
